@@ -1,0 +1,112 @@
+#include "bench_util.hh"
+
+#include "common/logging.hh"
+#include "scrub/policy.hh"
+
+namespace pcmscrub {
+namespace bench {
+
+AnalyticConfig
+standardConfig(EccScheme scheme, std::uint64_t lines,
+               std::uint64_t seed)
+{
+    AnalyticConfig config;
+    config.lines = lines;
+    config.scheme = scheme;
+    // Server-like demand: a line is written every ~28 h and read
+    // every ~2.8 h on average.
+    config.demand.writesPerLinePerSecond = 1e-5;
+    config.demand.readsPerLinePerSecond = 1e-4;
+    config.seed = seed;
+    return config;
+}
+
+double
+RunResult::rewritesPerLineDay() const
+{
+    return static_cast<double>(metrics.scrubRewrites) /
+        static_cast<double>(lines) / days;
+}
+
+double
+RunResult::checksPerLineDay() const
+{
+    return static_cast<double>(metrics.linesChecked) /
+        static_cast<double>(lines) / days;
+}
+
+double
+RunResult::energyUjPerGbDay() const
+{
+    // 64-byte lines: 2^24 lines per GB. Energy tallies are pJ.
+    const double linesPerGb = 16777216.0;
+    const double scale = linesPerGb / static_cast<double>(lines);
+    return metrics.energy.total() * scale / days * 1e-6;
+}
+
+double
+RunResult::uePerGbYear() const
+{
+    const double linesPerGb = 16777216.0;
+    const double scale = linesPerGb / static_cast<double>(lines);
+    return uncorrectable() * scale / days * 365.0;
+}
+
+RunResult
+runPolicy(const std::string &label, const AnalyticConfig &config,
+          const PolicySpec &spec, Tick horizon)
+{
+    AnalyticBackend backend(config);
+    const auto policy = makePolicy(spec, backend);
+    runScrub(backend, *policy, horizon);
+    RunResult result;
+    result.label = label;
+    result.metrics = backend.metrics();
+    result.days = ticksToSeconds(horizon) / 86400.0;
+    result.lines = config.lines;
+    return result;
+}
+
+PolicySpec
+baselineSpec()
+{
+    PolicySpec spec;
+    spec.kind = PolicyKind::Basic;
+    spec.interval = kHour;
+    return spec;
+}
+
+PolicySpec
+combinedSpec()
+{
+    PolicySpec spec;
+    spec.kind = PolicyKind::Combined;
+    spec.targetLineUeProb = 1e-7;
+    spec.rewriteHeadroom = 2;
+    spec.linesPerRegion = 64;
+    return spec;
+}
+
+std::vector<std::string>
+resultColumns(std::string first_column)
+{
+    return {std::move(first_column), "ue_total", "ue_per_gb_year",
+            "rewrites/line/day", "checks/line/day", "energy_uJ/GB/day",
+            "worn_cells"};
+}
+
+void
+addResultRow(Table &table, const RunResult &result)
+{
+    table.row()
+        .cell(result.label)
+        .cell(result.uncorrectable(), 2)
+        .cellSci(result.uePerGbYear(), 2)
+        .cell(result.rewritesPerLineDay(), 4)
+        .cell(result.checksPerLineDay(), 2)
+        .cell(result.energyUjPerGbDay(), 1)
+        .cell(result.metrics.cellsWornOut);
+}
+
+} // namespace bench
+} // namespace pcmscrub

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared plumbing for the experiment harnesses: standard device and
+ * backend configurations, policy runs with normalised reporting, and
+ * unit helpers. Every experiment binary (one per paper table/figure;
+ * see DESIGN.md) builds on these so results are comparable.
+ */
+
+#ifndef PCMSCRUB_BENCH_BENCH_UTIL_HH
+#define PCMSCRUB_BENCH_BENCH_UTIL_HH
+
+#include <string>
+
+#include "common/table.hh"
+#include "common/types.hh"
+#include "scrub/analytic_backend.hh"
+#include "scrub/factory.hh"
+
+namespace pcmscrub {
+namespace bench {
+
+constexpr Tick kMinute = secondsToTicks(60.0);
+constexpr Tick kHour = secondsToTicks(3600.0);
+constexpr Tick kDay = secondsToTicks(86400.0);
+
+/** Standard sampled-array configuration used across experiments. */
+AnalyticConfig standardConfig(EccScheme scheme,
+                              std::uint64_t lines = 2048,
+                              std::uint64_t seed = 1);
+
+/** Result of one policy run with normalisations attached. */
+struct RunResult
+{
+    std::string label;
+    ScrubMetrics metrics;
+    double days = 0.0;
+    std::uint64_t lines = 0;
+
+    /** Paper metric: uncorrectable events (scrub + demand). */
+    double uncorrectable() const
+    {
+        return metrics.totalUncorrectable();
+    }
+
+    /** Scrub rewrites per line per day. */
+    double rewritesPerLineDay() const;
+
+    /** Scrub checks per line per day. */
+    double checksPerLineDay() const;
+
+    /** Scrub energy in microjoules per GB of memory per day. */
+    double energyUjPerGbDay() const;
+
+    /** Uncorrectable events per GB of memory per year. */
+    double uePerGbYear() const;
+};
+
+/**
+ * Build the backend+policy described by `spec` over `config` and run
+ * to `horizon`.
+ */
+RunResult runPolicy(const std::string &label,
+                    const AnalyticConfig &config,
+                    const PolicySpec &spec, Tick horizon);
+
+/** The paper's baseline: SECDEDx8 + hourly DRAM-style basic scrub. */
+PolicySpec baselineSpec();
+
+/** The paper's combined mechanism spec (over a BCH-8 backend). */
+PolicySpec combinedSpec();
+
+/** Append the standard result columns for one run. */
+void addResultRow(Table &table, const RunResult &result);
+
+/** Standard result column headers matching addResultRow. */
+std::vector<std::string> resultColumns(std::string first_column);
+
+} // namespace bench
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_BENCH_BENCH_UTIL_HH

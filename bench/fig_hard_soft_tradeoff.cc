@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Experiment E8 — trading soft errors against hard errors.
+ *
+ * Every scrub rewrite consumes endurance, so an aggressive rewrite
+ * policy converts (correctable) soft errors into (permanent) hard
+ * errors later in life. This harness runs a scaled-endurance device
+ * (median endurance cut so wear-out falls inside the simulated
+ * horizon; the scale factor is reported) under sweep scrub with
+ * rewrite thresholds 1..8 and reports soft UEs, cells worn out, and
+ * total writes.
+ *
+ * Expected shape: threshold 1 minimises instantaneous soft-error
+ * risk but wears cells fastest (and the resulting stuck cells
+ * eventually *create* uncorrectable lines); deep thresholds save
+ * endurance but run closer to the ECC cliff. The optimum sits in
+ * between — the paper's adaptive soft/hard trade.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace pcmscrub;
+using namespace pcmscrub::bench;
+
+int
+main()
+{
+    constexpr std::uint64_t lines = 2048;
+    constexpr Tick horizon = 20 * kDay;
+    // Scale endurance so wear-out falls inside the 20-day horizon:
+    // median 150 writes instead of 1e8.
+    constexpr double enduranceScale = 1.5e-6;
+
+    std::printf("E8: soft/hard error trade vs. rewrite threshold\n"
+                "(BCH-8, hourly sweep, 20 days, endurance median "
+                "scaled by %.0e to 150 writes)\n", enduranceScale);
+
+    Table table("E8 soft vs. hard errors",
+                {"rewrite_at", "scrub_writes", "worn_cells",
+                 "ue_total", "stuck_per_line", "energy_uJ"});
+
+    for (const unsigned threshold :
+         {1u, 2u, 3u, 4u, 6u, 8u}) {
+        PolicySpec spec;
+        spec.kind = PolicyKind::Threshold;
+        spec.interval = kHour;
+        spec.rewriteThreshold = threshold;
+
+        AnalyticConfig config = standardConfig(EccScheme::bch(8),
+                                               lines);
+        config.device.enduranceScale = enduranceScale;
+        // Demand writes also wear cells; keep them, they are part
+        // of the budget the scrub competes with.
+        const RunResult result = runPolicy(
+            "t" + std::to_string(threshold), config, spec, horizon);
+        table.row()
+            .cell("errors>=" + std::to_string(threshold))
+            .cell(result.metrics.scrubRewrites)
+            .cell(result.metrics.cellsWornOut)
+            .cell(result.uncorrectable(), 2)
+            .cell(static_cast<double>(result.metrics.cellsWornOut) /
+                      static_cast<double>(lines), 3)
+            .cell(result.metrics.energy.total() * 1e-6, 1);
+    }
+    table.print();
+
+    std::printf("\nEager rewriting wears the array into hard "
+                "failures; lazy rewriting risks the soft-error "
+                "cliff. The paper's combined mechanism sits at a "
+                "middle threshold with adaptive spacing.\n");
+    return 0;
+}

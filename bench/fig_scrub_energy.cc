@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Experiment E6 — scrub energy breakdown by mechanism.
+ *
+ * Splits each mechanism's scrub energy into array reads, margin
+ * reads, decode/detect logic, and corrective writes. This is the
+ * figure that explains *where* the combined mechanism's savings come
+ * from: basic scrub's energy is write-dominated; the combined
+ * mechanism trades a modest increase in (cheap) read/check energy
+ * for a collapse in (expensive) rewrite energy.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace pcmscrub;
+using namespace pcmscrub::bench;
+
+namespace {
+
+void
+addEnergyRow(Table &table, const RunResult &result)
+{
+    const EnergyAccount &energy = result.metrics.energy;
+    const double total = energy.total();
+    table.row()
+        .cell(result.label)
+        .cell(energy.get(EnergyCategory::ArrayRead) * 1e-6, 2)
+        .cell(energy.get(EnergyCategory::MarginRead) * 1e-6, 2)
+        .cell((energy.get(EnergyCategory::Detect) +
+               energy.get(EnergyCategory::Decode)) * 1e-6, 2)
+        .cell(energy.get(EnergyCategory::ArrayWrite) * 1e-6, 2)
+        .cell(total * 1e-6, 2)
+        .cell(result.energyUjPerGbDay(), 1);
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr std::uint64_t lines = 2048;
+    constexpr Tick horizon = 20 * kDay;
+
+    std::printf("E6: scrub energy breakdown (20 days, %llu lines; "
+                "columns in uJ)\n",
+                static_cast<unsigned long long>(lines));
+
+    Table table("E6 scrub energy breakdown",
+                {"mechanism", "reads_uJ", "margin_uJ", "logic_uJ",
+                 "writes_uJ", "total_uJ", "uJ/GB/day"});
+
+    addEnergyRow(table,
+                 runPolicy("basic/secded/1h",
+                           standardConfig(EccScheme::secdedX8(), lines),
+                           baselineSpec(), horizon));
+
+    PolicySpec strong;
+    strong.kind = PolicyKind::StrongEcc;
+    strong.interval = kHour;
+    addEnergyRow(table,
+                 runPolicy("strong_ecc/bch8/1h",
+                           standardConfig(EccScheme::bch(8), lines),
+                           strong, horizon));
+
+    PolicySpec light;
+    light.kind = PolicyKind::LightDetect;
+    light.interval = kHour;
+    addEnergyRow(table,
+                 runPolicy("light_detect/bch8/1h",
+                           standardConfig(EccScheme::bch(8), lines),
+                           light, horizon));
+
+    PolicySpec threshold;
+    threshold.kind = PolicyKind::Threshold;
+    threshold.interval = kHour;
+    threshold.rewriteThreshold = 6;
+    addEnergyRow(table,
+                 runPolicy("threshold6/bch8/1h",
+                           standardConfig(EccScheme::bch(8), lines),
+                           threshold, horizon));
+
+    addEnergyRow(table,
+                 runPolicy("combined/bch8",
+                           standardConfig(EccScheme::bch(8), lines),
+                           combinedSpec(), horizon));
+
+    table.print();
+
+    std::printf("\nBasic scrub is write-dominated; the combined "
+                "mechanism's total drops (paper: -37.8%%) because "
+                "corrective writes nearly vanish.\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation — adaptive-tracking granularity (DESIGN.md choice #4).
+ *
+ * The adaptive schedule tracks write recency and residual errors per
+ * *region*; finer regions mean more controller metadata but less
+ * pessimism (one hot line cannot drag a whole region's schedule).
+ * This harness sweeps lines-per-region for the combined mechanism.
+ *
+ * Expected shape: very coarse regions over-check (one dirty line
+ * shortens the horizon of hundreds); very fine regions approach the
+ * ideal per-line schedule with diminishing returns — the paper's
+ * argument for modest per-region metadata.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace pcmscrub;
+using namespace pcmscrub::bench;
+
+int
+main()
+{
+    constexpr std::uint64_t lines = 2048;
+    constexpr Tick horizon = 15 * kDay;
+
+    std::printf("Ablation: combined-mechanism tracking granularity "
+                "(15 days, %llu lines)\n",
+                static_cast<unsigned long long>(lines));
+
+    Table table("Region-granularity ablation",
+                {"lines/region", "metadata_bytes/GB", "ue_total",
+                 "checks/line/day", "rewrites/line/day",
+                 "energy_uJ/GB/day"});
+
+    for (const std::uint64_t region : {1ull, 16ull, 64ull, 256ull,
+                                       1024ull}) {
+        PolicySpec spec = combinedSpec();
+        spec.linesPerRegion = region;
+        const RunResult result = runPolicy(
+            "combined/r" + std::to_string(region),
+            standardConfig(EccScheme::bch(8), lines), spec, horizon);
+        // Metadata: one 4-byte due tick + 1-byte worst-error per
+        // region, for a 16 Mi-line GB.
+        const double metadataBytes = 5.0 * 16777216.0 /
+            static_cast<double>(region);
+        table.row()
+            .cell(region)
+            .cell(metadataBytes / 1024.0, 1)
+            .cell(result.uncorrectable(), 2)
+            .cell(result.checksPerLineDay(), 2)
+            .cell(result.rewritesPerLineDay(), 4)
+            .cell(result.energyUjPerGbDay(), 1);
+    }
+    table.print();
+
+    std::printf("\n(metadata column is KiB per GB of memory)\n");
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Datacenter scenario: size the scrub mechanism for a PCM-based
+ * server fleet.
+ *
+ * A fleet operator with N terabytes of MLC PCM main memory wants to
+ * know, for several candidate scrub configurations: how many
+ * machine-check events per year to expect, how much device lifetime
+ * scrubbing consumes, and what the scrub power works out to. The
+ * example runs each candidate over a simulated month of Zipf-skewed
+ * traffic on a sampled region and extrapolates to fleet scale.
+ *
+ *   $ ./datacenter_scrub [fleet_TB]      (default 64 TB)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "scrub/analytic_backend.hh"
+#include "scrub/factory.hh"
+
+using namespace pcmscrub;
+
+namespace {
+
+struct Candidate
+{
+    const char *label;
+    EccScheme scheme;
+    PolicySpec spec;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const double fleetTb = argc > 1 ? std::atof(argv[1]) : 64.0;
+    if (fleetTb <= 0.0)
+        fatal("usage: datacenter_scrub [fleet_TB > 0]");
+
+    constexpr std::uint64_t lines = 4096;
+    constexpr double days = 30.0;
+    const Tick horizon = secondsToTicks(days * 86400.0);
+
+    PolicySpec basicHourly;
+    basicHourly.kind = PolicyKind::Basic;
+    basicHourly.interval = secondsToTicks(3600.0);
+
+    PolicySpec basicDaily = basicHourly;
+    basicDaily.interval = secondsToTicks(86400.0);
+
+    PolicySpec threshold;
+    threshold.kind = PolicyKind::Threshold;
+    threshold.interval = secondsToTicks(3600.0);
+    threshold.rewriteThreshold = 6;
+
+    PolicySpec combined;
+    combined.kind = PolicyKind::Combined;
+    combined.targetLineUeProb = 1e-7;
+    combined.rewriteHeadroom = 2;
+    combined.linesPerRegion = 64;
+
+    const Candidate candidates[] = {
+        {"DRAM habits (SECDED, daily)", EccScheme::secdedX8(),
+         basicDaily},
+        {"DRAM mechanism, forced hourly", EccScheme::secdedX8(),
+         basicHourly},
+        {"BCH-8 + threshold, hourly", EccScheme::bch(8), threshold},
+        {"BCH-8 combined (paper)", EccScheme::bch(8), combined},
+    };
+
+    std::printf("Sizing scrub for a %.0f TB MLC-PCM fleet "
+                "(one simulated month, Zipf traffic, scaled up)\n",
+                fleetTb);
+
+    // Fleet scale factor: simulated lines are 64 B each.
+    const double fleetLines = fleetTb * 1e12 / 64.0;
+    const double scale = fleetLines / static_cast<double>(lines);
+
+    Table table("Fleet projection",
+                {"configuration", "machine_checks/yr",
+                 "rewrites/line/day", "lifetime_burn_%/yr",
+                 "avg_scrub_power_W"});
+    for (const auto &candidate : candidates) {
+        AnalyticConfig config;
+        config.lines = lines;
+        config.scheme = candidate.scheme;
+        config.demand.kind = WorkloadKind::Zipf;
+        config.demand.writesPerLinePerSecond = 1e-5;
+        config.demand.readsPerLinePerSecond = 1e-4;
+        config.seed = 7;
+        AnalyticBackend device(config);
+        const auto policy = makePolicy(candidate.spec, device);
+        runScrub(device, *policy, horizon);
+        const ScrubMetrics &m = device.metrics();
+
+        const double perYear = 365.0 / days;
+        const double machineChecks = m.totalUncorrectable() * scale *
+            perYear;
+        const double rewritesLineDay =
+            static_cast<double>(m.scrubRewrites) / lines / days;
+        // Lifetime burn: scrub writes per year over 1e8 endurance.
+        const double burnPercent = rewritesLineDay * 365.0 / 1e8 *
+            100.0;
+        // Average power: energy in pJ over the month, fleet-scaled.
+        const double watts = m.energy.total() * 1e-12 * scale /
+            (days * 86400.0);
+        table.row()
+            .cell(candidate.label)
+            .cellSci(machineChecks, 2)
+            .cell(rewritesLineDay, 4)
+            .cellSci(burnPercent, 2)
+            .cell(watts, 2);
+    }
+    table.print();
+
+    std::printf("\nReading the table: 'DRAM habits' is how a DRAM "
+                "controller would scrub — drift makes it unusable. "
+                "Forcing it hourly helps reliability but burns "
+                "endurance and energy. The paper's combined "
+                "mechanism is the only candidate that holds machine "
+                "checks near zero at a tenth of the hourly "
+                "baseline's writes and energy.\n");
+    return 0;
+}

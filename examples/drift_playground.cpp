@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Drift playground: watch one ECC line of real MLC cells age.
+ *
+ * Programs a single BCH-8-protected line on the cell-accurate
+ * backend and steps through time, showing at each instant what the
+ * three check mechanisms would report — the margin read's early
+ * warning, the light detector's verdict, the decoder's error count —
+ * against the ground truth. Then rewrites the line and shows the
+ * chronic fast-drifting cells re-failing.
+ *
+ *   $ ./drift_playground [seed]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "scrub/cell_backend.hh"
+
+using namespace pcmscrub;
+
+namespace {
+
+void
+showLine(CellBackend &device, LineIndex line, Tick now,
+         const char *when)
+{
+    const unsigned truth = device.trueErrors(line, now);
+    const unsigned flagged = device.marginScan(line, now);
+    const bool looksClean = device.lightDetectClean(line, now);
+    const FullDecodeOutcome outcome = device.fullDecode(line, now);
+    std::printf("%-8s | truth: %2u bad cells | margin flags: %2u | "
+                "light detect: %-5s | decoder: %s (%u)\n",
+                when, truth, flagged, looksClean ? "clean" : "dirty",
+                outcome.uncorrectable ? "UNCORRECTABLE" : "corrects",
+                outcome.errors);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CellBackendConfig config;
+    config.lines = 16;
+    config.scheme = EccScheme::bch(8);
+    config.seed = argc > 1
+        ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 2026;
+    CellBackend device(config);
+
+    const LineIndex line = 0;
+    std::printf("One BCH-8 line (%u MLC cells), written at t=0. "
+                "Drift raises amorphous-cell resistance as t^nu; "
+                "Gray coding turns each band crossing into one bit "
+                "error.\n\n",
+                device.cellsPerLine());
+
+    const struct { const char *label; double seconds; } steps[] = {
+        {"+1min", 60.0},     {"+1h", 3600.0},
+        {"+6h", 21600.0},    {"+1day", 86400.0},
+        {"+4days", 345600.0}, {"+2weeks", 1.21e6},
+    };
+    for (const auto &step : steps)
+        showLine(device, line, secondsToTicks(step.seconds),
+                 step.label);
+
+    // Scrub rewrite: correct data is reprogrammed, all drift clocks
+    // restart — but the *same* chronically fast cells drift again.
+    const Tick rewriteAt = secondsToTicks(1.21e6);
+    device.scrubRewrite(line, rewriteAt);
+    std::printf("\n--- scrub rewrite at +2weeks "
+                "(drift clocks reset) ---\n\n");
+
+    for (const auto &step : steps) {
+        showLine(device, line,
+                 rewriteAt + secondsToTicks(step.seconds),
+                 step.label);
+    }
+
+    std::printf("\nNote how errors repeat at similar horizons after "
+                "the rewrite: the same weak cells fail again. "
+                "Rewrite-on-any-error scrubbing chases them forever; "
+                "the paper's threshold policies absorb them inside "
+                "the ECC budget.\n");
+
+    const ScrubMetrics &m = device.metrics();
+    std::printf("\noperations performed: %llu margin scans, %llu "
+                "detects, %llu decodes, %llu rewrites "
+                "(energy %.1f nJ)\n",
+                static_cast<unsigned long long>(m.marginScans),
+                static_cast<unsigned long long>(m.lightDetects),
+                static_cast<unsigned long long>(m.fullDecodes),
+                static_cast<unsigned long long>(m.scrubRewrites),
+                m.energy.total() * 1e-3);
+    return 0;
+}

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Full system: every layer of the stack composed on real cells.
+ *
+ * A miniature PCM module end to end: demand traffic is routed
+ * through Start-Gap wear leveling onto a cell-accurate array whose
+ * lines carry BCH-8 plus ECP-4 hard-error pointers, while the
+ * combined scrub mechanism patrols physical frames. Endurance is
+ * scaled down so the device ages through its whole life during the
+ * run, and the example reports how the layers share the work:
+ * wear leveling flattens write damage, ECP absorbs the cells that
+ * die anyway, BCH + scrub handle drift.
+ *
+ *   $ ./full_system [days]       (default 30 simulated days)
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.hh"
+#include "mem/wear_leveling.hh"
+#include "sim/event_queue.hh"
+#include "scrub/adaptive_scrub.hh"
+#include "scrub/cell_backend.hh"
+#include "sim/workload.hh"
+
+using namespace pcmscrub;
+
+int
+main(int argc, char **argv)
+{
+    const double days = argc > 1 ? std::atof(argv[1]) : 30.0;
+    if (days <= 0.0)
+        fatal("usage: full_system [days > 0]");
+
+    // Device: 512 logical lines on 513 physical frames of real MLC
+    // cells, endurance scaled so wear-out happens within the run.
+    constexpr std::uint64_t logicalLines = 512;
+    CellBackendConfig config;
+    config.lines = logicalLines + 1; // +1 Start-Gap spare frame.
+    config.scheme = EccScheme::bch(8);
+    config.ecpEntries = 8;
+    config.device.enduranceMedian = 100000.0;
+    config.device.enduranceSigmaLn = 0.5;
+    config.seed = 2026;
+    CellBackend device(config);
+
+    StartGapMapper mapper(logicalLines, /*gap_interval=*/64);
+    LineIndex currentLine = 0;
+
+    // Demand: Zipf-hot writes, ~2000 line-writes per simulated hour.
+    WorkloadConfig wConfig;
+    wConfig.kind = WorkloadKind::Zipf;
+    wConfig.requestsPerSecond = 2000.0 / 3600.0;
+    wConfig.readFraction = 0.0;
+    wConfig.workingSetLines = logicalLines;
+    Workload demand(wConfig, 7);
+
+    // Scrub: the paper's combined mechanism over physical frames.
+    CombinedScrub scrub(1e-7, 2, device, 64);
+
+    std::printf("full system: %llu logical lines -> %llu frames, "
+                "%s + ECP-%u, Start-Gap psi=64, combined scrub, "
+                "%.0f days\n\n",
+                static_cast<unsigned long long>(logicalLines),
+                static_cast<unsigned long long>(device.lineCount()),
+                device.code().name().c_str(), config.ecpEntries,
+                days);
+
+    // Drive everything through the discrete-event kernel: demand
+    // arrivals chain themselves, scrub wakes reschedule from the
+    // policy's own risk calendar.
+    const Tick horizon = secondsToTicks(days * 86400.0);
+    EventQueue events;
+    std::uint64_t gapCopies = 0;
+
+    std::function<void()> demandEvent = [&] {
+        const Tick now = events.now();
+        const MemRequest req = demand.next(); // Consumed this event.
+        device.demandWrite(mapper.physical(currentLine), now);
+        if (const auto move = mapper.recordWrite()) {
+            // The gap copy relocates a frame's content; modelled as
+            // a rewrite of the source frame's payload at the target.
+            device.array().line(move->to).writeCodeword(
+                device.array().line(move->from).intendedWord(), now,
+                device.array().model(), device.array().rng());
+            ++gapCopies;
+        }
+        currentLine = req.line;
+        if (req.arrival <= horizon)
+            events.schedule(req.arrival, demandEvent);
+    };
+
+    std::function<void()> scrubEvent = [&] {
+        scrub.wake(device, events.now());
+        const Tick next = scrub.nextWake();
+        if (next <= horizon)
+            events.schedule(next, scrubEvent);
+    };
+
+    // Prime both chains.
+    {
+        const MemRequest first = demand.next();
+        currentLine = first.line;
+        if (first.arrival <= horizon)
+            events.schedule(first.arrival, demandEvent);
+        if (scrub.nextWake() <= horizon)
+            events.schedule(scrub.nextWake(), scrubEvent);
+    }
+    events.run(horizon);
+
+    const ScrubMetrics &m = device.metrics();
+    std::printf("demand writes        : %llu (+%llu gap copies)\n",
+                static_cast<unsigned long long>(m.demandWrites),
+                static_cast<unsigned long long>(gapCopies));
+    std::printf("scrub checks         : %llu\n",
+                static_cast<unsigned long long>(m.linesChecked));
+    std::printf("scrub rewrites       : %llu\n",
+                static_cast<unsigned long long>(m.scrubRewrites));
+    std::printf("cells worn out       : %llu\n",
+                static_cast<unsigned long long>(m.cellsWornOut));
+    std::printf("uncorrectable lines  : %llu\n",
+                static_cast<unsigned long long>(m.scrubUncorrectable));
+    std::printf("silent miscorrections: %llu\n",
+                static_cast<unsigned long long>(m.miscorrections));
+
+    // Wear profile across physical frames.
+    std::vector<std::uint64_t> wear;
+    wear.reserve(device.lineCount());
+    for (LineIndex frame = 0; frame < device.lineCount(); ++frame)
+        wear.push_back(device.array().line(frame).lineWrites());
+    std::sort(wear.begin(), wear.end());
+    const double mean = static_cast<double>(
+        std::accumulate(wear.begin(), wear.end(), 0ull)) /
+        static_cast<double>(wear.size());
+    std::printf("\nwear/frame: mean %.1f, median %llu, max %llu "
+                "(max/mean %.2f — Start-Gap keeps the Zipf hot set "
+                "from burning single frames)\n",
+                mean,
+                static_cast<unsigned long long>(wear[wear.size() / 2]),
+                static_cast<unsigned long long>(wear.back()),
+                static_cast<double>(wear.back()) / mean);
+
+    // How much hard-error work ECP absorbed.
+    std::uint64_t ecpEntriesUsed = 0;
+    std::uint64_t framesWithStuck = 0;
+    for (LineIndex frame = 0; frame < device.lineCount(); ++frame) {
+        ecpEntriesUsed += device.ecpUsed(frame);
+        framesWithStuck +=
+            device.array().line(frame).stuckCellCount() > 0;
+    }
+    std::printf("ECP entries in use: %llu across %llu frames with "
+                "stuck cells\n",
+                static_cast<unsigned long long>(ecpEntriesUsed),
+                static_cast<unsigned long long>(framesWithStuck));
+    std::printf("scrub energy: %.1f uJ (%s)\n",
+                m.energy.total() * 1e-6, m.energy.toString().c_str());
+    return 0;
+}

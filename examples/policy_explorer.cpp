@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Policy explorer: run any scrub configuration from the command
+ * line. The full configuration surface of the library in one tool —
+ * useful for reproducing individual experiment rows or trying
+ * parameter combinations the benches don't sweep.
+ *
+ * Usage:
+ *   policy_explorer [options]
+ *     --config FILE              load an INI config (see
+ *                                examples/configs/); command-line
+ *                                options override it
+ *     --policy basic|strong_ecc|light_detect|threshold|adaptive|
+ *              combined          (default combined)
+ *     --ecc secded|bchN          (default bch8)
+ *     --interval-s S             sweep interval (default 3600)
+ *     --threshold K              rewrite at K errors (default 6)
+ *     --target P                 adaptive UE target (default 1e-7)
+ *     --region N                 lines per region (default 64)
+ *     --lines N                  sampled lines (default 4096)
+ *     --days D                   horizon (default 14)
+ *     --write-rate R             writes/line/s (default 1e-5)
+ *     --read-rate R              reads/line/s (default 1e-4)
+ *     --workload uniform|zipf|streaming|write_burst
+ *     --speed-sigma S            intrinsic drift spread (default .25)
+ *     --detector parity|crc       light-detector family
+ *     --detector-bits N           detector width (default 16)
+ *     --ecp N                     ECP entries per line (default 0)
+ *     --piggyback T               refresh when a demand read sees
+ *                                 >= T errors (default off)
+ *     --seed N
+ *
+ * Example — the paper's baseline:
+ *   policy_explorer --policy basic --ecc secded --interval-s 3600
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "scrub/analytic_backend.hh"
+#include "scrub/factory.hh"
+
+using namespace pcmscrub;
+
+namespace {
+
+EccScheme
+parseScheme(const std::string &name)
+{
+    if (name == "secded")
+        return EccScheme::secdedX8();
+    if (name.rfind("bch", 0) == 0) {
+        const int t = std::atoi(name.c_str() + 3);
+        if (t >= 1 && t <= 16)
+            return EccScheme::bch(static_cast<unsigned>(t));
+    }
+    fatal("unknown ECC scheme '%s' (try secded or bch1..bch16)",
+          name.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    PolicySpec spec;
+    spec.kind = PolicyKind::Combined;
+    spec.interval = secondsToTicks(3600.0);
+    spec.rewriteThreshold = 6;
+    spec.rewriteHeadroom = 2;
+    spec.targetLineUeProb = 1e-7;
+    spec.linesPerRegion = 64;
+
+    AnalyticConfig config;
+    config.lines = 4096;
+    config.scheme = EccScheme::bch(8);
+    config.demand.writesPerLinePerSecond = 1e-5;
+    config.demand.readsPerLinePerSecond = 1e-4;
+    double days = 14.0;
+
+    // First pass: apply a config file, if any, so that explicit
+    // command-line options can override its values.
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) != "--config")
+            continue;
+        const ConfigFile file = ConfigFile::load(argv[i + 1]);
+        spec.kind = policyKindFromName(
+            file.getString("policy.kind",
+                           policyKindName(spec.kind)));
+        spec.interval = secondsToTicks(
+            file.getDouble("policy.interval_s", 3600.0));
+        spec.rewriteThreshold = static_cast<unsigned>(
+            file.getInt("policy.rewrite_threshold",
+                        spec.rewriteThreshold));
+        spec.rewriteHeadroom = static_cast<unsigned>(
+            file.getInt("policy.rewrite_headroom",
+                        spec.rewriteHeadroom));
+        spec.targetLineUeProb = file.getDouble(
+            "policy.target_ue_prob", spec.targetLineUeProb);
+        spec.linesPerRegion =
+            file.getInt("policy.lines_per_region",
+                        spec.linesPerRegion);
+        config.scheme = parseScheme(
+            file.getString("device.ecc", "bch8"));
+        config.lines = file.getInt("run.lines", config.lines);
+        days = file.getDouble("run.days", days);
+        config.seed = file.getInt("run.seed", config.seed);
+        config.demand.writesPerLinePerSecond = file.getDouble(
+            "demand.writes_per_line_s",
+            config.demand.writesPerLinePerSecond);
+        config.demand.readsPerLinePerSecond = file.getDouble(
+            "demand.reads_per_line_s",
+            config.demand.readsPerLinePerSecond);
+        config.device.driftSpeedSigmaLn = file.getDouble(
+            "device.drift_speed_sigma",
+            config.device.driftSpeedSigmaLn);
+        config.device.sigmaLogR = file.getDouble(
+            "device.sigma_log_r", config.device.sigmaLogR);
+        config.ecpEntries = static_cast<unsigned>(
+            file.getInt("device.ecp_entries", config.ecpEntries));
+        config.demandReadPiggyback =
+            file.getBool("policy.piggyback",
+                         config.demandReadPiggyback);
+        config.piggybackRewriteThreshold = static_cast<unsigned>(
+            file.getInt("policy.piggyback_threshold",
+                        config.piggybackRewriteThreshold));
+        for (const auto &key : file.unusedKeys())
+            warn("config: unrecognised key '%s'", key.c_str());
+    }
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("option %s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--config") {
+            ++i; // Already applied in the first pass.
+        } else if (arg == "--policy") {
+            spec.kind = policyKindFromName(value());
+        } else if (arg == "--ecc") {
+            config.scheme = parseScheme(value());
+        } else if (arg == "--interval-s") {
+            spec.interval = secondsToTicks(std::atof(value()));
+        } else if (arg == "--threshold") {
+            spec.rewriteThreshold =
+                static_cast<unsigned>(std::atoi(value()));
+            if (config.scheme.guaranteedT() >= spec.rewriteThreshold) {
+                spec.rewriteHeadroom = config.scheme.guaranteedT() -
+                    spec.rewriteThreshold;
+            }
+        } else if (arg == "--target") {
+            spec.targetLineUeProb = std::atof(value());
+        } else if (arg == "--region") {
+            spec.linesPerRegion =
+                static_cast<std::uint64_t>(std::atoll(value()));
+        } else if (arg == "--lines") {
+            config.lines =
+                static_cast<std::uint64_t>(std::atoll(value()));
+        } else if (arg == "--days") {
+            days = std::atof(value());
+        } else if (arg == "--write-rate") {
+            config.demand.writesPerLinePerSecond = std::atof(value());
+        } else if (arg == "--read-rate") {
+            config.demand.readsPerLinePerSecond = std::atof(value());
+        } else if (arg == "--workload") {
+            const std::string kind = value();
+            if (kind == "uniform")
+                config.demand.kind = WorkloadKind::Uniform;
+            else if (kind == "zipf")
+                config.demand.kind = WorkloadKind::Zipf;
+            else if (kind == "streaming")
+                config.demand.kind = WorkloadKind::Streaming;
+            else if (kind == "write_burst")
+                config.demand.kind = WorkloadKind::WriteBurst;
+            else
+                fatal("unknown workload '%s'", kind.c_str());
+        } else if (arg == "--speed-sigma") {
+            config.device.driftSpeedSigmaLn = std::atof(value());
+        } else if (arg == "--detector") {
+            const std::string kind = value();
+            if (kind == "parity")
+                config.detectorKind = DetectorKind::InterleavedParity;
+            else if (kind == "crc")
+                config.detectorKind = DetectorKind::Crc;
+            else
+                fatal("unknown detector '%s'", kind.c_str());
+        } else if (arg == "--detector-bits") {
+            config.detectorParity =
+                static_cast<unsigned>(std::atoi(value()));
+        } else if (arg == "--ecp") {
+            config.ecpEntries =
+                static_cast<unsigned>(std::atoi(value()));
+        } else if (arg == "--piggyback") {
+            config.demandReadPiggyback = true;
+            config.piggybackRewriteThreshold =
+                static_cast<unsigned>(std::atoi(value()));
+        } else if (arg == "--seed") {
+            config.seed =
+                static_cast<std::uint64_t>(std::atoll(value()));
+        } else {
+            fatal("unknown option '%s' (see header comment)",
+                  arg.c_str());
+        }
+    }
+
+    AnalyticBackend device(config);
+    const auto policy = makePolicy(spec, device);
+    std::printf("policy=%s ecc=%s lines=%llu days=%.1f workload=%s\n",
+                policy->name().c_str(),
+                config.scheme.name().c_str(),
+                static_cast<unsigned long long>(config.lines), days,
+                workloadKindName(config.demand.kind));
+
+    const Tick horizon = secondsToTicks(days * 86400.0);
+    const std::uint64_t wakes = runScrub(device, *policy, horizon);
+
+    const ScrubMetrics &m = device.metrics();
+    std::printf("\nwakes=%llu\n%s\n",
+                static_cast<unsigned long long>(wakes),
+                m.toString().c_str());
+    std::printf("%s\n", m.energy.toString().c_str());
+    std::printf("\nper line per day: checks=%.2f rewrites=%.4f\n",
+                static_cast<double>(m.linesChecked) / config.lines /
+                    days,
+                static_cast<double>(m.scrubRewrites) / config.lines /
+                    days);
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Quickstart: simulate one week of MLC-PCM scrubbing in ~20 lines.
+ *
+ * Builds a sampled 4 Mi-cell device protected by BCH-8, runs the
+ * paper's combined scrub mechanism against it with server-like
+ * demand traffic, and prints what happened.
+ *
+ *   $ ./quickstart
+ */
+
+#include <cstdio>
+
+#include "scrub/analytic_backend.hh"
+#include "scrub/factory.hh"
+
+using namespace pcmscrub;
+
+int
+main()
+{
+    // A sampled region of the device: 8192 ECC lines of 512 data
+    // bits each, BCH-8 protected, with default MLC PCM physics.
+    AnalyticConfig config;
+    config.lines = 8192;
+    config.scheme = EccScheme::bch(8);
+    config.demand.writesPerLinePerSecond = 1e-5; // ~1 write / 28 h
+    config.demand.readsPerLinePerSecond = 1e-4;
+    config.seed = 42;
+    AnalyticBackend device(config);
+
+    // The paper's combined mechanism: light detection gates the
+    // decoder, rewrites wait for the ECC headroom threshold, and
+    // checks are scheduled by drift-model risk, not a fixed period.
+    PolicySpec spec;
+    spec.kind = PolicyKind::Combined;
+    spec.targetLineUeProb = 1e-7;
+    spec.rewriteHeadroom = 2;
+    spec.linesPerRegion = 64;
+    const auto policy = makePolicy(spec, device);
+
+    std::printf("simulating 7 days of '%s' scrub over %llu lines...\n",
+                policy->name().c_str(),
+                static_cast<unsigned long long>(device.lineCount()));
+    runScrub(device, *policy, secondsToTicks(7 * 86400.0));
+
+    const ScrubMetrics &m = device.metrics();
+    std::printf("\n%s\n\n", m.toString().c_str());
+    std::printf("line checks        : %llu\n",
+                static_cast<unsigned long long>(m.linesChecked));
+    std::printf("corrective rewrites: %llu\n",
+                static_cast<unsigned long long>(m.scrubRewrites));
+    std::printf("cell errors fixed  : %llu\n",
+                static_cast<unsigned long long>(m.correctedErrors));
+    std::printf("uncorrectable      : %.2f (scrub %llu + demand %.2f)\n",
+                m.totalUncorrectable(),
+                static_cast<unsigned long long>(m.scrubUncorrectable),
+                m.demandUncorrectable);
+    std::printf("scrub energy       : %.1f uJ\n",
+                m.energy.total() * 1e-6);
+    return 0;
+}

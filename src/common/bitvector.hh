@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Packed bit vector used for line payloads and codewords.
+ *
+ * std::vector<bool> is avoided deliberately: codec inner loops need
+ * word-level access (popcount, XOR of whole words) that the standard
+ * proxy-reference interface can't express.
+ */
+
+#ifndef PCMSCRUB_COMMON_BITVECTOR_HH
+#define PCMSCRUB_COMMON_BITVECTOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pcmscrub {
+
+class Random;
+
+/**
+ * Fixed-length sequence of bits packed into 64-bit words.
+ */
+class BitVector
+{
+  public:
+    BitVector() = default;
+
+    /** All-zero vector of the given length. */
+    explicit BitVector(std::size_t bits);
+
+    std::size_t size() const { return bits_; }
+    bool empty() const { return bits_ == 0; }
+
+    bool get(std::size_t index) const;
+    void set(std::size_t index, bool value);
+    void flip(std::size_t index);
+
+    /** Set every bit to zero without changing the length. */
+    void clear();
+
+    /** Number of set bits. */
+    std::size_t popcount() const;
+
+    /** XOR another vector of identical length into this one. */
+    BitVector &operator^=(const BitVector &other);
+
+    /** Hamming distance to another vector of identical length. */
+    std::size_t hammingDistance(const BitVector &other) const;
+
+    bool operator==(const BitVector &other) const = default;
+
+    /** Raw words, low bit = bit 0. Trailing bits are kept zero. */
+    const std::vector<std::uint64_t> &words() const { return words_; }
+
+    /** Extract bits [lo, lo+n) as an integer (n <= 64). */
+    std::uint64_t extract(std::size_t lo, std::size_t n) const;
+
+    /** Deposit the low n bits of value at [lo, lo+n) (n <= 64). */
+    void deposit(std::size_t lo, std::size_t n, std::uint64_t value);
+
+    /** Fill with independent fair coin flips. */
+    void randomize(Random &rng);
+
+    /** "0101..." dump, bit 0 first (for test diagnostics). */
+    std::string toString() const;
+
+  private:
+    void maskTail();
+
+    std::size_t bits_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_COMMON_BITVECTOR_HH

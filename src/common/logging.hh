@@ -1,0 +1,58 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  - an internal invariant broke: a pcmscrub bug. Aborts.
+ * fatal()  - the user asked for something impossible (bad config,
+ *            invalid arguments). Exits with status 1.
+ * warn()   - something works but not as well as it should.
+ * inform() - plain status output.
+ */
+
+#ifndef PCMSCRUB_COMMON_LOGGING_HH
+#define PCMSCRUB_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace pcmscrub {
+
+/** Verbosity levels for runtime filtering of status messages. */
+enum class LogLevel { Silent, Warn, Info, Debug };
+
+/** Process-wide log level; defaults to Info. */
+LogLevel logLevel();
+
+/** Set the process-wide log level. */
+void setLogLevel(LogLevel level);
+
+/** printf-style informational message (suppressed below Info). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style warning (suppressed below Warn). */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style debug chatter (only at Debug). */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** User error: print and exit(1). Never returns. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Internal error: print and abort(). Never returns. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** panic() unless the condition holds; a printf message is required. */
+#define PCMSCRUB_ASSERT(cond, ...)                                     \
+    do {                                                               \
+        if (!(cond))                                                   \
+            ::pcmscrub::panic("assertion '" #cond "' failed: "         \
+                              __VA_ARGS__);                            \
+    } while (0)
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_COMMON_LOGGING_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Deterministic pseudo-random generation for simulation.
+ *
+ * The generator is xoshiro256** (Blackman/Vigna): fast, high quality,
+ * and trivially seedable, so every experiment is reproducible from a
+ * single 64-bit seed. All distribution samplers live here so that no
+ * module depends on the (implementation-defined) libstdc++
+ * distributions, which would make results differ across toolchains.
+ */
+
+#ifndef PCMSCRUB_COMMON_RANDOM_HH
+#define PCMSCRUB_COMMON_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace pcmscrub {
+
+/**
+ * xoshiro256** pseudo-random generator with distribution helpers.
+ */
+class Random
+{
+  public:
+    /** Seed via splitmix64 expansion of one 64-bit value. */
+    explicit Random(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, bound) without modulo bias. */
+    std::uint64_t uniformInt(std::uint64_t bound);
+
+    /** Bernoulli trial with success probability p. */
+    bool bernoulli(double p);
+
+    /** Standard normal via Box-Muller with spare caching. */
+    double normal();
+
+    /** Normal with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Log-normal: exp of normal(mu, sigma) of the underlying normal. */
+    double logNormal(double mu, double sigma);
+
+    /** Exponential with the given rate (lambda). */
+    double exponential(double rate);
+
+    /**
+     * Binomial(n, p) sample.
+     *
+     * Uses exact inversion for small n*p (the common case here: few
+     * expected errors per line) and a clamped normal approximation
+     * when n*p is large enough for it to be accurate.
+     */
+    std::uint64_t binomial(std::uint64_t n, double p);
+
+    /** Poisson(lambda) sample (inversion for small, PTRS for large). */
+    std::uint64_t poisson(double lambda);
+
+    /** Split off an independent child generator (for parallel use). */
+    Random split();
+
+  private:
+    std::uint64_t s_[4];
+    double spareNormal_ = 0.0;
+    bool hasSpare_ = false;
+};
+
+/**
+ * Zipf-distributed integer sampler over [0, n) with exponent theta.
+ *
+ * Precomputes the harmonic normalisation once; sampling uses the
+ * standard rejection-free inverse-CDF approximation of Gray et al.
+ * (as used in YCSB), which is O(1) per sample.
+ */
+class ZipfGenerator
+{
+  public:
+    ZipfGenerator(std::uint64_t n, double theta);
+
+    /** Draw one item index in [0, n). */
+    std::uint64_t sample(Random &rng) const;
+
+    std::uint64_t items() const { return n_; }
+    double theta() const { return theta_; }
+
+  private:
+    std::uint64_t n_;
+    double theta_;
+    double alpha_;
+    double zetan_;
+    double eta_;
+    double zeta2_;
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_COMMON_RANDOM_HH

@@ -1,0 +1,178 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pcmscrub {
+
+void
+SummaryStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+SummaryStats::merge(const SummaryStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+SummaryStats::min() const
+{
+    return count_ ? min_ : 0.0;
+}
+
+double
+SummaryStats::max() const
+{
+    return count_ ? max_ : 0.0;
+}
+
+double
+SummaryStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+SummaryStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+SummaryStats::ci95() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+Histogram::Histogram(double lo, double hi, unsigned bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    PCMSCRUB_ASSERT(hi > lo, "histogram range must be non-empty");
+    PCMSCRUB_ASSERT(bins > 0, "histogram needs at least one bin");
+    width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+void
+Histogram::add(double x, std::uint64_t weight)
+{
+    total_ += weight;
+    if (x < lo_) {
+        underflow_ += weight;
+        return;
+    }
+    if (x >= hi_) {
+        overflow_ += weight;
+        return;
+    }
+    const auto bin = static_cast<unsigned>((x - lo_) / width_);
+    counts_[std::min<unsigned>(bin, bins() - 1)] += weight;
+}
+
+double
+Histogram::binLow(unsigned bin) const
+{
+    return lo_ + width_ * static_cast<double>(bin);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    PCMSCRUB_ASSERT(q >= 0.0 && q <= 1.0, "quantile needs q in [0,1]");
+    if (total_ == 0)
+        return lo_;
+    const double target = q * static_cast<double>(total_);
+    double cum = static_cast<double>(underflow_);
+    if (cum >= target)
+        return lo_;
+    for (unsigned bin = 0; bin < bins(); ++bin) {
+        const double next = cum + static_cast<double>(counts_[bin]);
+        if (next >= target && counts_[bin] > 0) {
+            const double frac = (target - cum) /
+                static_cast<double>(counts_[bin]);
+            return binLow(bin) + frac * width_;
+        }
+        cum = next;
+    }
+    return hi_;
+}
+
+std::string
+Histogram::toString() const
+{
+    std::ostringstream out;
+    out << "hist[" << lo_ << "," << hi_ << ") n=" << total_;
+    if (underflow_)
+        out << " under=" << underflow_;
+    for (unsigned bin = 0; bin < bins(); ++bin) {
+        if (counts_[bin])
+            out << " [" << binLow(bin) << ")=" << counts_[bin];
+    }
+    if (overflow_)
+        out << " over=" << overflow_;
+    return out.str();
+}
+
+void
+CounterGroup::add(const std::string &key, std::uint64_t delta)
+{
+    counters_[key] += delta;
+}
+
+std::uint64_t
+CounterGroup::get(const std::string &key) const
+{
+    const auto it = counters_.find(key);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void
+CounterGroup::clear()
+{
+    counters_.clear();
+}
+
+std::string
+CounterGroup::toString() const
+{
+    std::ostringstream out;
+    out << name_ << ":";
+    for (const auto &[key, value] : counters_)
+        out << " " << key << "=" << value;
+    return out.str();
+}
+
+} // namespace pcmscrub

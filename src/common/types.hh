@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every pcmscrub module.
+ */
+
+#ifndef PCMSCRUB_COMMON_TYPES_HH
+#define PCMSCRUB_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace pcmscrub {
+
+/** Simulation time in integer ticks. One tick is one nanosecond. */
+using Tick = std::uint64_t;
+
+/** Physical byte address inside the simulated memory. */
+using Addr = std::uint64_t;
+
+/** Index of a 512-bit data line. */
+using LineIndex = std::uint64_t;
+
+/** Energy in picojoules. Accumulated as double; totals are large. */
+using PicoJoule = double;
+
+/** Ticks per second (tick = 1 ns). */
+constexpr Tick ticksPerSecond = 1'000'000'000ULL;
+
+/** Ticks in one microsecond / millisecond for readable timing code. */
+constexpr Tick ticksPerMicrosecond = 1'000ULL;
+constexpr Tick ticksPerMillisecond = 1'000'000ULL;
+
+/** Convert seconds (possibly fractional) to ticks. */
+constexpr Tick
+secondsToTicks(double seconds)
+{
+    return static_cast<Tick>(seconds * static_cast<double>(ticksPerSecond));
+}
+
+/** Convert ticks to seconds. */
+constexpr double
+ticksToSeconds(Tick ticks)
+{
+    return static_cast<double>(ticks) / static_cast<double>(ticksPerSecond);
+}
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_COMMON_TYPES_HH

@@ -1,0 +1,213 @@
+#include "ecc/bch.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+#include "gf/gfpoly.hh"
+#include "gf/minpoly.hh"
+
+namespace pcmscrub {
+
+namespace {
+
+constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+
+} // namespace
+
+unsigned
+BchCode::pickFieldDegree(std::size_t data_bits, unsigned t)
+{
+    for (unsigned m = 4; m <= 14; ++m) {
+        const std::size_t n = (1ULL << m) - 1;
+        // deg g <= m * t; require room for payload plus parity.
+        if (n >= data_bits + static_cast<std::size_t>(m) * t)
+            return m;
+    }
+    fatal("no supported BCH field fits %zu data bits at t=%u",
+          data_bits, t);
+}
+
+BchCode::BchCode(std::size_t data_bits, unsigned t, unsigned m)
+    : dataBits_(data_bits),
+      t_(t),
+      field_(m == 0 ? pickFieldDegree(data_bits, t) : m),
+      generator_(bchGenerator(field_, t))
+{
+    PCMSCRUB_ASSERT(t >= 1, "BCH needs t >= 1");
+    const int deg = generator_.degree();
+    PCMSCRUB_ASSERT(deg > 0, "degenerate generator polynomial");
+    parityBits_ = static_cast<unsigned>(deg);
+    codewordBits_ = dataBits_ + parityBits_;
+    if (codewordBits_ > field_.order()) {
+        fatal("BCH(m=%u, t=%u) too short for %zu data bits "
+              "(need %zu <= %u)",
+              field_.m(), t, data_bits, codewordBits_, field_.order());
+    }
+}
+
+std::string
+BchCode::name() const
+{
+    return "BCH(t=" + std::to_string(t_) + ",m=" +
+        std::to_string(field_.m()) + "," +
+        std::to_string(codewordBits_) + "," +
+        std::to_string(dataBits_) + ")";
+}
+
+std::size_t
+BchCode::bitToPower(std::size_t bit) const
+{
+    // Layout: [data | parity]. Data bit i is the coefficient of
+    // x^(parity + i); parity bit j is the coefficient of x^j.
+    return bit < dataBits_ ? parityBits_ + bit : bit - dataBits_;
+}
+
+std::size_t
+BchCode::powerToBit(std::size_t power) const
+{
+    if (power < parityBits_)
+        return dataBits_ + power;
+    const std::size_t data_index = power - parityBits_;
+    return data_index < dataBits_ ? data_index : npos;
+}
+
+BitVector
+BchCode::encode(const BitVector &data) const
+{
+    PCMSCRUB_ASSERT(data.size() == dataBits_, "bad payload length %zu",
+                    data.size());
+
+    // parity(x) = (x^r * d(x)) mod g(x), systematic encoding.
+    BinPoly message;
+    for (std::size_t i = 0; i < dataBits_; ++i) {
+        if (data.get(i))
+            message.setCoeff(static_cast<unsigned>(parityBits_ + i), true);
+    }
+    const BinPoly parity = message.mod(generator_);
+
+    BitVector codeword(codewordBits_);
+    for (std::size_t i = 0; i < dataBits_; ++i)
+        codeword.set(i, data.get(i));
+    for (unsigned j = 0; j < parityBits_; ++j)
+        codeword.set(dataBits_ + j, parity.coeff(j));
+    return codeword;
+}
+
+bool
+BchCode::syndromes(const BitVector &codeword,
+                   std::vector<GfElem> &syn) const
+{
+    syn.assign(2 * t_ + 1, 0); // syn[j] = S_j, syn[0] unused.
+    for (std::size_t bit = 0; bit < codewordBits_; ++bit) {
+        if (!codeword.get(bit))
+            continue;
+        const std::uint64_t power = bitToPower(bit);
+        for (unsigned j = 1; j <= 2 * t_; ++j)
+            syn[j] ^= field_.alphaPow(power * j);
+    }
+    for (unsigned j = 1; j <= 2 * t_; ++j) {
+        if (syn[j] != 0)
+            return true;
+    }
+    return false;
+}
+
+DecodeResult
+BchCode::decode(BitVector &codeword) const
+{
+    PCMSCRUB_ASSERT(codeword.size() == codewordBits_,
+                    "bad codeword length %zu", codeword.size());
+    DecodeResult result;
+
+    std::vector<GfElem> syn;
+    if (!syndromes(codeword, syn)) {
+        result.status = DecodeStatus::Clean;
+        return result;
+    }
+    result.usedFullDecode = true;
+
+    // Berlekamp-Massey: find the minimal LFSR (error locator
+    // polynomial sigma) generating the syndrome sequence.
+    GfPoly sigma = GfPoly::constant(1);
+    GfPoly prev = GfPoly::constant(1);
+    unsigned lfsrLen = 0;
+    unsigned gap = 1;
+    GfElem prevDiscrepancy = 1;
+
+    for (unsigned n = 0; n < 2 * t_; ++n) {
+        GfElem discrepancy = syn[n + 1];
+        for (unsigned i = 1; i <= lfsrLen; ++i) {
+            if (n + 1 >= i + 1) {
+                discrepancy ^= field_.mul(sigma.coeff(i),
+                                          syn[n + 1 - i]);
+            }
+        }
+        if (discrepancy == 0) {
+            ++gap;
+            continue;
+        }
+        if (2 * lfsrLen <= n) {
+            const GfPoly old = sigma;
+            const GfElem factor = field_.div(discrepancy,
+                                             prevDiscrepancy);
+            sigma = sigma.add(prev.scale(field_, factor).shift(gap));
+            prev = old;
+            prevDiscrepancy = discrepancy;
+            lfsrLen = n + 1 - lfsrLen;
+            gap = 1;
+        } else {
+            const GfElem factor = field_.div(discrepancy,
+                                             prevDiscrepancy);
+            sigma = sigma.add(prev.scale(field_, factor).shift(gap));
+            ++gap;
+        }
+    }
+
+    if (lfsrLen > t_ ||
+        sigma.degree() != static_cast<int>(lfsrLen)) {
+        result.status = DecodeStatus::Uncorrectable;
+        return result;
+    }
+
+    // Chien search: sigma's roots are the inverse error locators.
+    // A root at alpha^j marks an error at power (order - j) mod order.
+    std::vector<std::size_t> errorBits;
+    for (std::uint32_t j = 0; j < field_.order(); ++j) {
+        if (sigma.eval(field_, field_.alphaPow(j)) != 0)
+            continue;
+        const std::size_t power = (field_.order() - j) % field_.order();
+        const std::size_t bit = powerToBit(power);
+        if (bit == npos) {
+            // Error located in the shortened (always-zero) region:
+            // only possible if the true error count exceeded t.
+            result.status = DecodeStatus::Uncorrectable;
+            return result;
+        }
+        errorBits.push_back(bit);
+        if (errorBits.size() > lfsrLen)
+            break;
+    }
+
+    if (errorBits.size() != lfsrLen) {
+        // Locator does not split over the field: > t errors.
+        result.status = DecodeStatus::Uncorrectable;
+        return result;
+    }
+
+    for (const auto bit : errorBits)
+        codeword.flip(bit);
+    result.status = DecodeStatus::Corrected;
+    result.correctedBits = static_cast<unsigned>(errorBits.size());
+    return result;
+}
+
+bool
+BchCode::check(const BitVector &codeword) const
+{
+    PCMSCRUB_ASSERT(codeword.size() == codewordBits_,
+                    "bad codeword length %zu", codeword.size());
+    std::vector<GfElem> syn;
+    return !syndromes(codeword, syn);
+}
+
+} // namespace pcmscrub

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Binary BCH code, the paper's "strong ECC" building block.
+ *
+ * The code is the t-error-correcting primitive BCH code of length
+ * 2^m - 1, shortened to hold exactly dataBits() of payload. Encoding
+ * is systematic (payload first, then check bits). Decoding follows
+ * the textbook pipeline: syndrome computation, Berlekamp-Massey for
+ * the error-locator polynomial, Chien search for its roots.
+ */
+
+#ifndef PCMSCRUB_ECC_BCH_HH
+#define PCMSCRUB_ECC_BCH_HH
+
+#include <memory>
+#include <vector>
+
+#include "ecc/code.hh"
+#include "gf/binpoly.hh"
+#include "gf/gf2m.hh"
+
+namespace pcmscrub {
+
+/**
+ * Shortened binary BCH code over GF(2^m).
+ */
+class BchCode : public Code
+{
+  public:
+    /**
+     * Build a t-error-correcting code for a data_bits payload.
+     *
+     * @param data_bits payload size (e.g. 512 for a memory line)
+     * @param t guaranteed correctable errors
+     * @param m field degree; 0 (default) picks the smallest field
+     *          whose code fits the payload
+     */
+    BchCode(std::size_t data_bits, unsigned t, unsigned m = 0);
+
+    std::string name() const override;
+    std::size_t dataBits() const override { return dataBits_; }
+    std::size_t codewordBits() const override { return codewordBits_; }
+    unsigned correctableErrors() const override { return t_; }
+
+    BitVector encode(const BitVector &data) const override;
+    DecodeResult decode(BitVector &codeword) const override;
+    bool check(const BitVector &codeword) const override;
+
+    /** Field degree in use. */
+    unsigned fieldDegree() const { return field_.m(); }
+
+    /** The generator polynomial (over GF(2)). */
+    const BinPoly &generator() const { return generator_; }
+
+  private:
+    /** 2t partial syndromes S_1..S_2t; true if any is non-zero. */
+    bool syndromes(const BitVector &codeword,
+                   std::vector<GfElem> &syn) const;
+
+    /** Codeword bit index -> polynomial power. */
+    std::size_t bitToPower(std::size_t bit) const;
+
+    /** Polynomial power -> codeword bit index (or npos if outside). */
+    std::size_t powerToBit(std::size_t power) const;
+
+    static unsigned pickFieldDegree(std::size_t data_bits, unsigned t);
+
+    std::size_t dataBits_;
+    unsigned t_;
+    GF2m field_;
+    BinPoly generator_;
+    unsigned parityBits_;
+    std::size_t codewordBits_;
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_ECC_BCH_HH

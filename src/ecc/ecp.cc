@@ -1,0 +1,62 @@
+#include "ecc/ecp.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace pcmscrub {
+
+EcpStore::EcpStore(std::size_t codeword_bits, unsigned entries)
+    : codewordBits_(codeword_bits), capacity_(entries)
+{
+    PCMSCRUB_ASSERT(codeword_bits >= 1, "ECP needs a codeword");
+    positions_.reserve(entries);
+    values_.reserve(entries);
+}
+
+bool
+EcpStore::assign(std::size_t position, bool value)
+{
+    PCMSCRUB_ASSERT(position < codewordBits_,
+                    "ECP position %zu out of range", position);
+    for (std::size_t i = 0; i < positions_.size(); ++i) {
+        if (positions_[i] == position) {
+            values_[i] = value; // Replacement bit rewritten in place.
+            return true;
+        }
+    }
+    if (full())
+        return false;
+    positions_.push_back(static_cast<std::uint32_t>(position));
+    values_.push_back(value);
+    return true;
+}
+
+void
+EcpStore::apply(BitVector &word) const
+{
+    PCMSCRUB_ASSERT(word.size() == codewordBits_,
+                    "ECP applied to %zu-bit word, expected %zu",
+                    word.size(), codewordBits_);
+    for (std::size_t i = 0; i < positions_.size(); ++i)
+        word.set(positions_[i], values_[i]);
+}
+
+void
+EcpStore::clear()
+{
+    positions_.clear();
+    values_.clear();
+}
+
+unsigned
+EcpStore::overheadBits() const
+{
+    const unsigned pointerBits = codewordBits_ <= 1
+        ? 1
+        : static_cast<unsigned>(
+              std::bit_width(codewordBits_ - 1));
+    return capacity_ * (pointerBits + 1) + 1;
+}
+
+} // namespace pcmscrub

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Error-Correcting Pointers (Schechter et al., ISCA 2010): the
+ * hard-error tolerance substrate the paper's PCM context assumes
+ * alongside wear leveling.
+ *
+ * ECC codes burn correction budget on *permanently* stuck bits at
+ * every single read. ECP instead stores, per line, up to n pointers
+ * to known-stuck bit positions plus a replacement bit each; stuck
+ * positions are discovered at write-verify time (PCM verifies every
+ * write anyway) and patched on every read, leaving the full ECC
+ * budget for transient drift errors — the clean division of labour
+ * between hard and soft error machinery.
+ */
+
+#ifndef PCMSCRUB_ECC_ECP_HH
+#define PCMSCRUB_ECC_ECP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.hh"
+
+namespace pcmscrub {
+
+/**
+ * Per-line pointer store with n entries.
+ */
+class EcpStore
+{
+  public:
+    /**
+     * @param codeword_bits bits the pointers can address
+     * @param entries pointer capacity (ECP-n)
+     */
+    EcpStore(std::size_t codeword_bits, unsigned entries);
+
+    unsigned capacity() const { return capacity_; }
+    unsigned used() const
+    {
+        return static_cast<unsigned>(positions_.size());
+    }
+    bool full() const { return used() >= capacity_; }
+
+    /**
+     * Record that `position` is stuck and must read back as
+     * `value`. Re-assigning a known position just updates its
+     * replacement bit (free); a new position consumes an entry.
+     *
+     * @return false when the store is exhausted (position remains
+     *         uncorrected)
+     */
+    bool assign(std::size_t position, bool value);
+
+    /** Patch a read word in place. */
+    void apply(BitVector &word) const;
+
+    /** Forget all entries (line retired / remapped). */
+    void clear();
+
+    /**
+     * Storage cost in bits: n * (pointer + replacement bit) + one
+     * "store full" flag, as in the original design.
+     */
+    unsigned overheadBits() const;
+
+  private:
+    std::size_t codewordBits_;
+    unsigned capacity_;
+    std::vector<std::uint32_t> positions_;
+    std::vector<bool> values_;
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_ECC_ECP_HH

@@ -1,0 +1,124 @@
+#include "ecc/interleaved.hh"
+
+#include "common/logging.hh"
+
+namespace pcmscrub {
+
+InterleavedCode::InterleavedCode(std::unique_ptr<Code> base,
+                                 unsigned ways)
+    : base_(std::move(base)), ways_(ways)
+{
+    PCMSCRUB_ASSERT(base_ != nullptr, "interleave needs a base code");
+    PCMSCRUB_ASSERT(ways_ >= 1, "interleave needs >= 1 way");
+}
+
+std::string
+InterleavedCode::name() const
+{
+    return std::to_string(ways_) + "x" + base_->name();
+}
+
+std::size_t
+InterleavedCode::dataBits() const
+{
+    return ways_ * base_->dataBits();
+}
+
+std::size_t
+InterleavedCode::codewordBits() const
+{
+    return ways_ * base_->codewordBits();
+}
+
+unsigned
+InterleavedCode::correctableErrors() const
+{
+    return base_->correctableErrors();
+}
+
+BitVector
+InterleavedCode::encode(const BitVector &data) const
+{
+    PCMSCRUB_ASSERT(data.size() == dataBits(), "bad payload length %zu",
+                    data.size());
+    const std::size_t k = base_->dataBits();
+    const std::size_t n = base_->codewordBits();
+    BitVector codeword(codewordBits());
+    BitVector slice(k);
+    for (unsigned w = 0; w < ways_; ++w) {
+        for (std::size_t i = 0; i < k; ++i)
+            slice.set(i, data.get(w * k + i));
+        const BitVector encoded = base_->encode(slice);
+        for (std::size_t i = 0; i < n; ++i)
+            codeword.set(w * n + i, encoded.get(i));
+    }
+    return codeword;
+}
+
+DecodeResult
+InterleavedCode::decode(BitVector &codeword) const
+{
+    PCMSCRUB_ASSERT(codeword.size() == codewordBits(),
+                    "bad codeword length %zu", codeword.size());
+    const std::size_t n = base_->codewordBits();
+    DecodeResult result;
+    BitVector slice(n);
+    for (unsigned w = 0; w < ways_; ++w) {
+        for (std::size_t i = 0; i < n; ++i)
+            slice.set(i, codeword.get(w * n + i));
+        const DecodeResult sub = base_->decode(slice);
+        result.usedFullDecode |= sub.usedFullDecode;
+        switch (sub.status) {
+          case DecodeStatus::Clean:
+            break;
+          case DecodeStatus::Corrected:
+            result.correctedBits += sub.correctedBits;
+            if (result.status == DecodeStatus::Clean)
+                result.status = DecodeStatus::Corrected;
+            for (std::size_t i = 0; i < n; ++i)
+                codeword.set(w * n + i, slice.get(i));
+            break;
+          case DecodeStatus::Uncorrectable:
+            result.status = DecodeStatus::Uncorrectable;
+            break;
+        }
+    }
+    return result;
+}
+
+BitVector
+InterleavedCode::extractData(const BitVector &codeword) const
+{
+    PCMSCRUB_ASSERT(codeword.size() == codewordBits(),
+                    "bad codeword length %zu", codeword.size());
+    const std::size_t k = base_->dataBits();
+    const std::size_t n = base_->codewordBits();
+    BitVector slice(n);
+    BitVector data(dataBits());
+    for (unsigned w = 0; w < ways_; ++w) {
+        for (std::size_t i = 0; i < n; ++i)
+            slice.set(i, codeword.get(w * n + i));
+        const BitVector payload = base_->extractData(slice);
+        for (std::size_t i = 0; i < k; ++i)
+            data.set(w * k + i, payload.get(i));
+    }
+    return data;
+}
+
+bool
+InterleavedCode::check(const BitVector &codeword) const
+{
+    PCMSCRUB_ASSERT(codeword.size() == codewordBits(),
+                    "bad codeword length %zu", codeword.size());
+    const std::size_t n = base_->codewordBits();
+    BitVector slice(n);
+    for (unsigned w = 0; w < ways_; ++w) {
+        for (std::size_t i = 0; i < n; ++i)
+            slice.set(i, codeword.get(w * n + i));
+        if (!base_->check(slice))
+            return false;
+    }
+    return true;
+}
+
+} // namespace pcmscrub

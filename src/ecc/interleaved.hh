@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Interleaving wrapper: applies a base code independently to w equal
+ * slices of the payload.
+ *
+ * This is how DRAM actually deploys SECDED over a 512-bit line
+ * (eight (72,64) words side by side), and it also models the
+ * "divide the line across BCH words" design point. The wrapper
+ * reports worst-slice semantics: the line is uncorrectable if any
+ * slice is.
+ */
+
+#ifndef PCMSCRUB_ECC_INTERLEAVED_HH
+#define PCMSCRUB_ECC_INTERLEAVED_HH
+
+#include <memory>
+
+#include "ecc/code.hh"
+
+namespace pcmscrub {
+
+/**
+ * w independent copies of a base code covering payload slices.
+ */
+class InterleavedCode : public Code
+{
+  public:
+    /**
+     * @param base code applied per slice (owned)
+     * @param ways number of slices
+     */
+    InterleavedCode(std::unique_ptr<Code> base, unsigned ways);
+
+    std::string name() const override;
+    std::size_t dataBits() const override;
+    std::size_t codewordBits() const override;
+
+    /**
+     * Guaranteed per-line correction power: only the base t is
+     * guaranteed, because all errors could land in one slice.
+     */
+    unsigned correctableErrors() const override;
+
+    BitVector encode(const BitVector &data) const override;
+    DecodeResult decode(BitVector &codeword) const override;
+    bool check(const BitVector &codeword) const override;
+    BitVector extractData(const BitVector &codeword) const override;
+
+    const Code &base() const { return *base_; }
+    unsigned ways() const { return ways_; }
+
+  private:
+    std::unique_ptr<Code> base_;
+    unsigned ways_;
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_ECC_INTERLEAVED_HH

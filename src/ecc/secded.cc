@@ -1,0 +1,135 @@
+#include "ecc/secded.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace pcmscrub {
+
+SecdedCode::SecdedCode(std::size_t data_bits)
+    : dataBits_(data_bits)
+{
+    PCMSCRUB_ASSERT(data_bits >= 1, "SECDED needs a payload");
+
+    parityBits_ = 0;
+    while ((1ULL << parityBits_) < dataBits_ + parityBits_ + 1)
+        ++parityBits_;
+    codewordBits_ = dataBits_ + parityBits_ + 1; // +1 overall parity
+
+    // Assign Hamming positions: data bits take the non-power-of-two
+    // slots in increasing order; parity bit j sits at position 2^j.
+    position_.resize(dataBits_ + parityBits_);
+    std::uint32_t next = 1;
+    for (std::size_t i = 0; i < dataBits_; ++i) {
+        while (std::has_single_bit(next))
+            ++next;
+        position_[i] = next++;
+    }
+    for (unsigned j = 0; j < parityBits_; ++j)
+        position_[dataBits_ + j] = 1U << j;
+}
+
+std::string
+SecdedCode::name() const
+{
+    return "SECDED(" + std::to_string(codewordBits_) + "," +
+        std::to_string(dataBits_) + ")";
+}
+
+BitVector
+SecdedCode::encode(const BitVector &data) const
+{
+    PCMSCRUB_ASSERT(data.size() == dataBits_, "bad payload length %zu",
+                    data.size());
+    BitVector codeword(codewordBits_);
+    std::uint32_t checks = 0;
+    bool overall = false;
+    for (std::size_t i = 0; i < dataBits_; ++i) {
+        if (!data.get(i))
+            continue;
+        codeword.set(i, true);
+        checks ^= position_[i];
+        overall = !overall;
+    }
+    for (unsigned j = 0; j < parityBits_; ++j) {
+        const bool bit = (checks >> j) & 1U;
+        codeword.set(dataBits_ + j, bit);
+        if (bit)
+            overall = !overall;
+    }
+    codeword.set(dataBits_ + parityBits_, overall);
+    return codeword;
+}
+
+std::uint32_t
+SecdedCode::syndrome(const BitVector &codeword, bool &overall_parity) const
+{
+    std::uint32_t syn = 0;
+    bool parity = false;
+    for (std::size_t i = 0; i < dataBits_ + parityBits_; ++i) {
+        if (codeword.get(i)) {
+            syn ^= position_[i];
+            parity = !parity;
+        }
+    }
+    if (codeword.get(dataBits_ + parityBits_))
+        parity = !parity;
+    overall_parity = parity;
+    return syn;
+}
+
+DecodeResult
+SecdedCode::decode(BitVector &codeword) const
+{
+    PCMSCRUB_ASSERT(codeword.size() == codewordBits_,
+                    "bad codeword length %zu", codeword.size());
+    DecodeResult result;
+    bool overall = false;
+    const std::uint32_t syn = syndrome(codeword, overall);
+
+    if (syn == 0 && !overall) {
+        result.status = DecodeStatus::Clean;
+        return result;
+    }
+
+    result.usedFullDecode = true;
+    if (!overall) {
+        // Non-zero syndrome with even overall parity: two bit errors.
+        result.status = DecodeStatus::Uncorrectable;
+        return result;
+    }
+
+    if (syn == 0) {
+        // Odd parity, zero syndrome: the overall parity bit itself.
+        codeword.flip(dataBits_ + parityBits_);
+        result.status = DecodeStatus::Corrected;
+        result.correctedBits = 1;
+        return result;
+    }
+
+    // Single error at the Hamming position 'syn'; map back to index.
+    for (std::size_t i = 0; i < dataBits_ + parityBits_; ++i) {
+        if (position_[i] == syn) {
+            codeword.flip(i);
+            result.status = DecodeStatus::Corrected;
+            result.correctedBits = 1;
+            return result;
+        }
+    }
+
+    // Syndrome points outside the code (>= 3 errors aliasing).
+    result.status = DecodeStatus::Uncorrectable;
+    return result;
+}
+
+bool
+SecdedCode::check(const BitVector &codeword) const
+{
+    PCMSCRUB_ASSERT(codeword.size() == codewordBits_,
+                    "bad codeword length %zu", codeword.size());
+    bool overall = false;
+    const std::uint32_t syn = syndrome(codeword, overall);
+    return syn == 0 && !overall;
+}
+
+} // namespace pcmscrub

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Hamming single-error-correct / double-error-detect code, the DRAM
+ * baseline the paper's basic scrub relies on.
+ *
+ * The construction is the classic extended Hamming code: r parity
+ * bits where 2^r >= k + r + 1, plus one overall parity bit. For the
+ * DRAM-standard k = 64 this yields the familiar (72, 64) code.
+ */
+
+#ifndef PCMSCRUB_ECC_SECDED_HH
+#define PCMSCRUB_ECC_SECDED_HH
+
+#include <vector>
+
+#include "ecc/code.hh"
+
+namespace pcmscrub {
+
+/**
+ * Extended Hamming SECDED over a configurable payload width.
+ */
+class SecdedCode : public Code
+{
+  public:
+    /** Build the code for the given payload width (default 64). */
+    explicit SecdedCode(std::size_t data_bits = 64);
+
+    std::string name() const override;
+    std::size_t dataBits() const override { return dataBits_; }
+    std::size_t codewordBits() const override { return codewordBits_; }
+    unsigned correctableErrors() const override { return 1; }
+
+    BitVector encode(const BitVector &data) const override;
+    DecodeResult decode(BitVector &codeword) const override;
+    bool check(const BitVector &codeword) const override;
+
+  private:
+    /**
+     * Hamming syndrome plus overall parity of a codeword laid out as
+     * [data | hamming parity | overall parity].
+     */
+    std::uint32_t syndrome(const BitVector &codeword,
+                           bool &overall_parity) const;
+
+    std::size_t dataBits_;
+    unsigned parityBits_;
+    std::size_t codewordBits_;
+
+    /**
+     * hammingPosition_[i]: the classic Hamming position (1-based,
+     * power-of-two slots hold parity) of codeword bit i, for
+     * i < dataBits_ + parityBits_. Positions give each data bit a
+     * unique non-power-of-two index whose bits define the checks it
+     * participates in.
+     */
+    std::vector<std::uint32_t> position_;
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_ECC_SECDED_HH

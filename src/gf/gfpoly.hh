@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Polynomials with coefficients in GF(2^m), used by the BCH decoder
+ * (error-locator polynomials, syndrome manipulation).
+ */
+
+#ifndef PCMSCRUB_GF_GFPOLY_HH
+#define PCMSCRUB_GF_GFPOLY_HH
+
+#include <string>
+#include <vector>
+
+#include "gf/gf2m.hh"
+
+namespace pcmscrub {
+
+/**
+ * Dense polynomial over GF(2^m); coefficient i is of x^i.
+ *
+ * The field is passed into each operation rather than stored, keeping
+ * the object a plain value type.
+ */
+class GfPoly
+{
+  public:
+    GfPoly() = default;
+    explicit GfPoly(std::vector<GfElem> coeffs);
+
+    /** The constant polynomial c. */
+    static GfPoly constant(GfElem c);
+
+    int degree() const;
+    bool isZero() const { return degree() < 0; }
+
+    GfElem coeff(unsigned power) const;
+    void setCoeff(unsigned power, GfElem value);
+
+    GfPoly add(const GfPoly &other) const;
+    GfPoly mul(const GF2m &field, const GfPoly &other) const;
+
+    /** Multiply by the scalar c. */
+    GfPoly scale(const GF2m &field, GfElem c) const;
+
+    /** Multiply by x^n. */
+    GfPoly shift(unsigned n) const;
+
+    /** Evaluate at the point x via Horner's rule. */
+    GfElem eval(const GF2m &field, GfElem x) const;
+
+    /**
+     * Formal derivative. In characteristic 2 the even-power terms
+     * vanish and odd powers keep their coefficient at one degree
+     * lower; used by Forney-style checks and tests.
+     */
+    GfPoly derivative() const;
+
+    bool equals(const GfPoly &other) const;
+
+    std::string toString() const;
+
+  private:
+    void trim();
+
+    std::vector<GfElem> coeffs_;
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_GF_GFPOLY_HH

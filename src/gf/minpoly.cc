@@ -1,0 +1,69 @@
+#include "gf/minpoly.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hh"
+#include "gf/gfpoly.hh"
+
+namespace pcmscrub {
+
+std::vector<std::uint32_t>
+cyclotomicCoset(const GF2m &field, std::uint32_t exponent)
+{
+    const std::uint32_t order = field.order();
+    std::vector<std::uint32_t> coset;
+    std::uint32_t e = exponent % order;
+    do {
+        coset.push_back(e);
+        e = static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(e) * 2) % order);
+    } while (e != exponent % order);
+    std::sort(coset.begin(), coset.end());
+    return coset;
+}
+
+BinPoly
+minimalPolynomial(const GF2m &field, std::uint32_t exponent)
+{
+    const auto coset = cyclotomicCoset(field, exponent);
+
+    // Multiply out prod (x + alpha^i) over GF(2^m); the result is
+    // guaranteed to collapse to binary coefficients.
+    GfPoly product = GfPoly::constant(1);
+    for (const auto e : coset) {
+        GfPoly factor;
+        factor.setCoeff(1, 1);
+        factor.setCoeff(0, field.alphaPow(e));
+        product = product.mul(field, factor);
+    }
+
+    BinPoly result;
+    for (int i = 0; i <= product.degree(); ++i) {
+        const GfElem c = product.coeff(static_cast<unsigned>(i));
+        PCMSCRUB_ASSERT(c == 0 || c == 1,
+                        "minimal polynomial coefficient %u not binary", c);
+        if (c == 1)
+            result.setCoeff(static_cast<unsigned>(i), true);
+    }
+    return result;
+}
+
+BinPoly
+bchGenerator(const GF2m &field, unsigned t)
+{
+    PCMSCRUB_ASSERT(t >= 1, "BCH needs t >= 1");
+    BinPoly generator = BinPoly::fromBits(1);
+    std::set<std::uint32_t> covered;
+    for (std::uint32_t e = 1; e <= 2 * t; ++e) {
+        const std::uint32_t rep = e % field.order();
+        if (covered.count(rep))
+            continue;
+        for (const auto member : cyclotomicCoset(field, rep))
+            covered.insert(member);
+        generator = generator * minimalPolynomial(field, rep);
+    }
+    return generator;
+}
+
+} // namespace pcmscrub

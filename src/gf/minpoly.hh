@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Minimal polynomials and cyclotomic cosets over GF(2^m), the
+ * ingredients of a BCH generator polynomial.
+ */
+
+#ifndef PCMSCRUB_GF_MINPOLY_HH
+#define PCMSCRUB_GF_MINPOLY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gf/binpoly.hh"
+#include "gf/gf2m.hh"
+
+namespace pcmscrub {
+
+/**
+ * The 2-cyclotomic coset of exponent e modulo 2^m - 1:
+ * {e, 2e, 4e, ...} reduced mod the group order, sorted ascending.
+ */
+std::vector<std::uint32_t> cyclotomicCoset(const GF2m &field,
+                                           std::uint32_t exponent);
+
+/**
+ * Minimal polynomial (over GF(2)) of alpha^exponent in GF(2^m):
+ * prod over the coset of (x - alpha^i). Always has binary
+ * coefficients; returned as a BinPoly.
+ */
+BinPoly minimalPolynomial(const GF2m &field, std::uint32_t exponent);
+
+/**
+ * Generator polynomial of the t-error-correcting binary BCH code of
+ * length 2^m - 1: lcm of the minimal polynomials of
+ * alpha^1 .. alpha^{2t}.
+ */
+BinPoly bchGenerator(const GF2m &field, unsigned t);
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_GF_MINPOLY_HH

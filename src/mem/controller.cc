@@ -1,0 +1,197 @@
+#include "mem/controller.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pcmscrub {
+
+const char *
+reqTypeName(ReqType type)
+{
+    switch (type) {
+      case ReqType::Read:
+        return "read";
+      case ReqType::Write:
+        return "write";
+      case ReqType::ScrubCheck:
+        return "scrub_check";
+      case ReqType::ScrubRewrite:
+        return "scrub_rewrite";
+      default:
+        panic("bad request type %u", static_cast<unsigned>(type));
+    }
+}
+
+MemoryController::MemoryController(const MemGeometry &geometry,
+                                   const BankTiming &timing,
+                                   const ControllerConfig &config)
+    : geometry_(geometry),
+      timing_(timing),
+      config_(config),
+      banks_(geometry.totalBanks())
+{
+    if (config_.writeQueueLow > config_.writeQueueHigh ||
+        config_.scrubQueueLow > config_.scrubQueueHigh)
+        fatal("drain low watermark above high watermark");
+}
+
+void
+MemoryController::execute(Bank &bank, MemRequest &request, Tick earliest)
+{
+    const Tick start = std::max(earliest, bank.freeAt);
+    // Open-page policy: a read to the bank's open row skips the
+    // array access; every operation leaves its row open.
+    const std::uint64_t row = geometry_.locate(request.line).row;
+    const bool rowHit = row == bank.openRow;
+    bank.openRow = row;
+    if (!isWriteLike(request.type))
+        counters_.add(rowHit ? "row_hits" : "row_misses");
+    const Tick occupancy = timing_.occupancy(request.type, rowHit);
+    request.start = start;
+    request.completion = start + occupancy;
+    bank.freeAt = request.completion;
+    totalBusy_ += occupancy;
+    horizon_ = std::max(horizon_, request.completion);
+    counters_.add(reqTypeName(request.type));
+
+    switch (request.type) {
+      case ReqType::Read: {
+        const double latency =
+            static_cast<double>(request.completion - request.arrival);
+        readLatency_.add(latency);
+        readLatencyHist_.add(latency);
+        break;
+      }
+      case ReqType::ScrubCheck:
+      case ReqType::ScrubRewrite:
+        scrubDelay_.add(
+            static_cast<double>(request.start - request.arrival));
+        break;
+      default:
+        break;
+    }
+}
+
+void
+MemoryController::drainBank(Bank &bank, Tick now)
+{
+    // Forced write drain: queue above high watermark.
+    if (bank.writeQueue.size() > config_.writeQueueHigh) {
+        counters_.add("forced_write_drains");
+        while (bank.writeQueue.size() > config_.writeQueueLow) {
+            execute(bank, bank.writeQueue.front(),
+                    bank.writeQueue.front().arrival);
+            bank.writeQueue.pop_front();
+        }
+    }
+    // Forced scrub drain.
+    if (bank.scrubQueue.size() > config_.scrubQueueHigh) {
+        counters_.add("forced_scrub_drains");
+        while (bank.scrubQueue.size() > config_.scrubQueueLow) {
+            execute(bank, bank.scrubQueue.front(),
+                    bank.scrubQueue.front().arrival);
+            bank.scrubQueue.pop_front();
+        }
+    }
+
+    // Opportunistic drain into the idle gap before `now`. Writes
+    // first, then scrub work if a comfortable gap remains.
+    while (!bank.writeQueue.empty()) {
+        const Tick start = std::max(bank.freeAt,
+                                    bank.writeQueue.front().arrival);
+        if (start + timing_.writeOccupancy > now)
+            break;
+        execute(bank, bank.writeQueue.front(), start);
+        bank.writeQueue.pop_front();
+        counters_.add("opportunistic_writes");
+    }
+    const Tick scrubGap = static_cast<Tick>(config_.scrubGapMultiple) *
+        timing_.writeOccupancy;
+    while (!bank.scrubQueue.empty()) {
+        const Tick start = std::max(bank.freeAt,
+                                    bank.scrubQueue.front().arrival);
+        if (start + scrubGap > now)
+            break;
+        execute(bank, bank.scrubQueue.front(), start);
+        bank.scrubQueue.pop_front();
+        counters_.add("opportunistic_scrubs");
+    }
+}
+
+Tick
+MemoryController::submit(MemRequest &request)
+{
+    PCMSCRUB_ASSERT(request.arrival >= lastArrival_,
+                    "requests must arrive in order (%llu < %llu)",
+                    static_cast<unsigned long long>(request.arrival),
+                    static_cast<unsigned long long>(lastArrival_));
+    lastArrival_ = request.arrival;
+
+    Bank &bank = banks_[geometry_.bankOf(request.line)];
+    drainBank(bank, request.arrival);
+
+    switch (request.type) {
+      case ReqType::Read:
+        execute(bank, request, request.arrival);
+        break;
+      case ReqType::Write:
+        bank.writeQueue.push_back(request);
+        // Predict completion assuming prompt drain; finalised later.
+        request.completion = std::max(request.arrival, bank.freeAt) +
+            timing_.writeOccupancy;
+        break;
+      case ReqType::ScrubCheck:
+        // Checks are reads, but at scrub priority: queue them so
+        // they only run in gaps or on forced drain.
+        bank.scrubQueue.push_back(request);
+        request.completion = std::max(request.arrival, bank.freeAt) +
+            timing_.readOccupancy;
+        break;
+      case ReqType::ScrubRewrite:
+        bank.scrubQueue.push_back(request);
+        request.completion = std::max(request.arrival, bank.freeAt) +
+            timing_.writeOccupancy;
+        break;
+    }
+    return request.completion;
+}
+
+void
+MemoryController::drainAll()
+{
+    for (auto &bank : banks_) {
+        while (!bank.writeQueue.empty()) {
+            execute(bank, bank.writeQueue.front(),
+                    bank.writeQueue.front().arrival);
+            bank.writeQueue.pop_front();
+        }
+        while (!bank.scrubQueue.empty()) {
+            execute(bank, bank.scrubQueue.front(),
+                    bank.scrubQueue.front().arrival);
+            bank.scrubQueue.pop_front();
+        }
+    }
+}
+
+double
+MemoryController::rowHitRate() const
+{
+    const double hits =
+        static_cast<double>(counters_.get("row_hits"));
+    const double total = hits +
+        static_cast<double>(counters_.get("row_misses"));
+    return total > 0.0 ? hits / total : 0.0;
+}
+
+double
+MemoryController::utilization() const
+{
+    if (horizon_ == 0)
+        return 0.0;
+    const double capacity = static_cast<double>(horizon_) *
+        static_cast<double>(banks_.size());
+    return static_cast<double>(totalBusy_) / capacity;
+}
+
+} // namespace pcmscrub

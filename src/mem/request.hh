@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Memory request types exchanged between workloads, the controller,
+ * and the scrub engine.
+ */
+
+#ifndef PCMSCRUB_MEM_REQUEST_HH
+#define PCMSCRUB_MEM_REQUEST_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace pcmscrub {
+
+/** Kind of memory operation. */
+enum class ReqType : unsigned {
+    Read,         //!< Demand read from the workload
+    Write,        //!< Demand write from the workload
+    ScrubCheck,   //!< Scrub engine line check (a read)
+    ScrubRewrite, //!< Scrub engine corrective rewrite (a write)
+};
+
+/** Human-readable request-type name. */
+const char *reqTypeName(ReqType type);
+
+/** True for operations that occupy the bank like a write. */
+constexpr bool
+isWriteLike(ReqType type)
+{
+    return type == ReqType::Write || type == ReqType::ScrubRewrite;
+}
+
+/** True for scrub-engine traffic. */
+constexpr bool
+isScrub(ReqType type)
+{
+    return type == ReqType::ScrubCheck || type == ReqType::ScrubRewrite;
+}
+
+/**
+ * One memory operation.
+ */
+struct MemRequest
+{
+    ReqType type = ReqType::Read;
+    LineIndex line = 0;
+    Tick arrival = 0;
+
+    /** Filled by the controller when serviced. */
+    Tick start = 0;
+    Tick completion = 0;
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_MEM_REQUEST_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Bank occupancy timing for the controller model.
+ */
+
+#ifndef PCMSCRUB_MEM_TIMING_HH
+#define PCMSCRUB_MEM_TIMING_HH
+
+#include "common/types.hh"
+#include "mem/request.hh"
+#include "pcm/device_config.hh"
+
+namespace pcmscrub {
+
+/**
+ * How long each operation holds a bank.
+ */
+struct BankTiming
+{
+    /** Bank-busy time of an array read that misses the row buffer. */
+    Tick readOccupancy = 120;
+
+    /**
+     * Bank-busy time of a read that hits the open row: no array
+     * sensing, just the buffer access (PCM row buffers are what make
+     * its read latency competitive at all; see Lee et al. ISCA'09).
+     */
+    Tick rowHitOccupancy = 45;
+
+    /** Bank-busy time of an MLC write (program-and-verify loop). */
+    Tick writeOccupancy = 1000;
+
+    /** Extra occupancy of a margin-precision read. */
+    Tick marginReadExtra = 60;
+
+    /** Derive timing from the device model's latencies. */
+    static BankTiming fromDevice(const DeviceConfig &config)
+    {
+        BankTiming timing;
+        timing.readOccupancy = config.readLatency;
+        timing.rowHitOccupancy = config.readLatency * 3 / 8;
+        // Typical program-and-verify loop length: the mean iteration
+        // count of the slow intermediate levels.
+        timing.writeOccupancy = config.programIterationLatency *
+            static_cast<Tick>(config.meanIterationsIntermediate);
+        timing.marginReadExtra = config.readLatency / 2;
+        return timing;
+    }
+
+    /** Occupancy for a request type (row_hit only affects reads). */
+    Tick occupancy(ReqType type, bool row_hit = false) const
+    {
+        if (isWriteLike(type))
+            return writeOccupancy;
+        return row_hit ? rowHitOccupancy : readOccupancy;
+    }
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_MEM_TIMING_HH

@@ -1,0 +1,56 @@
+#include "mem/wear_leveling.hh"
+
+#include "common/logging.hh"
+
+namespace pcmscrub {
+
+StartGapMapper::StartGapMapper(std::uint64_t logical_lines,
+                               std::uint64_t gap_interval)
+    : lines_(logical_lines),
+      gapInterval_(gap_interval),
+      gap_(logical_lines)
+{
+    if (logical_lines < 2)
+        fatal("start-gap needs at least two lines");
+    if (gap_interval == 0)
+        fatal("gap interval must be positive");
+}
+
+LineIndex
+StartGapMapper::physical(LineIndex logical) const
+{
+    PCMSCRUB_ASSERT(logical < lines_, "logical line %llu out of range",
+                    static_cast<unsigned long long>(logical));
+    // Rank among live frames, rotated by start; the physical frame
+    // skips over the gap.
+    const LineIndex rank = (logical + start_) % lines_;
+    return rank < gap_ ? rank : rank + 1;
+}
+
+std::optional<GapMove>
+StartGapMapper::recordWrite()
+{
+    if (++sinceMove_ < gapInterval_)
+        return std::nullopt;
+    sinceMove_ = 0;
+
+    GapMove move;
+    if (gap_ > 0) {
+        // The line ranked gap-1 slides into the gap frame.
+        move.from = gap_ - 1;
+        move.to = gap_;
+        --gap_;
+    } else {
+        // Wrap: the gap returns to the spare frame at the top and
+        // the start pointer advances, which relocates exactly the
+        // top-ranked line from frame N to frame 0.
+        move.from = lines_;
+        move.to = 0;
+        gap_ = lines_;
+        start_ = (start_ + 1) % lines_;
+        ++revolutions_;
+    }
+    return move;
+}
+
+} // namespace pcmscrub

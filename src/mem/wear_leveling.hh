@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Start-Gap wear leveling (Qureshi et al., MICRO 2009) — the
+ * address-rotation substrate the paper's PCM system context assumes.
+ *
+ * One spare line is kept; a gap pointer walks backwards through the
+ * physical space, one step per `gapInterval` writes, by copying the
+ * line above it into the gap. A start pointer advances each full
+ * revolution. The logical-to-physical map is algebraic (no table),
+ * and every logical line visits every physical frame over time,
+ * spreading hot-line writes — including the scrub's own corrective
+ * rewrites — across the whole array.
+ */
+
+#ifndef PCMSCRUB_MEM_WEAR_LEVELING_HH
+#define PCMSCRUB_MEM_WEAR_LEVELING_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hh"
+
+namespace pcmscrub {
+
+/** A gap rotation step: the caller must copy `from` into `to`. */
+struct GapMove
+{
+    LineIndex from = 0; //!< Physical frame whose data moves.
+    LineIndex to = 0;   //!< Physical frame receiving it (old gap).
+};
+
+/**
+ * Algebraic Start-Gap remapper over N logical / N+1 physical lines.
+ */
+class StartGapMapper
+{
+  public:
+    /**
+     * @param logical_lines lines exposed to the system (N)
+     * @param gap_interval writes between gap movements (psi);
+     *        write overhead is one extra line-copy per psi writes
+     */
+    StartGapMapper(std::uint64_t logical_lines,
+                   std::uint64_t gap_interval);
+
+    std::uint64_t logicalLines() const { return lines_; }
+
+    /** Physical frames = logical lines + the gap spare. */
+    std::uint64_t physicalLines() const { return lines_ + 1; }
+
+    std::uint64_t gapInterval() const { return gapInterval_; }
+
+    /** Current gap frame (holds no live data). */
+    LineIndex gap() const { return gap_; }
+
+    /** Current start offset. */
+    LineIndex start() const { return start_; }
+
+    /** Completed full revolutions of the gap. */
+    std::uint64_t revolutions() const { return revolutions_; }
+
+    /** Logical line -> physical frame under the current state. */
+    LineIndex physical(LineIndex logical) const;
+
+    /**
+     * Account one demand/scrub write to the device. Every
+     * `gapInterval` writes this returns the gap move the caller must
+     * perform (copy `from` to `to`); the mapper state is already
+     * advanced when it returns.
+     */
+    std::optional<GapMove> recordWrite();
+
+  private:
+    std::uint64_t lines_;
+    std::uint64_t gapInterval_;
+    LineIndex start_ = 0;
+    LineIndex gap_;
+    std::uint64_t sinceMove_ = 0;
+    std::uint64_t revolutions_ = 0;
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_MEM_WEAR_LEVELING_HH

@@ -1,0 +1,55 @@
+#include "pcm/array.hh"
+
+#include "common/logging.hh"
+
+namespace pcmscrub {
+
+CellArray::CellArray(std::size_t num_lines, std::size_t codeword_bits,
+                     const DeviceConfig &config, std::uint64_t seed)
+    : codewordBits_(codeword_bits),
+      model_(config),
+      rng_(seed)
+{
+    PCMSCRUB_ASSERT(num_lines >= 1, "array needs at least one line");
+    lines_.reserve(num_lines);
+    for (std::size_t i = 0; i < num_lines; ++i) {
+        lines_.emplace_back(codeword_bits);
+        lines_.back().initialize(model_, rng_);
+    }
+}
+
+LineProgramStats
+CellArray::writeRandomAll(Tick now)
+{
+    LineProgramStats total;
+    BitVector word(codewordBits_);
+    for (auto &line : lines_) {
+        word.randomize(rng_);
+        const LineProgramStats stats =
+            line.writeCodeword(word, now, model_, rng_);
+        total.cellsProgrammed += stats.cellsProgrammed;
+        total.totalIterations += stats.totalIterations;
+        total.cellsWornOut += stats.cellsWornOut;
+    }
+    return total;
+}
+
+std::uint64_t
+CellArray::totalBitErrors(Tick now) const
+{
+    std::uint64_t errors = 0;
+    for (const auto &line : lines_)
+        errors += line.trueBitErrors(now, model_);
+    return errors;
+}
+
+std::uint64_t
+CellArray::totalStuckCells() const
+{
+    std::uint64_t stuck = 0;
+    for (const auto &line : lines_)
+        stuck += line.stuckCellCount();
+    return stuck;
+}
+
+} // namespace pcmscrub

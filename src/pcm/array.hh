@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A cell-accurate array of lines: the sampled region of PCM that the
+ * cell-level simulator operates on. Experiments that need full-device
+ * scale use the analytic Monte-Carlo engine instead and treat this
+ * array as the calibrated ground truth.
+ */
+
+#ifndef PCMSCRUB_PCM_ARRAY_HH
+#define PCMSCRUB_PCM_ARRAY_HH
+
+#include <vector>
+
+#include "common/random.hh"
+#include "pcm/cell.hh"
+#include "pcm/line.hh"
+
+namespace pcmscrub {
+
+/**
+ * Fixed-geometry collection of ECC lines over one device model.
+ */
+class CellArray
+{
+  public:
+    /**
+     * @param num_lines lines in the sampled array
+     * @param codeword_bits stored bits per line (data + check)
+     * @param config device physics
+     * @param seed RNG seed (array owns its generator)
+     */
+    CellArray(std::size_t num_lines, std::size_t codeword_bits,
+              const DeviceConfig &config, std::uint64_t seed);
+
+    std::size_t lineCount() const { return lines_.size(); }
+    std::size_t codewordBits() const { return codewordBits_; }
+    const CellModel &model() const { return model_; }
+    Random &rng() { return rng_; }
+
+    Line &line(std::size_t index) { return lines_.at(index); }
+    const Line &line(std::size_t index) const
+    {
+        return lines_.at(index);
+    }
+
+    /**
+     * Program every line with an independent random codeword at
+     * time `now` (experiment warm-up); returns aggregate stats.
+     */
+    LineProgramStats writeRandomAll(Tick now);
+
+    /** Total ground-truth bit errors across the array. */
+    std::uint64_t totalBitErrors(Tick now) const;
+
+    /** Total permanently failed cells across the array. */
+    std::uint64_t totalStuckCells() const;
+
+  private:
+    std::size_t codewordBits_;
+    CellModel model_;
+    Random rng_;
+    std::vector<Line> lines_;
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_PCM_ARRAY_HH

@@ -1,0 +1,39 @@
+#include "pcm/device_config.hh"
+
+#include "common/logging.hh"
+
+namespace pcmscrub {
+
+void
+DeviceConfig::validate() const
+{
+    for (unsigned l = 0; l + 1 < mlcLevels; ++l) {
+        if (levelMeanLogR[l] >= levelMeanLogR[l + 1])
+            fatal("level means must increase (level %u)", l);
+        if (readThresholdLogR[l] <= levelMeanLogR[l] ||
+            readThresholdLogR[l] >= levelMeanLogR[l + 1]) {
+            fatal("threshold %u (%.2f) must lie between level means "
+                  "%.2f and %.2f",
+                  l, readThresholdLogR[l], levelMeanLogR[l],
+                  levelMeanLogR[l + 1]);
+        }
+    }
+    if (sigmaLogR <= 0.0)
+        fatal("sigmaLogR must be positive");
+    if (driftSigmaRatio < 0.0)
+        fatal("driftSigmaRatio must be non-negative");
+    if (driftSpeedSigmaLn < 0.0)
+        fatal("driftSpeedSigmaLn must be non-negative");
+    if (driftT0Seconds <= 0.0)
+        fatal("driftT0Seconds must be positive");
+    for (unsigned l = 0; l < mlcLevels; ++l) {
+        if (driftMu[l] < 0.0)
+            fatal("driftMu[%u] must be non-negative", l);
+    }
+    if (enduranceMedian <= 0.0 || enduranceScale <= 0.0)
+        fatal("endurance parameters must be positive");
+    if (maxProgramIterations < 1)
+        fatal("need at least one program iteration");
+}
+
+} // namespace pcmscrub

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Every physical constant of the modelled MLC PCM device in one
+ * place. The values are reconstructed from the 2010-2012 PCM
+ * literature the paper builds on (Ielmini et al. on drift; Qureshi et
+ * al. and Lee et al. on array energy/latency); DESIGN.md documents
+ * the reconstruction. Experiments vary these fields rather than
+ * hard-coding alternatives.
+ */
+
+#ifndef PCMSCRUB_PCM_DEVICE_CONFIG_HH
+#define PCMSCRUB_PCM_DEVICE_CONFIG_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace pcmscrub {
+
+/** Number of storage levels in a 2-bit MLC cell. */
+constexpr unsigned mlcLevels = 4;
+
+/** Bits stored per MLC cell. */
+constexpr unsigned bitsPerCell = 2;
+
+/**
+ * Physical device parameters for the MLC PCM model.
+ */
+struct DeviceConfig
+{
+    /**
+     * Mean programmed resistance per level, log10 ohms, lowest
+     * (crystalline) first. Level 0 is fully SET; level 3 is fully
+     * RESET (amorphous).
+     */
+    std::array<double, mlcLevels> levelMeanLogR{3.0, 4.0, 5.0, 6.0};
+
+    /**
+     * Read thresholds between adjacent levels, log10 ohms. A cell
+     * whose resistance exceeds threshold[i] no longer reads as
+     * level i.
+     */
+    std::array<double, mlcLevels - 1> readThresholdLogR{3.5, 4.5, 5.5};
+
+    /**
+     * Post program-and-verify resistance spread (sigma of log10 R).
+     * Iterative programming narrows the as-written distribution to
+     * this value.
+     */
+    double sigmaLogR = 0.07;
+
+    /**
+     * Mean drift exponent per level. Drift follows
+     * R(t) = R0 * (t/t0)^nu; amorphous-heavy levels drift harder.
+     * Level 0 (crystalline) drifts negligibly.
+     */
+    std::array<double, mlcLevels> driftMu{0.005, 0.020, 0.055, 0.100};
+
+    /**
+     * Per-write drift-exponent jitter, as a fraction of the mean
+     * (sigma_nu = driftSigmaRatio * driftMu[level]).
+     */
+    double driftSigmaRatio = 0.25;
+
+    /**
+     * Cell-intrinsic drift-speed spread: each cell carries a fixed
+     * multiplicative speed factor s ~ LogNormal(0, sigma) applied to
+     * its drift exponent on every write. This is the structural
+     * component of drift variation: chronically fast cells re-fail
+     * shortly after every rewrite, which is why rewrite-on-any-error
+     * scrubbing keeps rewriting the same lines while headroom-aware
+     * policies absorb the weak cells inside the ECC budget.
+     */
+    double driftSpeedSigmaLn = 0.25;
+
+    /** Drift normalisation time t0, seconds. */
+    double driftT0Seconds = 1.0;
+
+    /**
+     * Read guard band for the light margin read, log10 ohms: a cell
+     * within this distance below its upper threshold is flagged
+     * "about to drift out".
+     */
+    double marginBandLogR = 0.15;
+
+    /** Median write endurance, in writes (log-normal across cells). */
+    double enduranceMedian = 1e8;
+
+    /** Sigma of ln(endurance) across cells. */
+    double enduranceSigmaLn = 0.25;
+
+    /**
+     * Endurance scale factor applied by lifetime experiments so hard
+     * errors appear within simulated horizons; results are reported
+     * together with this factor. 1.0 = unscaled device.
+     */
+    double enduranceScale = 1.0;
+
+    // Program-and-verify write model -------------------------------
+
+    /** Max program iterations before the controller gives up. */
+    unsigned maxProgramIterations = 8;
+
+    /**
+     * Mean iterations for the intermediate (partial-SET) levels;
+     * extreme levels take single pulses.
+     */
+    double meanIterationsIntermediate = 4.0;
+
+    /** Spread (stddev) of the per-cell iteration count. */
+    double sigmaIterations = 1.0;
+
+    // Timing (ticks = ns) ------------------------------------------
+
+    /** Array read latency per line. */
+    Tick readLatency = 120;
+
+    /** Latency of one program iteration (pulse + verify read). */
+    Tick programIterationLatency = 250;
+
+    // Energy (picojoules) ------------------------------------------
+
+    /** Array read energy per cell sensed. */
+    double readEnergyPerCell = 2.0;
+
+    /** Extra per-cell energy of the precision margin read. */
+    double marginReadExtraPerCell = 0.5;
+
+    /** Energy of one program pulse on one cell. */
+    double programPulseEnergyPerCell = 24.0;
+
+    /** SECDED decode energy per line. */
+    double secdedDecodeEnergy = 8.0;
+
+    /** Light-detector comparison energy per line. */
+    double lightDetectEnergy = 2.0;
+
+    /** BCH syndrome-only check energy per line. */
+    double bchCheckEnergy = 18.0;
+
+    /** Full BCH decode (BM + Chien) energy per line. */
+    double bchFullDecodeEnergy = 110.0;
+
+    // Derived helpers ----------------------------------------------
+
+    /** Drift-exponent sigma for a level. */
+    double driftSigma(unsigned level) const
+    {
+        return driftSigmaRatio * driftMu[level];
+    }
+
+    /** Upper read threshold of a level; top level has none. */
+    bool hasUpperThreshold(unsigned level) const
+    {
+        return level + 1 < mlcLevels;
+    }
+
+    /** Validate internal consistency; fatal() on user error. */
+    void validate() const;
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_PCM_DEVICE_CONFIG_HH

@@ -1,0 +1,338 @@
+#include "pcm/drift_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/math.hh"
+
+namespace pcmscrub {
+
+namespace {
+
+/** Log-time lookup grid: u = log10(t/t0) in [0, maxLogAge]. */
+constexpr double maxLogAge = 11.0;
+constexpr double logAgeStep = 0.005;
+constexpr unsigned tableSize =
+    static_cast<unsigned>(maxLogAge / logAgeStep) + 2;
+
+} // namespace
+
+DriftModel::DriftModel(const DeviceConfig &config)
+    : config_(config)
+{
+    config_.validate();
+}
+
+double
+DriftModel::logAge(double t_seconds) const
+{
+    // Drift has not begun before t0; clamp rather than extrapolate
+    // backwards (the power law is only defined for t >= t0).
+    if (t_seconds <= config_.driftT0Seconds)
+        return 0.0;
+    return std::log10(t_seconds / config_.driftT0Seconds);
+}
+
+double
+DriftModel::speedAtQuantile(double u) const
+{
+    PCMSCRUB_ASSERT(u > 0.0 && u < 1.0, "quantile %f out of range", u);
+    if (config_.driftSpeedSigmaLn == 0.0)
+        return 1.0;
+    return std::exp(config_.driftSpeedSigmaLn * qfuncInv(1.0 - u));
+}
+
+double
+DriftModel::levelErrorProbGivenSpeed(unsigned level, double t_seconds,
+                                     double speed) const
+{
+    PCMSCRUB_ASSERT(level < mlcLevels, "bad level %u", level);
+    if (!config_.hasUpperThreshold(level))
+        return 0.0;
+    const double u = logAge(t_seconds);
+    const double mu = config_.driftMu[level] * speed;
+    const double sigmaNu = config_.driftSigma(level) * speed;
+    const double margin = config_.readThresholdLogR[level] -
+        config_.levelMeanLogR[level] - mu * u;
+    const double sigmaNuU = sigmaNu * u;
+    const double sigma = std::sqrt(config_.sigmaLogR * config_.sigmaLogR +
+                                   sigmaNuU * sigmaNuU);
+    return qfunc(margin / sigma);
+}
+
+double
+DriftModel::cellErrorProbGivenSpeed(double t_seconds, double speed) const
+{
+    double sum = 0.0;
+    for (unsigned l = 0; l < mlcLevels; ++l)
+        sum += levelErrorProbGivenSpeed(l, t_seconds, speed);
+    return sum / static_cast<double>(mlcLevels);
+}
+
+namespace {
+
+/**
+ * Stratified average of f(speed) over the intrinsic-speed
+ * distribution truncated at the `quantile` cut.
+ *
+ * The log-normal tail carries disproportionate error probability at
+ * short ages (the fastest 0.1% of cells fail orders of magnitude
+ * earlier than the median cell), so the stratification refines
+ * geometrically toward the top: uniform strata over the bulk, then
+ * eight strata per decade of remaining tail mass down to 1e-8.
+ */
+template <typename F>
+double
+averageOverSpeeds(double quantile, F f)
+{
+    double sum = 0.0;
+    const auto addRange = [&](double lo, double hi, unsigned n) {
+        const double weight = (hi - lo) / quantile /
+            static_cast<double>(n);
+        for (unsigned i = 0; i < n; ++i) {
+            const double u = lo + (hi - lo) *
+                (static_cast<double>(i) + 0.5) / n;
+            sum += weight * f(u);
+        }
+    };
+    addRange(0.0, 0.9 * quantile, 32);
+    double lo = 0.9;
+    for (double frac = 0.01; frac >= 1e-8; frac /= 10.0) {
+        const double hi = 1.0 - frac;
+        addRange(lo * quantile, hi * quantile, 8);
+        lo = hi;
+    }
+    addRange(lo * quantile, (1.0 - 1e-9) * quantile, 4);
+    return sum;
+}
+
+} // namespace
+
+double
+DriftModel::mixtureCellErrorProb(double t_seconds, double quantile) const
+{
+    if (config_.driftSpeedSigmaLn == 0.0)
+        return cellErrorProbGivenSpeed(t_seconds, 1.0);
+    return averageOverSpeeds(quantile, [this, t_seconds](double u) {
+        return cellErrorProbGivenSpeed(t_seconds, speedAtQuantile(u));
+    });
+}
+
+double
+DriftModel::levelErrorProb(unsigned level, double t_seconds) const
+{
+    PCMSCRUB_ASSERT(level < mlcLevels, "bad level %u", level);
+    if (!config_.hasUpperThreshold(level))
+        return 0.0;
+    if (config_.driftSpeedSigmaLn == 0.0)
+        return levelErrorProbGivenSpeed(level, t_seconds, 1.0);
+    return averageOverSpeeds(
+        1.0, [this, level, t_seconds](double u) {
+            return levelErrorProbGivenSpeed(level, t_seconds,
+                                            speedAtQuantile(u));
+        });
+}
+
+template <typename Eval>
+double
+DriftModel::lookup(AgeTable &table, double t_seconds, Eval eval) const
+{
+    if (!table.built) {
+        table.values.resize(tableSize);
+        for (unsigned i = 0; i < tableSize; ++i) {
+            const double t = config_.driftT0Seconds *
+                std::pow(10.0, static_cast<double>(i) * logAgeStep);
+            table.values[i] = eval(t);
+        }
+        table.built = true;
+    }
+    const double u = logAge(t_seconds);
+    const double position = u / logAgeStep;
+    const auto index = static_cast<unsigned>(position);
+    if (index + 1 >= tableSize)
+        return table.values.back();
+    const double frac = position - static_cast<double>(index);
+    return table.values[index] * (1.0 - frac) +
+        table.values[index + 1] * frac;
+}
+
+double
+DriftModel::cellErrorProb(double t_seconds) const
+{
+    return lookup(cellErrorTable_, t_seconds, [this](double t) {
+        return mixtureCellErrorProb(t, 1.0);
+    });
+}
+
+DriftModel::AgeTable &
+DriftModel::bulkTable(double quantile) const
+{
+    const long key = std::lround(quantile * 1e6);
+    return bulkTables_[key];
+}
+
+double
+DriftModel::bulkCellErrorProb(double t_seconds, double quantile) const
+{
+    PCMSCRUB_ASSERT(quantile > 0.0 && quantile <= 1.0,
+                    "bulk quantile %f out of range", quantile);
+    return lookup(bulkTable(quantile), t_seconds,
+                  [this, quantile](double t) {
+                      return mixtureCellErrorProb(t, quantile);
+                  });
+}
+
+double
+DriftModel::lineUncorrectableProb(unsigned cells, double t_seconds,
+                                  unsigned t_ecc) const
+{
+    return binomialTailAbove(cells, cellErrorProb(t_seconds), t_ecc);
+}
+
+double
+DriftModel::expectedLineErrors(unsigned cells, double t_seconds) const
+{
+    return static_cast<double>(cells) * cellErrorProb(t_seconds);
+}
+
+namespace {
+
+/**
+ * Bisect for the largest t with f(t) < target, where f is
+ * non-decreasing in t. Search range [1 s, ~3000 years].
+ */
+template <typename Func>
+double
+bisectAge(Func f, double target)
+{
+    constexpr double tLow = 1.0;
+    constexpr double tHigh = 1e11;
+    if (f(tHigh) < target)
+        return tHigh; // Never reaches the target within range.
+    if (f(tLow) >= target)
+        return tLow; // Already too risky at the smallest age.
+    double lo = std::log(tLow);
+    double hi = std::log(tHigh);
+    for (int iter = 0; iter < 200; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (f(std::exp(mid)) < target)
+            lo = mid;
+        else
+            hi = mid;
+        if (hi - lo < 1e-12)
+            break;
+    }
+    return std::exp(lo);
+}
+
+} // namespace
+
+double
+DriftModel::timeToCellErrorProb(double p) const
+{
+    PCMSCRUB_ASSERT(p > 0.0 && p < 1.0, "probability target %f", p);
+    return bisectAge(
+        [this](double t) { return cellErrorProb(t); }, p);
+}
+
+double
+DriftModel::timeToLineUncorrectable(unsigned cells, unsigned t_ecc,
+                                    double p_ue) const
+{
+    PCMSCRUB_ASSERT(p_ue > 0.0 && p_ue < 1.0, "probability target %f",
+                    p_ue);
+    return bisectAge(
+        [this, cells, t_ecc](double t) {
+            return lineUncorrectableProb(cells, t, t_ecc);
+        },
+        p_ue);
+}
+
+double
+DriftModel::timeToConditionalUncorrectable(unsigned cells,
+                                           unsigned t_ecc,
+                                           unsigned current_errors,
+                                           double age_now,
+                                           double p_ue) const
+{
+    PCMSCRUB_ASSERT(p_ue > 0.0 && p_ue < 1.0, "probability target %f",
+                    p_ue);
+    if (current_errors > t_ecc)
+        return 0.0;
+    const unsigned healthy = cells > current_errors
+        ? cells - current_errors : 0;
+    const unsigned budget = t_ecc - current_errors;
+    // The cells that already failed are, with overwhelming
+    // probability, the fastest intrinsic drifters; the still-healthy
+    // population therefore follows the speed distribution truncated
+    // at the matching quantile. Without this conditioning the tail
+    // would be double-counted and horizons would collapse whenever a
+    // few chronic cells sit inside the ECC budget.
+    const double quantile = 1.0 -
+        static_cast<double>(current_errors) / static_cast<double>(cells);
+    const double p1 = bulkCellErrorProb(age_now, quantile);
+    const double horizon = bisectAge(
+        [this, healthy, budget, p1, quantile](double t) {
+            const double p2 = bulkCellErrorProb(t, quantile);
+            if (p2 <= p1)
+                return 0.0;
+            const double growth = (p2 - p1) / (1.0 - p1);
+            return binomialTailAbove(healthy, growth, budget);
+        },
+        p_ue);
+    return horizon > age_now ? horizon - age_now : 0.0;
+}
+
+double
+DriftModel::timeToExpectedErrors(unsigned cells, double k) const
+{
+    PCMSCRUB_ASSERT(k > 0.0, "error target must be positive");
+    return bisectAge(
+        [this, cells](double t) {
+            return expectedLineErrors(cells, t);
+        },
+        k);
+}
+
+double
+DriftModel::levelMarginFlagProb(unsigned level, double t_seconds) const
+{
+    PCMSCRUB_ASSERT(level < mlcLevels, "bad level %u", level);
+    if (!config_.hasUpperThreshold(level))
+        return 0.0;
+    const auto flagGivenSpeed = [this, level,
+                                 t_seconds](double quantile) {
+        const double speed = config_.driftSpeedSigmaLn == 0.0
+            ? 1.0 : speedAtQuantile(quantile);
+        const double u = logAge(t_seconds);
+        const double mu = config_.driftMu[level] * speed;
+        const double sigmaNuU = config_.driftSigma(level) * speed * u;
+        const double mean = config_.levelMeanLogR[level] + mu * u;
+        const double sigma = std::sqrt(
+            config_.sigmaLogR * config_.sigmaLogR +
+            sigmaNuU * sigmaNuU);
+        const double bandLow = config_.readThresholdLogR[level] -
+            config_.marginBandLogR;
+        // Flagged = still reads correctly but sits inside the guard
+        // band below the threshold: P(bandLow < logR <= T_l).
+        const double aboveBand = qfunc((bandLow - mean) / sigma);
+        return aboveBand -
+            levelErrorProbGivenSpeed(level, t_seconds, speed);
+    };
+    if (config_.driftSpeedSigmaLn == 0.0)
+        return flagGivenSpeed(0.5);
+    return averageOverSpeeds(1.0, flagGivenSpeed);
+}
+
+double
+DriftModel::cellMarginFlagProb(double t_seconds) const
+{
+    return lookup(marginFlagTable_, t_seconds, [this](double t) {
+        double sum = 0.0;
+        for (unsigned l = 0; l < mlcLevels; ++l)
+            sum += levelMarginFlagProb(l, t);
+        return sum / static_cast<double>(mlcLevels);
+    });
+}
+
+} // namespace pcmscrub

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Closed-form resistance-drift mathematics.
+ *
+ * A level-l cell is programmed to log10 R0 ~ N(m_l, sigma_R) and
+ * drifts as log10 R(t) = log10 R0 + nu * log10(t/t0) with
+ * nu ~ N(mu_l, sigma_l). At age t the log-resistance is therefore
+ * Gaussian with mean m_l + mu_l*u and variance
+ * sigma_R^2 + (sigma_l*u)^2, where u = log10(t/t0). The cell misreads
+ * once it crosses its upper threshold T_l, so
+ *
+ *   p_l(t) = Q( (T_l - m_l - mu_l*u) / sqrt(sigma_R^2+(sigma_l*u)^2) )
+ *
+ * This is exact for the model (not an approximation), which is what
+ * lets the simulator evaluate years of drift lazily at scrub instants
+ * instead of stepping time.
+ */
+
+#ifndef PCMSCRUB_PCM_DRIFT_MODEL_HH
+#define PCMSCRUB_PCM_DRIFT_MODEL_HH
+
+#include <array>
+#include <map>
+#include <vector>
+
+#include "pcm/device_config.hh"
+
+namespace pcmscrub {
+
+/**
+ * Analytic drift-error probabilities for one device configuration.
+ */
+class DriftModel
+{
+  public:
+    explicit DriftModel(const DeviceConfig &config);
+
+    const DeviceConfig &config() const { return config_; }
+
+    /**
+     * Probability that a level-l cell with intrinsic drift-speed
+     * factor `speed`, programmed t_seconds ago, reads above its
+     * upper threshold. Zero for the top level (drift only raises
+     * resistance, and there is no level above).
+     */
+    double levelErrorProbGivenSpeed(unsigned level, double t_seconds,
+                                    double speed) const;
+
+    /**
+     * Population error probability of a level-l cell at age t:
+     * levelErrorProbGivenSpeed marginalised over the log-normal
+     * intrinsic-speed distribution.
+     */
+    double levelErrorProb(unsigned level, double t_seconds) const;
+
+    /**
+     * Error probability of a cell holding uniformly-random data at
+     * age t: the mean of levelErrorProb over all levels. Backed by
+     * a lazily built log-time lookup table (the scrub engine calls
+     * this on every line visit).
+     */
+    double cellErrorProb(double t_seconds) const;
+
+    /**
+     * Error probability of a random-data cell *conditioned on its
+     * intrinsic speed lying below the q-quantile* — the "bulk"
+     * population left after a backend carves out the fastest cells
+     * for individual tracking.
+     */
+    double bulkCellErrorProb(double t_seconds, double quantile) const;
+
+    /**
+     * Error probability of a random-data cell with a known speed
+     * factor (levels averaged).
+     */
+    double cellErrorProbGivenSpeed(double t_seconds,
+                                   double speed) const;
+
+    /** Intrinsic speed factor at a population quantile u in (0,1). */
+    double speedAtQuantile(double u) const;
+
+    /**
+     * Probability that a line of `cells` cells has strictly more
+     * than `t_ecc` erroneous cells at age t (each erroneous cell is
+     * one bit error under Gray coding). This is the per-check
+     * uncorrectable probability the scrub policies reason about.
+     */
+    double lineUncorrectableProb(unsigned cells, double t_seconds,
+                                 unsigned t_ecc) const;
+
+    /** Expected erroneous cells in a line at age t. */
+    double expectedLineErrors(unsigned cells, double t_seconds) const;
+
+    /**
+     * Largest age (seconds) at which the per-cell error probability
+     * is still below `p`. Solved by bisection on the monotone
+     * closed form; this is what the drift-aware scrub uses to decide
+     * when a region next needs attention.
+     */
+    double timeToCellErrorProb(double p) const;
+
+    /**
+     * Largest age at which a `cells`-cell line protected by a
+     * t_ecc-correcting code stays uncorrectable with probability
+     * below `p_ue`.
+     */
+    double timeToLineUncorrectable(unsigned cells, unsigned t_ecc,
+                                   double p_ue) const;
+
+    /**
+     * Conditional scheduling horizon: given a line that is
+     * `age_now` seconds old and was just *observed* to hold exactly
+     * `current_errors` erroneous cells, how many further seconds may
+     * pass before the probability that its errors exceed t_ecc
+     * crosses `p_ue`? Uses the conditional crossing growth
+     * (p(a2) - p(a1)) / (1 - p(a1)) over the still-healthy cells —
+     * exact for the monotone drift model. This is what lets the
+     * adaptive scrub space checks from the *check* instant instead
+     * of the write instant (drift decelerates in absolute time, so
+     * old-but-verified-clean lines earn long horizons).
+     *
+     * @return additional seconds from now (0 if already over)
+     */
+    double timeToConditionalUncorrectable(unsigned cells,
+                                          unsigned t_ecc,
+                                          unsigned current_errors,
+                                          double age_now,
+                                          double p_ue) const;
+
+    /**
+     * Age at which the *expected* error count of a `cells`-cell line
+     * reaches k — the population-mean crossing time used to estimate
+     * how long an uncorrectable line had been exposed to demand
+     * reads before scrub caught it. Returns the search bound if the
+     * expectation never reaches k.
+     */
+    double timeToExpectedErrors(unsigned cells, double k) const;
+
+    /**
+     * Probability that a level-l cell at age t sits inside the
+     * margin band (within marginBandLogR below its upper threshold)
+     * *or* beyond it: the fraction of cells the light margin read
+     * flags. The margin read catches drift before it becomes error.
+     */
+    double levelMarginFlagProb(unsigned level, double t_seconds) const;
+
+    /** Margin-flag probability for uniformly-random data. */
+    double cellMarginFlagProb(double t_seconds) const;
+
+  private:
+    double logAge(double t_seconds) const;
+
+    /** Stratified average over the intrinsic-speed distribution. */
+    double mixtureCellErrorProb(double t_seconds,
+                                double quantile) const;
+
+    /** Lazily built log-time lookup table. */
+    struct AgeTable
+    {
+        bool built = false;
+        std::vector<double> values;
+    };
+
+    /** Interpolated lookup; builds the table on first use. */
+    template <typename Eval>
+    double lookup(AgeTable &table, double t_seconds,
+                  Eval eval) const;
+
+    /** Cached bulk table for one quantile. */
+    AgeTable &bulkTable(double quantile) const;
+
+    DeviceConfig config_;
+
+    mutable AgeTable cellErrorTable_;
+    mutable AgeTable marginFlagTable_;
+    mutable std::map<long, AgeTable> bulkTables_;
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_PCM_DRIFT_MODEL_HH

@@ -1,0 +1,76 @@
+#include "pcm/energy.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pcmscrub {
+
+const char *
+energyCategoryName(EnergyCategory category)
+{
+    switch (category) {
+      case EnergyCategory::ArrayRead:
+        return "array_read";
+      case EnergyCategory::MarginRead:
+        return "margin_read";
+      case EnergyCategory::ArrayWrite:
+        return "array_write";
+      case EnergyCategory::Detect:
+        return "detect";
+      case EnergyCategory::Decode:
+        return "decode";
+      default:
+        panic("bad energy category %u", static_cast<unsigned>(category));
+    }
+}
+
+void
+EnergyAccount::add(EnergyCategory category, PicoJoule amount)
+{
+    PCMSCRUB_ASSERT(amount >= 0.0, "negative energy %f", amount);
+    byCategory_[static_cast<unsigned>(category)] += amount;
+}
+
+PicoJoule
+EnergyAccount::get(EnergyCategory category) const
+{
+    return byCategory_[static_cast<unsigned>(category)];
+}
+
+PicoJoule
+EnergyAccount::total() const
+{
+    PicoJoule sum = 0.0;
+    for (const auto value : byCategory_)
+        sum += value;
+    return sum;
+}
+
+void
+EnergyAccount::clear()
+{
+    byCategory_.fill(0.0);
+}
+
+void
+EnergyAccount::merge(const EnergyAccount &other)
+{
+    for (unsigned c = 0; c < byCategory_.size(); ++c)
+        byCategory_[c] += other.byCategory_[c];
+}
+
+std::string
+EnergyAccount::toString() const
+{
+    std::ostringstream out;
+    out << "energy(pJ):";
+    for (unsigned c = 0; c < byCategory_.size(); ++c) {
+        out << " " << energyCategoryName(static_cast<EnergyCategory>(c))
+            << "=" << byCategory_[c];
+    }
+    out << " total=" << total();
+    return out.str();
+}
+
+} // namespace pcmscrub

@@ -1,0 +1,116 @@
+#include "pcm/line.hh"
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace pcmscrub {
+
+Line::Line(std::size_t codeword_bits)
+    : codewordBits_(codeword_bits),
+      cells_((codeword_bits + bitsPerCell - 1) / bitsPerCell),
+      intended_(codeword_bits)
+{
+    PCMSCRUB_ASSERT(codeword_bits >= bitsPerCell,
+                    "line of %zu bits is too small", codeword_bits);
+}
+
+void
+Line::initialize(const CellModel &model, Random &rng)
+{
+    for (auto &cell : cells_)
+        model.initialize(cell, rng);
+}
+
+unsigned
+Line::targetLevel(const BitVector &codeword, unsigned index) const
+{
+    const std::size_t bit = static_cast<std::size_t>(index) *
+        bitsPerCell;
+    std::uint8_t gray = codeword.get(bit) ? 1 : 0;
+    if (bit + 1 < codewordBits_ && codeword.get(bit + 1))
+        gray |= 2;
+    return grayToLevel(gray);
+}
+
+LineProgramStats
+Line::writeCodeword(const BitVector &codeword, Tick now,
+                    const CellModel &model, Random &rng,
+                    bool differential)
+{
+    PCMSCRUB_ASSERT(codeword.size() == codewordBits_,
+                    "codeword of %zu bits on a %zu-bit line",
+                    codeword.size(), codewordBits_);
+    LineProgramStats stats;
+    for (unsigned i = 0; i < cells_.size(); ++i) {
+        const unsigned level = targetLevel(codeword, i);
+        if (differential && !cells_[i].stuck &&
+            model.read(cells_[i], now) == level) {
+            continue; // Data-comparison write skips matching cells.
+        }
+        const ProgramOutcome outcome =
+            model.program(cells_[i], level, now, rng);
+        if (outcome.iterations > 0) {
+            ++stats.cellsProgrammed;
+            stats.totalIterations += outcome.iterations;
+        }
+        stats.cellsWornOut += outcome.wornOut;
+    }
+    intended_ = codeword;
+    lastWriteTick_ = now;
+    ++lineWrites_;
+    return stats;
+}
+
+BitVector
+Line::readCodeword(Tick now, const CellModel &model) const
+{
+    BitVector word(codewordBits_);
+    for (unsigned i = 0; i < cells_.size(); ++i) {
+        const std::uint8_t gray = levelToGray(model.read(cells_[i], now));
+        const std::size_t bit = static_cast<std::size_t>(i) *
+            bitsPerCell;
+        word.set(bit, gray & 1);
+        if (bit + 1 < codewordBits_)
+            word.set(bit + 1, gray & 2);
+    }
+    return word;
+}
+
+unsigned
+Line::marginScanCount(Tick now, const CellModel &model) const
+{
+    unsigned flagged = 0;
+    for (const auto &cell : cells_)
+        flagged += model.marginFlagged(cell, now);
+    return flagged;
+}
+
+unsigned
+Line::trueBitErrors(Tick now, const CellModel &model) const
+{
+    const BitVector read = readCodeword(now, model);
+    return static_cast<unsigned>(read.hammingDistance(intended_));
+}
+
+void
+Line::remapStuckToIntended()
+{
+    for (unsigned i = 0; i < cells_.size(); ++i) {
+        if (!cells_[i].stuck)
+            continue;
+        const unsigned level = targetLevel(intended_, i);
+        cells_[i].stuckLevel = static_cast<std::uint8_t>(level);
+        cells_[i].storedLevel = static_cast<std::uint8_t>(level);
+    }
+}
+
+unsigned
+Line::stuckCellCount() const
+{
+    unsigned stuck = 0;
+    for (const auto &cell : cells_)
+        stuck += cell.stuck;
+    return stuck;
+}
+
+} // namespace pcmscrub

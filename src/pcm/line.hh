@@ -1,0 +1,116 @@
+/**
+ * @file
+ * A memory line backed by MLC cells: the unit of scrub, ECC, and
+ * rewrite. Holds both the physical cells and the intended codeword
+ * so experiments can measure ground-truth error counts.
+ */
+
+#ifndef PCMSCRUB_PCM_LINE_HH
+#define PCMSCRUB_PCM_LINE_HH
+
+#include <vector>
+
+#include "common/bitvector.hh"
+#include "common/types.hh"
+#include "pcm/cell.hh"
+
+namespace pcmscrub {
+
+class Random;
+
+/** Aggregate result of programming a line. */
+struct LineProgramStats
+{
+    /** Cells that actually received program pulses. */
+    unsigned cellsProgrammed = 0;
+
+    /** Total program-and-verify iterations across those cells. */
+    std::uint64_t totalIterations = 0;
+
+    /** Cells that reached their endurance limit during this write. */
+    unsigned cellsWornOut = 0;
+};
+
+/**
+ * One ECC-protected line of MLC cells.
+ */
+class Line
+{
+  public:
+    /** A line storing codeword_bits bits (2 per cell, padded). */
+    explicit Line(std::size_t codeword_bits);
+
+    /** Sample manufacturing state for every cell. */
+    void initialize(const CellModel &model, Random &rng);
+
+    std::size_t codewordBits() const { return codewordBits_; }
+    unsigned cellCount() const
+    {
+        return static_cast<unsigned>(cells_.size());
+    }
+
+    /**
+     * Program the line to hold `codeword`.
+     *
+     * @param differential only program cells whose *current read
+     *        value* differs from the target (data-comparison write:
+     *        cheaper, but does not reset the drift clock of
+     *        unchanged cells). A full write reprograms every cell
+     *        and restarts all drift clocks — what a scrub refresh
+     *        needs.
+     */
+    LineProgramStats writeCodeword(const BitVector &codeword, Tick now,
+                                   const CellModel &model, Random &rng,
+                                   bool differential = false);
+
+    /** Sense every cell and return the (possibly corrupted) word. */
+    BitVector readCodeword(Tick now, const CellModel &model) const;
+
+    /** Number of cells the light margin read would flag. */
+    unsigned marginScanCount(Tick now, const CellModel &model) const;
+
+    /**
+     * Ground truth: bit errors between what the line should hold
+     * and what a read would return right now.
+     */
+    unsigned trueBitErrors(Tick now, const CellModel &model) const;
+
+    /** Permanently failed cells. */
+    unsigned stuckCellCount() const;
+
+    /** The codeword the controller believes is stored. */
+    const BitVector &intendedWord() const { return intended_; }
+
+    /** Tick of the last full write (drift reference for policies). */
+    Tick lastWriteTick() const { return lastWriteTick_; }
+
+    /** Lifetime count of line-level write operations. */
+    std::uint64_t lineWrites() const { return lineWrites_; }
+
+    /** Direct cell access for tests and fault injection. */
+    Cell &cell(unsigned index) { return cells_.at(index); }
+    const Cell &cell(unsigned index) const { return cells_.at(index); }
+
+    /**
+     * Spare-remap model for repair: freeze every stuck cell at the
+     * level the intended data wants, so the line reads correctly
+     * again (a real controller would map the cell to a spare and
+     * route accesses there).
+     */
+    void remapStuckToIntended();
+
+  private:
+    /** Target level of cell `index` for a codeword. */
+    unsigned targetLevel(const BitVector &codeword,
+                         unsigned index) const;
+
+    std::size_t codewordBits_;
+    std::vector<Cell> cells_;
+    BitVector intended_;
+    Tick lastWriteTick_ = 0;
+    std::uint64_t lineWrites_ = 0;
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_PCM_LINE_HH

@@ -1,0 +1,40 @@
+#include "pcm/wear.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/math.hh"
+
+namespace pcmscrub {
+
+WearModel::WearModel(const DeviceConfig &config)
+    : scaledMedian_(config.enduranceMedian * config.enduranceScale),
+      sigmaLn_(config.enduranceSigmaLn)
+{
+    PCMSCRUB_ASSERT(scaledMedian_ > 0.0, "endurance must be positive");
+    PCMSCRUB_ASSERT(sigmaLn_ > 0.0, "endurance spread must be positive");
+}
+
+double
+WearModel::failureCdf(double writes) const
+{
+    if (writes <= 0.0)
+        return 0.0;
+    const double z = (std::log(writes) - std::log(scaledMedian_)) /
+        sigmaLn_;
+    return normalCdf(z);
+}
+
+double
+WearModel::conditionalFailure(double w1, double w2) const
+{
+    PCMSCRUB_ASSERT(w2 >= w1, "write counts must be ordered");
+    const double f1 = failureCdf(w1);
+    const double f2 = failureCdf(w2);
+    if (f1 >= 1.0)
+        return 1.0;
+    const double p = (f2 - f1) / (1.0 - f1);
+    return p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+}
+
+} // namespace pcmscrub

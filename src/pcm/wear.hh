@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Analytic endurance (hard-error) model: the population-level
+ * counterpart of the per-cell endurance sampling in CellModel.
+ *
+ * Cell endurance is log-normal; the analytic backend asks "given a
+ * line has survived w1 writes, how many of its cells die by w2?"
+ * and answers with the conditional failure probability below.
+ */
+
+#ifndef PCMSCRUB_PCM_WEAR_HH
+#define PCMSCRUB_PCM_WEAR_HH
+
+#include <cstdint>
+
+#include "pcm/device_config.hh"
+
+namespace pcmscrub {
+
+/**
+ * Log-normal endurance statistics.
+ */
+class WearModel
+{
+  public:
+    explicit WearModel(const DeviceConfig &config);
+
+    /** P(cell endurance <= writes). */
+    double failureCdf(double writes) const;
+
+    /**
+     * P(cell dies in (w1, w2] | alive after w1) — the per-cell
+     * hazard the analytic backend applies incrementally.
+     */
+    double conditionalFailure(double w1, double w2) const;
+
+    /** Median endurance after scaling. */
+    double scaledMedian() const { return scaledMedian_; }
+
+  private:
+    double scaledMedian_;
+    double sigmaLn_;
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_PCM_WEAR_HH

@@ -1,0 +1,160 @@
+#include "scrub/adaptive_scrub.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pcmscrub {
+
+AdaptiveScrub::AdaptiveScrub(const AdaptiveParams &params,
+                             const ScrubBackend &backend)
+    : AdaptiveScrub(params, backend, "adaptive")
+{
+}
+
+AdaptiveScrub::AdaptiveScrub(const AdaptiveParams &params,
+                             const ScrubBackend &backend,
+                             const char *name)
+    : params_(params),
+      name_(name),
+      eccT_(backend.scheme().guaranteedT()),
+      lineCount_(backend.lineCount())
+{
+    if (params_.targetLineUeProb <= 0.0 ||
+        params_.targetLineUeProb >= 1.0)
+        fatal("adaptive UE target must lie in (0, 1)");
+    if (params_.linesPerRegion == 0)
+        fatal("adaptive region must hold at least one line");
+    if (params_.minSpacingFraction <= 0.0)
+        fatal("adaptive minimum spacing must be positive");
+
+    const double safeAgeSeconds = backend.drift().timeToLineUncorrectable(
+        backend.cellsPerLine(), eccT_, params_.targetLineUeProb);
+    safeAgeTicks_ = secondsToTicks(safeAgeSeconds);
+    if (safeAgeTicks_ == 0)
+        fatal("UE target %g unreachable: device fails instantly",
+              params_.targetLineUeProb);
+
+    const std::uint64_t regions =
+        (lineCount_ + params_.linesPerRegion - 1) /
+        params_.linesPerRegion;
+    // All data written at tick 0: every region is first due at the
+    // safe age.
+    regionDue_.assign(regions, safeAgeTicks_);
+    regionWorstErrors_.assign(regions, 0);
+}
+
+std::string
+AdaptiveScrub::name() const
+{
+    return name_;
+}
+
+Tick
+AdaptiveScrub::nextWake() const
+{
+    return *std::min_element(regionDue_.begin(), regionDue_.end());
+}
+
+Tick
+AdaptiveScrub::lineHorizon(ScrubBackend &backend, unsigned errors_left,
+                           double age_seconds, Tick now)
+{
+    // Memoise within this wake: many lines share (errors, age
+    // bucket), and the conditional bisection is the expensive part.
+    int ageBucket = 0;
+    if (age_seconds > 1.0) {
+        ageBucket = static_cast<int>(std::log10(age_seconds) / 0.05) +
+            1;
+    }
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(errors_left) * 4096 +
+        static_cast<std::uint64_t>(ageBucket);
+    const auto cached = horizonCache_.find(key);
+    if (cached != horizonCache_.end() && cached->second.first == now)
+        return cached->second.second;
+
+    const double horizonSeconds =
+        backend.drift().timeToConditionalUncorrectable(
+            backend.cellsPerLine(), eccT_, errors_left, age_seconds,
+            params_.targetLineUeProb);
+    // Lines rewritten *after* this check restart their risk clocks
+    // with the full safe age; never trust a horizon beyond it.
+    const Tick horizon = std::min(secondsToTicks(horizonSeconds),
+                                  safeAgeTicks_);
+    horizonCache_[key] = {now, horizon};
+    return horizon;
+}
+
+void
+AdaptiveScrub::wake(ScrubBackend &backend, Tick now)
+{
+    const auto minSpacing = std::max<Tick>(
+        static_cast<Tick>(static_cast<double>(safeAgeTicks_) *
+                          params_.minSpacingFraction),
+        1);
+    for (std::uint64_t region = 0; region < regionDue_.size();
+         ++region) {
+        if (regionDue_[region] > now)
+            continue;
+        const LineIndex start = region * params_.linesPerRegion;
+        const LineIndex end = std::min<LineIndex>(
+            start + params_.linesPerRegion, lineCount_);
+
+        // The region's next check is due at the earliest per-line
+        // conditional risk deadline, each line anchored at its own
+        // (residual errors, data age) as verified by this visit.
+        unsigned worst = 0;
+        Tick horizon = safeAgeTicks_;
+        for (LineIndex line = start; line < end; ++line) {
+            const LineCheckResult result = scrubCheckLine(
+                backend, line, now, params_.procedure);
+            worst = std::max(worst, result.errorsLeft);
+            const Tick written = backend.lastFullWrite(line, now);
+            const double age = written <= now
+                ? ticksToSeconds(now - written) : 0.0;
+            horizon = std::min(
+                horizon,
+                lineHorizon(backend, result.errorsLeft, age, now));
+        }
+        regionWorstErrors_[region] =
+            static_cast<std::uint16_t>(worst);
+        regionDue_[region] = now + std::max(horizon, minSpacing);
+    }
+}
+
+namespace {
+
+CheckProcedure
+combinedProcedure(unsigned ecc_t, unsigned rewrite_headroom)
+{
+    CheckProcedure procedure;
+    procedure.lightDetectFirst = true;
+    // Rewrite once the error count reaches t - headroom (at least 1).
+    procedure.rewriteThreshold =
+        ecc_t > rewrite_headroom ? ecc_t - rewrite_headroom : 1;
+    if (procedure.rewriteThreshold < 1)
+        procedure.rewriteThreshold = 1;
+    return procedure;
+}
+
+} // namespace
+
+CombinedScrub::CombinedScrub(double target_ue_prob,
+                             unsigned rewrite_headroom,
+                             const ScrubBackend &backend,
+                             std::uint64_t lines_per_region)
+    : AdaptiveScrub(
+          AdaptiveParams{
+              target_ue_prob,
+              lines_per_region,
+              combinedProcedure(backend.scheme().guaranteedT(),
+                                rewrite_headroom),
+              0.1,
+          },
+          backend, "combined")
+{
+}
+
+} // namespace pcmscrub

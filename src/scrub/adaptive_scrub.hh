@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Drift-aware adaptive scrub and the paper's combined mechanism.
+ *
+ * Instead of sweeping everything on a fixed period, the adaptive
+ * policy schedules each *region* (a contiguous group of lines whose
+ * last-write times the controller tracks) for its next check at
+ *
+ *     oldest last-write in region + safe age,
+ *
+ * where the safe age comes from the closed-form drift model: the
+ * largest data age at which a line's uncorrectable probability is
+ * still below the configured target. Recently-written regions are
+ * therefore skipped entirely — the bulk of the paper's scrub-write
+ * and energy savings.
+ *
+ * Regions where a visit observed errors get their next check pulled
+ * in proportionally to the consumed ECC headroom (a region whose
+ * worst line already burned half its correction budget is checked
+ * at half the safe age).
+ */
+
+#ifndef PCMSCRUB_SCRUB_ADAPTIVE_SCRUB_HH
+#define PCMSCRUB_SCRUB_ADAPTIVE_SCRUB_HH
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "scrub/sweep_scrub.hh"
+
+namespace pcmscrub {
+
+/** Knobs of the adaptive scheduler. */
+struct AdaptiveParams
+{
+    /** Per-check uncorrectable-probability target per line. */
+    double targetLineUeProb = 1e-7;
+
+    /** Tracking granularity (lines per last-write region). */
+    std::uint64_t linesPerRegion = 256;
+
+    /** Per-line check behaviour. */
+    CheckProcedure procedure{};
+
+    /**
+     * Minimum re-check spacing as a fraction of the safe age, so
+     * stale-but-healthy regions cannot pin the scheduler.
+     */
+    double minSpacingFraction = 0.1;
+};
+
+/**
+ * Risk-scheduled scrub.
+ */
+class AdaptiveScrub : public ScrubPolicy
+{
+  public:
+    /**
+     * @param params scheduler knobs
+     * @param backend consulted for geometry, ECC strength, and the
+     *        drift model (construction only; not retained)
+     */
+    AdaptiveScrub(const AdaptiveParams &params,
+                  const ScrubBackend &backend);
+
+    std::string name() const override;
+    Tick nextWake() const override;
+    void wake(ScrubBackend &backend, Tick now) override;
+
+    /** Safe data age implied by the risk target, in ticks. */
+    Tick safeAgeTicks() const { return safeAgeTicks_; }
+
+    const AdaptiveParams &params() const { return params_; }
+
+  protected:
+    /** Override point for name(); shared scheduling machinery. */
+    AdaptiveScrub(const AdaptiveParams &params,
+                  const ScrubBackend &backend, const char *name);
+
+  private:
+    /**
+     * Conditional risk deadline for one line, memoised per wake on
+     * (errors, age bucket).
+     */
+    Tick lineHorizon(ScrubBackend &backend, unsigned errors_left,
+                     double age_seconds, Tick now);
+
+    AdaptiveParams params_;
+    std::string name_;
+    unsigned eccT_;
+    Tick safeAgeTicks_;
+    std::uint64_t lineCount_;
+    std::vector<Tick> regionDue_;
+    std::vector<std::uint16_t> regionWorstErrors_;
+
+    /** (errors, age bucket) -> (wake tick, horizon). */
+    std::map<std::uint64_t, std::pair<Tick, Tick>> horizonCache_;
+};
+
+/**
+ * The paper's combined mechanism: strong ECC (whatever the backend
+ * carries, BCH-8 in the headline configuration) + light detection +
+ * headroom-threshold rewrites + adaptive scheduling.
+ */
+class CombinedScrub : public AdaptiveScrub
+{
+  public:
+    /**
+     * @param target_ue_prob adaptive risk target
+     * @param rewrite_headroom rewrite when errors >= t - headroom
+     * @param backend consulted at construction
+     * @param lines_per_region tracking granularity
+     */
+    CombinedScrub(double target_ue_prob, unsigned rewrite_headroom,
+                  const ScrubBackend &backend,
+                  std::uint64_t lines_per_region = 256);
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_SCRUB_ADAPTIVE_SCRUB_HH

@@ -1,0 +1,482 @@
+#include "scrub/analytic_backend.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/math.hh"
+#include "ecc/checksum.hh"
+#include "pcm/energy.hh"
+
+namespace pcmscrub {
+
+namespace {
+
+/** Mean program iterations per cell for uniformly-random data. */
+double
+averageIterationsPerCell(const DeviceConfig &config)
+{
+    // Extreme levels take one pulse; the two intermediate levels
+    // take the iterative mean.
+    return (2.0 * 1.0 + 2.0 * config.meanIterationsIntermediate) /
+        static_cast<double>(mlcLevels);
+}
+
+} // namespace
+
+AnalyticBackend::AnalyticBackend(const AnalyticConfig &config)
+    : config_(config),
+      scheme_(config.scheme),
+      drift_(config.device),
+      wear_(config.device),
+      demand_(config.demand, config.lines),
+      rng_(config.seed),
+      cellsPerLine_(static_cast<unsigned>(
+          (512 + config.scheme.checkBits() + bitsPerCell - 1) /
+          bitsPerCell)),
+      avgIterationsPerCell_(averageIterationsPerCell(config.device)),
+      lines_(config.lines)
+{
+    PCMSCRUB_ASSERT(config.lines >= 1, "backend needs lines");
+    PCMSCRUB_ASSERT(config.weakCellsTracked < cellsPerLine_,
+                    "cannot track %u weak cells of %u",
+                    config.weakCellsTracked, cellsPerLine_);
+    detector_ = makeDetector(config.detectorKind,
+                             512 + config.scheme.checkBits(),
+                             config.detectorParity, bitsPerCell);
+
+    const unsigned k = config_.weakCellsTracked;
+    bulkQuantile_ = 1.0 -
+        static_cast<double>(k) / static_cast<double>(cellsPerLine_);
+
+    // Sample each line's top-k intrinsic drift speeds via uniform
+    // order statistics: the j-th largest of n uniforms is the
+    // previous one scaled by U^(1/(n-j)).
+    weakCells_.resize(config.lines * k);
+    for (std::uint64_t line = 0; line < config.lines; ++line) {
+        double topUniform = 1.0;
+        for (unsigned j = 0; j < k; ++j) {
+            const double draw = std::max(rng_.uniform(), 1e-12);
+            topUniform *= std::pow(
+                draw, 1.0 / static_cast<double>(cellsPerLine_ - j));
+            WeakCell &cell = weakCells_[line * k + j];
+            cell.speed = static_cast<float>(drift_.speedAtQuantile(
+                std::clamp(topUniform, 1e-12, 1.0 - 1e-15)));
+            cell.level =
+                static_cast<std::uint8_t>(rng_.uniformInt(mlcLevels));
+        }
+    }
+}
+
+AnalyticBackend::~AnalyticBackend() = default;
+
+double
+AnalyticBackend::ageSeconds(const LineState &state, Tick now) const
+{
+    PCMSCRUB_ASSERT(now >= state.lastWrite, "time ran backwards");
+    return ticksToSeconds(now - state.lastWrite);
+}
+
+unsigned
+AnalyticBackend::weakErrors(LineIndex line) const
+{
+    const unsigned k = config_.weakCellsTracked;
+    unsigned crossed = 0;
+    for (unsigned j = 0; j < k; ++j)
+        crossed += weakCells_[line * k + j].crossed;
+    return crossed;
+}
+
+void
+AnalyticBackend::resetWeakCells(LineIndex line, bool new_data)
+{
+    const unsigned k = config_.weakCellsTracked;
+    for (unsigned j = 0; j < k; ++j) {
+        WeakCell &cell = weakCells_[line * k + j];
+        cell.crossed = false;
+        cell.qSampled = 0.0f;
+        if (new_data) {
+            cell.level =
+                static_cast<std::uint8_t>(rng_.uniformInt(mlcLevels));
+        }
+    }
+}
+
+unsigned
+AnalyticBackend::applyWear(LineState &state, double count)
+{
+    const double before = state.writes;
+    state.writes += count;
+    const double hazard = wear_.conditionalFailure(before, state.writes);
+    if (hazard <= 0.0)
+        return 0;
+    const unsigned alive = cellsPerLine_ - state.stuckCells;
+    const unsigned died =
+        static_cast<unsigned>(rng_.binomial(alive, hazard));
+    state.stuckCells = static_cast<std::uint16_t>(state.stuckCells +
+                                                  died);
+    metrics_.cellsWornOut += died;
+    return died;
+}
+
+void
+AnalyticBackend::resetAfterWrite(LineIndex line, Tick now,
+                                 bool new_data)
+{
+    LineState &state = lines_[line];
+    state.lastWrite = now;
+    state.pSampled = 0.0;
+    state.driftErrors = 0;
+    state.ueSampledErrors = 0;
+    state.uePlaced = false;
+    resetWeakCells(line, new_data);
+    if (new_data) {
+        // ECP patches the first n/2 stuck cells at write-verify;
+        // any beyond that disagree with fresh random data unless
+        // the new target happens to be the frozen level (1 in 4).
+        const unsigned covered = config_.ecpEntries / 2;
+        const unsigned exposed = state.stuckCells > covered
+            ? state.stuckCells - covered : 0;
+        state.stuckErrors = static_cast<std::uint16_t>(
+            rng_.binomial(exposed, 0.75));
+    }
+}
+
+void
+AnalyticBackend::chargeDemandExposure(LineIndex line,
+                                      const LineState &state,
+                                      double age_seconds)
+{
+    // Expected demand reads that hit the line while it was past the
+    // ECC limit. The crossing age is estimated from the population
+    // mean: the age at which drift alone supplies the errors the
+    // stuck cells had not already used up.
+    const unsigned t = scheme_.guaranteedT();
+    double crossAge = 0.0;
+    if (state.stuckErrors <= t) {
+        const double need = static_cast<double>(t + 1) -
+            static_cast<double>(state.stuckErrors);
+        crossAge = drift_.timeToExpectedErrors(cellsPerLine_, need);
+    }
+    const double badSeconds = std::max(0.0, age_seconds - crossAge);
+    metrics_.demandUncorrectable += demand_.readRate(line) * badSeconds;
+}
+
+void
+AnalyticBackend::materialize(LineIndex line, Tick now)
+{
+    LineState &state = lines_[line];
+    PCMSCRUB_ASSERT(now >= state.knownTick, "time ran backwards");
+    if (now == state.knownTick)
+        return;
+    const Tick gapStart = state.knownTick;
+    const double gap = ticksToSeconds(now - state.knownTick);
+    const double rate = demand_.writeRate(line);
+    state.knownTick = now;
+    if (gap <= 0.0)
+        return;
+
+    const std::uint64_t writes =
+        rate > 0.0 ? rng_.poisson(rate * gap) : 0;
+    if (writes > 0) {
+        // Age of the most recent of `writes` uniform arrivals.
+        const double lastAge = gap *
+            (1.0 - std::pow(rng_.uniform(),
+                            1.0 / static_cast<double>(writes)));
+        const Tick writeTick = now - secondsToTicks(lastAge);
+
+        // Before wiping state, account the exposure the overwritten
+        // data may have had: grow errors to the overwrite instant.
+        growDrift(line, std::max(writeTick, state.lastWrite));
+        if (totalErrors(line) > 0 && sampleUncorrectable(line)) {
+            chargeDemandExposure(line, state,
+                                 ageSeconds(state, writeTick));
+        }
+
+        applyWear(state, static_cast<double>(writes));
+        resetAfterWrite(line, writeTick, /*new_data=*/true);
+        metrics_.demandWrites += writes;
+    }
+
+    if (config_.demandReadPiggyback)
+        piggybackReads(line, gapStart, now);
+}
+
+void
+AnalyticBackend::piggybackReads(LineIndex line, Tick gap_start,
+                                Tick now)
+{
+    // The data path decoded every demand read in the gap; the last
+    // read after the line's current write decides whether drift was
+    // caught before `now` (crossings are monotone). Any write this
+    // gap contained has already reset state, so only reads landing
+    // after lastWrite matter.
+    LineState &state = lines_[line];
+    const Tick windowStart = std::max(gap_start, state.lastWrite);
+    if (now <= windowStart)
+        return;
+    const double window = ticksToSeconds(now - windowStart);
+    const double readRate = demand_.readRate(line);
+    if (readRate <= 0.0)
+        return;
+    const std::uint64_t reads = rng_.poisson(readRate * window);
+    if (reads == 0)
+        return;
+    const double lastAge = window *
+        (1.0 - std::pow(rng_.uniform(),
+                        1.0 / static_cast<double>(reads)));
+    const Tick readTick = now - secondsToTicks(lastAge);
+    if (readTick <= state.lastWrite)
+        return;
+
+    growDrift(line, readTick);
+    if (totalErrors(line) <
+        config_.piggybackRewriteThreshold)
+        return;
+
+    // The read-path decode saw enough errors: refresh immediately.
+    const EnergyModel energy(config_.device);
+    metrics_.energy.add(
+        EnergyCategory::ArrayWrite,
+        energy.lineWrite(static_cast<std::uint64_t>(
+            std::llround(cellsPerLine_ * avgIterationsPerCell_))));
+    ++metrics_.scrubRewrites;
+    ++metrics_.piggybackRewrites;
+    metrics_.correctedErrors += state.driftErrors + weakErrors(line);
+    applyWear(state, 1.0);
+    resetAfterWrite(line, readTick, /*new_data=*/false);
+}
+
+void
+AnalyticBackend::growDrift(LineIndex line, Tick now)
+{
+    LineState &state = lines_[line];
+    if (now <= state.lastWrite)
+        return;
+    const double age = ageSeconds(state, now);
+
+    // Bulk population (speeds below the tracked-tail quantile).
+    const double p2 = drift_.bulkCellErrorProb(age, bulkQuantile_);
+    if (p2 > state.pSampled) {
+        const unsigned bulkCells =
+            cellsPerLine_ - config_.weakCellsTracked;
+        const unsigned used = state.stuckCells + state.driftErrors;
+        const unsigned available =
+            bulkCells > used ? bulkCells - used : 0;
+        const double growth = (p2 - state.pSampled) /
+            (1.0 - state.pSampled);
+        state.driftErrors = static_cast<std::uint16_t>(
+            state.driftErrors + rng_.binomial(available, growth));
+        state.pSampled = p2;
+    }
+
+    // Individually-tracked fast drifters.
+    const unsigned k = config_.weakCellsTracked;
+    for (unsigned j = 0; j < k; ++j) {
+        WeakCell &cell = weakCells_[line * k + j];
+        if (cell.crossed)
+            continue;
+        const double q2 = drift_.levelErrorProbGivenSpeed(
+            cell.level, age, static_cast<double>(cell.speed));
+        const double q1 = static_cast<double>(cell.qSampled);
+        if (q2 <= q1)
+            continue;
+        const double growth = (q2 - q1) / (1.0 - q1);
+        if (rng_.bernoulli(growth))
+            cell.crossed = true;
+        cell.qSampled = static_cast<float>(q2);
+    }
+}
+
+bool
+AnalyticBackend::sampleUncorrectable(LineIndex line)
+{
+    LineState &state = lines_[line];
+    const unsigned total = totalErrors(line);
+    if (state.uePlaced)
+        return true;
+    if (total <= state.ueSampledErrors)
+        return false;
+    // Sample the placement decision only for the new errors,
+    // conditioned on having survived the previous count.
+    const double pNew = scheme_.uncorrectableProb(total);
+    const double pOld =
+        scheme_.uncorrectableProb(state.ueSampledErrors);
+    double pCond = 0.0;
+    if (pOld < 1.0)
+        pCond = (pNew - pOld) / (1.0 - pOld);
+    state.ueSampledErrors = static_cast<std::uint16_t>(total);
+    if (rng_.bernoulli(pCond))
+        state.uePlaced = true;
+    return state.uePlaced;
+}
+
+void
+AnalyticBackend::chargeArrayRead(LineIndex line, Tick now)
+{
+    if (chargedLine_ == line && chargedTick_ == now)
+        return;
+    chargedLine_ = line;
+    chargedTick_ = now;
+    const EnergyModel energy(config_.device);
+    metrics_.energy.add(EnergyCategory::ArrayRead,
+                        energy.lineRead(cellsPerLine_));
+}
+
+Tick
+AnalyticBackend::lastFullWrite(LineIndex line, Tick now)
+{
+    materialize(line, now);
+    return lines_[line].lastWrite;
+}
+
+bool
+AnalyticBackend::lightDetectClean(LineIndex line, Tick now)
+{
+    materialize(line, now);
+    growDrift(line, now);
+    chargeArrayRead(line, now);
+    const EnergyModel energy(config_.device);
+    metrics_.energy.add(EnergyCategory::Detect, energy.lightDetect());
+    ++metrics_.lightDetects;
+
+    const unsigned errors = totalErrors(line);
+    if (errors == 0)
+        return true;
+    if (rng_.bernoulli(detector_->missProbability(errors))) {
+        ++metrics_.detectorMisses;
+        return true;
+    }
+    return false;
+}
+
+bool
+AnalyticBackend::eccCheckClean(LineIndex line, Tick now)
+{
+    materialize(line, now);
+    growDrift(line, now);
+    chargeArrayRead(line, now);
+    const EnergyModel energy(config_.device);
+    metrics_.energy.add(EnergyCategory::Decode,
+                        scheme_.checkEnergy(config_.device));
+    ++metrics_.eccChecks;
+    return totalErrors(line) == 0;
+}
+
+FullDecodeOutcome
+AnalyticBackend::fullDecode(LineIndex line, Tick now)
+{
+    materialize(line, now);
+    growDrift(line, now);
+    chargeArrayRead(line, now);
+    const EnergyModel energy(config_.device);
+    metrics_.energy.add(EnergyCategory::Decode,
+                        scheme_.fullDecodeEnergy(config_.device));
+    ++metrics_.fullDecodes;
+
+    FullDecodeOutcome outcome;
+    outcome.errors = totalErrors(line);
+    if (outcome.errors > 0 && sampleUncorrectable(line)) {
+        outcome.uncorrectable = true;
+        ++metrics_.scrubUncorrectable;
+        chargeDemandExposure(line, lines_[line],
+                             ageSeconds(lines_[line], now));
+    }
+    return outcome;
+}
+
+unsigned
+AnalyticBackend::marginScan(LineIndex line, Tick now)
+{
+    materialize(line, now);
+    growDrift(line, now);
+    chargeArrayRead(line, now);
+    const EnergyModel energy(config_.device);
+    metrics_.energy.add(EnergyCategory::MarginRead,
+                        energy.marginReadExtra(cellsPerLine_));
+    ++metrics_.marginScans;
+
+    const LineState &state = lines_[line];
+    const double age = ageSeconds(state, now);
+    const double pFlag = drift_.cellMarginFlagProb(age);
+    const double pError = drift_.cellErrorProb(age);
+    double conditional = 0.0;
+    if (pError < 1.0)
+        conditional = std::min(1.0, pFlag / (1.0 - pError));
+    const unsigned errored = state.stuckCells + state.driftErrors +
+        weakErrors(line);
+    const unsigned healthy = cellsPerLine_ > errored
+        ? cellsPerLine_ - errored : 0;
+    return static_cast<unsigned>(rng_.binomial(healthy, conditional));
+}
+
+void
+AnalyticBackend::scrubRewrite(LineIndex line, Tick now, bool preventive)
+{
+    materialize(line, now);
+    growDrift(line, now);
+    LineState &state = lines_[line];
+
+    const EnergyModel energy(config_.device);
+    metrics_.energy.add(
+        EnergyCategory::ArrayWrite,
+        energy.lineWrite(static_cast<std::uint64_t>(
+            std::llround(cellsPerLine_ * avgIterationsPerCell_))));
+    ++metrics_.scrubRewrites;
+    if (preventive)
+        ++metrics_.preventiveRewrites;
+    metrics_.correctedErrors += state.driftErrors + weakErrors(line);
+
+    applyWear(state, 1.0);
+    // Scrub rewrites restore the *same* data: stuck cells that
+    // matched keep matching, conflicting ones stay wrong.
+    resetAfterWrite(line, now, /*new_data=*/false);
+}
+
+void
+AnalyticBackend::repairUncorrectable(LineIndex line, Tick now)
+{
+    materialize(line, now);
+    LineState &state = lines_[line];
+    const EnergyModel energy(config_.device);
+    metrics_.energy.add(
+        EnergyCategory::ArrayWrite,
+        energy.lineWrite(static_cast<std::uint64_t>(
+            std::llround(cellsPerLine_ * avgIterationsPerCell_))));
+    applyWear(state, 1.0);
+    // Recovery remaps conflicting stuck cells to spares and reloads
+    // the data, so the line starts clean.
+    state.stuckErrors = 0;
+    resetAfterWrite(line, now, /*new_data=*/false);
+}
+
+void
+AnalyticBackend::noteVisit(LineIndex line, Tick now)
+{
+    PCMSCRUB_ASSERT(line < lines_.size(), "line %llu out of range",
+                    static_cast<unsigned long long>(line));
+    (void)now;
+    ++metrics_.linesChecked;
+}
+
+unsigned
+AnalyticBackend::trueErrors(LineIndex line, Tick now)
+{
+    materialize(line, now);
+    growDrift(line, now);
+    return totalErrors(line);
+}
+
+unsigned
+AnalyticBackend::stuckCells(LineIndex line) const
+{
+    return lines_.at(line).stuckCells;
+}
+
+double
+AnalyticBackend::lineWrites(LineIndex line) const
+{
+    return lines_.at(line).writes;
+}
+
+} // namespace pcmscrub

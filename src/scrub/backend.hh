@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The device abstraction scrub policies run against.
+ *
+ * Two implementations exist: AnalyticBackend (line-sampled,
+ * closed-form drift, lazily materialised demand traffic — scales to
+ * device-years) and CellBackend (every cell simulated, real BCH
+ * decodes — the ground truth the analytic backend is validated
+ * against). Policies cannot tell them apart.
+ *
+ * Operation costs: the first sensing operation of a visit charges
+ * one array read; subsequent operations on the same (line, tick)
+ * only charge their own logic energy, because the controller reuses
+ * the buffered line.
+ */
+
+#ifndef PCMSCRUB_SCRUB_BACKEND_HH
+#define PCMSCRUB_SCRUB_BACKEND_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "pcm/drift_model.hh"
+#include "scrub/ecc_scheme.hh"
+#include "scrub/metrics.hh"
+
+namespace pcmscrub {
+
+/** What a full decode revealed. */
+struct FullDecodeOutcome
+{
+    /** The line's errors exceed the ECC's power. */
+    bool uncorrectable = false;
+
+    /**
+     * Cell errors found (exact for correctable lines; for
+     * uncorrectable lines the decoder only knows "too many").
+     */
+    unsigned errors = 0;
+};
+
+/**
+ * Abstract scrubbed memory.
+ */
+class ScrubBackend
+{
+  public:
+    virtual ~ScrubBackend() = default;
+
+    /** Lines under this backend's management. */
+    virtual std::uint64_t lineCount() const = 0;
+
+    /** Cells per line (data + check cells). */
+    virtual unsigned cellsPerLine() const = 0;
+
+    /** The line-protection scheme in force. */
+    virtual const EccScheme &scheme() const = 0;
+
+    /** Device drift characteristics (datasheet knowledge). */
+    virtual const DriftModel &drift() const = 0;
+
+    /**
+     * Tick of the line's most recent full write, with demand
+     * traffic up to `now` taken into account. This is what the
+     * controller's metadata table would hold.
+     */
+    virtual Tick lastFullWrite(LineIndex line, Tick now) = 0;
+
+    // Check-time operations (each updates metrics and energy) -------
+
+    /**
+     * Light detector: true when the line *looks* clean. May miss
+     * (multi-error aliasing); never false-positives.
+     */
+    virtual bool lightDetectClean(LineIndex line, Tick now) = 0;
+
+    /** Syndrome-only ECC check: true when provably clean. */
+    virtual bool eccCheckClean(LineIndex line, Tick now) = 0;
+
+    /** Full locate-and-correct decode (correction not persisted). */
+    virtual FullDecodeOutcome fullDecode(LineIndex line, Tick now) = 0;
+
+    /** Precision margin read: count of about-to-fail cells. */
+    virtual unsigned marginScan(LineIndex line, Tick now) = 0;
+
+    /**
+     * Corrective rewrite: reprogram the full line with corrected
+     * data, resetting every drift clock and charging wear.
+     *
+     * @param preventive bookkeeping flag: rewrite triggered by the
+     *        margin scan rather than by observed errors
+     */
+    virtual void scrubRewrite(LineIndex line, Tick now,
+                              bool preventive = false) = 0;
+
+    /**
+     * Recovery after an uncorrectable line (reload from redundancy
+     * elsewhere); resets the line so the simulation can continue.
+     * The UE itself is already counted by fullDecode.
+     */
+    virtual void repairUncorrectable(LineIndex line, Tick now) = 0;
+
+    // Bookkeeping ---------------------------------------------------
+
+    /** A policy visited this line (counted once per visit). */
+    virtual void noteVisit(LineIndex line, Tick now) = 0;
+
+    virtual const ScrubMetrics &metrics() const = 0;
+    virtual ScrubMetrics &metrics() = 0;
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_SCRUB_BACKEND_HH

@@ -1,0 +1,259 @@
+#include "scrub/cell_backend.hh"
+
+#include "common/logging.hh"
+#include "ecc/bch.hh"
+#include "ecc/interleaved.hh"
+#include "ecc/secded.hh"
+
+namespace pcmscrub {
+
+std::unique_ptr<Code>
+CellBackend::buildCode(const EccScheme &scheme)
+{
+    if (scheme.kind() == EccKind::SecdedInterleaved) {
+        return std::make_unique<InterleavedCode>(
+            std::make_unique<SecdedCode>(64), 8);
+    }
+    return std::make_unique<BchCode>(512, scheme.guaranteedT());
+}
+
+CellBackend::CellBackend(const CellBackendConfig &config)
+    : config_(config),
+      scheme_(config.scheme),
+      drift_(config.device),
+      code_(buildCode(config.scheme)),
+      detector_(makeDetector(config.detectorKind,
+                             code_->codewordBits(),
+                             config.detectorParity, bitsPerCell)),
+      energyModel_(config.device),
+      array_(config.lines, code_->codewordBits(), config.device,
+             config.seed)
+{
+    if (config.ecpEntries > 0) {
+        ecp_.assign(config.lines,
+                    EcpStore(code_->codewordBits(),
+                             config.ecpEntries));
+    }
+
+    // Warm up: every line holds an encoded random payload.
+    detectWords_.reserve(config.lines);
+    BitVector data(code_->dataBits());
+    for (std::size_t i = 0; i < config.lines; ++i) {
+        data.randomize(array_.rng());
+        const BitVector word = code_->encode(data);
+        array_.line(i).writeCodeword(word, 0, array_.model(),
+                                     array_.rng());
+        detectWords_.push_back(detector_->compute(word));
+    }
+}
+
+std::uint64_t
+CellBackend::lineCount() const
+{
+    return array_.lineCount();
+}
+
+unsigned
+CellBackend::cellsPerLine() const
+{
+    return array_.line(0).cellCount();
+}
+
+BitVector
+CellBackend::senseRaw(LineIndex line, Tick now) const
+{
+    BitVector word = array_.line(line).readCodeword(now,
+                                                    array_.model());
+    if (!ecp_.empty())
+        ecp_[line].apply(word);
+    return word;
+}
+
+BitVector
+CellBackend::readLine(LineIndex line, Tick now)
+{
+    if (chargedLine_ != line || chargedTick_ != now) {
+        chargedLine_ = line;
+        chargedTick_ = now;
+        metrics_.energy.add(EnergyCategory::ArrayRead,
+                            energyModel_.lineRead(cellsPerLine()));
+    }
+    return senseRaw(line, now);
+}
+
+void
+CellBackend::rebuildEcp(LineIndex line, const BitVector &written)
+{
+    if (ecp_.empty())
+        return;
+    // Write-verify knows exactly which cells refused the new data;
+    // point ECP entries at the conflicting bits. Entries are
+    // re-derived per write (the replacement bits are data).
+    EcpStore &store = ecp_[line];
+    store.clear();
+    const Line &physical = array_.line(line);
+    for (unsigned i = 0; i < physical.cellCount(); ++i) {
+        const Cell &cell = physical.cell(i);
+        if (!cell.stuck)
+            continue;
+        const std::uint8_t gray = levelToGray(cell.stuckLevel);
+        for (unsigned b = 0; b < bitsPerCell; ++b) {
+            const std::size_t bit =
+                static_cast<std::size_t>(i) * bitsPerCell + b;
+            if (bit >= written.size())
+                break;
+            const bool stuckBit = (gray >> b) & 1;
+            const bool wantBit = written.get(bit);
+            if (stuckBit != wantBit && !store.assign(bit, wantBit))
+                return; // Exhausted: remaining conflicts stay raw.
+        }
+    }
+}
+
+void
+CellBackend::programLine(LineIndex line, const BitVector &word,
+                         Tick now, bool scrub_energy)
+{
+    const LineProgramStats stats = array_.line(line).writeCodeword(
+        word, now, array_.model(), array_.rng());
+    if (scrub_energy) {
+        metrics_.energy.add(
+            EnergyCategory::ArrayWrite,
+            energyModel_.lineWrite(stats.totalIterations));
+    }
+    metrics_.cellsWornOut += stats.cellsWornOut;
+    detectWords_[line] = detector_->compute(word);
+    rebuildEcp(line, word);
+}
+
+unsigned
+CellBackend::ecpUsed(LineIndex line) const
+{
+    return ecp_.empty() ? 0 : ecp_[line].used();
+}
+
+Tick
+CellBackend::lastFullWrite(LineIndex line, Tick now)
+{
+    (void)now;
+    return array_.line(line).lastWriteTick();
+}
+
+bool
+CellBackend::lightDetectClean(LineIndex line, Tick now)
+{
+    const BitVector read = readLine(line, now);
+    metrics_.energy.add(EnergyCategory::Detect,
+                        energyModel_.lightDetect());
+    ++metrics_.lightDetects;
+    const bool clean = detector_->compute(read) == detectWords_[line];
+    if (clean &&
+        read != array_.line(line).intendedWord()) {
+        ++metrics_.detectorMisses;
+    }
+    return clean;
+}
+
+bool
+CellBackend::eccCheckClean(LineIndex line, Tick now)
+{
+    const BitVector read = readLine(line, now);
+    metrics_.energy.add(EnergyCategory::Decode,
+                        scheme_.checkEnergy(config_.device));
+    ++metrics_.eccChecks;
+    return code_->check(read);
+}
+
+FullDecodeOutcome
+CellBackend::fullDecode(LineIndex line, Tick now)
+{
+    BitVector word = readLine(line, now);
+    metrics_.energy.add(EnergyCategory::Decode,
+                        scheme_.fullDecodeEnergy(config_.device));
+    ++metrics_.fullDecodes;
+
+    const DecodeResult result = code_->decode(word);
+    FullDecodeOutcome outcome;
+    switch (result.status) {
+      case DecodeStatus::Clean:
+        break;
+      case DecodeStatus::Corrected:
+        outcome.errors = result.correctedBits;
+        if (word != array_.line(line).intendedWord()) {
+            // Decoder landed on the wrong codeword: silent data
+            // corruption the scrub cannot see (ground truth can).
+            ++metrics_.miscorrections;
+        }
+        break;
+      case DecodeStatus::Uncorrectable:
+        outcome.uncorrectable = true;
+        outcome.errors = trueErrors(line, now);
+        ++metrics_.scrubUncorrectable;
+        break;
+    }
+    return outcome;
+}
+
+unsigned
+CellBackend::marginScan(LineIndex line, Tick now)
+{
+    readLine(line, now); // Margin read includes the sensing pass.
+    metrics_.energy.add(EnergyCategory::MarginRead,
+                        energyModel_.marginReadExtra(cellsPerLine()));
+    ++metrics_.marginScans;
+    return array_.line(line).marginScanCount(now, array_.model());
+}
+
+void
+CellBackend::scrubRewrite(LineIndex line, Tick now, bool preventive)
+{
+    const unsigned before = trueErrors(line, now);
+    programLine(line, array_.line(line).intendedWord(), now);
+    const unsigned after = trueErrors(line, now);
+    ++metrics_.scrubRewrites;
+    if (preventive)
+        ++metrics_.preventiveRewrites;
+    metrics_.correctedErrors += before > after ? before - after : 0;
+}
+
+void
+CellBackend::repairUncorrectable(LineIndex line, Tick now)
+{
+    programLine(line, array_.line(line).intendedWord(), now);
+    // Remap still-conflicting stuck cells to spares; the stale ECP
+    // entries are then unnecessary (and would mis-patch).
+    array_.line(line).remapStuckToIntended();
+    if (!ecp_.empty())
+        ecp_[line].clear();
+}
+
+void
+CellBackend::noteVisit(LineIndex line, Tick now)
+{
+    PCMSCRUB_ASSERT(line < lineCount(), "line %llu out of range",
+                    static_cast<unsigned long long>(line));
+    (void)now;
+    ++metrics_.linesChecked;
+}
+
+void
+CellBackend::demandWrite(LineIndex line, Tick now)
+{
+    BitVector data(code_->dataBits());
+    data.randomize(array_.rng());
+    programLine(line, code_->encode(data), now,
+                /*scrub_energy=*/false);
+    ++metrics_.demandWrites;
+}
+
+unsigned
+CellBackend::trueErrors(LineIndex line, Tick now) const
+{
+    // Ground truth as the controller would see it: after ECP
+    // patching, before ECC.
+    const BitVector read = senseRaw(line, now);
+    return static_cast<unsigned>(
+        read.hammingDistance(array_.line(line).intendedWord()));
+}
+
+} // namespace pcmscrub

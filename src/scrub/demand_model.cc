@@ -1,0 +1,77 @@
+#include "scrub/demand_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pcmscrub {
+
+DemandModel::DemandModel(const DemandConfig &config, std::uint64_t lines)
+    : config_(config), lines_(lines)
+{
+    PCMSCRUB_ASSERT(lines >= 1, "demand model needs lines");
+    if (config_.writesPerLinePerSecond < 0.0 ||
+        config_.readsPerLinePerSecond < 0.0)
+        fatal("demand rates must be non-negative");
+
+    if (config_.kind == WorkloadKind::Zipf) {
+        double zeta = 0.0;
+        for (std::uint64_t i = 1; i <= lines_; ++i)
+            zeta += 1.0 / std::pow(static_cast<double>(i),
+                                   config_.zipfTheta);
+        zipfZeta_ = zeta;
+    } else if (config_.kind == WorkloadKind::WriteBurst) {
+        const double h = config_.hotFraction;
+        const double m = config_.hotMultiplier;
+        if (h <= 0.0 || h >= 1.0 || m < 1.0)
+            fatal("write-burst demand needs 0 < hotFraction < 1 and "
+                  "hotMultiplier >= 1");
+        // Scale classes so the across-lines mean weight stays 1.
+        coldWeight_ = 1.0 / (h * m + (1.0 - h));
+        hotWeight_ = m * coldWeight_;
+    }
+}
+
+double
+DemandModel::weight(LineIndex line) const
+{
+    PCMSCRUB_ASSERT(line < lines_, "line %llu out of range",
+                    static_cast<unsigned long long>(line));
+    switch (config_.kind) {
+      case WorkloadKind::Uniform:
+      case WorkloadKind::Streaming:
+        // Streaming sweeps every line at the same average rate; the
+        // analytic model keeps the rate and Poissonises arrivals.
+        return 1.0;
+      case WorkloadKind::Zipf: {
+        const double rank = static_cast<double>(line) + 1.0;
+        const double share =
+            1.0 / std::pow(rank, config_.zipfTheta) / zipfZeta_;
+        return share * static_cast<double>(lines_);
+      }
+      case WorkloadKind::WriteBurst: {
+        // Pseudo-random stable hot-set membership.
+        const std::uint64_t hash = line * 0x9e3779b97f4a7c15ULL;
+        const double position = static_cast<double>(hash >> 11) *
+            0x1.0p-53;
+        return position < config_.hotFraction ? hotWeight_
+                                              : coldWeight_;
+      }
+      default:
+        panic("bad workload kind");
+    }
+}
+
+double
+DemandModel::writeRate(LineIndex line) const
+{
+    return config_.writesPerLinePerSecond * weight(line);
+}
+
+double
+DemandModel::readRate(LineIndex line) const
+{
+    return config_.readsPerLinePerSecond * weight(line);
+}
+
+} // namespace pcmscrub

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Per-line demand-traffic rates for the analytic backend.
+ *
+ * The analytic engine needs only each line's read and write rates:
+ * writes reset drift clocks and consume endurance; reads determine
+ * how exposed an uncorrectable line is. Patterns map onto rate
+ * distributions (DESIGN.md documents this substitution): uniform and
+ * streaming give every line the average rate, Zipf gives rank-skewed
+ * rates, and write-burst becomes a hot/cold two-class split with the
+ * same time-averaged behaviour.
+ */
+
+#ifndef PCMSCRUB_SCRUB_DEMAND_MODEL_HH
+#define PCMSCRUB_SCRUB_DEMAND_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/workload.hh"
+
+namespace pcmscrub {
+
+/** Demand-traffic parameters for the analytic backend. */
+struct DemandConfig
+{
+    WorkloadKind kind = WorkloadKind::Uniform;
+
+    /** Average full-line writes per line per second. */
+    double writesPerLinePerSecond = 1e-5;
+
+    /** Average reads per line per second. */
+    double readsPerLinePerSecond = 1e-4;
+
+    /** Zipf skew (Zipf only). */
+    double zipfTheta = 0.9;
+
+    /** Fraction of hot lines (write-burst only). */
+    double hotFraction = 0.05;
+
+    /** Hot-line rate multiplier (write-burst only). */
+    double hotMultiplier = 20.0;
+};
+
+/**
+ * Maps a line index to its Poisson demand rates.
+ */
+class DemandModel
+{
+  public:
+    DemandModel(const DemandConfig &config, std::uint64_t lines);
+
+    const DemandConfig &config() const { return config_; }
+
+    /** Full-line write rate of a line, per second. */
+    double writeRate(LineIndex line) const;
+
+    /** Read rate of a line, per second. */
+    double readRate(LineIndex line) const;
+
+  private:
+    /** Rate weight of a line (mean 1 across lines). */
+    double weight(LineIndex line) const;
+
+    DemandConfig config_;
+    std::uint64_t lines_;
+    double zipfZeta_ = 0.0;
+    double hotWeight_ = 1.0;
+    double coldWeight_ = 1.0;
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_SCRUB_DEMAND_MODEL_HH

@@ -1,0 +1,79 @@
+#include "scrub/factory.hh"
+
+#include "common/logging.hh"
+
+namespace pcmscrub {
+
+const char *
+policyKindName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Basic:
+        return "basic";
+      case PolicyKind::StrongEcc:
+        return "strong_ecc";
+      case PolicyKind::LightDetect:
+        return "light_detect";
+      case PolicyKind::Threshold:
+        return "threshold";
+      case PolicyKind::Preventive:
+        return "preventive";
+      case PolicyKind::Adaptive:
+        return "adaptive";
+      case PolicyKind::Combined:
+        return "combined";
+      default:
+        panic("bad policy kind %u", static_cast<unsigned>(kind));
+    }
+}
+
+PolicyKind
+policyKindFromName(const std::string &name)
+{
+    for (const auto kind :
+         {PolicyKind::Basic, PolicyKind::StrongEcc,
+          PolicyKind::LightDetect, PolicyKind::Threshold,
+          PolicyKind::Preventive, PolicyKind::Adaptive,
+          PolicyKind::Combined}) {
+        if (name == policyKindName(kind))
+            return kind;
+    }
+    fatal("unknown scrub policy '%s' (try basic, strong_ecc, "
+          "light_detect, threshold, preventive, adaptive, combined)",
+          name.c_str());
+}
+
+std::unique_ptr<ScrubPolicy>
+makePolicy(const PolicySpec &spec, const ScrubBackend &backend)
+{
+    switch (spec.kind) {
+      case PolicyKind::Basic:
+        return std::make_unique<BasicScrub>(spec.interval);
+      case PolicyKind::StrongEcc:
+        return std::make_unique<StrongEccScrub>(spec.interval);
+      case PolicyKind::LightDetect:
+        return std::make_unique<LightDetectScrub>(spec.interval);
+      case PolicyKind::Threshold:
+        return std::make_unique<ThresholdScrub>(spec.interval,
+                                                spec.rewriteThreshold);
+      case PolicyKind::Preventive:
+        return std::make_unique<PreventiveScrub>(
+            spec.interval, spec.marginRewriteThreshold);
+      case PolicyKind::Adaptive: {
+        AdaptiveParams params;
+        params.targetLineUeProb = spec.targetLineUeProb;
+        params.linesPerRegion = spec.linesPerRegion;
+        params.procedure.eccCheckFirst = true;
+        return std::make_unique<AdaptiveScrub>(params, backend);
+      }
+      case PolicyKind::Combined:
+        return std::make_unique<CombinedScrub>(spec.targetLineUeProb,
+                                               spec.rewriteHeadroom,
+                                               backend,
+                                               spec.linesPerRegion);
+      default:
+        panic("bad policy kind %u", static_cast<unsigned>(spec.kind));
+    }
+}
+
+} // namespace pcmscrub

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Construction of scrub policies from declarative specs, so
+ * experiment harnesses and examples configure runs with data rather
+ * than code.
+ */
+
+#ifndef PCMSCRUB_SCRUB_FACTORY_HH
+#define PCMSCRUB_SCRUB_FACTORY_HH
+
+#include <memory>
+#include <string>
+
+#include "scrub/adaptive_scrub.hh"
+#include "scrub/sweep_scrub.hh"
+
+namespace pcmscrub {
+
+/** Policy family. */
+enum class PolicyKind : unsigned {
+    Basic,
+    StrongEcc,
+    LightDetect,
+    Threshold,
+    Preventive,
+    Adaptive,
+    Combined,
+};
+
+const char *policyKindName(PolicyKind kind);
+
+/** Parse a family from its name; fatal() on unknown names. */
+PolicyKind policyKindFromName(const std::string &name);
+
+/** Everything needed to build any policy. */
+struct PolicySpec
+{
+    PolicyKind kind = PolicyKind::Basic;
+
+    /** Sweep period (sweep families). */
+    Tick interval = secondsToTicks(3600.0);
+
+    /** Rewrite trigger (Threshold and Combined families). */
+    unsigned rewriteThreshold = 1;
+
+    /** Headroom left unused before rewriting (Combined). */
+    unsigned rewriteHeadroom = 2;
+
+    /** Guard-band cells that trigger preventive refresh. */
+    unsigned marginRewriteThreshold = 8;
+
+    /** Risk target (Adaptive and Combined). */
+    double targetLineUeProb = 1e-7;
+
+    /** Tracking granularity (Adaptive and Combined). */
+    std::uint64_t linesPerRegion = 256;
+};
+
+/**
+ * Build a policy. The backend is consulted for device and ECC
+ * parameters (adaptive scheduling needs them) but not retained.
+ */
+std::unique_ptr<ScrubPolicy> makePolicy(const PolicySpec &spec,
+                                        const ScrubBackend &backend);
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_SCRUB_FACTORY_HH

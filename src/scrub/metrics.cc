@@ -1,0 +1,46 @@
+#include "scrub/metrics.hh"
+
+#include <sstream>
+
+namespace pcmscrub {
+
+void
+ScrubMetrics::merge(const ScrubMetrics &other)
+{
+    linesChecked += other.linesChecked;
+    lightDetects += other.lightDetects;
+    eccChecks += other.eccChecks;
+    fullDecodes += other.fullDecodes;
+    marginScans += other.marginScans;
+    scrubRewrites += other.scrubRewrites;
+    preventiveRewrites += other.preventiveRewrites;
+    piggybackRewrites += other.piggybackRewrites;
+    correctedErrors += other.correctedErrors;
+    scrubUncorrectable += other.scrubUncorrectable;
+    demandUncorrectable += other.demandUncorrectable;
+    cellsWornOut += other.cellsWornOut;
+    demandWrites += other.demandWrites;
+    detectorMisses += other.detectorMisses;
+    miscorrections += other.miscorrections;
+    energy.merge(other.energy);
+}
+
+std::string
+ScrubMetrics::toString() const
+{
+    std::ostringstream out;
+    out << "checked=" << linesChecked
+        << " light=" << lightDetects
+        << " checks=" << eccChecks
+        << " decodes=" << fullDecodes
+        << " rewrites=" << scrubRewrites
+        << " (preventive=" << preventiveRewrites << ")"
+        << " corrected=" << correctedErrors
+        << " ue_scrub=" << scrubUncorrectable
+        << " ue_demand=" << demandUncorrectable
+        << " worn=" << cellsWornOut
+        << " energy_pJ=" << energy.total();
+    return out.str();
+}
+
+} // namespace pcmscrub

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The measurements every scrub experiment reports: operation counts,
+ * error outcomes, and energy, in one comparable bundle.
+ */
+
+#ifndef PCMSCRUB_SCRUB_METRICS_HH
+#define PCMSCRUB_SCRUB_METRICS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "pcm/energy.hh"
+
+namespace pcmscrub {
+
+/**
+ * Aggregated scrub outcome over a simulated horizon.
+ */
+struct ScrubMetrics
+{
+    // Work performed -----------------------------------------------
+
+    /** Lines visited by the scrub engine. */
+    std::uint64_t linesChecked = 0;
+
+    /** Light-detector evaluations. */
+    std::uint64_t lightDetects = 0;
+
+    /** Syndrome-only ECC checks. */
+    std::uint64_t eccChecks = 0;
+
+    /** Full error-locating decodes. */
+    std::uint64_t fullDecodes = 0;
+
+    /** Precision margin scans. */
+    std::uint64_t marginScans = 0;
+
+    /** Corrective scrub rewrites (the paper's "scrub writes"). */
+    std::uint64_t scrubRewrites = 0;
+
+    /** Rewrites triggered preventively by the margin scan. */
+    std::uint64_t preventiveRewrites = 0;
+
+    /**
+     * Corrective rewrites triggered by demand-read piggybacking:
+     * the data path's own ECC decode found enough errors to justify
+     * an immediate refresh, with no scrub check involved.
+     */
+    std::uint64_t piggybackRewrites = 0;
+
+    // Error outcomes -----------------------------------------------
+
+    /** Cell errors corrected by scrub rewrites. */
+    std::uint64_t correctedErrors = 0;
+
+    /** Uncorrectable lines discovered by scrub checks. */
+    std::uint64_t scrubUncorrectable = 0;
+
+    /**
+     * Expected uncorrectable demand reads: reads that landed on a
+     * line while it held more errors than the ECC can fix
+     * (accumulated analytically from per-line exposure windows).
+     */
+    double demandUncorrectable = 0.0;
+
+    /** Cells that hard-failed (endurance) during the run. */
+    std::uint64_t cellsWornOut = 0;
+
+    /** Demand writes applied (materialised) during the run. */
+    std::uint64_t demandWrites = 0;
+
+    /** Light-detector misses discovered by a later full decode. */
+    std::uint64_t detectorMisses = 0;
+
+    /**
+     * Silent miscorrections: the decoder "fixed" a line into the
+     * wrong codeword (only observable with ground truth, i.e. in
+     * the cell-accurate backend).
+     */
+    std::uint64_t miscorrections = 0;
+
+    // Energy ------------------------------------------------------
+
+    EnergyAccount energy;
+
+    // Helpers ------------------------------------------------------
+
+    /** Total uncorrectable events (scrub-found plus demand-read). */
+    double totalUncorrectable() const
+    {
+        return static_cast<double>(scrubUncorrectable) +
+            demandUncorrectable;
+    }
+
+    void merge(const ScrubMetrics &other);
+
+    std::string toString() const;
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_SCRUB_METRICS_HH

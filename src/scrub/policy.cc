@@ -1,0 +1,27 @@
+#include "scrub/policy.hh"
+
+#include "common/logging.hh"
+
+namespace pcmscrub {
+
+std::uint64_t
+runScrub(ScrubBackend &backend, ScrubPolicy &policy, Tick horizon)
+{
+    std::uint64_t wakes = 0;
+    Tick last = 0;
+    for (;;) {
+        const Tick when = policy.nextWake();
+        if (when > horizon)
+            break;
+        PCMSCRUB_ASSERT(when >= last, "policy scheduled into the past");
+        last = when;
+        policy.wake(backend, when);
+        PCMSCRUB_ASSERT(policy.nextWake() > when,
+                        "policy %s failed to reschedule",
+                        policy.name().c_str());
+        ++wakes;
+    }
+    return wakes;
+}
+
+} // namespace pcmscrub

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Scrub-policy interface: a policy decides *when* lines are checked,
+ * *how* a check proceeds (light detect, syndrome check, full
+ * decode), and *whether* a rewrite is issued — the three dimensions
+ * the paper explores.
+ */
+
+#ifndef PCMSCRUB_SCRUB_POLICY_HH
+#define PCMSCRUB_SCRUB_POLICY_HH
+
+#include <string>
+
+#include "common/types.hh"
+#include "scrub/backend.hh"
+
+namespace pcmscrub {
+
+/**
+ * A scrub algorithm driving a ScrubBackend.
+ */
+class ScrubPolicy
+{
+  public:
+    virtual ~ScrubPolicy() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Tick of the next scheduled scrub activity. */
+    virtual Tick nextWake() const = 0;
+
+    /**
+     * Perform the work scheduled for `now` (== nextWake()) and
+     * reschedule. The engine guarantees monotone `now`.
+     */
+    virtual void wake(ScrubBackend &backend, Tick now) = 0;
+};
+
+/**
+ * Drive a policy against a backend until `horizon`.
+ *
+ * @return number of wakes executed
+ */
+std::uint64_t runScrub(ScrubBackend &backend, ScrubPolicy &policy,
+                       Tick horizon);
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_SCRUB_POLICY_HH

@@ -1,0 +1,185 @@
+#include "scrub/sweep_scrub.hh"
+
+#include "common/logging.hh"
+
+namespace pcmscrub {
+
+SweepScrubBase::SweepScrubBase(Tick interval,
+                               const CheckProcedure &procedure)
+    : interval_(interval), procedure_(procedure), nextDue_(interval)
+{
+    if (interval == 0)
+        fatal("scrub interval must be positive");
+    if (procedure.rewriteThreshold < 1)
+        fatal("rewrite threshold must be at least 1");
+}
+
+LineCheckResult
+scrubCheckLine(ScrubBackend &backend, LineIndex line, Tick now,
+               const CheckProcedure &procedure)
+{
+    backend.noteVisit(line, now);
+    LineCheckResult result;
+
+    bool gatedClean = false;
+    bool rewrote = false;
+
+    if (procedure.lightDetectFirst &&
+        backend.lightDetectClean(line, now)) {
+        gatedClean = true;
+    } else if (procedure.eccCheckFirst &&
+               backend.eccCheckClean(line, now)) {
+        gatedClean = true;
+    }
+
+    if (!gatedClean) {
+        const FullDecodeOutcome outcome = backend.fullDecode(line, now);
+        if (outcome.uncorrectable) {
+            backend.repairUncorrectable(line, now);
+            result.errorsFound = outcome.errors;
+            return result; // Repair leaves the line clean.
+        }
+        result.errorsFound = outcome.errors;
+        if (result.errorsFound >= procedure.rewriteThreshold) {
+            backend.scrubRewrite(line, now);
+            rewrote = true;
+        } else {
+            result.errorsLeft = result.errorsFound;
+        }
+    }
+
+    if (!rewrote && procedure.marginScanAfter) {
+        const unsigned flagged = backend.marginScan(line, now);
+        if (flagged >= procedure.marginRewriteThreshold) {
+            backend.scrubRewrite(line, now, /*preventive=*/true);
+            result.errorsLeft = 0;
+        }
+    }
+    return result;
+}
+
+void
+SweepScrubBase::wake(ScrubBackend &backend, Tick now)
+{
+    const std::uint64_t lines = backend.lineCount();
+    for (LineIndex line = 0; line < lines; ++line)
+        scrubCheckLine(backend, line, now, procedure_);
+    nextDue_ = now + interval_;
+}
+
+namespace {
+
+CheckProcedure
+basicProcedure()
+{
+    // DRAM controllers decode unconditionally; SECDED's check *is*
+    // its decode, so no gate saves anything.
+    CheckProcedure procedure;
+    procedure.rewriteThreshold = 1;
+    return procedure;
+}
+
+CheckProcedure
+strongEccProcedure()
+{
+    CheckProcedure procedure;
+    procedure.eccCheckFirst = true;
+    procedure.rewriteThreshold = 1;
+    return procedure;
+}
+
+CheckProcedure
+lightDetectProcedure()
+{
+    CheckProcedure procedure;
+    procedure.lightDetectFirst = true;
+    procedure.rewriteThreshold = 1;
+    return procedure;
+}
+
+CheckProcedure
+thresholdProcedure(unsigned rewrite_threshold)
+{
+    CheckProcedure procedure;
+    procedure.eccCheckFirst = true;
+    procedure.rewriteThreshold = rewrite_threshold;
+    return procedure;
+}
+
+} // namespace
+
+BasicScrub::BasicScrub(Tick interval)
+    : SweepScrubBase(interval, basicProcedure())
+{
+}
+
+std::string
+BasicScrub::name() const
+{
+    return "basic";
+}
+
+StrongEccScrub::StrongEccScrub(Tick interval)
+    : SweepScrubBase(interval, strongEccProcedure())
+{
+}
+
+std::string
+StrongEccScrub::name() const
+{
+    return "strong_ecc";
+}
+
+LightDetectScrub::LightDetectScrub(Tick interval)
+    : SweepScrubBase(interval, lightDetectProcedure())
+{
+}
+
+std::string
+LightDetectScrub::name() const
+{
+    return "light_detect";
+}
+
+ThresholdScrub::ThresholdScrub(Tick interval,
+                               unsigned rewrite_threshold)
+    : SweepScrubBase(interval, thresholdProcedure(rewrite_threshold))
+{
+}
+
+std::string
+ThresholdScrub::name() const
+{
+    return "threshold_" +
+        std::to_string(procedure().rewriteThreshold);
+}
+
+namespace {
+
+CheckProcedure
+preventiveProcedure(unsigned margin_threshold)
+{
+    CheckProcedure procedure;
+    procedure.eccCheckFirst = true;
+    procedure.rewriteThreshold = 1;
+    procedure.marginScanAfter = true;
+    procedure.marginRewriteThreshold = margin_threshold;
+    return procedure;
+}
+
+} // namespace
+
+PreventiveScrub::PreventiveScrub(Tick interval,
+                                 unsigned margin_threshold)
+    : SweepScrubBase(interval, preventiveProcedure(margin_threshold))
+{
+}
+
+std::string
+PreventiveScrub::name() const
+{
+    return "preventive_" +
+        std::to_string(procedure().marginRewriteThreshold);
+}
+
+} // namespace pcmscrub

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Interval-sweep scrub policies: the whole device is visited once
+ * per interval, DRAM style. The concrete policies differ only in
+ * the per-line check procedure, captured by CheckProcedure flags.
+ *
+ *  - BasicScrub: the DRAM baseline. Full decode on every line,
+ *    rewrite on any correctable error.
+ *  - StrongEccScrub: cheap syndrome check first; the expensive
+ *    locate-and-correct decode runs only on dirty lines.
+ *  - LightDetectScrub: the paper's lightweight detection — an
+ *    interleaved-parity comparison gates the decoder.
+ *  - ThresholdScrub: rewrite only when the observed error count
+ *    eats into the ECC headroom, trading soft-error risk for writes
+ *    (and therefore endurance).
+ */
+
+#ifndef PCMSCRUB_SCRUB_SWEEP_SCRUB_HH
+#define PCMSCRUB_SCRUB_SWEEP_SCRUB_HH
+
+#include "scrub/policy.hh"
+
+namespace pcmscrub {
+
+/** Per-line check procedure knobs shared by the sweep policies. */
+struct CheckProcedure
+{
+    /** Gate the decoder with the light detector. */
+    bool lightDetectFirst = false;
+
+    /** Gate the decoder with a syndrome-only check. */
+    bool eccCheckFirst = false;
+
+    /**
+     * Rewrite when observed errors >= this count. 1 = rewrite on
+     * any error (DRAM behaviour); higher values leave headroom
+     * unused and save writes.
+     */
+    unsigned rewriteThreshold = 1;
+
+    /**
+     * After a visit that did not rewrite, run a precision margin
+     * read and preventively refresh the line when many cells sit in
+     * the guard band (refresh *before* errors materialise).
+     */
+    bool marginScanAfter = false;
+
+    /** Preventive-refresh trigger: flagged cells >= this count. */
+    unsigned marginRewriteThreshold = 8;
+};
+
+/** Outcome of one policy-driven line check. */
+struct LineCheckResult
+{
+    /** Errors observed by the decode (0 if gated out). */
+    unsigned errorsFound = 0;
+
+    /**
+     * Errors still resident after the visit (0 when the line was
+     * rewritten or repaired) — what risk-based scheduling must
+     * condition on.
+     */
+    unsigned errorsLeft = 0;
+};
+
+/**
+ * Check one line per the configured procedure: gate with the cheap
+ * detectors, decode if dirty, repair uncorrectables, rewrite when
+ * the threshold is met, optionally margin-scan for preventive
+ * refresh. Shared by the sweep and adaptive policies.
+ */
+LineCheckResult scrubCheckLine(ScrubBackend &backend, LineIndex line,
+                               Tick now,
+                               const CheckProcedure &procedure);
+
+/**
+ * Common machinery: periodic full-device sweeps.
+ */
+class SweepScrubBase : public ScrubPolicy
+{
+  public:
+    /**
+     * @param interval sweep period in ticks
+     * @param procedure per-line check behaviour
+     */
+    SweepScrubBase(Tick interval, const CheckProcedure &procedure);
+
+    Tick nextWake() const override { return nextDue_; }
+    void wake(ScrubBackend &backend, Tick now) override;
+
+    Tick interval() const { return interval_; }
+    const CheckProcedure &procedure() const { return procedure_; }
+
+  private:
+    Tick interval_;
+    CheckProcedure procedure_;
+    Tick nextDue_;
+};
+
+/** DRAM-style baseline scrub (decode everything, rewrite any error). */
+class BasicScrub : public SweepScrubBase
+{
+  public:
+    explicit BasicScrub(Tick interval);
+    std::string name() const override;
+};
+
+/** Syndrome-gated sweep for strong ECC. */
+class StrongEccScrub : public SweepScrubBase
+{
+  public:
+    explicit StrongEccScrub(Tick interval);
+    std::string name() const override;
+};
+
+/** Light-detector-gated sweep. */
+class LightDetectScrub : public SweepScrubBase
+{
+  public:
+    explicit LightDetectScrub(Tick interval);
+    std::string name() const override;
+};
+
+/** Headroom-aware sweep: rewrite only near the ECC limit. */
+class ThresholdScrub : public SweepScrubBase
+{
+  public:
+    /**
+     * @param interval sweep period
+     * @param rewrite_threshold rewrite when errors reach this count
+     */
+    ThresholdScrub(Tick interval, unsigned rewrite_threshold);
+    std::string name() const override;
+};
+
+/**
+ * Preventive sweep: in addition to correcting observed errors, run
+ * the precision margin read on lines that did not need a rewrite and
+ * refresh them *before* failure when many cells sit inside the guard
+ * band below their threshold. Catches drift while it is still
+ * correct data — the pre-error counterpart of the ECC path.
+ */
+class PreventiveScrub : public SweepScrubBase
+{
+  public:
+    /**
+     * @param interval sweep period
+     * @param margin_threshold preventive refresh when at least this
+     *        many cells are guard-band flagged
+     */
+    PreventiveScrub(Tick interval, unsigned margin_threshold);
+    std::string name() const override;
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_SCRUB_SWEEP_SCRUB_HH

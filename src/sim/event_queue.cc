@@ -1,0 +1,50 @@
+#include "sim/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace pcmscrub {
+
+void
+EventQueue::schedule(Tick when, Callback callback)
+{
+    PCMSCRUB_ASSERT(when >= now_,
+                    "scheduling into the past (%llu < %llu)",
+                    static_cast<unsigned long long>(when),
+                    static_cast<unsigned long long>(now_));
+    PCMSCRUB_ASSERT(callback != nullptr, "null event callback");
+    events_.push(Event{when, nextSequence_++, std::move(callback)});
+}
+
+void
+EventQueue::scheduleIn(Tick delay, Callback callback)
+{
+    schedule(now_ + delay, std::move(callback));
+}
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t executed = 0;
+    while (!events_.empty() && events_.top().when <= limit) {
+        // Copy out before pop: the callback may schedule new events.
+        Event event = events_.top();
+        events_.pop();
+        now_ = event.when;
+        event.callback();
+        ++executed;
+    }
+    // All remaining events are beyond the limit: time has observably
+    // advanced to the limit itself.
+    if (limit != ~Tick{0} && now_ < limit)
+        now_ = limit;
+    return executed;
+}
+
+void
+EventQueue::clear()
+{
+    while (!events_.empty())
+        events_.pop();
+}
+
+} // namespace pcmscrub

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal discrete-event simulation kernel: a tick-ordered queue of
+ * callbacks with deterministic FIFO ordering among same-tick events.
+ */
+
+#ifndef PCMSCRUB_SIM_EVENT_QUEUE_HH
+#define PCMSCRUB_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pcmscrub {
+
+/**
+ * Tick-ordered event queue.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulation time. */
+    Tick now() const { return now_; }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return events_.size(); }
+
+    /**
+     * Schedule a callback at an absolute tick (>= now). Events at
+     * the same tick run in scheduling order.
+     */
+    void schedule(Tick when, Callback callback);
+
+    /** Schedule relative to now. */
+    void scheduleIn(Tick delay, Callback callback);
+
+    /**
+     * Run events until the queue empties or the limit tick is
+     * passed; time advances to the last executed event (or to
+     * `limit` if given and no later events ran).
+     *
+     * @return number of events executed
+     */
+    std::uint64_t run(Tick limit = ~Tick{0});
+
+    /** Drop all pending events (end of experiment). */
+    void clear();
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t sequence;
+        Callback callback;
+    };
+
+    struct Later
+    {
+        bool operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.sequence > b.sequence;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t nextSequence_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,109 @@
+#include "sim/trace.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "sim/workload.hh"
+
+namespace pcmscrub {
+
+Trace
+Trace::capture(Workload &workload, std::uint64_t count)
+{
+    Trace trace;
+    trace.requests_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        trace.requests_.push_back(workload.next());
+    return trace;
+}
+
+Trace
+Trace::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file %s", path.c_str());
+    Trace trace;
+    std::string lineText;
+    std::uint64_t lineNumber = 0;
+    Tick lastArrival = 0;
+    while (std::getline(in, lineText)) {
+        ++lineNumber;
+        if (lineText.empty() || lineText[0] == '#')
+            continue;
+        std::istringstream fields(lineText);
+        std::uint64_t arrival = 0;
+        std::string type;
+        std::uint64_t lineIndex = 0;
+        if (!(fields >> arrival >> type >> lineIndex)) {
+            fatal("trace %s:%llu: malformed record", path.c_str(),
+                  static_cast<unsigned long long>(lineNumber));
+        }
+        MemRequest req;
+        req.arrival = arrival;
+        req.line = lineIndex;
+        if (type == "R") {
+            req.type = ReqType::Read;
+        } else if (type == "W") {
+            req.type = ReqType::Write;
+        } else {
+            fatal("trace %s:%llu: unknown request type '%s'",
+                  path.c_str(),
+                  static_cast<unsigned long long>(lineNumber),
+                  type.c_str());
+        }
+        if (arrival < lastArrival) {
+            fatal("trace %s:%llu: arrivals out of order", path.c_str(),
+                  static_cast<unsigned long long>(lineNumber));
+        }
+        lastArrival = arrival;
+        trace.requests_.push_back(req);
+    }
+    return trace;
+}
+
+bool
+Trace::save(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write trace to %s", path.c_str());
+        return false;
+    }
+    out << "# tick type line\n";
+    for (const auto &req : requests_) {
+        out << req.arrival << ' '
+            << (req.type == ReqType::Read ? 'R' : 'W') << ' '
+            << req.line << '\n';
+    }
+    return static_cast<bool>(out);
+}
+
+void
+Trace::append(const MemRequest &request)
+{
+    PCMSCRUB_ASSERT(requests_.empty() ||
+                    request.arrival >= requests_.back().arrival,
+                    "trace arrivals must be ordered");
+    requests_.push_back(request);
+}
+
+Tick
+Trace::span() const
+{
+    if (requests_.empty())
+        return 0;
+    return requests_.back().arrival - requests_.front().arrival;
+}
+
+std::uint64_t
+Trace::countOf(ReqType type) const
+{
+    std::uint64_t count = 0;
+    for (const auto &req : requests_)
+        count += req.type == type;
+    return count;
+}
+
+} // namespace pcmscrub

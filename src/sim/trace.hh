@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Request-trace capture and replay.
+ *
+ * Experiments that must compare policies on *identical* traffic
+ * record a workload once and replay it for each policy; the text
+ * format keeps traces inspectable and diffable.
+ */
+
+#ifndef PCMSCRUB_SIM_TRACE_HH
+#define PCMSCRUB_SIM_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "mem/request.hh"
+
+namespace pcmscrub {
+
+class Workload;
+
+/**
+ * An in-memory request trace.
+ */
+class Trace
+{
+  public:
+    Trace() = default;
+
+    /** Capture `count` requests from a workload. */
+    static Trace capture(Workload &workload, std::uint64_t count);
+
+    /** Load from the text format; fatal() on parse errors. */
+    static Trace load(const std::string &path);
+
+    /** Save in the text format; false (with warning) on I/O error. */
+    bool save(const std::string &path) const;
+
+    void append(const MemRequest &request);
+
+    std::size_t size() const { return requests_.size(); }
+    bool empty() const { return requests_.empty(); }
+    const MemRequest &operator[](std::size_t i) const
+    {
+        return requests_.at(i);
+    }
+
+    const std::vector<MemRequest> &requests() const { return requests_; }
+
+    /** Total span from first to last arrival, in ticks. */
+    Tick span() const;
+
+    /** Number of requests of a given type. */
+    std::uint64_t countOf(ReqType type) const;
+
+  private:
+    std::vector<MemRequest> requests_;
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_SIM_TRACE_HH

@@ -1,0 +1,89 @@
+#include "sim/workload.hh"
+
+#include "common/logging.hh"
+
+namespace pcmscrub {
+
+const char *
+workloadKindName(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::Uniform:
+        return "uniform";
+      case WorkloadKind::Zipf:
+        return "zipf";
+      case WorkloadKind::Streaming:
+        return "streaming";
+      case WorkloadKind::WriteBurst:
+        return "write_burst";
+      default:
+        panic("bad workload kind %u", static_cast<unsigned>(kind));
+    }
+}
+
+Workload::Workload(const WorkloadConfig &config, std::uint64_t seed)
+    : config_(config), rng_(seed)
+{
+    if (config_.requestsPerSecond <= 0.0)
+        fatal("workload rate must be positive");
+    if (config_.readFraction < 0.0 || config_.readFraction > 1.0)
+        fatal("read fraction must lie in [0, 1]");
+    if (config_.workingSetLines == 0)
+        fatal("working set must hold at least one line");
+    if (config_.kind == WorkloadKind::Zipf) {
+        zipf_ = std::make_unique<ZipfGenerator>(config_.workingSetLines,
+                                                config_.zipfTheta);
+    }
+    if (config_.kind == WorkloadKind::WriteBurst) {
+        if (config_.burstLines == 0 || config_.burstLength == 0)
+            fatal("burst workload needs positive burst dimensions");
+    }
+}
+
+LineIndex
+Workload::pickLine()
+{
+    switch (config_.kind) {
+      case WorkloadKind::Uniform:
+        return rng_.uniformInt(config_.workingSetLines);
+      case WorkloadKind::Zipf:
+        return zipf_->sample(rng_);
+      case WorkloadKind::Streaming: {
+        const LineIndex line = streamCursor_;
+        streamCursor_ = (streamCursor_ + 1) % config_.workingSetLines;
+        return line;
+      }
+      case WorkloadKind::WriteBurst: {
+        if (burstRemaining_ == 0) {
+            // Jump the burst window to a random region.
+            const std::uint64_t span =
+                std::max<std::uint64_t>(1, config_.workingSetLines -
+                                               config_.burstLines);
+            burstStart_ = rng_.uniformInt(span);
+            burstRemaining_ = config_.burstLength;
+        }
+        --burstRemaining_;
+        return burstStart_ +
+            rng_.uniformInt(std::min(config_.burstLines,
+                                     config_.workingSetLines));
+      }
+      default:
+        panic("bad workload kind");
+    }
+}
+
+MemRequest
+Workload::next()
+{
+    nextArrivalSeconds_ +=
+        rng_.exponential(config_.requestsPerSecond);
+    MemRequest req;
+    req.arrival = secondsToTicks(nextArrivalSeconds_);
+    req.line = pickLine();
+    req.type = rng_.bernoulli(config_.readFraction) ? ReqType::Read
+                                                    : ReqType::Write;
+    ++generated_;
+    return req;
+}
+
+} // namespace pcmscrub

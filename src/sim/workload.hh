@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Synthetic memory workloads.
+ *
+ * Scrub behaviour depends on the write-recency distribution across
+ * lines and on the bandwidth demand traffic puts on banks, not on
+ * instruction semantics — so workloads are modelled directly as
+ * request processes (the substitution DESIGN.md documents for the
+ * paper's trace-driven CMP simulation):
+ *
+ *  - Uniform: every line equally likely (worst case for locality).
+ *  - Zipf: skewed hot set (typical server heaps).
+ *  - Streaming: sequential sweeps (scans, copies) — every line gets
+ *    rewritten regularly, which quietly refreshes drift.
+ *  - WriteBurst: cold data with rare intense bursts to a small
+ *    region (checkpointing, log rotation).
+ */
+
+#ifndef PCMSCRUB_SIM_WORKLOAD_HH
+#define PCMSCRUB_SIM_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "mem/request.hh"
+
+namespace pcmscrub {
+
+/** Workload family. */
+enum class WorkloadKind : unsigned {
+    Uniform,
+    Zipf,
+    Streaming,
+    WriteBurst,
+};
+
+const char *workloadKindName(WorkloadKind kind);
+
+/** Parameters of a synthetic workload. */
+struct WorkloadConfig
+{
+    WorkloadKind kind = WorkloadKind::Uniform;
+
+    /** Total request rate, requests per second. */
+    double requestsPerSecond = 1e6;
+
+    /** Fraction of requests that are reads. */
+    double readFraction = 0.7;
+
+    /** Lines the workload touches (the working set). */
+    std::uint64_t workingSetLines = 1 << 20;
+
+    /** Zipf skew (only for Zipf). */
+    double zipfTheta = 0.9;
+
+    /** Burst width in lines (only for WriteBurst). */
+    std::uint64_t burstLines = 4096;
+
+    /** Requests per burst before moving on (only for WriteBurst). */
+    std::uint64_t burstLength = 100000;
+};
+
+/**
+ * Generator of a time-ordered request stream.
+ */
+class Workload
+{
+  public:
+    explicit Workload(const WorkloadConfig &config,
+                      std::uint64_t seed = 1);
+
+    const WorkloadConfig &config() const { return config_; }
+
+    /**
+     * Produce the next request; arrival ticks are non-decreasing
+     * (Poisson arrivals at the configured rate).
+     */
+    MemRequest next();
+
+    /** Requests generated so far. */
+    std::uint64_t generated() const { return generated_; }
+
+  private:
+    LineIndex pickLine();
+
+    WorkloadConfig config_;
+    Random rng_;
+    std::unique_ptr<ZipfGenerator> zipf_;
+    double nextArrivalSeconds_ = 0.0;
+    std::uint64_t streamCursor_ = 0;
+    std::uint64_t burstStart_ = 0;
+    std::uint64_t burstRemaining_ = 0;
+    std::uint64_t generated_ = 0;
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_SIM_WORKLOAD_HH

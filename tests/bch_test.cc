@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Tests for the BCH codec, including parameterized sweeps over the
+ * correction strengths the paper's strong-ECC scrub uses.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "ecc/bch.hh"
+
+namespace pcmscrub {
+namespace {
+
+/** Flip `count` distinct random bits; returns the flipped positions. */
+std::set<std::size_t>
+injectErrors(BitVector &cw, unsigned count, Random &rng)
+{
+    std::set<std::size_t> positions;
+    while (positions.size() < count) {
+        const std::size_t bit = rng.uniformInt(cw.size());
+        if (positions.insert(bit).second)
+            cw.flip(bit);
+    }
+    return positions;
+}
+
+TEST(Bch, GeometryForLineSizedCode)
+{
+    const BchCode code(512, 8);
+    EXPECT_EQ(code.dataBits(), 512u);
+    EXPECT_EQ(code.fieldDegree(), 10u);
+    EXPECT_EQ(code.correctableErrors(), 8u);
+    EXPECT_EQ(code.checkBits(), 80u); // deg g = m*t for these cosets
+    EXPECT_EQ(code.codewordBits(), 592u);
+}
+
+TEST(Bch, AutoFieldSelectionMatchesPayload)
+{
+    EXPECT_EQ(BchCode(512, 1).fieldDegree(), 10u);
+    EXPECT_EQ(BchCode(64, 4).fieldDegree(), 7u);
+    EXPECT_EQ(BchCode(11, 1).fieldDegree(), 4u);
+}
+
+TEST(Bch, CleanCodewordsHaveZeroSyndrome)
+{
+    const BchCode code(128, 4);
+    Random rng(1);
+    for (int trial = 0; trial < 50; ++trial) {
+        BitVector data(128);
+        data.randomize(rng);
+        BitVector cw = code.encode(data);
+        EXPECT_TRUE(code.check(cw));
+        const DecodeResult res = code.decode(cw);
+        EXPECT_EQ(res.status, DecodeStatus::Clean);
+        EXPECT_FALSE(res.usedFullDecode);
+        EXPECT_EQ(code.extractData(cw), data);
+    }
+}
+
+TEST(Bch, EncodedWordIsDivisibleByGenerator)
+{
+    const BchCode code(100, 3);
+    Random rng(2);
+    BitVector data(100);
+    data.randomize(rng);
+    const BitVector cw = code.encode(data);
+    // Reconstruct the codeword polynomial and reduce mod g.
+    BinPoly poly;
+    const unsigned r = static_cast<unsigned>(code.checkBits());
+    for (std::size_t i = 0; i < cw.size(); ++i) {
+        if (!cw.get(i))
+            continue;
+        const unsigned power = i < code.dataBits()
+            ? r + static_cast<unsigned>(i)
+            : static_cast<unsigned>(i - code.dataBits());
+        poly.setCoeff(power, true);
+    }
+    EXPECT_TRUE(poly.mod(code.generator()).isZero());
+}
+
+/** Parameterized over (t, data bits). */
+class BchSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::size_t>>
+{
+};
+
+TEST_P(BchSweep, CorrectsUpToTErrors)
+{
+    const auto [t, k] = GetParam();
+    const BchCode code(k, t);
+    Random rng(1000 + t);
+    for (int trial = 0; trial < 30; ++trial) {
+        BitVector data(k);
+        data.randomize(rng);
+        const BitVector clean = code.encode(data);
+        for (unsigned e = 1; e <= t; ++e) {
+            BitVector cw = clean;
+            injectErrors(cw, e, rng);
+            EXPECT_FALSE(code.check(cw));
+            const DecodeResult res = code.decode(cw);
+            ASSERT_EQ(res.status, DecodeStatus::Corrected)
+                << "t=" << t << " e=" << e << " trial=" << trial;
+            EXPECT_EQ(res.correctedBits, e);
+            EXPECT_TRUE(res.usedFullDecode);
+            EXPECT_EQ(cw, clean);
+        }
+    }
+}
+
+TEST_P(BchSweep, BeyondTErrorsNeverSilentlyPassAsClean)
+{
+    const auto [t, k] = GetParam();
+    const BchCode code(k, t);
+    Random rng(2000 + t);
+    BitVector data(k);
+    data.randomize(rng);
+    const BitVector clean = code.encode(data);
+    int detected = 0;
+    int miscorrected = 0;
+    const int trials = 40;
+    for (int trial = 0; trial < trials; ++trial) {
+        BitVector cw = clean;
+        injectErrors(cw, t + 1, rng);
+        const DecodeResult res = code.decode(cw);
+        ASSERT_NE(res.status, DecodeStatus::Clean);
+        if (res.status == DecodeStatus::Uncorrectable) {
+            ++detected;
+        } else {
+            // Miscorrection: decoder landed on a different codeword.
+            ++miscorrected;
+            EXPECT_TRUE(code.check(cw));
+            EXPECT_NE(cw, clean);
+        }
+    }
+    // Detection should dominate at t+1 errors for these code rates.
+    EXPECT_GT(detected, miscorrected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrengthAndWidth, BchSweep,
+    ::testing::Values(std::make_tuple(1u, std::size_t{512}),
+                      std::make_tuple(2u, std::size_t{512}),
+                      std::make_tuple(4u, std::size_t{512}),
+                      std::make_tuple(6u, std::size_t{512}),
+                      std::make_tuple(8u, std::size_t{512}),
+                      std::make_tuple(3u, std::size_t{64}),
+                      std::make_tuple(5u, std::size_t{256})),
+    [](const auto &info) {
+        return "t" + std::to_string(std::get<0>(info.param)) + "_k" +
+            std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Bch, ErrorsInParityRegionAreCorrected)
+{
+    const BchCode code(512, 4);
+    Random rng(3);
+    BitVector data(512);
+    data.randomize(rng);
+    const BitVector clean = code.encode(data);
+    BitVector cw = clean;
+    // Flip bits only inside the check-bit region [512, 552).
+    cw.flip(512);
+    cw.flip(512 + 20);
+    cw.flip(cw.size() - 1);
+    const DecodeResult res = code.decode(cw);
+    EXPECT_EQ(res.status, DecodeStatus::Corrected);
+    EXPECT_EQ(res.correctedBits, 3u);
+    EXPECT_EQ(cw, clean);
+}
+
+TEST(Bch, AllZeroAndAllOnePayloads)
+{
+    const BchCode code(512, 8);
+    Random rng(4);
+    for (const bool fill : {false, true}) {
+        BitVector data(512);
+        for (std::size_t i = 0; i < data.size(); ++i)
+            data.set(i, fill);
+        const BitVector clean = code.encode(data);
+        BitVector cw = clean;
+        injectErrors(cw, 8, rng);
+        const DecodeResult res = code.decode(cw);
+        EXPECT_EQ(res.status, DecodeStatus::Corrected);
+        EXPECT_EQ(cw, clean);
+    }
+}
+
+TEST(Bch, BurstErrorsWithinTCorrect)
+{
+    const BchCode code(512, 8);
+    Random rng(5);
+    BitVector data(512);
+    data.randomize(rng);
+    const BitVector clean = code.encode(data);
+    BitVector cw = clean;
+    const std::size_t start = 200;
+    for (std::size_t i = start; i < start + 8; ++i)
+        cw.flip(i);
+    const DecodeResult res = code.decode(cw);
+    EXPECT_EQ(res.status, DecodeStatus::Corrected);
+    EXPECT_EQ(cw, clean);
+}
+
+TEST(Bch, ManyErrorsAreFlaggedUncorrectable)
+{
+    const BchCode code(512, 4);
+    Random rng(6);
+    BitVector data(512);
+    data.randomize(rng);
+    BitVector cw = code.encode(data);
+    injectErrors(cw, 40, rng);
+    const DecodeResult res = code.decode(cw);
+    // 40 errors is far outside the decoding sphere; a silent pass
+    // would be a decoder bug even though miscorrection is possible.
+    EXPECT_NE(res.status, DecodeStatus::Clean);
+}
+
+TEST(Bch, ExhaustiveVerificationOfBch15)
+{
+    // Small enough to verify completely: BCH(15,7,t=2). For several
+    // codewords, EVERY 1- and 2-bit error pattern must correct back
+    // exactly, and every 3-bit pattern must never pass as clean.
+    const BchCode code(7, 2, 4);
+    ASSERT_EQ(code.codewordBits(), 15u);
+    Random rng(31);
+    for (int trial = 0; trial < 8; ++trial) {
+        BitVector data(7);
+        data.randomize(rng);
+        const BitVector clean = code.encode(data);
+        for (std::size_t i = 0; i < 15; ++i) {
+            BitVector one = clean;
+            one.flip(i);
+            const DecodeResult r1 = code.decode(one);
+            ASSERT_EQ(r1.status, DecodeStatus::Corrected);
+            ASSERT_EQ(one, clean) << "single error at " << i;
+            for (std::size_t j = i + 1; j < 15; ++j) {
+                BitVector two = clean;
+                two.flip(i);
+                two.flip(j);
+                const DecodeResult r2 = code.decode(two);
+                ASSERT_EQ(r2.status, DecodeStatus::Corrected)
+                    << i << "," << j;
+                ASSERT_EQ(two, clean) << i << "," << j;
+            }
+        }
+        // All C(15,3) = 455 triple-error patterns: never clean.
+        for (std::size_t i = 0; i < 15; ++i) {
+            for (std::size_t j = i + 1; j < 15; ++j) {
+                for (std::size_t k = j + 1; k < 15; ++k) {
+                    BitVector three = clean;
+                    three.flip(i);
+                    three.flip(j);
+                    three.flip(k);
+                    ASSERT_FALSE(code.check(three))
+                        << i << "," << j << "," << k;
+                    BitVector copy = three;
+                    const DecodeResult r3 = code.decode(copy);
+                    ASSERT_NE(r3.status, DecodeStatus::Clean);
+                }
+            }
+        }
+    }
+}
+
+TEST(Bch, ExhaustiveSingleErrorsOnLineSizedCode)
+{
+    // Every one of the 592 single-bit errors on the line-sized
+    // BCH-8 code corrects back exactly.
+    const BchCode code(512, 8);
+    Random rng(33);
+    BitVector data(512);
+    data.randomize(rng);
+    const BitVector clean = code.encode(data);
+    for (std::size_t i = 0; i < clean.size(); ++i) {
+        BitVector cw = clean;
+        cw.flip(i);
+        const DecodeResult result = code.decode(cw);
+        ASSERT_EQ(result.status, DecodeStatus::Corrected) << i;
+        ASSERT_EQ(cw, clean) << i;
+    }
+}
+
+TEST(BchDeath, OversizedPayloadIsFatal)
+{
+    // 14 is the largest supported field: 2^14 - 1 = 16383 bits.
+    EXPECT_EXIT(BchCode(20000, 2), ::testing::ExitedWithCode(1),
+                "no supported BCH field");
+}
+
+} // namespace
+} // namespace pcmscrub

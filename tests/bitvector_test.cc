@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the packed bit vector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitvector.hh"
+#include "common/random.hh"
+
+namespace pcmscrub {
+namespace {
+
+TEST(BitVector, StartsAllZero)
+{
+    BitVector v(130);
+    EXPECT_EQ(v.size(), 130u);
+    EXPECT_EQ(v.popcount(), 0u);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        EXPECT_FALSE(v.get(i));
+}
+
+TEST(BitVector, SetGetFlipAcrossWordBoundaries)
+{
+    BitVector v(200);
+    for (const std::size_t i : {0ul, 1ul, 63ul, 64ul, 65ul, 127ul,
+                                128ul, 199ul}) {
+        v.set(i, true);
+        EXPECT_TRUE(v.get(i)) << "bit " << i;
+        v.flip(i);
+        EXPECT_FALSE(v.get(i)) << "bit " << i;
+        v.flip(i);
+        EXPECT_TRUE(v.get(i)) << "bit " << i;
+    }
+    EXPECT_EQ(v.popcount(), 8u);
+    v.clear();
+    EXPECT_EQ(v.popcount(), 0u);
+    EXPECT_EQ(v.size(), 200u);
+}
+
+TEST(BitVector, XorAndHammingDistance)
+{
+    BitVector a(100);
+    BitVector b(100);
+    a.set(3, true);
+    a.set(64, true);
+    b.set(64, true);
+    b.set(99, true);
+    EXPECT_EQ(a.hammingDistance(b), 2u);
+    a ^= b;
+    EXPECT_TRUE(a.get(3));
+    EXPECT_FALSE(a.get(64));
+    EXPECT_TRUE(a.get(99));
+    EXPECT_EQ(a.popcount(), 2u);
+}
+
+TEST(BitVector, ExtractDepositRoundTrip)
+{
+    BitVector v(160);
+    v.deposit(60, 10, 0x2ABu); // Crosses the word-0/word-1 boundary.
+    EXPECT_EQ(v.extract(60, 10), 0x2ABu);
+    v.deposit(0, 64, 0xDEADBEEFCAFEF00DULL);
+    EXPECT_EQ(v.extract(0, 64), 0xDEADBEEFCAFEF00DULL);
+    // The earlier deposit overlapped [60,64); re-check the upper part.
+    EXPECT_EQ(v.extract(64, 6), 0x2ABu >> 4);
+}
+
+TEST(BitVector, DepositMasksValueToWidth)
+{
+    BitVector v(32);
+    v.deposit(4, 4, 0xFFu); // Only the low 4 bits may land.
+    EXPECT_EQ(v.extract(4, 4), 0xFu);
+    EXPECT_FALSE(v.get(8));
+    EXPECT_FALSE(v.get(3));
+}
+
+TEST(BitVector, EqualityIncludesLength)
+{
+    BitVector a(10);
+    BitVector b(10);
+    EXPECT_EQ(a, b);
+    b.set(7, true);
+    EXPECT_NE(a, b);
+    b.set(7, false);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, BitVector(11));
+}
+
+TEST(BitVector, RandomizeKeepsTailClear)
+{
+    Random rng(7);
+    BitVector v(70); // 6 tail bits in the second word must stay zero.
+    v.randomize(rng);
+    std::size_t manual = 0;
+    for (std::size_t i = 0; i < v.size(); ++i)
+        manual += v.get(i);
+    EXPECT_EQ(manual, v.popcount());
+    // Roughly half the bits should be set; bound loosely.
+    EXPECT_GT(v.popcount(), 15u);
+    EXPECT_LT(v.popcount(), 55u);
+}
+
+TEST(BitVector, ToStringShowsBitZeroFirst)
+{
+    BitVector v(4);
+    v.set(0, true);
+    v.set(3, true);
+    EXPECT_EQ(v.toString(), "1001");
+}
+
+} // namespace
+} // namespace pcmscrub

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for per-line demand-rate mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scrub/demand_model.hh"
+
+namespace pcmscrub {
+namespace {
+
+TEST(DemandModel, UniformGivesEveryLineTheAverage)
+{
+    DemandConfig config;
+    config.writesPerLinePerSecond = 2e-4;
+    config.readsPerLinePerSecond = 3e-3;
+    const DemandModel model(config, 1000);
+    for (const LineIndex line : {0ul, 17ul, 999ul}) {
+        EXPECT_DOUBLE_EQ(model.writeRate(line), 2e-4);
+        EXPECT_DOUBLE_EQ(model.readRate(line), 3e-3);
+    }
+}
+
+TEST(DemandModel, ZipfRatesDecreaseWithRankAndAverageOut)
+{
+    DemandConfig config;
+    config.kind = WorkloadKind::Zipf;
+    config.writesPerLinePerSecond = 1e-4;
+    config.zipfTheta = 0.9;
+    const std::uint64_t n = 5000;
+    const DemandModel model(config, n);
+    EXPECT_GT(model.writeRate(0), model.writeRate(10));
+    EXPECT_GT(model.writeRate(10), model.writeRate(1000));
+    double total = 0.0;
+    for (LineIndex line = 0; line < n; ++line)
+        total += model.writeRate(line);
+    EXPECT_NEAR(total / n, 1e-4, 1e-7);
+}
+
+TEST(DemandModel, WriteBurstHasTwoClassesAveragingOut)
+{
+    DemandConfig config;
+    config.kind = WorkloadKind::WriteBurst;
+    config.writesPerLinePerSecond = 1e-4;
+    config.hotFraction = 0.1;
+    config.hotMultiplier = 10.0;
+    const std::uint64_t n = 20000;
+    const DemandModel model(config, n);
+    double total = 0.0;
+    std::uint64_t hot = 0;
+    double hotRate = 0.0;
+    double coldRate = 1e9;
+    for (LineIndex line = 0; line < n; ++line) {
+        const double rate = model.writeRate(line);
+        total += rate;
+        hotRate = std::max(hotRate, rate);
+        coldRate = std::min(coldRate, rate);
+        hot += rate > 1e-4;
+    }
+    EXPECT_NEAR(total / n, 1e-4, 2e-6);
+    EXPECT_NEAR(hotRate / coldRate, 10.0, 1e-6);
+    EXPECT_NEAR(hot / static_cast<double>(n), 0.1, 0.02);
+}
+
+TEST(DemandModel, StreamingPoissonisesToUniform)
+{
+    DemandConfig config;
+    config.kind = WorkloadKind::Streaming;
+    config.writesPerLinePerSecond = 5e-5;
+    const DemandModel model(config, 100);
+    EXPECT_DOUBLE_EQ(model.writeRate(0), 5e-5);
+    EXPECT_DOUBLE_EQ(model.writeRate(99), 5e-5);
+}
+
+TEST(DemandModelDeath, InvalidConfigIsFatal)
+{
+    DemandConfig config;
+    config.writesPerLinePerSecond = -1.0;
+    EXPECT_EXIT(DemandModel(config, 10), ::testing::ExitedWithCode(1),
+                "non-negative");
+    DemandConfig burst;
+    burst.kind = WorkloadKind::WriteBurst;
+    burst.hotFraction = 0.0;
+    EXPECT_EXIT(DemandModel(burst, 10), ::testing::ExitedWithCode(1),
+                "hotFraction");
+}
+
+} // namespace
+} // namespace pcmscrub

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests for the closed-form drift model, including a Monte-Carlo
+ * cross-check against direct sampling of the same physics.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "pcm/drift_model.hh"
+
+namespace pcmscrub {
+namespace {
+
+TEST(DriftModel, TopLevelNeverDriftFails)
+{
+    const DriftModel model{DeviceConfig{}};
+    for (const double t : {1.0, 1e3, 1e6, 1e9}) {
+        EXPECT_EQ(model.levelErrorProb(mlcLevels - 1, t), 0.0)
+            << "t=" << t;
+    }
+}
+
+TEST(DriftModel, ErrorProbMonotonicInTime)
+{
+    const DriftModel model{DeviceConfig{}};
+    for (unsigned level = 0; level + 1 < mlcLevels; ++level) {
+        double prev = model.levelErrorProb(level, 1.0);
+        for (double t = 10.0; t <= 1e8; t *= 10.0) {
+            const double p = model.levelErrorProb(level, t);
+            EXPECT_GE(p, prev) << "level " << level << " t=" << t;
+            prev = p;
+        }
+    }
+}
+
+TEST(DriftModel, HigherDriftLevelsFailFirst)
+{
+    // Among levels with an upper threshold, larger drift exponents
+    // (higher levels in the default config) fail more.
+    const DriftModel model{DeviceConfig{}};
+    const double t = 3600.0;
+    EXPECT_GT(model.levelErrorProb(2, t), model.levelErrorProb(1, t));
+    EXPECT_GT(model.levelErrorProb(1, t), model.levelErrorProb(0, t));
+}
+
+TEST(DriftModel, NoDriftErrorsBeforeT0)
+{
+    const DriftModel model{DeviceConfig{}};
+    // At t <= t0 only programming noise matters; with the default
+    // 0.5 log-decade margin at sigma 0.07 that is Q(7.1) ~ 6e-13.
+    for (unsigned level = 0; level + 1 < mlcLevels; ++level) {
+        EXPECT_LT(model.levelErrorProb(level, 0.5), 1e-11)
+            << "level " << level;
+    }
+}
+
+TEST(DriftModel, CellErrorProbIsLevelAverage)
+{
+    // cellErrorProb goes through the interpolated lookup table, so
+    // agreement with the direct per-level average is to LUT accuracy.
+    const DriftModel model{DeviceConfig{}};
+    const double t = 86400.0;
+    double sum = 0.0;
+    for (unsigned l = 0; l < mlcLevels; ++l)
+        sum += model.levelErrorProb(l, t);
+    const double direct = sum / mlcLevels;
+    EXPECT_NEAR(model.cellErrorProb(t), direct, direct * 1e-3);
+}
+
+TEST(DriftModel, DefaultConfigProducesPaperScaleRates)
+{
+    // Sanity-pin the regime the reconstruction targets: at a one-day
+    // age the worst intermediate level must be failing at rates that
+    // overwhelm SECDED but stay within strong-ECC reach.
+    const DriftModel model{DeviceConfig{}};
+    const double day = 86400.0;
+    const double pWorst = model.levelErrorProb(2, day);
+    EXPECT_GT(pWorst, 1e-4);
+    EXPECT_LT(pWorst, 1e-1);
+    // And within an hour the device is still fairly quiet.
+    EXPECT_LT(model.cellErrorProb(60.0), 1e-6);
+}
+
+TEST(DriftModel, LineUncorrectableDropsSteeplyWithEccStrength)
+{
+    const DriftModel model{DeviceConfig{}};
+    const double t = 3600.0;
+    const unsigned cells = 256;
+    double prev = model.lineUncorrectableProb(cells, t, 0);
+    for (unsigned t_ecc = 1; t_ecc <= 8; ++t_ecc) {
+        const double p = model.lineUncorrectableProb(cells, t, t_ecc);
+        EXPECT_LT(p, prev) << "t_ecc=" << t_ecc;
+        // Each extra correctable error buys orders of magnitude.
+        if (prev > 1e-300) {
+            EXPECT_LT(p / prev, 0.5) << "t_ecc=" << t_ecc;
+        }
+        prev = p;
+    }
+}
+
+TEST(DriftModel, ExpectedLineErrorsScalesWithCells)
+{
+    const DriftModel model{DeviceConfig{}};
+    const double t = 1e5;
+    EXPECT_NEAR(model.expectedLineErrors(512, t),
+                2.0 * model.expectedLineErrors(256, t), 1e-12);
+}
+
+TEST(DriftModel, TimeToCellErrorProbInvertsForward)
+{
+    const DriftModel model{DeviceConfig{}};
+    for (const double p : {1e-9, 1e-6, 1e-4}) {
+        const double t = model.timeToCellErrorProb(p);
+        EXPECT_GT(t, 1.0);
+        // Forward-evaluating at the returned age stays below target,
+        // and slightly later crosses it.
+        EXPECT_LE(model.cellErrorProb(t * 0.999), p);
+        EXPECT_GE(model.cellErrorProb(t * 1.05), p * 0.9);
+    }
+}
+
+TEST(DriftModel, TimeToLineUncorrectableGrowsWithEcc)
+{
+    const DriftModel model{DeviceConfig{}};
+    double prev = model.timeToLineUncorrectable(256, 1, 1e-12);
+    for (unsigned t_ecc = 2; t_ecc <= 8; ++t_ecc) {
+        const double t = model.timeToLineUncorrectable(256, t_ecc, 1e-12);
+        EXPECT_GT(t, prev) << "t_ecc=" << t_ecc;
+        prev = t;
+    }
+}
+
+TEST(DriftModel, StrongEccExtendsScrubIntervalByOrdersOfMagnitude)
+{
+    // The paper's core claim for strong ECC: the safe scrub interval
+    // at equal reliability is vastly longer for BCH-8 than SECDED.
+    const DriftModel model{DeviceConfig{}};
+    const double tSecded = model.timeToLineUncorrectable(256, 1, 1e-9);
+    const double tBch8 = model.timeToLineUncorrectable(256, 8, 1e-9);
+    EXPECT_GT(tBch8 / tSecded, 10.0);
+}
+
+TEST(DriftModel, MarginFlagProbBounds)
+{
+    const DriftModel model{DeviceConfig{}};
+    for (double t = 1.0; t <= 1e8; t *= 100.0) {
+        for (unsigned l = 0; l < mlcLevels; ++l) {
+            const double p = model.levelMarginFlagProb(l, t);
+            EXPECT_GE(p, 0.0) << "l=" << l << " t=" << t;
+            EXPECT_LE(p, 1.0);
+        }
+    }
+    EXPECT_EQ(model.levelMarginFlagProb(mlcLevels - 1, 1e6), 0.0);
+}
+
+TEST(DriftModel, MarginFlagsPrecedeErrors)
+{
+    // The guard band must fire well before the error: at moderate
+    // ages the flag probability exceeds the error probability.
+    const DriftModel model{DeviceConfig{}};
+    for (const double t : {600.0, 3600.0, 86400.0}) {
+        EXPECT_GT(model.levelMarginFlagProb(2, t),
+                  model.levelErrorProb(2, t))
+            << "t=" << t;
+    }
+}
+
+TEST(DriftModel, ClosedFormMatchesMonteCarloSampling)
+{
+    // Cross-check the analytic p_l(t) against direct sampling of the
+    // same physics (normal R0, normal nu, threshold compare).
+    const DeviceConfig config;
+    const DriftModel model{config};
+    Random rng(1234);
+    const unsigned level = 2;
+    const double t = 43200.0; // Half a day.
+    const double u = std::log10(t / config.driftT0Seconds);
+    const int draws = 400000;
+    int failures = 0;
+    for (int i = 0; i < draws; ++i) {
+        const double logR0 = rng.normal(config.levelMeanLogR[level],
+                                        config.sigmaLogR);
+        const double speed =
+            rng.logNormal(0.0, config.driftSpeedSigmaLn);
+        const double nu = speed * std::max(
+            0.0, rng.normal(config.driftMu[level],
+                            config.driftSigma(level)));
+        failures += logR0 + nu * u > config.readThresholdLogR[level];
+    }
+    const double empirical = failures / static_cast<double>(draws);
+    const double analytic = model.levelErrorProb(level, t);
+    EXPECT_NEAR(empirical, analytic, analytic * 0.15 + 2e-5);
+}
+
+TEST(DriftModelDeath, InvalidConfigIsFatal)
+{
+    DeviceConfig config;
+    config.sigmaLogR = -1.0;
+    EXPECT_EXIT(DriftModel{config}, ::testing::ExitedWithCode(1),
+                "sigmaLogR");
+    DeviceConfig bad2;
+    bad2.readThresholdLogR[0] = 10.0;
+    EXPECT_EXIT(DriftModel{bad2}, ::testing::ExitedWithCode(1),
+                "threshold");
+}
+
+} // namespace
+} // namespace pcmscrub

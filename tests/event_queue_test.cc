@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the discrete-event kernel.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+
+namespace pcmscrub {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(30, [&] { order.push_back(3); });
+    queue.schedule(10, [&] { order.push_back(1); });
+    queue.schedule(20, [&] { order.push_back(2); });
+    EXPECT_EQ(queue.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(queue.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        queue.schedule(7, [&order, i] { order.push_back(i); });
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbacksCanScheduleMoreEvents)
+{
+    EventQueue queue;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 4)
+            queue.scheduleIn(10, chain);
+    };
+    queue.schedule(0, chain);
+    EXPECT_EQ(queue.run(), 4u);
+    EXPECT_EQ(queue.now(), 30u);
+}
+
+TEST(EventQueue, RunRespectsLimit)
+{
+    EventQueue queue;
+    int fired = 0;
+    queue.schedule(10, [&] { ++fired; });
+    queue.schedule(20, [&] { ++fired; });
+    queue.schedule(30, [&] { ++fired; });
+    EXPECT_EQ(queue.run(20), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(queue.pending(), 1u);
+    // Time advances to the limit when no event ran past it.
+    EXPECT_EQ(queue.run(25), 0u);
+    EXPECT_EQ(queue.now(), 25u);
+    EXPECT_EQ(queue.run(), 1u);
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, ClearDropsPending)
+{
+    EventQueue queue;
+    int fired = 0;
+    queue.schedule(5, [&] { ++fired; });
+    queue.clear();
+    EXPECT_EQ(queue.pending(), 0u);
+    EXPECT_EQ(queue.run(), 0u);
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueueDeath, PastSchedulingPanics)
+{
+    EventQueue queue;
+    queue.schedule(100, [] {});
+    queue.run();
+    EXPECT_DEATH(queue.schedule(50, [] {}), "into the past");
+}
+
+TEST(EventQueueDeath, NullCallbackPanics)
+{
+    EventQueue queue;
+    EXPECT_DEATH(queue.schedule(1, nullptr), "null event callback");
+}
+
+} // namespace
+} // namespace pcmscrub

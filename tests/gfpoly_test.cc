@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for polynomials over GF(2^m).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "gf/gf2m.hh"
+#include "gf/gfpoly.hh"
+
+namespace pcmscrub {
+namespace {
+
+TEST(GfPoly, ConstantsAndDegree)
+{
+    EXPECT_TRUE(GfPoly().isZero());
+    EXPECT_EQ(GfPoly().degree(), -1);
+    const GfPoly c = GfPoly::constant(5);
+    EXPECT_EQ(c.degree(), 0);
+    EXPECT_EQ(c.coeff(0), 5u);
+    EXPECT_TRUE(GfPoly::constant(0).isZero());
+}
+
+TEST(GfPoly, AddCancelsInCharacteristicTwo)
+{
+    GfPoly p;
+    p.setCoeff(0, 3);
+    p.setCoeff(2, 7);
+    EXPECT_TRUE(p.add(p).isZero());
+}
+
+TEST(GfPoly, MulAgainstHandComputation)
+{
+    const GF2m f(4);
+    // (x + 1) * (x + 2) = x^2 + 3x + 2 over GF(16).
+    GfPoly a;
+    a.setCoeff(1, 1);
+    a.setCoeff(0, 1);
+    GfPoly b;
+    b.setCoeff(1, 1);
+    b.setCoeff(0, 2);
+    const GfPoly prod = a.mul(f, b);
+    EXPECT_EQ(prod.degree(), 2);
+    EXPECT_EQ(prod.coeff(2), 1u);
+    EXPECT_EQ(prod.coeff(1), 3u);
+    EXPECT_EQ(prod.coeff(0), 2u);
+}
+
+TEST(GfPoly, EvalHornerMatchesDirectSum)
+{
+    const GF2m f(8);
+    Random rng(5);
+    for (int trial = 0; trial < 200; ++trial) {
+        GfPoly p;
+        const unsigned degree =
+            static_cast<unsigned>(rng.uniformInt(12));
+        for (unsigned i = 0; i <= degree; ++i) {
+            p.setCoeff(i,
+                       static_cast<GfElem>(rng.uniformInt(f.size())));
+        }
+        const GfElem x = static_cast<GfElem>(rng.uniformInt(f.size()));
+        GfElem direct = 0;
+        for (int i = 0; i <= p.degree(); ++i) {
+            direct ^= f.mul(p.coeff(static_cast<unsigned>(i)),
+                            f.pow(x, static_cast<unsigned>(i)));
+        }
+        EXPECT_EQ(p.eval(f, x), direct) << "trial " << trial;
+    }
+}
+
+TEST(GfPoly, RootsOfFactoredPolynomial)
+{
+    const GF2m f(6);
+    // p(x) = (x - a)(x - b) has exactly roots a and b.
+    const GfElem a = f.alphaPow(5);
+    const GfElem b = f.alphaPow(17);
+    GfPoly fa;
+    fa.setCoeff(1, 1);
+    fa.setCoeff(0, a);
+    GfPoly fb;
+    fb.setCoeff(1, 1);
+    fb.setCoeff(0, b);
+    const GfPoly p = fa.mul(f, fb);
+    EXPECT_EQ(p.eval(f, a), 0u);
+    EXPECT_EQ(p.eval(f, b), 0u);
+    unsigned roots = 0;
+    for (GfElem x = 0; x < f.size(); ++x)
+        roots += p.eval(f, x) == 0;
+    EXPECT_EQ(roots, 2u);
+}
+
+TEST(GfPoly, ScaleAndShift)
+{
+    const GF2m f(4);
+    GfPoly p;
+    p.setCoeff(0, 1);
+    p.setCoeff(1, 2);
+    const GfPoly scaled = p.scale(f, 3);
+    EXPECT_EQ(scaled.coeff(0), 3u);
+    EXPECT_EQ(scaled.coeff(1), f.mul(2, 3));
+    const GfPoly shifted = p.shift(3);
+    EXPECT_EQ(shifted.degree(), 4);
+    EXPECT_EQ(shifted.coeff(3), 1u);
+    EXPECT_EQ(shifted.coeff(4), 2u);
+    EXPECT_TRUE(p.scale(f, 0).isZero());
+}
+
+TEST(GfPoly, DerivativeKeepsOddTerms)
+{
+    // d/dx (c3 x^3 + c2 x^2 + c1 x + c0) = 3 c3 x^2 + 2 c2 x + c1;
+    // in characteristic 2 this is c3 x^2 + c1.
+    GfPoly p;
+    p.setCoeff(3, 9);
+    p.setCoeff(2, 7);
+    p.setCoeff(1, 4);
+    p.setCoeff(0, 2);
+    const GfPoly d = p.derivative();
+    EXPECT_EQ(d.degree(), 2);
+    EXPECT_EQ(d.coeff(2), 9u);
+    EXPECT_EQ(d.coeff(1), 0u);
+    EXPECT_EQ(d.coeff(0), 4u);
+}
+
+TEST(GfPoly, MulDistributesOverAdd)
+{
+    const GF2m f(5);
+    Random rng(77);
+    for (int trial = 0; trial < 100; ++trial) {
+        GfPoly a, b, c;
+        for (unsigned i = 0; i < 6; ++i) {
+            a.setCoeff(i, static_cast<GfElem>(rng.uniformInt(f.size())));
+            b.setCoeff(i, static_cast<GfElem>(rng.uniformInt(f.size())));
+            c.setCoeff(i, static_cast<GfElem>(rng.uniformInt(f.size())));
+        }
+        const GfPoly lhs = a.mul(f, b.add(c));
+        const GfPoly rhs = a.mul(f, b).add(a.mul(f, c));
+        EXPECT_TRUE(lhs.equals(rhs)) << "trial " << trial;
+    }
+}
+
+} // namespace
+} // namespace pcmscrub

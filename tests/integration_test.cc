@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Cross-backend integration tests: the analytic backend must agree
+ * statistically with the cell-accurate backend running the *same*
+ * policy on the *same* device, and full pipelines must hold their
+ * invariants end to end.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "scrub/analytic_backend.hh"
+#include "scrub/cell_backend.hh"
+#include "scrub/factory.hh"
+
+namespace pcmscrub {
+namespace {
+
+constexpr Tick kHour = secondsToTicks(3600.0);
+constexpr Tick kDay = secondsToTicks(86400.0);
+
+TEST(CrossValidation, RewriteRatesAgreeAcrossBackends)
+{
+    // Same device, same ECC, same policy, no demand traffic: the
+    // fraction of lines rewritten per sweep must agree between the
+    // closed-form and cell-accurate backends.
+    const unsigned lines = 512;
+    const Tick horizon = 4 * kDay;
+
+    AnalyticConfig aConfig;
+    aConfig.lines = lines;
+    aConfig.scheme = EccScheme::bch(8);
+    aConfig.demand.writesPerLinePerSecond = 0.0;
+    aConfig.demand.readsPerLinePerSecond = 0.0;
+    aConfig.seed = 5;
+    AnalyticBackend analytic(aConfig);
+    StrongEccScrub aPolicy(kDay);
+    runScrub(analytic, aPolicy, horizon);
+
+    CellBackendConfig cConfig;
+    cConfig.lines = lines;
+    cConfig.scheme = EccScheme::bch(8);
+    cConfig.seed = 6;
+    CellBackend cell(cConfig);
+    StrongEccScrub cPolicy(kDay);
+    runScrub(cell, cPolicy, horizon);
+
+    const double aRewrites =
+        static_cast<double>(analytic.metrics().scrubRewrites);
+    const double cRewrites =
+        static_cast<double>(cell.metrics().scrubRewrites);
+    ASSERT_GT(aRewrites, 20.0);
+    ASSERT_GT(cRewrites, 20.0);
+    // Statistical agreement within 30%.
+    EXPECT_NEAR(aRewrites / cRewrites, 1.0, 0.3);
+
+    // Corrected-error totals must also be on the same scale.
+    const double aCorrected =
+        static_cast<double>(analytic.metrics().correctedErrors);
+    const double cCorrected =
+        static_cast<double>(cell.metrics().correctedErrors);
+    ASSERT_GT(aCorrected, 0.0);
+    EXPECT_NEAR(aCorrected / cCorrected, 1.0, 0.35);
+}
+
+TEST(CrossValidation, DecoderGatingRatesAgree)
+{
+    // Fraction of checks that trigger a full decode should match.
+    const unsigned lines = 512;
+    const Tick horizon = 2 * kDay;
+
+    AnalyticConfig aConfig;
+    aConfig.lines = lines;
+    aConfig.scheme = EccScheme::bch(4);
+    aConfig.demand.writesPerLinePerSecond = 0.0;
+    aConfig.seed = 7;
+    AnalyticBackend analytic(aConfig);
+    LightDetectScrub aPolicy(kHour * 12);
+    runScrub(analytic, aPolicy, horizon);
+
+    CellBackendConfig cConfig;
+    cConfig.lines = lines;
+    cConfig.scheme = EccScheme::bch(4);
+    cConfig.seed = 8;
+    CellBackend cell(cConfig);
+    LightDetectScrub cPolicy(kHour * 12);
+    runScrub(cell, cPolicy, horizon);
+
+    const double aRate =
+        static_cast<double>(analytic.metrics().fullDecodes) /
+        static_cast<double>(analytic.metrics().linesChecked);
+    const double cRate =
+        static_cast<double>(cell.metrics().fullDecodes) /
+        static_cast<double>(cell.metrics().linesChecked);
+    ASSERT_GT(aRate, 0.0);
+    ASSERT_GT(cRate, 0.0);
+    EXPECT_NEAR(aRate, cRate, 0.5 * std::max(aRate, cRate));
+}
+
+TEST(CrossValidation, DemandTrafficAgreesAcrossBackends)
+{
+    // Lazy Poisson demand (analytic) vs. explicit per-request writes
+    // (cell): under the same per-line write rate and a fixed sweep,
+    // rewrite rates must agree statistically.
+    const unsigned lines = 256;
+    const Tick horizon = 3 * kDay;
+    const double writeRate = 2e-5; // ~1 write per line per 14 h.
+
+    AnalyticConfig aConfig;
+    aConfig.lines = lines;
+    aConfig.scheme = EccScheme::bch(8);
+    aConfig.demand.writesPerLinePerSecond = writeRate;
+    aConfig.demand.readsPerLinePerSecond = 0.0;
+    aConfig.seed = 15;
+    AnalyticBackend analytic(aConfig);
+    StrongEccScrub aPolicy(12 * kHour);
+    runScrub(analytic, aPolicy, horizon);
+
+    CellBackendConfig cConfig;
+    cConfig.lines = lines;
+    cConfig.scheme = EccScheme::bch(8);
+    cConfig.seed = 16;
+    CellBackend cell(cConfig);
+    StrongEccScrub cPolicy(12 * kHour);
+    // Drive explicit Poisson writes interleaved with scrub wakes.
+    Random rng(17);
+    double nextWrite = rng.exponential(writeRate * lines);
+    while (true) {
+        const Tick scrubAt = cPolicy.nextWake();
+        const Tick writeAt = secondsToTicks(nextWrite);
+        if (scrubAt > horizon && writeAt > horizon)
+            break;
+        if (writeAt <= scrubAt) {
+            cell.demandWrite(rng.uniformInt(lines), writeAt);
+            nextWrite += rng.exponential(writeRate * lines);
+        } else {
+            cPolicy.wake(cell, scrubAt);
+        }
+    }
+
+    const double aRewrites =
+        static_cast<double>(analytic.metrics().scrubRewrites);
+    const double cRewrites =
+        static_cast<double>(cell.metrics().scrubRewrites);
+    ASSERT_GT(aRewrites, 20.0);
+    ASSERT_GT(cRewrites, 20.0);
+    EXPECT_NEAR(aRewrites / cRewrites, 1.0, 0.35);
+    // Demand-write counts land near the Poisson expectation.
+    const double expectedWrites = writeRate * lines *
+        ticksToSeconds(horizon);
+    EXPECT_NEAR(static_cast<double>(analytic.metrics().demandWrites),
+                expectedWrites, 5.0 * std::sqrt(expectedWrites));
+    EXPECT_NEAR(static_cast<double>(cell.metrics().demandWrites),
+                expectedWrites, 5.0 * std::sqrt(expectedWrites));
+}
+
+TEST(Integration, CrcDetectorWorksOnCellBackend)
+{
+    CellBackendConfig config;
+    config.lines = 128;
+    config.scheme = EccScheme::bch(8);
+    config.detectorKind = DetectorKind::Crc;
+    config.detectorParity = 16;
+    config.seed = 18;
+    CellBackend backend(config);
+    LightDetectScrub policy(12 * kHour);
+    runScrub(backend, policy, 3 * kDay);
+    const ScrubMetrics &m = backend.metrics();
+    EXPECT_EQ(m.lightDetects, m.linesChecked);
+    EXPECT_GT(m.fullDecodes, 0u);
+    // CRC-16 over a few million checks: essentially no misses.
+    EXPECT_EQ(m.detectorMisses, 0u);
+    EXPECT_EQ(m.scrubUncorrectable, 0u);
+}
+
+TEST(Integration, CombinedPipelineRunsOnCellBackend)
+{
+    // The full combined mechanism on real cells and real BCH.
+    CellBackendConfig config;
+    config.lines = 256;
+    config.scheme = EccScheme::bch(8);
+    config.seed = 9;
+    CellBackend backend(config);
+    CombinedScrub policy(1e-12, 2, backend, 32);
+    runScrub(backend, policy, 6 * kDay);
+
+    const ScrubMetrics &m = backend.metrics();
+    EXPECT_GT(m.linesChecked, 0u);
+    EXPECT_EQ(m.lightDetects, m.linesChecked);
+    EXPECT_EQ(m.scrubUncorrectable, 0u);
+    EXPECT_EQ(m.miscorrections, 0u);
+    // Ground truth at the end: no line may exceed the ECC budget.
+    const Tick end = 6 * kDay;
+    for (LineIndex line = 0; line < backend.lineCount(); ++line)
+        EXPECT_LE(backend.trueErrors(line, end), 8u) << line;
+}
+
+TEST(Integration, SecdedBaselineSuffersOnCellBackend)
+{
+    // With daily basic scrub and drifting MLC cells, real SECDED
+    // hits uncorrectable lines; this is the paper's motivation
+    // reproduced on the ground-truth backend.
+    CellBackendConfig config;
+    config.lines = 256;
+    config.scheme = EccScheme::secdedX8();
+    config.seed = 10;
+    CellBackend backend(config);
+    BasicScrub policy(kDay);
+    runScrub(backend, policy, 6 * kDay);
+    EXPECT_GT(backend.metrics().scrubUncorrectable, 0u);
+}
+
+TEST(Integration, MetricsMergeAccumulates)
+{
+    ScrubMetrics a;
+    a.linesChecked = 10;
+    a.scrubRewrites = 2;
+    a.demandUncorrectable = 0.5;
+    a.energy.add(EnergyCategory::Decode, 3.0);
+    ScrubMetrics b;
+    b.linesChecked = 5;
+    b.scrubUncorrectable = 1;
+    b.energy.add(EnergyCategory::Decode, 2.0);
+    a.merge(b);
+    EXPECT_EQ(a.linesChecked, 15u);
+    EXPECT_EQ(a.scrubRewrites, 2u);
+    EXPECT_EQ(a.scrubUncorrectable, 1u);
+    EXPECT_DOUBLE_EQ(a.totalUncorrectable(), 1.5);
+    EXPECT_DOUBLE_EQ(a.energy.get(EnergyCategory::Decode), 5.0);
+    EXPECT_NE(a.toString().find("checked=15"), std::string::npos);
+}
+
+TEST(Integration, DeterministicGivenSeed)
+{
+    auto runOnce = [](std::uint64_t seed) {
+        AnalyticConfig config;
+        config.lines = 256;
+        config.scheme = EccScheme::bch(8);
+        config.demand.writesPerLinePerSecond = 1e-5;
+        config.seed = seed;
+        AnalyticBackend backend(config);
+        CombinedScrub policy(1e-12, 2, backend, 32);
+        runScrub(backend, policy, 4 * kDay);
+        return backend.metrics();
+    };
+    const ScrubMetrics a = runOnce(42);
+    const ScrubMetrics b = runOnce(42);
+    EXPECT_EQ(a.linesChecked, b.linesChecked);
+    EXPECT_EQ(a.scrubRewrites, b.scrubRewrites);
+    EXPECT_EQ(a.demandWrites, b.demandWrites);
+    EXPECT_DOUBLE_EQ(a.energy.total(), b.energy.total());
+    const ScrubMetrics c = runOnce(43);
+    EXPECT_NE(a.demandWrites, c.demandWrites);
+}
+
+} // namespace
+} // namespace pcmscrub

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the interleaving code wrapper (DRAM-style 8 x SECDED).
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "ecc/interleaved.hh"
+#include "ecc/secded.hh"
+
+namespace pcmscrub {
+namespace {
+
+std::unique_ptr<InterleavedCode>
+dramLineCode()
+{
+    return std::make_unique<InterleavedCode>(
+        std::make_unique<SecdedCode>(64), 8);
+}
+
+TEST(Interleaved, GeometryOfDramLine)
+{
+    const auto code = dramLineCode();
+    EXPECT_EQ(code->dataBits(), 512u);
+    EXPECT_EQ(code->codewordBits(), 576u);
+    EXPECT_EQ(code->correctableErrors(), 1u);
+    EXPECT_EQ(code->ways(), 8u);
+    EXPECT_EQ(code->name(), "8xSECDED(72,64)");
+}
+
+TEST(Interleaved, CleanRoundTrip)
+{
+    const auto code = dramLineCode();
+    Random rng(1);
+    BitVector data(512);
+    data.randomize(rng);
+    BitVector cw = code->encode(data);
+    EXPECT_TRUE(code->check(cw));
+    EXPECT_EQ(code->decode(cw).status, DecodeStatus::Clean);
+    EXPECT_EQ(code->extractData(cw), data);
+}
+
+TEST(Interleaved, OneErrorPerSliceAllCorrected)
+{
+    // Eight errors, one per slice: each SECDED word fixes its own.
+    const auto code = dramLineCode();
+    Random rng(2);
+    BitVector data(512);
+    data.randomize(rng);
+    const BitVector clean = code->encode(data);
+    BitVector cw = clean;
+    for (unsigned w = 0; w < 8; ++w)
+        cw.flip(w * 72 + 13);
+    const DecodeResult res = code->decode(cw);
+    EXPECT_EQ(res.status, DecodeStatus::Corrected);
+    EXPECT_EQ(res.correctedBits, 8u);
+    EXPECT_EQ(cw, clean);
+}
+
+TEST(Interleaved, TwoErrorsInOneSliceUncorrectable)
+{
+    const auto code = dramLineCode();
+    Random rng(3);
+    BitVector data(512);
+    data.randomize(rng);
+    BitVector cw = code->encode(data);
+    cw.flip(3 * 72 + 5);
+    cw.flip(3 * 72 + 50);
+    EXPECT_EQ(code->decode(cw).status, DecodeStatus::Uncorrectable);
+}
+
+TEST(Interleaved, MixedCorrectableAndUncorrectableSlices)
+{
+    const auto code = dramLineCode();
+    Random rng(4);
+    BitVector data(512);
+    data.randomize(rng);
+    BitVector cw = code->encode(data);
+    cw.flip(0 * 72 + 1);  // slice 0: correctable
+    cw.flip(5 * 72 + 2);  // slice 5: two errors, uncorrectable
+    cw.flip(5 * 72 + 30);
+    const DecodeResult res = code->decode(cw);
+    EXPECT_EQ(res.status, DecodeStatus::Uncorrectable);
+}
+
+TEST(Interleaved, CheckFailsOnAnyDirtySlice)
+{
+    const auto code = dramLineCode();
+    Random rng(5);
+    BitVector data(512);
+    data.randomize(rng);
+    const BitVector clean = code->encode(data);
+    for (const unsigned slice : {0u, 4u, 7u}) {
+        BitVector cw = clean;
+        cw.flip(slice * 72 + 60);
+        EXPECT_FALSE(code->check(cw)) << "slice " << slice;
+    }
+}
+
+TEST(Interleaved, SingleWayDegeneratesToBase)
+{
+    const InterleavedCode code(std::make_unique<SecdedCode>(64), 1);
+    EXPECT_EQ(code.dataBits(), 64u);
+    EXPECT_EQ(code.codewordBits(), 72u);
+    Random rng(6);
+    BitVector data(64);
+    data.randomize(rng);
+    BitVector cw = code.encode(data);
+    cw.flip(10);
+    EXPECT_EQ(code.decode(cw).status, DecodeStatus::Corrected);
+    EXPECT_EQ(code.extractData(cw), data);
+}
+
+} // namespace
+} // namespace pcmscrub

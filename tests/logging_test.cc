@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Tests for log-level gating and the assertion macro.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace pcmscrub {
+namespace {
+
+TEST(Logging, LevelRoundTrips)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    setLogLevel(before);
+}
+
+TEST(Logging, InformAndWarnDoNotCrashWhenSuppressed)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Silent);
+    inform("should not appear %d", 1);
+    warn("should not appear %d", 2);
+    debug("should not appear %d", 3);
+    setLogLevel(before);
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 42), "panic: boom 42");
+}
+
+TEST(LoggingDeath, FatalExitsWithOne)
+{
+    EXPECT_EXIT(fatal("bad config %s", "x"),
+                ::testing::ExitedWithCode(1), "fatal: bad config x");
+}
+
+TEST(LoggingDeath, AssertMacroFiresOnFalse)
+{
+    EXPECT_DEATH(PCMSCRUB_ASSERT(1 == 2, "math broke %d", 7),
+                 "assertion '1 == 2' failed: math broke 7");
+}
+
+TEST(Logging, AssertMacroPassesOnTrue)
+{
+    PCMSCRUB_ASSERT(2 + 2 == 4, "never printed");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace pcmscrub

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Statistical sanity tests for the RNG and its distribution samplers.
+ * Tolerances are loose enough to be seed-stable but tight enough to
+ * catch implementation mistakes (wrong variance, bias, off-by-one).
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+
+namespace pcmscrub {
+namespace {
+
+TEST(Random, DeterministicForSameSeed)
+{
+    Random a(123);
+    Random b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiverge)
+{
+    Random a(1);
+    Random b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Random, UniformMeanAndRange)
+{
+    Random rng(42);
+    SummaryStats stats;
+    for (int i = 0; i < 100000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        stats.add(u);
+    }
+    EXPECT_NEAR(stats.mean(), 0.5, 0.005);
+    EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.003);
+}
+
+TEST(Random, UniformIntCoversRangeWithoutBias)
+{
+    Random rng(7);
+    const std::uint64_t bound = 10;
+    std::vector<int> counts(bound, 0);
+    const int draws = 100000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[rng.uniformInt(bound)];
+    for (std::uint64_t v = 0; v < bound; ++v) {
+        EXPECT_NEAR(counts[v], draws / 10.0, 400) << "value " << v;
+    }
+}
+
+TEST(Random, BernoulliMatchesProbability)
+{
+    Random rng(11);
+    int hits = 0;
+    const int draws = 200000;
+    for (int i = 0; i < draws; ++i)
+        hits += rng.bernoulli(0.03);
+    EXPECT_NEAR(hits / static_cast<double>(draws), 0.03, 0.002);
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Random, NormalMomentsAndTails)
+{
+    Random rng(5);
+    SummaryStats stats;
+    int beyond3 = 0;
+    const int draws = 200000;
+    for (int i = 0; i < draws; ++i) {
+        const double x = rng.normal();
+        stats.add(x);
+        beyond3 += std::abs(x) > 3.0;
+    }
+    EXPECT_NEAR(stats.mean(), 0.0, 0.01);
+    EXPECT_NEAR(stats.stddev(), 1.0, 0.01);
+    // P(|Z| > 3) = 2.7e-3.
+    EXPECT_NEAR(beyond3 / static_cast<double>(draws), 2.7e-3, 6e-4);
+}
+
+TEST(Random, NormalScalesMeanAndStddev)
+{
+    Random rng(9);
+    SummaryStats stats;
+    for (int i = 0; i < 50000; ++i)
+        stats.add(rng.normal(10.0, 2.5));
+    EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+    EXPECT_NEAR(stats.stddev(), 2.5, 0.05);
+}
+
+TEST(Random, LogNormalMedian)
+{
+    Random rng(13);
+    std::vector<double> samples;
+    for (int i = 0; i < 20001; ++i)
+        samples.push_back(rng.logNormal(3.0, 0.8));
+    std::nth_element(samples.begin(), samples.begin() + 10000,
+                     samples.end());
+    // Median of log-normal = e^mu.
+    EXPECT_NEAR(samples[10000], std::exp(3.0), std::exp(3.0) * 0.05);
+}
+
+TEST(Random, ExponentialMean)
+{
+    Random rng(17);
+    SummaryStats stats;
+    for (int i = 0; i < 100000; ++i)
+        stats.add(rng.exponential(4.0));
+    EXPECT_NEAR(stats.mean(), 0.25, 0.005);
+}
+
+TEST(Random, BinomialSmallNpExactPath)
+{
+    Random rng(21);
+    SummaryStats stats;
+    const std::uint64_t n = 256;
+    const double p = 0.002;
+    for (int i = 0; i < 100000; ++i)
+        stats.add(static_cast<double>(rng.binomial(n, p)));
+    EXPECT_NEAR(stats.mean(), n * p, 0.02);
+    EXPECT_NEAR(stats.variance(), n * p * (1 - p), 0.03);
+}
+
+TEST(Random, BinomialLargeNpNormalPath)
+{
+    Random rng(23);
+    SummaryStats stats;
+    const std::uint64_t n = 10000;
+    const double p = 0.4;
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t k = rng.binomial(n, p);
+        ASSERT_LE(k, n);
+        stats.add(static_cast<double>(k));
+    }
+    EXPECT_NEAR(stats.mean(), 4000.0, 5.0);
+    EXPECT_NEAR(stats.stddev(), std::sqrt(n * p * (1 - p)), 2.0);
+}
+
+TEST(Random, BinomialFlippedProbability)
+{
+    Random rng(29);
+    SummaryStats stats;
+    for (int i = 0; i < 50000; ++i)
+        stats.add(static_cast<double>(rng.binomial(64, 0.97)));
+    EXPECT_NEAR(stats.mean(), 64 * 0.97, 0.05);
+}
+
+TEST(Random, BinomialDegenerateCases)
+{
+    Random rng(31);
+    EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+    EXPECT_EQ(rng.binomial(100, 0.0), 0u);
+    EXPECT_EQ(rng.binomial(100, 1.0), 100u);
+}
+
+TEST(Random, PoissonMeanAndVariance)
+{
+    Random rng(37);
+    SummaryStats small;
+    for (int i = 0; i < 100000; ++i)
+        small.add(static_cast<double>(rng.poisson(3.5)));
+    EXPECT_NEAR(small.mean(), 3.5, 0.05);
+    EXPECT_NEAR(small.variance(), 3.5, 0.1);
+
+    SummaryStats large;
+    for (int i = 0; i < 50000; ++i)
+        large.add(static_cast<double>(rng.poisson(200.0)));
+    EXPECT_NEAR(large.mean(), 200.0, 0.5);
+}
+
+TEST(Random, SplitProducesIndependentStream)
+{
+    Random parent(99);
+    Random child = parent.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += parent.next() == child.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Zipf, SkewConcentratesOnLowIndices)
+{
+    Random rng(43);
+    ZipfGenerator zipf(1000, 0.9);
+    std::uint64_t hitsTop10 = 0;
+    const int draws = 100000;
+    for (int i = 0; i < draws; ++i) {
+        const std::uint64_t item = zipf.sample(rng);
+        ASSERT_LT(item, 1000u);
+        hitsTop10 += item < 10;
+    }
+    // With theta = 0.9 the top-1% of items should take a share far
+    // above their uniform 1%.
+    EXPECT_GT(hitsTop10, draws / 4);
+}
+
+TEST(Zipf, LowThetaApproachesUniform)
+{
+    Random rng(47);
+    ZipfGenerator zipf(100, 0.01);
+    std::uint64_t hitsTop10 = 0;
+    const int draws = 100000;
+    for (int i = 0; i < draws; ++i)
+        hitsTop10 += zipf.sample(rng) < 10;
+    // Uniform would give 10%; allow skew but it must be near-uniform.
+    EXPECT_LT(hitsTop10, draws / 5);
+}
+
+} // namespace
+} // namespace pcmscrub

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the traffic-recording backend decorator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scrub/analytic_backend.hh"
+#include "scrub/recording_backend.hh"
+#include "scrub/sweep_scrub.hh"
+
+namespace pcmscrub {
+namespace {
+
+constexpr Tick kHour = secondsToTicks(3600.0);
+constexpr Tick kDay = secondsToTicks(86400.0);
+
+AnalyticConfig
+smallConfig()
+{
+    AnalyticConfig config;
+    config.lines = 256;
+    config.scheme = EccScheme::bch(8);
+    config.demand.writesPerLinePerSecond = 0.0;
+    config.demand.readsPerLinePerSecond = 0.0;
+    config.seed = 3;
+    return config;
+}
+
+TEST(RecordingBackend, DelegatesSemantics)
+{
+    AnalyticBackend inner(smallConfig());
+    RecordingBackend recorder(inner);
+    EXPECT_EQ(recorder.lineCount(), inner.lineCount());
+    EXPECT_EQ(recorder.cellsPerLine(), inner.cellsPerLine());
+    EXPECT_EQ(recorder.scheme().name(), inner.scheme().name());
+    EXPECT_TRUE(recorder.eccCheckClean(0, secondsToTicks(1.0)));
+    EXPECT_EQ(inner.metrics().eccChecks, 1u);
+}
+
+TEST(RecordingBackend, CapturesChecksAndRewrites)
+{
+    AnalyticBackend inner(smallConfig());
+    RecordingBackend recorder(inner);
+    StrongEccScrub policy(6 * kHour);
+    runScrub(recorder, policy, 3 * kDay);
+
+    const Trace &trace = recorder.trace();
+    // One ScrubCheck per visited line, however many gates fired.
+    EXPECT_EQ(trace.countOf(ReqType::ScrubCheck),
+              inner.metrics().linesChecked);
+    EXPECT_EQ(trace.countOf(ReqType::ScrubRewrite),
+              inner.metrics().scrubRewrites);
+    EXPECT_GT(inner.metrics().scrubRewrites, 0u);
+}
+
+TEST(RecordingBackend, OneCheckPerVisitDespiteMultipleGates)
+{
+    AnalyticBackend inner(smallConfig());
+    RecordingBackend recorder(inner);
+    const Tick at = secondsToTicks(10.0);
+    // Light detect + syndrome + decode on the same (line, tick)
+    // must record a single array access.
+    recorder.lightDetectClean(5, at);
+    recorder.eccCheckClean(5, at);
+    recorder.fullDecode(5, at);
+    EXPECT_EQ(recorder.trace().countOf(ReqType::ScrubCheck), 1u);
+    // A different tick is a new access.
+    recorder.eccCheckClean(5, at + 1);
+    EXPECT_EQ(recorder.trace().countOf(ReqType::ScrubCheck), 2u);
+}
+
+TEST(RecordingBackend, TraceIsTimeOrdered)
+{
+    AnalyticBackend inner(smallConfig());
+    RecordingBackend recorder(inner);
+    BasicScrub policy(kHour);
+    runScrub(recorder, policy, 12 * kHour);
+    const Trace &trace = recorder.trace();
+    ASSERT_GT(trace.size(), 0u);
+    for (std::size_t i = 1; i < trace.size(); ++i)
+        ASSERT_GE(trace[i].arrival, trace[i - 1].arrival) << i;
+}
+
+TEST(RecordingBackend, RepairsRecordAsRewrites)
+{
+    AnalyticConfig config = smallConfig();
+    config.scheme = EccScheme::bch(1); // Guaranteed UEs at a month.
+    AnalyticBackend inner(config);
+    RecordingBackend recorder(inner);
+    BasicScrub policy(30 * kDay);
+    runScrub(recorder, policy, 30 * kDay);
+    ASSERT_GT(inner.metrics().scrubUncorrectable, 0u);
+    // Every repair and corrective rewrite appears as ScrubRewrite.
+    EXPECT_GE(recorder.trace().countOf(ReqType::ScrubRewrite),
+              inner.metrics().scrubUncorrectable);
+}
+
+} // namespace
+} // namespace pcmscrub

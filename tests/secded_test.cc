@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the Hamming SECDED code.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "ecc/secded.hh"
+
+namespace pcmscrub {
+namespace {
+
+TEST(Secded, Classic7264Geometry)
+{
+    const SecdedCode code(64);
+    EXPECT_EQ(code.dataBits(), 64u);
+    EXPECT_EQ(code.codewordBits(), 72u);
+    EXPECT_EQ(code.checkBits(), 8u);
+    EXPECT_EQ(code.correctableErrors(), 1u);
+    EXPECT_EQ(code.name(), "SECDED(72,64)");
+}
+
+TEST(Secded, CleanRoundTrip)
+{
+    const SecdedCode code(64);
+    Random rng(1);
+    for (int trial = 0; trial < 100; ++trial) {
+        BitVector data(64);
+        data.randomize(rng);
+        BitVector cw = code.encode(data);
+        EXPECT_TRUE(code.check(cw));
+        const DecodeResult res = code.decode(cw);
+        EXPECT_EQ(res.status, DecodeStatus::Clean);
+        EXPECT_FALSE(res.usedFullDecode);
+        EXPECT_EQ(code.extractData(cw), data);
+    }
+}
+
+TEST(Secded, CorrectsEverySingleBitError)
+{
+    const SecdedCode code(64);
+    Random rng(2);
+    BitVector data(64);
+    data.randomize(rng);
+    const BitVector clean = code.encode(data);
+    for (std::size_t bit = 0; bit < clean.size(); ++bit) {
+        BitVector cw = clean;
+        cw.flip(bit);
+        EXPECT_FALSE(code.check(cw)) << "bit " << bit;
+        const DecodeResult res = code.decode(cw);
+        EXPECT_EQ(res.status, DecodeStatus::Corrected) << "bit " << bit;
+        EXPECT_EQ(res.correctedBits, 1u);
+        EXPECT_TRUE(res.usedFullDecode);
+        EXPECT_EQ(cw, clean) << "bit " << bit;
+    }
+}
+
+TEST(Secded, DetectsEveryDoubleBitError)
+{
+    const SecdedCode code(32);
+    Random rng(3);
+    BitVector data(32);
+    data.randomize(rng);
+    const BitVector clean = code.encode(data);
+    for (std::size_t i = 0; i < clean.size(); ++i) {
+        for (std::size_t j = i + 1; j < clean.size(); ++j) {
+            BitVector cw = clean;
+            cw.flip(i);
+            cw.flip(j);
+            const DecodeResult res = code.decode(cw);
+            EXPECT_EQ(res.status, DecodeStatus::Uncorrectable)
+                << "bits " << i << "," << j;
+            // The codeword must be untouched on detection.
+            BitVector expect = clean;
+            expect.flip(i);
+            expect.flip(j);
+            EXPECT_EQ(cw, expect);
+        }
+    }
+}
+
+TEST(Secded, NonStandardWidths)
+{
+    for (const std::size_t k : {8ul, 16ul, 100ul, 512ul}) {
+        const SecdedCode code(k);
+        EXPECT_EQ(code.dataBits(), k);
+        Random rng(k);
+        BitVector data(k);
+        data.randomize(rng);
+        BitVector cw = code.encode(data);
+        EXPECT_TRUE(code.check(cw));
+        cw.flip(k / 2);
+        const DecodeResult res = code.decode(cw);
+        EXPECT_EQ(res.status, DecodeStatus::Corrected);
+        EXPECT_EQ(code.extractData(cw), data);
+    }
+}
+
+TEST(Secded, TripleErrorsNeverReportClean)
+{
+    // >= 3 errors may miscorrect (that's inherent to SECDED) but the
+    // syndrome must never be zero for odd error counts.
+    const SecdedCode code(64);
+    Random rng(4);
+    BitVector data(64);
+    data.randomize(rng);
+    const BitVector clean = code.encode(data);
+    for (int trial = 0; trial < 300; ++trial) {
+        BitVector cw = clean;
+        std::size_t bits[3];
+        bits[0] = rng.uniformInt(cw.size());
+        do {
+            bits[1] = rng.uniformInt(cw.size());
+        } while (bits[1] == bits[0]);
+        do {
+            bits[2] = rng.uniformInt(cw.size());
+        } while (bits[2] == bits[0] || bits[2] == bits[1]);
+        for (const auto b : bits)
+            cw.flip(b);
+        EXPECT_FALSE(code.check(cw)) << "trial " << trial;
+        const DecodeResult res = code.decode(cw);
+        EXPECT_NE(res.status, DecodeStatus::Clean) << "trial " << trial;
+    }
+}
+
+} // namespace
+} // namespace pcmscrub

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for summaries, histograms, and counter groups.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace pcmscrub {
+namespace {
+
+TEST(SummaryStats, EmptyIsSafe)
+{
+    SummaryStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.ci95(), 0.0);
+}
+
+TEST(SummaryStats, HandComputedMoments)
+{
+    SummaryStats s;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance of the classic example set: 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(SummaryStats, MergeEqualsSequential)
+{
+    SummaryStats whole;
+    SummaryStats partA;
+    SummaryStats partB;
+    for (int i = 0; i < 100; ++i) {
+        const double x = std::sin(i) * 10.0 + i;
+        whole.add(x);
+        (i < 37 ? partA : partB).add(x);
+    }
+    partA.merge(partB);
+    EXPECT_EQ(partA.count(), whole.count());
+    EXPECT_NEAR(partA.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(partA.variance(), whole.variance(), 1e-9);
+    EXPECT_EQ(partA.min(), whole.min());
+    EXPECT_EQ(partA.max(), whole.max());
+}
+
+TEST(SummaryStats, MergeWithEmptySides)
+{
+    SummaryStats filled;
+    filled.add(1.0);
+    filled.add(3.0);
+    SummaryStats empty;
+    filled.merge(empty);
+    EXPECT_EQ(filled.count(), 2u);
+    EXPECT_DOUBLE_EQ(filled.mean(), 2.0);
+    empty.merge(filled);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Histogram, BinningAndEdges)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.0);
+    h.add(0.999);
+    h.add(5.0);
+    h.add(9.9999);
+    h.add(-1.0);  // underflow
+    h.add(10.0);  // overflow (right edge exclusive)
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(5), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, WeightedAdds)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.add(1.5, 10);
+    EXPECT_EQ(h.total(), 10u);
+    EXPECT_EQ(h.binCount(1), 10u);
+}
+
+TEST(Histogram, QuantileInterpolation)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.0), 0.0, 1.5);
+}
+
+TEST(Histogram, ToStringMentionsPopulatedBins)
+{
+    Histogram h(0.0, 2.0, 2);
+    h.add(0.5);
+    const std::string s = h.toString();
+    EXPECT_NE(s.find("n=1"), std::string::npos);
+}
+
+TEST(CounterGroup, AccumulatesAndReads)
+{
+    CounterGroup g("scrub");
+    g.add("reads");
+    g.add("reads", 4);
+    g.add("writes", 2);
+    EXPECT_EQ(g.get("reads"), 5u);
+    EXPECT_EQ(g.get("writes"), 2u);
+    EXPECT_EQ(g.get("nonexistent"), 0u);
+}
+
+TEST(CounterGroup, ClearResets)
+{
+    CounterGroup g("x");
+    g.add("a", 3);
+    g.clear();
+    EXPECT_EQ(g.get("a"), 0u);
+    EXPECT_TRUE(g.all().empty());
+}
+
+TEST(CounterGroup, ToStringIsStableAndNamed)
+{
+    CounterGroup g("unit");
+    g.add("b", 1);
+    g.add("a", 2);
+    // std::map ordering: alphabetical keys.
+    EXPECT_EQ(g.toString(), "unit: a=2 b=1");
+}
+
+} // namespace
+} // namespace pcmscrub

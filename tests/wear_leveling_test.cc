@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the Start-Gap wear-leveling mapper: bijectivity under
+ * rotation, data-consistency of every gap move, and the write-
+ * flattening property that motivates it.
+ */
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "mem/wear_leveling.hh"
+
+namespace pcmscrub {
+namespace {
+
+TEST(StartGap, InitialMappingIsIdentity)
+{
+    const StartGapMapper mapper(8, 4);
+    EXPECT_EQ(mapper.physicalLines(), 9u);
+    EXPECT_EQ(mapper.gap(), 8u);
+    for (LineIndex la = 0; la < 8; ++la)
+        EXPECT_EQ(mapper.physical(la), la);
+}
+
+TEST(StartGap, MappingStaysBijectiveForever)
+{
+    StartGapMapper mapper(16, 1); // Move the gap on every write.
+    for (int step = 0; step < 16 * 17 * 3; ++step) {
+        std::set<LineIndex> frames;
+        for (LineIndex la = 0; la < 16; ++la) {
+            const LineIndex pa = mapper.physical(la);
+            EXPECT_LT(pa, mapper.physicalLines());
+            EXPECT_NE(pa, mapper.gap()) << "step " << step;
+            frames.insert(pa);
+        }
+        EXPECT_EQ(frames.size(), 16u) << "step " << step;
+        mapper.recordWrite();
+    }
+    EXPECT_GT(mapper.revolutions(), 0u);
+}
+
+TEST(StartGap, EveryMoveKeepsDataConsistent)
+{
+    // Shadow memory: apply each returned copy and verify that every
+    // logical line still reads its own value through the mapping.
+    const std::uint64_t n = 12;
+    StartGapMapper mapper(n, 1);
+    std::vector<int> physicalData(mapper.physicalLines(), -1);
+    for (LineIndex la = 0; la < n; ++la)
+        physicalData[mapper.physical(la)] = static_cast<int>(la);
+
+    for (int step = 0; step < static_cast<int>(n * (n + 1) * 4);
+         ++step) {
+        const auto move = mapper.recordWrite();
+        ASSERT_TRUE(move.has_value());
+        physicalData[move->to] = physicalData[move->from];
+        for (LineIndex la = 0; la < n; ++la) {
+            ASSERT_EQ(physicalData[mapper.physical(la)],
+                      static_cast<int>(la))
+                << "step " << step << " line " << la;
+        }
+    }
+}
+
+TEST(StartGap, GapMovesEveryPsiWrites)
+{
+    StartGapMapper mapper(8, 5);
+    int moves = 0;
+    for (int write = 0; write < 50; ++write)
+        moves += mapper.recordWrite().has_value();
+    EXPECT_EQ(moves, 10);
+}
+
+TEST(StartGap, MoveSourceIsAdjacentToGap)
+{
+    StartGapMapper mapper(8, 1);
+    for (int step = 0; step < 40; ++step) {
+        const LineIndex gapBefore = mapper.gap();
+        const auto move = mapper.recordWrite();
+        ASSERT_TRUE(move.has_value());
+        if (gapBefore > 0) {
+            EXPECT_EQ(move->to, gapBefore);
+            EXPECT_EQ(move->from, gapBefore - 1);
+        } else {
+            EXPECT_EQ(move->from, mapper.logicalLines());
+            EXPECT_EQ(move->to, 0u);
+        }
+    }
+}
+
+TEST(StartGap, FlattensSkewedWriteTraffic)
+{
+    // Zipf-hot logical lines; after enough revolutions the physical
+    // write distribution must be far flatter than the logical one.
+    const std::uint64_t n = 256;
+    Random rng(9);
+    ZipfGenerator zipf(n, 0.9);
+
+    StartGapMapper mapper(n, 8);
+    std::vector<std::uint64_t> physicalWrites(mapper.physicalLines(),
+                                              0);
+    std::vector<std::uint64_t> logicalWrites(n, 0);
+    const std::uint64_t writes = 2'000'000;
+    for (std::uint64_t w = 0; w < writes; ++w) {
+        const LineIndex la = zipf.sample(rng);
+        ++logicalWrites[la];
+        ++physicalWrites[mapper.physical(la)];
+        const auto move = mapper.recordWrite();
+        if (move)
+            ++physicalWrites[move->to]; // The copy wears the target.
+    }
+
+    const auto maxOf = [](const std::vector<std::uint64_t> &counts) {
+        std::uint64_t max = 0;
+        for (const auto c : counts)
+            max = std::max(max, c);
+        return max;
+    };
+    const double logicalMax = static_cast<double>(maxOf(logicalWrites));
+    const double physicalMax =
+        static_cast<double>(maxOf(physicalWrites));
+    const double mean = static_cast<double>(writes) / n;
+    // The hottest logical line is many times the mean; the hottest
+    // physical frame must be within a small factor of it.
+    EXPECT_GT(logicalMax / mean, 10.0);
+    EXPECT_LT(physicalMax / mean, 3.0);
+    EXPECT_GT(mapper.revolutions(), 2u);
+}
+
+TEST(StartGapDeath, InvalidConfigIsFatal)
+{
+    EXPECT_EXIT(StartGapMapper(1, 4), ::testing::ExitedWithCode(1),
+                "two lines");
+    EXPECT_EXIT(StartGapMapper(8, 0), ::testing::ExitedWithCode(1),
+                "interval");
+}
+
+TEST(StartGapDeath, OutOfRangeLogicalPanics)
+{
+    const StartGapMapper mapper(8, 4);
+    EXPECT_DEATH(mapper.physical(8), "out of range");
+}
+
+} // namespace
+} // namespace pcmscrub

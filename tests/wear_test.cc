@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the analytic endurance model, including agreement with
+ * the per-cell sampling in CellModel.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "pcm/cell.hh"
+#include "pcm/wear.hh"
+
+namespace pcmscrub {
+namespace {
+
+TEST(WearModel, CdfBasics)
+{
+    DeviceConfig config;
+    config.enduranceMedian = 1e8;
+    const WearModel model(config);
+    EXPECT_EQ(model.failureCdf(0.0), 0.0);
+    EXPECT_EQ(model.failureCdf(-5.0), 0.0);
+    EXPECT_NEAR(model.failureCdf(1e8), 0.5, 1e-12);
+    EXPECT_LT(model.failureCdf(1e7), 0.01);
+    EXPECT_GT(model.failureCdf(1e9), 0.99);
+}
+
+TEST(WearModel, CdfMonotone)
+{
+    const WearModel model{DeviceConfig{}};
+    double prev = 0.0;
+    for (double w = 1e6; w < 1e10; w *= 2.0) {
+        const double f = model.failureCdf(w);
+        EXPECT_GE(f, prev);
+        prev = f;
+    }
+}
+
+TEST(WearModel, ScaleShiftsMedian)
+{
+    DeviceConfig config;
+    config.enduranceMedian = 1e8;
+    config.enduranceScale = 1e-6;
+    const WearModel model(config);
+    EXPECT_NEAR(model.scaledMedian(), 100.0, 1e-9);
+    EXPECT_NEAR(model.failureCdf(100.0), 0.5, 1e-12);
+}
+
+TEST(WearModel, ConditionalFailureComposes)
+{
+    // Surviving w1 then dying by w2, chained through w_mid, must
+    // equal the direct conditional: (1-p(a,b))(1-p(b,c)) = 1-p(a,c).
+    const WearModel model{DeviceConfig{}};
+    const double a = 5e7;
+    const double b = 1.2e8;
+    const double c = 3e8;
+    const double direct = 1.0 - model.conditionalFailure(a, c);
+    const double chained = (1.0 - model.conditionalFailure(a, b)) *
+        (1.0 - model.conditionalFailure(b, c));
+    EXPECT_NEAR(direct, chained, 1e-12);
+}
+
+TEST(WearModel, ConditionalEdgeCases)
+{
+    const WearModel model{DeviceConfig{}};
+    EXPECT_EQ(model.conditionalFailure(1e8, 1e8), 0.0);
+    EXPECT_NEAR(model.conditionalFailure(0.0, 1e8), 0.5, 1e-12);
+    // Deep in the dead zone the conditional saturates at 1.
+    EXPECT_NEAR(model.conditionalFailure(1e10, 1e12), 1.0, 1e-6);
+}
+
+TEST(WearModel, MatchesCellModelSampling)
+{
+    // The per-cell endurance draws in CellModel must follow the
+    // same distribution the analytic model integrates.
+    DeviceConfig config;
+    config.enduranceMedian = 1000.0;
+    config.enduranceSigmaLn = 0.3;
+    const WearModel model(config);
+    const CellModel cells(config);
+    Random rng(3);
+    const int draws = 50000;
+    int deadBy800 = 0;
+    for (int i = 0; i < draws; ++i) {
+        Cell cell;
+        cells.initialize(cell, rng);
+        deadBy800 += cell.enduranceWrites <= 800.0f;
+    }
+    const double empirical = deadBy800 / static_cast<double>(draws);
+    EXPECT_NEAR(empirical, model.failureCdf(800.0), 0.01);
+}
+
+TEST(WearModelDeath, InvalidConfigIsFatal)
+{
+    DeviceConfig config;
+    config.enduranceSigmaLn = 0.0;
+    EXPECT_DEATH(WearModel{config}, "spread must be positive");
+}
+
+} // namespace
+} // namespace pcmscrub
