@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_drift_error_prob.dir/fig_drift_error_prob.cc.o"
+  "CMakeFiles/fig_drift_error_prob.dir/fig_drift_error_prob.cc.o.d"
+  "fig_drift_error_prob"
+  "fig_drift_error_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_drift_error_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_hard_soft_tradeoff.dir/fig_hard_soft_tradeoff.cc.o"
+  "CMakeFiles/fig_hard_soft_tradeoff.dir/fig_hard_soft_tradeoff.cc.o.d"
+  "fig_hard_soft_tradeoff"
+  "fig_hard_soft_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_hard_soft_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

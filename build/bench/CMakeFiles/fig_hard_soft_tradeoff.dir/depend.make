@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_hard_soft_tradeoff.
+# This may be replaced when dependencies are built.

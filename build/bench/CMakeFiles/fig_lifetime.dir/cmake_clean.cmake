@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_lifetime.dir/fig_lifetime.cc.o"
+  "CMakeFiles/fig_lifetime.dir/fig_lifetime.cc.o.d"
+  "fig_lifetime"
+  "fig_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

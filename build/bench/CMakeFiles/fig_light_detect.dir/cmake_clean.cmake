@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_light_detect.dir/fig_light_detect.cc.o"
+  "CMakeFiles/fig_light_detect.dir/fig_light_detect.cc.o.d"
+  "fig_light_detect"
+  "fig_light_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_light_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

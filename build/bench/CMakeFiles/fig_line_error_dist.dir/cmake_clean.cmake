@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_line_error_dist.dir/fig_line_error_dist.cc.o"
+  "CMakeFiles/fig_line_error_dist.dir/fig_line_error_dist.cc.o.d"
+  "fig_line_error_dist"
+  "fig_line_error_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_line_error_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_line_error_dist.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_perf_overhead.dir/fig_perf_overhead.cc.o"
+  "CMakeFiles/fig_perf_overhead.dir/fig_perf_overhead.cc.o.d"
+  "fig_perf_overhead"
+  "fig_perf_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_perf_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

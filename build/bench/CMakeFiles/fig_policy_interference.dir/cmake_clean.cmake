@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_policy_interference.dir/fig_policy_interference.cc.o"
+  "CMakeFiles/fig_policy_interference.dir/fig_policy_interference.cc.o.d"
+  "fig_policy_interference"
+  "fig_policy_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_policy_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

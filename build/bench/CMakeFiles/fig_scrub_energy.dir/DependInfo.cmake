@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig_scrub_energy.cc" "bench/CMakeFiles/fig_scrub_energy.dir/fig_scrub_energy.cc.o" "gcc" "bench/CMakeFiles/fig_scrub_energy.dir/fig_scrub_energy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/scrub/CMakeFiles/scrub_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/scrub_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/scrub_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scrub_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/scrub_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcm/CMakeFiles/scrub_pcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scrub_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

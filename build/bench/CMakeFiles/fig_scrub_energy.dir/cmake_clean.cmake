@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_scrub_energy.dir/fig_scrub_energy.cc.o"
+  "CMakeFiles/fig_scrub_energy.dir/fig_scrub_energy.cc.o.d"
+  "fig_scrub_energy"
+  "fig_scrub_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_scrub_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

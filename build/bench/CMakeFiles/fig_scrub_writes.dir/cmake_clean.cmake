@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_scrub_writes.dir/fig_scrub_writes.cc.o"
+  "CMakeFiles/fig_scrub_writes.dir/fig_scrub_writes.cc.o.d"
+  "fig_scrub_writes"
+  "fig_scrub_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_scrub_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

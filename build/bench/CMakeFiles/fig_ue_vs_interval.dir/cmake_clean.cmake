@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_ue_vs_interval.dir/fig_ue_vs_interval.cc.o"
+  "CMakeFiles/fig_ue_vs_interval.dir/fig_ue_vs_interval.cc.o.d"
+  "fig_ue_vs_interval"
+  "fig_ue_vs_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_ue_vs_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

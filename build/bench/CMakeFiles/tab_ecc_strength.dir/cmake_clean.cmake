@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_ecc_strength.dir/tab_ecc_strength.cc.o"
+  "CMakeFiles/tab_ecc_strength.dir/tab_ecc_strength.cc.o.d"
+  "tab_ecc_strength"
+  "tab_ecc_strength.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_ecc_strength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

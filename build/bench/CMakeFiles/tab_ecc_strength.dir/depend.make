@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_ecc_strength.
+# This may be replaced when dependencies are built.

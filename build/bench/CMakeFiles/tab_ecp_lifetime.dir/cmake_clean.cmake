@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_ecp_lifetime.dir/tab_ecp_lifetime.cc.o"
+  "CMakeFiles/tab_ecp_lifetime.dir/tab_ecp_lifetime.cc.o.d"
+  "tab_ecp_lifetime"
+  "tab_ecp_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_ecp_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

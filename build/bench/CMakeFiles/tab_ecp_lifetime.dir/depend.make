@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_ecp_lifetime.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_piggyback.dir/tab_piggyback.cc.o"
+  "CMakeFiles/tab_piggyback.dir/tab_piggyback.cc.o.d"
+  "tab_piggyback"
+  "tab_piggyback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_piggyback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_preventive.dir/tab_preventive.cc.o"
+  "CMakeFiles/tab_preventive.dir/tab_preventive.cc.o.d"
+  "tab_preventive"
+  "tab_preventive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_preventive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab_preventive.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_region_ablation.dir/tab_region_ablation.cc.o"
+  "CMakeFiles/tab_region_ablation.dir/tab_region_ablation.cc.o.d"
+  "tab_region_ablation"
+  "tab_region_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_region_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_wear_leveling.dir/tab_wear_leveling.cc.o"
+  "CMakeFiles/tab_wear_leveling.dir/tab_wear_leveling.cc.o.d"
+  "tab_wear_leveling"
+  "tab_wear_leveling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_wear_leveling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_scrub.dir/datacenter_scrub.cpp.o"
+  "CMakeFiles/datacenter_scrub.dir/datacenter_scrub.cpp.o.d"
+  "datacenter_scrub"
+  "datacenter_scrub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_scrub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drift_playground.dir/drift_playground.cpp.o"
+  "CMakeFiles/drift_playground.dir/drift_playground.cpp.o.d"
+  "drift_playground"
+  "drift_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

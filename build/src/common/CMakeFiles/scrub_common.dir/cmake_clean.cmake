@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrub_common.dir/bitvector.cc.o"
+  "CMakeFiles/scrub_common.dir/bitvector.cc.o.d"
+  "CMakeFiles/scrub_common.dir/config.cc.o"
+  "CMakeFiles/scrub_common.dir/config.cc.o.d"
+  "CMakeFiles/scrub_common.dir/logging.cc.o"
+  "CMakeFiles/scrub_common.dir/logging.cc.o.d"
+  "CMakeFiles/scrub_common.dir/math.cc.o"
+  "CMakeFiles/scrub_common.dir/math.cc.o.d"
+  "CMakeFiles/scrub_common.dir/random.cc.o"
+  "CMakeFiles/scrub_common.dir/random.cc.o.d"
+  "CMakeFiles/scrub_common.dir/stats.cc.o"
+  "CMakeFiles/scrub_common.dir/stats.cc.o.d"
+  "CMakeFiles/scrub_common.dir/table.cc.o"
+  "CMakeFiles/scrub_common.dir/table.cc.o.d"
+  "libscrub_common.a"
+  "libscrub_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrub_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

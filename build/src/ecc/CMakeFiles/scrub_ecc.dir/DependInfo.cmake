@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/bch.cc" "src/ecc/CMakeFiles/scrub_ecc.dir/bch.cc.o" "gcc" "src/ecc/CMakeFiles/scrub_ecc.dir/bch.cc.o.d"
+  "/root/repo/src/ecc/checksum.cc" "src/ecc/CMakeFiles/scrub_ecc.dir/checksum.cc.o" "gcc" "src/ecc/CMakeFiles/scrub_ecc.dir/checksum.cc.o.d"
+  "/root/repo/src/ecc/code.cc" "src/ecc/CMakeFiles/scrub_ecc.dir/code.cc.o" "gcc" "src/ecc/CMakeFiles/scrub_ecc.dir/code.cc.o.d"
+  "/root/repo/src/ecc/ecp.cc" "src/ecc/CMakeFiles/scrub_ecc.dir/ecp.cc.o" "gcc" "src/ecc/CMakeFiles/scrub_ecc.dir/ecp.cc.o.d"
+  "/root/repo/src/ecc/interleaved.cc" "src/ecc/CMakeFiles/scrub_ecc.dir/interleaved.cc.o" "gcc" "src/ecc/CMakeFiles/scrub_ecc.dir/interleaved.cc.o.d"
+  "/root/repo/src/ecc/secded.cc" "src/ecc/CMakeFiles/scrub_ecc.dir/secded.cc.o" "gcc" "src/ecc/CMakeFiles/scrub_ecc.dir/secded.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scrub_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/scrub_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

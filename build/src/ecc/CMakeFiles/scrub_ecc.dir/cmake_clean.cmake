@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrub_ecc.dir/bch.cc.o"
+  "CMakeFiles/scrub_ecc.dir/bch.cc.o.d"
+  "CMakeFiles/scrub_ecc.dir/checksum.cc.o"
+  "CMakeFiles/scrub_ecc.dir/checksum.cc.o.d"
+  "CMakeFiles/scrub_ecc.dir/code.cc.o"
+  "CMakeFiles/scrub_ecc.dir/code.cc.o.d"
+  "CMakeFiles/scrub_ecc.dir/ecp.cc.o"
+  "CMakeFiles/scrub_ecc.dir/ecp.cc.o.d"
+  "CMakeFiles/scrub_ecc.dir/interleaved.cc.o"
+  "CMakeFiles/scrub_ecc.dir/interleaved.cc.o.d"
+  "CMakeFiles/scrub_ecc.dir/secded.cc.o"
+  "CMakeFiles/scrub_ecc.dir/secded.cc.o.d"
+  "libscrub_ecc.a"
+  "libscrub_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrub_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gf/binpoly.cc" "src/gf/CMakeFiles/scrub_gf.dir/binpoly.cc.o" "gcc" "src/gf/CMakeFiles/scrub_gf.dir/binpoly.cc.o.d"
+  "/root/repo/src/gf/gf2m.cc" "src/gf/CMakeFiles/scrub_gf.dir/gf2m.cc.o" "gcc" "src/gf/CMakeFiles/scrub_gf.dir/gf2m.cc.o.d"
+  "/root/repo/src/gf/gfpoly.cc" "src/gf/CMakeFiles/scrub_gf.dir/gfpoly.cc.o" "gcc" "src/gf/CMakeFiles/scrub_gf.dir/gfpoly.cc.o.d"
+  "/root/repo/src/gf/minpoly.cc" "src/gf/CMakeFiles/scrub_gf.dir/minpoly.cc.o" "gcc" "src/gf/CMakeFiles/scrub_gf.dir/minpoly.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scrub_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

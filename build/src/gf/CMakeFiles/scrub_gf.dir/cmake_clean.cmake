@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrub_gf.dir/binpoly.cc.o"
+  "CMakeFiles/scrub_gf.dir/binpoly.cc.o.d"
+  "CMakeFiles/scrub_gf.dir/gf2m.cc.o"
+  "CMakeFiles/scrub_gf.dir/gf2m.cc.o.d"
+  "CMakeFiles/scrub_gf.dir/gfpoly.cc.o"
+  "CMakeFiles/scrub_gf.dir/gfpoly.cc.o.d"
+  "CMakeFiles/scrub_gf.dir/minpoly.cc.o"
+  "CMakeFiles/scrub_gf.dir/minpoly.cc.o.d"
+  "libscrub_gf.a"
+  "libscrub_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrub_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

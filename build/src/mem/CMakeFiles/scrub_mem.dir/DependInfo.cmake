@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/controller.cc" "src/mem/CMakeFiles/scrub_mem.dir/controller.cc.o" "gcc" "src/mem/CMakeFiles/scrub_mem.dir/controller.cc.o.d"
+  "/root/repo/src/mem/geometry.cc" "src/mem/CMakeFiles/scrub_mem.dir/geometry.cc.o" "gcc" "src/mem/CMakeFiles/scrub_mem.dir/geometry.cc.o.d"
+  "/root/repo/src/mem/metadata.cc" "src/mem/CMakeFiles/scrub_mem.dir/metadata.cc.o" "gcc" "src/mem/CMakeFiles/scrub_mem.dir/metadata.cc.o.d"
+  "/root/repo/src/mem/wear_leveling.cc" "src/mem/CMakeFiles/scrub_mem.dir/wear_leveling.cc.o" "gcc" "src/mem/CMakeFiles/scrub_mem.dir/wear_leveling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scrub_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcm/CMakeFiles/scrub_pcm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrub_mem.dir/controller.cc.o"
+  "CMakeFiles/scrub_mem.dir/controller.cc.o.d"
+  "CMakeFiles/scrub_mem.dir/geometry.cc.o"
+  "CMakeFiles/scrub_mem.dir/geometry.cc.o.d"
+  "CMakeFiles/scrub_mem.dir/metadata.cc.o"
+  "CMakeFiles/scrub_mem.dir/metadata.cc.o.d"
+  "CMakeFiles/scrub_mem.dir/wear_leveling.cc.o"
+  "CMakeFiles/scrub_mem.dir/wear_leveling.cc.o.d"
+  "libscrub_mem.a"
+  "libscrub_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrub_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

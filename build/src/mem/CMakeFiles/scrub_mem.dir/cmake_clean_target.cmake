@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscrub_mem.a"
+)

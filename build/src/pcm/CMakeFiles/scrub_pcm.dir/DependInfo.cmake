@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcm/array.cc" "src/pcm/CMakeFiles/scrub_pcm.dir/array.cc.o" "gcc" "src/pcm/CMakeFiles/scrub_pcm.dir/array.cc.o.d"
+  "/root/repo/src/pcm/cell.cc" "src/pcm/CMakeFiles/scrub_pcm.dir/cell.cc.o" "gcc" "src/pcm/CMakeFiles/scrub_pcm.dir/cell.cc.o.d"
+  "/root/repo/src/pcm/device_config.cc" "src/pcm/CMakeFiles/scrub_pcm.dir/device_config.cc.o" "gcc" "src/pcm/CMakeFiles/scrub_pcm.dir/device_config.cc.o.d"
+  "/root/repo/src/pcm/drift_model.cc" "src/pcm/CMakeFiles/scrub_pcm.dir/drift_model.cc.o" "gcc" "src/pcm/CMakeFiles/scrub_pcm.dir/drift_model.cc.o.d"
+  "/root/repo/src/pcm/energy.cc" "src/pcm/CMakeFiles/scrub_pcm.dir/energy.cc.o" "gcc" "src/pcm/CMakeFiles/scrub_pcm.dir/energy.cc.o.d"
+  "/root/repo/src/pcm/line.cc" "src/pcm/CMakeFiles/scrub_pcm.dir/line.cc.o" "gcc" "src/pcm/CMakeFiles/scrub_pcm.dir/line.cc.o.d"
+  "/root/repo/src/pcm/wear.cc" "src/pcm/CMakeFiles/scrub_pcm.dir/wear.cc.o" "gcc" "src/pcm/CMakeFiles/scrub_pcm.dir/wear.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scrub_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

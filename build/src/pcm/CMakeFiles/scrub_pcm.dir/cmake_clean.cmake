@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrub_pcm.dir/array.cc.o"
+  "CMakeFiles/scrub_pcm.dir/array.cc.o.d"
+  "CMakeFiles/scrub_pcm.dir/cell.cc.o"
+  "CMakeFiles/scrub_pcm.dir/cell.cc.o.d"
+  "CMakeFiles/scrub_pcm.dir/device_config.cc.o"
+  "CMakeFiles/scrub_pcm.dir/device_config.cc.o.d"
+  "CMakeFiles/scrub_pcm.dir/drift_model.cc.o"
+  "CMakeFiles/scrub_pcm.dir/drift_model.cc.o.d"
+  "CMakeFiles/scrub_pcm.dir/energy.cc.o"
+  "CMakeFiles/scrub_pcm.dir/energy.cc.o.d"
+  "CMakeFiles/scrub_pcm.dir/line.cc.o"
+  "CMakeFiles/scrub_pcm.dir/line.cc.o.d"
+  "CMakeFiles/scrub_pcm.dir/wear.cc.o"
+  "CMakeFiles/scrub_pcm.dir/wear.cc.o.d"
+  "libscrub_pcm.a"
+  "libscrub_pcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrub_pcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scrub/adaptive_scrub.cc" "src/scrub/CMakeFiles/scrub_core.dir/adaptive_scrub.cc.o" "gcc" "src/scrub/CMakeFiles/scrub_core.dir/adaptive_scrub.cc.o.d"
+  "/root/repo/src/scrub/analytic_backend.cc" "src/scrub/CMakeFiles/scrub_core.dir/analytic_backend.cc.o" "gcc" "src/scrub/CMakeFiles/scrub_core.dir/analytic_backend.cc.o.d"
+  "/root/repo/src/scrub/cell_backend.cc" "src/scrub/CMakeFiles/scrub_core.dir/cell_backend.cc.o" "gcc" "src/scrub/CMakeFiles/scrub_core.dir/cell_backend.cc.o.d"
+  "/root/repo/src/scrub/demand_model.cc" "src/scrub/CMakeFiles/scrub_core.dir/demand_model.cc.o" "gcc" "src/scrub/CMakeFiles/scrub_core.dir/demand_model.cc.o.d"
+  "/root/repo/src/scrub/ecc_scheme.cc" "src/scrub/CMakeFiles/scrub_core.dir/ecc_scheme.cc.o" "gcc" "src/scrub/CMakeFiles/scrub_core.dir/ecc_scheme.cc.o.d"
+  "/root/repo/src/scrub/factory.cc" "src/scrub/CMakeFiles/scrub_core.dir/factory.cc.o" "gcc" "src/scrub/CMakeFiles/scrub_core.dir/factory.cc.o.d"
+  "/root/repo/src/scrub/metrics.cc" "src/scrub/CMakeFiles/scrub_core.dir/metrics.cc.o" "gcc" "src/scrub/CMakeFiles/scrub_core.dir/metrics.cc.o.d"
+  "/root/repo/src/scrub/policy.cc" "src/scrub/CMakeFiles/scrub_core.dir/policy.cc.o" "gcc" "src/scrub/CMakeFiles/scrub_core.dir/policy.cc.o.d"
+  "/root/repo/src/scrub/sweep_scrub.cc" "src/scrub/CMakeFiles/scrub_core.dir/sweep_scrub.cc.o" "gcc" "src/scrub/CMakeFiles/scrub_core.dir/sweep_scrub.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scrub_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/scrub_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/scrub_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcm/CMakeFiles/scrub_pcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scrub_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/scrub_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

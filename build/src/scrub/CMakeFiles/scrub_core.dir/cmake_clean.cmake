@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrub_core.dir/adaptive_scrub.cc.o"
+  "CMakeFiles/scrub_core.dir/adaptive_scrub.cc.o.d"
+  "CMakeFiles/scrub_core.dir/analytic_backend.cc.o"
+  "CMakeFiles/scrub_core.dir/analytic_backend.cc.o.d"
+  "CMakeFiles/scrub_core.dir/cell_backend.cc.o"
+  "CMakeFiles/scrub_core.dir/cell_backend.cc.o.d"
+  "CMakeFiles/scrub_core.dir/demand_model.cc.o"
+  "CMakeFiles/scrub_core.dir/demand_model.cc.o.d"
+  "CMakeFiles/scrub_core.dir/ecc_scheme.cc.o"
+  "CMakeFiles/scrub_core.dir/ecc_scheme.cc.o.d"
+  "CMakeFiles/scrub_core.dir/factory.cc.o"
+  "CMakeFiles/scrub_core.dir/factory.cc.o.d"
+  "CMakeFiles/scrub_core.dir/metrics.cc.o"
+  "CMakeFiles/scrub_core.dir/metrics.cc.o.d"
+  "CMakeFiles/scrub_core.dir/policy.cc.o"
+  "CMakeFiles/scrub_core.dir/policy.cc.o.d"
+  "CMakeFiles/scrub_core.dir/sweep_scrub.cc.o"
+  "CMakeFiles/scrub_core.dir/sweep_scrub.cc.o.d"
+  "libscrub_core.a"
+  "libscrub_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrub_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

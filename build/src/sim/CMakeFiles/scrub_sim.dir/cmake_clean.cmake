@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrub_sim.dir/event_queue.cc.o"
+  "CMakeFiles/scrub_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/scrub_sim.dir/trace.cc.o"
+  "CMakeFiles/scrub_sim.dir/trace.cc.o.d"
+  "CMakeFiles/scrub_sim.dir/workload.cc.o"
+  "CMakeFiles/scrub_sim.dir/workload.cc.o.d"
+  "libscrub_sim.a"
+  "libscrub_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrub_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

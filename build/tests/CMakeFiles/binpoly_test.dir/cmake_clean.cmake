@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binpoly_test.dir/binpoly_test.cc.o"
+  "CMakeFiles/binpoly_test.dir/binpoly_test.cc.o.d"
+  "binpoly_test"
+  "binpoly_test.pdb"
+  "binpoly_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binpoly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

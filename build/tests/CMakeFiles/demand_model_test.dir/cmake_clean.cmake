@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demand_model_test.dir/demand_model_test.cc.o"
+  "CMakeFiles/demand_model_test.dir/demand_model_test.cc.o.d"
+  "demand_model_test"
+  "demand_model_test.pdb"
+  "demand_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demand_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

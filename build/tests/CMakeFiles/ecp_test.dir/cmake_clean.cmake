@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecp_test.dir/ecp_test.cc.o"
+  "CMakeFiles/ecp_test.dir/ecp_test.cc.o.d"
+  "ecp_test"
+  "ecp_test.pdb"
+  "ecp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

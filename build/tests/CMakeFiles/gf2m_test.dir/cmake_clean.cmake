@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf2m_test.dir/gf2m_test.cc.o"
+  "CMakeFiles/gf2m_test.dir/gf2m_test.cc.o.d"
+  "gf2m_test"
+  "gf2m_test.pdb"
+  "gf2m_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf2m_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfpoly_test.dir/gfpoly_test.cc.o"
+  "CMakeFiles/gfpoly_test.dir/gfpoly_test.cc.o.d"
+  "gfpoly_test"
+  "gfpoly_test.pdb"
+  "gfpoly_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfpoly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gfpoly_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minpoly_test.dir/minpoly_test.cc.o"
+  "CMakeFiles/minpoly_test.dir/minpoly_test.cc.o.d"
+  "minpoly_test"
+  "minpoly_test.pdb"
+  "minpoly_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minpoly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recording_backend_test.dir/recording_backend_test.cc.o"
+  "CMakeFiles/recording_backend_test.dir/recording_backend_test.cc.o.d"
+  "recording_backend_test"
+  "recording_backend_test.pdb"
+  "recording_backend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recording_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
