@@ -53,6 +53,20 @@ void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
                               __VA_ARGS__);                            \
     } while (0)
 
+/**
+ * warn(), but at most once per call site: for conditions that would
+ * otherwise flood the log when every line in a sweep hits them (e.g.
+ * spare-pool exhaustion during a fault storm).
+ */
+#define warn_once(...)                                                 \
+    do {                                                               \
+        static bool warned_once_ = false;                              \
+        if (!warned_once_) {                                           \
+            warned_once_ = true;                                       \
+            ::pcmscrub::warn(__VA_ARGS__);                             \
+        }                                                              \
+    } while (0)
+
 } // namespace pcmscrub
 
 #endif // PCMSCRUB_COMMON_LOGGING_HH

@@ -1,0 +1,29 @@
+#include "faults/degradation.hh"
+
+#include "common/logging.hh"
+
+namespace pcmscrub {
+
+const char *
+degradationStageName(DegradationStage stage)
+{
+    switch (stage) {
+      case DegradationStage::None:
+        return "none";
+      case DegradationStage::Retry:
+        return "retry";
+      case DegradationStage::EcpRepair:
+        return "ecp_repair";
+      case DegradationStage::Retire:
+        return "retire";
+      case DegradationStage::SlcFallback:
+        return "slc_fallback";
+      case DegradationStage::HostVisible:
+        return "host_visible";
+      default:
+        panic("bad degradation stage %u",
+              static_cast<unsigned>(stage));
+    }
+}
+
+} // namespace pcmscrub

@@ -1,0 +1,138 @@
+#include "faults/fault_injector.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "pcm/cell.hh"
+
+namespace pcmscrub {
+
+FaultInjector::FaultInjector(const FaultCampaignConfig &config)
+    : config_(config), rng_(config.seed)
+{
+    if (config_.stuckPerWrite < 0.0 ||
+        config_.disturbFlipsPerRead < 0.0 ||
+        config_.burstProbPerRead < 0.0 ||
+        config_.burstProbPerRead > 1.0 ||
+        config_.miscorrectionProb < 0.0 ||
+        config_.miscorrectionProb > 1.0 ||
+        config_.metadataCorruptionProb < 0.0 ||
+        config_.metadataCorruptionProb > 1.0)
+        fatal("fault campaign rates out of range");
+    if (config_.burstProbPerRead > 0.0 && config_.burstBits == 0)
+        fatal("burst campaign needs burstBits >= 1");
+}
+
+bool
+FaultInjector::enabled() const
+{
+    return config_.stuckPerWrite > 0.0 ||
+        config_.disturbFlipsPerRead > 0.0 ||
+        config_.burstProbPerRead > 0.0 ||
+        config_.miscorrectionProb > 0.0 ||
+        config_.metadataCorruptionProb > 0.0;
+}
+
+unsigned
+FaultInjector::sampleStuckCells(double writes, double wear_fraction)
+{
+    if (config_.stuckPerWrite <= 0.0 || writes <= 0.0)
+        return 0;
+    const double rate = config_.stuckPerWrite *
+        (1.0 + config_.wearCorrelation *
+                   std::clamp(wear_fraction, 0.0, 1.0));
+    const unsigned injected =
+        static_cast<unsigned>(rng_.poisson(rate * writes));
+    stats_.stuckCellsInjected += injected;
+    return injected;
+}
+
+unsigned
+FaultInjector::sampleReadDisturb()
+{
+    unsigned flips = 0;
+    if (config_.disturbFlipsPerRead > 0.0) {
+        flips += static_cast<unsigned>(
+            rng_.poisson(config_.disturbFlipsPerRead));
+    }
+    if (config_.burstProbPerRead > 0.0 &&
+        rng_.bernoulli(config_.burstProbPerRead)) {
+        ++stats_.bursts;
+        flips += config_.burstBits;
+    }
+    stats_.transientFlips += flips;
+    return flips;
+}
+
+bool
+FaultInjector::sampleMiscorrection()
+{
+    if (config_.miscorrectionProb <= 0.0)
+        return false;
+    if (!rng_.bernoulli(config_.miscorrectionProb))
+        return false;
+    ++stats_.miscorrections;
+    return true;
+}
+
+bool
+FaultInjector::corruptLastWrite(Tick &tick, Tick now)
+{
+    if (config_.metadataCorruptionProb <= 0.0)
+        return false;
+    if (!rng_.bernoulli(config_.metadataCorruptionProb))
+        return false;
+    tick = rng_.uniformInt(now + 1);
+    ++stats_.metadataCorruptions;
+    return true;
+}
+
+void
+FaultInjector::corruptWord(BitVector &word)
+{
+    if (word.size() == 0)
+        return;
+    if (config_.disturbFlipsPerRead > 0.0) {
+        const unsigned flips = static_cast<unsigned>(
+            rng_.poisson(config_.disturbFlipsPerRead));
+        for (unsigned i = 0; i < flips; ++i)
+            word.flip(rng_.uniformInt(word.size()));
+        stats_.transientFlips += flips;
+    }
+    if (config_.burstProbPerRead > 0.0 &&
+        rng_.bernoulli(config_.burstProbPerRead)) {
+        ++stats_.bursts;
+        const unsigned len = std::min<unsigned>(
+            config_.burstBits, static_cast<unsigned>(word.size()));
+        const std::size_t start =
+            rng_.uniformInt(word.size() - len + 1);
+        for (unsigned i = 0; i < len; ++i)
+            word.flip(start + i);
+        stats_.transientFlips += len;
+    }
+}
+
+void
+FaultInjector::freezeCells(Line &line, unsigned count)
+{
+    for (unsigned injected = 0; injected < count; ++injected) {
+        // Pick a healthy victim; give up once the line is (nearly)
+        // all dead rather than spinning.
+        Cell *victim = nullptr;
+        for (unsigned attempt = 0; attempt < 32; ++attempt) {
+            Cell &candidate = line.cell(static_cast<unsigned>(
+                rng_.uniformInt(line.cellCount())));
+            if (!candidate.stuck) {
+                victim = &candidate;
+                break;
+            }
+        }
+        if (victim == nullptr)
+            return;
+        victim->stuck = true;
+        victim->stuckLevel = static_cast<std::uint8_t>(
+            rng_.uniformInt(mlcLevels));
+    }
+}
+
+} // namespace pcmscrub

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Deterministic, seedable fault injection for stressing the scrub
+ * and ECC stack. A FaultInjector composes five campaign ingredients:
+ *
+ *  - stuck-at hard faults at write time, optionally wear-correlated
+ *    (injection rate rises with the line's consumed endurance);
+ *  - transient read-disturb bit flips, gone on the next sensing pass;
+ *  - bursty spatially-correlated multi-bit faults (adjacent bits of
+ *    one sensing pass, modelling a disturbed wordline segment);
+ *  - ECC decoder miscorrection (the decoder lands on the wrong
+ *    codeword without noticing);
+ *  - metadata corruption (last-write timestamps read back garbage,
+ *    defeating drift-aware scheduling).
+ *
+ * The injector owns its RNG, so a campaign is reproducible from its
+ * config alone and never perturbs the backend's own random stream —
+ * a run with all rates zero is bit-identical to a run with no
+ * injector attached.
+ *
+ * Backends consume the injector behind the ScrubBackend
+ * setFaultInjector() hook, so every scrub policy, bench, and example
+ * can run under fault pressure without code changes.
+ */
+
+#ifndef PCMSCRUB_FAULTS_FAULT_INJECTOR_HH
+#define PCMSCRUB_FAULTS_FAULT_INJECTOR_HH
+
+#include <cstdint>
+
+#include "common/bitvector.hh"
+#include "common/random.hh"
+#include "common/types.hh"
+#include "pcm/line.hh"
+
+namespace pcmscrub {
+
+/** Rates and shapes of one fault campaign. All default to off. */
+struct FaultCampaignConfig
+{
+    /** Expected injected stuck cells per full-line write. */
+    double stuckPerWrite = 0.0;
+
+    /**
+     * Wear correlation: the stuck-injection rate is scaled by
+     * (1 + wearCorrelation * wearFraction), where wearFraction is
+     * the line's endurance-failure CDF from pcm/wear. 0 = uniform.
+     */
+    double wearCorrelation = 0.0;
+
+    /** Expected transient (read-disturb) bit flips per line read. */
+    double disturbFlipsPerRead = 0.0;
+
+    /** Probability of a spatially-correlated burst per line read. */
+    double burstProbPerRead = 0.0;
+
+    /** Adjacent bits flipped by one burst. */
+    unsigned burstBits = 4;
+
+    /** Probability a correctable decode silently miscorrects. */
+    double miscorrectionProb = 0.0;
+
+    /** Probability a last-write metadata query returns garbage. */
+    double metadataCorruptionProb = 0.0;
+
+    /** RNG seed of the campaign (independent of the backend seed). */
+    std::uint64_t seed = 1;
+};
+
+/** What the injector has done so far (ground-truth bookkeeping). */
+struct FaultInjectorStats
+{
+    std::uint64_t stuckCellsInjected = 0;
+    std::uint64_t transientFlips = 0;
+    std::uint64_t bursts = 0;
+    std::uint64_t miscorrections = 0;
+    std::uint64_t metadataCorruptions = 0;
+};
+
+/**
+ * Deterministic fault-campaign engine.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultCampaignConfig &config);
+
+    const FaultCampaignConfig &config() const { return config_; }
+    const FaultInjectorStats &stats() const { return stats_; }
+
+    /** True when any campaign ingredient has a non-zero rate. */
+    bool enabled() const;
+
+    // Sampling primitives (analytic backend) ------------------------
+
+    /**
+     * Stuck cells to inject for `writes` full-line writes at the
+     * given wear fraction (endurance-failure CDF, [0, 1]).
+     */
+    unsigned sampleStuckCells(double writes, double wear_fraction);
+
+    /**
+     * Transient bit flips for one sensing pass (read disturb plus
+     * any burst). The flips exist only for this read.
+     */
+    unsigned sampleReadDisturb();
+
+    /** One decoder-miscorrection trial for a correctable decode. */
+    bool sampleMiscorrection();
+
+    /**
+     * Maybe corrupt a last-write timestamp in place (garbage in
+     * [0, now]).
+     *
+     * @return true when the value was corrupted
+     */
+    bool corruptLastWrite(Tick &tick, Tick now);
+
+    // Cell-accurate helpers -----------------------------------------
+
+    /**
+     * Apply one sensing pass's transient faults to a read word:
+     * independent read-disturb flips plus an adjacent-bit burst.
+     */
+    void corruptWord(BitVector &word);
+
+    /**
+     * Freeze `count` not-yet-stuck cells of a line at a random
+     * level (stuck-at-SET/RESET hard faults).
+     */
+    void freezeCells(Line &line, unsigned count);
+
+  private:
+    FaultCampaignConfig config_;
+    Random rng_;
+    FaultInjectorStats stats_;
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_FAULTS_FAULT_INJECTOR_HH

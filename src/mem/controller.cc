@@ -18,6 +18,8 @@ reqTypeName(ReqType type)
         return "scrub_check";
       case ReqType::ScrubRewrite:
         return "scrub_rewrite";
+      case ReqType::RetryRead:
+        return "retry_read";
       default:
         panic("bad request type %u", static_cast<unsigned>(type));
     }
@@ -133,6 +135,9 @@ MemoryController::submit(MemRequest &request)
 
     switch (request.type) {
       case ReqType::Read:
+      case ReqType::RetryRead:
+        // Retry reads sit on the critical path of a failed demand or
+        // scrub decode: service them immediately, like demand reads.
         execute(bank, request, request.arrival);
         break;
       case ReqType::Write:

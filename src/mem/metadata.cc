@@ -6,6 +6,34 @@
 
 namespace pcmscrub {
 
+SparePool::SparePool(std::uint64_t spares)
+    : capacity_(spares)
+{
+}
+
+bool
+SparePool::retire(LineIndex line)
+{
+    if (exhausted())
+        return false;
+    ++used_;
+    ++retirements_[line];
+    return true;
+}
+
+bool
+SparePool::isRetired(LineIndex line) const
+{
+    return retirements_.count(line) > 0;
+}
+
+std::uint32_t
+SparePool::retirements(LineIndex line) const
+{
+    const auto it = retirements_.find(line);
+    return it == retirements_.end() ? 0 : it->second;
+}
+
 LineMetadataStore::LineMetadataStore(std::uint64_t num_lines,
                                      std::uint64_t lines_per_region)
     : linesPerRegion_(lines_per_region),

@@ -11,11 +11,51 @@
 #define PCMSCRUB_MEM_METADATA_HH
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
 
 namespace pcmscrub {
+
+/**
+ * Finite pool of provisioned spare lines backing the degradation
+ * ladder's retirement stage. Retiring a line consumes one spare and
+ * remaps the failing address there; a remapped line that fails
+ * again may be retired again (consuming another spare) until the
+ * pool runs dry.
+ */
+class SparePool
+{
+  public:
+    /** @param spares lines provisioned for remapping */
+    explicit SparePool(std::uint64_t spares = 0);
+
+    std::uint64_t capacity() const { return capacity_; }
+    std::uint64_t remaining() const { return capacity_ - used_; }
+    bool exhausted() const { return used_ >= capacity_; }
+
+    /** Spares consumed so far (== lines retired). */
+    std::uint64_t retiredCount() const { return used_; }
+
+    /**
+     * Consume one spare for `line`.
+     *
+     * @return false when the pool is exhausted (line stays put)
+     */
+    bool retire(LineIndex line);
+
+    /** Whether a line has ever been remapped. */
+    bool isRetired(LineIndex line) const;
+
+    /** Times a line has been remapped. */
+    std::uint32_t retirements(LineIndex line) const;
+
+  private:
+    std::uint64_t capacity_;
+    std::uint64_t used_ = 0;
+    std::unordered_map<LineIndex, std::uint32_t> retirements_;
+};
 
 /**
  * Write-recency and error-history store.

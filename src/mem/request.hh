@@ -19,6 +19,7 @@ enum class ReqType : unsigned {
     Write,        //!< Demand write from the workload
     ScrubCheck,   //!< Scrub engine line check (a read)
     ScrubRewrite, //!< Scrub engine corrective rewrite (a write)
+    RetryRead,    //!< Widened-margin re-read after a failed decode
 };
 
 /** Human-readable request-type name. */

@@ -33,6 +33,13 @@ struct BankTiming
     /** Extra occupancy of a margin-precision read. */
     Tick marginReadExtra = 60;
 
+    /**
+     * Bank-busy time of a widened-margin retry read: slower than a
+     * normal read (reference levels are reprogrammed and the array
+     * re-sensed; no row-buffer shortcut applies).
+     */
+    Tick retryReadOccupancy = 180;
+
     /** Derive timing from the device model's latencies. */
     static BankTiming fromDevice(const DeviceConfig &config)
     {
@@ -44,6 +51,7 @@ struct BankTiming
         timing.writeOccupancy = config.programIterationLatency *
             static_cast<Tick>(config.meanIterationsIntermediate);
         timing.marginReadExtra = config.readLatency / 2;
+        timing.retryReadOccupancy = config.readLatency * 3 / 2;
         return timing;
     }
 
@@ -52,6 +60,8 @@ struct BankTiming
     {
         if (isWriteLike(type))
             return writeOccupancy;
+        if (type == ReqType::RetryRead)
+            return retryReadOccupancy;
         return row_hit ? rowHitOccupancy : readOccupancy;
     }
 };

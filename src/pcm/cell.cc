@@ -86,14 +86,15 @@ CellModel::senseLogR(const Cell &cell, Tick now) const
 }
 
 unsigned
-CellModel::read(const Cell &cell, Tick now) const
+CellModel::read(const Cell &cell, Tick now,
+                double threshold_shift) const
 {
     if (cell.stuck)
-        return cell.stuckLevel;
+        return cell.stuckLevel; // No reference shift revives a dead cell.
     const double logR = senseLogR(cell, now);
     unsigned level = 0;
     for (unsigned l = 0; l + 1 < mlcLevels; ++l) {
-        if (logR > config_.readThresholdLogR[l])
+        if (logR > config_.readThresholdLogR[l] + threshold_shift)
             level = l + 1;
     }
     return level;

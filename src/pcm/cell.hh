@@ -109,8 +109,18 @@ class CellModel
     /** Resistance (log10 ohms) the cell would sense at time `now`. */
     double senseLogR(const Cell &cell, Tick now) const;
 
-    /** Level the read circuit reports at time `now`. */
-    unsigned read(const Cell &cell, Tick now) const;
+    /**
+     * Level the read circuit reports at time `now`.
+     *
+     * @param threshold_shift raise every read threshold by this much
+     *        (log10 ohms). A positive shift widens the sensing margin
+     *        toward drift: cells that drifted slightly past a nominal
+     *        threshold read back at their intended level. This is the
+     *        slow reference-adjusted re-read the degradation ladder's
+     *        retry stage performs.
+     */
+    unsigned read(const Cell &cell, Tick now,
+                  double threshold_shift = 0.0) const;
 
     /**
      * Light margin read: true when the cell currently reads

@@ -24,6 +24,11 @@ Line::initialize(const CellModel &model, Random &rng)
 unsigned
 Line::targetLevel(const BitVector &codeword, unsigned index) const
 {
+    if (slcMode_) {
+        // One bit per cell, extreme levels only: full RESET for 0,
+        // full SET for 1.
+        return codeword.get(index) ? mlcLevels - 1 : 0;
+    }
     const std::size_t bit = static_cast<std::size_t>(index) *
         bitsPerCell;
     std::uint8_t gray = codeword.get(bit) ? 1 : 0;
@@ -62,11 +67,21 @@ Line::writeCodeword(const BitVector &codeword, Tick now,
 }
 
 BitVector
-Line::readCodeword(Tick now, const CellModel &model) const
+Line::readCodeword(Tick now, const CellModel &model,
+                   double threshold_shift) const
 {
     BitVector word(codewordBits_);
+    if (slcMode_) {
+        // Single wide threshold at the middle of the level range.
+        for (unsigned i = 0; i < codewordBits_; ++i) {
+            word.set(i, model.read(cells_[i], now, threshold_shift) >=
+                            mlcLevels / 2);
+        }
+        return word;
+    }
     for (unsigned i = 0; i < cells_.size(); ++i) {
-        const std::uint8_t gray = levelToGray(model.read(cells_[i], now));
+        const std::uint8_t gray = levelToGray(
+            model.read(cells_[i], now, threshold_shift));
         const std::size_t bit = static_cast<std::size_t>(i) *
             bitsPerCell;
         word.set(bit, gray & 1);
@@ -79,6 +94,10 @@ Line::readCodeword(Tick now, const CellModel &model) const
 unsigned
 Line::marginScanCount(Tick now, const CellModel &model) const
 {
+    // SLC margins are an order of magnitude wider than the MLC guard
+    // band; nothing is ever "about to fail".
+    if (slcMode_)
+        return 0;
     unsigned flagged = 0;
     for (const auto &cell : cells_)
         flagged += model.marginFlagged(cell, now);
@@ -102,6 +121,20 @@ Line::remapStuckToIntended()
         cells_[i].stuckLevel = static_cast<std::uint8_t>(level);
         cells_[i].storedLevel = static_cast<std::uint8_t>(level);
     }
+}
+
+void
+Line::setSlcMode(const CellModel &model, Random &rng)
+{
+    if (slcMode_)
+        return;
+    slcMode_ = true;
+    // Annex the paired line's cells so every codeword bit gets its
+    // own cell; the newcomers are fresh silicon.
+    const std::size_t previous = cells_.size();
+    cells_.resize(codewordBits_);
+    for (std::size_t i = previous; i < cells_.size(); ++i)
+        model.initialize(cells_[i], rng);
 }
 
 unsigned

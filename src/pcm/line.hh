@@ -63,8 +63,14 @@ class Line
                                    const CellModel &model, Random &rng,
                                    bool differential = false);
 
-    /** Sense every cell and return the (possibly corrupted) word. */
-    BitVector readCodeword(Tick now, const CellModel &model) const;
+    /**
+     * Sense every cell and return the (possibly corrupted) word.
+     *
+     * @param threshold_shift widened-margin retry sensing; see
+     *        CellModel::read()
+     */
+    BitVector readCodeword(Tick now, const CellModel &model,
+                           double threshold_shift = 0.0) const;
 
     /** Number of cells the light margin read would flag. */
     unsigned marginScanCount(Tick now, const CellModel &model) const;
@@ -99,6 +105,19 @@ class Line
      */
     void remapStuckToIntended();
 
+    /**
+     * Drop the line to SLC operation: one bit per cell, stored as
+     * the extreme levels only (full SET / full RESET). The enormous
+     * level margin makes drift effectively harmless, at the cost of
+     * half the line's density — the cells of a paired line are
+     * annexed to keep the codeword width. The line stays SLC for the
+     * rest of its life; the caller must rewrite it afterwards.
+     */
+    void setSlcMode(const CellModel &model, Random &rng);
+
+    /** Whether the line has fallen back to SLC operation. */
+    bool slcMode() const { return slcMode_; }
+
   private:
     /** Target level of cell `index` for a codeword. */
     unsigned targetLevel(const BitVector &codeword,
@@ -109,6 +128,7 @@ class Line
     BitVector intended_;
     Tick lastWriteTick_ = 0;
     std::uint64_t lineWrites_ = 0;
+    bool slcMode_ = false;
 };
 
 } // namespace pcmscrub

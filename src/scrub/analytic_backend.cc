@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "common/math.hh"
 #include "ecc/checksum.hh"
+#include "faults/fault_injector.hh"
 #include "pcm/energy.hh"
 
 namespace pcmscrub {
@@ -35,8 +36,12 @@ AnalyticBackend::AnalyticBackend(const AnalyticConfig &config)
           (512 + config.scheme.checkBits() + bitsPerCell - 1) /
           bitsPerCell)),
       avgIterationsPerCell_(averageIterationsPerCell(config.device)),
-      lines_(config.lines)
+      lines_(config.lines),
+      spares_(config.degradation.enabled
+                  ? config.degradation.spareLines
+                  : 0)
 {
+    metrics_.sparesRemaining = spares_.remaining();
     PCMSCRUB_ASSERT(config.lines >= 1, "backend needs lines");
     PCMSCRUB_ASSERT(config.weakCellsTracked < cellsPerLine_,
                     "cannot track %u weak cells of %u",
@@ -108,14 +113,27 @@ AnalyticBackend::applyWear(LineState &state, double count)
     const double before = state.writes;
     state.writes += count;
     const double hazard = wear_.conditionalFailure(before, state.writes);
-    if (hazard <= 0.0)
-        return 0;
-    const unsigned alive = cellsPerLine_ - state.stuckCells;
-    const unsigned died =
-        static_cast<unsigned>(rng_.binomial(alive, hazard));
-    state.stuckCells = static_cast<std::uint16_t>(state.stuckCells +
-                                                  died);
-    metrics_.cellsWornOut += died;
+    unsigned died = 0;
+    if (hazard > 0.0) {
+        const unsigned alive = cellsPerLine_ - state.stuckCells;
+        died = static_cast<unsigned>(rng_.binomial(alive, hazard));
+        state.stuckCells = static_cast<std::uint16_t>(
+            state.stuckCells + died);
+        metrics_.cellsWornOut += died;
+    }
+    // Injected wear-correlated hard faults ride on the same write
+    // traffic (the injector's own RNG; the backend stream is not
+    // perturbed).
+    if (injector_ != nullptr && count > 0.0) {
+        const unsigned alive = cellsPerLine_ - state.stuckCells;
+        const unsigned frozen = std::min(
+            injector_->sampleStuckCells(
+                count, wear_.failureCdf(state.writes)),
+            alive);
+        state.stuckCells = static_cast<std::uint16_t>(
+            state.stuckCells + frozen);
+        died += frozen;
+    }
     return died;
 }
 
@@ -131,6 +149,17 @@ AnalyticBackend::resetAfterWrite(LineIndex line, Tick now,
     state.uePlaced = false;
     resetWeakCells(line, new_data);
     if (new_data) {
+        if (state.slc) {
+            // One bit per cell: an ECP entry covers a whole stuck
+            // cell, and an uncovered frozen cell disagrees with a
+            // fresh random bit half the time.
+            const unsigned covered = config_.ecpEntries;
+            const unsigned exposed = state.stuckCells > covered
+                ? state.stuckCells - covered : 0;
+            state.stuckErrors = static_cast<std::uint16_t>(
+                rng_.binomial(exposed, 0.5));
+            return;
+        }
         // ECP patches the first n/2 stuck cells at write-verify;
         // any beyond that disagree with fresh random data unless
         // the new target happens to be the frozen level (1 in 4).
@@ -253,6 +282,10 @@ AnalyticBackend::growDrift(LineIndex line, Tick now)
     LineState &state = lines_[line];
     if (now <= state.lastWrite)
         return;
+    // SLC storage uses the extreme levels only; drift never crosses
+    // the single mid-range threshold on any simulated horizon.
+    if (state.slc)
+        return;
     const double age = ageSeconds(state, now);
 
     // Bulk population (speeds below the tracked-tail quantile).
@@ -327,7 +360,25 @@ Tick
 AnalyticBackend::lastFullWrite(LineIndex line, Tick now)
 {
     materialize(line, now);
-    return lines_[line].lastWrite;
+    Tick tick = lines_[line].lastWrite;
+    // A corrupted metadata entry feeds the policy a bogus drift age;
+    // the modelled line itself is untouched.
+    if (injector_ != nullptr)
+        injector_->corruptLastWrite(tick, now);
+    return tick;
+}
+
+unsigned
+AnalyticBackend::transientErrors(LineIndex line, Tick now)
+{
+    if (injector_ == nullptr)
+        return 0;
+    if (transientLine_ != line || transientTick_ != now) {
+        transientLine_ = line;
+        transientTick_ = now;
+        transientNow_ = injector_->sampleReadDisturb();
+    }
+    return transientNow_;
 }
 
 bool
@@ -340,7 +391,8 @@ AnalyticBackend::lightDetectClean(LineIndex line, Tick now)
     metrics_.energy.add(EnergyCategory::Detect, energy.lightDetect());
     ++metrics_.lightDetects;
 
-    const unsigned errors = totalErrors(line);
+    const unsigned errors = totalErrors(line) +
+        transientErrors(line, now);
     if (errors == 0)
         return true;
     if (rng_.bernoulli(detector_->missProbability(errors))) {
@@ -360,7 +412,7 @@ AnalyticBackend::eccCheckClean(LineIndex line, Tick now)
     metrics_.energy.add(EnergyCategory::Decode,
                         scheme_.checkEnergy(config_.device));
     ++metrics_.eccChecks;
-    return totalErrors(line) == 0;
+    return totalErrors(line) + transientErrors(line, now) == 0;
 }
 
 FullDecodeOutcome
@@ -374,15 +426,136 @@ AnalyticBackend::fullDecode(LineIndex line, Tick now)
                         scheme_.fullDecodeEnergy(config_.device));
     ++metrics_.fullDecodes;
 
+    const unsigned persistent = totalErrors(line);
+    const unsigned transient = transientErrors(line, now);
     FullDecodeOutcome outcome;
-    outcome.errors = totalErrors(line);
-    if (outcome.errors > 0 && sampleUncorrectable(line)) {
-        outcome.uncorrectable = true;
-        ++metrics_.scrubUncorrectable;
+    outcome.errors = persistent + transient;
+
+    bool ue = persistent > 0 && sampleUncorrectable(line);
+    if (!ue && transient > 0 && outcome.errors > 0) {
+        // Transient flips land at fresh random positions each read;
+        // their placement decision is sampled per visit, not sticky.
+        const double p = scheme_.uncorrectableProb(outcome.errors);
+        ue = p > 0.0 && rng_.bernoulli(p);
+    }
+
+    if (ue) {
+        // The line's exposure happened before the scrub got here,
+        // whatever the ladder manages afterwards.
         chargeDemandExposure(line, lines_[line],
                              ageSeconds(lines_[line], now));
+        outcome.handledBy = config_.degradation.enabled
+            ? escalate(line, now)
+            : DegradationStage::HostVisible;
+        if (outcome.handledBy == DegradationStage::HostVisible) {
+            outcome.uncorrectable = true;
+            ++metrics_.scrubUncorrectable;
+            ++metrics_.ueSurfaced;
+        } else {
+            // A ladder stage absorbed the failure and left the line
+            // freshly rewritten; nothing remains for the caller.
+            outcome.errors = 0;
+        }
+    } else if (outcome.errors > 0 && injector_ != nullptr &&
+               injector_->sampleMiscorrection()) {
+        // Injected decoder fault: the "successful" correction in
+        // fact settled on a wrong codeword.
+        ++metrics_.miscorrections;
     }
     return outcome;
+}
+
+DegradationStage
+AnalyticBackend::escalate(LineIndex line, Tick now)
+{
+    const DegradationConfig &deg = config_.degradation;
+    LineState &state = lines_[line];
+    const EnergyModel energy(config_.device);
+    const unsigned t = scheme_.guaranteedT();
+
+    // Ladder-internal refresh: a full write that is not a scrub
+    // rewrite (the policy never asked for it).
+    const auto refresh = [&](bool new_data) {
+        metrics_.energy.add(
+            EnergyCategory::ArrayWrite,
+            energy.lineWrite(static_cast<std::uint64_t>(
+                std::llround(cellsPerLine_ * avgIterationsPerCell_))));
+        applyWear(state, 1.0);
+        resetAfterWrite(line, now, new_data);
+    };
+
+    // Stage 1: bounded widened-margin re-reads. A re-read sheds the
+    // visit's transient flips outright; the widened references
+    // additionally recover drifted cells with some probability.
+    // Stuck cells are immune, so a line whose stuck errors alone
+    // defeat the code cannot be retried back to health.
+    for (unsigned attempt = 1; attempt <= deg.maxRetries; ++attempt) {
+        ++metrics_.ueRetries;
+        metrics_.energy.add(EnergyCategory::MarginRead,
+                            energy.marginReadExtra(cellsPerLine_));
+        const bool transientOnly = !state.uePlaced;
+        const bool recovered = transientOnly ||
+            (state.stuckErrors <= t &&
+             rng_.bernoulli(deg.retryResolveProb));
+        if (recovered) {
+            ++metrics_.ueRetryResolved;
+            refresh(/*new_data=*/false);
+            return DegradationStage::Retry;
+        }
+    }
+
+    // Stage 2: full write-verify pass re-pointing the ECP budget at
+    // the currently-conflicting stuck cells.
+    if (deg.ecpRepair && config_.ecpEntries > 0) {
+        const unsigned covered = config_.ecpEntries / 2;
+        const unsigned remaining = state.stuckErrors > covered
+            ? state.stuckErrors - covered : 0;
+        refresh(/*new_data=*/false);
+        state.stuckErrors = static_cast<std::uint16_t>(remaining);
+        if (remaining <= t) {
+            ++metrics_.ueEcpRepaired;
+            return DegradationStage::EcpRepair;
+        }
+    }
+
+    // Stage 3: retire the line into the spare-remap pool; the
+    // address now resolves to fresh spare silicon.
+    if (spares_.retire(line)) {
+        metrics_.sparesRemaining = spares_.remaining();
+        ++metrics_.ueRetired;
+        metrics_.capacityLostBits += lineBits();
+        warn_once("retiring line %llu to a spare (%llu spares left)",
+                  static_cast<unsigned long long>(line),
+                  static_cast<unsigned long long>(spares_.remaining()));
+        state.stuckCells = 0;
+        state.stuckErrors = 0;
+        state.writes = 0.0;
+        refresh(/*new_data=*/true);
+        return DegradationStage::Retire;
+    }
+    if (deg.spareLines > 0) {
+        warn_once("spare pool exhausted after %llu retirements; "
+                  "failing lines now fall through to SLC/host",
+                  static_cast<unsigned long long>(
+                      spares_.retiredCount()));
+    }
+
+    // Stage 4: drop the line to SLC — drift-immune, half density.
+    if (deg.slcFallback && !state.slc) {
+        state.slc = true;
+        ++metrics_.ueSlcFallbacks;
+        metrics_.capacityLostBits += lineBits();
+        warn_once("line %llu fell back to SLC operation "
+                  "(density halved)",
+                  static_cast<unsigned long long>(line));
+        refresh(/*new_data=*/true);
+        if (state.stuckErrors <= t)
+            return DegradationStage::SlcFallback;
+    }
+
+    warn_once("uncorrectable error on line %llu surfaced to the host",
+              static_cast<unsigned long long>(line));
+    return DegradationStage::HostVisible;
 }
 
 unsigned
@@ -397,6 +570,8 @@ AnalyticBackend::marginScan(LineIndex line, Tick now)
     ++metrics_.marginScans;
 
     const LineState &state = lines_[line];
+    if (state.slc)
+        return 0; // SLC margins never flag.
     const double age = ageSeconds(state, now);
     const double pFlag = drift_.cellMarginFlagProb(age);
     const double pError = drift_.cellErrorProb(age);

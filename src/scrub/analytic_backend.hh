@@ -32,6 +32,7 @@
 
 #include "common/random.hh"
 #include "ecc/detector.hh"
+#include "mem/metadata.hh"
 #include "pcm/wear.hh"
 #include "scrub/backend.hh"
 #include "scrub/demand_model.hh"
@@ -94,6 +95,9 @@ struct AnalyticConfig
 
     /** RNG seed. */
     std::uint64_t seed = 1;
+
+    /** Uncorrectable-error degradation ladder (off by default). */
+    DegradationConfig degradation{};
 };
 
 /**
@@ -121,6 +125,10 @@ class AnalyticBackend : public ScrubBackend
                       bool preventive = false) override;
     void repairUncorrectable(LineIndex line, Tick now) override;
     void noteVisit(LineIndex line, Tick now) override;
+    void setFaultInjector(FaultInjector *injector) override
+    {
+        injector_ = injector;
+    }
 
     const ScrubMetrics &metrics() const override { return metrics_; }
     ScrubMetrics &metrics() override { return metrics_; }
@@ -135,6 +143,9 @@ class AnalyticBackend : public ScrubBackend
 
     /** Cumulative writes a line has absorbed. */
     double lineWrites(LineIndex line) const;
+
+    /** Retirement spare pool (empty unless the ladder provisions it). */
+    const SparePool &sparePool() const { return spares_; }
 
     const AnalyticConfig &config() const { return config_; }
 
@@ -160,6 +171,7 @@ class AnalyticBackend : public ScrubBackend
         std::uint16_t stuckErrors = 0;
         std::uint16_t ueSampledErrors = 0;
         bool uePlaced = false;    //!< Interleave placement defeated.
+        bool slc = false;         //!< Fell back to SLC (drift-immune).
     };
 
     /** Apply lazily-pending demand writes up to `now`. */
@@ -203,6 +215,27 @@ class AnalyticBackend : public ScrubBackend
     /** Reset after any full write (demand, scrub, or repair). */
     void resetAfterWrite(LineIndex line, Tick now, bool new_data);
 
+    /**
+     * Injected transient (read-disturb) flips seen by the current
+     * (line, tick) visit; 0 without an injector. Sampled once per
+     * visit so every gate sees the same flips.
+     */
+    unsigned transientErrors(LineIndex line, Tick now);
+
+    /**
+     * Analytic degradation ladder over a line whose decode failed;
+     * mirrors CellBackend::escalate() in expectation. A failure not
+     * pinned on persistent errors (uePlaced) was transient-driven
+     * and resolves on the first plain re-read.
+     */
+    DegradationStage escalate(LineIndex line, Tick now);
+
+    /** Data+check bits a line stores (capacity accounting). */
+    std::uint64_t lineBits() const
+    {
+        return static_cast<std::uint64_t>(cellsPerLine_) * bitsPerCell;
+    }
+
     AnalyticConfig config_;
     EccScheme scheme_;
     DriftModel drift_;
@@ -216,10 +249,17 @@ class AnalyticBackend : public ScrubBackend
     std::vector<LineState> lines_;
     std::vector<WeakCell> weakCells_; //!< lines x weakCellsTracked.
     ScrubMetrics metrics_;
+    SparePool spares_;
+    FaultInjector *injector_ = nullptr; //!< Not owned.
 
     /** Array-read charge deduplication (line, tick of last charge). */
     LineIndex chargedLine_ = ~LineIndex{0};
     Tick chargedTick_ = ~Tick{0};
+
+    /** Per-visit injected transient flips (see transientErrors). */
+    LineIndex transientLine_ = ~LineIndex{0};
+    Tick transientTick_ = ~Tick{0};
+    unsigned transientNow_ = 0;
 };
 
 } // namespace pcmscrub

@@ -20,16 +20,22 @@
 #include <cstdint>
 
 #include "common/types.hh"
+#include "faults/degradation.hh"
 #include "pcm/drift_model.hh"
 #include "scrub/ecc_scheme.hh"
 #include "scrub/metrics.hh"
 
 namespace pcmscrub {
 
+class FaultInjector;
+
 /** What a full decode revealed. */
 struct FullDecodeOutcome
 {
-    /** The line's errors exceed the ECC's power. */
+    /**
+     * The line's errors exceed the ECC's power *and* survived the
+     * degradation ladder: a host-visible UE.
+     */
     bool uncorrectable = false;
 
     /**
@@ -37,6 +43,13 @@ struct FullDecodeOutcome
      * uncorrectable lines the decoder only knows "too many").
      */
     unsigned errors = 0;
+
+    /**
+     * Which degradation stage absorbed the failed decode (None when
+     * the decode succeeded outright or the ladder is disabled;
+     * HostVisible when every stage was exhausted).
+     */
+    DegradationStage handledBy = DegradationStage::None;
 };
 
 /**
@@ -104,6 +117,15 @@ class ScrubBackend
 
     /** A policy visited this line (counted once per visit). */
     virtual void noteVisit(LineIndex line, Tick now) = 0;
+
+    /**
+     * Attach a fault injector (not owned; may be nullptr to detach).
+     * Backends without injection support silently ignore it.
+     */
+    virtual void setFaultInjector(FaultInjector *injector)
+    {
+        (void)injector;
+    }
 
     virtual const ScrubMetrics &metrics() const = 0;
     virtual ScrubMetrics &metrics() = 0;

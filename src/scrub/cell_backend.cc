@@ -4,6 +4,7 @@
 #include "ecc/bch.hh"
 #include "ecc/interleaved.hh"
 #include "ecc/secded.hh"
+#include "faults/fault_injector.hh"
 
 namespace pcmscrub {
 
@@ -27,8 +28,13 @@ CellBackend::CellBackend(const CellBackendConfig &config)
                              config.detectorParity, bitsPerCell)),
       energyModel_(config.device),
       array_(config.lines, code_->codewordBits(), config.device,
-             config.seed)
+             config.seed),
+      wear_(config.device),
+      spares_(config.degradation.enabled
+                  ? config.degradation.spareLines
+                  : 0)
 {
+    metrics_.sparesRemaining = spares_.remaining();
     if (config.ecpEntries > 0) {
         ecp_.assign(config.lines,
                     EcpStore(code_->codewordBits(),
@@ -78,7 +84,16 @@ CellBackend::readLine(LineIndex line, Tick now)
         metrics_.energy.add(EnergyCategory::ArrayRead,
                             energyModel_.lineRead(cellsPerLine()));
     }
-    return senseRaw(line, now);
+    // Buffer the sensed word per (line, tick): injected transient
+    // flips must look identical to every gate of the same visit.
+    if (bufferedLine_ != line || bufferedTick_ != now) {
+        bufferedLine_ = line;
+        bufferedTick_ = now;
+        buffered_ = senseRaw(line, now);
+        if (injector_ != nullptr)
+            injector_->corruptWord(buffered_);
+    }
+    return buffered_;
 }
 
 void
@@ -92,6 +107,20 @@ CellBackend::rebuildEcp(LineIndex line, const BitVector &written)
     EcpStore &store = ecp_[line];
     store.clear();
     const Line &physical = array_.line(line);
+    if (physical.slcMode()) {
+        // One bit per cell; a stuck cell holds the bit of whichever
+        // extreme its frozen level is closer to.
+        for (unsigned i = 0; i < physical.cellCount(); ++i) {
+            const Cell &cell = physical.cell(i);
+            if (!cell.stuck || i >= written.size())
+                continue;
+            const bool stuckBit = cell.stuckLevel >= mlcLevels / 2;
+            const bool wantBit = written.get(i);
+            if (stuckBit != wantBit && !store.assign(i, wantBit))
+                return;
+        }
+        return;
+    }
     for (unsigned i = 0; i < physical.cellCount(); ++i) {
         const Cell &cell = physical.cell(i);
         if (!cell.stuck)
@@ -114,7 +143,8 @@ void
 CellBackend::programLine(LineIndex line, const BitVector &word,
                          Tick now, bool scrub_energy)
 {
-    const LineProgramStats stats = array_.line(line).writeCodeword(
+    Line &physical = array_.line(line);
+    const LineProgramStats stats = physical.writeCodeword(
         word, now, array_.model(), array_.rng());
     if (scrub_energy) {
         metrics_.energy.add(
@@ -122,8 +152,20 @@ CellBackend::programLine(LineIndex line, const BitVector &word,
             energyModel_.lineWrite(stats.totalIterations));
     }
     metrics_.cellsWornOut += stats.cellsWornOut;
+    // Injected wear-correlated hard faults strike at program time,
+    // before write-verify: rebuildEcp below then discovers them the
+    // same way it discovers organic endurance failures.
+    if (injector_ != nullptr) {
+        const unsigned frozen = injector_->sampleStuckCells(
+            1.0, wear_.failureCdf(
+                     static_cast<double>(physical.lineWrites())));
+        if (frozen > 0)
+            injector_->freezeCells(physical, frozen);
+    }
     detectWords_[line] = detector_->compute(word);
     rebuildEcp(line, word);
+    // The visit buffer is stale the moment the cells change.
+    bufferedLine_ = ~LineIndex{0};
 }
 
 unsigned
@@ -135,8 +177,12 @@ CellBackend::ecpUsed(LineIndex line) const
 Tick
 CellBackend::lastFullWrite(LineIndex line, Tick now)
 {
-    (void)now;
-    return array_.line(line).lastWriteTick();
+    Tick tick = array_.line(line).lastWriteTick();
+    // A corrupted metadata entry feeds the policy a bogus drift age;
+    // the physical line is untouched.
+    if (injector_ != nullptr)
+        injector_->corruptLastWrite(tick, now);
+    return tick;
 }
 
 bool
@@ -183,15 +229,118 @@ CellBackend::fullDecode(LineIndex line, Tick now)
             // Decoder landed on the wrong codeword: silent data
             // corruption the scrub cannot see (ground truth can).
             ++metrics_.miscorrections;
+        } else if (injector_ != nullptr &&
+                   injector_->sampleMiscorrection()) {
+            // Injected decoder fault: the hardware reported a clean
+            // correction but actually settled on a wrong codeword.
+            ++metrics_.miscorrections;
         }
         break;
       case DecodeStatus::Uncorrectable:
-        outcome.uncorrectable = true;
         outcome.errors = trueErrors(line, now);
-        ++metrics_.scrubUncorrectable;
+        outcome.handledBy = config_.degradation.enabled
+            ? escalate(line, now)
+            : DegradationStage::HostVisible;
+        if (outcome.handledBy == DegradationStage::HostVisible) {
+            outcome.uncorrectable = true;
+            ++metrics_.scrubUncorrectable;
+            ++metrics_.ueSurfaced;
+        } else {
+            // A ladder stage absorbed the failure and left the line
+            // freshly rewritten; nothing remains for the caller.
+            outcome.errors = 0;
+        }
         break;
     }
     return outcome;
+}
+
+bool
+CellBackend::decodes(LineIndex line, Tick now)
+{
+    BitVector word = senseRaw(line, now);
+    return code_->decode(word).status != DecodeStatus::Uncorrectable;
+}
+
+DegradationStage
+CellBackend::escalate(LineIndex line, Tick now)
+{
+    const DegradationConfig &deg = config_.degradation;
+    Line &physical = array_.line(line);
+
+    // Stage 1: bounded re-reads with progressively widened sensing
+    // margins. Drifted cells sit just past a nominal threshold, so
+    // raising the references reclaims them; stuck cells are immune.
+    for (unsigned attempt = 1; attempt <= deg.maxRetries; ++attempt) {
+        ++metrics_.ueRetries;
+        metrics_.energy.add(
+            EnergyCategory::MarginRead,
+            energyModel_.marginReadExtra(cellsPerLine()));
+        BitVector word = physical.readCodeword(
+            now, array_.model(), deg.retryMarginWiden * attempt);
+        if (!ecp_.empty())
+            ecp_[line].apply(word);
+        if (code_->decode(word).status != DecodeStatus::Uncorrectable) {
+            ++metrics_.ueRetryResolved;
+            if (word != physical.intendedWord()) {
+                // The retry "recovered" a wrong codeword; from here
+                // on the controller faithfully preserves bad data.
+                ++metrics_.miscorrections;
+            }
+            // Refresh with the recovered word (decode corrected it in
+            // place); this is ladder-internal, not a scrub rewrite.
+            programLine(line, word, now);
+            return DegradationStage::Retry;
+        }
+    }
+
+    // Stage 2: full write-verify pass so ECP re-learns the line's
+    // stuck bits against the intended data.
+    if (deg.ecpRepair && !ecp_.empty()) {
+        programLine(line, physical.intendedWord(), now);
+        if (decodes(line, now)) {
+            ++metrics_.ueEcpRepaired;
+            return DegradationStage::EcpRepair;
+        }
+    }
+
+    // Stage 3: retire the line into the spare-remap pool. Modelled
+    // as the address now resolving to fresh spare silicon.
+    if (spares_.retire(line)) {
+        metrics_.sparesRemaining = spares_.remaining();
+        ++metrics_.ueRetired;
+        metrics_.capacityLostBits += physical.codewordBits();
+        warn_once("retiring line %llu to a spare (%llu spares left)",
+                  static_cast<unsigned long long>(line),
+                  static_cast<unsigned long long>(spares_.remaining()));
+        physical.initialize(array_.model(), array_.rng());
+        programLine(line, physical.intendedWord(), now);
+        return DegradationStage::Retire;
+    }
+    if (deg.spareLines > 0) {
+        warn_once("spare pool exhausted after %llu retirements; "
+                  "failing lines now fall through to SLC/host",
+                  static_cast<unsigned long long>(
+                      spares_.retiredCount()));
+    }
+
+    // Stage 4: drop the line to SLC — extreme levels only, immune to
+    // drift, at half density.
+    if (deg.slcFallback && !physical.slcMode()) {
+        physical.setSlcMode(array_.model(), array_.rng());
+        ++metrics_.ueSlcFallbacks;
+        metrics_.capacityLostBits += physical.codewordBits();
+        warn_once("line %llu fell back to SLC operation "
+                  "(density halved)",
+                  static_cast<unsigned long long>(line));
+        programLine(line, physical.intendedWord(), now);
+        if (decodes(line, now))
+            return DegradationStage::SlcFallback;
+    }
+
+    warn_once("uncorrectable error on line %llu surfaced to the host",
+              static_cast<unsigned long long>(line));
+    return DegradationStage::HostVisible;
 }
 
 unsigned

@@ -19,8 +19,10 @@
 #include "ecc/checksum.hh"
 #include "ecc/code.hh"
 #include "ecc/ecp.hh"
+#include "mem/metadata.hh"
 #include "pcm/array.hh"
 #include "pcm/energy.hh"
+#include "pcm/wear.hh"
 #include "scrub/backend.hh"
 
 namespace pcmscrub {
@@ -52,6 +54,9 @@ struct CellBackendConfig
 
     /** RNG seed. */
     std::uint64_t seed = 1;
+
+    /** Uncorrectable-error degradation ladder (off by default). */
+    DegradationConfig degradation{};
 };
 
 /**
@@ -78,6 +83,10 @@ class CellBackend : public ScrubBackend
                       bool preventive = false) override;
     void repairUncorrectable(LineIndex line, Tick now) override;
     void noteVisit(LineIndex line, Tick now) override;
+    void setFaultInjector(FaultInjector *injector) override
+    {
+        injector_ = injector;
+    }
 
     const ScrubMetrics &metrics() const override { return metrics_; }
     ScrubMetrics &metrics() override { return metrics_; }
@@ -97,6 +106,9 @@ class CellBackend : public ScrubBackend
 
     /** ECP entries consumed on a line (0 when ECP is off). */
     unsigned ecpUsed(LineIndex line) const;
+
+    /** Retirement spare pool (empty unless the ladder provisions it). */
+    const SparePool &sparePool() const { return spares_; }
 
   private:
     /** Sense the line, charging the array read once per visit. */
@@ -119,6 +131,18 @@ class CellBackend : public ScrubBackend
     void programLine(LineIndex line, const BitVector &word, Tick now,
                      bool scrub_energy = true);
 
+    /** Whether the line currently senses to a decodable word. */
+    bool decodes(LineIndex line, Tick now);
+
+    /**
+     * Run the degradation ladder over a line whose decode failed:
+     * widened-margin retries, ECP re-learn, retirement to a spare,
+     * SLC fallback. Returns the stage that absorbed the failure
+     * (HostVisible when none did). Absorbing stages leave the line
+     * freshly rewritten.
+     */
+    DegradationStage escalate(LineIndex line, Tick now);
+
     static std::unique_ptr<Code> buildCode(const EccScheme &scheme);
 
     CellBackendConfig config_;
@@ -131,9 +155,22 @@ class CellBackend : public ScrubBackend
     std::vector<BitVector> detectWords_;
     std::vector<EcpStore> ecp_; //!< Empty when ECP is off.
     ScrubMetrics metrics_;
+    WearModel wear_;
+    SparePool spares_;
+    FaultInjector *injector_ = nullptr; //!< Not owned.
 
     LineIndex chargedLine_ = ~LineIndex{0};
     Tick chargedTick_ = ~Tick{0};
+
+    /**
+     * Sensed (and possibly fault-corrupted) word of the current
+     * visit: every gate of one (line, tick) visit must see the same
+     * transient flips, so the word is buffered rather than re-drawn.
+     * Invalidated on reprogram.
+     */
+    BitVector buffered_;
+    LineIndex bufferedLine_ = ~LineIndex{0};
+    Tick bufferedTick_ = ~Tick{0};
 };
 
 } // namespace pcmscrub

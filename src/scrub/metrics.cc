@@ -22,6 +22,16 @@ ScrubMetrics::merge(const ScrubMetrics &other)
     demandWrites += other.demandWrites;
     detectorMisses += other.detectorMisses;
     miscorrections += other.miscorrections;
+    ueRetries += other.ueRetries;
+    ueRetryResolved += other.ueRetryResolved;
+    ueEcpRepaired += other.ueEcpRepaired;
+    ueRetired += other.ueRetired;
+    ueSlcFallbacks += other.ueSlcFallbacks;
+    ueSurfaced += other.ueSurfaced;
+    // Spares remaining is a level, but shards are independent pools,
+    // so the merged level is still the sum.
+    sparesRemaining += other.sparesRemaining;
+    capacityLostBits += other.capacityLostBits;
     energy.merge(other.energy);
 }
 
@@ -40,6 +50,16 @@ ScrubMetrics::toString() const
         << " ue_demand=" << demandUncorrectable
         << " worn=" << cellsWornOut
         << " energy_pJ=" << energy.total();
+    if (ueRetries > 0 || ueSurfaced > 0 || ueAbsorbed() > 0) {
+        out << " | ladder: retries=" << ueRetries
+            << " retry_ok=" << ueRetryResolved
+            << " ecp=" << ueEcpRepaired
+            << " retired=" << ueRetired
+            << " slc=" << ueSlcFallbacks
+            << " surfaced=" << ueSurfaced
+            << " spares_left=" << sparesRemaining
+            << " cap_lost_bits=" << capacityLostBits;
+    }
     return out.str();
 }
 

@@ -80,6 +80,38 @@ struct ScrubMetrics
      */
     std::uint64_t miscorrections = 0;
 
+    // Degradation ladder -------------------------------------------
+
+    /** Widened-margin retry reads issued after failed decodes. */
+    std::uint64_t ueRetries = 0;
+
+    /** Uncorrectable events resolved by a retry read. */
+    std::uint64_t ueRetryResolved = 0;
+
+    /** Uncorrectable events absorbed by an ECP repair. */
+    std::uint64_t ueEcpRepaired = 0;
+
+    /** Uncorrectable events absorbed by retiring the line. */
+    std::uint64_t ueRetired = 0;
+
+    /** Uncorrectable events absorbed by MLC->SLC fallback. */
+    std::uint64_t ueSlcFallbacks = 0;
+
+    /**
+     * Uncorrectable events that survived the whole ladder (or that
+     * occurred with the ladder disabled) and reached the host.
+     */
+    std::uint64_t ueSurfaced = 0;
+
+    /** Spare lines still available for retirement. */
+    std::uint64_t sparesRemaining = 0;
+
+    /**
+     * Usable capacity lost to degradation, in bits: retired lines
+     * give up a whole line; SLC fallback halves a line's density.
+     */
+    std::uint64_t capacityLostBits = 0;
+
     // Energy ------------------------------------------------------
 
     EnergyAccount energy;
@@ -91,6 +123,13 @@ struct ScrubMetrics
     {
         return static_cast<double>(scrubUncorrectable) +
             demandUncorrectable;
+    }
+
+    /** Uncorrectable events the degradation ladder absorbed. */
+    std::uint64_t ueAbsorbed() const
+    {
+        return ueRetryResolved + ueEcpRepaired + ueRetired +
+            ueSlcFallbacks;
     }
 
     void merge(const ScrubMetrics &other);

@@ -67,7 +67,19 @@ class RecordingBackend : public ScrubBackend
     FullDecodeOutcome fullDecode(LineIndex line, Tick now) override
     {
         recordCheck(line, now);
-        return inner_.fullDecode(line, now);
+        // The degradation ladder runs inside the inner backend; diff
+        // its counters to surface the traffic it generated — each
+        // widened-margin retry is a slow read, and an absorbing stage
+        // leaves behind one full rewrite.
+        const ScrubMetrics &m = inner_.metrics();
+        const std::uint64_t retriesBefore = m.ueRetries;
+        const std::uint64_t absorbedBefore = m.ueAbsorbed();
+        const FullDecodeOutcome outcome = inner_.fullDecode(line, now);
+        for (std::uint64_t i = m.ueRetries; i > retriesBefore; --i)
+            record(ReqType::RetryRead, line, now);
+        if (m.ueAbsorbed() > absorbedBefore)
+            record(ReqType::ScrubRewrite, line, now);
+        return outcome;
     }
 
     unsigned marginScan(LineIndex line, Tick now) override
@@ -92,6 +104,11 @@ class RecordingBackend : public ScrubBackend
     void noteVisit(LineIndex line, Tick now) override
     {
         inner_.noteVisit(line, now);
+    }
+
+    void setFaultInjector(FaultInjector *injector) override
+    {
+        inner_.setFaultInjector(injector);
     }
 
     const ScrubMetrics &metrics() const override

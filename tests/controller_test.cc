@@ -137,6 +137,84 @@ TEST(Controller, ForcedDrainAboveHighWatermarkBlocksReads)
     EXPECT_GT(ctrl.readLatency().mean(), 4000.0);
 }
 
+TEST(Controller, WriteDrainStopsAtLowWatermark)
+{
+    ControllerConfig config;
+    config.writeQueueHigh = 4;
+    config.writeQueueLow = 2;
+    MemoryController ctrl(smallGeo(), testTiming(), config);
+    for (int i = 0; i < 5; ++i) {
+        MemRequest w = makeReq(ReqType::Write, 0, 10);
+        ctrl.submit(w);
+    }
+    // Five queued writes exceed the high watermark; the forced drain
+    // on the next submit runs only down to the low watermark.
+    MemRequest r = makeReq(ReqType::Read, 2, 11);
+    ctrl.submit(r);
+    EXPECT_EQ(ctrl.counters().get("forced_write_drains"), 1u);
+    EXPECT_EQ(ctrl.counters().get("write"), 3u);
+    EXPECT_EQ(r.start, 3010u);
+    ctrl.drainAll();
+    EXPECT_EQ(ctrl.counters().get("write"), 5u);
+}
+
+TEST(Controller, QueueAtHighWatermarkDoesNotForceDrain)
+{
+    ControllerConfig config;
+    config.writeQueueHigh = 4;
+    config.writeQueueLow = 2;
+    MemoryController ctrl(smallGeo(), testTiming(), config);
+    for (int i = 0; i < 4; ++i) {
+        MemRequest w = makeReq(ReqType::Write, 0, 10);
+        ctrl.submit(w);
+    }
+    // Exactly the watermark: hysteresis requires *exceeding* it, and
+    // the 1-tick gap is too small for an opportunistic drain.
+    MemRequest r = makeReq(ReqType::Read, 2, 11);
+    ctrl.submit(r);
+    EXPECT_EQ(ctrl.counters().get("forced_write_drains"), 0u);
+    EXPECT_EQ(r.start, 11u);
+}
+
+TEST(Controller, ScrubDrainHonoursBothWatermarks)
+{
+    ControllerConfig config;
+    config.scrubQueueHigh = 3;
+    config.scrubQueueLow = 1;
+    MemoryController ctrl(smallGeo(), testTiming(), config);
+    for (int i = 0; i < 4; ++i) {
+        MemRequest s = makeReq(ReqType::ScrubCheck, 0, 0);
+        ctrl.submit(s);
+    }
+    MemRequest r = makeReq(ReqType::Read, 2, 1);
+    ctrl.submit(r);
+    EXPECT_EQ(ctrl.counters().get("forced_scrub_drains"), 1u);
+    // Drained from four queued checks down to one.
+    EXPECT_EQ(ctrl.counters().get("scrub_check"), 3u);
+    EXPECT_EQ(r.start, 300u);
+}
+
+TEST(Controller, RetryReadBypassesQueuesAtItsOwnOccupancy)
+{
+    BankTiming timing = testTiming();
+    timing.retryReadOccupancy = 150;
+    MemoryController ctrl(smallGeo(), timing);
+    MemRequest w = makeReq(ReqType::Write, 0, 0);
+    ctrl.submit(w);
+    // A retry read is critical-path work: it does not wait behind
+    // buffered writes and pays its widened-margin occupancy.
+    MemRequest rr = makeReq(ReqType::RetryRead, 2, 10);
+    ctrl.submit(rr);
+    EXPECT_EQ(rr.start, 10u);
+    EXPECT_EQ(rr.completion, 160u);
+    // The slow sensing pass ignores the row buffer: a same-row retry
+    // pays full occupancy again.
+    MemRequest rr2 = makeReq(ReqType::RetryRead, 2, 200);
+    ctrl.submit(rr2);
+    EXPECT_EQ(rr2.completion, 350u);
+    EXPECT_EQ(ctrl.counters().get("retry_read"), 2u);
+}
+
 TEST(Controller, ScrubChecksRunOnlyInComfortableGaps)
 {
     MemoryController ctrl(smallGeo(), testTiming());

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the deterministic fault-injection engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "faults/fault_injector.hh"
+#include "pcm/device_config.hh"
+
+namespace pcmscrub {
+namespace {
+
+TEST(FaultInjector, AllRatesZeroIsDisabledAndDrawsNothing)
+{
+    FaultInjector injector{FaultCampaignConfig{}};
+    EXPECT_FALSE(injector.enabled());
+    EXPECT_EQ(injector.sampleStuckCells(100.0, 0.5), 0u);
+    EXPECT_EQ(injector.sampleReadDisturb(), 0u);
+    EXPECT_FALSE(injector.sampleMiscorrection());
+    Tick tick = 42;
+    EXPECT_FALSE(injector.corruptLastWrite(tick, 1000));
+    EXPECT_EQ(tick, 42u);
+    BitVector word(64);
+    injector.corruptWord(word);
+    EXPECT_EQ(word.popcount(), 0u);
+    EXPECT_EQ(injector.stats().transientFlips, 0u);
+}
+
+TEST(FaultInjector, SameSeedSameCampaign)
+{
+    FaultCampaignConfig config;
+    config.stuckPerWrite = 0.2;
+    config.disturbFlipsPerRead = 0.5;
+    config.burstProbPerRead = 0.1;
+    config.miscorrectionProb = 0.05;
+    config.seed = 99;
+    FaultInjector a(config);
+    FaultInjector b(config);
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_EQ(a.sampleStuckCells(1.0, 0.3),
+                  b.sampleStuckCells(1.0, 0.3));
+        EXPECT_EQ(a.sampleReadDisturb(), b.sampleReadDisturb());
+        EXPECT_EQ(a.sampleMiscorrection(), b.sampleMiscorrection());
+    }
+    EXPECT_EQ(a.stats().stuckCellsInjected,
+              b.stats().stuckCellsInjected);
+    EXPECT_EQ(a.stats().transientFlips, b.stats().transientFlips);
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge)
+{
+    FaultCampaignConfig config;
+    config.disturbFlipsPerRead = 1.0;
+    config.seed = 1;
+    FaultInjector a(config);
+    config.seed = 2;
+    FaultInjector b(config);
+    bool diverged = false;
+    for (int i = 0; i < 100 && !diverged; ++i)
+        diverged = a.sampleReadDisturb() != b.sampleReadDisturb();
+    EXPECT_TRUE(diverged);
+}
+
+TEST(FaultInjector, WearCorrelationScalesStuckRate)
+{
+    FaultCampaignConfig config;
+    config.stuckPerWrite = 0.05;
+    config.wearCorrelation = 9.0; // 10x rate at full wear.
+    config.seed = 7;
+    FaultInjector injector(config);
+    std::uint64_t fresh = 0;
+    std::uint64_t worn = 0;
+    for (int i = 0; i < 4000; ++i) {
+        fresh += injector.sampleStuckCells(1.0, 0.0);
+        worn += injector.sampleStuckCells(1.0, 1.0);
+    }
+    // Expected ~200 vs ~2000; an enormous margin even for Poisson.
+    EXPECT_GT(worn, 4 * fresh);
+}
+
+TEST(FaultInjector, CorruptWordFlipsRoughlyTheConfiguredRate)
+{
+    FaultCampaignConfig config;
+    config.disturbFlipsPerRead = 2.0;
+    config.seed = 3;
+    FaultInjector injector(config);
+    const int reads = 2000;
+    std::uint64_t flipped = 0;
+    for (int i = 0; i < reads; ++i) {
+        BitVector word(1024);
+        injector.corruptWord(word);
+        flipped += word.popcount();
+    }
+    const double mean = static_cast<double>(flipped) / reads;
+    EXPECT_NEAR(mean, 2.0, 0.25);
+}
+
+TEST(FaultInjector, BurstsFlipAdjacentBits)
+{
+    FaultCampaignConfig config;
+    config.burstProbPerRead = 1.0; // Every read bursts.
+    config.burstBits = 4;
+    config.seed = 11;
+    FaultInjector injector(config);
+    for (int i = 0; i < 50; ++i) {
+        BitVector word(256);
+        injector.corruptWord(word);
+        ASSERT_EQ(word.popcount(), 4u);
+        // The four flips are contiguous.
+        std::size_t first = 0;
+        while (!word.get(first))
+            ++first;
+        for (std::size_t b = 0; b < 4; ++b)
+            EXPECT_TRUE(word.get(first + b));
+    }
+    EXPECT_EQ(injector.stats().bursts, 50u);
+}
+
+TEST(FaultInjector, FreezeCellsSticksTheRequestedCount)
+{
+    const DeviceConfig device;
+    const CellModel model(device);
+    Random rng(5);
+    Line line(64);
+    line.initialize(model, rng);
+
+    FaultCampaignConfig config;
+    config.stuckPerWrite = 1.0;
+    FaultInjector injector(config);
+    injector.freezeCells(line, 10);
+    EXPECT_EQ(line.stuckCellCount(), 10u);
+    // Freezing more never exceeds the cell count and never spins.
+    injector.freezeCells(line, 1000);
+    EXPECT_LE(line.stuckCellCount(), line.cellCount());
+}
+
+TEST(FaultInjector, MetadataCorruptionStaysInRange)
+{
+    FaultCampaignConfig config;
+    config.metadataCorruptionProb = 1.0;
+    config.seed = 13;
+    FaultInjector injector(config);
+    for (int i = 0; i < 100; ++i) {
+        Tick tick = 123456;
+        EXPECT_TRUE(injector.corruptLastWrite(tick, 1000));
+        EXPECT_LE(tick, 1000u);
+    }
+    EXPECT_EQ(injector.stats().metadataCorruptions, 100u);
+}
+
+TEST(FaultInjectorDeath, NegativeRateIsFatal)
+{
+    FaultCampaignConfig config;
+    config.stuckPerWrite = -0.1;
+    EXPECT_EXIT(FaultInjector{config},
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(FaultInjectorDeath, BurstWithoutBitsIsFatal)
+{
+    FaultCampaignConfig config;
+    config.burstProbPerRead = 0.5;
+    config.burstBits = 0;
+    EXPECT_EXIT(FaultInjector{config},
+                ::testing::ExitedWithCode(1), "burstBits");
+}
+
+} // namespace
+} // namespace pcmscrub

@@ -30,6 +30,29 @@ TEST(Logging, InformAndWarnDoNotCrashWhenSuppressed)
     setLogLevel(before);
 }
 
+TEST(Logging, WarnOnceFiresExactlyOnce)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Warn);
+    ::testing::internal::CaptureStderr();
+    for (int i = 0; i < 3; ++i)
+        warn_once("deduplicated warning %d", i);
+    const std::string output =
+        ::testing::internal::GetCapturedStderr();
+    setLogLevel(before);
+
+    std::size_t count = 0;
+    for (std::size_t pos = output.find("deduplicated warning");
+         pos != std::string::npos;
+         pos = output.find("deduplicated warning", pos + 1)) {
+        ++count;
+    }
+    EXPECT_EQ(count, 1u);
+    // The first call is the one that prints.
+    EXPECT_NE(output.find("deduplicated warning 0"),
+              std::string::npos);
+}
+
 TEST(LoggingDeath, PanicAborts)
 {
     EXPECT_DEATH(panic("boom %d", 42), "panic: boom 42");

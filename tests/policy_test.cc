@@ -37,6 +37,47 @@ TEST(RunScrub, ExecutesExpectedWakes)
     EXPECT_EQ(backend.metrics().linesChecked, 10u * 128u);
 }
 
+TEST(RunScrub, ZeroHorizonExecutesNothing)
+{
+    AnalyticBackend backend(baseConfig(EccScheme::bch(8), 16));
+    BasicScrub policy(kHour);
+    EXPECT_EQ(runScrub(backend, policy, 0), 0u);
+    EXPECT_EQ(backend.metrics().linesChecked, 0u);
+    EXPECT_EQ(backend.metrics().fullDecodes, 0u);
+}
+
+TEST(RunScrub, PolicyScheduledBeyondHorizonNeverWakes)
+{
+    class NeverWakes : public ScrubPolicy
+    {
+      public:
+        std::string name() const override { return "never"; }
+        Tick nextWake() const override { return ~Tick{0}; }
+        void wake(ScrubBackend &, Tick) override { ++wakes; }
+        unsigned wakes = 0;
+    };
+    AnalyticBackend backend(baseConfig(EccScheme::bch(8), 16));
+    NeverWakes policy;
+    EXPECT_EQ(runScrub(backend, policy, 100 * kDay), 0u);
+    EXPECT_EQ(policy.wakes, 0u);
+    EXPECT_EQ(backend.metrics().linesChecked, 0u);
+}
+
+TEST(RunScrubDeath, PolicyThatFailsToRescheduleDies)
+{
+    class Stalled : public ScrubPolicy
+    {
+      public:
+        std::string name() const override { return "stalled"; }
+        Tick nextWake() const override { return 100; }
+        void wake(ScrubBackend &, Tick) override {}
+    };
+    AnalyticBackend backend(baseConfig(EccScheme::bch(8), 16));
+    Stalled policy;
+    EXPECT_DEATH(runScrub(backend, policy, 1000),
+                 "failed to reschedule");
+}
+
 TEST(BasicScrubPolicy, DecodesEverythingAndRewritesDirtyLines)
 {
     AnalyticBackend backend(baseConfig(EccScheme::secdedX8()));
