@@ -6,6 +6,12 @@
 namespace pcmscrub {
 namespace bench {
 
+BenchOptions
+parseBenchOptions(int argc, char **argv, std::uint64_t default_seed)
+{
+    return parseCliOptions(argc, argv, default_seed);
+}
+
 AnalyticConfig
 standardConfig(EccScheme scheme, std::uint64_t lines,
                std::uint64_t seed)

@@ -11,6 +11,7 @@
 
 #include <string>
 
+#include "common/cli.hh"
 #include "common/table.hh"
 #include "common/types.hh"
 #include "scrub/analytic_backend.hh"
@@ -22,6 +23,18 @@ namespace bench {
 constexpr Tick kMinute = secondsToTicks(60.0);
 constexpr Tick kHour = secondsToTicks(3600.0);
 constexpr Tick kDay = secondsToTicks(86400.0);
+
+/** Shared --seed/--threads options of every experiment binary. */
+using BenchOptions = CliOptions;
+
+/**
+ * Parse the standard experiment CLI (--seed N, --threads N) and
+ * resize the global worker pool accordingly. Every figure/table
+ * binary calls this first so all experiments accept the same knobs
+ * instead of each harness hard-coding its own seed.
+ */
+BenchOptions parseBenchOptions(int argc, char **argv,
+                               std::uint64_t default_seed = 1);
 
 /** Standard sampled-array configuration used across experiments. */
 AnalyticConfig standardConfig(EccScheme scheme,

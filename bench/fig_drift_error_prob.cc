@@ -23,6 +23,7 @@
 #include "pcm/drift_model.hh"
 
 using namespace pcmscrub;
+using namespace pcmscrub::bench;
 
 namespace {
 
@@ -52,11 +53,13 @@ monteCarlo(const DeviceConfig &config, unsigned level, double t,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchOptions(argc, argv, 7);
+
     const DeviceConfig config;
     const DriftModel model(config);
-    Random rng(7);
+    Random rng(opt.seed);
 
     std::printf("E1: per-cell drift soft-error probability vs. age\n");
     Table table("E1 drift error probability",

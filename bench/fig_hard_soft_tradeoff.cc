@@ -25,8 +25,10 @@ using namespace pcmscrub;
 using namespace pcmscrub::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchOptions(argc, argv);
+
     constexpr std::uint64_t lines = 2048;
     constexpr Tick horizon = 20 * kDay;
     // Scale endurance so wear-out falls inside the 20-day horizon:
@@ -49,7 +51,7 @@ main()
         spec.rewriteThreshold = threshold;
 
         AnalyticConfig config = standardConfig(EccScheme::bch(8),
-                                               lines);
+                                               lines, opt.seed);
         config.device.enduranceScale = enduranceScale;
         // Demand writes also wear cells; keep them, they are part
         // of the budget the scrub competes with.

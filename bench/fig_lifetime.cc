@@ -22,8 +22,10 @@ using namespace pcmscrub;
 using namespace pcmscrub::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchOptions(argc, argv);
+
     constexpr std::uint64_t lines = 2048;
     constexpr unsigned epochs = 6;
     constexpr Tick epochTicks = 10 * kDay;
@@ -57,7 +59,7 @@ main()
 
     for (const auto &mechanism : mechanisms) {
         AnalyticConfig config = standardConfig(mechanism.scheme,
-                                               lines);
+                                               lines, opt.seed);
         config.device.enduranceScale = 6e-6; // Median 600 writes.
         config.device.enduranceSigmaLn = 0.5;
         config.demand.writesPerLinePerSecond = 5e-5;

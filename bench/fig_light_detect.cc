@@ -48,8 +48,10 @@ addRow(Table &table, const char *gate, unsigned detector_bits,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchOptions(argc, argv);
+
     constexpr std::uint64_t lines = 2048;
     constexpr Tick horizon = 10 * kDay;
 
@@ -67,7 +69,7 @@ main()
         spec.interval = kHour;
         addRow(table, "none", 0,
                runPolicy("none",
-                         standardConfig(EccScheme::bch(8), lines),
+                         standardConfig(EccScheme::bch(8), lines, opt.seed),
                          spec, horizon));
     }
 
@@ -78,7 +80,7 @@ main()
         spec.interval = kHour;
         addRow(table, "syndrome", 0,
                runPolicy("syndrome",
-                         standardConfig(EccScheme::bch(8), lines),
+                         standardConfig(EccScheme::bch(8), lines, opt.seed),
                          spec, horizon));
     }
 
@@ -88,7 +90,7 @@ main()
         spec.kind = PolicyKind::LightDetect;
         spec.interval = kHour;
         AnalyticConfig config = standardConfig(EccScheme::bch(8),
-                                               lines);
+                                               lines, opt.seed);
         config.detectorParity = bits;
         addRow(table, "light", bits,
                runPolicy("light", config, spec, horizon));
@@ -100,7 +102,7 @@ main()
         spec.kind = PolicyKind::LightDetect;
         spec.interval = kHour;
         AnalyticConfig config = standardConfig(EccScheme::bch(8),
-                                               lines);
+                                               lines, opt.seed);
         config.detectorKind = DetectorKind::Crc;
         config.detectorParity = bits;
         addRow(table, "crc", bits,
@@ -121,7 +123,7 @@ main()
         spec.rewriteThreshold = 6;
         addRow(table2, "syndrome", 0,
                runPolicy("syndrome-t6",
-                         standardConfig(EccScheme::bch(8), lines),
+                         standardConfig(EccScheme::bch(8), lines, opt.seed),
                          spec, horizon));
     }
     table2.print();

@@ -39,8 +39,10 @@ histogramOf(const std::vector<unsigned> &errors, unsigned buckets)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchOptions(argc, argv, 11);
+
     constexpr std::size_t cellLines = 2048;
     constexpr std::size_t analyticLines = 8192;
     constexpr unsigned buckets = 9; // 0..8, last bucket is ">=9".
@@ -49,11 +51,12 @@ main()
                 "(cell = ground-truth array, ana = analytic backend)\n");
 
     const DeviceConfig device;
-    CellArray array(cellLines, 512 + 80, device, 11);
+    CellArray array(cellLines, 512 + 80, device, opt.seed);
     array.writeRandomAll(0);
 
     AnalyticConfig aConfig = standardConfig(EccScheme::bch(8),
-                                            analyticLines, 12);
+                                            analyticLines,
+                                            opt.seed + 1);
     aConfig.demand.writesPerLinePerSecond = 0.0;
     AnalyticBackend analytic(aConfig);
 

@@ -90,8 +90,10 @@ runInterference(double scrub_lines_per_second, double rewrite_fraction,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchOptions(argc, argv, 5);
+
     std::printf("E9: demand-read latency vs. scrub rate "
                 "(16-bank controller, 25M req/s Zipf, 0.3 s)\n");
 
@@ -117,7 +119,8 @@ main()
                  "row_hit_rate"});
     for (const auto &setting : settings) {
         const InterferenceResult result = runInterference(
-            setting.linesPerSecond, setting.rewriteFraction, 5);
+            setting.linesPerSecond, setting.rewriteFraction,
+            opt.seed);
         table.row()
             .cell(setting.label)
             .cell(result.scrubOps)

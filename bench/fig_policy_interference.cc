@@ -39,9 +39,10 @@ struct PolicyRates
 };
 
 PolicyRates
-measureRates(const EccScheme &scheme, const PolicySpec &spec)
+measureRates(const EccScheme &scheme, const PolicySpec &spec,
+             std::uint64_t seed)
 {
-    AnalyticConfig config = standardConfig(scheme, 1024);
+    AnalyticConfig config = standardConfig(scheme, 1024, seed);
     AnalyticBackend inner(config);
     RecordingBackend recorder(inner);
     const auto policy = makePolicy(spec, recorder);
@@ -63,7 +64,7 @@ measureRates(const EccScheme &scheme, const PolicySpec &spec)
 /** Demand-latency measurement at a given scrub stream rate. */
 double
 latencyUnder(double scrub_ops_per_second, double rewrite_fraction,
-             double &p99)
+             std::uint64_t seed, double &p99)
 {
     const MemGeometry geometry(2, 8, 4096, 8); // 1 Mi lines.
     const BankTiming timing = BankTiming::fromDevice(DeviceConfig{});
@@ -74,8 +75,8 @@ latencyUnder(double scrub_ops_per_second, double rewrite_fraction,
     wConfig.requestsPerSecond = 2.5e7;
     wConfig.readFraction = 0.7;
     wConfig.workingSetLines = geometry.totalLines();
-    Workload workload(wConfig, 5);
-    Random rng(99);
+    Workload workload(wConfig, seed);
+    Random rng(seed + 99);
 
     const double horizonSeconds = 0.3;
     double nextScrub = scrub_ops_per_second > 0.0
@@ -105,8 +106,10 @@ latencyUnder(double scrub_ops_per_second, double rewrite_fraction,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchOptions(argc, argv, 5);
+
     std::printf("E9b: interference of actual mechanism traffic "
                 "(rates measured from recorded policy runs, scaled "
                 "to a 1 Mi-line device at 60%% utilisation)\n");
@@ -139,7 +142,7 @@ main()
     double baselineMean = 0.0;
     {
         double p99 = 0.0;
-        const double mean = latencyUnder(0.0, 0.0, p99);
+        const double mean = latencyUnder(0.0, 0.0, opt.seed, p99);
         baselineMean = mean;
         table.row()
             .cell("no scrub")
@@ -150,13 +153,13 @@ main()
     }
     for (const auto &mechanism : mechanisms) {
         const PolicyRates rates =
-            measureRates(mechanism.scheme, mechanism.spec);
+            measureRates(mechanism.scheme, mechanism.spec, opt.seed);
         const double deviceOps = rates.checksPerLineSecond * 1048576.0 /
             (1.0 - (rates.rewriteFraction > 0.99
                         ? 0.99 : rates.rewriteFraction));
         double p99 = 0.0;
-        const double mean = latencyUnder(deviceOps,
-                                         rates.rewriteFraction, p99);
+        const double mean = latencyUnder(
+            deviceOps, rates.rewriteFraction, opt.seed, p99);
         table.row()
             .cell(mechanism.label)
             .cell(deviceOps, 1)

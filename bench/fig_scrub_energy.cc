@@ -38,8 +38,10 @@ addEnergyRow(Table &table, const RunResult &result)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchOptions(argc, argv);
+
     constexpr std::uint64_t lines = 2048;
     constexpr Tick horizon = 20 * kDay;
 
@@ -53,7 +55,7 @@ main()
 
     addEnergyRow(table,
                  runPolicy("basic/secded/1h",
-                           standardConfig(EccScheme::secdedX8(), lines),
+                           standardConfig(EccScheme::secdedX8(), lines, opt.seed),
                            baselineSpec(), horizon));
 
     PolicySpec strong;
@@ -61,7 +63,7 @@ main()
     strong.interval = kHour;
     addEnergyRow(table,
                  runPolicy("strong_ecc/bch8/1h",
-                           standardConfig(EccScheme::bch(8), lines),
+                           standardConfig(EccScheme::bch(8), lines, opt.seed),
                            strong, horizon));
 
     PolicySpec light;
@@ -69,7 +71,7 @@ main()
     light.interval = kHour;
     addEnergyRow(table,
                  runPolicy("light_detect/bch8/1h",
-                           standardConfig(EccScheme::bch(8), lines),
+                           standardConfig(EccScheme::bch(8), lines, opt.seed),
                            light, horizon));
 
     PolicySpec threshold;
@@ -78,12 +80,12 @@ main()
     threshold.rewriteThreshold = 6;
     addEnergyRow(table,
                  runPolicy("threshold6/bch8/1h",
-                           standardConfig(EccScheme::bch(8), lines),
+                           standardConfig(EccScheme::bch(8), lines, opt.seed),
                            threshold, horizon));
 
     addEnergyRow(table,
                  runPolicy("combined/bch8",
-                           standardConfig(EccScheme::bch(8), lines),
+                           standardConfig(EccScheme::bch(8), lines, opt.seed),
                            combinedSpec(), horizon));
 
     table.print();

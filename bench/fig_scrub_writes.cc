@@ -22,8 +22,10 @@ using namespace pcmscrub;
 using namespace pcmscrub::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchOptions(argc, argv);
+
     constexpr std::uint64_t lines = 2048;
     constexpr Tick horizon = 20 * kDay;
 
@@ -36,7 +38,7 @@ main()
     // DRAM baseline: SECDED, decode everything, rewrite any error.
     addResultRow(table,
                  runPolicy("basic/secded/1h",
-                           standardConfig(EccScheme::secdedX8(), lines),
+                           standardConfig(EccScheme::secdedX8(), lines, opt.seed),
                            baselineSpec(), horizon));
 
     // Strong ECC alone at the same interval.
@@ -45,7 +47,7 @@ main()
     strong.interval = kHour;
     addResultRow(table,
                  runPolicy("strong_ecc/bch8/1h",
-                           standardConfig(EccScheme::bch(8), lines),
+                           standardConfig(EccScheme::bch(8), lines, opt.seed),
                            strong, horizon));
 
     // Threshold (headroom) rewrites at the same interval.
@@ -57,7 +59,7 @@ main()
         addResultRow(table,
                      runPolicy("threshold" + std::to_string(threshold) +
                                    "/bch8/1h",
-                               standardConfig(EccScheme::bch(8), lines),
+                               standardConfig(EccScheme::bch(8), lines, opt.seed),
                                spec, horizon));
     }
 
@@ -68,13 +70,13 @@ main()
     adaptive.linesPerRegion = 64;
     addResultRow(table,
                  runPolicy("adaptive/bch8",
-                           standardConfig(EccScheme::bch(8), lines),
+                           standardConfig(EccScheme::bch(8), lines, opt.seed),
                            adaptive, horizon));
 
     // The paper's combined mechanism.
     addResultRow(table,
                  runPolicy("combined/bch8",
-                           standardConfig(EccScheme::bch(8), lines),
+                           standardConfig(EccScheme::bch(8), lines, opt.seed),
                            combinedSpec(), horizon));
 
     table.print();

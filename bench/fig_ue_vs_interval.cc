@@ -20,8 +20,10 @@ using namespace pcmscrub;
 using namespace pcmscrub::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchOptions(argc, argv);
+
     constexpr std::uint64_t lines = 2048;
     constexpr Tick horizon = 15 * kDay;
 
@@ -56,7 +58,7 @@ main()
             spec.interval = interval.interval;
             const RunResult result = runPolicy(
                 std::string(interval.label) + "/" + scheme.label,
-                standardConfig(scheme.scheme, lines),
+                standardConfig(scheme.scheme, lines, opt.seed),
                 spec, horizon);
             table.row()
                 .cell(interval.label)

@@ -44,8 +44,11 @@ lineUeProb(const DriftModel &model, const EccScheme &scheme,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // No RNG here (closed-form only); parsed for the uniform CLI.
+    parseBenchOptions(argc, argv);
+
     const DeviceConfig device;
     const DriftModel model(device);
 

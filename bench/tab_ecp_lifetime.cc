@@ -22,8 +22,10 @@ using namespace pcmscrub;
 using namespace pcmscrub::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchOptions(argc, argv);
+
     constexpr std::uint64_t lines = 2048;
     constexpr Tick horizon = 20 * kDay;
 
@@ -43,7 +45,7 @@ main()
         spec.rewriteThreshold = 4;
 
         AnalyticConfig config = standardConfig(EccScheme::bch(8),
-                                               lines);
+                                               lines, opt.seed);
         config.device.enduranceScale = 4e-6; // Median 400 writes.
         config.device.enduranceSigmaLn = 0.5;
         // Hot demand: new data exposes stuck-cell conflicts.

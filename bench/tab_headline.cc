@@ -25,8 +25,10 @@ using namespace pcmscrub;
 using namespace pcmscrub::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchOptions(argc, argv);
+
     constexpr std::uint64_t lines = 4096;
     constexpr Tick horizon = 30 * kDay;
 
@@ -38,14 +40,14 @@ main()
 
     const RunResult daily = runPolicy(
         "basic/secded/1day",
-        standardConfig(EccScheme::secdedX8(), lines), basicDaily,
+        standardConfig(EccScheme::secdedX8(), lines, opt.seed), basicDaily,
         horizon);
     const RunResult hourly = runPolicy(
         "basic/secded/1h",
-        standardConfig(EccScheme::secdedX8(), lines), baselineSpec(),
+        standardConfig(EccScheme::secdedX8(), lines, opt.seed), baselineSpec(),
         horizon);
     const RunResult combined = runPolicy(
-        "combined/bch8", standardConfig(EccScheme::bch(8), lines),
+        "combined/bch8", standardConfig(EccScheme::bch(8), lines, opt.seed),
         combinedSpec(), horizon);
 
     Table table("E10 headline metrics", resultColumns("mechanism"));

@@ -22,8 +22,10 @@ using namespace pcmscrub;
 using namespace pcmscrub::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchOptions(argc, argv);
+
     constexpr std::uint64_t lines = 2048;
     constexpr Tick horizon = 15 * kDay;
 
@@ -43,7 +45,7 @@ main()
             spec.targetLineUeProb = piggyback ? 1e-4 : 1e-7;
 
             AnalyticConfig config = standardConfig(EccScheme::bch(8),
-                                                   lines);
+                                                   lines, opt.seed);
             config.demand.readsPerLinePerSecond = readRate;
             config.demandReadPiggyback = piggyback;
             config.piggybackRewriteThreshold = 4;

@@ -25,8 +25,10 @@ using namespace pcmscrub;
 using namespace pcmscrub::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchOptions(argc, argv);
+
     constexpr std::uint64_t lines = 2048;
     constexpr Tick horizon = 10 * kDay;
 
@@ -43,7 +45,7 @@ main()
         spec.kind = PolicyKind::StrongEcc;
         spec.interval = 6 * kHour;
         const RunResult result = runPolicy(
-            "plain", standardConfig(EccScheme::bch(8), lines), spec,
+            "plain", standardConfig(EccScheme::bch(8), lines, opt.seed), spec,
             horizon);
         table.row()
             .cell("plain sweep")
@@ -61,7 +63,7 @@ main()
         spec.interval = 6 * kHour;
         spec.marginRewriteThreshold = trigger;
         const RunResult result = runPolicy(
-            "preventive", standardConfig(EccScheme::bch(8), lines),
+            "preventive", standardConfig(EccScheme::bch(8), lines, opt.seed),
             spec, horizon);
         const double share = result.metrics.scrubRewrites == 0
             ? 0.0

@@ -21,8 +21,10 @@ using namespace pcmscrub;
 using namespace pcmscrub::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchOptions(argc, argv);
+
     constexpr std::uint64_t lines = 2048;
     constexpr Tick horizon = 15 * kDay;
 
@@ -41,7 +43,7 @@ main()
         spec.linesPerRegion = region;
         const RunResult result = runPolicy(
             "combined/r" + std::to_string(region),
-            standardConfig(EccScheme::bch(8), lines), spec, horizon);
+            standardConfig(EccScheme::bch(8), lines, opt.seed), spec, horizon);
         // Metadata: one 4-byte due tick + 1-byte worst-error per
         // region, for a 16 Mi-line GB.
         const double metadataBytes = 5.0 * 16777216.0 /

@@ -86,8 +86,10 @@ runLeveling(std::uint64_t gap_interval, WorkloadKind kind,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchOptions(argc, argv, 3);
+
     std::printf("Substrate: Start-Gap wear leveling "
                 "(4096 lines, 8M writes)\n");
 
@@ -98,7 +100,8 @@ main()
     for (const auto kind :
          {WorkloadKind::Zipf, WorkloadKind::WriteBurst}) {
         for (const std::uint64_t psi : {0ull, 256ull, 64ull, 16ull}) {
-            const LevelingResult result = runLeveling(psi, kind, 3);
+            const LevelingResult result =
+                runLeveling(psi, kind, opt.seed);
             table.row()
                 .cell(workloadKindName(kind))
                 .cell(psi == 0 ? std::string("off")

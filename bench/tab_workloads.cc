@@ -22,8 +22,10 @@ using namespace pcmscrub;
 using namespace pcmscrub::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchOptions(argc, argv);
+
     constexpr std::uint64_t lines = 2048;
     constexpr Tick horizon = 15 * kDay;
 
@@ -48,7 +50,7 @@ main()
             AnalyticConfig config = standardConfig(
                 useCombined ? EccScheme::bch(8)
                             : EccScheme::secdedX8(),
-                lines);
+                lines, opt.seed);
             config.demand.kind = kind;
             // Hot demand (one write per line per ~2.8 h on average)
             // so traffic-driven refresh is visible at scrub scale.

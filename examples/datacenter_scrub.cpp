@@ -10,13 +10,15 @@
  * example runs each candidate over a simulated month of Zipf-skewed
  * traffic on a sampled region and extrapolates to fleet scale.
  *
- *   $ ./datacenter_scrub [fleet_TB]      (default 64 TB)
+ *   $ ./datacenter_scrub [fleet_TB] [--seed N] [--threads N]
+ *                                        (default 64 TB)
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "scrub/analytic_backend.hh"
@@ -38,9 +40,13 @@ struct Candidate
 int
 main(int argc, char **argv)
 {
-    const double fleetTb = argc > 1 ? std::atof(argv[1]) : 64.0;
+    const char *fleetArg = nullptr;
+    const CliOptions opt = parseCliOptions(argc, argv, 7, &fleetArg);
+    const double fleetTb = fleetArg != nullptr ? std::atof(fleetArg)
+                                               : 64.0;
     if (fleetTb <= 0.0)
-        fatal("usage: datacenter_scrub [fleet_TB > 0]");
+        fatal("usage: datacenter_scrub [fleet_TB > 0] "
+              "[--seed N] [--threads N]");
 
     constexpr std::uint64_t lines = 4096;
     constexpr double days = 30.0;
@@ -92,7 +98,7 @@ main(int argc, char **argv)
         config.demand.kind = WorkloadKind::Zipf;
         config.demand.writesPerLinePerSecond = 1e-5;
         config.demand.readsPerLinePerSecond = 1e-4;
-        config.seed = 7;
+        config.seed = opt.seed; // Same device for every candidate.
         AnalyticBackend device(config);
         const auto policy = makePolicy(candidate.spec, device);
         runScrub(device, *policy, horizon);

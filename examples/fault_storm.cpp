@@ -10,11 +10,12 @@
  * and once it is dry the survivors drop to SLC or surface to the
  * host.
  *
- *   $ ./fault_storm
+ *   $ ./fault_storm [--seed N] [--threads N]
  */
 
 #include <cstdio>
 
+#include "common/cli.hh"
 #include "faults/fault_injector.hh"
 #include "scrub/cell_backend.hh"
 #include "scrub/sweep_scrub.hh"
@@ -54,15 +55,17 @@ sweepOnce(CellBackend &device, Tick now)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const CliOptions opt = parseCliOptions(argc, argv, 2024);
+
     // A small cell-accurate device: 64 BCH-4 lines, 16 ECP entries
     // per line, and the full ladder armed with 8 spare lines.
     CellBackendConfig config;
     config.lines = 64;
     config.scheme = EccScheme::bch(4);
     config.ecpEntries = 16;
-    config.seed = 2024;
+    config.seed = opt.seed;
     config.degradation.enabled = true;
     config.degradation.maxRetries = 2;
     config.degradation.spareLines = 8;
@@ -79,7 +82,7 @@ main()
     FaultCampaignConfig storm;
     storm.burstProbPerRead = 1.0;
     storm.burstBits = 12;
-    storm.seed = 99;
+    storm.seed = opt.seed + 1;
     FaultInjector transients(storm);
     device.setFaultInjector(&transients);
     sweepOnce(device, secondsToTicks(3600.0));
@@ -90,7 +93,7 @@ main()
     // lines. Retries cannot help stuck cells; the ladder's
     // write-verify pass points ECP entries at them instead.
     FaultCampaignConfig hard;
-    hard.seed = 7;
+    hard.seed = opt.seed + 2;
     FaultInjector freezer(hard);
     for (LineIndex line = 0; line < device.lineCount(); line += 3)
         freezer.freezeCells(device.array().line(line), 8);

@@ -11,7 +11,8 @@
  * wear leveling flattens write damage, ECP absorbs the cells that
  * die anyway, BCH + scrub handle drift.
  *
- *   $ ./full_system [days]       (default 30 simulated days)
+ *   $ ./full_system [days] [--seed N] [--threads N]
+ *                                (default 30 simulated days)
  */
 
 #include <algorithm>
@@ -21,6 +22,7 @@
 #include <numeric>
 #include <vector>
 
+#include "common/cli.hh"
 #include "common/logging.hh"
 #include "mem/wear_leveling.hh"
 #include "sim/event_queue.hh"
@@ -33,9 +35,11 @@ using namespace pcmscrub;
 int
 main(int argc, char **argv)
 {
-    const double days = argc > 1 ? std::atof(argv[1]) : 30.0;
+    const char *daysArg = nullptr;
+    const CliOptions opt = parseCliOptions(argc, argv, 2026, &daysArg);
+    const double days = daysArg != nullptr ? std::atof(daysArg) : 30.0;
     if (days <= 0.0)
-        fatal("usage: full_system [days > 0]");
+        fatal("usage: full_system [days > 0] [--seed N] [--threads N]");
 
     // Device: 512 logical lines on 513 physical frames of real MLC
     // cells, endurance scaled so wear-out happens within the run.
@@ -46,7 +50,7 @@ main(int argc, char **argv)
     config.ecpEntries = 8;
     config.device.enduranceMedian = 100000.0;
     config.device.enduranceSigmaLn = 0.5;
-    config.seed = 2026;
+    config.seed = opt.seed;
     CellBackend device(config);
 
     StartGapMapper mapper(logicalLines, /*gap_interval=*/64);
@@ -58,7 +62,7 @@ main(int argc, char **argv)
     wConfig.requestsPerSecond = 2000.0 / 3600.0;
     wConfig.readFraction = 0.0;
     wConfig.workingSetLines = logicalLines;
-    Workload demand(wConfig, 7);
+    Workload demand(wConfig, opt.seed + 1);
 
     // Scrub: the paper's combined mechanism over physical frames.
     CombinedScrub scrub(1e-7, 2, device, 64);

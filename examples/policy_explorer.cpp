@@ -29,6 +29,8 @@
  *     --piggyback T               refresh when a demand read sees
  *                                 >= T errors (default off)
  *     --seed N
+ *     --threads N                 worker threads (results are
+ *                                 bit-identical at any count)
  *
  * Example — the paper's baseline:
  *   policy_explorer --policy basic --ecc secded --interval-s 3600
@@ -41,6 +43,7 @@
 
 #include "common/config.hh"
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "scrub/analytic_backend.hh"
 #include "scrub/factory.hh"
 
@@ -109,6 +112,8 @@ main(int argc, char **argv)
         config.lines = file.getInt("run.lines", config.lines);
         days = file.getDouble("run.days", days);
         config.seed = file.getInt("run.seed", config.seed);
+        ThreadPool::global().resize(static_cast<unsigned>(
+            file.getInt("run.threads", 1)));
         config.demand.writesPerLinePerSecond = file.getDouble(
             "demand.writes_per_line_s",
             config.demand.writesPerLinePerSecond);
@@ -203,6 +208,9 @@ main(int argc, char **argv)
         } else if (arg == "--seed") {
             config.seed =
                 static_cast<std::uint64_t>(std::atoll(value()));
+        } else if (arg == "--threads") {
+            ThreadPool::global().resize(
+                static_cast<unsigned>(std::atoi(value())));
         } else {
             fatal("unknown option '%s' (see header comment)",
                   arg.c_str());

@@ -6,19 +6,22 @@
  * paper's combined scrub mechanism against it with server-like
  * demand traffic, and prints what happened.
  *
- *   $ ./quickstart
+ *   $ ./quickstart [--seed N] [--threads N]
  */
 
 #include <cstdio>
 
+#include "common/cli.hh"
 #include "scrub/analytic_backend.hh"
 #include "scrub/factory.hh"
 
 using namespace pcmscrub;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const CliOptions opt = parseCliOptions(argc, argv, 42);
+
     // A sampled region of the device: 8192 ECC lines of 512 data
     // bits each, BCH-8 protected, with default MLC PCM physics.
     AnalyticConfig config;
@@ -26,7 +29,7 @@ main()
     config.scheme = EccScheme::bch(8);
     config.demand.writesPerLinePerSecond = 1e-5; // ~1 write / 28 h
     config.demand.readsPerLinePerSecond = 1e-4;
-    config.seed = 42;
+    config.seed = opt.seed;
     AnalyticBackend device(config);
 
     // The paper's combined mechanism: light detection gates the

@@ -10,7 +10,7 @@
  * and a same-seeded device, differences in the outcome table are
  * attributable to the mechanism alone.
  *
- *   $ ./trace_replay [trace-file]
+ *   $ ./trace_replay [trace-file] [--seed N] [--threads N]
  *
  * With no argument a Zipf trace is generated, saved to
  * ./trace_replay.trace for inspection, and replayed.
@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "scrub/cell_backend.hh"
@@ -33,17 +34,17 @@ namespace {
 constexpr std::size_t kLines = 512;
 
 Trace
-obtainTrace(int argc, char **argv)
+obtainTrace(const char *path, std::uint64_t seed)
 {
-    if (argc > 1)
-        return Trace::load(argv[1]);
+    if (path != nullptr)
+        return Trace::load(path);
 
     WorkloadConfig config;
     config.kind = WorkloadKind::Zipf;
     config.requestsPerSecond = 4000.0 / 3600.0; // ~4k ops/hour.
     config.readFraction = 0.5;
     config.workingSetLines = kLines;
-    Workload workload(config, 99);
+    Workload workload(config, seed + 88);
     // Ten simulated days of traffic.
     Trace trace = Trace::capture(
         workload, static_cast<std::uint64_t>(4000.0 * 24 * 10));
@@ -54,12 +55,12 @@ obtainTrace(int argc, char **argv)
 
 ScrubMetrics
 replay(const Trace &trace, const EccScheme &scheme,
-       const PolicySpec &spec)
+       const PolicySpec &spec, std::uint64_t seed)
 {
     CellBackendConfig config;
     config.lines = kLines;
     config.scheme = scheme;
-    config.seed = 11; // Identical device for every candidate.
+    config.seed = seed; // Identical device for every candidate.
     CellBackend device(config);
     const auto policy = makePolicy(spec, device);
 
@@ -95,7 +96,9 @@ replay(const Trace &trace, const EccScheme &scheme,
 int
 main(int argc, char **argv)
 {
-    const Trace trace = obtainTrace(argc, argv);
+    const char *traceArg = nullptr;
+    const CliOptions opt = parseCliOptions(argc, argv, 11, &traceArg);
+    const Trace trace = obtainTrace(traceArg, opt.seed);
     std::printf("replaying %zu requests (%llu writes) spanning "
                 "%.1f days on a %zu-line device\n",
                 trace.size(),
@@ -133,7 +136,7 @@ main(int argc, char **argv)
                  "scrub_energy_uJ"});
     for (const auto &candidate : candidates) {
         const ScrubMetrics m =
-            replay(trace, candidate.scheme, candidate.spec);
+            replay(trace, candidate.scheme, candidate.spec, opt.seed);
         table.row()
             .cell(candidate.label)
             .cell(m.linesChecked)

@@ -1,0 +1,108 @@
+#include "common/cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+
+namespace pcmscrub {
+
+namespace {
+
+[[noreturn]] void
+printUsage(const char *prog)
+{
+    std::printf("usage: %s [--seed N] [--threads N]\n"
+                "  --seed N     base RNG seed (default per harness)\n"
+                "  --threads N  worker threads; results are bit-identical\n"
+                "               at any thread count\n",
+                prog);
+    std::exit(0);
+}
+
+/**
+ * Match "--flag VALUE" or "--flag=VALUE"; on a match, *value points at
+ * the value string and *consumed says how many argv slots were eaten.
+ */
+bool
+matchFlag(const char *flag, int argc, char **argv, int index,
+          const char **value, int *consumed)
+{
+    const std::size_t flagLen = std::strlen(flag);
+    if (std::strncmp(argv[index], flag, flagLen) != 0)
+        return false;
+    const char *rest = argv[index] + flagLen;
+    if (*rest == '=') {
+        *value = rest + 1;
+        *consumed = 1;
+        return true;
+    }
+    if (*rest == '\0') {
+        if (index + 1 >= argc)
+            fatal("%s requires a value", flag);
+        *value = argv[index + 1];
+        *consumed = 2;
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+parseUint(const char *flag, const char *text)
+{
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0')
+        fatal("%s: not a number: '%s'", flag, text);
+    return static_cast<std::uint64_t>(parsed);
+}
+
+} // namespace
+
+CliOptions
+parseCliOptions(int argc, char **argv, std::uint64_t defaultSeed)
+{
+    return parseCliOptions(argc, argv, defaultSeed, nullptr);
+}
+
+CliOptions
+parseCliOptions(int argc, char **argv, std::uint64_t defaultSeed,
+                const char **positional)
+{
+    CliOptions opts;
+    opts.seed = defaultSeed;
+    bool positionalSeen = false;
+    for (int i = 1; i < argc;) {
+        const char *value = nullptr;
+        int consumed = 0;
+        if (std::strcmp(argv[i], "-h") == 0 ||
+            std::strcmp(argv[i], "--help") == 0) {
+            printUsage(argv[0]);
+        } else if (matchFlag("--seed", argc, argv, i, &value, &consumed)) {
+            opts.seed = parseUint("--seed", value);
+            i += consumed;
+        } else if (matchFlag("--threads", argc, argv, i, &value,
+                             &consumed)) {
+            const std::uint64_t threads = parseUint("--threads", value);
+            if (threads == 0 || threads > 1024)
+                fatal("--threads must be in [1, 1024]; got %llu",
+                      static_cast<unsigned long long>(threads));
+            opts.threads = static_cast<unsigned>(threads);
+            i += consumed;
+        } else if (positional != nullptr && !positionalSeen &&
+                   argv[i][0] != '-') {
+            *positional = argv[i];
+            positionalSeen = true;
+            ++i;
+        } else {
+            fatal("unknown argument '%s' (try --help)", argv[i]);
+        }
+    }
+    ThreadPool::global().resize(opts.threads);
+    return opts;
+}
+
+} // namespace pcmscrub

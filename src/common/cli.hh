@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared command-line knobs for bench figures and examples.
+ *
+ * Every harness accepts the same two flags:
+ *
+ *   --seed N      base RNG seed; each harness derives its per-object
+ *                 seeds from this one value instead of hard-coding them
+ *   --threads N   worker-thread count; resizes ThreadPool::global(),
+ *                 which the sharded backends schedule on
+ *
+ * Results are bit-identical across --threads values; the knob only
+ * changes wall-clock time.
+ */
+
+#ifndef PCMSCRUB_COMMON_CLI_HH
+#define PCMSCRUB_COMMON_CLI_HH
+
+#include <cstdint>
+
+namespace pcmscrub {
+
+/** Parsed values of the shared harness flags. */
+struct CliOptions
+{
+    std::uint64_t seed = 1;
+    unsigned threads = 1;
+};
+
+/**
+ * Parse --seed/--threads (also --seed=N forms and -h/--help) from
+ * argv, apply the thread count to ThreadPool::global(), and return
+ * the options. Unknown arguments are a fatal() error; --help prints
+ * usage and exits 0.
+ *
+ * @param defaultSeed seed reported/used when --seed is absent, so a
+ *        harness keeps its historical default
+ */
+CliOptions parseCliOptions(int argc, char **argv,
+                           std::uint64_t defaultSeed = 1);
+
+/**
+ * Variant for harnesses with one optional positional operand (e.g.
+ * `full_system [days]`). The first non-flag argument is stored in
+ * *positional (left untouched when absent); a second one is a
+ * fatal() error, as is any positional when @p positional is null.
+ */
+CliOptions parseCliOptions(int argc, char **argv,
+                           std::uint64_t defaultSeed,
+                           const char **positional);
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_COMMON_CLI_HH

@@ -12,6 +12,7 @@
 #ifndef PCMSCRUB_COMMON_LOGGING_HH
 #define PCMSCRUB_COMMON_LOGGING_HH
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -60,11 +61,9 @@ void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
  */
 #define warn_once(...)                                                 \
     do {                                                               \
-        static bool warned_once_ = false;                              \
-        if (!warned_once_) {                                           \
-            warned_once_ = true;                                       \
+        static std::atomic<bool> warned_once_{false};                  \
+        if (!warned_once_.exchange(true, std::memory_order_relaxed))   \
             ::pcmscrub::warn(__VA_ARGS__);                             \
-        }                                                              \
     } while (0)
 
 } // namespace pcmscrub

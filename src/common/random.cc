@@ -200,6 +200,18 @@ Random::split()
     return Random(next() ^ 0xd1b54a32d192ed03ULL);
 }
 
+Random
+Random::stream(std::uint64_t seed, std::uint64_t streamId)
+{
+    // Mix the stream id through splitmix64 before combining so that
+    // consecutive ids (shard 0, 1, 2, ...) land far apart in seed
+    // space; the Random constructor then expands the combined value
+    // into the full 256-bit xoshiro state.
+    std::uint64_t sm = streamId ^ 0xa0761d6478bd642fULL;
+    const std::uint64_t mixed = splitmix64(sm);
+    return Random(seed ^ mixed);
+}
+
 namespace {
 
 double

@@ -1,0 +1,41 @@
+#include "common/shard.hh"
+
+#include "common/logging.hh"
+
+namespace pcmscrub {
+
+ShardPlan::ShardPlan(std::uint64_t lines, std::size_t shards)
+    : lines_(lines)
+{
+    if (shards == 0)
+        shards = kDefaultShards;
+    if (lines == 0) {
+        count_ = 1;
+        linesPerShard_ = 1;
+        return;
+    }
+    if (shards > lines)
+        shards = static_cast<std::size_t>(lines);
+    count_ = shards;
+    // Ceil division so shardOf() is a single integer divide and the
+    // last shard absorbs the remainder (possibly short).
+    linesPerShard_ = (lines + count_ - 1) / count_;
+    // Ceil sizing can leave trailing shards empty (e.g. 10 lines into
+    // 9 shards -> 2 lines each -> 5 shards); drop them.
+    count_ = static_cast<std::size_t>(
+        (lines + linesPerShard_ - 1) / linesPerShard_);
+}
+
+ShardRange
+ShardPlan::range(std::size_t shard) const
+{
+    PCMSCRUB_ASSERT(shard < count_, "shard %zu out of range (count %zu)",
+                    shard, count_);
+    const std::uint64_t begin = shard * linesPerShard_;
+    std::uint64_t end = begin + linesPerShard_;
+    if (end > lines_)
+        end = lines_;
+    return {begin, end};
+}
+
+} // namespace pcmscrub

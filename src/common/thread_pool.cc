@@ -1,0 +1,154 @@
+#include "common/thread_pool.hh"
+
+#include "common/logging.hh"
+
+namespace pcmscrub {
+
+thread_local bool ThreadPool::insideWorker_ = false;
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threads_(threads == 0 ? 1 : threads)
+{
+    startWorkers();
+}
+
+ThreadPool::~ThreadPool()
+{
+    stopWorkers();
+}
+
+void
+ThreadPool::startWorkers()
+{
+    // A one-thread pool runs everything inline; no workers needed.
+    for (unsigned i = 1; i < threads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+void
+ThreadPool::stopWorkers()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    wakeWorkers_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+    workers_.clear();
+    shutdown_ = false;
+}
+
+void
+ThreadPool::resize(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    if (threads == threads_)
+        return;
+    stopWorkers();
+    threads_ = threads;
+    startWorkers();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    insideWorker_ = true;
+    std::uint64_t lastJob = 0;
+    for (;;) {
+        const std::function<void(std::size_t)> *job = nullptr;
+        std::size_t tasks = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wakeWorkers_.wait(lock, [&] {
+                return shutdown_ || (job_ != nullptr && jobId_ != lastJob);
+            });
+            if (shutdown_)
+                return;
+            lastJob = jobId_;
+            job = job_;
+            tasks = taskCount_;
+            ++activeWorkers_;
+        }
+        for (;;) {
+            const std::size_t task =
+                nextTask_.fetch_add(1, std::memory_order_relaxed);
+            if (task >= tasks)
+                break;
+            (*job)(task);
+            pendingTasks_.fetch_sub(1, std::memory_order_acq_rel);
+        }
+        {
+            // Release the submitter only once this worker has dropped
+            // its snapshot of the job: a worker that snapshotted but
+            // was descheduled before claiming could otherwise outlive
+            // run(), then claim an index of the NEXT job and invoke
+            // the previous (already destroyed) caller-owned function.
+            std::lock_guard<std::mutex> lock(mutex_);
+            --activeWorkers_;
+        }
+        jobDone_.notify_all();
+    }
+}
+
+void
+ThreadPool::run(std::size_t tasks,
+                const std::function<void(std::size_t)> &fn)
+{
+    if (tasks == 0)
+        return;
+    // Inline execution: serial pool, trivial job, or a nested run()
+    // issued from inside a worker (never deadlock on our own pool).
+    if (threads_ <= 1 || tasks == 1 || insideWorker_) {
+        for (std::size_t task = 0; task < tasks; ++task)
+            fn(task);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = &fn;
+        taskCount_ = tasks;
+        nextTask_.store(0, std::memory_order_relaxed);
+        pendingTasks_.store(tasks, std::memory_order_relaxed);
+        ++jobId_;
+    }
+    wakeWorkers_.notify_all();
+
+    // The submitting thread works too: it is one of the pool's
+    // `threads_` execution lanes. Mark it as such so a nested run()
+    // issued from one of its tasks executes inline instead of
+    // clobbering the job state it is itself part of.
+    insideWorker_ = true;
+    for (;;) {
+        const std::size_t task =
+            nextTask_.fetch_add(1, std::memory_order_relaxed);
+        if (task >= tasks)
+            break;
+        fn(task);
+        pendingTasks_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    insideWorker_ = false;
+
+    // Wait until every task ran AND every worker that snapshotted
+    // this job exited its claim loop — `fn` lives on our caller's
+    // stack, so no worker may still be holding a pointer to it when
+    // we return.
+    std::unique_lock<std::mutex> lock(mutex_);
+    jobDone_.wait(lock, [&] {
+        return pendingTasks_.load(std::memory_order_acquire) == 0 &&
+               activeWorkers_ == 0;
+    });
+    job_ = nullptr;
+    taskCount_ = 0;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(1);
+    return pool;
+}
+
+} // namespace pcmscrub

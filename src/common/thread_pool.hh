@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Persistent worker-thread pool for the sharded simulation engine.
+ *
+ * The pool executes indexed task sets: run(n, fn) invokes fn(0..n-1)
+ * across the workers and blocks until every task finished. Tasks are
+ * claimed with an atomic counter, so scheduling is work-stealing-free
+ * and allocation-free on the hot path.
+ *
+ * Determinism contract: the engine never relies on *which* thread or
+ * in *what order* tasks execute — each task (one shard) owns all the
+ * state it touches (RNG stream, metrics slice, visit caches), and
+ * reductions over shard results happen after run() returns, in shard
+ * order. A pool of one thread executes tasks 0..n-1 inline, so a
+ * serial run is literally the same code path.
+ */
+
+#ifndef PCMSCRUB_COMMON_THREAD_POOL_HH
+#define PCMSCRUB_COMMON_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pcmscrub {
+
+/**
+ * Fixed-size pool of worker threads executing indexed task sets.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 and 1 both mean "run inline" */
+    explicit ThreadPool(unsigned threads = 1);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Configured worker count (>= 1). */
+    unsigned threadCount() const { return threads_; }
+
+    /**
+     * Change the worker count. Must not be called while run() is in
+     * flight. Shrinks and grows tear down / spin up OS threads.
+     */
+    void resize(unsigned threads);
+
+    /**
+     * Execute fn(task) for every task in [0, tasks) and block until
+     * all completed. With one worker (or one task, or when called
+     * from inside a worker) the tasks run inline, in index order.
+     */
+    void run(std::size_t tasks, const std::function<void(std::size_t)> &fn);
+
+    /**
+     * The process-wide pool the scrub engine schedules on. Defaults
+     * to a single worker (fully serial); the --threads CLI knob of
+     * the bench and example harnesses resizes it.
+     */
+    static ThreadPool &global();
+
+  private:
+    void workerLoop();
+    void stopWorkers();
+    void startWorkers();
+
+    unsigned threads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wakeWorkers_;
+    std::condition_variable jobDone_;
+    bool shutdown_ = false;
+
+    // Current job (guarded by mutex_ for publication; task claiming
+    // is lock-free via nextTask_).
+    const std::function<void(std::size_t)> *job_ = nullptr;
+    std::size_t taskCount_ = 0;
+    std::uint64_t jobId_ = 0;
+    // Workers currently between snapshotting job_ and leaving their
+    // claim loop; run() may not return (and destroy the caller-owned
+    // function) while any remain.
+    unsigned activeWorkers_ = 0;
+    std::atomic<std::size_t> nextTask_{0};
+    std::atomic<std::size_t> pendingTasks_{0};
+
+    static thread_local bool insideWorker_;
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_COMMON_THREAD_POOL_HH

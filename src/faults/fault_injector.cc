@@ -8,7 +8,7 @@
 namespace pcmscrub {
 
 FaultInjector::FaultInjector(const FaultCampaignConfig &config)
-    : config_(config), rng_(config.seed)
+    : config_(config)
 {
     if (config_.stuckPerWrite < 0.0 ||
         config_.disturbFlipsPerRead < 0.0 ||
@@ -21,6 +21,41 @@ FaultInjector::FaultInjector(const FaultCampaignConfig &config)
         fatal("fault campaign rates out of range");
     if (config_.burstProbPerRead > 0.0 && config_.burstBits == 0)
         fatal("burst campaign needs burstBits >= 1");
+    shardStreams(1);
+}
+
+void
+FaultInjector::shardStreams(std::size_t count)
+{
+    if (count == 0)
+        count = 1;
+    lanes_.clear();
+    lanes_.reserve(count);
+    for (std::size_t shard = 0; shard < count; ++shard)
+        lanes_.push_back(Lane{Random::stream(config_.seed, shard), {}});
+}
+
+FaultInjector::Lane &
+FaultInjector::lane(std::size_t shard)
+{
+    PCMSCRUB_ASSERT(shard < lanes_.size(),
+                    "fault stream %zu not provisioned (have %zu)",
+                    shard, lanes_.size());
+    return lanes_[shard];
+}
+
+FaultInjectorStats
+FaultInjector::stats() const
+{
+    FaultInjectorStats total;
+    for (const Lane &lane : lanes_) {
+        total.stuckCellsInjected += lane.stats.stuckCellsInjected;
+        total.transientFlips += lane.stats.transientFlips;
+        total.bursts += lane.stats.bursts;
+        total.miscorrections += lane.stats.miscorrections;
+        total.metadataCorruptions += lane.stats.metadataCorruptions;
+    }
+    return total;
 }
 
 bool
@@ -34,94 +69,110 @@ FaultInjector::enabled() const
 }
 
 unsigned
-FaultInjector::sampleStuckCells(double writes, double wear_fraction)
+FaultInjector::sampleStuckCells(double writes, double wear_fraction,
+                                std::size_t shard)
 {
     if (config_.stuckPerWrite <= 0.0 || writes <= 0.0)
         return 0;
+    Lane &l = lane(shard);
     const double rate = config_.stuckPerWrite *
         (1.0 + config_.wearCorrelation *
                    std::clamp(wear_fraction, 0.0, 1.0));
     const unsigned injected =
-        static_cast<unsigned>(rng_.poisson(rate * writes));
-    stats_.stuckCellsInjected += injected;
+        static_cast<unsigned>(l.rng.poisson(rate * writes));
+    l.stats.stuckCellsInjected += injected;
     return injected;
 }
 
 unsigned
-FaultInjector::sampleReadDisturb()
+FaultInjector::sampleReadDisturb(std::size_t shard)
 {
+    if (config_.disturbFlipsPerRead <= 0.0 &&
+        config_.burstProbPerRead <= 0.0)
+        return 0;
+    Lane &l = lane(shard);
     unsigned flips = 0;
     if (config_.disturbFlipsPerRead > 0.0) {
         flips += static_cast<unsigned>(
-            rng_.poisson(config_.disturbFlipsPerRead));
+            l.rng.poisson(config_.disturbFlipsPerRead));
     }
     if (config_.burstProbPerRead > 0.0 &&
-        rng_.bernoulli(config_.burstProbPerRead)) {
-        ++stats_.bursts;
+        l.rng.bernoulli(config_.burstProbPerRead)) {
+        ++l.stats.bursts;
         flips += config_.burstBits;
     }
-    stats_.transientFlips += flips;
+    l.stats.transientFlips += flips;
     return flips;
 }
 
 bool
-FaultInjector::sampleMiscorrection()
+FaultInjector::sampleMiscorrection(std::size_t shard)
 {
     if (config_.miscorrectionProb <= 0.0)
         return false;
-    if (!rng_.bernoulli(config_.miscorrectionProb))
+    Lane &l = lane(shard);
+    if (!l.rng.bernoulli(config_.miscorrectionProb))
         return false;
-    ++stats_.miscorrections;
+    ++l.stats.miscorrections;
     return true;
 }
 
 bool
-FaultInjector::corruptLastWrite(Tick &tick, Tick now)
+FaultInjector::corruptLastWrite(Tick &tick, Tick now, std::size_t shard)
 {
     if (config_.metadataCorruptionProb <= 0.0)
         return false;
-    if (!rng_.bernoulli(config_.metadataCorruptionProb))
+    Lane &l = lane(shard);
+    if (!l.rng.bernoulli(config_.metadataCorruptionProb))
         return false;
-    tick = rng_.uniformInt(now + 1);
-    ++stats_.metadataCorruptions;
+    tick = l.rng.uniformInt(now + 1);
+    ++l.stats.metadataCorruptions;
     return true;
 }
 
 void
-FaultInjector::corruptWord(BitVector &word)
+FaultInjector::corruptWord(BitVector &word, std::size_t shard)
 {
     if (word.size() == 0)
         return;
+    if (config_.disturbFlipsPerRead <= 0.0 &&
+        config_.burstProbPerRead <= 0.0)
+        return;
+    Lane &l = lane(shard);
     if (config_.disturbFlipsPerRead > 0.0) {
         const unsigned flips = static_cast<unsigned>(
-            rng_.poisson(config_.disturbFlipsPerRead));
+            l.rng.poisson(config_.disturbFlipsPerRead));
         for (unsigned i = 0; i < flips; ++i)
-            word.flip(rng_.uniformInt(word.size()));
-        stats_.transientFlips += flips;
+            word.flip(l.rng.uniformInt(word.size()));
+        l.stats.transientFlips += flips;
     }
     if (config_.burstProbPerRead > 0.0 &&
-        rng_.bernoulli(config_.burstProbPerRead)) {
-        ++stats_.bursts;
+        l.rng.bernoulli(config_.burstProbPerRead)) {
+        ++l.stats.bursts;
         const unsigned len = std::min<unsigned>(
             config_.burstBits, static_cast<unsigned>(word.size()));
         const std::size_t start =
-            rng_.uniformInt(word.size() - len + 1);
+            l.rng.uniformInt(word.size() - len + 1);
         for (unsigned i = 0; i < len; ++i)
             word.flip(start + i);
-        stats_.transientFlips += len;
+        l.stats.transientFlips += len;
     }
 }
 
 void
-FaultInjector::freezeCells(Line &line, unsigned count)
+FaultInjector::freezeCells(Line &line, unsigned count,
+                           std::size_t shard)
 {
+    if (count == 0)
+        return;
+    Lane &l = lane(shard);
     for (unsigned injected = 0; injected < count; ++injected) {
         // Pick a healthy victim; give up once the line is (nearly)
         // all dead rather than spinning.
         Cell *victim = nullptr;
         for (unsigned attempt = 0; attempt < 32; ++attempt) {
             Cell &candidate = line.cell(static_cast<unsigned>(
-                rng_.uniformInt(line.cellCount())));
+                l.rng.uniformInt(line.cellCount())));
             if (!candidate.stuck) {
                 victim = &candidate;
                 break;
@@ -131,7 +182,7 @@ FaultInjector::freezeCells(Line &line, unsigned count)
             return;
         victim->stuck = true;
         victim->stuckLevel = static_cast<std::uint8_t>(
-            rng_.uniformInt(mlcLevels));
+            l.rng.uniformInt(mlcLevels));
     }
 }
 

@@ -13,10 +13,17 @@
  *  - metadata corruption (last-write timestamps read back garbage,
  *    defeating drift-aware scheduling).
  *
- * The injector owns its RNG, so a campaign is reproducible from its
- * config alone and never perturbs the backend's own random stream —
- * a run with all rates zero is bit-identical to a run with no
- * injector attached.
+ * The injector owns its RNG state, so a campaign is reproducible
+ * from its config alone and never perturbs the backend's own random
+ * stream — a run with all rates zero is bit-identical to a run with
+ * no injector attached.
+ *
+ * Parallel engine: the injector keeps one independent counter-based
+ * RNG stream (and stats slice) per shard. A backend calls
+ * shardStreams() once with its shard count and then passes each
+ * sampling call the shard of the line being visited, so injected
+ * faults are bit-identical at any thread count. Stream 0 is the
+ * default for serial callers.
  *
  * Backends consume the injector behind the ScrubBackend
  * setFaultInjector() hook, so every scrub policy, bench, and example
@@ -26,7 +33,9 @@
 #ifndef PCMSCRUB_FAULTS_FAULT_INJECTOR_HH
 #define PCMSCRUB_FAULTS_FAULT_INJECTOR_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/bitvector.hh"
 #include "common/random.hh"
@@ -86,10 +95,24 @@ class FaultInjector
     explicit FaultInjector(const FaultCampaignConfig &config);
 
     const FaultCampaignConfig &config() const { return config_; }
-    const FaultInjectorStats &stats() const { return stats_; }
+
+    /** Aggregate stats over all shard streams (shard order). */
+    FaultInjectorStats stats() const;
 
     /** True when any campaign ingredient has a non-zero rate. */
     bool enabled() const;
+
+    /**
+     * Provision `count` independent per-shard RNG streams (derived
+     * from the campaign seed and the shard index alone). Existing
+     * draws/stats are discarded; call before the campaign starts.
+     * Growing the stream count never changes streams that already
+     * existed.
+     */
+    void shardStreams(std::size_t count);
+
+    /** Provisioned stream count (>= 1). */
+    std::size_t streamCount() const { return lanes_.size(); }
 
     // Sampling primitives (analytic backend) ------------------------
 
@@ -97,16 +120,17 @@ class FaultInjector
      * Stuck cells to inject for `writes` full-line writes at the
      * given wear fraction (endurance-failure CDF, [0, 1]).
      */
-    unsigned sampleStuckCells(double writes, double wear_fraction);
+    unsigned sampleStuckCells(double writes, double wear_fraction,
+                              std::size_t shard = 0);
 
     /**
      * Transient bit flips for one sensing pass (read disturb plus
      * any burst). The flips exist only for this read.
      */
-    unsigned sampleReadDisturb();
+    unsigned sampleReadDisturb(std::size_t shard = 0);
 
     /** One decoder-miscorrection trial for a correctable decode. */
-    bool sampleMiscorrection();
+    bool sampleMiscorrection(std::size_t shard = 0);
 
     /**
      * Maybe corrupt a last-write timestamp in place (garbage in
@@ -114,7 +138,7 @@ class FaultInjector
      *
      * @return true when the value was corrupted
      */
-    bool corruptLastWrite(Tick &tick, Tick now);
+    bool corruptLastWrite(Tick &tick, Tick now, std::size_t shard = 0);
 
     // Cell-accurate helpers -----------------------------------------
 
@@ -122,18 +146,26 @@ class FaultInjector
      * Apply one sensing pass's transient faults to a read word:
      * independent read-disturb flips plus an adjacent-bit burst.
      */
-    void corruptWord(BitVector &word);
+    void corruptWord(BitVector &word, std::size_t shard = 0);
 
     /**
      * Freeze `count` not-yet-stuck cells of a line at a random
      * level (stuck-at-SET/RESET hard faults).
      */
-    void freezeCells(Line &line, unsigned count);
+    void freezeCells(Line &line, unsigned count, std::size_t shard = 0);
 
   private:
+    /** One shard's private RNG stream and stats slice. */
+    struct Lane
+    {
+        Random rng;
+        FaultInjectorStats stats;
+    };
+
+    Lane &lane(std::size_t shard);
+
     FaultCampaignConfig config_;
-    Random rng_;
-    FaultInjectorStats stats_;
+    std::vector<Lane> lanes_;
 };
 
 } // namespace pcmscrub

@@ -11,10 +11,32 @@ SparePool::SparePool(std::uint64_t spares)
 {
 }
 
+std::uint64_t
+SparePool::remaining() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_ - used_;
+}
+
+bool
+SparePool::exhausted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return used_ >= capacity_;
+}
+
+std::uint64_t
+SparePool::retiredCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return used_;
+}
+
 bool
 SparePool::retire(LineIndex line)
 {
-    if (exhausted())
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (used_ >= capacity_)
         return false;
     ++used_;
     ++retirements_[line];
@@ -24,12 +46,14 @@ SparePool::retire(LineIndex line)
 bool
 SparePool::isRetired(LineIndex line) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     return retirements_.count(line) > 0;
 }
 
 std::uint32_t
 SparePool::retirements(LineIndex line) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     const auto it = retirements_.find(line);
     return it == retirements_.end() ? 0 : it->second;
 }

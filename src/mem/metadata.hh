@@ -11,6 +11,7 @@
 #define PCMSCRUB_MEM_METADATA_HH
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -24,6 +25,12 @@ namespace pcmscrub {
  * remaps the failing address there; a remapped line that fails
  * again may be retired again (consuming another spare) until the
  * pool runs dry.
+ *
+ * Thread-safe: the pool is the one resource shared across shards of
+ * the parallel engine, so retire() and the queries are internally
+ * locked. Note that when concurrent shards race for the *last* spare,
+ * which one wins depends on scheduling — determinism suites therefore
+ * provision pools large enough not to exhaust (or run serially).
  */
 class SparePool
 {
@@ -32,11 +39,11 @@ class SparePool
     explicit SparePool(std::uint64_t spares = 0);
 
     std::uint64_t capacity() const { return capacity_; }
-    std::uint64_t remaining() const { return capacity_ - used_; }
-    bool exhausted() const { return used_ >= capacity_; }
+    std::uint64_t remaining() const;
+    bool exhausted() const;
 
     /** Spares consumed so far (== lines retired). */
-    std::uint64_t retiredCount() const { return used_; }
+    std::uint64_t retiredCount() const;
 
     /**
      * Consume one spare for `line`.
@@ -53,6 +60,7 @@ class SparePool
 
   private:
     std::uint64_t capacity_;
+    mutable std::mutex mutex_;
     std::uint64_t used_ = 0;
     std::unordered_map<LineIndex, std::uint32_t> retirements_;
 };

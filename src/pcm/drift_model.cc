@@ -324,6 +324,20 @@ DriftModel::levelMarginFlagProb(unsigned level, double t_seconds) const
     return averageOverSpeeds(1.0, flagGivenSpeed);
 }
 
+void
+DriftModel::prewarm() const
+{
+    // Any age builds the whole log-time grid.
+    cellErrorProb(config_.driftT0Seconds * 2.0);
+    cellMarginFlagProb(config_.driftT0Seconds * 2.0);
+}
+
+void
+DriftModel::prewarmBulk(double quantile) const
+{
+    bulkCellErrorProb(config_.driftT0Seconds * 2.0, quantile);
+}
+
 double
 DriftModel::cellMarginFlagProb(double t_seconds) const
 {

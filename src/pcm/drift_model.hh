@@ -147,6 +147,17 @@ class DriftModel
     /** Margin-flag probability for uniformly-random data. */
     double cellMarginFlagProb(double t_seconds) const;
 
+    /**
+     * Build the lazily-constructed cell-error and margin-flag lookup
+     * tables now. The tables are mutable caches filled on first use;
+     * parallel engine code prewarns them from a serial context so
+     * concurrent readers never race a builder.
+     */
+    void prewarm() const;
+
+    /** Prewarm the bulk-population table for one quantile. */
+    void prewarmBulk(double quantile) const;
+
   private:
     double logAge(double t_seconds) const;
 

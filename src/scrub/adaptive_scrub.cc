@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/shard.hh"
+#include "common/thread_pool.hh"
 
 namespace pcmscrub {
 
@@ -43,6 +45,23 @@ AdaptiveScrub::AdaptiveScrub(const AdaptiveParams &params,
     // safe age.
     regionDue_.assign(regions, safeAgeTicks_);
     regionWorstErrors_.assign(regions, 0);
+
+    // Build the drift model's lazy conditional-bulk tables now, from
+    // this serial context: wake() evaluates them from parallel shard
+    // tasks, which must only ever *read*. Every errors_left value
+    // lineHorizon can see is below the rewrite threshold (and the
+    // model early-outs past the ECC budget), so this covers all
+    // reachable quantiles.
+    const unsigned cells = backend.cellsPerLine();
+    const unsigned maxErrors = std::min<unsigned>(
+        eccT_,
+        params_.procedure.rewriteThreshold > 0
+            ? params_.procedure.rewriteThreshold - 1
+            : 0);
+    for (unsigned e = 0; e <= maxErrors; ++e) {
+        backend.drift().prewarmBulk(
+            1.0 - static_cast<double>(e) / static_cast<double>(cells));
+    }
 }
 
 std::string
@@ -58,11 +77,9 @@ AdaptiveScrub::nextWake() const
 }
 
 Tick
-AdaptiveScrub::lineHorizon(ScrubBackend &backend, unsigned errors_left,
-                           double age_seconds, Tick now)
+AdaptiveScrub::lineHorizon(ScrubBackend &backend, HorizonCache &cache,
+                           unsigned errors_left, double age_seconds)
 {
-    // Memoise within this wake: many lines share (errors, age
-    // bucket), and the conditional bisection is the expensive part.
     int ageBucket = 0;
     if (age_seconds > 1.0) {
         ageBucket = static_cast<int>(std::log10(age_seconds) / 0.05) +
@@ -71,9 +88,9 @@ AdaptiveScrub::lineHorizon(ScrubBackend &backend, unsigned errors_left,
     const std::uint64_t key =
         static_cast<std::uint64_t>(errors_left) * 4096 +
         static_cast<std::uint64_t>(ageBucket);
-    const auto cached = horizonCache_.find(key);
-    if (cached != horizonCache_.end() && cached->second.first == now)
-        return cached->second.second;
+    const auto cached = cache.find(key);
+    if (cached != cache.end())
+        return cached->second;
 
     const double horizonSeconds =
         backend.drift().timeToConditionalUncorrectable(
@@ -83,7 +100,7 @@ AdaptiveScrub::lineHorizon(ScrubBackend &backend, unsigned errors_left,
     // with the full safe age; never trust a horizon beyond it.
     const Tick horizon = std::min(secondsToTicks(horizonSeconds),
                                   safeAgeTicks_);
-    horizonCache_[key] = {now, horizon};
+    cache[key] = horizon;
     return horizon;
 }
 
@@ -94,33 +111,88 @@ AdaptiveScrub::wake(ScrubBackend &backend, Tick now)
         static_cast<Tick>(static_cast<double>(safeAgeTicks_) *
                           params_.minSpacingFraction),
         1);
+
+    // Regions due this wake (regionDue_ is read-only while the shard
+    // tasks run).
+    std::vector<std::uint64_t> due;
     for (std::uint64_t region = 0; region < regionDue_.size();
          ++region) {
-        if (regionDue_[region] > now)
-            continue;
-        const LineIndex start = region * params_.linesPerRegion;
-        const LineIndex end = std::min<LineIndex>(
-            start + params_.linesPerRegion, lineCount_);
+        if (regionDue_[region] <= now)
+            due.push_back(region);
+    }
+    if (due.empty())
+        return;
 
-        // The region's next check is due at the earliest per-line
-        // conditional risk deadline, each line anchored at its own
-        // (residual errors, data age) as verified by this visit.
-        unsigned worst = 0;
-        Tick horizon = safeAgeTicks_;
-        for (LineIndex line = start; line < end; ++line) {
-            const LineCheckResult result = scrubCheckLine(
-                backend, line, now, params_.procedure);
-            worst = std::max(worst, result.errorsLeft);
-            const Tick written = backend.lastFullWrite(line, now);
-            const double age = written <= now
-                ? ticksToSeconds(now - written) : 0.0;
-            horizon = std::min(
-                horizon,
-                lineHorizon(backend, result.errorsLeft, age, now));
+    // The parallel unit is the backend's shard, not the region:
+    // regions may be smaller than shards, and two tasks inside one
+    // shard would race its RNG stream. Each task walks the due
+    // regions clipped to its shard's line range (ascending, so the
+    // within-shard visit order matches a serial sweep) and records a
+    // (region, worst errors, horizon) partial per overlap. The memo
+    // cache is per task — it only short-circuits recomputation of a
+    // pure function, so sharing pattern cannot change results.
+    struct Partial
+    {
+        std::uint64_t region;
+        unsigned worst;
+        Tick horizon;
+    };
+    const ShardPlan plan = backend.shardPlan();
+    std::vector<std::vector<Partial>> partials(plan.count());
+
+    ThreadPool::global().run(plan.count(), [&](std::size_t shard) {
+        const ShardRange range = plan.range(shard);
+        HorizonCache cache;
+        for (const std::uint64_t region : due) {
+            const LineIndex regionStart =
+                region * params_.linesPerRegion;
+            const LineIndex regionEnd = std::min<LineIndex>(
+                regionStart + params_.linesPerRegion, lineCount_);
+            const LineIndex begin =
+                std::max<LineIndex>(regionStart, range.begin);
+            const LineIndex end =
+                std::min<LineIndex>(regionEnd, range.end);
+            if (begin >= end)
+                continue;
+
+            // The region's next check is due at the earliest
+            // per-line conditional risk deadline, each line anchored
+            // at its own (residual errors, data age) as verified by
+            // this visit.
+            unsigned worst = 0;
+            Tick horizon = safeAgeTicks_;
+            for (LineIndex line = begin; line < end; ++line) {
+                const LineCheckResult result = scrubCheckLine(
+                    backend, line, now, params_.procedure);
+                worst = std::max(worst, result.errorsLeft);
+                const Tick written = backend.lastFullWrite(line, now);
+                const double age = written <= now
+                    ? ticksToSeconds(now - written) : 0.0;
+                horizon = std::min(
+                    horizon,
+                    lineHorizon(backend, cache, result.errorsLeft,
+                                age));
+            }
+            partials[shard].push_back({region, worst, horizon});
         }
-        regionWorstErrors_[region] =
-            static_cast<std::uint16_t>(worst);
-        regionDue_[region] = now + std::max(horizon, minSpacing);
+    });
+
+    // Merge the per-(shard, region) partials in ascending shard
+    // order — a fixed reduction order, though max/min are exactly
+    // commutative anyway.
+    for (const std::uint64_t region : due) {
+        regionWorstErrors_[region] = 0;
+        regionDue_[region] = now + std::max(safeAgeTicks_, minSpacing);
+    }
+    for (const std::vector<Partial> &shardPartials : partials) {
+        for (const Partial &partial : shardPartials) {
+            regionWorstErrors_[partial.region] = std::max<std::uint16_t>(
+                regionWorstErrors_[partial.region],
+                static_cast<std::uint16_t>(partial.worst));
+            regionDue_[partial.region] = std::min(
+                regionDue_[partial.region],
+                now + std::max(partial.horizon, minSpacing));
+        }
     }
 }
 

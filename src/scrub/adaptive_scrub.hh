@@ -80,11 +80,15 @@ class AdaptiveScrub : public ScrubPolicy
 
   private:
     /**
-     * Conditional risk deadline for one line, memoised per wake on
-     * (errors, age bucket).
+     * Per-wake horizon memo, (errors, age bucket) -> horizon. Each
+     * shard task owns its own cache: many lines share (errors, age
+     * bucket), and the conditional bisection is the expensive part.
      */
-    Tick lineHorizon(ScrubBackend &backend, unsigned errors_left,
-                     double age_seconds, Tick now);
+    using HorizonCache = std::map<std::uint64_t, Tick>;
+
+    /** Conditional risk deadline for one line. */
+    Tick lineHorizon(ScrubBackend &backend, HorizonCache &cache,
+                     unsigned errors_left, double age_seconds);
 
     AdaptiveParams params_;
     std::string name_;
@@ -93,9 +97,6 @@ class AdaptiveScrub : public ScrubPolicy
     std::uint64_t lineCount_;
     std::vector<Tick> regionDue_;
     std::vector<std::uint16_t> regionWorstErrors_;
-
-    /** (errors, age bucket) -> (wake tick, horizon). */
-    std::map<std::uint64_t, std::pair<Tick, Tick>> horizonCache_;
 };
 
 /**

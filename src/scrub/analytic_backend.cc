@@ -31,7 +31,7 @@ AnalyticBackend::AnalyticBackend(const AnalyticConfig &config)
       drift_(config.device),
       wear_(config.device),
       demand_(config.demand, config.lines),
-      rng_(config.seed),
+      plan_(config.lines, config.shards),
       cellsPerLine_(static_cast<unsigned>(
           (512 + config.scheme.checkBits() + bitsPerCell - 1) /
           bitsPerCell)),
@@ -41,7 +41,6 @@ AnalyticBackend::AnalyticBackend(const AnalyticConfig &config)
                   ? config.degradation.spareLines
                   : 0)
 {
-    metrics_.sparesRemaining = spares_.remaining();
     PCMSCRUB_ASSERT(config.lines >= 1, "backend needs lines");
     PCMSCRUB_ASSERT(config.weakCellsTracked < cellsPerLine_,
                     "cannot track %u weak cells of %u",
@@ -50,27 +49,68 @@ AnalyticBackend::AnalyticBackend(const AnalyticConfig &config)
                              512 + config.scheme.checkBits(),
                              config.detectorParity, bitsPerCell);
 
+    // One independent counter-based RNG stream per shard: every draw
+    // for a line comes from its shard's stream, so outcomes depend
+    // only on (seed, shard, within-shard op order) — never on the
+    // thread count interleaving the shards.
+    shards_.resize(plan_.count());
+    for (std::size_t shard = 0; shard < plan_.count(); ++shard)
+        shards_[shard].rng = Random::stream(config.seed, shard);
+
     const unsigned k = config_.weakCellsTracked;
     bulkQuantile_ = 1.0 -
         static_cast<double>(k) / static_cast<double>(cellsPerLine_);
+
+    // Build the drift model's lazy lookup tables before any parallel
+    // wake can race their construction.
+    drift_.prewarm();
+    drift_.prewarmBulk(bulkQuantile_);
 
     // Sample each line's top-k intrinsic drift speeds via uniform
     // order statistics: the j-th largest of n uniforms is the
     // previous one scaled by U^(1/(n-j)).
     weakCells_.resize(config.lines * k);
     for (std::uint64_t line = 0; line < config.lines; ++line) {
+        Random &rng = rngFor(line);
         double topUniform = 1.0;
         for (unsigned j = 0; j < k; ++j) {
-            const double draw = std::max(rng_.uniform(), 1e-12);
+            const double draw = std::max(rng.uniform(), 1e-12);
             topUniform *= std::pow(
                 draw, 1.0 / static_cast<double>(cellsPerLine_ - j));
             WeakCell &cell = weakCells_[line * k + j];
             cell.speed = static_cast<float>(drift_.speedAtQuantile(
                 std::clamp(topUniform, 1e-12, 1.0 - 1e-15)));
             cell.level =
-                static_cast<std::uint8_t>(rng_.uniformInt(mlcLevels));
+                static_cast<std::uint8_t>(rng.uniformInt(mlcLevels));
         }
     }
+}
+
+void
+AnalyticBackend::setFaultInjector(FaultInjector *injector)
+{
+    injector_ = injector;
+    if (injector_ != nullptr)
+        injector_->shardStreams(plan_.count());
+}
+
+const ScrubMetrics &
+AnalyticBackend::metrics() const
+{
+    merged_ = ScrubMetrics{};
+    for (const ShardState &shard : shards_)
+        merged_.merge(shard.metrics);
+    // The spare pool is shared across shards; the merged gauge is
+    // its live level, not a per-shard sum.
+    merged_.sparesRemaining = spares_.remaining();
+    return merged_;
+}
+
+ScrubMetrics &
+AnalyticBackend::metrics()
+{
+    const AnalyticBackend *self = this;
+    return const_cast<ScrubMetrics &>(self->metrics());
 }
 
 AnalyticBackend::~AnalyticBackend() = default;
@@ -96,19 +136,21 @@ void
 AnalyticBackend::resetWeakCells(LineIndex line, bool new_data)
 {
     const unsigned k = config_.weakCellsTracked;
+    Random &rng = rngFor(line);
     for (unsigned j = 0; j < k; ++j) {
         WeakCell &cell = weakCells_[line * k + j];
         cell.crossed = false;
         cell.qSampled = 0.0f;
         if (new_data) {
             cell.level =
-                static_cast<std::uint8_t>(rng_.uniformInt(mlcLevels));
+                static_cast<std::uint8_t>(rng.uniformInt(mlcLevels));
         }
     }
 }
 
 unsigned
-AnalyticBackend::applyWear(LineState &state, double count)
+AnalyticBackend::applyWear(LineIndex line, LineState &state,
+                           double count)
 {
     const double before = state.writes;
     state.writes += count;
@@ -116,19 +158,21 @@ AnalyticBackend::applyWear(LineState &state, double count)
     unsigned died = 0;
     if (hazard > 0.0) {
         const unsigned alive = cellsPerLine_ - state.stuckCells;
-        died = static_cast<unsigned>(rng_.binomial(alive, hazard));
+        died = static_cast<unsigned>(
+            rngFor(line).binomial(alive, hazard));
         state.stuckCells = static_cast<std::uint16_t>(
             state.stuckCells + died);
-        metrics_.cellsWornOut += died;
+        metricsFor(line).cellsWornOut += died;
     }
     // Injected wear-correlated hard faults ride on the same write
-    // traffic (the injector's own RNG; the backend stream is not
-    // perturbed).
+    // traffic (the injector's own per-shard stream; the backend
+    // stream is not perturbed).
     if (injector_ != nullptr && count > 0.0) {
         const unsigned alive = cellsPerLine_ - state.stuckCells;
         const unsigned frozen = std::min(
             injector_->sampleStuckCells(
-                count, wear_.failureCdf(state.writes)),
+                count, wear_.failureCdf(state.writes),
+                plan_.shardOf(line)),
             alive);
         state.stuckCells = static_cast<std::uint16_t>(
             state.stuckCells + frozen);
@@ -157,7 +201,7 @@ AnalyticBackend::resetAfterWrite(LineIndex line, Tick now,
             const unsigned exposed = state.stuckCells > covered
                 ? state.stuckCells - covered : 0;
             state.stuckErrors = static_cast<std::uint16_t>(
-                rng_.binomial(exposed, 0.5));
+                rngFor(line).binomial(exposed, 0.5));
             return;
         }
         // ECP patches the first n/2 stuck cells at write-verify;
@@ -167,7 +211,7 @@ AnalyticBackend::resetAfterWrite(LineIndex line, Tick now,
         const unsigned exposed = state.stuckCells > covered
             ? state.stuckCells - covered : 0;
         state.stuckErrors = static_cast<std::uint16_t>(
-            rng_.binomial(exposed, 0.75));
+            rngFor(line).binomial(exposed, 0.75));
     }
 }
 
@@ -188,7 +232,8 @@ AnalyticBackend::chargeDemandExposure(LineIndex line,
         crossAge = drift_.timeToExpectedErrors(cellsPerLine_, need);
     }
     const double badSeconds = std::max(0.0, age_seconds - crossAge);
-    metrics_.demandUncorrectable += demand_.readRate(line) * badSeconds;
+    metricsFor(line).demandUncorrectable +=
+        demand_.readRate(line) * badSeconds;
 }
 
 void
@@ -206,11 +251,11 @@ AnalyticBackend::materialize(LineIndex line, Tick now)
         return;
 
     const std::uint64_t writes =
-        rate > 0.0 ? rng_.poisson(rate * gap) : 0;
+        rate > 0.0 ? rngFor(line).poisson(rate * gap) : 0;
     if (writes > 0) {
         // Age of the most recent of `writes` uniform arrivals.
         const double lastAge = gap *
-            (1.0 - std::pow(rng_.uniform(),
+            (1.0 - std::pow(rngFor(line).uniform(),
                             1.0 / static_cast<double>(writes)));
         const Tick writeTick = now - secondsToTicks(lastAge);
 
@@ -222,9 +267,9 @@ AnalyticBackend::materialize(LineIndex line, Tick now)
                                  ageSeconds(state, writeTick));
         }
 
-        applyWear(state, static_cast<double>(writes));
+        applyWear(line, state, static_cast<double>(writes));
         resetAfterWrite(line, writeTick, /*new_data=*/true);
-        metrics_.demandWrites += writes;
+        metricsFor(line).demandWrites += writes;
     }
 
     if (config_.demandReadPiggyback)
@@ -248,11 +293,11 @@ AnalyticBackend::piggybackReads(LineIndex line, Tick gap_start,
     const double readRate = demand_.readRate(line);
     if (readRate <= 0.0)
         return;
-    const std::uint64_t reads = rng_.poisson(readRate * window);
+    const std::uint64_t reads = rngFor(line).poisson(readRate * window);
     if (reads == 0)
         return;
     const double lastAge = window *
-        (1.0 - std::pow(rng_.uniform(),
+        (1.0 - std::pow(rngFor(line).uniform(),
                         1.0 / static_cast<double>(reads)));
     const Tick readTick = now - secondsToTicks(lastAge);
     if (readTick <= state.lastWrite)
@@ -265,14 +310,15 @@ AnalyticBackend::piggybackReads(LineIndex line, Tick gap_start,
 
     // The read-path decode saw enough errors: refresh immediately.
     const EnergyModel energy(config_.device);
-    metrics_.energy.add(
+    ScrubMetrics &metrics = metricsFor(line);
+    metrics.energy.add(
         EnergyCategory::ArrayWrite,
         energy.lineWrite(static_cast<std::uint64_t>(
             std::llround(cellsPerLine_ * avgIterationsPerCell_))));
-    ++metrics_.scrubRewrites;
-    ++metrics_.piggybackRewrites;
-    metrics_.correctedErrors += state.driftErrors + weakErrors(line);
-    applyWear(state, 1.0);
+    ++metrics.scrubRewrites;
+    ++metrics.piggybackRewrites;
+    metrics.correctedErrors += state.driftErrors + weakErrors(line);
+    applyWear(line, state, 1.0);
     resetAfterWrite(line, readTick, /*new_data=*/false);
 }
 
@@ -299,7 +345,8 @@ AnalyticBackend::growDrift(LineIndex line, Tick now)
         const double growth = (p2 - state.pSampled) /
             (1.0 - state.pSampled);
         state.driftErrors = static_cast<std::uint16_t>(
-            state.driftErrors + rng_.binomial(available, growth));
+            state.driftErrors +
+            rngFor(line).binomial(available, growth));
         state.pSampled = p2;
     }
 
@@ -315,7 +362,7 @@ AnalyticBackend::growDrift(LineIndex line, Tick now)
         if (q2 <= q1)
             continue;
         const double growth = (q2 - q1) / (1.0 - q1);
-        if (rng_.bernoulli(growth))
+        if (rngFor(line).bernoulli(growth))
             cell.crossed = true;
         cell.qSampled = static_cast<float>(q2);
     }
@@ -339,7 +386,7 @@ AnalyticBackend::sampleUncorrectable(LineIndex line)
     if (pOld < 1.0)
         pCond = (pNew - pOld) / (1.0 - pOld);
     state.ueSampledErrors = static_cast<std::uint16_t>(total);
-    if (rng_.bernoulli(pCond))
+    if (rngFor(line).bernoulli(pCond))
         state.uePlaced = true;
     return state.uePlaced;
 }
@@ -347,13 +394,14 @@ AnalyticBackend::sampleUncorrectable(LineIndex line)
 void
 AnalyticBackend::chargeArrayRead(LineIndex line, Tick now)
 {
-    if (chargedLine_ == line && chargedTick_ == now)
+    ShardState &shard = shards_[plan_.shardOf(line)];
+    if (shard.chargedLine == line && shard.chargedTick == now)
         return;
-    chargedLine_ = line;
-    chargedTick_ = now;
+    shard.chargedLine = line;
+    shard.chargedTick = now;
     const EnergyModel energy(config_.device);
-    metrics_.energy.add(EnergyCategory::ArrayRead,
-                        energy.lineRead(cellsPerLine_));
+    shard.metrics.energy.add(EnergyCategory::ArrayRead,
+                             energy.lineRead(cellsPerLine_));
 }
 
 Tick
@@ -364,7 +412,7 @@ AnalyticBackend::lastFullWrite(LineIndex line, Tick now)
     // A corrupted metadata entry feeds the policy a bogus drift age;
     // the modelled line itself is untouched.
     if (injector_ != nullptr)
-        injector_->corruptLastWrite(tick, now);
+        injector_->corruptLastWrite(tick, now, plan_.shardOf(line));
     return tick;
 }
 
@@ -373,12 +421,14 @@ AnalyticBackend::transientErrors(LineIndex line, Tick now)
 {
     if (injector_ == nullptr)
         return 0;
-    if (transientLine_ != line || transientTick_ != now) {
-        transientLine_ = line;
-        transientTick_ = now;
-        transientNow_ = injector_->sampleReadDisturb();
+    ShardState &shard = shards_[plan_.shardOf(line)];
+    if (shard.transientLine != line || shard.transientTick != now) {
+        shard.transientLine = line;
+        shard.transientTick = now;
+        shard.transientNow =
+            injector_->sampleReadDisturb(plan_.shardOf(line));
     }
-    return transientNow_;
+    return shard.transientNow;
 }
 
 bool
@@ -388,15 +438,16 @@ AnalyticBackend::lightDetectClean(LineIndex line, Tick now)
     growDrift(line, now);
     chargeArrayRead(line, now);
     const EnergyModel energy(config_.device);
-    metrics_.energy.add(EnergyCategory::Detect, energy.lightDetect());
-    ++metrics_.lightDetects;
+    ScrubMetrics &metrics = metricsFor(line);
+    metrics.energy.add(EnergyCategory::Detect, energy.lightDetect());
+    ++metrics.lightDetects;
 
     const unsigned errors = totalErrors(line) +
         transientErrors(line, now);
     if (errors == 0)
         return true;
-    if (rng_.bernoulli(detector_->missProbability(errors))) {
-        ++metrics_.detectorMisses;
+    if (rngFor(line).bernoulli(detector_->missProbability(errors))) {
+        ++metrics.detectorMisses;
         return true;
     }
     return false;
@@ -408,10 +459,10 @@ AnalyticBackend::eccCheckClean(LineIndex line, Tick now)
     materialize(line, now);
     growDrift(line, now);
     chargeArrayRead(line, now);
-    const EnergyModel energy(config_.device);
-    metrics_.energy.add(EnergyCategory::Decode,
-                        scheme_.checkEnergy(config_.device));
-    ++metrics_.eccChecks;
+    ScrubMetrics &metrics = metricsFor(line);
+    metrics.energy.add(EnergyCategory::Decode,
+                       scheme_.checkEnergy(config_.device));
+    ++metrics.eccChecks;
     return totalErrors(line) + transientErrors(line, now) == 0;
 }
 
@@ -421,10 +472,9 @@ AnalyticBackend::fullDecode(LineIndex line, Tick now)
     materialize(line, now);
     growDrift(line, now);
     chargeArrayRead(line, now);
-    const EnergyModel energy(config_.device);
-    metrics_.energy.add(EnergyCategory::Decode,
-                        scheme_.fullDecodeEnergy(config_.device));
-    ++metrics_.fullDecodes;
+    metricsFor(line).energy.add(EnergyCategory::Decode,
+                                scheme_.fullDecodeEnergy(config_.device));
+    ++metricsFor(line).fullDecodes;
 
     const unsigned persistent = totalErrors(line);
     const unsigned transient = transientErrors(line, now);
@@ -436,7 +486,7 @@ AnalyticBackend::fullDecode(LineIndex line, Tick now)
         // Transient flips land at fresh random positions each read;
         // their placement decision is sampled per visit, not sticky.
         const double p = scheme_.uncorrectableProb(outcome.errors);
-        ue = p > 0.0 && rng_.bernoulli(p);
+        ue = p > 0.0 && rngFor(line).bernoulli(p);
     }
 
     if (ue) {
@@ -449,18 +499,18 @@ AnalyticBackend::fullDecode(LineIndex line, Tick now)
             : DegradationStage::HostVisible;
         if (outcome.handledBy == DegradationStage::HostVisible) {
             outcome.uncorrectable = true;
-            ++metrics_.scrubUncorrectable;
-            ++metrics_.ueSurfaced;
+            ++metricsFor(line).scrubUncorrectable;
+            ++metricsFor(line).ueSurfaced;
         } else {
             // A ladder stage absorbed the failure and left the line
             // freshly rewritten; nothing remains for the caller.
             outcome.errors = 0;
         }
     } else if (outcome.errors > 0 && injector_ != nullptr &&
-               injector_->sampleMiscorrection()) {
+               injector_->sampleMiscorrection(plan_.shardOf(line))) {
         // Injected decoder fault: the "successful" correction in
         // fact settled on a wrong codeword.
-        ++metrics_.miscorrections;
+        ++metricsFor(line).miscorrections;
     }
     return outcome;
 }
@@ -471,16 +521,17 @@ AnalyticBackend::escalate(LineIndex line, Tick now)
     const DegradationConfig &deg = config_.degradation;
     LineState &state = lines_[line];
     const EnergyModel energy(config_.device);
+    ScrubMetrics &metrics = metricsFor(line);
     const unsigned t = scheme_.guaranteedT();
 
     // Ladder-internal refresh: a full write that is not a scrub
     // rewrite (the policy never asked for it).
     const auto refresh = [&](bool new_data) {
-        metrics_.energy.add(
+        metrics.energy.add(
             EnergyCategory::ArrayWrite,
             energy.lineWrite(static_cast<std::uint64_t>(
                 std::llround(cellsPerLine_ * avgIterationsPerCell_))));
-        applyWear(state, 1.0);
+        applyWear(line, state, 1.0);
         resetAfterWrite(line, now, new_data);
     };
 
@@ -490,15 +541,15 @@ AnalyticBackend::escalate(LineIndex line, Tick now)
     // Stuck cells are immune, so a line whose stuck errors alone
     // defeat the code cannot be retried back to health.
     for (unsigned attempt = 1; attempt <= deg.maxRetries; ++attempt) {
-        ++metrics_.ueRetries;
-        metrics_.energy.add(EnergyCategory::MarginRead,
-                            energy.marginReadExtra(cellsPerLine_));
+        ++metrics.ueRetries;
+        metrics.energy.add(EnergyCategory::MarginRead,
+                           energy.marginReadExtra(cellsPerLine_));
         const bool transientOnly = !state.uePlaced;
         const bool recovered = transientOnly ||
             (state.stuckErrors <= t &&
-             rng_.bernoulli(deg.retryResolveProb));
+             rngFor(line).bernoulli(deg.retryResolveProb));
         if (recovered) {
-            ++metrics_.ueRetryResolved;
+            ++metrics.ueRetryResolved;
             refresh(/*new_data=*/false);
             return DegradationStage::Retry;
         }
@@ -513,7 +564,7 @@ AnalyticBackend::escalate(LineIndex line, Tick now)
         refresh(/*new_data=*/false);
         state.stuckErrors = static_cast<std::uint16_t>(remaining);
         if (remaining <= t) {
-            ++metrics_.ueEcpRepaired;
+            ++metrics.ueEcpRepaired;
             return DegradationStage::EcpRepair;
         }
     }
@@ -521,9 +572,8 @@ AnalyticBackend::escalate(LineIndex line, Tick now)
     // Stage 3: retire the line into the spare-remap pool; the
     // address now resolves to fresh spare silicon.
     if (spares_.retire(line)) {
-        metrics_.sparesRemaining = spares_.remaining();
-        ++metrics_.ueRetired;
-        metrics_.capacityLostBits += lineBits();
+        ++metrics.ueRetired;
+        metrics.capacityLostBits += lineBits();
         warn_once("retiring line %llu to a spare (%llu spares left)",
                   static_cast<unsigned long long>(line),
                   static_cast<unsigned long long>(spares_.remaining()));
@@ -543,8 +593,8 @@ AnalyticBackend::escalate(LineIndex line, Tick now)
     // Stage 4: drop the line to SLC — drift-immune, half density.
     if (deg.slcFallback && !state.slc) {
         state.slc = true;
-        ++metrics_.ueSlcFallbacks;
-        metrics_.capacityLostBits += lineBits();
+        ++metrics.ueSlcFallbacks;
+        metrics.capacityLostBits += lineBits();
         warn_once("line %llu fell back to SLC operation "
                   "(density halved)",
                   static_cast<unsigned long long>(line));
@@ -565,9 +615,10 @@ AnalyticBackend::marginScan(LineIndex line, Tick now)
     growDrift(line, now);
     chargeArrayRead(line, now);
     const EnergyModel energy(config_.device);
-    metrics_.energy.add(EnergyCategory::MarginRead,
-                        energy.marginReadExtra(cellsPerLine_));
-    ++metrics_.marginScans;
+    ScrubMetrics &metrics = metricsFor(line);
+    metrics.energy.add(EnergyCategory::MarginRead,
+                       energy.marginReadExtra(cellsPerLine_));
+    ++metrics.marginScans;
 
     const LineState &state = lines_[line];
     if (state.slc)
@@ -582,7 +633,8 @@ AnalyticBackend::marginScan(LineIndex line, Tick now)
         weakErrors(line);
     const unsigned healthy = cellsPerLine_ > errored
         ? cellsPerLine_ - errored : 0;
-    return static_cast<unsigned>(rng_.binomial(healthy, conditional));
+    return static_cast<unsigned>(
+        rngFor(line).binomial(healthy, conditional));
 }
 
 void
@@ -593,16 +645,17 @@ AnalyticBackend::scrubRewrite(LineIndex line, Tick now, bool preventive)
     LineState &state = lines_[line];
 
     const EnergyModel energy(config_.device);
-    metrics_.energy.add(
+    ScrubMetrics &metrics = metricsFor(line);
+    metrics.energy.add(
         EnergyCategory::ArrayWrite,
         energy.lineWrite(static_cast<std::uint64_t>(
             std::llround(cellsPerLine_ * avgIterationsPerCell_))));
-    ++metrics_.scrubRewrites;
+    ++metrics.scrubRewrites;
     if (preventive)
-        ++metrics_.preventiveRewrites;
-    metrics_.correctedErrors += state.driftErrors + weakErrors(line);
+        ++metrics.preventiveRewrites;
+    metrics.correctedErrors += state.driftErrors + weakErrors(line);
 
-    applyWear(state, 1.0);
+    applyWear(line, state, 1.0);
     // Scrub rewrites restore the *same* data: stuck cells that
     // matched keep matching, conflicting ones stay wrong.
     resetAfterWrite(line, now, /*new_data=*/false);
@@ -614,11 +667,11 @@ AnalyticBackend::repairUncorrectable(LineIndex line, Tick now)
     materialize(line, now);
     LineState &state = lines_[line];
     const EnergyModel energy(config_.device);
-    metrics_.energy.add(
+    metricsFor(line).energy.add(
         EnergyCategory::ArrayWrite,
         energy.lineWrite(static_cast<std::uint64_t>(
             std::llround(cellsPerLine_ * avgIterationsPerCell_))));
-    applyWear(state, 1.0);
+    applyWear(line, state, 1.0);
     // Recovery remaps conflicting stuck cells to spares and reloads
     // the data, so the line starts clean.
     state.stuckErrors = 0;
@@ -631,7 +684,7 @@ AnalyticBackend::noteVisit(LineIndex line, Tick now)
     PCMSCRUB_ASSERT(line < lines_.size(), "line %llu out of range",
                     static_cast<unsigned long long>(line));
     (void)now;
-    ++metrics_.linesChecked;
+    ++metricsFor(line).linesChecked;
 }
 
 unsigned

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/random.hh"
+#include "common/shard.hh"
 #include "ecc/detector.hh"
 #include "mem/metadata.hh"
 #include "pcm/wear.hh"
@@ -96,6 +97,14 @@ struct AnalyticConfig
     /** RNG seed. */
     std::uint64_t seed = 1;
 
+    /**
+     * Shards the line population is partitioned into (0 = default).
+     * Each shard owns an independent RNG stream derived from (seed,
+     * shard), so results depend on the shard count but never on the
+     * thread count executing the shards.
+     */
+    std::size_t shards = 0;
+
     /** Uncorrectable-error degradation ladder (off by default). */
     DegradationConfig degradation{};
 };
@@ -115,6 +124,7 @@ class AnalyticBackend : public ScrubBackend
     unsigned cellsPerLine() const override { return cellsPerLine_; }
     const EccScheme &scheme() const override { return scheme_; }
     const DriftModel &drift() const override { return drift_; }
+    ShardPlan shardPlan() const override { return plan_; }
 
     Tick lastFullWrite(LineIndex line, Tick now) override;
     bool lightDetectClean(LineIndex line, Tick now) override;
@@ -125,13 +135,15 @@ class AnalyticBackend : public ScrubBackend
                       bool preventive = false) override;
     void repairUncorrectable(LineIndex line, Tick now) override;
     void noteVisit(LineIndex line, Tick now) override;
-    void setFaultInjector(FaultInjector *injector) override
-    {
-        injector_ = injector;
-    }
+    void setFaultInjector(FaultInjector *injector) override;
 
-    const ScrubMetrics &metrics() const override { return metrics_; }
-    ScrubMetrics &metrics() override { return metrics_; }
+    /**
+     * Per-shard metric slices merged in ascending shard order — the
+     * fixed reduction order that makes even the floating-point sums
+     * bit-identical at any thread count.
+     */
+    const ScrubMetrics &metrics() const override;
+    ScrubMetrics &metrics() override;
 
     // Introspection for tests and experiments ----------------------
 
@@ -199,6 +211,18 @@ class AnalyticBackend : public ScrubBackend
     /** Reset weak-cell write state (level resample on new data). */
     void resetWeakCells(LineIndex line, bool new_data);
 
+    /** RNG stream of the shard owning a line. */
+    Random &rngFor(LineIndex line)
+    {
+        return shards_[plan_.shardOf(line)].rng;
+    }
+
+    /** Metrics slice of the shard owning a line. */
+    ScrubMetrics &metricsFor(LineIndex line)
+    {
+        return shards_[plan_.shardOf(line)].metrics;
+    }
+
     /** Charge the per-visit array read exactly once. */
     void chargeArrayRead(LineIndex line, Tick now);
 
@@ -206,7 +230,7 @@ class AnalyticBackend : public ScrubBackend
     bool sampleUncorrectable(LineIndex line);
 
     /** Wear from `count` additional writes; returns new stuck cells. */
-    unsigned applyWear(LineState &state, double count);
+    unsigned applyWear(LineIndex line, LineState &state, double count);
 
     /** Expected demand-read UEs over a line's bad window. */
     void chargeDemandExposure(LineIndex line, const LineState &state,
@@ -236,30 +260,42 @@ class AnalyticBackend : public ScrubBackend
         return static_cast<std::uint64_t>(cellsPerLine_) * bitsPerCell;
     }
 
+    /**
+     * State owned by one shard: its RNG stream, metrics slice, and
+     * the per-visit caches (which are keyed by (line, tick) and must
+     * not be shared across concurrently-running shards).
+     */
+    struct ShardState
+    {
+        Random rng;
+        ScrubMetrics metrics;
+
+        /** Array-read charge dedup (line, tick of last charge). */
+        LineIndex chargedLine = ~LineIndex{0};
+        Tick chargedTick = ~Tick{0};
+
+        /** Per-visit injected transient flips. */
+        LineIndex transientLine = ~LineIndex{0};
+        Tick transientTick = ~Tick{0};
+        unsigned transientNow = 0;
+    };
+
     AnalyticConfig config_;
     EccScheme scheme_;
     DriftModel drift_;
     WearModel wear_;
     DemandModel demand_;
     std::unique_ptr<Detector> detector_;
-    Random rng_;
+    ShardPlan plan_;
     unsigned cellsPerLine_;
     double avgIterationsPerCell_;
     double bulkQuantile_;
     std::vector<LineState> lines_;
     std::vector<WeakCell> weakCells_; //!< lines x weakCellsTracked.
-    ScrubMetrics metrics_;
+    std::vector<ShardState> shards_;
+    mutable ScrubMetrics merged_; //!< Rebuilt on each metrics() call.
     SparePool spares_;
     FaultInjector *injector_ = nullptr; //!< Not owned.
-
-    /** Array-read charge deduplication (line, tick of last charge). */
-    LineIndex chargedLine_ = ~LineIndex{0};
-    Tick chargedTick_ = ~Tick{0};
-
-    /** Per-visit injected transient flips (see transientErrors). */
-    LineIndex transientLine_ = ~LineIndex{0};
-    Tick transientTick_ = ~Tick{0};
-    unsigned transientNow_ = 0;
 };
 
 } // namespace pcmscrub

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 
+#include "common/shard.hh"
 #include "common/types.hh"
 #include "faults/degradation.hh"
 #include "pcm/drift_model.hh"
@@ -62,6 +63,21 @@ class ScrubBackend
 
     /** Lines under this backend's management. */
     virtual std::uint64_t lineCount() const = 0;
+
+    /**
+     * Partition of the line population for parallel policy loops.
+     *
+     * Contract: operations on lines of *different* shards may be
+     * issued concurrently (from ThreadPool workers); operations
+     * within one shard are always serial and in ascending line
+     * order. Backends that keep shared mutable per-visit state
+     * (e.g. trace recorders) keep the default single shard, which
+     * forces policies to drive them serially.
+     */
+    virtual ShardPlan shardPlan() const
+    {
+        return ShardPlan(lineCount(), 1);
+    }
 
     /** Cells per line (data + check cells). */
     virtual unsigned cellsPerLine() const = 0;

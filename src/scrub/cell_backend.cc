@@ -29,12 +29,15 @@ CellBackend::CellBackend(const CellBackendConfig &config)
       energyModel_(config.device),
       array_(config.lines, code_->codewordBits(), config.device,
              config.seed),
+      plan_(config.lines, config.shards),
       wear_(config.device),
       spares_(config.degradation.enabled
                   ? config.degradation.spareLines
                   : 0)
 {
-    metrics_.sparesRemaining = spares_.remaining();
+    shards_.resize(plan_.count());
+    for (std::size_t shard = 0; shard < plan_.count(); ++shard)
+        shards_[shard].rng = Random::stream(config.seed, shard);
     if (config.ecpEntries > 0) {
         ecp_.assign(config.lines,
                     EcpStore(code_->codewordBits(),
@@ -78,22 +81,25 @@ CellBackend::senseRaw(LineIndex line, Tick now) const
 BitVector
 CellBackend::readLine(LineIndex line, Tick now)
 {
-    if (chargedLine_ != line || chargedTick_ != now) {
-        chargedLine_ = line;
-        chargedTick_ = now;
-        metrics_.energy.add(EnergyCategory::ArrayRead,
-                            energyModel_.lineRead(cellsPerLine()));
+    ShardState &shard = shardFor(line);
+    if (shard.chargedLine != line || shard.chargedTick != now) {
+        shard.chargedLine = line;
+        shard.chargedTick = now;
+        shard.metrics.energy.add(
+            EnergyCategory::ArrayRead,
+            energyModel_.lineRead(cellsPerLine()));
     }
     // Buffer the sensed word per (line, tick): injected transient
     // flips must look identical to every gate of the same visit.
-    if (bufferedLine_ != line || bufferedTick_ != now) {
-        bufferedLine_ = line;
-        bufferedTick_ = now;
-        buffered_ = senseRaw(line, now);
+    if (shard.bufferedLine != line || shard.bufferedTick != now) {
+        shard.bufferedLine = line;
+        shard.bufferedTick = now;
+        shard.buffered = senseRaw(line, now);
         if (injector_ != nullptr)
-            injector_->corruptWord(buffered_);
+            injector_->corruptWord(shard.buffered,
+                                   plan_.shardOf(line));
     }
-    return buffered_;
+    return shard.buffered;
 }
 
 void
@@ -143,29 +149,32 @@ void
 CellBackend::programLine(LineIndex line, const BitVector &word,
                          Tick now, bool scrub_energy)
 {
+    ShardState &shard = shardFor(line);
     Line &physical = array_.line(line);
     const LineProgramStats stats = physical.writeCodeword(
-        word, now, array_.model(), array_.rng());
+        word, now, array_.model(), shard.rng);
     if (scrub_energy) {
-        metrics_.energy.add(
+        shard.metrics.energy.add(
             EnergyCategory::ArrayWrite,
             energyModel_.lineWrite(stats.totalIterations));
     }
-    metrics_.cellsWornOut += stats.cellsWornOut;
+    shard.metrics.cellsWornOut += stats.cellsWornOut;
     // Injected wear-correlated hard faults strike at program time,
     // before write-verify: rebuildEcp below then discovers them the
     // same way it discovers organic endurance failures.
     if (injector_ != nullptr) {
+        const std::size_t shardId = plan_.shardOf(line);
         const unsigned frozen = injector_->sampleStuckCells(
             1.0, wear_.failureCdf(
-                     static_cast<double>(physical.lineWrites())));
+                     static_cast<double>(physical.lineWrites())),
+            shardId);
         if (frozen > 0)
-            injector_->freezeCells(physical, frozen);
+            injector_->freezeCells(physical, frozen, shardId);
     }
     detectWords_[line] = detector_->compute(word);
     rebuildEcp(line, word);
     // The visit buffer is stale the moment the cells change.
-    bufferedLine_ = ~LineIndex{0};
+    shard.bufferedLine = ~LineIndex{0};
 }
 
 unsigned
@@ -181,7 +190,7 @@ CellBackend::lastFullWrite(LineIndex line, Tick now)
     // A corrupted metadata entry feeds the policy a bogus drift age;
     // the physical line is untouched.
     if (injector_ != nullptr)
-        injector_->corruptLastWrite(tick, now);
+        injector_->corruptLastWrite(tick, now, plan_.shardOf(line));
     return tick;
 }
 
@@ -189,13 +198,14 @@ bool
 CellBackend::lightDetectClean(LineIndex line, Tick now)
 {
     const BitVector read = readLine(line, now);
-    metrics_.energy.add(EnergyCategory::Detect,
-                        energyModel_.lightDetect());
-    ++metrics_.lightDetects;
+    ScrubMetrics &metrics = metricsFor(line);
+    metrics.energy.add(EnergyCategory::Detect,
+                       energyModel_.lightDetect());
+    ++metrics.lightDetects;
     const bool clean = detector_->compute(read) == detectWords_[line];
     if (clean &&
         read != array_.line(line).intendedWord()) {
-        ++metrics_.detectorMisses;
+        ++metrics.detectorMisses;
     }
     return clean;
 }
@@ -204,9 +214,10 @@ bool
 CellBackend::eccCheckClean(LineIndex line, Tick now)
 {
     const BitVector read = readLine(line, now);
-    metrics_.energy.add(EnergyCategory::Decode,
-                        scheme_.checkEnergy(config_.device));
-    ++metrics_.eccChecks;
+    ScrubMetrics &metrics = metricsFor(line);
+    metrics.energy.add(EnergyCategory::Decode,
+                       scheme_.checkEnergy(config_.device));
+    ++metrics.eccChecks;
     return code_->check(read);
 }
 
@@ -214,9 +225,10 @@ FullDecodeOutcome
 CellBackend::fullDecode(LineIndex line, Tick now)
 {
     BitVector word = readLine(line, now);
-    metrics_.energy.add(EnergyCategory::Decode,
-                        scheme_.fullDecodeEnergy(config_.device));
-    ++metrics_.fullDecodes;
+    ScrubMetrics &metrics = metricsFor(line);
+    metrics.energy.add(EnergyCategory::Decode,
+                       scheme_.fullDecodeEnergy(config_.device));
+    ++metrics.fullDecodes;
 
     const DecodeResult result = code_->decode(word);
     FullDecodeOutcome outcome;
@@ -228,12 +240,13 @@ CellBackend::fullDecode(LineIndex line, Tick now)
         if (word != array_.line(line).intendedWord()) {
             // Decoder landed on the wrong codeword: silent data
             // corruption the scrub cannot see (ground truth can).
-            ++metrics_.miscorrections;
+            ++metrics.miscorrections;
         } else if (injector_ != nullptr &&
-                   injector_->sampleMiscorrection()) {
+                   injector_->sampleMiscorrection(
+                       plan_.shardOf(line))) {
             // Injected decoder fault: the hardware reported a clean
             // correction but actually settled on a wrong codeword.
-            ++metrics_.miscorrections;
+            ++metrics.miscorrections;
         }
         break;
       case DecodeStatus::Uncorrectable:
@@ -243,8 +256,8 @@ CellBackend::fullDecode(LineIndex line, Tick now)
             : DegradationStage::HostVisible;
         if (outcome.handledBy == DegradationStage::HostVisible) {
             outcome.uncorrectable = true;
-            ++metrics_.scrubUncorrectable;
-            ++metrics_.ueSurfaced;
+            ++metrics.scrubUncorrectable;
+            ++metrics.ueSurfaced;
         } else {
             // A ladder stage absorbed the failure and left the line
             // freshly rewritten; nothing remains for the caller.
@@ -267,13 +280,14 @@ CellBackend::escalate(LineIndex line, Tick now)
 {
     const DegradationConfig &deg = config_.degradation;
     Line &physical = array_.line(line);
+    ScrubMetrics &metrics = metricsFor(line);
 
     // Stage 1: bounded re-reads with progressively widened sensing
     // margins. Drifted cells sit just past a nominal threshold, so
     // raising the references reclaims them; stuck cells are immune.
     for (unsigned attempt = 1; attempt <= deg.maxRetries; ++attempt) {
-        ++metrics_.ueRetries;
-        metrics_.energy.add(
+        ++metrics.ueRetries;
+        metrics.energy.add(
             EnergyCategory::MarginRead,
             energyModel_.marginReadExtra(cellsPerLine()));
         BitVector word = physical.readCodeword(
@@ -281,11 +295,11 @@ CellBackend::escalate(LineIndex line, Tick now)
         if (!ecp_.empty())
             ecp_[line].apply(word);
         if (code_->decode(word).status != DecodeStatus::Uncorrectable) {
-            ++metrics_.ueRetryResolved;
+            ++metrics.ueRetryResolved;
             if (word != physical.intendedWord()) {
                 // The retry "recovered" a wrong codeword; from here
                 // on the controller faithfully preserves bad data.
-                ++metrics_.miscorrections;
+                ++metrics.miscorrections;
             }
             // Refresh with the recovered word (decode corrected it in
             // place); this is ladder-internal, not a scrub rewrite.
@@ -299,7 +313,7 @@ CellBackend::escalate(LineIndex line, Tick now)
     if (deg.ecpRepair && !ecp_.empty()) {
         programLine(line, physical.intendedWord(), now);
         if (decodes(line, now)) {
-            ++metrics_.ueEcpRepaired;
+            ++metrics.ueEcpRepaired;
             return DegradationStage::EcpRepair;
         }
     }
@@ -307,13 +321,12 @@ CellBackend::escalate(LineIndex line, Tick now)
     // Stage 3: retire the line into the spare-remap pool. Modelled
     // as the address now resolving to fresh spare silicon.
     if (spares_.retire(line)) {
-        metrics_.sparesRemaining = spares_.remaining();
-        ++metrics_.ueRetired;
-        metrics_.capacityLostBits += physical.codewordBits();
+        ++metrics.ueRetired;
+        metrics.capacityLostBits += physical.codewordBits();
         warn_once("retiring line %llu to a spare (%llu spares left)",
                   static_cast<unsigned long long>(line),
                   static_cast<unsigned long long>(spares_.remaining()));
-        physical.initialize(array_.model(), array_.rng());
+        physical.initialize(array_.model(), rngFor(line));
         programLine(line, physical.intendedWord(), now);
         return DegradationStage::Retire;
     }
@@ -327,9 +340,9 @@ CellBackend::escalate(LineIndex line, Tick now)
     // Stage 4: drop the line to SLC — extreme levels only, immune to
     // drift, at half density.
     if (deg.slcFallback && !physical.slcMode()) {
-        physical.setSlcMode(array_.model(), array_.rng());
-        ++metrics_.ueSlcFallbacks;
-        metrics_.capacityLostBits += physical.codewordBits();
+        physical.setSlcMode(array_.model(), rngFor(line));
+        ++metrics.ueSlcFallbacks;
+        metrics.capacityLostBits += physical.codewordBits();
         warn_once("line %llu fell back to SLC operation "
                   "(density halved)",
                   static_cast<unsigned long long>(line));
@@ -347,9 +360,10 @@ unsigned
 CellBackend::marginScan(LineIndex line, Tick now)
 {
     readLine(line, now); // Margin read includes the sensing pass.
-    metrics_.energy.add(EnergyCategory::MarginRead,
-                        energyModel_.marginReadExtra(cellsPerLine()));
-    ++metrics_.marginScans;
+    ScrubMetrics &metrics = metricsFor(line);
+    metrics.energy.add(EnergyCategory::MarginRead,
+                       energyModel_.marginReadExtra(cellsPerLine()));
+    ++metrics.marginScans;
     return array_.line(line).marginScanCount(now, array_.model());
 }
 
@@ -359,10 +373,11 @@ CellBackend::scrubRewrite(LineIndex line, Tick now, bool preventive)
     const unsigned before = trueErrors(line, now);
     programLine(line, array_.line(line).intendedWord(), now);
     const unsigned after = trueErrors(line, now);
-    ++metrics_.scrubRewrites;
+    ScrubMetrics &metrics = metricsFor(line);
+    ++metrics.scrubRewrites;
     if (preventive)
-        ++metrics_.preventiveRewrites;
-    metrics_.correctedErrors += before > after ? before - after : 0;
+        ++metrics.preventiveRewrites;
+    metrics.correctedErrors += before > after ? before - after : 0;
 }
 
 void
@@ -382,17 +397,42 @@ CellBackend::noteVisit(LineIndex line, Tick now)
     PCMSCRUB_ASSERT(line < lineCount(), "line %llu out of range",
                     static_cast<unsigned long long>(line));
     (void)now;
-    ++metrics_.linesChecked;
+    ++metricsFor(line).linesChecked;
 }
 
 void
 CellBackend::demandWrite(LineIndex line, Tick now)
 {
     BitVector data(code_->dataBits());
-    data.randomize(array_.rng());
+    data.randomize(rngFor(line));
     programLine(line, code_->encode(data), now,
                 /*scrub_energy=*/false);
-    ++metrics_.demandWrites;
+    ++metricsFor(line).demandWrites;
+}
+
+void
+CellBackend::setFaultInjector(FaultInjector *injector)
+{
+    injector_ = injector;
+    if (injector_ != nullptr)
+        injector_->shardStreams(plan_.count());
+}
+
+const ScrubMetrics &
+CellBackend::metrics() const
+{
+    merged_ = ScrubMetrics{};
+    for (const ShardState &shard : shards_)
+        merged_.merge(shard.metrics);
+    merged_.sparesRemaining = spares_.remaining();
+    return merged_;
+}
+
+ScrubMetrics &
+CellBackend::metrics()
+{
+    const CellBackend *self = this;
+    return const_cast<ScrubMetrics &>(self->metrics());
 }
 
 unsigned

@@ -55,6 +55,14 @@ struct CellBackendConfig
     /** RNG seed. */
     std::uint64_t seed = 1;
 
+    /**
+     * Shards the line population is partitioned into (0 = default).
+     * Each shard owns an independent RNG stream derived from (seed,
+     * shard), so results depend on the shard count but never on the
+     * thread count executing the shards.
+     */
+    std::size_t shards = 0;
+
     /** Uncorrectable-error degradation ladder (off by default). */
     DegradationConfig degradation{};
 };
@@ -73,6 +81,7 @@ class CellBackend : public ScrubBackend
     unsigned cellsPerLine() const override;
     const EccScheme &scheme() const override { return scheme_; }
     const DriftModel &drift() const override { return drift_; }
+    ShardPlan shardPlan() const override { return plan_; }
 
     Tick lastFullWrite(LineIndex line, Tick now) override;
     bool lightDetectClean(LineIndex line, Tick now) override;
@@ -83,13 +92,15 @@ class CellBackend : public ScrubBackend
                       bool preventive = false) override;
     void repairUncorrectable(LineIndex line, Tick now) override;
     void noteVisit(LineIndex line, Tick now) override;
-    void setFaultInjector(FaultInjector *injector) override
-    {
-        injector_ = injector;
-    }
+    void setFaultInjector(FaultInjector *injector) override;
 
-    const ScrubMetrics &metrics() const override { return metrics_; }
-    ScrubMetrics &metrics() override { return metrics_; }
+    /**
+     * Per-shard metric slices merged in ascending shard order — the
+     * fixed reduction order that makes even the floating-point sums
+     * bit-identical at any thread count.
+     */
+    const ScrubMetrics &metrics() const override;
+    ScrubMetrics &metrics() override;
 
     // Cell-accurate extras ------------------------------------------
 
@@ -145,6 +156,46 @@ class CellBackend : public ScrubBackend
 
     static std::unique_ptr<Code> buildCode(const EccScheme &scheme);
 
+    /**
+     * State owned by one shard: its RNG stream, metrics slice, and
+     * the per-visit caches (keyed by (line, tick); they must not be
+     * shared across concurrently-running shards).
+     */
+    struct ShardState
+    {
+        Random rng;
+        ScrubMetrics metrics;
+
+        /** Array-read charge dedup (line, tick of last charge). */
+        LineIndex chargedLine = ~LineIndex{0};
+        Tick chargedTick = ~Tick{0};
+
+        /**
+         * Sensed (and possibly fault-corrupted) word of the current
+         * visit: every gate of one (line, tick) visit must see the
+         * same transient flips, so the word is buffered rather than
+         * re-drawn. Invalidated on reprogram.
+         */
+        BitVector buffered;
+        LineIndex bufferedLine = ~LineIndex{0};
+        Tick bufferedTick = ~Tick{0};
+    };
+
+    /** Shard owning a line. */
+    ShardState &shardFor(LineIndex line)
+    {
+        return shards_[plan_.shardOf(line)];
+    }
+
+    /** RNG stream of the shard owning a line. */
+    Random &rngFor(LineIndex line) { return shardFor(line).rng; }
+
+    /** Metrics slice of the shard owning a line. */
+    ScrubMetrics &metricsFor(LineIndex line)
+    {
+        return shardFor(line).metrics;
+    }
+
     CellBackendConfig config_;
     EccScheme scheme_;
     DriftModel drift_;
@@ -152,25 +203,14 @@ class CellBackend : public ScrubBackend
     std::unique_ptr<Detector> detector_;
     EnergyModel energyModel_;
     CellArray array_;
+    ShardPlan plan_;
     std::vector<BitVector> detectWords_;
     std::vector<EcpStore> ecp_; //!< Empty when ECP is off.
-    ScrubMetrics metrics_;
+    std::vector<ShardState> shards_;
+    mutable ScrubMetrics merged_; //!< Rebuilt on each metrics() call.
     WearModel wear_;
     SparePool spares_;
     FaultInjector *injector_ = nullptr; //!< Not owned.
-
-    LineIndex chargedLine_ = ~LineIndex{0};
-    Tick chargedTick_ = ~Tick{0};
-
-    /**
-     * Sensed (and possibly fault-corrupted) word of the current
-     * visit: every gate of one (line, tick) visit must see the same
-     * transient flips, so the word is buffered rather than re-drawn.
-     * Invalidated on reprogram.
-     */
-    BitVector buffered_;
-    LineIndex bufferedLine_ = ~LineIndex{0};
-    Tick bufferedTick_ = ~Tick{0};
 };
 
 } // namespace pcmscrub

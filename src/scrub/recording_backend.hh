@@ -70,14 +70,17 @@ class RecordingBackend : public ScrubBackend
         // The degradation ladder runs inside the inner backend; diff
         // its counters to surface the traffic it generated — each
         // widened-margin retry is a slow read, and an absorbing stage
-        // leaves behind one full rewrite.
-        const ScrubMetrics &m = inner_.metrics();
-        const std::uint64_t retriesBefore = m.ueRetries;
-        const std::uint64_t absorbedBefore = m.ueAbsorbed();
+        // leaves behind one full rewrite. metrics() may return a
+        // merge-on-call snapshot, so take the counter values before
+        // and re-fetch after rather than holding the reference.
+        const std::uint64_t retriesBefore = inner_.metrics().ueRetries;
+        const std::uint64_t absorbedBefore =
+            inner_.metrics().ueAbsorbed();
         const FullDecodeOutcome outcome = inner_.fullDecode(line, now);
-        for (std::uint64_t i = m.ueRetries; i > retriesBefore; --i)
+        const ScrubMetrics &after = inner_.metrics();
+        for (std::uint64_t i = after.ueRetries; i > retriesBefore; --i)
             record(ReqType::RetryRead, line, now);
-        if (m.ueAbsorbed() > absorbedBefore)
+        if (after.ueAbsorbed() > absorbedBefore)
             record(ReqType::ScrubRewrite, line, now);
         return outcome;
     }

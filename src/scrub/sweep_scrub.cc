@@ -1,6 +1,8 @@
 #include "scrub/sweep_scrub.hh"
 
 #include "common/logging.hh"
+#include "common/shard.hh"
+#include "common/thread_pool.hh"
 
 namespace pcmscrub {
 
@@ -61,9 +63,16 @@ scrubCheckLine(ScrubBackend &backend, LineIndex line, Tick now,
 void
 SweepScrubBase::wake(ScrubBackend &backend, Tick now)
 {
-    const std::uint64_t lines = backend.lineCount();
-    for (LineIndex line = 0; line < lines; ++line)
-        scrubCheckLine(backend, line, now, procedure_);
+    // One task per shard: the backend guarantees operations on
+    // different shards are independent, and each shard's lines are
+    // visited in ascending order, so the sweep is bit-identical at
+    // any thread count.
+    const ShardPlan plan = backend.shardPlan();
+    ThreadPool::global().run(plan.count(), [&](std::size_t shard) {
+        const ShardRange range = plan.range(shard);
+        for (LineIndex line = range.begin; line < range.end; ++line)
+            scrubCheckLine(backend, line, now, procedure_);
+    });
     nextDue_ = now + interval_;
 }
 

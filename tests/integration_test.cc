@@ -165,7 +165,9 @@ TEST(Integration, CrcDetectorWorksOnCellBackend)
     config.detectorParity = 16;
     config.seed = 18;
     CellBackend backend(config);
-    LightDetectScrub policy(12 * kHour);
+    // 6 h sweeps: BCH-8's zero-UE regime (P(UE)@6h ~ 3e-5/line), so
+    // any uncorrectable here would point at the detector, not drift.
+    LightDetectScrub policy(6 * kHour);
     runScrub(backend, policy, 3 * kDay);
     const ScrubMetrics &m = backend.metrics();
     EXPECT_EQ(m.lightDetects, m.linesChecked);
