@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "scrub/policy.hh"
+#include "snapshot/checkpoint.hh"
 
 namespace pcmscrub {
 namespace bench {
@@ -9,7 +10,10 @@ namespace bench {
 BenchOptions
 parseBenchOptions(int argc, char **argv, std::uint64_t default_seed)
 {
-    return parseCliOptions(argc, argv, default_seed);
+    const BenchOptions opts =
+        parseCliOptions(argc, argv, default_seed);
+    CheckpointRuntime::global().configure(opts);
+    return opts;
 }
 
 AnalyticConfig
@@ -64,7 +68,7 @@ runPolicy(const std::string &label, const AnalyticConfig &config,
 {
     AnalyticBackend backend(config);
     const auto policy = makePolicy(spec, backend);
-    runScrub(backend, *policy, horizon);
+    runCheckpointed(backend, *policy, horizon);
     RunResult result;
     result.label = label;
     result.metrics = backend.metrics();

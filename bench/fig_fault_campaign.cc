@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "snapshot/checkpoint.hh"
 #include "faults/fault_injector.hh"
 #include "scrub/policy.hh"
 
@@ -65,7 +66,7 @@ runCampaign(double intensity, bool ladder, std::uint64_t seed)
     spec.kind = PolicyKind::StrongEcc;
     spec.interval = kHour;
     const auto policy = makePolicy(spec, backend);
-    runScrub(backend, *policy, kHorizon);
+    runCheckpointed(backend, *policy, kHorizon);
     return backend.metrics();
 }
 

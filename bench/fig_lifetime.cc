@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "snapshot/checkpoint.hh"
 #include "scrub/policy.hh"
 
 using namespace pcmscrub;
@@ -70,8 +71,8 @@ main(int argc, char **argv)
         std::vector<double> ueByEpoch;
         std::vector<std::uint64_t> wornByEpoch;
         for (unsigned epoch = 1; epoch <= epochs; ++epoch) {
-            runScrub(backend, *policy,
-                     static_cast<Tick>(epoch) * epochTicks);
+            runCheckpointed(backend, *policy,
+                            static_cast<Tick>(epoch) * epochTicks);
             ueByEpoch.push_back(
                 backend.metrics().totalUncorrectable());
             wornByEpoch.push_back(backend.metrics().cellsWornOut);

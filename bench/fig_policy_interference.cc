@@ -22,6 +22,7 @@
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "snapshot/checkpoint.hh"
 #include "mem/controller.hh"
 #include "scrub/recording_backend.hh"
 #include "sim/workload.hh"
@@ -47,7 +48,7 @@ measureRates(const EccScheme &scheme, const PolicySpec &spec,
     RecordingBackend recorder(inner);
     const auto policy = makePolicy(spec, recorder);
     const Tick horizon = 4 * kDay;
-    runScrub(recorder, *policy, horizon);
+    runCheckpointed(recorder, *policy, horizon);
 
     const double seconds = ticksToSeconds(horizon);
     const double checks = static_cast<double>(

@@ -23,6 +23,7 @@
 #include "common/table.hh"
 #include "scrub/analytic_backend.hh"
 #include "scrub/factory.hh"
+#include "snapshot/checkpoint.hh"
 
 using namespace pcmscrub;
 
@@ -47,6 +48,7 @@ main(int argc, char **argv)
     if (fleetTb <= 0.0)
         fatal("usage: datacenter_scrub [fleet_TB > 0] "
               "[--seed N] [--threads N]");
+    CheckpointRuntime::global().configure(opt);
 
     constexpr std::uint64_t lines = 4096;
     constexpr double days = 30.0;
@@ -101,7 +103,7 @@ main(int argc, char **argv)
         config.seed = opt.seed; // Same device for every candidate.
         AnalyticBackend device(config);
         const auto policy = makePolicy(candidate.spec, device);
-        runScrub(device, *policy, horizon);
+        runCheckpointed(device, *policy, horizon);
         const ScrubMetrics &m = device.metrics();
 
         const double perYear = 365.0 / days;

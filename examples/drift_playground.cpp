@@ -9,13 +9,15 @@
  * against the ground truth. Then rewrites the line and shows the
  * chronic fast-drifting cells re-failing.
  *
- *   $ ./drift_playground [seed]
+ *   $ ./drift_playground [seed] [--seed N]
  */
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/cli.hh"
 #include "scrub/cell_backend.hh"
+#include "snapshot/checkpoint.hh"
 
 using namespace pcmscrub;
 
@@ -41,11 +43,17 @@ showLine(CellBackend &device, LineIndex line, Tick now,
 int
 main(int argc, char **argv)
 {
+    const char *seedArg = nullptr;
+    const CliOptions opt = parseCliOptions(argc, argv, 2026, &seedArg);
+    // This harness steps one line by hand rather than running a wake
+    // loop, so it has nothing to checkpoint.
+    CheckpointRuntime::global().configure(opt, /*supported=*/false);
+
     CellBackendConfig config;
     config.lines = 16;
     config.scheme = EccScheme::bch(8);
-    config.seed = argc > 1
-        ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 2026;
+    config.seed = seedArg != nullptr
+        ? static_cast<std::uint64_t>(std::atoll(seedArg)) : opt.seed;
     CellBackend device(config);
 
     const LineIndex line = 0;

@@ -19,6 +19,7 @@
 #include "faults/fault_injector.hh"
 #include "scrub/cell_backend.hh"
 #include "scrub/sweep_scrub.hh"
+#include "snapshot/checkpoint.hh"
 
 using namespace pcmscrub;
 
@@ -58,6 +59,10 @@ int
 main(int argc, char **argv)
 {
     const CliOptions opt = parseCliOptions(argc, argv, 2024);
+    // This harness's simulation state (its trace cursor and hand-
+    // rolled loops) lives outside the snapshot runtime.
+    CheckpointRuntime::global().configure(opt, /*supported=*/false);
+
 
     // A small cell-accurate device: 64 BCH-4 lines, 16 ECP entries
     // per line, and the full ladder armed with 8 spare lines.

@@ -12,23 +12,25 @@
  * die anyway, BCH + scrub handle drift.
  *
  *   $ ./full_system [days] [--seed N] [--threads N]
+ *                   [--checkpoint PATH [--checkpoint-every H]]
+ *                   [--resume PATH]
  *                                (default 30 simulated days)
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <functional>
 #include <numeric>
 #include <vector>
 
 #include "common/cli.hh"
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "mem/wear_leveling.hh"
-#include "sim/event_queue.hh"
 #include "scrub/adaptive_scrub.hh"
 #include "scrub/cell_backend.hh"
 #include "sim/workload.hh"
+#include "snapshot/checkpoint.hh"
 
 using namespace pcmscrub;
 
@@ -40,6 +42,8 @@ main(int argc, char **argv)
     const double days = daysArg != nullptr ? std::atof(daysArg) : 30.0;
     if (days <= 0.0)
         fatal("usage: full_system [days > 0] [--seed N] [--threads N]");
+    CheckpointRuntime &runtime = CheckpointRuntime::global();
+    runtime.configure(opt);
 
     // Device: 512 logical lines on 513 physical frames of real MLC
     // cells, endurance scaled so wear-out happens within the run.
@@ -54,7 +58,6 @@ main(int argc, char **argv)
     CellBackend device(config);
 
     StartGapMapper mapper(logicalLines, /*gap_interval=*/64);
-    LineIndex currentLine = 0;
 
     // Demand: Zipf-hot writes, ~2000 line-writes per simulated hour.
     WorkloadConfig wConfig;
@@ -75,47 +78,78 @@ main(int argc, char **argv)
                 device.code().name().c_str(), config.ecpEntries,
                 days);
 
-    // Drive everything through the discrete-event kernel: demand
-    // arrivals chain themselves, scrub wakes reschedule from the
-    // policy's own risk calendar.
+    // Two explicit event streams — demand arrivals and scrub wakes —
+    // merged by arrival time. Scrub-wake boundaries are the
+    // checkpoint points: everything the loop carries besides the
+    // backend and policy (the workload generator, the wear-level
+    // mapper, the in-flight request, the gap-copy tally) is
+    // serialized via the runtime's extra-state hooks.
     const Tick horizon = secondsToTicks(days * 86400.0);
-    EventQueue events;
     std::uint64_t gapCopies = 0;
+    MemRequest pending = demand.next();
 
-    std::function<void()> demandEvent = [&] {
-        const Tick now = events.now();
-        const MemRequest req = demand.next(); // Consumed this event.
-        device.demandWrite(mapper.physical(currentLine), now);
-        if (const auto move = mapper.recordWrite()) {
-            // The gap copy relocates a frame's content; modelled as
-            // a rewrite of the source frame's payload at the target.
-            device.array().line(move->to).writeCodeword(
-                device.array().line(move->from).intendedWord(), now,
-                device.array().model(), device.array().rng());
-            ++gapCopies;
+    runtime.setExtraState(
+        [&](SnapshotSink &sink) {
+            demand.saveState(sink);
+            mapper.saveState(sink);
+            sink.u8(static_cast<std::uint8_t>(pending.type));
+            sink.u64(pending.line);
+            sink.u64(pending.arrival);
+            sink.u64(gapCopies);
+        },
+        [&](SnapshotSource &source) {
+            demand.loadState(source);
+            mapper.loadState(source);
+            const std::uint8_t type = source.u8();
+            if (type > static_cast<unsigned>(ReqType::RetryRead))
+                source.corrupt("unknown request type");
+            pending.type = static_cast<ReqType>(type);
+            pending.line = source.u64();
+            if (pending.line >= logicalLines)
+                source.corrupt("pending request addresses a line "
+                               "past the working set");
+            pending.arrival = source.u64();
+            gapCopies = source.u64();
+        });
+
+    const std::uint64_t ordinal = runtime.beginRun();
+    std::uint64_t wakes = 0;
+    if (const auto restored = runtime.tryRestore(device, scrub,
+                                                 ordinal))
+        wakes = restored->wakes;
+
+    for (;;) {
+        const Tick nextScrub = scrub.nextWake();
+        const bool demandDue = pending.arrival <= horizon &&
+            pending.arrival <= nextScrub;
+        if (!demandDue && nextScrub > horizon)
+            break;
+        if (demandDue) {
+            const Tick now = pending.arrival;
+            device.demandWrite(mapper.physical(pending.line), now);
+            if (const auto move = mapper.recordWrite()) {
+                // The gap copy relocates a frame's content; modelled
+                // as a rewrite of the source frame's payload at the
+                // target.
+                device.array().line(move->to).writeCodeword(
+                    device.array().line(move->from).intendedWord(),
+                    now, device.array().model(),
+                    device.array().rng());
+                ++gapCopies;
+            }
+            pending = demand.next();
+        } else {
+            const Tick now = nextScrub;
+            scrub.wake(device, now);
+            ++wakes;
+            if (runtime.enabled()) {
+                runtime.poll(device, scrub,
+                             CheckpointMeta{ordinal, now, wakes,
+                                            scrub.name()});
+            }
         }
-        currentLine = req.line;
-        if (req.arrival <= horizon)
-            events.schedule(req.arrival, demandEvent);
-    };
-
-    std::function<void()> scrubEvent = [&] {
-        scrub.wake(device, events.now());
-        const Tick next = scrub.nextWake();
-        if (next <= horizon)
-            events.schedule(next, scrubEvent);
-    };
-
-    // Prime both chains.
-    {
-        const MemRequest first = demand.next();
-        currentLine = first.line;
-        if (first.arrival <= horizon)
-            events.schedule(first.arrival, demandEvent);
-        if (scrub.nextWake() <= horizon)
-            events.schedule(scrub.nextWake(), scrubEvent);
     }
-    events.run(horizon);
+    runtime.clearExtraState();
 
     const ScrubMetrics &m = device.metrics();
     std::printf("demand writes        : %llu (+%llu gap copies)\n",

@@ -31,6 +31,10 @@
  *     --seed N
  *     --threads N                 worker threads (results are
  *                                 bit-identical at any count)
+ *     --checkpoint PATH           snapshot file for crash-safe runs
+ *     --checkpoint-every H        periodic snapshot cadence, in
+ *                                 simulated hours
+ *     --resume PATH               continue from an earlier snapshot
  *
  * Example — the paper's baseline:
  *   policy_explorer --policy basic --ecc secded --interval-s 3600
@@ -41,101 +45,45 @@
 #include <cstring>
 #include <string>
 
-#include "common/config.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "scrub/analytic_backend.hh"
 #include "scrub/factory.hh"
+#include "scrub/run_config.hh"
+#include "snapshot/checkpoint.hh"
 
 using namespace pcmscrub;
-
-namespace {
-
-EccScheme
-parseScheme(const std::string &name)
-{
-    if (name == "secded")
-        return EccScheme::secdedX8();
-    if (name.rfind("bch", 0) == 0) {
-        const int t = std::atoi(name.c_str() + 3);
-        if (t >= 1 && t <= 16)
-            return EccScheme::bch(static_cast<unsigned>(t));
-    }
-    fatal("unknown ECC scheme '%s' (try secded or bch1..bch16)",
-          name.c_str());
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    PolicySpec spec;
-    spec.kind = PolicyKind::Combined;
-    spec.interval = secondsToTicks(3600.0);
-    spec.rewriteThreshold = 6;
-    spec.rewriteHeadroom = 2;
-    spec.targetLineUeProb = 1e-7;
-    spec.linesPerRegion = 64;
-
-    AnalyticConfig config;
-    config.lines = 4096;
-    config.scheme = EccScheme::bch(8);
-    config.demand.writesPerLinePerSecond = 1e-5;
-    config.demand.readsPerLinePerSecond = 1e-4;
-    double days = 14.0;
+    AnalyticRunConfig run;
+    run.policy.kind = PolicyKind::Combined;
+    run.policy.interval = secondsToTicks(3600.0);
+    run.policy.rewriteThreshold = 6;
+    run.policy.rewriteHeadroom = 2;
+    run.policy.targetLineUeProb = 1e-7;
+    run.policy.linesPerRegion = 64;
+    run.backend.lines = 4096;
+    run.backend.scheme = EccScheme::bch(8);
+    run.backend.demand.writesPerLinePerSecond = 1e-5;
+    run.backend.demand.readsPerLinePerSecond = 1e-4;
+    run.days = 14.0;
+    run.threads = 1;
 
     // First pass: apply a config file, if any, so that explicit
     // command-line options can override its values.
     for (int i = 1; i + 1 < argc; ++i) {
         if (std::string(argv[i]) != "--config")
             continue;
-        const ConfigFile file = ConfigFile::load(argv[i + 1]);
-        spec.kind = policyKindFromName(
-            file.getString("policy.kind",
-                           policyKindName(spec.kind)));
-        spec.interval = secondsToTicks(
-            file.getDouble("policy.interval_s", 3600.0));
-        spec.rewriteThreshold = static_cast<unsigned>(
-            file.getInt("policy.rewrite_threshold",
-                        spec.rewriteThreshold));
-        spec.rewriteHeadroom = static_cast<unsigned>(
-            file.getInt("policy.rewrite_headroom",
-                        spec.rewriteHeadroom));
-        spec.targetLineUeProb = file.getDouble(
-            "policy.target_ue_prob", spec.targetLineUeProb);
-        spec.linesPerRegion =
-            file.getInt("policy.lines_per_region",
-                        spec.linesPerRegion);
-        config.scheme = parseScheme(
-            file.getString("device.ecc", "bch8"));
-        config.lines = file.getInt("run.lines", config.lines);
-        days = file.getDouble("run.days", days);
-        config.seed = file.getInt("run.seed", config.seed);
-        ThreadPool::global().resize(static_cast<unsigned>(
-            file.getInt("run.threads", 1)));
-        config.demand.writesPerLinePerSecond = file.getDouble(
-            "demand.writes_per_line_s",
-            config.demand.writesPerLinePerSecond);
-        config.demand.readsPerLinePerSecond = file.getDouble(
-            "demand.reads_per_line_s",
-            config.demand.readsPerLinePerSecond);
-        config.device.driftSpeedSigmaLn = file.getDouble(
-            "device.drift_speed_sigma",
-            config.device.driftSpeedSigmaLn);
-        config.device.sigmaLogR = file.getDouble(
-            "device.sigma_log_r", config.device.sigmaLogR);
-        config.ecpEntries = static_cast<unsigned>(
-            file.getInt("device.ecp_entries", config.ecpEntries));
-        config.demandReadPiggyback =
-            file.getBool("policy.piggyback",
-                         config.demandReadPiggyback);
-        config.piggybackRewriteThreshold = static_cast<unsigned>(
-            file.getInt("policy.piggyback_threshold",
-                        config.piggybackRewriteThreshold));
-        for (const auto &key : file.unusedKeys())
-            warn("config: unrecognised key '%s'", key.c_str());
+        run = loadRunConfig(argv[i + 1], run);
+        ThreadPool::global().resize(run.threads);
     }
+
+    PolicySpec &spec = run.policy;
+    AnalyticConfig &config = run.backend;
+    double &days = run.days;
+    CliOptions checkpointOpts;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -149,7 +97,7 @@ main(int argc, char **argv)
         } else if (arg == "--policy") {
             spec.kind = policyKindFromName(value());
         } else if (arg == "--ecc") {
-            config.scheme = parseScheme(value());
+            config.scheme = eccSchemeFromName(value());
         } else if (arg == "--interval-s") {
             spec.interval = secondsToTicks(std::atof(value()));
         } else if (arg == "--threshold") {
@@ -211,11 +159,26 @@ main(int argc, char **argv)
         } else if (arg == "--threads") {
             ThreadPool::global().resize(
                 static_cast<unsigned>(std::atoi(value())));
+        } else if (arg == "--checkpoint") {
+            checkpointOpts.checkpointPath = value();
+        } else if (arg == "--checkpoint-every") {
+            checkpointOpts.checkpointEverySimHours =
+                std::atof(value());
+            if (checkpointOpts.checkpointEverySimHours <= 0.0)
+                fatal("--checkpoint-every needs a positive sim-hour "
+                      "cadence");
+        } else if (arg == "--resume") {
+            checkpointOpts.resumePath = value();
         } else {
             fatal("unknown option '%s' (see header comment)",
                   arg.c_str());
         }
     }
+
+    if (checkpointOpts.checkpointEverySimHours > 0.0 &&
+        checkpointOpts.checkpointPath.empty())
+        fatal("--checkpoint-every requires --checkpoint PATH");
+    CheckpointRuntime::global().configure(checkpointOpts);
 
     AnalyticBackend device(config);
     const auto policy = makePolicy(spec, device);
@@ -226,7 +189,8 @@ main(int argc, char **argv)
                 workloadKindName(config.demand.kind));
 
     const Tick horizon = secondsToTicks(days * 86400.0);
-    const std::uint64_t wakes = runScrub(device, *policy, horizon);
+    const std::uint64_t wakes =
+        runCheckpointed(device, *policy, horizon);
 
     const ScrubMetrics &m = device.metrics();
     std::printf("\nwakes=%llu\n%s\n",

@@ -7,6 +7,8 @@
  * demand traffic, and prints what happened.
  *
  *   $ ./quickstart [--seed N] [--threads N]
+ *                  [--checkpoint PATH [--checkpoint-every H]]
+ *                  [--resume PATH]
  */
 
 #include <cstdio>
@@ -14,6 +16,7 @@
 #include "common/cli.hh"
 #include "scrub/analytic_backend.hh"
 #include "scrub/factory.hh"
+#include "snapshot/checkpoint.hh"
 
 using namespace pcmscrub;
 
@@ -21,6 +24,7 @@ int
 main(int argc, char **argv)
 {
     const CliOptions opt = parseCliOptions(argc, argv, 42);
+    CheckpointRuntime::global().configure(opt);
 
     // A sampled region of the device: 8192 ECC lines of 512 data
     // bits each, BCH-8 protected, with default MLC PCM physics.
@@ -45,7 +49,7 @@ main(int argc, char **argv)
     std::printf("simulating 7 days of '%s' scrub over %llu lines...\n",
                 policy->name().c_str(),
                 static_cast<unsigned long long>(device.lineCount()));
-    runScrub(device, *policy, secondsToTicks(7 * 86400.0));
+    runCheckpointed(device, *policy, secondsToTicks(7 * 86400.0));
 
     const ScrubMetrics &m = device.metrics();
     std::printf("\n%s\n\n", m.toString().c_str());

@@ -26,6 +26,7 @@
 #include "scrub/factory.hh"
 #include "sim/trace.hh"
 #include "sim/workload.hh"
+#include "snapshot/checkpoint.hh"
 
 using namespace pcmscrub;
 
@@ -99,6 +100,10 @@ main(int argc, char **argv)
     const char *traceArg = nullptr;
     const CliOptions opt = parseCliOptions(argc, argv, 11, &traceArg);
     const Trace trace = obtainTrace(traceArg, opt.seed);
+    // This harness's simulation state (its trace cursor and hand-
+    // rolled loops) lives outside the snapshot runtime.
+    CheckpointRuntime::global().configure(opt, /*supported=*/false);
+
     std::printf("replaying %zu requests (%llu writes) spanning "
                 "%.1f days on a %zu-line device\n",
                 trace.size(),

@@ -134,6 +134,19 @@ BitVector::toString() const
     return out;
 }
 
+BitVector
+BitVector::fromWords(std::size_t bits, std::vector<std::uint64_t> words)
+{
+    PCMSCRUB_ASSERT(words.size() == (bits + 63) / 64,
+                    "fromWords: %zu words cannot hold %zu bits",
+                    words.size(), bits);
+    BitVector result;
+    result.bits_ = bits;
+    result.words_ = std::move(words);
+    result.maskTail();
+    return result;
+}
+
 void
 BitVector::maskTail()
 {

@@ -54,6 +54,13 @@ class BitVector
     /** Raw words, low bit = bit 0. Trailing bits are kept zero. */
     const std::vector<std::uint64_t> &words() const { return words_; }
 
+    /**
+     * Reconstruct from raw words (the inverse of words()). The word
+     * count must match the bit length; trailing bits are re-masked.
+     */
+    static BitVector fromWords(std::size_t bits,
+                               std::vector<std::uint64_t> words);
+
     /** Extract bits [lo, lo+n) as an integer (n <= 64). */
     std::uint64_t extract(std::size_t lo, std::size_t n) const;
 

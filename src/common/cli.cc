@@ -1,5 +1,8 @@
 #include "common/cli.hh"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -15,11 +18,20 @@ namespace {
 [[noreturn]] void
 printUsage(const char *prog)
 {
-    std::printf("usage: %s [--seed N] [--threads N]\n"
-                "  --seed N     base RNG seed (default per harness)\n"
-                "  --threads N  worker threads; results are bit-identical\n"
-                "               at any thread count\n",
-                prog);
+    std::printf(
+        "usage: %s [--seed N] [--threads N] [--checkpoint PATH]\n"
+        "       [--checkpoint-every H] [--resume PATH]\n"
+        "  --seed N              base RNG seed (default per harness)\n"
+        "  --threads N           worker threads; results are\n"
+        "                        bit-identical at any thread count\n"
+        "  --checkpoint PATH     write crash-safe snapshots to PATH\n"
+        "                        (periodically and on SIGINT/SIGTERM)\n"
+        "  --checkpoint-every H  snapshot every H simulated hours\n"
+        "                        (requires --checkpoint)\n"
+        "  --resume PATH         restore state from a snapshot, then\n"
+        "                        continue; the result is bit-identical\n"
+        "                        to an uninterrupted run\n",
+        prog);
     std::exit(0);
 }
 
@@ -53,11 +65,39 @@ matchFlag(const char *flag, int argc, char **argv, int index,
 std::uint64_t
 parseUint(const char *flag, const char *text)
 {
+    // strtoull silently accepts "-5" (wrapping it) and whitespace;
+    // reject anything that is not a plain decimal digit string.
+    if (*text == '\0')
+        fatal("%s: empty value", flag);
+    for (const char *c = text; *c != '\0'; ++c) {
+        if (!std::isdigit(static_cast<unsigned char>(*c)))
+            fatal("%s: not a non-negative integer: '%s'", flag, text);
+    }
+    errno = 0;
     char *end = nullptr;
     const unsigned long long parsed = std::strtoull(text, &end, 10);
     if (end == text || *end != '\0')
         fatal("%s: not a number: '%s'", flag, text);
+    if (errno == ERANGE)
+        fatal("%s: value out of range: '%s'", flag, text);
     return static_cast<std::uint64_t>(parsed);
+}
+
+double
+parsePositiveDouble(const char *flag, const char *text)
+{
+    if (*text == '\0')
+        fatal("%s: empty value", flag);
+    errno = 0;
+    char *end = nullptr;
+    const double parsed = std::strtod(text, &end);
+    if (end == text || *end != '\0')
+        fatal("%s: not a number: '%s'", flag, text);
+    if (errno == ERANGE || !std::isfinite(parsed))
+        fatal("%s: value out of range: '%s'", flag, text);
+    if (parsed <= 0.0)
+        fatal("%s: must be positive; got '%s'", flag, text);
+    return parsed;
 }
 
 } // namespace
@@ -92,6 +132,23 @@ parseCliOptions(int argc, char **argv, std::uint64_t defaultSeed,
                       static_cast<unsigned long long>(threads));
             opts.threads = static_cast<unsigned>(threads);
             i += consumed;
+        } else if (matchFlag("--checkpoint-every", argc, argv, i, &value,
+                             &consumed)) {
+            opts.checkpointEverySimHours =
+                parsePositiveDouble("--checkpoint-every", value);
+            i += consumed;
+        } else if (matchFlag("--checkpoint", argc, argv, i, &value,
+                             &consumed)) {
+            opts.checkpointPath = value;
+            if (opts.checkpointPath.empty())
+                fatal("--checkpoint: empty path");
+            i += consumed;
+        } else if (matchFlag("--resume", argc, argv, i, &value,
+                             &consumed)) {
+            opts.resumePath = value;
+            if (opts.resumePath.empty())
+                fatal("--resume: empty path");
+            i += consumed;
         } else if (positional != nullptr && !positionalSeen &&
                    argv[i][0] != '-') {
             *positional = argv[i];
@@ -101,6 +158,8 @@ parseCliOptions(int argc, char **argv, std::uint64_t defaultSeed,
             fatal("unknown argument '%s' (try --help)", argv[i]);
         }
     }
+    if (opts.checkpointEverySimHours > 0.0 && opts.checkpointPath.empty())
+        fatal("--checkpoint-every requires --checkpoint PATH");
     ThreadPool::global().resize(opts.threads);
     return opts;
 }

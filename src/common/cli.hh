@@ -2,21 +2,30 @@
  * @file
  * Shared command-line knobs for bench figures and examples.
  *
- * Every harness accepts the same two flags:
+ * Every harness accepts the same flags:
  *
  *   --seed N      base RNG seed; each harness derives its per-object
  *                 seeds from this one value instead of hard-coding them
  *   --threads N   worker-thread count; resizes ThreadPool::global(),
  *                 which the sharded backends schedule on
  *
+ *   --checkpoint PATH        snapshot file written at the checkpoint
+ *                            cadence and on SIGINT/SIGTERM
+ *   --checkpoint-every H     checkpoint cadence in simulated hours
+ *                            (requires --checkpoint)
+ *   --resume PATH            restore simulation state from a snapshot
+ *                            before running
+ *
  * Results are bit-identical across --threads values; the knob only
- * changes wall-clock time.
+ * changes wall-clock time. A resumed run is bit-identical to the
+ * uninterrupted one.
  */
 
 #ifndef PCMSCRUB_COMMON_CLI_HH
 #define PCMSCRUB_COMMON_CLI_HH
 
 #include <cstdint>
+#include <string>
 
 namespace pcmscrub {
 
@@ -25,6 +34,21 @@ struct CliOptions
 {
     std::uint64_t seed = 1;
     unsigned threads = 1;
+
+    /** Checkpoint cadence in simulated hours; 0 = only on signals. */
+    double checkpointEverySimHours = 0.0;
+
+    /** Snapshot file to write; empty = checkpointing off. */
+    std::string checkpointPath;
+
+    /** Snapshot file to restore from; empty = fresh start. */
+    std::string resumePath;
+
+    /** Whether any checkpoint/resume flag was given. */
+    bool checkpointingRequested() const
+    {
+        return !checkpointPath.empty() || !resumePath.empty();
+    }
 };
 
 /**

@@ -18,6 +18,19 @@
 namespace pcmscrub {
 
 /**
+ * Full Random generator state, exposed for checkpointing. The spare
+ * normal must be captured too: Box-Muller produces pairs, and losing
+ * a cached spare would desynchronise a resumed run from the straight
+ * run on the very next normal() draw.
+ */
+struct RandomState
+{
+    std::uint64_t s[4];
+    double spareNormal;
+    bool hasSpare;
+};
+
+/**
  * xoshiro256** pseudo-random generator with distribution helpers.
  */
 class Random
@@ -77,6 +90,22 @@ class Random
      * the parallel engine's bit-identical determinism.
      */
     static Random stream(std::uint64_t seed, std::uint64_t streamId);
+
+    /** Snapshot the full generator state. */
+    RandomState state() const
+    {
+        return RandomState{{s_[0], s_[1], s_[2], s_[3]},
+                           spareNormal_, hasSpare_};
+    }
+
+    /** Restore a state captured by state(). */
+    void setState(const RandomState &state)
+    {
+        for (int i = 0; i < 4; ++i)
+            s_[i] = state.s[i];
+        spareNormal_ = state.spareNormal;
+        hasSpare_ = state.hasSpare;
+    }
 
   private:
     std::uint64_t s_[4];

@@ -1,0 +1,289 @@
+#include "common/serialize.hh"
+
+#include <array>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace pcmscrub {
+
+namespace {
+
+std::array<std::uint32_t, 256>
+buildCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t size, std::uint32_t seed)
+{
+    static const std::array<std::uint32_t, 256> table = buildCrcTable();
+    std::uint32_t crc = seed ^ 0xffffffffu;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = table[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+// SnapshotSink ------------------------------------------------------
+
+void
+SnapshotSink::u8(std::uint8_t value)
+{
+    bytes_.push_back(value);
+}
+
+void
+SnapshotSink::u16(std::uint16_t value)
+{
+    for (int i = 0; i < 2; ++i)
+        bytes_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void
+SnapshotSink::u32(std::uint32_t value)
+{
+    for (int i = 0; i < 4; ++i)
+        bytes_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void
+SnapshotSink::u64(std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        bytes_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void
+SnapshotSink::f32(float value)
+{
+    std::uint32_t pattern = 0;
+    static_assert(sizeof(pattern) == sizeof(value));
+    std::memcpy(&pattern, &value, sizeof(pattern));
+    u32(pattern);
+}
+
+void
+SnapshotSink::f64(double value)
+{
+    std::uint64_t pattern = 0;
+    static_assert(sizeof(pattern) == sizeof(value));
+    std::memcpy(&pattern, &value, sizeof(pattern));
+    u64(pattern);
+}
+
+void
+SnapshotSink::str(const std::string &value)
+{
+    PCMSCRUB_ASSERT(value.size() <= 0xffff,
+                    "snapshot string too long (%zu bytes)",
+                    value.size());
+    u16(static_cast<std::uint16_t>(value.size()));
+    bytes_.insert(bytes_.end(), value.begin(), value.end());
+}
+
+void
+SnapshotSink::bits(const BitVector &value)
+{
+    u64(value.size());
+    for (const std::uint64_t word : value.words())
+        u64(word);
+}
+
+// SnapshotSource ----------------------------------------------------
+
+SnapshotSource::SnapshotSource(const std::uint8_t *data,
+                               std::size_t size, std::string context)
+    : data_(data), size_(size), context_(std::move(context))
+{
+}
+
+void
+SnapshotSource::corrupt(const char *what) const
+{
+    fatal("snapshot %s: %s", context_.c_str(), what);
+}
+
+const std::uint8_t *
+SnapshotSource::take(std::size_t count)
+{
+    if (count > size_ - cursor_)
+        corrupt("truncated (field extends past the section end)");
+    const std::uint8_t *at = data_ + cursor_;
+    cursor_ += count;
+    return at;
+}
+
+std::uint8_t
+SnapshotSource::u8()
+{
+    return *take(1);
+}
+
+std::uint16_t
+SnapshotSource::u16()
+{
+    const std::uint8_t *p = take(2);
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t
+SnapshotSource::u32()
+{
+    const std::uint8_t *p = take(4);
+    std::uint32_t value = 0;
+    for (int i = 3; i >= 0; --i)
+        value = (value << 8) | p[i];
+    return value;
+}
+
+std::uint64_t
+SnapshotSource::u64()
+{
+    const std::uint8_t *p = take(8);
+    std::uint64_t value = 0;
+    for (int i = 7; i >= 0; --i)
+        value = (value << 8) | p[i];
+    return value;
+}
+
+bool
+SnapshotSource::boolean()
+{
+    const std::uint8_t value = u8();
+    if (value > 1)
+        corrupt("boolean field is neither 0 nor 1");
+    return value != 0;
+}
+
+float
+SnapshotSource::f32()
+{
+    const std::uint32_t pattern = u32();
+    float value = 0.0f;
+    std::memcpy(&value, &pattern, sizeof(value));
+    return value;
+}
+
+double
+SnapshotSource::f64()
+{
+    const std::uint64_t pattern = u64();
+    double value = 0.0;
+    std::memcpy(&value, &pattern, sizeof(value));
+    return value;
+}
+
+std::string
+SnapshotSource::str()
+{
+    const std::uint16_t length = u16();
+    const std::uint8_t *p = take(length);
+    return std::string(reinterpret_cast<const char *>(p), length);
+}
+
+BitVector
+SnapshotSource::bits()
+{
+    // A line codeword is ~1 Kbit; 2^24 bits is far beyond any state
+    // this simulator stores per vector and small enough that a
+    // corrupted length cannot drive a giant allocation.
+    const std::uint64_t length =
+        u64Bounded(1ULL << 24, "bit-vector length");
+    const std::size_t words = (static_cast<std::size_t>(length) + 63) / 64;
+    std::vector<std::uint64_t> packed;
+    packed.reserve(words);
+    for (std::size_t i = 0; i < words; ++i)
+        packed.push_back(u64());
+    if (length % 64 != 0 && !packed.empty() &&
+        (packed.back() >> (length % 64)) != 0) {
+        corrupt("bit-vector has nonzero bits past its declared length");
+    }
+    return BitVector::fromWords(static_cast<std::size_t>(length),
+                                std::move(packed));
+}
+
+std::uint64_t
+SnapshotSource::u64Bounded(std::uint64_t bound, const char *what)
+{
+    const std::uint64_t value = u64();
+    if (value > bound) {
+        fatal("snapshot %s: %s %llu exceeds the allowed maximum %llu",
+              context_.c_str(), what,
+              static_cast<unsigned long long>(value),
+              static_cast<unsigned long long>(bound));
+    }
+    return value;
+}
+
+void
+SnapshotSource::finish() const
+{
+    if (cursor_ != size_)
+        corrupt("trailing bytes after the last expected field");
+}
+
+// Fingerprint -------------------------------------------------------
+
+void
+Fingerprint::byte(std::uint8_t value)
+{
+    hash_ ^= value;
+    hash_ *= 0x100000001b3ULL;
+}
+
+void
+Fingerprint::u64(std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        byte(static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void
+Fingerprint::f64(double value)
+{
+    std::uint64_t pattern = 0;
+    std::memcpy(&pattern, &value, sizeof(pattern));
+    u64(pattern);
+}
+
+void
+Fingerprint::str(const std::string &value)
+{
+    for (const char c : value)
+        byte(static_cast<std::uint8_t>(c));
+    byte(0); // Terminator so "ab","c" != "a","bc".
+}
+
+void
+saveRandom(SnapshotSink &sink, const Random &rng)
+{
+    const RandomState state = rng.state();
+    for (const auto word : state.s)
+        sink.u64(word);
+    sink.f64(state.spareNormal);
+    sink.boolean(state.hasSpare);
+}
+
+void
+loadRandom(SnapshotSource &source, Random &rng)
+{
+    RandomState state{};
+    for (auto &word : state.s)
+        word = source.u64();
+    state.spareNormal = source.f64();
+    state.hasSpare = source.boolean();
+    rng.setState(state);
+}
+
+} // namespace pcmscrub

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace pcmscrub {
 
@@ -57,6 +58,35 @@ EcpStore::overheadBits() const
         : static_cast<unsigned>(
               std::bit_width(codewordBits_ - 1));
     return capacity_ * (pointerBits + 1) + 1;
+}
+
+void
+EcpStore::saveState(SnapshotSink &sink) const
+{
+    sink.u32(static_cast<std::uint32_t>(positions_.size()));
+    for (std::size_t i = 0; i < positions_.size(); ++i) {
+        sink.u32(positions_[i]);
+        sink.boolean(values_[i]);
+    }
+}
+
+void
+EcpStore::loadState(SnapshotSource &source)
+{
+    const std::uint32_t used = source.u32();
+    if (used > capacity_)
+        source.corrupt("ECP store uses more entries than its capacity");
+    positions_.clear();
+    values_.clear();
+    positions_.reserve(used);
+    values_.reserve(used);
+    for (std::uint32_t i = 0; i < used; ++i) {
+        const std::uint32_t position = source.u32();
+        if (position >= codewordBits_)
+            source.corrupt("ECP pointer addresses a bit past the line");
+        positions_.push_back(position);
+        values_.push_back(source.boolean());
+    }
 }
 
 } // namespace pcmscrub

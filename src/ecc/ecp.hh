@@ -23,6 +23,9 @@
 
 namespace pcmscrub {
 
+class SnapshotSink;
+class SnapshotSource;
+
 /**
  * Per-line pointer store with n entries.
  */
@@ -63,6 +66,15 @@ class EcpStore
      * "store full" flag, as in the original design.
      */
     unsigned overheadBits() const;
+
+    /** Serialize used entries (capacity/width are construction). */
+    void saveState(SnapshotSink &sink) const;
+
+    /**
+     * Restore entries written by saveState() into a store of the
+     * same construction; out-of-range pointers are fatal.
+     */
+    void loadState(SnapshotSource &source);
 
   private:
     std::size_t codewordBits_;

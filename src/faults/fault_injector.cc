@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "pcm/cell.hh"
 
 namespace pcmscrub {
@@ -183,6 +184,35 @@ FaultInjector::freezeCells(Line &line, unsigned count,
         victim->stuck = true;
         victim->stuckLevel = static_cast<std::uint8_t>(
             l.rng.uniformInt(mlcLevels));
+    }
+}
+
+void
+FaultInjector::saveState(SnapshotSink &sink) const
+{
+    sink.u64(lanes_.size());
+    for (const auto &l : lanes_) {
+        saveRandom(sink, l.rng);
+        sink.u64(l.stats.stuckCellsInjected);
+        sink.u64(l.stats.transientFlips);
+        sink.u64(l.stats.bursts);
+        sink.u64(l.stats.miscorrections);
+        sink.u64(l.stats.metadataCorruptions);
+    }
+}
+
+void
+FaultInjector::loadState(SnapshotSource &source)
+{
+    if (source.u64() != lanes_.size())
+        source.corrupt("fault-injector lane count does not match");
+    for (auto &l : lanes_) {
+        loadRandom(source, l.rng);
+        l.stats.stuckCellsInjected = source.u64();
+        l.stats.transientFlips = source.u64();
+        l.stats.bursts = source.u64();
+        l.stats.miscorrections = source.u64();
+        l.stats.metadataCorruptions = source.u64();
     }
 }
 

@@ -44,6 +44,9 @@
 
 namespace pcmscrub {
 
+class SnapshotSink;
+class SnapshotSource;
+
 /** Rates and shapes of one fault campaign. All default to off. */
 struct FaultCampaignConfig
 {
@@ -153,6 +156,15 @@ class FaultInjector
      * level (stuck-at-SET/RESET hard faults).
      */
     void freezeCells(Line &line, unsigned count, std::size_t shard = 0);
+
+    /** Serialize every lane's RNG stream and stats slice. */
+    void saveState(SnapshotSink &sink) const;
+
+    /**
+     * Restore lanes written by saveState(); the lane count must
+     * match the current provisioning (call shardStreams() first).
+     */
+    void loadState(SnapshotSource &source);
 
   private:
     /** One shard's private RNG stream and stats slice. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace pcmscrub {
 
@@ -56,6 +57,54 @@ SparePool::retirements(LineIndex line) const
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = retirements_.find(line);
     return it == retirements_.end() ? 0 : it->second;
+}
+
+void
+SparePool::saveState(SnapshotSink &sink) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sink.u64(capacity_);
+    sink.u64(used_);
+    std::vector<LineIndex> lines;
+    lines.reserve(retirements_.size());
+    for (const auto &[line, count] : retirements_)
+        lines.push_back(line);
+    std::sort(lines.begin(), lines.end());
+    sink.u64(lines.size());
+    for (const auto line : lines) {
+        sink.u64(line);
+        sink.u32(retirements_.at(line));
+    }
+}
+
+void
+SparePool::loadState(SnapshotSource &source)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (source.u64() != capacity_)
+        source.corrupt("spare-pool capacity does not match the config");
+    const std::uint64_t used = source.u64();
+    if (used > capacity_)
+        source.corrupt("spare pool uses more spares than its capacity");
+    const std::uint64_t entries =
+        source.u64Bounded(used, "spare-pool retirement entries");
+    retirements_.clear();
+    std::uint64_t total = 0;
+    LineIndex previous = 0;
+    for (std::uint64_t i = 0; i < entries; ++i) {
+        const LineIndex line = source.u64();
+        if (i > 0 && line <= previous)
+            source.corrupt("spare-pool retirement map is not sorted");
+        previous = line;
+        const std::uint32_t count = source.u32();
+        if (count == 0)
+            source.corrupt("spare-pool entry with zero retirements");
+        retirements_[line] = count;
+        total += count;
+    }
+    if (total != used)
+        source.corrupt("spare-pool usage does not sum to its entries");
+    used_ = used;
 }
 
 LineMetadataStore::LineMetadataStore(std::uint64_t num_lines,

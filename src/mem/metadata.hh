@@ -19,6 +19,9 @@
 
 namespace pcmscrub {
 
+class SnapshotSink;
+class SnapshotSource;
+
 /**
  * Finite pool of provisioned spare lines backing the degradation
  * ladder's retirement stage. Retiring a line consumes one spare and
@@ -57,6 +60,15 @@ class SparePool
 
     /** Times a line has been remapped. */
     std::uint32_t retirements(LineIndex line) const;
+
+    /**
+     * Serialize usage and the retirement map (sorted by line index
+     * so identical pools always produce identical bytes).
+     */
+    void saveState(SnapshotSink &sink) const;
+
+    /** Restore state written by saveState(); capacity must match. */
+    void loadState(SnapshotSource &source);
 
   private:
     std::uint64_t capacity_;

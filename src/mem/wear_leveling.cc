@@ -1,6 +1,7 @@
 #include "mem/wear_leveling.hh"
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace pcmscrub {
 
@@ -51,6 +52,39 @@ StartGapMapper::recordWrite()
         ++revolutions_;
     }
     return move;
+}
+
+void
+StartGapMapper::saveState(SnapshotSink &sink) const
+{
+    sink.u64(lines_);
+    sink.u64(gapInterval_);
+    sink.u64(start_);
+    sink.u64(gap_);
+    sink.u64(sinceMove_);
+    sink.u64(revolutions_);
+}
+
+void
+StartGapMapper::loadState(SnapshotSource &source)
+{
+    if (source.u64() != lines_)
+        source.corrupt("wear-level line count does not match");
+    if (source.u64() != gapInterval_)
+        source.corrupt("wear-level gap interval does not match");
+    const std::uint64_t start = source.u64();
+    if (start >= lines_)
+        source.corrupt("wear-level start pointer out of range");
+    const std::uint64_t gap = source.u64();
+    if (gap > lines_)
+        source.corrupt("wear-level gap pointer out of range");
+    const std::uint64_t sinceMove = source.u64();
+    if (sinceMove >= gapInterval_)
+        source.corrupt("wear-level write counter exceeds the interval");
+    start_ = start;
+    gap_ = gap;
+    sinceMove_ = sinceMove;
+    revolutions_ = source.u64();
 }
 
 } // namespace pcmscrub

@@ -22,6 +22,9 @@
 
 namespace pcmscrub {
 
+class SnapshotSink;
+class SnapshotSource;
+
 /** A gap rotation step: the caller must copy `from` into `to`. */
 struct GapMove
 {
@@ -69,6 +72,15 @@ class StartGapMapper
      * advanced when it returns.
      */
     std::optional<GapMove> recordWrite();
+
+    /** Serialize the rotation state (geometry is construction). */
+    void saveState(SnapshotSink &sink) const;
+
+    /**
+     * Restore state written by saveState() into a mapper of the same
+     * construction; out-of-range pointers are fatal.
+     */
+    void loadState(SnapshotSource &source);
 
   private:
     std::uint64_t lines_;

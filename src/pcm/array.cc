@@ -1,6 +1,7 @@
 #include "pcm/array.hh"
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace pcmscrub {
 
@@ -50,6 +51,28 @@ CellArray::totalStuckCells() const
     for (const auto &line : lines_)
         stuck += line.stuckCellCount();
     return stuck;
+}
+
+void
+CellArray::saveState(SnapshotSink &sink) const
+{
+    saveRandom(sink, rng_);
+    sink.u64(lines_.size());
+    sink.u64(codewordBits_);
+    for (const auto &line : lines_)
+        line.saveState(sink);
+}
+
+void
+CellArray::loadState(SnapshotSource &source)
+{
+    loadRandom(source, rng_);
+    if (source.u64() != lines_.size())
+        source.corrupt("array line count does not match the geometry");
+    if (source.u64() != codewordBits_)
+        source.corrupt("array codeword width does not match");
+    for (auto &line : lines_)
+        line.loadState(source);
 }
 
 } // namespace pcmscrub

@@ -55,6 +55,15 @@ class CellArray
     /** Total permanently failed cells across the array. */
     std::uint64_t totalStuckCells() const;
 
+    /** Serialize the array RNG and every line. */
+    void saveState(SnapshotSink &sink) const;
+
+    /**
+     * Restore state written by saveState() into an array constructed
+     * with the same geometry; mismatches are fatal.
+     */
+    void loadState(SnapshotSource &source);
+
   private:
     std::size_t codewordBits_;
     CellModel model_;

@@ -1,6 +1,7 @@
 #include "pcm/device_config.hh"
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace pcmscrub {
 
@@ -34,6 +35,37 @@ DeviceConfig::validate() const
         fatal("endurance parameters must be positive");
     if (maxProgramIterations < 1)
         fatal("need at least one program iteration");
+}
+
+void
+DeviceConfig::addToFingerprint(Fingerprint &fp) const
+{
+    for (const double v : levelMeanLogR)
+        fp.f64(v);
+    for (const double v : readThresholdLogR)
+        fp.f64(v);
+    fp.f64(sigmaLogR);
+    for (const double v : driftMu)
+        fp.f64(v);
+    fp.f64(driftSigmaRatio);
+    fp.f64(driftSpeedSigmaLn);
+    fp.f64(driftT0Seconds);
+    fp.f64(marginBandLogR);
+    fp.f64(enduranceMedian);
+    fp.f64(enduranceSigmaLn);
+    fp.f64(enduranceScale);
+    fp.u64(maxProgramIterations);
+    fp.f64(meanIterationsIntermediate);
+    fp.f64(sigmaIterations);
+    fp.u64(readLatency);
+    fp.u64(programIterationLatency);
+    fp.f64(readEnergyPerCell);
+    fp.f64(marginReadExtraPerCell);
+    fp.f64(programPulseEnergyPerCell);
+    fp.f64(secdedDecodeEnergy);
+    fp.f64(lightDetectEnergy);
+    fp.f64(bchCheckEnergy);
+    fp.f64(bchFullDecodeEnergy);
 }
 
 } // namespace pcmscrub

@@ -18,6 +18,8 @@
 
 namespace pcmscrub {
 
+class Fingerprint;
+
 /** Number of storage levels in a 2-bit MLC cell. */
 constexpr unsigned mlcLevels = 4;
 
@@ -158,6 +160,13 @@ struct DeviceConfig
 
     /** Validate internal consistency; fatal() on user error. */
     void validate() const;
+
+    /**
+     * Feed every physical constant into a snapshot fingerprint, so
+     * a snapshot taken under one device physics cannot restore into
+     * a run with another.
+     */
+    void addToFingerprint(Fingerprint &fp) const;
 };
 
 } // namespace pcmscrub

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace pcmscrub {
 
@@ -58,6 +59,23 @@ EnergyAccount::merge(const EnergyAccount &other)
 {
     for (unsigned c = 0; c < byCategory_.size(); ++c)
         byCategory_[c] += other.byCategory_[c];
+}
+
+void
+EnergyAccount::saveState(SnapshotSink &sink) const
+{
+    for (const auto value : byCategory_)
+        sink.f64(value);
+}
+
+void
+EnergyAccount::loadState(SnapshotSource &source)
+{
+    for (auto &value : byCategory_) {
+        value = source.f64();
+        if (!(value >= 0.0))
+            source.corrupt("negative or NaN energy total");
+    }
 }
 
 std::string

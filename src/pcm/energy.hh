@@ -19,6 +19,9 @@
 
 namespace pcmscrub {
 
+class SnapshotSink;
+class SnapshotSource;
+
 /** Energy bookkeeping categories. */
 enum class EnergyCategory : unsigned {
     ArrayRead,    //!< Regular line sensing
@@ -47,6 +50,12 @@ class EnergyAccount
 
     /** Merge another account into this one. */
     void merge(const EnergyAccount &other);
+
+    /** Serialize every category total (bit-exact doubles). */
+    void saveState(SnapshotSink &sink) const;
+
+    /** Restore totals written by saveState(). */
+    void loadState(SnapshotSource &source);
 
     std::string toString() const;
 

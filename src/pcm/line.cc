@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "common/serialize.hh"
 
 namespace pcmscrub {
 
@@ -144,6 +145,64 @@ Line::stuckCellCount() const
     for (const auto &cell : cells_)
         stuck += cell.stuck;
     return stuck;
+}
+
+void
+Line::saveState(SnapshotSink &sink) const
+{
+    sink.boolean(slcMode_);
+    sink.u64(cells_.size());
+    for (const auto &cell : cells_) {
+        sink.f32(cell.logR0);
+        sink.f32(cell.nu);
+        sink.f32(cell.nuSpeed);
+        sink.f32(cell.enduranceWrites);
+        sink.u32(cell.writes);
+        sink.u8(cell.storedLevel);
+        sink.boolean(cell.stuck);
+        sink.u8(cell.stuckLevel);
+        sink.u64(cell.writeTick);
+    }
+    sink.bits(intended_);
+    sink.u64(lastWriteTick_);
+    sink.u64(lineWrites_);
+}
+
+void
+Line::loadState(SnapshotSource &source)
+{
+    slcMode_ = source.boolean();
+    // SLC fallback annexes a paired line's cells, so the cell count
+    // depends on the mode; anything else means the snapshot does not
+    // match this geometry.
+    const std::size_t expected = slcMode_
+        ? codewordBits_
+        : (codewordBits_ + bitsPerCell - 1) / bitsPerCell;
+    const std::uint64_t count = source.u64();
+    if (count != expected)
+        source.corrupt("line cell count does not match the geometry");
+    cells_.resize(expected);
+    for (auto &cell : cells_) {
+        cell.logR0 = source.f32();
+        cell.nu = source.f32();
+        cell.nuSpeed = source.f32();
+        cell.enduranceWrites = source.f32();
+        cell.writes = source.u32();
+        cell.storedLevel = source.u8();
+        if (cell.storedLevel >= (1u << bitsPerCell))
+            source.corrupt("cell stored level out of range");
+        cell.stuck = source.boolean();
+        cell.stuckLevel = source.u8();
+        if (cell.stuckLevel >= (1u << bitsPerCell))
+            source.corrupt("cell stuck level out of range");
+        cell.writeTick = source.u64();
+    }
+    BitVector intended = source.bits();
+    if (intended.size() != codewordBits_)
+        source.corrupt("intended-codeword width does not match");
+    intended_ = std::move(intended);
+    lastWriteTick_ = source.u64();
+    lineWrites_ = source.u64();
 }
 
 } // namespace pcmscrub

@@ -17,6 +17,8 @@
 namespace pcmscrub {
 
 class Random;
+class SnapshotSink;
+class SnapshotSource;
 
 /** Aggregate result of programming a line. */
 struct LineProgramStats
@@ -117,6 +119,16 @@ class Line
 
     /** Whether the line has fallen back to SLC operation. */
     bool slcMode() const { return slcMode_; }
+
+    /** Serialize every cell plus line-level state. */
+    void saveState(SnapshotSink &sink) const;
+
+    /**
+     * Restore state written by saveState(). The line must have been
+     * constructed with the same codeword width; mismatches and
+     * out-of-range cell fields are fatal.
+     */
+    void loadState(SnapshotSource &source);
 
   private:
     /** Target level of cell `index` for a codeword. */

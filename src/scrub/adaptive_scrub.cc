@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "common/shard.hh"
 #include "common/thread_pool.hh"
 
@@ -194,6 +195,27 @@ AdaptiveScrub::wake(ScrubBackend &backend, Tick now)
                 now + std::max(partial.horizon, minSpacing));
         }
     }
+}
+
+void
+AdaptiveScrub::checkpointSave(SnapshotSink &sink) const
+{
+    sink.u64(regionDue_.size());
+    for (const Tick due : regionDue_)
+        sink.u64(due);
+    for (const std::uint16_t worst : regionWorstErrors_)
+        sink.u16(worst);
+}
+
+void
+AdaptiveScrub::checkpointLoad(SnapshotSource &source)
+{
+    if (source.u64() != regionDue_.size())
+        source.corrupt("region count does not match the geometry");
+    for (Tick &due : regionDue_)
+        due = source.u64();
+    for (std::uint16_t &worst : regionWorstErrors_)
+        worst = source.u16();
 }
 
 namespace {

@@ -68,6 +68,9 @@ class AdaptiveScrub : public ScrubPolicy
     Tick nextWake() const override;
     void wake(ScrubBackend &backend, Tick now) override;
 
+    void checkpointSave(SnapshotSink &sink) const override;
+    void checkpointLoad(SnapshotSource &source) override;
+
     /** Safe data age implied by the risk target, in ticks. */
     Tick safeAgeTicks() const { return safeAgeTicks_; }
 

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/math.hh"
+#include "common/serialize.hh"
 #include "ecc/checksum.hh"
 #include "faults/fault_injector.hh"
 #include "pcm/energy.hh"
@@ -705,6 +706,149 @@ double
 AnalyticBackend::lineWrites(LineIndex line) const
 {
     return lines_.at(line).writes;
+}
+
+void
+AnalyticBackend::checkpointSave(SnapshotSink &sink) const
+{
+    sink.u64(lines_.size());
+    for (const LineState &state : lines_) {
+        sink.u64(state.knownTick);
+        sink.u64(state.lastWrite);
+        sink.f64(state.pSampled);
+        sink.f64(state.writes);
+        sink.u16(state.driftErrors);
+        sink.u16(state.stuckCells);
+        sink.u16(state.stuckErrors);
+        sink.u16(state.ueSampledErrors);
+        sink.boolean(state.uePlaced);
+        sink.boolean(state.slc);
+    }
+
+    sink.u64(weakCells_.size());
+    for (const WeakCell &cell : weakCells_) {
+        sink.f32(cell.speed);
+        sink.f32(cell.qSampled);
+        sink.u8(cell.level);
+        sink.boolean(cell.crossed);
+    }
+
+    sink.u64(shards_.size());
+    for (const ShardState &shard : shards_) {
+        saveRandom(sink, shard.rng);
+        shard.metrics.saveState(sink);
+        sink.u64(shard.chargedLine);
+        sink.u64(shard.chargedTick);
+        sink.u64(shard.transientLine);
+        sink.u64(shard.transientTick);
+        sink.u32(shard.transientNow);
+    }
+
+    spares_.saveState(sink);
+
+    sink.boolean(injector_ != nullptr);
+    if (injector_ != nullptr)
+        injector_->saveState(sink);
+}
+
+void
+AnalyticBackend::checkpointLoad(SnapshotSource &source)
+{
+    if (source.u64() != lines_.size())
+        source.corrupt("line count does not match the config");
+    const unsigned bulkCells = cellsPerLine_;
+    for (LineState &state : lines_) {
+        state.knownTick = source.u64();
+        state.lastWrite = source.u64();
+        if (state.lastWrite > state.knownTick)
+            source.corrupt("line written after its materialised tick");
+        state.pSampled = source.f64();
+        if (!(state.pSampled >= 0.0 && state.pSampled <= 1.0))
+            source.corrupt("drift probability outside [0, 1]");
+        state.writes = source.f64();
+        if (!(state.writes >= 0.0))
+            source.corrupt("negative or NaN line write count");
+        state.driftErrors = source.u16();
+        state.stuckCells = source.u16();
+        state.stuckErrors = source.u16();
+        state.ueSampledErrors = source.u16();
+        if (state.driftErrors > bulkCells || state.stuckCells > bulkCells)
+            source.corrupt("more erroneous cells than the line holds");
+        state.uePlaced = source.boolean();
+        state.slc = source.boolean();
+    }
+
+    if (source.u64() != weakCells_.size())
+        source.corrupt("weak-cell count does not match the config");
+    for (WeakCell &cell : weakCells_) {
+        cell.speed = source.f32();
+        if (!(cell.speed > 0.0f))
+            source.corrupt("non-positive weak-cell drift speed");
+        cell.qSampled = source.f32();
+        if (!(cell.qSampled >= 0.0f && cell.qSampled <= 1.0f))
+            source.corrupt("weak-cell crossing prob outside [0, 1]");
+        cell.level = source.u8();
+        if (cell.level >= mlcLevels)
+            source.corrupt("weak-cell level out of range");
+        cell.crossed = source.boolean();
+    }
+
+    if (source.u64() != shards_.size())
+        source.corrupt("shard count does not match the shard plan");
+    for (ShardState &shard : shards_) {
+        loadRandom(source, shard.rng);
+        shard.metrics.loadState(source);
+        shard.chargedLine = source.u64();
+        shard.chargedTick = source.u64();
+        shard.transientLine = source.u64();
+        shard.transientTick = source.u64();
+        shard.transientNow = source.u32();
+    }
+
+    spares_.loadState(source);
+
+    const bool hadInjector = source.boolean();
+    if (hadInjector != (injector_ != nullptr)) {
+        source.corrupt(hadInjector
+                           ? "snapshot has fault-injector state but "
+                             "none is attached"
+                           : "a fault injector is attached but the "
+                             "snapshot has no injector state");
+    }
+    if (injector_ != nullptr)
+        injector_->loadState(source);
+}
+
+std::uint64_t
+AnalyticBackend::checkpointFingerprint() const
+{
+    Fingerprint fp;
+    fp.str("analytic-backend");
+    fp.u64(config_.lines);
+    fp.str(scheme_.name());
+    fp.u64(static_cast<unsigned>(config_.detectorKind));
+    fp.u64(config_.detectorParity);
+    fp.u64(config_.weakCellsTracked);
+    fp.u64(config_.ecpEntries);
+    fp.u64(config_.demandReadPiggyback ? 1 : 0);
+    fp.u64(config_.piggybackRewriteThreshold);
+    fp.u64(config_.seed);
+    fp.u64(plan_.count());
+    fp.u64(static_cast<unsigned>(config_.demand.kind));
+    fp.f64(config_.demand.writesPerLinePerSecond);
+    fp.f64(config_.demand.readsPerLinePerSecond);
+    fp.f64(config_.demand.zipfTheta);
+    fp.f64(config_.demand.hotFraction);
+    fp.f64(config_.demand.hotMultiplier);
+    fp.u64(config_.degradation.enabled ? 1 : 0);
+    fp.u64(config_.degradation.maxRetries);
+    fp.f64(config_.degradation.retryMarginWiden);
+    fp.f64(config_.degradation.retryResolveProb);
+    fp.u64(config_.degradation.ecpRepair ? 1 : 0);
+    fp.u64(config_.degradation.spareLines);
+    fp.u64(config_.degradation.slcFallback ? 1 : 0);
+    config_.device.addToFingerprint(fp);
+    return fp.value();
 }
 
 } // namespace pcmscrub

@@ -145,6 +145,12 @@ class AnalyticBackend : public ScrubBackend
     const ScrubMetrics &metrics() const override;
     ScrubMetrics &metrics() override;
 
+    // Checkpointing -------------------------------------------------
+
+    void checkpointSave(SnapshotSink &sink) const override;
+    void checkpointLoad(SnapshotSource &source) override;
+    std::uint64_t checkpointFingerprint() const override;
+
     // Introspection for tests and experiments ----------------------
 
     /** Current true error count of a line (after materialising). */

@@ -1,0 +1,30 @@
+#include "scrub/backend.hh"
+
+#include "common/logging.hh"
+
+namespace pcmscrub {
+
+void
+ScrubBackend::checkpointSave(SnapshotSink &sink) const
+{
+    (void)sink;
+    fatal("checkpointing is not supported by this backend "
+          "(run without --checkpoint/--resume)");
+}
+
+void
+ScrubBackend::checkpointLoad(SnapshotSource &source)
+{
+    (void)source;
+    fatal("checkpointing is not supported by this backend "
+          "(run without --checkpoint/--resume)");
+}
+
+std::uint64_t
+ScrubBackend::checkpointFingerprint() const
+{
+    fatal("checkpointing is not supported by this backend "
+          "(run without --checkpoint/--resume)");
+}
+
+} // namespace pcmscrub

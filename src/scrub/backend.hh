@@ -29,6 +29,8 @@
 namespace pcmscrub {
 
 class FaultInjector;
+class SnapshotSink;
+class SnapshotSource;
 
 /** What a full decode revealed. */
 struct FullDecodeOutcome
@@ -145,6 +147,30 @@ class ScrubBackend
 
     virtual const ScrubMetrics &metrics() const = 0;
     virtual ScrubMetrics &metrics() = 0;
+
+    // Checkpointing -------------------------------------------------
+
+    /**
+     * Serialize the backend's full mutable simulation state.
+     * Default: fatal() — a backend that does not override the
+     * checkpoint hooks rejects checkpoint/resume requests cleanly
+     * instead of silently dropping its state.
+     */
+    virtual void checkpointSave(SnapshotSink &sink) const;
+
+    /**
+     * Restore state written by checkpointSave() into a backend
+     * constructed with the identical configuration. Corrupted or
+     * mismatched state is fatal().
+     */
+    virtual void checkpointLoad(SnapshotSource &source);
+
+    /**
+     * 64-bit fingerprint of everything that must match between the
+     * run that wrote a snapshot and the run restoring it (geometry,
+     * scheme, seed, shard plan, device physics). Default: fatal().
+     */
+    virtual std::uint64_t checkpointFingerprint() const;
 };
 
 } // namespace pcmscrub

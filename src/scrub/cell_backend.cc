@@ -1,6 +1,7 @@
 #include "scrub/cell_backend.hh"
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "ecc/bch.hh"
 #include "ecc/interleaved.hh"
 #include "ecc/secded.hh"
@@ -443,6 +444,101 @@ CellBackend::trueErrors(LineIndex line, Tick now) const
     const BitVector read = senseRaw(line, now);
     return static_cast<unsigned>(
         read.hammingDistance(array_.line(line).intendedWord()));
+}
+
+void
+CellBackend::checkpointSave(SnapshotSink &sink) const
+{
+    array_.saveState(sink);
+
+    sink.u64(ecp_.size());
+    for (const auto &store : ecp_)
+        store.saveState(sink);
+
+    sink.u64(shards_.size());
+    for (const auto &shard : shards_) {
+        saveRandom(sink, shard.rng);
+        shard.metrics.saveState(sink);
+        sink.u64(shard.chargedLine);
+        sink.u64(shard.chargedTick);
+        sink.bits(shard.buffered);
+        sink.u64(shard.bufferedLine);
+        sink.u64(shard.bufferedTick);
+    }
+
+    spares_.saveState(sink);
+
+    sink.boolean(injector_ != nullptr);
+    if (injector_ != nullptr)
+        injector_->saveState(sink);
+}
+
+void
+CellBackend::checkpointLoad(SnapshotSource &source)
+{
+    array_.loadState(source);
+
+    if (source.u64() != ecp_.size())
+        source.corrupt("ECP store count does not match the config");
+    for (auto &store : ecp_)
+        store.loadState(source);
+
+    if (source.u64() != shards_.size())
+        source.corrupt("shard count does not match the shard plan");
+    for (auto &shard : shards_) {
+        loadRandom(source, shard.rng);
+        shard.metrics.loadState(source);
+        shard.chargedLine = source.u64();
+        shard.chargedTick = source.u64();
+        shard.buffered = source.bits();
+        if (!shard.buffered.empty() &&
+            shard.buffered.size() != code_->codewordBits())
+            source.corrupt("buffered visit word has the wrong width");
+        shard.bufferedLine = source.u64();
+        shard.bufferedTick = source.u64();
+    }
+
+    spares_.loadState(source);
+
+    const bool hadInjector = source.boolean();
+    if (hadInjector != (injector_ != nullptr)) {
+        source.corrupt(hadInjector
+                           ? "snapshot has fault-injector state but "
+                             "none is attached"
+                           : "a fault injector is attached but the "
+                             "snapshot has no injector state");
+    }
+    if (injector_ != nullptr)
+        injector_->loadState(source);
+
+    // Detector reference words are a pure function of the intended
+    // codewords, so recompute rather than trust serialized copies.
+    for (std::size_t i = 0; i < detectWords_.size(); ++i)
+        detectWords_[i] =
+            detector_->compute(array_.line(i).intendedWord());
+}
+
+std::uint64_t
+CellBackend::checkpointFingerprint() const
+{
+    Fingerprint fp;
+    fp.str("cell-backend");
+    fp.u64(config_.lines);
+    fp.str(scheme_.name());
+    fp.u64(static_cast<unsigned>(config_.detectorKind));
+    fp.u64(config_.detectorParity);
+    fp.u64(config_.ecpEntries);
+    fp.u64(config_.seed);
+    fp.u64(plan_.count());
+    fp.u64(config_.degradation.enabled ? 1 : 0);
+    fp.u64(config_.degradation.maxRetries);
+    fp.f64(config_.degradation.retryMarginWiden);
+    fp.f64(config_.degradation.retryResolveProb);
+    fp.u64(config_.degradation.ecpRepair ? 1 : 0);
+    fp.u64(config_.degradation.spareLines);
+    fp.u64(config_.degradation.slcFallback ? 1 : 0);
+    config_.device.addToFingerprint(fp);
+    return fp.value();
 }
 
 } // namespace pcmscrub

@@ -102,6 +102,12 @@ class CellBackend : public ScrubBackend
     const ScrubMetrics &metrics() const override;
     ScrubMetrics &metrics() override;
 
+    // Checkpointing -------------------------------------------------
+
+    void checkpointSave(SnapshotSink &sink) const override;
+    void checkpointLoad(SnapshotSource &source) override;
+    std::uint64_t checkpointFingerprint() const override;
+
     // Cell-accurate extras ------------------------------------------
 
     /** Apply one demand write (fresh random payload) to a line. */

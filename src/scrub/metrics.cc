@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/serialize.hh"
+
 namespace pcmscrub {
 
 void
@@ -33,6 +35,66 @@ ScrubMetrics::merge(const ScrubMetrics &other)
     sparesRemaining += other.sparesRemaining;
     capacityLostBits += other.capacityLostBits;
     energy.merge(other.energy);
+}
+
+void
+ScrubMetrics::saveState(SnapshotSink &sink) const
+{
+    sink.u64(linesChecked);
+    sink.u64(lightDetects);
+    sink.u64(eccChecks);
+    sink.u64(fullDecodes);
+    sink.u64(marginScans);
+    sink.u64(scrubRewrites);
+    sink.u64(preventiveRewrites);
+    sink.u64(piggybackRewrites);
+    sink.u64(correctedErrors);
+    sink.u64(scrubUncorrectable);
+    sink.f64(demandUncorrectable);
+    sink.u64(cellsWornOut);
+    sink.u64(demandWrites);
+    sink.u64(detectorMisses);
+    sink.u64(miscorrections);
+    sink.u64(ueRetries);
+    sink.u64(ueRetryResolved);
+    sink.u64(ueEcpRepaired);
+    sink.u64(ueRetired);
+    sink.u64(ueSlcFallbacks);
+    sink.u64(ueSurfaced);
+    sink.u64(sparesRemaining);
+    sink.u64(capacityLostBits);
+    energy.saveState(sink);
+}
+
+void
+ScrubMetrics::loadState(SnapshotSource &source)
+{
+    linesChecked = source.u64();
+    lightDetects = source.u64();
+    eccChecks = source.u64();
+    fullDecodes = source.u64();
+    marginScans = source.u64();
+    scrubRewrites = source.u64();
+    preventiveRewrites = source.u64();
+    piggybackRewrites = source.u64();
+    correctedErrors = source.u64();
+    scrubUncorrectable = source.u64();
+    demandUncorrectable = source.f64();
+    if (!(demandUncorrectable >= 0.0))
+        source.corrupt("negative or NaN demand-uncorrectable total");
+    cellsWornOut = source.u64();
+    demandWrites = source.u64();
+    detectorMisses = source.u64();
+    miscorrections = source.u64();
+    ueRetries = source.u64();
+    ueRetryResolved = source.u64();
+    ueEcpRepaired = source.u64();
+    ueRetired = source.u64();
+    ueSlcFallbacks = source.u64();
+    ueSurfaced = source.u64();
+    sparesRemaining = source.u64();
+    capacityLostBits = source.u64();
+    energy.loadState(source);
 }
 
 std::string

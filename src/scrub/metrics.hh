@@ -134,6 +134,12 @@ struct ScrubMetrics
 
     void merge(const ScrubMetrics &other);
 
+    /** Serialize every counter, in declaration order. */
+    void saveState(SnapshotSink &sink) const;
+
+    /** Restore counters written by saveState(). */
+    void loadState(SnapshotSource &source);
+
     std::string toString() const;
 };
 

@@ -4,6 +4,24 @@
 
 namespace pcmscrub {
 
+void
+ScrubPolicy::checkpointSave(SnapshotSink &sink) const
+{
+    (void)sink;
+    fatal("policy %s does not support checkpointing "
+          "(run without --checkpoint/--resume)",
+          name().c_str());
+}
+
+void
+ScrubPolicy::checkpointLoad(SnapshotSource &source)
+{
+    (void)source;
+    fatal("policy %s does not support checkpointing "
+          "(run without --checkpoint/--resume)",
+          name().c_str());
+}
+
 std::uint64_t
 runScrub(ScrubBackend &backend, ScrubPolicy &policy, Tick horizon)
 {

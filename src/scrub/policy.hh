@@ -16,6 +16,9 @@
 
 namespace pcmscrub {
 
+class SnapshotSink;
+class SnapshotSource;
+
 /**
  * A scrub algorithm driving a ScrubBackend.
  */
@@ -34,6 +37,16 @@ class ScrubPolicy
      * reschedule. The engine guarantees monotone `now`.
      */
     virtual void wake(ScrubBackend &backend, Tick now) = 0;
+
+    /**
+     * Serialize the policy's mutable scheduling state. Default:
+     * fatal() naming the policy, so checkpoint requests against a
+     * policy without checkpoint support fail loudly.
+     */
+    virtual void checkpointSave(SnapshotSink &sink) const;
+
+    /** Restore state written by checkpointSave(). */
+    virtual void checkpointLoad(SnapshotSource &source);
 };
 
 /**

@@ -1,0 +1,141 @@
+#include "scrub/run_config.hh"
+
+#include <cstdlib>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "sim/workload.hh"
+
+namespace pcmscrub {
+
+EccScheme
+eccSchemeFromName(const std::string &name)
+{
+    if (name == "secded")
+        return EccScheme::secdedX8();
+    if (name.rfind("bch", 0) == 0) {
+        const int t = std::atoi(name.c_str() + 3);
+        if (t >= 1 && t <= 16)
+            return EccScheme::bch(static_cast<unsigned>(t));
+    }
+    fatal("unknown ECC scheme '%s' (try secded or bch1..bch16)",
+          name.c_str());
+}
+
+namespace {
+
+WorkloadKind
+workloadKindFromName(const std::string &name)
+{
+    if (name == "uniform")
+        return WorkloadKind::Uniform;
+    if (name == "zipf")
+        return WorkloadKind::Zipf;
+    if (name == "streaming")
+        return WorkloadKind::Streaming;
+    if (name == "write_burst")
+        return WorkloadKind::WriteBurst;
+    fatal("unknown workload '%s' (uniform, zipf, streaming, "
+          "write_burst)",
+          name.c_str());
+}
+
+} // namespace
+
+AnalyticRunConfig
+applyRunConfig(const ConfigFile &file, AnalyticRunConfig defaults)
+{
+    AnalyticRunConfig out = std::move(defaults);
+
+    // [run]
+    out.backend.lines = file.getInt("run.lines", out.backend.lines);
+    if (out.backend.lines == 0)
+        fatal("config: run.lines must be at least 1");
+    out.days = file.getDouble("run.days", out.days);
+    if (!(out.days > 0.0))
+        fatal("config: run.days must be positive");
+    out.backend.seed = file.getInt("run.seed", out.backend.seed);
+    out.threads = static_cast<unsigned>(
+        file.getInt("run.threads", out.threads));
+
+    // [device]
+    // The scheme's display name ("8xSECDED", "BCH-8") is not a valid
+    // key value, so only round-trip through the parser when the key
+    // is actually present.
+    if (file.has("device.ecc"))
+        out.backend.scheme =
+            eccSchemeFromName(file.getString("device.ecc", ""));
+    out.backend.device.driftSpeedSigmaLn =
+        file.getDouble("device.drift_speed_sigma",
+                       out.backend.device.driftSpeedSigmaLn);
+    if (out.backend.device.driftSpeedSigmaLn < 0.0)
+        fatal("config: device.drift_speed_sigma must be >= 0");
+    out.backend.device.sigmaLogR = file.getDouble(
+        "device.sigma_log_r", out.backend.device.sigmaLogR);
+    if (!(out.backend.device.sigmaLogR > 0.0))
+        fatal("config: device.sigma_log_r must be positive");
+    out.backend.ecpEntries = static_cast<unsigned>(file.getInt(
+        "device.ecp_entries", out.backend.ecpEntries));
+
+    // [demand]
+    out.backend.demand.kind = workloadKindFromName(file.getString(
+        "demand.workload",
+        workloadKindName(out.backend.demand.kind)));
+    out.backend.demand.writesPerLinePerSecond =
+        file.getDouble("demand.writes_per_line_s",
+                       out.backend.demand.writesPerLinePerSecond);
+    out.backend.demand.readsPerLinePerSecond =
+        file.getDouble("demand.reads_per_line_s",
+                       out.backend.demand.readsPerLinePerSecond);
+    if (out.backend.demand.writesPerLinePerSecond < 0.0 ||
+        out.backend.demand.readsPerLinePerSecond < 0.0)
+        fatal("config: demand rates must be >= 0");
+
+    // [policy]
+    out.policy.kind = policyKindFromName(file.getString(
+        "policy.kind", policyKindName(out.policy.kind)));
+    const double intervalSeconds = file.getDouble(
+        "policy.interval_s", ticksToSeconds(out.policy.interval));
+    if (!(intervalSeconds > 0.0))
+        fatal("config: policy.interval_s must be positive");
+    out.policy.interval = secondsToTicks(intervalSeconds);
+    out.policy.rewriteThreshold = static_cast<unsigned>(file.getInt(
+        "policy.rewrite_threshold", out.policy.rewriteThreshold));
+    if (out.policy.rewriteThreshold < 1)
+        fatal("config: policy.rewrite_threshold must be at least 1");
+    out.policy.rewriteHeadroom = static_cast<unsigned>(file.getInt(
+        "policy.rewrite_headroom", out.policy.rewriteHeadroom));
+    out.policy.targetLineUeProb = file.getDouble(
+        "policy.target_ue_prob", out.policy.targetLineUeProb);
+    if (!(out.policy.targetLineUeProb > 0.0 &&
+          out.policy.targetLineUeProb < 1.0))
+        fatal("config: policy.target_ue_prob must be in (0, 1)");
+    out.policy.linesPerRegion = file.getInt(
+        "policy.lines_per_region", out.policy.linesPerRegion);
+    if (out.policy.linesPerRegion == 0)
+        fatal("config: policy.lines_per_region must be at least 1");
+    out.backend.demandReadPiggyback = file.getBool(
+        "policy.piggyback", out.backend.demandReadPiggyback);
+    out.backend.piggybackRewriteThreshold =
+        static_cast<unsigned>(file.getInt(
+            "policy.piggyback_threshold",
+            out.backend.piggybackRewriteThreshold));
+    if (out.backend.piggybackRewriteThreshold < 1)
+        fatal("config: policy.piggyback_threshold must be at least 1");
+
+    return out;
+}
+
+AnalyticRunConfig
+loadRunConfig(const std::string &path,
+              const AnalyticRunConfig &defaults)
+{
+    const ConfigFile file = ConfigFile::load(path);
+    AnalyticRunConfig out = applyRunConfig(file, defaults);
+    for (const auto &key : file.unusedKeys())
+        warn("config %s: unrecognised key '%s'", path.c_str(),
+             key.c_str());
+    return out;
+}
+
+} // namespace pcmscrub

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared INI-driven run configuration for the analytic backend.
+ *
+ * Examples and tools that accept `--config FILE` all funnel through
+ * this loader so they agree on key names, validate values the same
+ * way, and — crucially — all report unrecognised keys instead of
+ * silently ignoring typos. The config_smoke_test parses every INI
+ * file checked in under examples/configs through the same code path.
+ */
+
+#ifndef PCMSCRUB_SCRUB_RUN_CONFIG_HH
+#define PCMSCRUB_SCRUB_RUN_CONFIG_HH
+
+#include <string>
+
+#include "scrub/analytic_backend.hh"
+#include "scrub/factory.hh"
+
+namespace pcmscrub {
+
+class ConfigFile;
+
+/** Everything an INI file can configure about an analytic run. */
+struct AnalyticRunConfig
+{
+    PolicySpec policy{};
+    AnalyticConfig backend{};
+
+    /** Simulated horizon in days. */
+    double days = 14.0;
+
+    /** Worker threads (0 = leave the global pool untouched). */
+    unsigned threads = 0;
+};
+
+/** Parse an ECC scheme name ("secded", "bch1".."bch16"); fatal()
+ *  on anything else. */
+EccScheme eccSchemeFromName(const std::string &name);
+
+/**
+ * Overlay `file` onto `defaults`, consuming every recognised key and
+ * rejecting out-of-range values with fatal(). Does NOT warn about
+ * unused keys — callers decide (loadRunConfig() warns; the config
+ * smoke test fails).
+ */
+AnalyticRunConfig applyRunConfig(const ConfigFile &file,
+                                 AnalyticRunConfig defaults);
+
+/**
+ * Load `path`, overlay it onto `defaults`, and warn() about every
+ * key the loader did not recognise.
+ */
+AnalyticRunConfig loadRunConfig(const std::string &path,
+                                const AnalyticRunConfig &defaults);
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_SCRUB_RUN_CONFIG_HH

@@ -1,6 +1,7 @@
 #include "scrub/sweep_scrub.hh"
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "common/shard.hh"
 #include "common/thread_pool.hh"
 
@@ -74,6 +75,21 @@ SweepScrubBase::wake(ScrubBackend &backend, Tick now)
             scrubCheckLine(backend, line, now, procedure_);
     });
     nextDue_ = now + interval_;
+}
+
+void
+SweepScrubBase::checkpointSave(SnapshotSink &sink) const
+{
+    // interval_ and procedure_ are constructor configuration, covered
+    // by the snapshot fingerprint's policy name; only the schedule
+    // position is state.
+    sink.u64(nextDue_);
+}
+
+void
+SweepScrubBase::checkpointLoad(SnapshotSource &source)
+{
+    nextDue_ = source.u64();
 }
 
 namespace {

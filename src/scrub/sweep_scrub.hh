@@ -88,6 +88,9 @@ class SweepScrubBase : public ScrubPolicy
     Tick nextWake() const override { return nextDue_; }
     void wake(ScrubBackend &backend, Tick now) override;
 
+    void checkpointSave(SnapshotSink &sink) const override;
+    void checkpointLoad(SnapshotSource &source) override;
+
     Tick interval() const { return interval_; }
     const CheckProcedure &procedure() const { return procedure_; }
 

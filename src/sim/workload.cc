@@ -1,6 +1,7 @@
 #include "sim/workload.hh"
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace pcmscrub {
 
@@ -84,6 +85,30 @@ Workload::next()
                                                     : ReqType::Write;
     ++generated_;
     return req;
+}
+
+void
+Workload::saveState(SnapshotSink &sink) const
+{
+    saveRandom(sink, rng_);
+    sink.f64(nextArrivalSeconds_);
+    sink.u64(streamCursor_);
+    sink.u64(burstStart_);
+    sink.u64(burstRemaining_);
+    sink.u64(generated_);
+}
+
+void
+Workload::loadState(SnapshotSource &source)
+{
+    loadRandom(source, rng_);
+    nextArrivalSeconds_ = source.f64();
+    if (!(nextArrivalSeconds_ >= 0.0))
+        source.corrupt("negative or NaN workload arrival clock");
+    streamCursor_ = source.u64();
+    burstStart_ = source.u64();
+    burstRemaining_ = source.u64();
+    generated_ = source.u64();
 }
 
 } // namespace pcmscrub

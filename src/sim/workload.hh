@@ -28,6 +28,9 @@
 
 namespace pcmscrub {
 
+class SnapshotSink;
+class SnapshotSource;
+
 /** Workload family. */
 enum class WorkloadKind : unsigned {
     Uniform,
@@ -81,6 +84,12 @@ class Workload
 
     /** Requests generated so far. */
     std::uint64_t generated() const { return generated_; }
+
+    /** Serialize the generator state (config is construction). */
+    void saveState(SnapshotSink &sink) const;
+
+    /** Restore state written by saveState(). */
+    void loadState(SnapshotSource &source);
 
   private:
     LineIndex pickLine();

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Versioned, checksummed snapshot container.
+ *
+ * Layout (all integers little-endian):
+ *
+ *     offset  size  field
+ *     0       8     magic "PCMSCRB1"
+ *     8       4     format version (currently 1)
+ *     12      8     total container length in bytes
+ *     20      8     device-config fingerprint (FNV-1a)
+ *     28      4     section count (1..64)
+ *     32      ...   sections, back to back
+ *
+ * Each section:
+ *
+ *     4     name length (1..64)
+ *     n     name bytes (ASCII)
+ *     8     payload length
+ *     4     CRC32 over name + payload
+ *     ...   payload bytes
+ *
+ * Every field is validated on read; a truncation, a flipped bit, an
+ * unknown version, or trailing garbage is a fatal() naming the file
+ * and the failing section — never undefined behaviour or a silently
+ * wrong resume. The CRC covers the section *name* as well as the
+ * payload so corruption cannot quietly re-label one section's bytes
+ * as another's.
+ *
+ * Writing is atomic: the container goes to `path + ".tmp"`, is
+ * fsync'd, and is then renamed over `path` (with a directory fsync),
+ * so a crash mid-checkpoint leaves the previous good snapshot
+ * untouched.
+ */
+
+#ifndef PCMSCRUB_SNAPSHOT_SNAPSHOT_HH
+#define PCMSCRUB_SNAPSHOT_SNAPSHOT_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/serialize.hh"
+
+namespace pcmscrub {
+
+/** Container format version this build writes and accepts. */
+constexpr std::uint32_t snapshotFormatVersion = 1;
+
+/**
+ * Builder for one snapshot container.
+ */
+class SnapshotWriter
+{
+  public:
+    /** @param fingerprint device/run configuration fingerprint */
+    explicit SnapshotWriter(std::uint64_t fingerprint)
+        : fingerprint_(fingerprint)
+    {
+    }
+
+    /**
+     * Append one named section. Names must be unique, 1..64 ASCII
+     * bytes.
+     */
+    void addSection(const std::string &name,
+                    std::vector<std::uint8_t> payload);
+
+    /** Serialize the full container. */
+    std::vector<std::uint8_t> serialize() const;
+
+    /**
+     * Atomically persist the container to `path` (temp file + fsync
+     * + rename + directory fsync). Any I/O failure is fatal().
+     */
+    void writeFile(const std::string &path) const;
+
+  private:
+    struct Section
+    {
+        std::string name;
+        std::vector<std::uint8_t> payload;
+    };
+
+    std::uint64_t fingerprint_;
+    std::vector<Section> sections_;
+};
+
+/**
+ * Parsed, fully-validated snapshot container.
+ */
+class SnapshotReader
+{
+  public:
+    /**
+     * Parse a container from raw bytes; every validation failure is
+     * fatal(). `context` names the origin (file path) in
+     * diagnostics.
+     */
+    SnapshotReader(std::vector<std::uint8_t> bytes, std::string context);
+
+    /** Read and parse a snapshot file; missing file is fatal(). */
+    static SnapshotReader fromFile(const std::string &path);
+
+    std::uint64_t fingerprint() const { return fingerprint_; }
+    const std::string &context() const { return context_; }
+
+    bool hasSection(const std::string &name) const;
+
+    /**
+     * Cursor over a section's payload; a missing section is
+     * fatal(). Callers must finish() the source when done so
+     * trailing bytes inside a section are rejected too.
+     */
+    SnapshotSource section(const std::string &name) const;
+
+  private:
+    struct Section
+    {
+        std::string name;
+        std::size_t offset; //!< Payload offset into bytes_.
+        std::size_t size;   //!< Payload size in bytes.
+    };
+
+    std::vector<std::uint8_t> bytes_;
+    std::string context_;
+    std::uint64_t fingerprint_ = 0;
+    std::vector<Section> sections_;
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_SNAPSHOT_SNAPSHOT_HH

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * The shared CLI parser: well-formed flags parse, and every
+ * malformed value — zero, negative, non-numeric, overflowing, or
+ * missing — dies with a clear fatal() instead of wrapping, clamping,
+ * or silently falling back to a default.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cli.hh"
+#include "common/thread_pool.hh"
+
+namespace pcmscrub {
+namespace {
+
+/** Build a mutable argv from string literals. */
+class Argv
+{
+  public:
+    explicit Argv(std::initializer_list<const char *> args)
+    {
+        storage_.emplace_back("prog");
+        for (const char *arg : args)
+            storage_.emplace_back(arg);
+        for (std::string &arg : storage_)
+            pointers_.push_back(arg.data());
+    }
+
+    int argc() const { return static_cast<int>(pointers_.size()); }
+    char **argv() { return pointers_.data(); }
+
+  private:
+    std::vector<std::string> storage_;
+    std::vector<char *> pointers_;
+};
+
+CliOptions
+parse(std::initializer_list<const char *> args)
+{
+    Argv argv(args);
+    const CliOptions opts = parseCliOptions(argv.argc(), argv.argv(), 1);
+    // parseCliOptions resizes the global pool; restore serial so
+    // other tests see the default.
+    ThreadPool::global().resize(1);
+    return opts;
+}
+
+TEST(CliTest, DefaultsWhenNoFlags)
+{
+    const CliOptions opts = parse({});
+    EXPECT_EQ(opts.seed, 1u);
+    EXPECT_EQ(opts.threads, 1u);
+    EXPECT_EQ(opts.checkpointEverySimHours, 0.0);
+    EXPECT_TRUE(opts.checkpointPath.empty());
+    EXPECT_TRUE(opts.resumePath.empty());
+    EXPECT_FALSE(opts.checkpointingRequested());
+}
+
+TEST(CliTest, ParsesWellFormedFlags)
+{
+    const CliOptions opts = parse({"--seed", "42", "--threads", "4",
+                                   "--checkpoint", "/tmp/x.snap",
+                                   "--checkpoint-every", "2.5",
+                                   "--resume", "/tmp/y.snap"});
+    EXPECT_EQ(opts.seed, 42u);
+    EXPECT_EQ(opts.threads, 4u);
+    EXPECT_EQ(opts.checkpointPath, "/tmp/x.snap");
+    EXPECT_EQ(opts.checkpointEverySimHours, 2.5);
+    EXPECT_EQ(opts.resumePath, "/tmp/y.snap");
+    EXPECT_TRUE(opts.checkpointingRequested());
+}
+
+TEST(CliTest, ParsesEqualsSyntax)
+{
+    const CliOptions opts =
+        parse({"--seed=7", "--checkpoint=run.snap",
+               "--checkpoint-every=1"});
+    EXPECT_EQ(opts.seed, 7u);
+    EXPECT_EQ(opts.checkpointPath, "run.snap");
+    EXPECT_EQ(opts.checkpointEverySimHours, 1.0);
+}
+
+TEST(CliTest, PositionalArgumentIsReturnedNotParsed)
+{
+    // The returned pointer aliases argv, so the vector must outlive
+    // the assertions.
+    Argv argv({"30", "--seed", "9"});
+    const char *positional = nullptr;
+    const CliOptions opts =
+        parseCliOptions(argv.argc(), argv.argv(), 1, &positional);
+    ThreadPool::global().resize(1);
+    ASSERT_NE(positional, nullptr);
+    EXPECT_STREQ(positional, "30");
+    EXPECT_EQ(opts.seed, 9u);
+}
+
+// Malformed --seed -----------------------------------------------
+
+TEST(CliDeathTest, SeedRejectsNegative)
+{
+    // strtoull would happily wrap "-5" to 2^64-5; the parser must
+    // not.
+    EXPECT_EXIT(parse({"--seed", "-5"}),
+                ::testing::ExitedWithCode(1), "--seed");
+}
+
+TEST(CliDeathTest, SeedRejectsNonNumeric)
+{
+    EXPECT_EXIT(parse({"--seed", "banana"}),
+                ::testing::ExitedWithCode(1), "--seed");
+    EXPECT_EXIT(parse({"--seed", "12x"}),
+                ::testing::ExitedWithCode(1), "--seed");
+    EXPECT_EXIT(parse({"--seed", " 12"}),
+                ::testing::ExitedWithCode(1), "--seed");
+}
+
+TEST(CliDeathTest, SeedRejectsOverflow)
+{
+    // 2^64 + change: out of uint64_t range.
+    EXPECT_EXIT(parse({"--seed", "99999999999999999999"}),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(CliDeathTest, SeedRejectsEmptyAndMissingValue)
+{
+    EXPECT_EXIT(parse({"--seed", ""}),
+                ::testing::ExitedWithCode(1), "empty value");
+    EXPECT_EXIT(parse({"--seed"}),
+                ::testing::ExitedWithCode(1), "requires a value");
+}
+
+// Malformed --threads --------------------------------------------
+
+TEST(CliDeathTest, ThreadsRejectsZero)
+{
+    EXPECT_EXIT(parse({"--threads", "0"}),
+                ::testing::ExitedWithCode(1), "--threads");
+}
+
+TEST(CliDeathTest, ThreadsRejectsNegative)
+{
+    EXPECT_EXIT(parse({"--threads", "-1"}),
+                ::testing::ExitedWithCode(1), "--threads");
+}
+
+TEST(CliDeathTest, ThreadsRejectsNonNumericAndOverflow)
+{
+    EXPECT_EXIT(parse({"--threads", "many"}),
+                ::testing::ExitedWithCode(1), "--threads");
+    EXPECT_EXIT(parse({"--threads", "4096"}),
+                ::testing::ExitedWithCode(1), "--threads");
+    EXPECT_EXIT(parse({"--threads", "99999999999999999999"}),
+                ::testing::ExitedWithCode(1), "--threads");
+}
+
+// Malformed --checkpoint-every -----------------------------------
+
+TEST(CliDeathTest, CheckpointEveryRejectsZeroAndNegative)
+{
+    EXPECT_EXIT(parse({"--checkpoint", "x", "--checkpoint-every", "0"}),
+                ::testing::ExitedWithCode(1), "must be positive");
+    EXPECT_EXIT(
+        parse({"--checkpoint", "x", "--checkpoint-every", "-2"}),
+        ::testing::ExitedWithCode(1), "must be positive");
+}
+
+TEST(CliDeathTest, CheckpointEveryRejectsNonNumericAndOverflow)
+{
+    EXPECT_EXIT(
+        parse({"--checkpoint", "x", "--checkpoint-every", "hourly"}),
+        ::testing::ExitedWithCode(1), "not a number");
+    EXPECT_EXIT(
+        parse({"--checkpoint", "x", "--checkpoint-every", "1h"}),
+        ::testing::ExitedWithCode(1), "not a number");
+    EXPECT_EXIT(
+        parse({"--checkpoint", "x", "--checkpoint-every", "1e999"}),
+        ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(CliDeathTest, CheckpointEveryRequiresCheckpointPath)
+{
+    EXPECT_EXIT(parse({"--checkpoint-every", "1"}),
+                ::testing::ExitedWithCode(1),
+                "requires --checkpoint");
+}
+
+TEST(CliDeathTest, EmptyPathsRejected)
+{
+    EXPECT_EXIT(parse({"--checkpoint", ""}),
+                ::testing::ExitedWithCode(1), "empty path");
+    EXPECT_EXIT(parse({"--resume", ""}),
+                ::testing::ExitedWithCode(1), "empty path");
+}
+
+TEST(CliDeathTest, UnknownFlagRejected)
+{
+    EXPECT_EXIT(parse({"--checkpoints", "x"}),
+                ::testing::ExitedWithCode(1), "unknown argument");
+}
+
+} // namespace
+} // namespace pcmscrub

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Every checked-in example config must parse cleanly through the
+ * shared run-config loader: no unknown keys (typos fail the build,
+ * not the experiment), and every value within its validated range.
+ * Out-of-range and misspelled values must die with a diagnostic.
+ *
+ * PCMSCRUB_CONFIG_DIR points at examples/configs in the source tree.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "scrub/run_config.hh"
+
+namespace pcmscrub {
+namespace {
+
+std::vector<std::string>
+checkedInConfigs()
+{
+    std::vector<std::string> paths;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(PCMSCRUB_CONFIG_DIR)) {
+        if (entry.path().extension() == ".ini")
+            paths.push_back(entry.path().string());
+    }
+    std::sort(paths.begin(), paths.end());
+    return paths;
+}
+
+TEST(ConfigSmokeTest, ShippedConfigsExist)
+{
+    // The directory moving or emptying out would silently turn the
+    // smoke test into a no-op; pin the inventory floor instead.
+    EXPECT_GE(checkedInConfigs().size(), 2u);
+}
+
+TEST(ConfigSmokeTest, EveryShippedConfigParsesWithNoUnknownKeys)
+{
+    for (const std::string &path : checkedInConfigs()) {
+        SCOPED_TRACE(path);
+        const ConfigFile file = ConfigFile::load(path);
+        const AnalyticRunConfig run =
+            applyRunConfig(file, AnalyticRunConfig{});
+        EXPECT_GT(run.backend.lines, 0u);
+        EXPECT_GT(run.days, 0.0);
+        const std::vector<std::string> unused = file.unusedKeys();
+        EXPECT_TRUE(unused.empty())
+            << "unrecognised key '" << (unused.empty() ? "" : unused[0])
+            << "' — a typo, or a key the loader must learn";
+    }
+}
+
+TEST(ConfigSmokeTest, ShippedConfigsBuildWorkingBackends)
+{
+    // The parsed values must actually construct: a config that parses
+    // but cannot build a backend is still broken.
+    for (const std::string &path : checkedInConfigs()) {
+        SCOPED_TRACE(path);
+        AnalyticRunConfig run =
+            applyRunConfig(ConfigFile::load(path), AnalyticRunConfig{});
+        run.backend.lines = std::min<std::uint64_t>(run.backend.lines, 64);
+        AnalyticBackend device(run.backend);
+        EXPECT_EQ(device.lineCount(), run.backend.lines);
+        const auto policy = makePolicy(run.policy, device);
+        EXPECT_FALSE(policy->name().empty());
+    }
+}
+
+// Hostile values -------------------------------------------------
+
+AnalyticRunConfig
+applyText(const std::string &text)
+{
+    return applyRunConfig(ConfigFile::parse(text, "test.ini"),
+                          AnalyticRunConfig{});
+}
+
+TEST(ConfigSmokeDeathTest, OutOfRangeValuesAreFatal)
+{
+    EXPECT_EXIT((void)applyText("[run]\nlines = 0\n"),
+                ::testing::ExitedWithCode(1), "lines");
+    EXPECT_EXIT((void)applyText("[run]\ndays = -2\n"),
+                ::testing::ExitedWithCode(1), "days");
+    EXPECT_EXIT((void)applyText("[policy]\ninterval_s = 0\n"),
+                ::testing::ExitedWithCode(1), "interval");
+    EXPECT_EXIT((void)applyText("[policy]\ntarget_ue_prob = 1.5\n"),
+                ::testing::ExitedWithCode(1), "target_ue_prob");
+    EXPECT_EXIT((void)applyText("[policy]\nlines_per_region = 0\n"),
+                ::testing::ExitedWithCode(1), "lines_per_region");
+    EXPECT_EXIT((void)applyText("[device]\nsigma_log_r = 0\n"),
+                ::testing::ExitedWithCode(1), "sigma_log_r");
+}
+
+TEST(ConfigSmokeDeathTest, UnknownEnumNamesAreFatal)
+{
+    EXPECT_EXIT((void)applyText("[device]\necc = hamming\n"),
+                ::testing::ExitedWithCode(1), "ECC scheme");
+    EXPECT_EXIT((void)applyText("[policy]\nkind = psychic\n"),
+                ::testing::ExitedWithCode(1), "unknown scrub policy");
+    EXPECT_EXIT((void)applyText("[demand]\nworkload = bursty\n"),
+                ::testing::ExitedWithCode(1), "workload");
+}
+
+TEST(ConfigSmokeDeathTest, NonNumericValuesAreFatal)
+{
+    EXPECT_EXIT((void)applyText("[run]\nlines = many\n"),
+                ::testing::ExitedWithCode(1), "lines");
+    EXPECT_EXIT((void)applyText("[run]\ndays = fortnight\n"),
+                ::testing::ExitedWithCode(1), "days");
+}
+
+TEST(ConfigSmokeTest, UnknownKeysAreReportedAsUnused)
+{
+    const ConfigFile file = ConfigFile::parse(
+        "[run]\nlines = 64\n[policy]\nkinds = combined\n", "test.ini");
+    (void)applyRunConfig(file, AnalyticRunConfig{});
+    const std::vector<std::string> unused = file.unusedKeys();
+    ASSERT_EQ(unused.size(), 1u);
+    EXPECT_EQ(unused[0], "policy.kinds");
+}
+
+} // namespace
+} // namespace pcmscrub
