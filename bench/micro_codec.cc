@@ -6,9 +6,19 @@
  * how large a simulated device the experiment harnesses can afford,
  * and stand in for the relative logic costs the energy model
  * encodes.
+ *
+ * Alongside the usual console output, every run writes its results
+ * as machine-readable JSON (default BENCH_micro_codec.json; pass a
+ * different path as the positional argument) so CI can archive the
+ * kernel-cost trajectory.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_json.hh"
 
 #include "common/random.hh"
 #include "ecc/bch.hh"
@@ -131,5 +141,54 @@ BM_AnalyticVisit(benchmark::State &state)
 }
 BENCHMARK(BM_AnalyticVisit);
 
+/**
+ * Console reporting as usual, plus a captured (name, time) record
+ * per benchmark for the JSON artifact.
+ */
+class JsonCaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.error_occurred)
+                continue;
+            bench::JsonObject entry;
+            entry.str("name", run.benchmark_name())
+                .num("real_time_ns", run.GetAdjustedRealTime())
+                .num("cpu_time_ns", run.GetAdjustedCPUTime())
+                .u64("iterations",
+                     static_cast<std::uint64_t>(run.iterations));
+            captured_.pushRaw(entry.render());
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    const bench::JsonArray &captured() const { return captured_; }
+
+  private:
+    bench::JsonArray captured_;
+};
+
 } // namespace
 } // namespace pcmscrub
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    // One optional positional operand: the JSON output path.
+    std::string path = "BENCH_micro_codec.json";
+    if (argc > 1)
+        path = argv[1];
+
+    pcmscrub::JsonCaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    pcmscrub::bench::JsonObject json;
+    json.str("name", "micro_codec")
+        .raw("benchmarks", reporter.captured().render());
+    pcmscrub::bench::writeJsonFile(path, json);
+    return 0;
+}

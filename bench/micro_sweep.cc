@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Cell-backend sweep microbenchmark: the wall-clock cost of scrub
+ * epochs over a mostly-clean array, the case the lazy-drift fast
+ * path exists for. Writes machine-readable BENCH_micro_sweep.json
+ * (pass a different path as the positional argument) so the perf
+ * trajectory of the hot loop is recorded commit over commit.
+ *
+ *   micro_sweep [out.json] [--seed N] [--threads N] [--no-lazy-drift]
+ *
+ * --no-lazy-drift forces the exact per-cell path; comparing the two
+ * runs' JSON is the speedup measurement (metrics are bit-identical).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_json.hh"
+#include "common/cli.hh"
+#include "scrub/cell_backend.hh"
+#include "scrub/policy.hh"
+#include "scrub/sweep_scrub.hh"
+
+using namespace pcmscrub;
+
+int
+main(int argc, char **argv)
+{
+    const char *positional = nullptr;
+    const CliOptions opts = parseCliOptions(argc, argv, 7, &positional);
+    const std::string path =
+        positional != nullptr ? positional : "BENCH_micro_sweep.json";
+
+    // The default mostly-clean configuration: five-minute
+    // light-detect sweeps over a BCH-protected array for two
+    // simulated hours. At these ages drift errors are rare (~3% of
+    // visits decode), so nearly every visit is the clean-line common
+    // case whose cost this bench tracks.
+    CellBackendConfig config;
+    config.lines = 4096;
+    config.scheme = EccScheme::bch(8);
+    config.seed = opts.seed;
+    config.lazyDrift = !opts.noLazyDrift;
+    CellBackend backend(config);
+
+    const Tick interval = secondsToTicks(300.0);
+    const Tick horizon = secondsToTicks(2.0 * 3600.0);
+    LightDetectScrub policy(interval);
+
+    const auto start = std::chrono::steady_clock::now();
+    const std::uint64_t wakes = runScrub(backend, policy, horizon);
+    const auto stop = std::chrono::steady_clock::now();
+    const double wall =
+        std::chrono::duration<double>(stop - start).count();
+
+    const ScrubMetrics &metrics = backend.metrics();
+    const double linesPerSecond =
+        static_cast<double>(metrics.linesChecked) / wall;
+    const double decodesPerSecond =
+        static_cast<double>(metrics.fullDecodes) / wall;
+
+    char fingerprint[32];
+    std::snprintf(fingerprint, sizeof(fingerprint), "%016llx",
+                  static_cast<unsigned long long>(
+                      backend.checkpointFingerprint()));
+
+    bench::JsonObject json;
+    json.str("name", "micro_sweep")
+        .u64("seed", opts.seed)
+        .u64("threads", opts.threads)
+        .u64("lines", config.lines)
+        .str("scheme", config.scheme.name())
+        .boolean("lazy_drift", config.lazyDrift)
+        .u64("sweeps", wakes)
+        .num("wall_seconds", wall)
+        .u64("lines_checked", metrics.linesChecked)
+        .u64("light_detects", metrics.lightDetects)
+        .u64("full_decodes", metrics.fullDecodes)
+        .u64("scrub_rewrites", metrics.scrubRewrites)
+        .num("lines_per_second", linesPerSecond)
+        .num("decodes_per_second", decodesPerSecond)
+        .str("config_fingerprint", fingerprint);
+    bench::writeJsonFile(path, json);
+
+    std::printf("micro_sweep: %llu lines x %llu sweeps in %.3f s "
+                "(%.0f lines/s) -> %s\n",
+                static_cast<unsigned long long>(config.lines),
+                static_cast<unsigned long long>(wakes), wall,
+                linesPerSecond, path.c_str());
+    return 0;
+}

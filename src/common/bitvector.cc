@@ -68,7 +68,7 @@ BitVector::operator^=(const BitVector &other)
 }
 
 std::size_t
-BitVector::hammingDistance(const BitVector &other) const
+BitVector::countDifferences(const BitVector &other) const
 {
     PCMSCRUB_ASSERT(bits_ == other.bits_,
                     "distance of mismatched lengths %zu vs %zu",
@@ -78,6 +78,34 @@ BitVector::hammingDistance(const BitVector &other) const
         total += static_cast<std::size_t>(
             std::popcount(words_[i] ^ other.words_[i]));
     return total;
+}
+
+unsigned
+BitVector::popcountWord(std::size_t word_index) const
+{
+    PCMSCRUB_ASSERT(word_index < words_.size(),
+                    "word index %zu out of range %zu", word_index,
+                    words_.size());
+    return static_cast<unsigned>(std::popcount(words_[word_index]));
+}
+
+void
+BitVector::copyFrom(const BitVector &src, std::size_t src_lo,
+                    std::size_t dst_lo, std::size_t n)
+{
+    PCMSCRUB_ASSERT(src_lo + n <= src.bits_,
+                    "copy source [%zu,+%zu) out of %zu", src_lo, n,
+                    src.bits_);
+    PCMSCRUB_ASSERT(dst_lo + n <= bits_,
+                    "copy destination [%zu,+%zu) out of %zu", dst_lo,
+                    n, bits_);
+    while (n > 0) {
+        const std::size_t take = n < 64 ? n : 64;
+        deposit(dst_lo, take, src.extract(src_lo, take));
+        src_lo += take;
+        dst_lo += take;
+        n -= take;
+    }
 }
 
 std::uint64_t

@@ -46,8 +46,33 @@ class BitVector
     /** XOR another vector of identical length into this one. */
     BitVector &operator^=(const BitVector &other);
 
+    /** Named form of ^= for call sites that read better with it. */
+    void xorWith(const BitVector &other) { *this ^= other; }
+
+    /**
+     * Number of positions at which this and `other` differ, computed
+     * word-by-word (one XOR + popcount per 64 bits). The primitive
+     * behind hammingDistance() and every compare hot path.
+     */
+    std::size_t countDifferences(const BitVector &other) const;
+
     /** Hamming distance to another vector of identical length. */
-    std::size_t hammingDistance(const BitVector &other) const;
+    std::size_t hammingDistance(const BitVector &other) const
+    {
+        return countDifferences(other);
+    }
+
+    /** Set bits within one backing word. */
+    unsigned popcountWord(std::size_t word_index) const;
+
+    /**
+     * Copy `n` bits from src[src_lo, src_lo+n) into
+     * [dst_lo, dst_lo+n) of this vector, moving 64-bit chunks
+     * instead of single bits. Source and destination may be
+     * arbitrarily misaligned.
+     */
+    void copyFrom(const BitVector &src, std::size_t src_lo,
+                  std::size_t dst_lo, std::size_t n);
 
     bool operator==(const BitVector &other) const = default;
 

@@ -21,9 +21,13 @@ printUsage(const char *prog)
     std::printf(
         "usage: %s [--seed N] [--threads N] [--checkpoint PATH]\n"
         "       [--checkpoint-every H] [--resume PATH]\n"
+        "       [--no-lazy-drift]\n"
         "  --seed N              base RNG seed (default per harness)\n"
         "  --threads N           worker threads; results are\n"
         "                        bit-identical at any thread count\n"
+        "  --no-lazy-drift       force the exact per-cell sensing path\n"
+        "                        (bit-identical results, slower; for\n"
+        "                        perf comparison)\n"
         "  --checkpoint PATH     write crash-safe snapshots to PATH\n"
         "                        (periodically and on SIGINT/SIGTERM)\n"
         "  --checkpoint-every H  snapshot every H simulated hours\n"
@@ -149,6 +153,9 @@ parseCliOptions(int argc, char **argv, std::uint64_t defaultSeed,
             if (opts.resumePath.empty())
                 fatal("--resume: empty path");
             i += consumed;
+        } else if (std::strcmp(argv[i], "--no-lazy-drift") == 0) {
+            opts.noLazyDrift = true;
+            ++i;
         } else if (positional != nullptr && !positionalSeen &&
                    argv[i][0] != '-') {
             *positional = argv[i];

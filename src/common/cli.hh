@@ -44,6 +44,14 @@ struct CliOptions
     /** Snapshot file to restore from; empty = fresh start. */
     std::string resumePath;
 
+    /**
+     * Disable the cell backend's lazy-drift fast path and force the
+     * exact per-cell sensing path everywhere. Results are
+     * bit-identical either way; the flag exists for perf comparison
+     * and for the property tests that prove that equivalence.
+     */
+    bool noLazyDrift = false;
+
     /** Whether any checkpoint/resume flag was given. */
     bool checkpointingRequested() const
     {

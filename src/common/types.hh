@@ -25,6 +25,9 @@ using PicoJoule = double;
 /** Ticks per second (tick = 1 ns). */
 constexpr Tick ticksPerSecond = 1'000'000'000ULL;
 
+/** Sentinel tick meaning "beyond any simulated horizon". */
+constexpr Tick kNeverTick = ~Tick{0};
+
 /** Ticks in one microsecond / millisecond for readable timing code. */
 constexpr Tick ticksPerMicrosecond = 1'000ULL;
 constexpr Tick ticksPerMillisecond = 1'000'000ULL;

@@ -1,5 +1,6 @@
 #include "ecc/bch.hh"
 
+#include <bit>
 #include <limits>
 
 #include "common/logging.hh"
@@ -42,6 +43,44 @@ BchCode::BchCode(std::size_t data_bits, unsigned t, unsigned m)
         fatal("BCH(m=%u, t=%u) too short for %zu data bits "
               "(need %zu <= %u)",
               field_.m(), t, data_bits, codewordBits_, field_.order());
+    }
+    buildSyndromeTable();
+}
+
+void
+BchCode::buildSyndromeTable()
+{
+    const unsigned terms = 2 * t_;
+    synBytes_ = (codewordBits_ + 7) / 8;
+    synTable_.assign(synBytes_ * 256 * terms, 0);
+    std::vector<GfElem> single(8 * terms, 0);
+    for (std::size_t p = 0; p < synBytes_; ++p) {
+        const unsigned limit = static_cast<unsigned>(
+            codewordBits_ - p * 8 < 8 ? codewordBits_ - p * 8 : 8);
+        for (unsigned k = 0; k < limit; ++k) {
+            const std::uint64_t power = bitToPower(p * 8 + k);
+            for (unsigned j = 1; j <= terms; ++j)
+                single[k * terms + j - 1] = field_.alphaPow(power * j);
+        }
+        GfElem *const block = &synTable_[p * 256 * terms];
+        // Value v's row is the single-bit row of its lowest set bit
+        // XORed with the already-built row of v with that bit cleared.
+        for (unsigned v = 1; v < 256; ++v) {
+            const unsigned k = static_cast<unsigned>(
+                std::countr_zero(v));
+            GfElem *const dst = &block[v * terms];
+            if (k >= limit) {
+                // Bit beyond the codeword tail contributes nothing.
+                const GfElem *const prev = &block[(v & (v - 1)) * terms];
+                for (unsigned i = 0; i < terms; ++i)
+                    dst[i] = prev[i];
+                continue;
+            }
+            const GfElem *const prev = &block[(v & (v - 1)) * terms];
+            const GfElem *const bit = &single[k * terms];
+            for (unsigned i = 0; i < terms; ++i)
+                dst[i] = prev[i] ^ bit[i];
+        }
     }
 }
 
@@ -97,15 +136,19 @@ bool
 BchCode::syndromes(const BitVector &codeword,
                    std::vector<GfElem> &syn) const
 {
-    syn.assign(2 * t_ + 1, 0); // syn[j] = S_j, syn[0] unused.
-    for (std::size_t bit = 0; bit < codewordBits_; ++bit) {
-        if (!codeword.get(bit))
+    const unsigned terms = 2 * t_;
+    syn.assign(terms + 1, 0); // syn[j] = S_j, syn[0] unused.
+    for (std::size_t p = 0; p < synBytes_; ++p) {
+        const std::size_t width = codewordBits_ - p * 8 < 8
+            ? codewordBits_ - p * 8 : 8;
+        const std::uint64_t v = codeword.extract(p * 8, width);
+        if (v == 0)
             continue;
-        const std::uint64_t power = bitToPower(bit);
-        for (unsigned j = 1; j <= 2 * t_; ++j)
-            syn[j] ^= field_.alphaPow(power * j);
+        const GfElem *const row = &synTable_[(p * 256 + v) * terms];
+        for (unsigned j = 1; j <= terms; ++j)
+            syn[j] ^= row[j - 1];
     }
-    for (unsigned j = 1; j <= 2 * t_; ++j) {
+    for (unsigned j = 1; j <= terms; ++j) {
         if (syn[j] != 0)
             return true;
     }

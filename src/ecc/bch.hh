@@ -57,6 +57,9 @@ class BchCode : public Code
     bool syndromes(const BitVector &codeword,
                    std::vector<GfElem> &syn) const;
 
+    /** Precompute synTable_ (see member comment). */
+    void buildSyndromeTable();
+
     /** Codeword bit index -> polynomial power. */
     std::size_t bitToPower(std::size_t bit) const;
 
@@ -71,6 +74,16 @@ class BchCode : public Code
     BinPoly generator_;
     unsigned parityBits_;
     std::size_t codewordBits_;
+
+    /**
+     * Per-(byte position, byte value) syndrome contributions:
+     * synTable_[(p * 256 + v) * 2t + (j - 1)] is the value byte v at
+     * codeword bits [8p, 8p+8) adds to S_j. syndromes() then costs
+     * one table row XOR per non-zero payload byte instead of a
+     * field multiply per set bit per syndrome.
+     */
+    std::vector<GfElem> synTable_;
+    std::size_t synBytes_;
 };
 
 } // namespace pcmscrub

@@ -16,6 +16,12 @@ LightDetector::LightDetector(std::size_t data_bits, unsigned parity_bits,
     PCMSCRUB_ASSERT(parity_bits >= 1 && parity_bits <= 64,
                     "detector width %u out of range", parity_bits);
     PCMSCRUB_ASSERT(granularity >= 1, "granularity must be positive");
+    payloadWords_ = (dataBits_ + 63) / 64;
+    masks_.assign(payloadWords_ * parityBits_, 0);
+    for (std::size_t i = 0; i < dataBits_; ++i) {
+        const std::size_t cls = (i / granularity_) % parityBits_;
+        masks_[(i / 64) * parityBits_ + cls] |= 1ULL << (i % 64);
+    }
 }
 
 std::string
@@ -29,11 +35,21 @@ LightDetector::compute(const BitVector &data) const
 {
     PCMSCRUB_ASSERT(data.size() == dataBits_, "bad payload length %zu",
                     data.size());
-    BitVector parity(parityBits_);
-    for (std::size_t i = 0; i < dataBits_; ++i) {
-        if (data.get(i))
-            parity.flip((i / granularity_) % parityBits_);
+    std::uint64_t acc = 0;
+    const std::vector<std::uint64_t> &words = data.words();
+    for (std::size_t w = 0; w < payloadWords_; ++w) {
+        const std::uint64_t word = words[w];
+        if (word == 0)
+            continue;
+        const std::uint64_t *row = &masks_[w * parityBits_];
+        for (unsigned c = 0; c < parityBits_; ++c) {
+            acc ^= static_cast<std::uint64_t>(
+                       std::popcount(word & row[c]) & 1)
+                << c;
+        }
     }
+    BitVector parity(parityBits_);
+    parity.deposit(0, parityBits_, acc);
     return parity;
 }
 

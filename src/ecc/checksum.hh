@@ -14,7 +14,9 @@
 #ifndef PCMSCRUB_ECC_CHECKSUM_HH
 #define PCMSCRUB_ECC_CHECKSUM_HH
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/bitvector.hh"
 #include "ecc/detector.hh"
@@ -56,6 +58,14 @@ class LightDetector : public Detector
     std::size_t dataBits_;
     unsigned parityBits_;
     unsigned granularity_;
+
+    /**
+     * masks_[word * parityBits_ + c] selects the bits of payload
+     * word `word` belonging to parity class c, so compute() is one
+     * AND + popcount per (word, class) instead of a bit loop.
+     */
+    std::vector<std::uint64_t> masks_;
+    std::size_t payloadWords_;
 };
 
 /**

@@ -46,11 +46,9 @@ InterleavedCode::encode(const BitVector &data) const
     BitVector codeword(codewordBits());
     BitVector slice(k);
     for (unsigned w = 0; w < ways_; ++w) {
-        for (std::size_t i = 0; i < k; ++i)
-            slice.set(i, data.get(w * k + i));
+        slice.copyFrom(data, w * k, 0, k);
         const BitVector encoded = base_->encode(slice);
-        for (std::size_t i = 0; i < n; ++i)
-            codeword.set(w * n + i, encoded.get(i));
+        codeword.copyFrom(encoded, 0, w * n, n);
     }
     return codeword;
 }
@@ -64,8 +62,7 @@ InterleavedCode::decode(BitVector &codeword) const
     DecodeResult result;
     BitVector slice(n);
     for (unsigned w = 0; w < ways_; ++w) {
-        for (std::size_t i = 0; i < n; ++i)
-            slice.set(i, codeword.get(w * n + i));
+        slice.copyFrom(codeword, w * n, 0, n);
         const DecodeResult sub = base_->decode(slice);
         result.usedFullDecode |= sub.usedFullDecode;
         switch (sub.status) {
@@ -75,8 +72,7 @@ InterleavedCode::decode(BitVector &codeword) const
             result.correctedBits += sub.correctedBits;
             if (result.status == DecodeStatus::Clean)
                 result.status = DecodeStatus::Corrected;
-            for (std::size_t i = 0; i < n; ++i)
-                codeword.set(w * n + i, slice.get(i));
+            codeword.copyFrom(slice, 0, w * n, n);
             break;
           case DecodeStatus::Uncorrectable:
             result.status = DecodeStatus::Uncorrectable;
@@ -96,11 +92,9 @@ InterleavedCode::extractData(const BitVector &codeword) const
     BitVector slice(n);
     BitVector data(dataBits());
     for (unsigned w = 0; w < ways_; ++w) {
-        for (std::size_t i = 0; i < n; ++i)
-            slice.set(i, codeword.get(w * n + i));
+        slice.copyFrom(codeword, w * n, 0, n);
         const BitVector payload = base_->extractData(slice);
-        for (std::size_t i = 0; i < k; ++i)
-            data.set(w * k + i, payload.get(i));
+        data.copyFrom(payload, 0, w * k, k);
     }
     return data;
 }
@@ -113,8 +107,7 @@ InterleavedCode::check(const BitVector &codeword) const
     const std::size_t n = base_->codewordBits();
     BitVector slice(n);
     for (unsigned w = 0; w < ways_; ++w) {
-        for (std::size_t i = 0; i < n; ++i)
-            slice.set(i, codeword.get(w * n + i));
+        slice.copyFrom(codeword, w * n, 0, n);
         if (!base_->check(slice))
             return false;
     }

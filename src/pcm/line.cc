@@ -71,24 +71,45 @@ BitVector
 Line::readCodeword(Tick now, const CellModel &model,
                    double threshold_shift) const
 {
+    // Sensed bits are assembled into a local 64-bit chunk and
+    // deposited wholesale; the per-bit set() path is far too slow
+    // for the scrub inner loop.
     BitVector word(codewordBits_);
+    std::uint64_t chunk = 0;
+    unsigned filled = 0;
+    std::size_t base = 0;
     if (slcMode_) {
         // Single wide threshold at the middle of the level range.
         for (unsigned i = 0; i < codewordBits_; ++i) {
-            word.set(i, model.read(cells_[i], now, threshold_shift) >=
-                            mlcLevels / 2);
+            const std::uint64_t bit =
+                model.read(cells_[i], now, threshold_shift) >=
+                mlcLevels / 2;
+            chunk |= bit << filled;
+            if (++filled == 64) {
+                word.deposit(base, 64, chunk);
+                base += 64;
+                chunk = 0;
+                filled = 0;
+            }
         }
-        return word;
+    } else {
+        for (unsigned i = 0; i < cells_.size(); ++i) {
+            const std::uint64_t gray = levelToGray(
+                model.read(cells_[i], now, threshold_shift));
+            chunk |= gray << filled;
+            filled += bitsPerCell;
+            if (filled == 64) {
+                word.deposit(base, 64, chunk);
+                base += 64;
+                chunk = 0;
+                filled = 0;
+            }
+        }
     }
-    for (unsigned i = 0; i < cells_.size(); ++i) {
-        const std::uint8_t gray = levelToGray(
-            model.read(cells_[i], now, threshold_shift));
-        const std::size_t bit = static_cast<std::size_t>(i) *
-            bitsPerCell;
-        word.set(bit, gray & 1);
-        if (bit + 1 < codewordBits_)
-            word.set(bit + 1, gray & 2);
-    }
+    // Tail chunk; the last cell of an odd-width codeword contributes
+    // one bit more than the word holds, which deposit() masks off.
+    if (base < codewordBits_)
+        word.deposit(base, codewordBits_ - base, chunk);
     return word;
 }
 
@@ -109,7 +130,7 @@ unsigned
 Line::trueBitErrors(Tick now, const CellModel &model) const
 {
     const BitVector read = readCodeword(now, model);
-    return static_cast<unsigned>(read.hammingDistance(intended_));
+    return static_cast<unsigned>(read.countDifferences(intended_));
 }
 
 void

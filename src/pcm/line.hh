@@ -99,6 +99,12 @@ class Line
     Cell &cell(unsigned index) { return cells_.at(index); }
     const Cell &cell(unsigned index) const { return cells_.at(index); }
 
+    /** Level cell `index` must hold for the intended codeword. */
+    unsigned targetLevelFor(unsigned index) const
+    {
+        return targetLevel(intended_, index);
+    }
+
     /**
      * Spare-remap model for repair: freeze every stuck cell at the
      * level the intended data wants, so the line reads correctly

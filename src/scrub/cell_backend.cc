@@ -39,6 +39,8 @@ CellBackend::CellBackend(const CellBackendConfig &config)
     shards_.resize(plan_.count());
     for (std::size_t shard = 0; shard < plan_.count(); ++shard)
         shards_[shard].rng = Random::stream(config.seed, shard);
+    lazy_.resize(config.lines);
+    calendars_.resize(plan_.count());
     if (config.ecpEntries > 0) {
         ecp_.assign(config.lines,
                     EcpStore(code_->codewordBits(),
@@ -79,8 +81,8 @@ CellBackend::senseRaw(LineIndex line, Tick now) const
     return word;
 }
 
-BitVector
-CellBackend::readLine(LineIndex line, Tick now)
+void
+CellBackend::chargeArrayRead(LineIndex line, Tick now)
 {
     ShardState &shard = shardFor(line);
     if (shard.chargedLine != line || shard.chargedTick != now) {
@@ -90,17 +92,116 @@ CellBackend::readLine(LineIndex line, Tick now)
             EnergyCategory::ArrayRead,
             energyModel_.lineRead(cellsPerLine()));
     }
+}
+
+const BitVector &
+CellBackend::readLine(LineIndex line, Tick now)
+{
+    ShardState &shard = shardFor(line);
+    chargeArrayRead(line, now);
     // Buffer the sensed word per (line, tick): injected transient
     // flips must look identical to every gate of the same visit.
     if (shard.bufferedLine != line || shard.bufferedTick != now) {
         shard.bufferedLine = line;
         shard.bufferedTick = now;
-        shard.buffered = senseRaw(line, now);
-        if (injector_ != nullptr)
-            injector_->corruptWord(shard.buffered,
-                                   plan_.shardOf(line));
+        if (lazyVisitClean(line, now)) {
+            // The line provably still senses its intended codeword,
+            // so skip the per-cell physics and hand back the stored
+            // word. corruptWord would be a no-op here (the fast path
+            // is off whenever read faults are live) and draws no RNG
+            // at zero rates, so the buffer bytes and random streams
+            // match the exact path exactly.
+            shard.buffered = array_.line(line).intendedWord();
+        } else {
+            shard.buffered = senseRaw(line, now);
+            if (injector_ != nullptr)
+                injector_->corruptWord(shard.buffered,
+                                       plan_.shardOf(line));
+        }
     }
     return shard.buffered;
+}
+
+bool
+CellBackend::fastPathOn() const
+{
+    return config_.lazyDrift &&
+        (injector_ == nullptr || !injector_->corruptsReads());
+}
+
+LazyLineState
+CellBackend::computeLazyLine(LineIndex line) const
+{
+    LazyLineState state;
+    const Line &physical = array_.line(line);
+    if (physical.slcMode() || ecpUsed(line) > 0)
+        return state;
+    const CellModel &model = array_.model();
+    const Tick writeTick = physical.lastWriteTick();
+    Tick until = kNeverTick;
+    for (unsigned i = 0; i < physical.cellCount(); ++i) {
+        const Cell &cell = physical.cell(i);
+        if (cell.stuck)
+            return state;
+        // A cell already off its target at write time (differential
+        // writes leave unskipped cells on older drift clocks) would
+        // break the monotone-drift argument below; leave such lines
+        // on the exact path.
+        if (model.read(cell, writeTick) != physical.targetLevelFor(i))
+            return state;
+        const Tick cellClean = model.cleanUntil(cell);
+        if (cellClean < until)
+            until = cellClean;
+    }
+    if (until < writeTick)
+        return state;
+    // The gates assume the intended word light-detects and decodes
+    // clean; both hold exactly when it is a true codeword.
+    if (!code_->check(physical.intendedWord()))
+        return state;
+    state.eligible = true;
+    state.cleanUntil = until;
+    return state;
+}
+
+void
+CellBackend::updateLazyLine(LineIndex line)
+{
+    if (!config_.lazyDrift)
+        return;
+    DriftCalendar &calendar = calendars_[plan_.shardOf(line)];
+    if (!calendar.validFor(lazyEpoch_))
+        return; // Stale shard: the next visit rebuilds it wholesale.
+    calendar.remove(lazy_[line]);
+    lazy_[line] = computeLazyLine(line);
+    calendar.add(lazy_[line]);
+}
+
+void
+CellBackend::refreshLazyShard(std::size_t shard)
+{
+    DriftCalendar &calendar = calendars_[shard];
+    calendar.reset(lazyEpoch_);
+    const ShardRange range = plan_.range(shard);
+    for (LineIndex line = range.begin; line < range.end; ++line) {
+        lazy_[line] = computeLazyLine(line);
+        calendar.add(lazy_[line]);
+    }
+}
+
+bool
+CellBackend::lazyVisitClean(LineIndex line, Tick now)
+{
+    if (!fastPathOn())
+        return false;
+    const std::size_t shard = plan_.shardOf(line);
+    DriftCalendar &calendar = calendars_[shard];
+    if (!calendar.validFor(lazyEpoch_))
+        refreshLazyShard(shard);
+    if (calendar.allCleanAt(now))
+        return true;
+    const LazyLineState &state = lazy_[line];
+    return state.eligible && now <= state.cleanUntil;
 }
 
 void
@@ -174,8 +275,13 @@ CellBackend::programLine(LineIndex line, const BitVector &word,
     }
     detectWords_[line] = detector_->compute(word);
     rebuildEcp(line, word);
-    // The visit buffer is stale the moment the cells change.
+    // The visit buffer and the read-charge dedup are both stale the
+    // moment the cells change: a re-read after a mid-visit reprogram
+    // is a fresh sensing pass and must charge again even at the same
+    // tick.
     shard.bufferedLine = ~LineIndex{0};
+    shard.chargedLine = ~LineIndex{0};
+    updateLazyLine(line);
 }
 
 unsigned
@@ -198,11 +304,20 @@ CellBackend::lastFullWrite(LineIndex line, Tick now)
 bool
 CellBackend::lightDetectClean(LineIndex line, Tick now)
 {
-    const BitVector read = readLine(line, now);
+    // Resolve the fast path before sensing so a provably-clean line
+    // skips the detector compute too; the energy and counters below
+    // are charged identically either way.
+    const bool lazyClean = lazyVisitClean(line, now);
+    const BitVector &read = readLine(line, now);
     ScrubMetrics &metrics = metricsFor(line);
     metrics.energy.add(EnergyCategory::Detect,
                        energyModel_.lightDetect());
     ++metrics.lightDetects;
+    if (lazyClean) {
+        // read == intended, so the detect words match by
+        // construction and there is no miss to count.
+        return true;
+    }
     const bool clean = detector_->compute(read) == detectWords_[line];
     if (clean &&
         read != array_.line(line).intendedWord()) {
@@ -214,22 +329,34 @@ CellBackend::lightDetectClean(LineIndex line, Tick now)
 bool
 CellBackend::eccCheckClean(LineIndex line, Tick now)
 {
-    const BitVector read = readLine(line, now);
+    const bool lazyClean = lazyVisitClean(line, now);
+    const BitVector &read = readLine(line, now);
     ScrubMetrics &metrics = metricsFor(line);
     metrics.energy.add(EnergyCategory::Decode,
                        scheme_.checkEnergy(config_.device));
     ++metrics.eccChecks;
+    if (lazyClean) {
+        // Eligibility verified check(intended) at update time.
+        return true;
+    }
     return code_->check(read);
 }
 
 FullDecodeOutcome
 CellBackend::fullDecode(LineIndex line, Tick now)
 {
+    const bool lazyClean = lazyVisitClean(line, now);
     BitVector word = readLine(line, now);
     ScrubMetrics &metrics = metricsFor(line);
     metrics.energy.add(EnergyCategory::Decode,
                        scheme_.fullDecodeEnergy(config_.device));
     ++metrics.fullDecodes;
+    if (lazyClean) {
+        // Zero syndromes by construction: the exact path would take
+        // the Clean branch and draw no RNG, so returning the default
+        // outcome here is bit-identical.
+        return FullDecodeOutcome{};
+    }
 
     const DecodeResult result = code_->decode(word);
     FullDecodeOutcome outcome;
@@ -390,6 +517,9 @@ CellBackend::repairUncorrectable(LineIndex line, Tick now)
     array_.line(line).remapStuckToIntended();
     if (!ecp_.empty())
         ecp_[line].clear();
+    // The remap and ECP clear happen after programLine's own lazy
+    // update and change the eligibility inputs; recompute.
+    updateLazyLine(line);
 }
 
 void
@@ -443,7 +573,7 @@ CellBackend::trueErrors(LineIndex line, Tick now) const
     // patching, before ECC.
     const BitVector read = senseRaw(line, now);
     return static_cast<unsigned>(
-        read.hammingDistance(array_.line(line).intendedWord()));
+        read.countDifferences(array_.line(line).intendedWord()));
 }
 
 void
@@ -516,6 +646,10 @@ CellBackend::checkpointLoad(SnapshotSource &source)
     for (std::size_t i = 0; i < detectWords_.size(); ++i)
         detectWords_[i] =
             detector_->compute(array_.line(i).intendedWord());
+
+    // Restored cells invalidate every cached crossing tick; the next
+    // visit of each shard rebuilds its calendar from the new state.
+    ++lazyEpoch_;
 }
 
 std::uint64_t

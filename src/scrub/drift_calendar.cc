@@ -1,0 +1,63 @@
+#include "scrub/drift_calendar.hh"
+
+#include "common/logging.hh"
+
+namespace pcmscrub {
+
+void
+DriftCalendar::reset(std::uint64_t epoch)
+{
+    counts_.fill(0);
+    ineligible_ = 0;
+    epoch_ = epoch;
+    invalidateMemo();
+}
+
+void
+DriftCalendar::add(const LazyLineState &state)
+{
+    if (state.eligible)
+        ++counts_[bucketOf(state.cleanUntil)];
+    else
+        ++ineligible_;
+    invalidateMemo();
+}
+
+void
+DriftCalendar::remove(const LazyLineState &state)
+{
+    if (state.eligible) {
+        std::uint64_t &count = counts_[bucketOf(state.cleanUntil)];
+        PCMSCRUB_ASSERT(count > 0, "drift calendar underflow");
+        --count;
+    } else {
+        PCMSCRUB_ASSERT(ineligible_ > 0, "drift calendar underflow");
+        --ineligible_;
+    }
+    invalidateMemo();
+}
+
+Tick
+DriftCalendar::horizon() const
+{
+    // A bucket's floor lower-bounds every tick it holds, so the first
+    // occupied bucket's floor lower-bounds the true minimum.
+    for (unsigned b = 0; b < counts_.size(); ++b) {
+        if (counts_[b] != 0)
+            return bucketFloor(b);
+    }
+    return kNeverTick;
+}
+
+bool
+DriftCalendar::allCleanAt(Tick now)
+{
+    if (memoValid_ && memoTick_ == now)
+        return memoAllClean_;
+    memoValid_ = true;
+    memoTick_ = now;
+    memoAllClean_ = ineligible_ == 0 && now <= horizon();
+    return memoAllClean_;
+}
+
+} // namespace pcmscrub

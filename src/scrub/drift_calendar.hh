@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Shard-local calendar of line drift-crossing ticks, the index
+ * structure behind the cell backend's lazy-drift fast path.
+ *
+ * Each scrub shard keeps one calendar over its own lines. A line's
+ * entry is either "ineligible" (stuck cells, ECP patches, SLC mode —
+ * anything the closed-form crossing math cannot claim) or a
+ * conservative tick up to which the line provably still senses its
+ * intended codeword. Entries are bucketed by the bit width of that
+ * tick, which makes the whole-shard horizon — "no line in this shard
+ * can have crossed yet" — an O(buckets) scan that is further memoized
+ * per visit tick.
+ *
+ * The calendar is a pure cache over cell state: it is never
+ * serialized, and an epoch counter lets the backend invalidate every
+ * shard at once (checkpoint restore, direct array mutation) without
+ * touching each entry.
+ */
+
+#ifndef PCMSCRUB_SCRUB_DRIFT_CALENDAR_HH
+#define PCMSCRUB_SCRUB_DRIFT_CALENDAR_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace pcmscrub {
+
+/** Cached lazy-drift facts about one line. */
+struct LazyLineState
+{
+    /** Last tick the line provably senses its intended codeword. */
+    Tick cleanUntil = 0;
+
+    /** False when the line must always take the exact slow path. */
+    bool eligible = false;
+};
+
+/**
+ * Bucketed min-structure over one shard's crossing ticks.
+ */
+class DriftCalendar
+{
+  public:
+    /** Bucket index of a crossing tick (bit width, 0..64). */
+    static unsigned bucketOf(Tick tick)
+    {
+        return static_cast<unsigned>(std::bit_width(tick));
+    }
+
+    /** Smallest tick a bucket can hold. */
+    static Tick bucketFloor(unsigned bucket)
+    {
+        return bucket == 0 ? 0 : Tick{1} << (bucket - 1);
+    }
+
+    /** Whether the calendar was built for this invalidation epoch. */
+    bool validFor(std::uint64_t epoch) const { return epoch_ == epoch; }
+
+    /** Empty the calendar and stamp it with a new epoch. */
+    void reset(std::uint64_t epoch);
+
+    /** Account a line's entry. */
+    void add(const LazyLineState &state);
+
+    /** Retract a line's entry (must match what was added). */
+    void remove(const LazyLineState &state);
+
+    /** Lines that must always take the exact slow path. */
+    std::uint64_t ineligibleLines() const { return ineligible_; }
+
+    /**
+     * Conservative lower bound on the earliest crossing tick of any
+     * eligible line; kNeverTick when the calendar is empty.
+     */
+    Tick horizon() const;
+
+    /**
+     * Whole-shard shortcut: every line of the shard is provably
+     * clean at `now`. Memoized per tick — scrub sweeps visit a whole
+     * shard at one tick, so the memo hits on all but the first line.
+     */
+    bool allCleanAt(Tick now);
+
+  private:
+    void invalidateMemo() { memoValid_ = false; }
+
+    std::array<std::uint64_t, 65> counts_{};
+    std::uint64_t ineligible_ = 0;
+    std::uint64_t epoch_ = 0;
+
+    bool memoValid_ = false;
+    bool memoAllClean_ = false;
+    Tick memoTick_ = 0;
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_SCRUB_DRIFT_CALENDAR_HH

@@ -108,5 +108,75 @@ TEST(BitVector, ToStringShowsBitZeroFirst)
     EXPECT_EQ(v.toString(), "1001");
 }
 
+TEST(BitVector, XorWithMatchesOperator)
+{
+    Random rng(11);
+    BitVector a(197);
+    BitVector b(197);
+    a.randomize(rng);
+    b.randomize(rng);
+    BitVector viaOperator = a;
+    viaOperator ^= b;
+    BitVector viaHelper = a;
+    viaHelper.xorWith(b);
+    EXPECT_EQ(viaHelper, viaOperator);
+}
+
+TEST(BitVector, CountDifferencesMatchesBitLoop)
+{
+    Random rng(12);
+    for (const std::size_t size : {1ul, 63ul, 64ul, 65ul, 592ul}) {
+        BitVector a(size);
+        BitVector b(size);
+        a.randomize(rng);
+        b.randomize(rng);
+        std::size_t manual = 0;
+        for (std::size_t i = 0; i < size; ++i)
+            manual += a.get(i) != b.get(i);
+        EXPECT_EQ(a.countDifferences(b), manual) << "size " << size;
+        EXPECT_EQ(a.countDifferences(a), 0u);
+    }
+}
+
+TEST(BitVector, PopcountWordSumsToPopcount)
+{
+    Random rng(13);
+    BitVector v(300);
+    v.randomize(rng);
+    std::size_t total = 0;
+    for (std::size_t w = 0; w < v.words().size(); ++w)
+        total += v.popcountWord(w);
+    EXPECT_EQ(total, v.popcount());
+    BitVector single(70);
+    single.set(64, true);
+    EXPECT_EQ(single.popcountWord(0), 0u);
+    EXPECT_EQ(single.popcountWord(1), 1u);
+}
+
+TEST(BitVector, CopyFromMatchesBitLoop)
+{
+    Random rng(14);
+    // Aligned, misaligned, and cross-word spans, including a span
+    // wider than one word with both endpoints off word boundaries.
+    struct Span { std::size_t srcLo, dstLo, n; };
+    const Span spans[] = {
+        {0, 0, 64}, {0, 64, 64}, {3, 0, 61}, {0, 3, 61},
+        {7, 13, 150}, {61, 1, 5}, {60, 124, 70}, {0, 0, 1},
+    };
+    for (const Span &span : spans) {
+        BitVector src(256);
+        src.randomize(rng);
+        BitVector expect(256);
+        expect.randomize(rng);
+        BitVector dst = expect;
+        for (std::size_t i = 0; i < span.n; ++i)
+            expect.set(span.dstLo + i, src.get(span.srcLo + i));
+        dst.copyFrom(src, span.srcLo, span.dstLo, span.n);
+        EXPECT_EQ(dst, expect)
+            << "src " << span.srcLo << " dst " << span.dstLo
+            << " n " << span.n;
+    }
+}
+
 } // namespace
 } // namespace pcmscrub

@@ -153,6 +153,60 @@ TEST(CellBackend, EnergyChargedOncePerVisit)
               once);
 }
 
+TEST(CellBackend, ReprogramInvalidatesVisitReadCharge)
+{
+    // Regression: the (line, tick) read-charge dedup must not
+    // survive a reprogram — re-reading a just-rewritten line at the
+    // same tick is a fresh sensing pass and costs a fresh array read.
+    CellBackend backend(smallConfig());
+    const Tick at = secondsToTicks(10.0);
+    backend.lightDetectClean(0, at);
+    const double once =
+        backend.metrics().energy.get(EnergyCategory::ArrayRead);
+    ASSERT_GT(once, 0.0);
+    backend.scrubRewrite(0, at);
+    backend.lightDetectClean(0, at);
+    EXPECT_DOUBLE_EQ(
+        backend.metrics().energy.get(EnergyCategory::ArrayRead),
+        once + once);
+}
+
+TEST(CellBackend, MidVisitReprogramRefreshesSensedWord)
+{
+    // A demand write replaces the payload mid-visit; the gates at the
+    // same tick must sense the new word, not a stale visit buffer.
+    CellBackend backend(smallConfig());
+    const Tick at = secondsToTicks(10.0);
+    EXPECT_TRUE(backend.lightDetectClean(3, at));
+    backend.demandWrite(3, at);
+    EXPECT_TRUE(backend.lightDetectClean(3, at));
+    EXPECT_TRUE(backend.eccCheckClean(3, at));
+    EXPECT_EQ(backend.trueErrors(3, at), 0u);
+}
+
+TEST(CellBackend, LazyDriftOffMatchesOnForCleanVisits)
+{
+    CellBackendConfig config = smallConfig(EccScheme::bch(8));
+    CellBackendConfig exact = config;
+    exact.lazyDrift = false;
+    CellBackend lazy(config);
+    CellBackend slow(exact);
+    for (const double seconds : {0.5, 3600.0, 2.6e6}) {
+        const Tick at = secondsToTicks(seconds);
+        for (LineIndex line = 0; line < lazy.lineCount(); ++line) {
+            EXPECT_EQ(lazy.lightDetectClean(line, at),
+                      slow.lightDetectClean(line, at))
+                << "line " << line << " at " << seconds << " s";
+        }
+    }
+    EXPECT_EQ(lazy.metrics().lightDetects,
+              slow.metrics().lightDetects);
+    EXPECT_EQ(lazy.metrics().detectorMisses,
+              slow.metrics().detectorMisses);
+    EXPECT_DOUBLE_EQ(lazy.metrics().energy.total(),
+                     slow.metrics().energy.total());
+}
+
 TEST(CellBackend, MarginScanSeesPreFailurePopulation)
 {
     CellBackendConfig config = smallConfig(EccScheme::bch(8));

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Closed-form band-crossing math (CellModel::cleanUntil) versus a
+ * brute-force search over the actual read function. The lazy-drift
+ * fast path is only sound if cleanUntil never overshoots the true
+ * crossing; it is only useful if it lands close below it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "pcm/cell.hh"
+
+namespace pcmscrub {
+namespace {
+
+/**
+ * True last clean tick by doubling out from the write tick and
+ * binary-searching the (monotone) read function; kNeverTick when no
+ * crossing exists within the representable tick range.
+ */
+Tick
+bruteCleanUntil(const CellModel &model, const Cell &cell)
+{
+    const unsigned level = model.read(cell, cell.writeTick);
+    Tick lo = cell.writeTick; // Reads `level` here by construction.
+    Tick hi = 0;
+    bool found = false;
+    for (unsigned k = 0; k < 64; ++k) {
+        const Tick step = Tick{1} << k;
+        if (step >= kNeverTick - cell.writeTick)
+            break;
+        const Tick probe = cell.writeTick + step;
+        if (model.read(cell, probe) != level) {
+            hi = probe;
+            found = true;
+            break;
+        }
+        lo = probe;
+    }
+    if (!found)
+        return kNeverTick;
+    while (hi - lo > 1) {
+        const Tick mid = lo + (hi - lo) / 2;
+        if (model.read(cell, mid) == level)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+TEST(DriftCrossing, ClosedFormNeverOvershootsAndLandsClose)
+{
+    const DeviceConfig device;
+    const CellModel model(device);
+    Random rng(42);
+    unsigned finite = 0;
+    for (unsigned trial = 0; trial < 400; ++trial) {
+        Cell cell;
+        model.initialize(cell, rng);
+        const unsigned level = trial % mlcLevels;
+        const Tick writeTick =
+            secondsToTicks(rng.uniform(0.0, 1.0e6));
+        model.program(cell, level, writeTick, rng);
+        if (cell.stuck)
+            continue;
+
+        const Tick closed = model.cleanUntil(cell);
+        const Tick brute = bruteCleanUntil(model, cell);
+
+        // Soundness: the claim never extends past the true crossing.
+        ASSERT_LE(closed, brute)
+            << "level " << level << " nu " << cell.nu
+            << " logR0 " << cell.logR0;
+        ASSERT_GE(closed, writeTick);
+
+        // Every tick of the claimed interval reads the write-time
+        // level (spot-check the interval; monotonicity covers the
+        // rest).
+        if (closed != kNeverTick) {
+            const unsigned atWrite = model.read(cell, writeTick);
+            EXPECT_EQ(model.read(cell, closed), atWrite);
+            EXPECT_EQ(model.read(cell, writeTick + (closed - writeTick) / 2),
+                      atWrite);
+        }
+
+        // Tightness: the conversion slack is ~2^-45 relative, so a
+        // 2^-40-relative bound leaves a 32x margin and still proves
+        // the claim is not uselessly conservative.
+        if (brute != kNeverTick) {
+            ++finite;
+            const Tick gap = brute - closed;
+            EXPECT_LE(gap, 16 + ((brute - writeTick) >> 40))
+                << "closed " << closed << " brute " << brute;
+        }
+    }
+    // The default device config must exercise real crossings or this
+    // test proves nothing.
+    EXPECT_GT(finite, 50u);
+}
+
+TEST(DriftCrossing, StuckTopBandAndZeroDriftNeverCross)
+{
+    const DeviceConfig device;
+    const CellModel model(device);
+    Random rng(7);
+
+    Cell stuck;
+    model.initialize(stuck, rng);
+    model.program(stuck, 1, 100, rng);
+    stuck.stuck = true;
+    stuck.stuckLevel = 1;
+    EXPECT_EQ(model.cleanUntil(stuck), kNeverTick);
+
+    // Top band: drift only raises resistance and there is no
+    // threshold above.
+    Cell top;
+    model.initialize(top, rng);
+    model.program(top, mlcLevels - 1, 100, rng);
+    ASSERT_FALSE(top.stuck);
+    EXPECT_EQ(model.cleanUntil(top), kNeverTick);
+
+    Cell still;
+    model.initialize(still, rng);
+    model.program(still, 1, 100, rng);
+    ASSERT_FALSE(still.stuck);
+    still.nu = 0.0f;
+    EXPECT_EQ(model.cleanUntil(still), kNeverTick);
+
+    // Reverse drift is outside the model's monotonicity argument:
+    // the claim must collapse to the write tick itself.
+    Cell reverse = still;
+    reverse.nu = -0.01f;
+    EXPECT_EQ(model.cleanUntil(reverse), reverse.writeTick);
+}
+
+} // namespace
+} // namespace pcmscrub
