@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include <sys/resource.h>
+
 #include "common/logging.hh"
 
 namespace pcmscrub {
@@ -121,6 +123,16 @@ writeJsonFile(const std::string &path, const JsonObject &object)
         std::fwrite(body.data(), 1, body.size(), file);
     if (written != body.size() || std::fclose(file) != 0)
         fatal("short write to %s", path.c_str());
+}
+
+std::uint64_t
+peakRssBytes()
+{
+    struct rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+    // Linux reports ru_maxrss in kilobytes.
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
 }
 
 } // namespace bench

@@ -60,6 +60,13 @@ class JsonArray
  */
 void writeJsonFile(const std::string &path, const JsonObject &object);
 
+/**
+ * Peak resident set size of this process in bytes (getrusage), so
+ * scale benches can report memory alongside throughput; 0 if the
+ * platform cannot say.
+ */
+std::uint64_t peakRssBytes();
+
 } // namespace bench
 } // namespace pcmscrub
 

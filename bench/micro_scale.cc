@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Array-scaling microbenchmark: cell-accurate backends from 16k to
+ * 256k lines, reporting construction (warm-up) time, sweep
+ * throughput, bytes per line, and peak RSS per point. This is the
+ * capacity story of the SoA cell storage — the JSON shows whether
+ * 10^5+ line arrays fit comfortably and how throughput scales with
+ * array size. Writes BENCH_micro_scale.json (pass a different path
+ * as the positional argument).
+ *
+ *   micro_scale [out.json] [--seed N] [--threads N] [--no-lazy-drift]
+ *               [--lines N] [--sweeps N]
+ *
+ * --lines pins a single point instead of the default ascending sweep
+ * (ascending order keeps each point's peak-RSS reading meaningful:
+ * the process high-water mark is always set by the current, largest
+ * array). --sweeps sets scrub sweeps per point (default 4).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_json.hh"
+#include "common/cli.hh"
+#include "scrub/cell_backend.hh"
+#include "scrub/policy.hh"
+#include "scrub/sweep_scrub.hh"
+
+using namespace pcmscrub;
+
+int
+main(int argc, char **argv)
+{
+    const char *positional = nullptr;
+    const CliOptions opts = parseCliOptions(argc, argv, 7, &positional);
+    const std::string path =
+        positional != nullptr ? positional : "BENCH_micro_scale.json";
+
+    std::vector<std::uint64_t> points = {16384, 65536, 262144};
+    if (opts.lines != 0)
+        points = {opts.lines};
+    const std::uint64_t sweeps = opts.sweeps != 0 ? opts.sweeps : 4;
+    const Tick interval = secondsToTicks(300.0);
+    const Tick horizon = interval * sweeps;
+
+    bench::JsonArray pointArray;
+    for (const std::uint64_t lines : points) {
+        CellBackendConfig config;
+        config.lines = lines;
+        config.scheme = EccScheme::bch(8);
+        config.seed = opts.seed;
+        config.lazyDrift = !opts.noLazyDrift;
+
+        const auto buildStart = std::chrono::steady_clock::now();
+        auto backend = std::make_unique<CellBackend>(config);
+        const auto buildStop = std::chrono::steady_clock::now();
+        const double warmup =
+            std::chrono::duration<double>(buildStop - buildStart)
+                .count();
+
+        LightDetectScrub policy(interval);
+        const auto start = std::chrono::steady_clock::now();
+        const std::uint64_t wakes = runScrub(*backend, policy, horizon);
+        const auto stop = std::chrono::steady_clock::now();
+        const double wall =
+            std::chrono::duration<double>(stop - start).count();
+
+        const ScrubMetrics &metrics = backend->metrics();
+        const double linesPerSecond =
+            static_cast<double>(metrics.linesChecked) / wall;
+        const double bytesPerLine =
+            static_cast<double>(backend->arrayView().storageBytes()) /
+            static_cast<double>(lines);
+        const std::uint64_t rss = bench::peakRssBytes();
+
+        bench::JsonObject point;
+        point.u64("lines", lines)
+            .u64("sweeps", wakes)
+            .num("warmup_seconds", warmup)
+            .num("wall_seconds", wall)
+            .u64("lines_checked", metrics.linesChecked)
+            .num("lines_per_second", linesPerSecond)
+            .num("bytes_per_line", bytesPerLine)
+            .u64("peak_rss_bytes", rss);
+        pointArray.pushRaw(point.render());
+
+        std::printf("micro_scale: %8llu lines: warmup %.3f s, "
+                    "%llu sweeps in %.3f s (%.0f lines/s, "
+                    "%.1f bytes/line, peak RSS %.1f MiB)\n",
+                    static_cast<unsigned long long>(lines), warmup,
+                    static_cast<unsigned long long>(wakes), wall,
+                    linesPerSecond, bytesPerLine,
+                    static_cast<double>(rss) / (1024.0 * 1024.0));
+    }
+
+    bench::JsonObject json;
+    json.str("name", "micro_scale")
+        .u64("seed", opts.seed)
+        .u64("threads", opts.threads)
+        .str("scheme", "bch-8")
+        .boolean("lazy_drift", !opts.noLazyDrift)
+        .u64("sweeps_per_point", sweeps)
+        .raw("points", pointArray.render());
+    bench::writeJsonFile(path, json);
+
+    std::printf("micro_scale: wrote %s\n", path.c_str());
+    return 0;
+}

@@ -7,9 +7,11 @@
  * trajectory of the hot loop is recorded commit over commit.
  *
  *   micro_sweep [out.json] [--seed N] [--threads N] [--no-lazy-drift]
+ *               [--lines N] [--sweeps N]
  *
  * --no-lazy-drift forces the exact per-cell path; comparing the two
  * runs' JSON is the speedup measurement (metrics are bit-identical).
+ * --lines/--sweeps scale the run (defaults: 4096 lines, 24 sweeps).
  */
 
 #include <chrono>
@@ -38,14 +40,15 @@ main(int argc, char **argv)
     // visits decode), so nearly every visit is the clean-line common
     // case whose cost this bench tracks.
     CellBackendConfig config;
-    config.lines = 4096;
+    config.lines = opts.lines != 0 ? opts.lines : 4096;
     config.scheme = EccScheme::bch(8);
     config.seed = opts.seed;
     config.lazyDrift = !opts.noLazyDrift;
     CellBackend backend(config);
 
+    const std::uint64_t sweeps = opts.sweeps != 0 ? opts.sweeps : 24;
     const Tick interval = secondsToTicks(300.0);
-    const Tick horizon = secondsToTicks(2.0 * 3600.0);
+    const Tick horizon = interval * sweeps;
     LightDetectScrub policy(interval);
 
     const auto start = std::chrono::steady_clock::now();
@@ -80,6 +83,10 @@ main(int argc, char **argv)
         .u64("scrub_rewrites", metrics.scrubRewrites)
         .num("lines_per_second", linesPerSecond)
         .num("decodes_per_second", decodesPerSecond)
+        .num("bytes_per_line",
+             static_cast<double>(backend.arrayView().storageBytes()) /
+                 static_cast<double>(config.lines))
+        .u64("peak_rss_bytes", bench::peakRssBytes())
         .str("config_fingerprint", fingerprint);
     bench::writeJsonFile(path, json);
 

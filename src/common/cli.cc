@@ -21,10 +21,14 @@ printUsage(const char *prog)
     std::printf(
         "usage: %s [--seed N] [--threads N] [--checkpoint PATH]\n"
         "       [--checkpoint-every H] [--resume PATH]\n"
-        "       [--no-lazy-drift]\n"
+        "       [--no-lazy-drift] [--lines N] [--sweeps N]\n"
         "  --seed N              base RNG seed (default per harness)\n"
         "  --threads N           worker threads; results are\n"
         "                        bit-identical at any thread count\n"
+        "  --lines N             simulated-array line count (default\n"
+        "                        per harness; scale benches sweep it)\n"
+        "  --sweeps N            scrub sweeps to simulate (default\n"
+        "                        per harness)\n"
         "  --no-lazy-drift       force the exact per-cell sensing path\n"
         "                        (bit-identical results, slower; for\n"
         "                        perf comparison)\n"
@@ -135,6 +139,18 @@ parseCliOptions(int argc, char **argv, std::uint64_t defaultSeed,
                 fatal("--threads must be in [1, 1024]; got %llu",
                       static_cast<unsigned long long>(threads));
             opts.threads = static_cast<unsigned>(threads);
+            i += consumed;
+        } else if (matchFlag("--lines", argc, argv, i, &value,
+                             &consumed)) {
+            opts.lines = parseUint("--lines", value);
+            if (opts.lines == 0)
+                fatal("--lines must be at least 1");
+            i += consumed;
+        } else if (matchFlag("--sweeps", argc, argv, i, &value,
+                             &consumed)) {
+            opts.sweeps = parseUint("--sweeps", value);
+            if (opts.sweeps == 0)
+                fatal("--sweeps must be at least 1");
             i += consumed;
         } else if (matchFlag("--checkpoint-every", argc, argv, i, &value,
                              &consumed)) {

@@ -35,6 +35,19 @@ struct CliOptions
     std::uint64_t seed = 1;
     unsigned threads = 1;
 
+    /**
+     * Simulated-array line count override; 0 = keep the harness's
+     * default (so checked-in baselines stay comparable). Harnesses
+     * that have no array to size reject the flag.
+     */
+    std::uint64_t lines = 0;
+
+    /**
+     * Scrub-sweep count override; 0 = keep the harness's default.
+     * Only meaningful to the sweep-driven bench harnesses.
+     */
+    std::uint64_t sweeps = 0;
+
     /** Checkpoint cadence in simulated hours; 0 = only on signals. */
     double checkpointEverySimHours = 0.0;
 

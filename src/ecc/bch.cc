@@ -45,6 +45,44 @@ BchCode::BchCode(std::size_t data_bits, unsigned t, unsigned m)
               field_.m(), t, data_bits, codewordBits_, field_.order());
     }
     buildSyndromeTable();
+    buildEncodeTable();
+}
+
+void
+BchCode::buildEncodeTable()
+{
+    encWords_ = (parityBits_ + 63) / 64;
+    if (parityBits_ < 8 || encWords_ > 2) {
+        // Byte steps need at least one full byte of register, and no
+        // supported field produces more than 2 words of parity; keep
+        // the BinPoly fallback for anything outside that envelope.
+        encTable_.clear();
+        return;
+    }
+    for (unsigned b = 0; b < parityBits_; ++b) {
+        if (generator_.coeff(b))
+            genLow_[b / 64] |= 1ULL << (b % 64);
+    }
+    // Remainders of the eight monomials one byte can set; byte rows
+    // follow by linearity of "mod g" over GF(2).
+    std::uint64_t single[8][2] = {};
+    for (unsigned k = 0; k < 8; ++k) {
+        const BinPoly rem =
+            BinPoly::monomial(parityBits_ + k).mod(generator_);
+        for (unsigned b = 0; b < parityBits_; ++b) {
+            if (rem.coeff(b))
+                single[k][b / 64] |= 1ULL << (b % 64);
+        }
+    }
+    encTable_.assign(std::size_t{256} * encWords_, 0);
+    for (unsigned v = 1; v < 256; ++v) {
+        const unsigned k = static_cast<unsigned>(std::countr_zero(v));
+        const std::uint64_t *const prev =
+            &encTable_[(v & (v - 1)) * encWords_];
+        std::uint64_t *const dst = &encTable_[v * encWords_];
+        for (unsigned w = 0; w < encWords_; ++w)
+            dst[w] = prev[w] ^ single[k][w];
+    }
 }
 
 void
@@ -111,11 +149,8 @@ BchCode::powerToBit(std::size_t power) const
 }
 
 BitVector
-BchCode::encode(const BitVector &data) const
+BchCode::encodeSlow(const BitVector &data) const
 {
-    PCMSCRUB_ASSERT(data.size() == dataBits_, "bad payload length %zu",
-                    data.size());
-
     // parity(x) = (x^r * d(x)) mod g(x), systematic encoding.
     BinPoly message;
     for (std::size_t i = 0; i < dataBits_; ++i) {
@@ -129,6 +164,85 @@ BchCode::encode(const BitVector &data) const
         codeword.set(i, data.get(i));
     for (unsigned j = 0; j < parityBits_; ++j)
         codeword.set(dataBits_ + j, parity.coeff(j));
+    return codeword;
+}
+
+BitVector
+BchCode::encode(const BitVector &data) const
+{
+    PCMSCRUB_ASSERT(data.size() == dataBits_, "bad payload length %zu",
+                    data.size());
+    if (encTable_.empty())
+        return encodeSlow(data);
+
+    // CRC-style division: the r-bit register holds
+    // (prefix(x) * x^r) mod g(x) for the payload prefix processed so
+    // far, highest power first; after the last bit it is the parity.
+    // r0 holds remainder bits [0, 64), r1 bits [64, r).
+    const unsigned r = parityBits_;
+    std::uint64_t r0 = 0;
+    std::uint64_t r1 = 0;
+    const std::uint64_t mask0 =
+        r >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << r) - 1;
+    const std::uint64_t mask1 =
+        r <= 64 ? 0
+                : (r == 128 ? ~std::uint64_t{0}
+                            : (std::uint64_t{1} << (r - 64)) - 1);
+
+    // Feed one payload bit (the next-lower power).
+    const auto stepBit = [&](std::uint64_t bit) {
+        std::uint64_t top;
+        if (encWords_ == 1) {
+            top = r0 >> (r - 1);
+            r0 = (r0 << 1) & mask0;
+        } else {
+            top = r1 >> (r - 65);
+            r1 = ((r1 << 1) | (r0 >> 63)) & mask1;
+            r0 <<= 1;
+        }
+        if (top ^ bit) {
+            // g = x^r + genLow, so shifting x^r out folds genLow in.
+            r0 ^= genLow_[0];
+            r1 ^= genLow_[1];
+        }
+    };
+
+    // Feed eight payload bits at once via the byte table.
+    const auto stepByte = [&](std::uint64_t byte) {
+        std::uint64_t top;
+        if (encWords_ == 1) {
+            top = r0 >> (r - 8);
+            r0 = (r0 << 8) & mask0;
+        } else if (r >= 72) {
+            top = r1 >> (r - 72);
+            r1 = ((r1 << 8) | (r0 >> 56)) & mask1;
+            r0 <<= 8;
+        } else {
+            // The top byte straddles the word boundary (65 <= r < 72).
+            top = ((r1 << (72 - r)) | (r0 >> (r - 8))) & 0xff;
+            r1 = ((r1 << 8) | (r0 >> 56)) & mask1;
+            r0 <<= 8;
+        }
+        const std::uint64_t *const row =
+            &encTable_[(top ^ byte) * encWords_];
+        r0 ^= row[0];
+        if (encWords_ == 2)
+            r1 ^= row[1];
+    };
+
+    // Highest powers first: a bit-serial head brings the remaining
+    // payload length to a byte multiple, then the table takes over.
+    const std::size_t head = dataBits_ % 8;
+    for (std::size_t i = 0; i < head; ++i)
+        stepBit(data.get(dataBits_ - 1 - i) ? 1 : 0);
+    for (std::size_t k = dataBits_ / 8; k-- > 0;)
+        stepByte(data.extract(k * 8, 8));
+
+    BitVector codeword(codewordBits_);
+    codeword.copyFrom(data, 0, 0, dataBits_);
+    codeword.deposit(dataBits_, r < 64 ? r : 64, r0);
+    if (r > 64)
+        codeword.deposit(dataBits_ + 64, r - 64, r1);
     return codeword;
 }
 
@@ -213,26 +327,68 @@ BchCode::decode(BitVector &codeword) const
     }
 
     // Chien search: sigma's roots are the inverse error locators.
-    // A root at alpha^j marks an error at power (order - j) mod order.
-    std::vector<std::size_t> errorBits;
-    for (std::uint32_t j = 0; j < field_.order(); ++j) {
-        if (sigma.eval(field_, field_.alphaPow(j)) != 0)
+    // A root at alpha^j marks an error at power (order - j) mod
+    // order, and only powers below codewordBits_ map to codeword
+    // bits — a root outside that range sits in the shortened
+    // (always-zero) region and means the true error count exceeded
+    // t. Scanning only the in-range j therefore changes nothing: an
+    // out-of-range root eats one of sigma's at-most-lfsrLen roots,
+    // so the count check below reports Uncorrectable either way.
+    //
+    // Each non-zero sigma coefficient contributes
+    // alpha^(log c_i + i*j) to sigma(alpha^j); stepping j advances
+    // the exponent by the coefficient's stride i, so the whole scan
+    // is adds and exp-table lookups with no field multiplies.
+    const std::uint32_t order = field_.order();
+    const unsigned deg = static_cast<unsigned>(sigma.degree());
+    std::uint32_t termExp[2 * 64];
+    std::uint32_t termStride[2 * 64];
+    unsigned terms = 0;
+    for (unsigned i = 0; i <= deg && terms < 2 * 64; ++i) {
+        const GfElem c = sigma.coeff(i);
+        if (c == 0)
             continue;
-        const std::size_t power = (field_.order() - j) % field_.order();
-        const std::size_t bit = powerToBit(power);
-        if (bit == npos) {
-            // Error located in the shortened (always-zero) region:
-            // only possible if the true error count exceeded t.
-            result.status = DecodeStatus::Uncorrectable;
-            return result;
+        termExp[terms] = field_.log(c);
+        termStride[terms] = i % order;
+        ++terms;
+    }
+
+    std::vector<std::size_t> errorBits;
+    // j = 0 (error at power 0) first: sigma(1) is the coefficient sum.
+    GfElem atOne = 0;
+    for (unsigned k = 0; k < terms; ++k)
+        atOne ^= field_.alphaPowReduced(termExp[k]);
+    if (atOne == 0)
+        errorBits.push_back(powerToBit(0));
+
+    const std::uint32_t jStart =
+        order - static_cast<std::uint32_t>(codewordBits_) + 1;
+    for (unsigned k = 0; k < terms; ++k) {
+        termExp[k] = static_cast<std::uint32_t>(
+            (termExp[k] +
+             static_cast<std::uint64_t>(termStride[k]) * jStart) %
+            order);
+    }
+    for (std::uint32_t j = jStart; j < order; ++j) {
+        GfElem value = 0;
+        for (unsigned k = 0; k < terms; ++k) {
+            value ^= field_.alphaPowReduced(termExp[k]);
+            termExp[k] += termStride[k];
+            if (termExp[k] >= order)
+                termExp[k] -= order;
         }
-        errorBits.push_back(bit);
-        if (errorBits.size() > lfsrLen)
+        if (value != 0)
+            continue;
+        errorBits.push_back(powerToBit(order - j));
+        // A degree-lfsrLen locator has no further roots; the rest of
+        // the scan cannot add or remove error bits.
+        if (errorBits.size() == lfsrLen)
             break;
     }
 
     if (errorBits.size() != lfsrLen) {
-        // Locator does not split over the field: > t errors.
+        // Locator does not split over the field inside the codeword
+        // region: > t errors.
         result.status = DecodeStatus::Uncorrectable;
         return result;
     }

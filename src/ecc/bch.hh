@@ -60,6 +60,12 @@ class BchCode : public Code
     /** Precompute synTable_ (see member comment). */
     void buildSyndromeTable();
 
+    /** Precompute encTable_ / genLow_ (see member comments). */
+    void buildEncodeTable();
+
+    /** Reference encode via BinPoly division (small-parity fallback). */
+    BitVector encodeSlow(const BitVector &data) const;
+
     /** Codeword bit index -> polynomial power. */
     std::size_t bitToPower(std::size_t bit) const;
 
@@ -84,6 +90,23 @@ class BchCode : public Code
      */
     std::vector<GfElem> synTable_;
     std::size_t synBytes_;
+
+    /**
+     * Byte-sliced encode remainders: encTable_[v * encWords_ + w] is
+     * word w of (v(x) * x^parityBits_) mod g(x) for the byte value v.
+     * Systematic encoding then runs a CRC-style register over the
+     * payload bytes — one table row XOR per byte — instead of a
+     * bit-serial polynomial division. Empty when the parity register
+     * is too narrow for byte steps (parityBits_ < 8); encode falls
+     * back to the BinPoly path.
+     */
+    std::vector<std::uint64_t> encTable_;
+
+    /** Words per remainder row: (parityBits_ + 63) / 64, at most 2. */
+    unsigned encWords_ = 0;
+
+    /** Low parityBits_ bits of g(x) == x^parityBits_ mod g(x). */
+    std::uint64_t genLow_[2] = {0, 0};
 };
 
 } // namespace pcmscrub

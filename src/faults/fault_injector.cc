@@ -178,19 +178,22 @@ FaultInjector::freezeCells(Line &line, unsigned count,
     for (unsigned injected = 0; injected < count; ++injected) {
         // Pick a healthy victim; give up once the line is (nearly)
         // all dead rather than spinning.
-        Cell *victim = nullptr;
+        bool found = false;
+        unsigned victim = 0;
         for (unsigned attempt = 0; attempt < 32; ++attempt) {
-            Cell &candidate = line.cell(static_cast<unsigned>(
-                l.rng.uniformInt(line.cellCount())));
-            if (!candidate.stuck) {
-                victim = &candidate;
+            const unsigned candidate = static_cast<unsigned>(
+                l.rng.uniformInt(line.cellCount()));
+            if (!line.cell(candidate).stuck) {
+                victim = candidate;
+                found = true;
                 break;
             }
         }
-        if (victim == nullptr)
+        if (!found)
             return;
-        victim->stuck = true;
-        victim->stuckLevel = static_cast<std::uint8_t>(
+        auto cell = line.cell(victim);
+        cell.stuck = 1;
+        cell.stuckLevel = static_cast<std::uint8_t>(
             l.rng.uniformInt(mlcLevels));
     }
 }

@@ -41,6 +41,17 @@ class GF2m
     /** alpha^power (power taken mod the group order). */
     GfElem alphaPow(std::uint64_t power) const;
 
+    /**
+     * alpha^power for an exponent already reduced below 2 * order:
+     * a straight exp-table load, no modulo. Hot loops (Chien search)
+     * that keep their exponents reduced use this to stay
+     * division-free.
+     */
+    GfElem alphaPowReduced(std::uint32_t power) const
+    {
+        return expTable_[power];
+    }
+
     /** Discrete log base alpha; element must be non-zero. */
     std::uint32_t log(GfElem element) const;
 

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "common/serialize.hh"
+#include "common/thread_pool.hh"
 
 namespace pcmscrub {
 
@@ -9,12 +10,17 @@ CellArray::CellArray(std::size_t num_lines, std::size_t codeword_bits,
                      const DeviceConfig &config, std::uint64_t seed)
     : codewordBits_(codeword_bits),
       model_(config),
-      rng_(seed)
+      rng_(seed),
+      seed_(seed)
 {
     PCMSCRUB_ASSERT(num_lines >= 1, "array needs at least one line");
+    const std::size_t cellsPerLine =
+        (codeword_bits + bitsPerCell - 1) / bitsPerCell;
+    cellStore_.resize(num_lines * cellsPerLine);
     lines_.reserve(num_lines);
     for (std::size_t i = 0; i < num_lines; ++i) {
-        lines_.emplace_back(codeword_bits);
+        lines_.emplace_back(codeword_bits, &cellStore_,
+                            i * cellsPerLine);
         lines_.back().initialize(model_, rng_);
     }
 }
@@ -22,12 +28,20 @@ CellArray::CellArray(std::size_t num_lines, std::size_t codeword_bits,
 LineProgramStats
 CellArray::writeRandomAll(Tick now)
 {
+    // Each line draws its codeword and program noise from its own
+    // counter-based stream, so shards never contend for the array RNG
+    // and the result does not depend on how lines land on threads.
+    // Stream ids are offset past the fault-injector's per-line
+    // streams to keep the draw sequences disjoint.
+    std::vector<LineProgramStats> perLine(lines_.size());
+    ThreadPool::global().run(lines_.size(), [&](std::size_t i) {
+        Random rng = Random::stream(seed_, (1ULL << 32) + i);
+        BitVector word(codewordBits_);
+        word.randomize(rng);
+        perLine[i] = lines_[i].writeCodeword(word, now, model_, rng);
+    });
     LineProgramStats total;
-    BitVector word(codewordBits_);
-    for (auto &line : lines_) {
-        word.randomize(rng_);
-        const LineProgramStats stats =
-            line.writeCodeword(word, now, model_, rng_);
+    for (const LineProgramStats &stats : perLine) {
         total.cellsProgrammed += stats.cellsProgrammed;
         total.totalIterations += stats.totalIterations;
         total.cellsWornOut += stats.cellsWornOut;
@@ -42,6 +56,16 @@ CellArray::totalBitErrors(Tick now) const
     for (const auto &line : lines_)
         errors += line.trueBitErrors(now, model_);
     return errors;
+}
+
+std::size_t
+CellArray::storageBytes() const
+{
+    std::size_t bytes = cellStore_.bytes() +
+        lines_.size() * sizeof(Line);
+    for (const auto &line : lines_)
+        bytes += line.ownedBytes();
+    return bytes;
 }
 
 std::uint64_t

@@ -4,6 +4,11 @@
  * cell-level simulator operates on. Experiments that need full-device
  * scale use the analytic Monte-Carlo engine instead and treat this
  * array as the calibrated ground truth.
+ *
+ * Cell state is stored structure-of-arrays: the array owns one plane
+ * per cell field and lines view fixed-stride slices, so a 10^5-line
+ * array is nine allocations instead of one vector per line, and the
+ * batched kernels stream contiguous memory.
  */
 
 #ifndef PCMSCRUB_PCM_ARRAY_HH
@@ -13,6 +18,7 @@
 
 #include "common/random.hh"
 #include "pcm/cell.hh"
+#include "pcm/cell_storage.hh"
 #include "pcm/line.hh"
 
 namespace pcmscrub {
@@ -32,6 +38,11 @@ class CellArray
     CellArray(std::size_t num_lines, std::size_t codeword_bits,
               const DeviceConfig &config, std::uint64_t seed);
 
+    // Lines hold pointers into the array-owned cell planes; the
+    // array must stay put.
+    CellArray(const CellArray &) = delete;
+    CellArray &operator=(const CellArray &) = delete;
+
     std::size_t lineCount() const { return lines_.size(); }
     std::size_t codewordBits() const { return codewordBits_; }
     const CellModel &model() const { return model_; }
@@ -46,6 +57,11 @@ class CellArray
     /**
      * Program every line with an independent random codeword at
      * time `now` (experiment warm-up); returns aggregate stats.
+     *
+     * Sharded across ThreadPool::global(): each line draws from its
+     * own counter-based stream (seed, line), and stats reduce in
+     * line order, so the result is bit-identical at any thread
+     * count.
      */
     LineProgramStats writeRandomAll(Tick now);
 
@@ -54,6 +70,14 @@ class CellArray
 
     /** Total permanently failed cells across the array. */
     std::uint64_t totalStuckCells() const;
+
+    /**
+     * Heap bytes of cell and line storage, for the scale benches'
+     * bytes-per-line reporting: the shared planes, each line's owned
+     * planes and intended word, and the line objects themselves.
+     * Allocator overhead is deliberately excluded.
+     */
+    std::size_t storageBytes() const;
 
     /** Serialize the array RNG and every line. */
     void saveState(SnapshotSink &sink) const;
@@ -68,6 +92,8 @@ class CellArray
     std::size_t codewordBits_;
     CellModel model_;
     Random rng_;
+    std::uint64_t seed_;
+    CellStorage cellStore_;
     std::vector<Line> lines_;
 };
 

@@ -1,0 +1,43 @@
+#include "pcm/cell_storage.hh"
+
+namespace pcmscrub {
+
+void
+CellStorage::resize(std::size_t cells)
+{
+    logR0_.resize(cells, 0.0f);
+    nu_.resize(cells, 0.0f);
+    // Matches Cell{}.nuSpeed so a grown plane reads like fresh cells.
+    nuSpeed_.resize(cells, 1.0f);
+    enduranceWrites_.resize(cells, 0.0f);
+    writes_.resize(cells, 0);
+    storedLevel_.resize(cells, 0);
+    stuck_.resize(cells, 0);
+    stuckLevel_.resize(cells, 0);
+    writeTick_.resize(cells, 0);
+}
+
+std::size_t
+CellStorage::bytes() const
+{
+    const std::size_t cells = size();
+    return cells * (4 * sizeof(float) + sizeof(std::uint32_t) +
+                    3 * sizeof(std::uint8_t) + sizeof(Tick));
+}
+
+void
+CellStorage::copyCell(const CellStorage &source, std::size_t from,
+                      std::size_t to)
+{
+    logR0_[to] = source.logR0_[from];
+    nu_[to] = source.nu_[from];
+    nuSpeed_[to] = source.nuSpeed_[from];
+    enduranceWrites_[to] = source.enduranceWrites_[from];
+    writes_[to] = source.writes_[from];
+    storedLevel_[to] = source.storedLevel_[from];
+    stuck_[to] = source.stuck_[from];
+    stuckLevel_[to] = source.stuckLevel_[from];
+    writeTick_[to] = source.writeTick_[from];
+}
+
+} // namespace pcmscrub

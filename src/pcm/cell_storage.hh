@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Structure-of-arrays cell storage: one contiguous plane per cell
+ * field instead of one struct per cell. The batched sense/program
+ * kernels stream over the planes they need (a sense touches four of
+ * nine fields; AoS drags the full 32-byte struct through the cache
+ * for every read), and a 10^5-line array becomes nine allocations
+ * instead of 10^5 per-line vectors.
+ *
+ * Lines view fixed-stride slices of an array-owned CellStorage; the
+ * per-cell API survives as CellRef / CellConstRef — bundles of
+ * references into the planes that read like the old `Cell &`. The
+ * `Cell` value struct stays the unit of the physics (CellModel), of
+ * snapshots, and of load/store round trips, so the refactor cannot
+ * change a single computed bit.
+ */
+
+#ifndef PCMSCRUB_PCM_CELL_STORAGE_HH
+#define PCMSCRUB_PCM_CELL_STORAGE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "pcm/cell.hh"
+
+namespace pcmscrub {
+
+/**
+ * Mutable view of one cell's fields inside a CellStorage. Reference
+ * members write straight through to the planes; load()/store()
+ * convert to and from the Cell value struct for code (the physics,
+ * snapshots) that wants the whole cell at once.
+ */
+struct CellRef
+{
+    float &logR0;
+    float &nu;
+    float &nuSpeed;
+    float &enduranceWrites;
+    std::uint32_t &writes;
+    std::uint8_t &storedLevel;
+    std::uint8_t &stuck; //!< Boolean; one byte per cell in the plane.
+    std::uint8_t &stuckLevel;
+    Tick &writeTick;
+
+    /** Copy the cell out of the planes. */
+    Cell load() const
+    {
+        Cell cell;
+        cell.logR0 = logR0;
+        cell.nu = nu;
+        cell.nuSpeed = nuSpeed;
+        cell.enduranceWrites = enduranceWrites;
+        cell.writes = writes;
+        cell.storedLevel = storedLevel;
+        cell.stuck = stuck != 0;
+        cell.stuckLevel = stuckLevel;
+        cell.writeTick = writeTick;
+        return cell;
+    }
+
+    /** Write the cell back into the planes. */
+    void store(const Cell &cell) const
+    {
+        logR0 = cell.logR0;
+        nu = cell.nu;
+        nuSpeed = cell.nuSpeed;
+        enduranceWrites = cell.enduranceWrites;
+        writes = cell.writes;
+        storedLevel = cell.storedLevel;
+        stuck = cell.stuck ? 1 : 0;
+        stuckLevel = cell.stuckLevel;
+        writeTick = cell.writeTick;
+    }
+};
+
+/** Read-only counterpart of CellRef. */
+struct CellConstRef
+{
+    const float &logR0;
+    const float &nu;
+    const float &nuSpeed;
+    const float &enduranceWrites;
+    const std::uint32_t &writes;
+    const std::uint8_t &storedLevel;
+    const std::uint8_t &stuck;
+    const std::uint8_t &stuckLevel;
+    const Tick &writeTick;
+
+    Cell load() const
+    {
+        Cell cell;
+        cell.logR0 = logR0;
+        cell.nu = nu;
+        cell.nuSpeed = nuSpeed;
+        cell.enduranceWrites = enduranceWrites;
+        cell.writes = writes;
+        cell.storedLevel = storedLevel;
+        cell.stuck = stuck != 0;
+        cell.stuckLevel = stuckLevel;
+        cell.writeTick = writeTick;
+        return cell;
+    }
+};
+
+/**
+ * Raw plane pointers for a contiguous run of cells — what the
+ * batched kernels iterate. Obtained from Line::span(); stays valid
+ * until the underlying storage is resized.
+ */
+struct CellSpan
+{
+    float *logR0;
+    float *nu;
+    float *nuSpeed;
+    float *enduranceWrites;
+    std::uint32_t *writes;
+    std::uint8_t *storedLevel;
+    std::uint8_t *stuck;
+    std::uint8_t *stuckLevel;
+    Tick *writeTick;
+    std::size_t count;
+
+    CellRef ref(std::size_t i) const
+    {
+        return CellRef{logR0[i],       nu[i],         nuSpeed[i],
+                       enduranceWrites[i], writes[i], storedLevel[i],
+                       stuck[i],       stuckLevel[i], writeTick[i]};
+    }
+};
+
+/** Read-only counterpart of CellSpan. */
+struct CellConstSpan
+{
+    const float *logR0;
+    const float *nu;
+    const float *nuSpeed;
+    const float *enduranceWrites;
+    const std::uint32_t *writes;
+    const std::uint8_t *storedLevel;
+    const std::uint8_t *stuck;
+    const std::uint8_t *stuckLevel;
+    const Tick *writeTick;
+    std::size_t count;
+
+    CellConstRef ref(std::size_t i) const
+    {
+        return CellConstRef{logR0[i],       nu[i],         nuSpeed[i],
+                            enduranceWrites[i], writes[i], storedLevel[i],
+                            stuck[i],       stuckLevel[i], writeTick[i]};
+    }
+};
+
+/**
+ * The planes themselves: one vector per cell field, index = cell.
+ * Default-constructed fields match the Cell struct's defaults.
+ */
+class CellStorage
+{
+  public:
+    CellStorage() = default;
+    explicit CellStorage(std::size_t cells) { resize(cells); }
+
+    std::size_t size() const { return writeTick_.size(); }
+
+    /** Grow or shrink; new cells get Cell-default field values. */
+    void resize(std::size_t cells);
+
+    /** Bytes held across all planes (capacity ignored). */
+    std::size_t bytes() const;
+
+    /** Copy cell `from` of `source` into cell `to` of this storage. */
+    void copyCell(const CellStorage &source, std::size_t from,
+                  std::size_t to);
+
+    CellSpan span(std::size_t base, std::size_t count)
+    {
+        return CellSpan{logR0_.data() + base,
+                        nu_.data() + base,
+                        nuSpeed_.data() + base,
+                        enduranceWrites_.data() + base,
+                        writes_.data() + base,
+                        storedLevel_.data() + base,
+                        stuck_.data() + base,
+                        stuckLevel_.data() + base,
+                        writeTick_.data() + base,
+                        count};
+    }
+
+    CellConstSpan span(std::size_t base, std::size_t count) const
+    {
+        return CellConstSpan{logR0_.data() + base,
+                             nu_.data() + base,
+                             nuSpeed_.data() + base,
+                             enduranceWrites_.data() + base,
+                             writes_.data() + base,
+                             storedLevel_.data() + base,
+                             stuck_.data() + base,
+                             stuckLevel_.data() + base,
+                             writeTick_.data() + base,
+                             count};
+    }
+
+    CellRef ref(std::size_t i)
+    {
+        return CellRef{logR0_[i],       nu_[i],         nuSpeed_[i],
+                       enduranceWrites_[i], writes_[i], storedLevel_[i],
+                       stuck_[i],       stuckLevel_[i], writeTick_[i]};
+    }
+
+    CellConstRef ref(std::size_t i) const
+    {
+        return CellConstRef{logR0_[i],       nu_[i],         nuSpeed_[i],
+                            enduranceWrites_[i], writes_[i],
+                            storedLevel_[i], stuck_[i],      stuckLevel_[i],
+                            writeTick_[i]};
+    }
+
+  private:
+    std::vector<float> logR0_;
+    std::vector<float> nu_;
+    std::vector<float> nuSpeed_;
+    std::vector<float> enduranceWrites_;
+    std::vector<std::uint32_t> writes_;
+    std::vector<std::uint8_t> storedLevel_;
+    std::vector<std::uint8_t> stuck_;
+    std::vector<std::uint8_t> stuckLevel_;
+    std::vector<Tick> writeTick_;
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_PCM_CELL_STORAGE_HH

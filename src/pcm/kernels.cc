@@ -1,0 +1,195 @@
+#include "pcm/kernels.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace pcmscrub {
+namespace kernels {
+
+namespace {
+
+/**
+ * Hoisted drift-age term: u = log10(age / t0) for one program tick.
+ * Cells written by the same full write share their tick, so the
+ * common case evaluates one log10 per line; the cache re-evaluates
+ * only when a cell sits on a different clock. The arithmetic is
+ * exactly CellModel::senseLogR's, so the cached value is the value
+ * the per-cell path would compute.
+ */
+class DriftAgeCache
+{
+  public:
+    DriftAgeCache(Tick now, double t0_seconds)
+        : now_(now), t0Seconds_(t0_seconds)
+    {
+    }
+
+    double u(Tick write_tick)
+    {
+        if (!valid_ || write_tick != cachedTick_) {
+            PCMSCRUB_ASSERT(now_ >= write_tick,
+                            "reading before the cell was written");
+            const double age = ticksToSeconds(now_ - write_tick);
+            cachedU_ = age > t0Seconds_
+                ? std::log10(age / t0Seconds_)
+                : 0.0;
+            cachedTick_ = write_tick;
+            valid_ = true;
+        }
+        return cachedU_;
+    }
+
+  private:
+    Tick now_;
+    double t0Seconds_;
+    Tick cachedTick_ = 0;
+    double cachedU_ = 0.0;
+    bool valid_ = false;
+};
+
+/** Sensed level of cell i: CellModel::read() against the planes. */
+inline unsigned
+senseLevel(const CellConstSpan &cells, std::size_t i,
+           const DeviceConfig &config, DriftAgeCache &age,
+           double threshold_shift)
+{
+    if (cells.stuck[i])
+        return cells.stuckLevel[i];
+    const double logR = static_cast<double>(cells.logR0[i]) +
+        static_cast<double>(cells.nu[i]) * age.u(cells.writeTick[i]);
+    unsigned level = 0;
+    for (unsigned l = 0; l + 1 < mlcLevels; ++l) {
+        if (logR > config.readThresholdLogR[l] + threshold_shift)
+            level = l + 1;
+    }
+    return level;
+}
+
+} // namespace
+
+BitVector
+senseCodeword(const CellConstSpan &cells, std::size_t codeword_bits,
+              bool slc_mode, const DeviceConfig &config, Tick now,
+              double threshold_shift)
+{
+    BitVector word(codeword_bits);
+    DriftAgeCache age(now, config.driftT0Seconds);
+    std::uint64_t chunk = 0;
+    unsigned filled = 0;
+    std::size_t base = 0;
+    if (slc_mode) {
+        // Single wide threshold at the middle of the level range.
+        for (std::size_t i = 0; i < codeword_bits; ++i) {
+            const std::uint64_t bit =
+                senseLevel(cells, i, config, age, threshold_shift) >=
+                mlcLevels / 2;
+            chunk |= bit << filled;
+            if (++filled == 64) {
+                word.deposit(base, 64, chunk);
+                base += 64;
+                chunk = 0;
+                filled = 0;
+            }
+        }
+    } else {
+        for (std::size_t i = 0; i < cells.count; ++i) {
+            const std::uint64_t gray = levelToGray(
+                senseLevel(cells, i, config, age, threshold_shift));
+            chunk |= gray << filled;
+            filled += bitsPerCell;
+            if (filled == 64) {
+                word.deposit(base, 64, chunk);
+                base += 64;
+                chunk = 0;
+                filled = 0;
+            }
+        }
+    }
+    // Tail chunk; the last cell of an odd-width codeword contributes
+    // one bit more than the word holds, which deposit() masks off.
+    if (base < codeword_bits)
+        word.deposit(base, codeword_bits - base, chunk);
+    return word;
+}
+
+unsigned
+marginScanCount(const CellConstSpan &cells, const DeviceConfig &config,
+                Tick now)
+{
+    DriftAgeCache age(now, config.driftT0Seconds);
+    unsigned flagged = 0;
+    for (std::size_t i = 0; i < cells.count; ++i) {
+        if (cells.stuck[i])
+            continue;
+        // One sense serves both the level decision and the band
+        // check — CellModel::marginFlagged computes the identical
+        // value twice.
+        const double logR = static_cast<double>(cells.logR0[i]) +
+            static_cast<double>(cells.nu[i]) *
+                age.u(cells.writeTick[i]);
+        unsigned level = 0;
+        for (unsigned l = 0; l + 1 < mlcLevels; ++l) {
+            if (logR > config.readThresholdLogR[l])
+                level = l + 1;
+        }
+        if (!config.hasUpperThreshold(level))
+            continue;
+        flagged += logR > config.readThresholdLogR[level] -
+            config.marginBandLogR;
+    }
+    return flagged;
+}
+
+LineProgramStats
+programCodeword(const CellSpan &cells, const BitVector &codeword,
+                std::size_t codeword_bits, bool slc_mode, Tick now,
+                const CellModel &model, Random &rng, bool differential)
+{
+    const DeviceConfig &config = model.config();
+    DriftAgeCache age(now, config.driftT0Seconds);
+    const CellConstSpan read_view{
+        cells.logR0,       cells.nu,         cells.nuSpeed,
+        cells.enduranceWrites, cells.writes, cells.storedLevel,
+        cells.stuck,       cells.stuckLevel, cells.writeTick,
+        cells.count};
+
+    LineProgramStats stats;
+    for (std::size_t i = 0; i < cells.count; ++i) {
+        unsigned level;
+        if (slc_mode) {
+            // One bit per cell, extreme levels only: full RESET for
+            // 0, full SET for 1.
+            level = codeword.get(i) ? mlcLevels - 1 : 0;
+        } else {
+            const std::size_t bit = i * bitsPerCell;
+            std::uint8_t gray = codeword.get(bit) ? 1 : 0;
+            if (bit + 1 < codeword_bits && codeword.get(bit + 1))
+                gray |= 2;
+            level = grayToLevel(gray);
+        }
+        if (cells.stuck[i]) {
+            // Dead cells ignore programming (and the differential
+            // read) — CellModel::program draws nothing for them.
+            continue;
+        }
+        if (differential &&
+            senseLevel(read_view, i, config, age, 0.0) == level) {
+            continue; // Data-comparison write skips matching cells.
+        }
+        Cell cell = cells.ref(i).load();
+        const ProgramOutcome outcome =
+            model.program(cell, level, now, rng);
+        cells.ref(i).store(cell);
+        if (outcome.iterations > 0) {
+            ++stats.cellsProgrammed;
+            stats.totalIterations += outcome.iterations;
+        }
+        stats.cellsWornOut += outcome.wornOut;
+    }
+    return stats;
+}
+
+} // namespace kernels
+} // namespace pcmscrub

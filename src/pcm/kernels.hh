@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Batched per-line kernels over SoA cell planes: sensing, margin
+ * scan, and programming of a whole line in one pass.
+ *
+ * The contract is exactness, not approximation: each kernel performs
+ * the same floating-point operations in the same order as the
+ * per-cell CellModel calls it replaces, so results are bit-identical
+ * (sense_kernel_test proves it against the model directly). The
+ * speed comes from what the kernels *avoid*: the dominant saving is
+ * one log10 per distinct program tick per line instead of one per
+ * cell — after a full write every cell shares the line's drift
+ * clock, so a 256-cell sense performs a single log10. A scalar
+ * fallback handles cells on older clocks (differential writes skip
+ * cells, leaving them on earlier ticks).
+ */
+
+#ifndef PCMSCRUB_PCM_KERNELS_HH
+#define PCMSCRUB_PCM_KERNELS_HH
+
+#include "common/bitvector.hh"
+#include "common/types.hh"
+#include "pcm/cell_storage.hh"
+#include "pcm/line.hh"
+
+namespace pcmscrub {
+
+class Random;
+
+namespace kernels {
+
+/**
+ * Sense every cell and pack the (possibly corrupted) codeword —
+ * the batched form of CellModel::read() over a line.
+ *
+ * @param slc_mode one bit per cell (extreme levels) instead of the
+ *        Gray-coded two
+ * @param threshold_shift widened-margin retry sensing
+ */
+BitVector senseCodeword(const CellConstSpan &cells,
+                        std::size_t codeword_bits, bool slc_mode,
+                        const DeviceConfig &config, Tick now,
+                        double threshold_shift);
+
+/**
+ * Number of cells the light margin read would flag (MLC only; SLC
+ * margins never flag). Batched CellModel::marginFlagged().
+ */
+unsigned marginScanCount(const CellConstSpan &cells,
+                         const DeviceConfig &config, Tick now);
+
+/**
+ * Program the line to hold `codeword` — the batched form of the
+ * writeCodeword loop. RNG draws happen in exact per-cell order (the
+ * physics still runs through CellModel::program per cell, so the
+ * draw sequence cannot drift from the reference); the batching wins
+ * are the plane-local stores and, on differential writes, the
+ * hoisted-log10 current-level read.
+ */
+LineProgramStats programCodeword(const CellSpan &cells,
+                                 const BitVector &codeword,
+                                 std::size_t codeword_bits,
+                                 bool slc_mode, Tick now,
+                                 const CellModel &model, Random &rng,
+                                 bool differential);
+
+} // namespace kernels
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_PCM_KERNELS_HH

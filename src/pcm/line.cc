@@ -3,23 +3,89 @@
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/serialize.hh"
+#include "pcm/kernels.hh"
 
 namespace pcmscrub {
 
 Line::Line(std::size_t codeword_bits)
     : codewordBits_(codeword_bits),
-      cells_((codeword_bits + bitsPerCell - 1) / bitsPerCell),
+      owned_(std::make_unique<CellStorage>(
+          (codeword_bits + bitsPerCell - 1) / bitsPerCell)),
       intended_(codeword_bits)
 {
     PCMSCRUB_ASSERT(codeword_bits >= bitsPerCell,
                     "line of %zu bits is too small", codeword_bits);
+    storage_ = owned_.get();
+    base_ = 0;
+    count_ = mlcCellCount();
+}
+
+Line::Line(std::size_t codeword_bits, CellStorage *storage,
+           std::size_t base)
+    : codewordBits_(codeword_bits),
+      storage_(storage),
+      base_(base),
+      shared_(storage),
+      sharedBase_(base),
+      intended_(codeword_bits)
+{
+    PCMSCRUB_ASSERT(codeword_bits >= bitsPerCell,
+                    "line of %zu bits is too small", codeword_bits);
+    count_ = mlcCellCount();
+    PCMSCRUB_ASSERT(base + count_ <= storage->size(),
+                    "line slice [%zu, %zu) exceeds the cell storage",
+                    base, base + count_);
+}
+
+void
+Line::boundsCheck(unsigned index) const
+{
+    PCMSCRUB_ASSERT(index < count_, "cell %u out of range (%zu cells)",
+                    index, count_);
+}
+
+void
+Line::activateMlcView()
+{
+    if (shared_ != nullptr) {
+        storage_ = shared_;
+        base_ = sharedBase_;
+    } else {
+        owned_->resize(mlcCellCount());
+        storage_ = owned_.get();
+        base_ = 0;
+    }
+    count_ = mlcCellCount();
+}
+
+void
+Line::activateSlcView()
+{
+    if (shared_ != nullptr && storage_ == shared_) {
+        // Move the line's cells out of the fixed-stride array planes
+        // into a private annex wide enough for one cell per bit.
+        if (!owned_)
+            owned_ = std::make_unique<CellStorage>();
+        owned_->resize(codewordBits_);
+        for (std::size_t i = 0; i < count_; ++i)
+            owned_->copyCell(*storage_, base_ + i, i);
+        storage_ = owned_.get();
+        base_ = 0;
+    } else {
+        owned_->resize(codewordBits_);
+    }
+    count_ = codewordBits_;
 }
 
 void
 Line::initialize(const CellModel &model, Random &rng)
 {
-    for (auto &cell : cells_)
+    for (std::size_t i = 0; i < count_; ++i) {
+        const CellRef ref = storage_->ref(base_ + i);
+        Cell cell = ref.load();
         model.initialize(cell, rng);
+        ref.store(cell);
+    }
 }
 
 unsigned
@@ -46,21 +112,9 @@ Line::writeCodeword(const BitVector &codeword, Tick now,
     PCMSCRUB_ASSERT(codeword.size() == codewordBits_,
                     "codeword of %zu bits on a %zu-bit line",
                     codeword.size(), codewordBits_);
-    LineProgramStats stats;
-    for (unsigned i = 0; i < cells_.size(); ++i) {
-        const unsigned level = targetLevel(codeword, i);
-        if (differential && !cells_[i].stuck &&
-            model.read(cells_[i], now) == level) {
-            continue; // Data-comparison write skips matching cells.
-        }
-        const ProgramOutcome outcome =
-            model.program(cells_[i], level, now, rng);
-        if (outcome.iterations > 0) {
-            ++stats.cellsProgrammed;
-            stats.totalIterations += outcome.iterations;
-        }
-        stats.cellsWornOut += outcome.wornOut;
-    }
+    const LineProgramStats stats = kernels::programCodeword(
+        span(), codeword, codewordBits_, slcMode_, now, model, rng,
+        differential);
     intended_ = codeword;
     lastWriteTick_ = now;
     ++lineWrites_;
@@ -71,46 +125,9 @@ BitVector
 Line::readCodeword(Tick now, const CellModel &model,
                    double threshold_shift) const
 {
-    // Sensed bits are assembled into a local 64-bit chunk and
-    // deposited wholesale; the per-bit set() path is far too slow
-    // for the scrub inner loop.
-    BitVector word(codewordBits_);
-    std::uint64_t chunk = 0;
-    unsigned filled = 0;
-    std::size_t base = 0;
-    if (slcMode_) {
-        // Single wide threshold at the middle of the level range.
-        for (unsigned i = 0; i < codewordBits_; ++i) {
-            const std::uint64_t bit =
-                model.read(cells_[i], now, threshold_shift) >=
-                mlcLevels / 2;
-            chunk |= bit << filled;
-            if (++filled == 64) {
-                word.deposit(base, 64, chunk);
-                base += 64;
-                chunk = 0;
-                filled = 0;
-            }
-        }
-    } else {
-        for (unsigned i = 0; i < cells_.size(); ++i) {
-            const std::uint64_t gray = levelToGray(
-                model.read(cells_[i], now, threshold_shift));
-            chunk |= gray << filled;
-            filled += bitsPerCell;
-            if (filled == 64) {
-                word.deposit(base, 64, chunk);
-                base += 64;
-                chunk = 0;
-                filled = 0;
-            }
-        }
-    }
-    // Tail chunk; the last cell of an odd-width codeword contributes
-    // one bit more than the word holds, which deposit() masks off.
-    if (base < codewordBits_)
-        word.deposit(base, codewordBits_ - base, chunk);
-    return word;
+    return kernels::senseCodeword(span(), codewordBits_, slcMode_,
+                                  model.config(), now,
+                                  threshold_shift);
 }
 
 unsigned
@@ -120,10 +137,7 @@ Line::marginScanCount(Tick now, const CellModel &model) const
     // band; nothing is ever "about to fail".
     if (slcMode_)
         return 0;
-    unsigned flagged = 0;
-    for (const auto &cell : cells_)
-        flagged += model.marginFlagged(cell, now);
-    return flagged;
+    return kernels::marginScanCount(span(), model.config(), now);
 }
 
 unsigned
@@ -136,12 +150,13 @@ Line::trueBitErrors(Tick now, const CellModel &model) const
 void
 Line::remapStuckToIntended()
 {
-    for (unsigned i = 0; i < cells_.size(); ++i) {
-        if (!cells_[i].stuck)
+    for (unsigned i = 0; i < count_; ++i) {
+        auto cell = storage_->ref(base_ + i);
+        if (!cell.stuck)
             continue;
         const unsigned level = targetLevel(intended_, i);
-        cells_[i].stuckLevel = static_cast<std::uint8_t>(level);
-        cells_[i].storedLevel = static_cast<std::uint8_t>(level);
+        cell.stuckLevel = static_cast<std::uint8_t>(level);
+        cell.storedLevel = static_cast<std::uint8_t>(level);
     }
 }
 
@@ -153,27 +168,43 @@ Line::setSlcMode(const CellModel &model, Random &rng)
     slcMode_ = true;
     // Annex the paired line's cells so every codeword bit gets its
     // own cell; the newcomers are fresh silicon.
-    const std::size_t previous = cells_.size();
-    cells_.resize(codewordBits_);
-    for (std::size_t i = previous; i < cells_.size(); ++i)
-        model.initialize(cells_[i], rng);
+    const std::size_t previous = count_;
+    activateSlcView();
+    for (std::size_t i = previous; i < count_; ++i) {
+        const CellRef ref = storage_->ref(base_ + i);
+        Cell cell = ref.load();
+        model.initialize(cell, rng);
+        ref.store(cell);
+    }
 }
 
 unsigned
 Line::stuckCellCount() const
 {
+    const CellConstSpan cells = span();
     unsigned stuck = 0;
-    for (const auto &cell : cells_)
-        stuck += cell.stuck;
+    for (std::size_t i = 0; i < cells.count; ++i)
+        stuck += cells.stuck[i] != 0;
     return stuck;
+}
+
+std::size_t
+Line::ownedBytes() const
+{
+    std::size_t bytes =
+        intended_.words().size() * sizeof(std::uint64_t);
+    if (owned_)
+        bytes += owned_->bytes();
+    return bytes;
 }
 
 void
 Line::saveState(SnapshotSink &sink) const
 {
     sink.boolean(slcMode_);
-    sink.u64(cells_.size());
-    for (const auto &cell : cells_) {
+    sink.u64(count_);
+    for (std::size_t i = 0; i < count_; ++i) {
+        const Cell cell = storage_->ref(base_ + i).load();
         sink.f32(cell.logR0);
         sink.f32(cell.nu);
         sink.f32(cell.nuSpeed);
@@ -198,12 +229,18 @@ Line::loadState(SnapshotSource &source)
     // match this geometry.
     const std::size_t expected = slcMode_
         ? codewordBits_
-        : (codewordBits_ + bitsPerCell - 1) / bitsPerCell;
+        : mlcCellCount();
     const std::uint64_t count = source.u64();
     if (count != expected)
         source.corrupt("line cell count does not match the geometry");
-    cells_.resize(expected);
-    for (auto &cell : cells_) {
+    // Re-point the view for the snapshot's mode (either direction:
+    // a fresh MLC line can restore an SLC snapshot and vice versa).
+    if (slcMode_)
+        activateSlcView();
+    else
+        activateMlcView();
+    for (std::size_t i = 0; i < count_; ++i) {
+        Cell cell;
         cell.logR0 = source.f32();
         cell.nu = source.f32();
         cell.nuSpeed = source.f32();
@@ -217,6 +254,7 @@ Line::loadState(SnapshotSource &source)
         if (cell.stuckLevel >= (1u << bitsPerCell))
             source.corrupt("cell stuck level out of range");
         cell.writeTick = source.u64();
+        storage_->ref(base_ + i).store(cell);
     }
     BitVector intended = source.bits();
     if (intended.size() != codewordBits_)

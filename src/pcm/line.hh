@@ -1,18 +1,22 @@
 /**
  * @file
  * A memory line backed by MLC cells: the unit of scrub, ECC, and
- * rewrite. Holds both the physical cells and the intended codeword
- * so experiments can measure ground-truth error counts.
+ * rewrite. Holds the intended codeword and line bookkeeping; the
+ * cell state itself lives in SoA planes (CellStorage) — array-owned
+ * for lines inside a CellArray, line-owned for standalone lines and
+ * for the annexed cells of SLC fallback. Per-cell access survives as
+ * CellRef views; the hot paths run the batched kernels.
  */
 
 #ifndef PCMSCRUB_PCM_LINE_HH
 #define PCMSCRUB_PCM_LINE_HH
 
-#include <vector>
+#include <memory>
 
 #include "common/bitvector.hh"
 #include "common/types.hh"
 #include "pcm/cell.hh"
+#include "pcm/cell_storage.hh"
 
 namespace pcmscrub {
 
@@ -39,8 +43,22 @@ struct LineProgramStats
 class Line
 {
   public:
-    /** A line storing codeword_bits bits (2 per cell, padded). */
+    /**
+     * A standalone line storing codeword_bits bits (2 per cell,
+     * padded); owns its cell planes.
+     */
     explicit Line(std::size_t codeword_bits);
+
+    /**
+     * An array-backed line viewing `cells` cells at `base` inside an
+     * array-owned CellStorage. The storage must outlive the line and
+     * already be sized past base + cell count.
+     */
+    Line(std::size_t codeword_bits, CellStorage *storage,
+         std::size_t base);
+
+    Line(Line &&) = default;
+    Line &operator=(Line &&) = default;
 
     /** Sample manufacturing state for every cell. */
     void initialize(const CellModel &model, Random &rng);
@@ -48,7 +66,7 @@ class Line
     std::size_t codewordBits() const { return codewordBits_; }
     unsigned cellCount() const
     {
-        return static_cast<unsigned>(cells_.size());
+        return static_cast<unsigned>(count_);
     }
 
     /**
@@ -95,9 +113,34 @@ class Line
     /** Lifetime count of line-level write operations. */
     std::uint64_t lineWrites() const { return lineWrites_; }
 
-    /** Direct cell access for tests and fault injection. */
-    Cell &cell(unsigned index) { return cells_.at(index); }
-    const Cell &cell(unsigned index) const { return cells_.at(index); }
+    /**
+     * Direct cell access for tests and fault injection: a bundle of
+     * references into the SoA planes. Bind with `auto`; assignments
+     * through the members write the planes directly.
+     */
+    CellRef cell(unsigned index)
+    {
+        boundsCheck(index);
+        return storage_->ref(base_ + index);
+    }
+
+    CellConstRef cell(unsigned index) const
+    {
+        boundsCheck(index);
+        return static_cast<const CellStorage *>(storage_)
+            ->ref(base_ + index);
+    }
+
+    /** Copy of one cell's state (for value-based physics queries). */
+    Cell cellValue(unsigned index) const { return cell(index).load(); }
+
+    /** Plane views over this line's cells (kernel input). */
+    CellSpan span() { return storage_->span(base_, count_); }
+    CellConstSpan span() const
+    {
+        return static_cast<const CellStorage *>(storage_)
+            ->span(base_, count_);
+    }
 
     /** Level cell `index` must hold for the intended codeword. */
     unsigned targetLevelFor(unsigned index) const
@@ -120,11 +163,18 @@ class Line
      * half the line's density — the cells of a paired line are
      * annexed to keep the codeword width. The line stays SLC for the
      * rest of its life; the caller must rewrite it afterwards.
+     *
+     * The annexed cells live in a line-owned plane set (the array's
+     * shared planes have fixed stride); the pre-fallback cell state
+     * is copied over, so serialized bytes are unaffected.
      */
     void setSlcMode(const CellModel &model, Random &rng);
 
     /** Whether the line has fallen back to SLC operation. */
     bool slcMode() const { return slcMode_; }
+
+    /** Heap bytes owned by this line (SLC planes, intended word). */
+    std::size_t ownedBytes() const;
 
     /** Serialize every cell plus line-level state. */
     void saveState(SnapshotSink &sink) const;
@@ -141,8 +191,39 @@ class Line
     unsigned targetLevel(const BitVector &codeword,
                          unsigned index) const;
 
+    /** Cells a line of this width uses in MLC mode. */
+    std::size_t mlcCellCount() const
+    {
+        return (codewordBits_ + bitsPerCell - 1) / bitsPerCell;
+    }
+
+    void boundsCheck(unsigned index) const;
+
+    /** Point the view at the MLC-mode cells (shared when backed). */
+    void activateMlcView();
+
+    /**
+     * Point the view at line-owned planes sized for SLC operation
+     * (one cell per codeword bit); existing cell state is preserved.
+     */
+    void activateSlcView();
+
     std::size_t codewordBits_;
-    std::vector<Cell> cells_;
+
+    // Active view: the planes the line currently operates on.
+    CellStorage *storage_;
+    std::size_t base_ = 0;
+    std::size_t count_;
+
+    // MLC home position inside the array's shared planes (null for
+    // standalone lines, whose home is owned_).
+    CellStorage *shared_ = nullptr;
+    std::size_t sharedBase_ = 0;
+
+    // Line-owned planes: the standalone backing store, or the SLC
+    // annex of an array-backed line.
+    std::unique_ptr<CellStorage> owned_;
+
     BitVector intended_;
     Tick lastWriteTick_ = 0;
     std::uint64_t lineWrites_ = 0;

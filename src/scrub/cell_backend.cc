@@ -140,7 +140,7 @@ CellBackend::computeLazyLine(LineIndex line) const
     const Tick writeTick = physical.lastWriteTick();
     Tick until = kNeverTick;
     for (unsigned i = 0; i < physical.cellCount(); ++i) {
-        const Cell &cell = physical.cell(i);
+        const Cell cell = physical.cellValue(i);
         if (cell.stuck)
             return state;
         // A cell already off its target at write time (differential
@@ -219,7 +219,7 @@ CellBackend::rebuildEcp(LineIndex line, const BitVector &written)
         // One bit per cell; a stuck cell holds the bit of whichever
         // extreme its frozen level is closer to.
         for (unsigned i = 0; i < physical.cellCount(); ++i) {
-            const Cell &cell = physical.cell(i);
+            const auto cell = physical.cell(i);
             if (!cell.stuck || i >= written.size())
                 continue;
             const bool stuckBit = cell.stuckLevel >= mlcLevels / 2;
@@ -230,7 +230,7 @@ CellBackend::rebuildEcp(LineIndex line, const BitVector &written)
         return;
     }
     for (unsigned i = 0; i < physical.cellCount(); ++i) {
-        const Cell &cell = physical.cell(i);
+        const auto cell = physical.cell(i);
         if (!cell.stuck)
             continue;
         const std::uint8_t gray = levelToGray(cell.stuckLevel);

@@ -141,6 +141,12 @@ class CellBackend : public ScrubBackend
         return array_;
     }
 
+    /**
+     * Read-only array access (reporting, ground-truth queries); does
+     * not invalidate the lazy-drift cache.
+     */
+    const CellArray &arrayView() const { return array_; }
+
     /** ECP entries consumed on a line (0 when ECP is off). */
     unsigned ecpUsed(LineIndex line) const;
 

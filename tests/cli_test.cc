@@ -54,10 +54,24 @@ TEST(CliTest, DefaultsWhenNoFlags)
     const CliOptions opts = parse({});
     EXPECT_EQ(opts.seed, 1u);
     EXPECT_EQ(opts.threads, 1u);
+    // 0 = "not set": each harness substitutes its own default scale.
+    EXPECT_EQ(opts.lines, 0u);
+    EXPECT_EQ(opts.sweeps, 0u);
     EXPECT_EQ(opts.checkpointEverySimHours, 0.0);
     EXPECT_TRUE(opts.checkpointPath.empty());
     EXPECT_TRUE(opts.resumePath.empty());
     EXPECT_FALSE(opts.checkpointingRequested());
+}
+
+TEST(CliTest, ParsesLinesAndSweeps)
+{
+    const CliOptions opts =
+        parse({"--lines", "65536", "--sweeps", "12"});
+    EXPECT_EQ(opts.lines, 65536u);
+    EXPECT_EQ(opts.sweeps, 12u);
+    const CliOptions eq = parse({"--lines=2048", "--sweeps=96"});
+    EXPECT_EQ(eq.lines, 2048u);
+    EXPECT_EQ(eq.sweeps, 96u);
 }
 
 TEST(CliTest, ParsesWellFormedFlags)
@@ -155,6 +169,28 @@ TEST(CliDeathTest, ThreadsRejectsNonNumericAndOverflow)
                 ::testing::ExitedWithCode(1), "--threads");
     EXPECT_EXIT(parse({"--threads", "99999999999999999999"}),
                 ::testing::ExitedWithCode(1), "--threads");
+}
+
+// Malformed --lines / --sweeps -----------------------------------
+
+TEST(CliDeathTest, LinesRejectsZeroAndGarbage)
+{
+    EXPECT_EXIT(parse({"--lines", "0"}),
+                ::testing::ExitedWithCode(1), "--lines");
+    EXPECT_EXIT(parse({"--lines", "-4"}),
+                ::testing::ExitedWithCode(1), "--lines");
+    EXPECT_EXIT(parse({"--lines", "lots"}),
+                ::testing::ExitedWithCode(1), "--lines");
+}
+
+TEST(CliDeathTest, SweepsRejectsZeroAndGarbage)
+{
+    EXPECT_EXIT(parse({"--sweeps", "0"}),
+                ::testing::ExitedWithCode(1), "--sweeps");
+    EXPECT_EXIT(parse({"--sweeps", "8x"}),
+                ::testing::ExitedWithCode(1), "--sweeps");
+    EXPECT_EXIT(parse({"--sweeps"}),
+                ::testing::ExitedWithCode(1), "requires a value");
 }
 
 // Malformed --checkpoint-every -----------------------------------

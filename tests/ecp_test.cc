@@ -90,7 +90,7 @@ TEST(EcpCellBackend, StuckCellsPatchedOnRead)
     // Freeze three cells of line 0 at hostile levels.
     Line &line = backend.array().line(0);
     for (unsigned i = 0; i < 3; ++i) {
-        Cell &cell = line.cell(10 + i);
+        const auto cell = line.cell(10 + i);
         cell.stuck = true;
         cell.stuckLevel = (cell.storedLevel + 2) % mlcLevels;
     }
@@ -113,7 +113,7 @@ TEST(EcpCellBackend, ExhaustedStoreLeavesResidualErrors)
     Line &line = backend.array().line(0);
     unsigned frozen = 0;
     for (unsigned i = 0; i < line.cellCount() && frozen < 6; ++i) {
-        Cell &cell = line.cell(i);
+        const auto cell = line.cell(i);
         cell.stuck = true;
         cell.stuckLevel = (cell.storedLevel + 2) % mlcLevels;
         ++frozen;
@@ -134,7 +134,7 @@ TEST(EcpCellBackend, WithoutEcpSameFaultsStayVisible)
         CellBackend backend(config);
         Line &line = backend.array().line(0);
         for (unsigned i = 0; i < 4; ++i) {
-            Cell &cell = line.cell(20 + i);
+            const auto cell = line.cell(20 + i);
             cell.stuck = true;
             cell.stuckLevel = (cell.storedLevel + 2) % mlcLevels;
         }

@@ -19,7 +19,9 @@
 #include <gtest/gtest.h>
 
 #include "common/random.hh"
+#include "common/serialize.hh"
 #include "common/thread_pool.hh"
+#include "pcm/array.hh"
 #include "faults/fault_injector.hh"
 #include "scrub/analytic_backend.hh"
 #include "scrub/cell_backend.hh"
@@ -229,6 +231,55 @@ TEST_F(ParallelDeterminismCell, RepeatedSerialRunsAreIdentical)
     // Sanity anchor: the pipeline itself is deterministic before any
     // parallelism enters the picture.
     expectCellOutcomeEqual(runCellPipeline(7, 1), runCellPipeline(7, 1));
+}
+
+/**
+ * Serialized array bytes plus the reduced program stats after a
+ * sharded warm-up write: the complete observable outcome of
+ * CellArray::writeRandomAll.
+ */
+struct WarmupOutcome
+{
+    LineProgramStats stats;
+    std::vector<std::uint8_t> bytes;
+};
+
+WarmupOutcome
+runWarmup(std::uint64_t seed, unsigned threads)
+{
+    ThreadPool::global().resize(threads);
+    DeviceConfig config;
+    CellArray array(96, 592, config, seed);
+    WarmupOutcome out;
+    out.stats = array.writeRandomAll(secondsToTicks(5.0));
+    SnapshotSink sink;
+    array.saveState(sink);
+    out.bytes = sink.takeBytes();
+    return out;
+}
+
+TEST_F(ParallelDeterminismCell, WriteRandomAllBitIdentical)
+{
+    // Warm-up writes draw from per-line counter-based streams, so the
+    // serialized cell state — every float of it — must not depend on
+    // how lines land on worker threads.
+    for (const std::uint64_t seed : {5ull, 21ull}) {
+        const WarmupOutcome serial = runWarmup(seed, 1);
+        for (const unsigned threads : kThreadCounts) {
+            if (threads == 1)
+                continue;
+            SCOPED_TRACE("seed " + std::to_string(seed) + ", threads " +
+                         std::to_string(threads));
+            const WarmupOutcome parallel = runWarmup(seed, threads);
+            EXPECT_EQ(serial.stats.cellsProgrammed,
+                      parallel.stats.cellsProgrammed);
+            EXPECT_EQ(serial.stats.totalIterations,
+                      parallel.stats.totalIterations);
+            EXPECT_EQ(serial.stats.cellsWornOut,
+                      parallel.stats.cellsWornOut);
+            EXPECT_EQ(serial.bytes, parallel.bytes);
+        }
+    }
 }
 
 TEST_F(ParallelDeterminismCell, ShardPlanIgnoresThreadCount)

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Diff pcmscrub BENCH_*.json files against checked-in baselines.
+
+Usage:
+    bench_diff.py BASELINE FRESH [BASELINE FRESH ...]
+
+Prints a GitHub-flavoured markdown table of per-metric deltas for
+each (baseline, fresh) pair. Report-only by design: the exit code is
+always 0 (shared CI runners are too noisy for hard thresholds), the
+table just makes the perf trajectory visible in the job summary.
+
+Understands the three pcmscrub bench JSON shapes:
+  - micro_codec:  {"benchmarks": [{"name", "cpu_time_ns", ...}]}
+  - micro_sweep:  flat scalars (wall_seconds, lines_per_second, ...)
+  - micro_scale:  {"points": [{"lines", "lines_per_second", ...}]}
+Metrics present on only one side are skipped (e.g. a CI micro_scale
+run pinned to a single --lines point against a full-sweep baseline).
+"""
+
+import json
+import os
+import sys
+
+# metric name -> True when larger is better
+HIGHER_IS_BETTER = {
+    "lines_per_second": True,
+    "decodes_per_second": True,
+    "wall_seconds": False,
+    "warmup_seconds": False,
+    "bytes_per_line": False,
+    "peak_rss_bytes": False,
+}
+
+
+def flatten(doc):
+    """Reduce one bench JSON document to {metric: (value, higher_is_better)}."""
+    out = {}
+    if "benchmarks" in doc:
+        for bench in doc["benchmarks"]:
+            out[bench["name"]] = (float(bench["cpu_time_ns"]), False)
+        return out
+    if "points" in doc:
+        for point in doc["points"]:
+            prefix = "lines=%d/" % int(point["lines"])
+            for key, better in HIGHER_IS_BETTER.items():
+                if key in point:
+                    out[prefix + key] = (float(point[key]), better)
+        return out
+    for key, better in HIGHER_IS_BETTER.items():
+        if key in doc:
+            out[key] = (float(doc[key]), better)
+    return out
+
+
+def fmt(value):
+    if value >= 1000:
+        return "%.0f" % value
+    return "%.4g" % value
+
+
+def diff(baseline_path, fresh_path):
+    with open(baseline_path) as fh:
+        baseline_doc = json.load(fh)
+    with open(fresh_path) as fh:
+        fresh_doc = json.load(fh)
+    name = fresh_doc.get("name", os.path.basename(fresh_path))
+    print("### %s" % name)
+    print()
+    print("| metric | baseline (`%s`) | fresh | delta |" %
+          os.path.basename(baseline_path))
+    print("|---|---|---|---|")
+    baseline = flatten(baseline_doc)
+    fresh = flatten(fresh_doc)
+    for metric, (base_value, higher_better) in baseline.items():
+        if metric not in fresh:
+            continue
+        fresh_value = fresh[metric][0]
+        if base_value == 0:
+            delta = "n/a"
+        else:
+            pct = (fresh_value - base_value) / base_value * 100.0
+            improved = (pct > 0) == higher_better or pct == 0
+            delta = "%+.1f%% %s" % (pct, "✅" if improved else "🔺")
+        print("| %s | %s | %s | %s |" %
+              (metric, fmt(base_value), fmt(fresh_value), delta))
+    skipped = [m for m in fresh if m not in baseline]
+    if skipped:
+        print()
+        print("_no baseline for: %s_" % ", ".join(sorted(skipped)))
+    print()
+
+
+def main(argv):
+    if len(argv) < 3 or len(argv) % 2 == 0:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for i in range(1, len(argv), 2):
+        if not os.path.exists(argv[i]) or not os.path.exists(argv[i + 1]):
+            print("_skipping %s vs %s (file missing)_" %
+                  (argv[i], argv[i + 1]))
+            print()
+            continue
+        diff(argv[i], argv[i + 1])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
