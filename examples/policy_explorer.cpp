@@ -31,6 +31,7 @@
  *     --seed N
  *     --threads N                 worker threads (results are
  *                                 bit-identical at any count)
+ *     --telemetry PATH            RAS telemetry JSONL (with [ras])
  *     --checkpoint PATH           snapshot file for crash-safe runs
  *     --checkpoint-every H        periodic snapshot cadence, in
  *                                 simulated hours
@@ -45,8 +46,11 @@
 #include <cstring>
 #include <string>
 
+#include <memory>
+
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "ras/controlled_scrub.hh"
 #include "scrub/analytic_backend.hh"
 #include "scrub/factory.hh"
 #include "scrub/run_config.hh"
@@ -159,6 +163,8 @@ main(int argc, char **argv)
         } else if (arg == "--threads") {
             ThreadPool::global().resize(
                 static_cast<unsigned>(std::atoi(value())));
+        } else if (arg == "--telemetry") {
+            run.ras.telemetryPath = value();
         } else if (arg == "--checkpoint") {
             checkpointOpts.checkpointPath = value();
         } else if (arg == "--checkpoint-every") {
@@ -181,7 +187,30 @@ main(int argc, char **argv)
     CheckpointRuntime::global().configure(checkpointOpts);
 
     AnalyticBackend device(config);
-    const auto policy = makePolicy(spec, device);
+    std::unique_ptr<ScrubPolicy> policy = makePolicy(spec, device);
+
+    // [ras] in the config (or --telemetry) turns the plain sweep
+    // into the closed-loop control plane: runtime interval bounds,
+    // per-region telemetry, and the scrub-rate controller.
+    std::unique_ptr<TelemetryLogger> telemetry;
+    ControlledScrub *controlled = nullptr;
+    if (run.ras.enabled) {
+        auto *sweep = dynamic_cast<SweepScrubBase *>(policy.get());
+        if (sweep == nullptr)
+            fatal("ras.enabled requires a sweep policy (basic, "
+                  "strong_ecc, light_detect, threshold, preventive)");
+        policy.release();
+        if (!run.ras.telemetryPath.empty()) {
+            telemetry = std::make_unique<TelemetryLogger>(
+                run.ras.telemetryPath);
+        }
+        auto wrapped = std::make_unique<ControlledScrub>(
+            std::unique_ptr<SweepScrubBase>(sweep), device, run.ras,
+            /*auto_tune=*/true, "policy_explorer", telemetry.get());
+        controlled = wrapped.get();
+        policy = std::move(wrapped);
+    }
+
     std::printf("policy=%s ecc=%s lines=%llu days=%.1f workload=%s\n",
                 policy->name().c_str(),
                 config.scheme.name().c_str(),
@@ -202,5 +231,13 @@ main(int argc, char **argv)
                     days,
                 static_cast<double>(m.scrubRewrites) / config.lines /
                     days);
+    if (controlled != nullptr) {
+        std::printf("ras: final interval %.0f s in [%.0f, %.0f]; "
+                    "ppr rows left %llu\n",
+                    controlled->controlPlane().scrubIntervalS(),
+                    run.ras.minIntervalS, run.ras.maxIntervalS,
+                    static_cast<unsigned long long>(
+                        device.pprTable().remaining()));
+    }
     return 0;
 }

@@ -22,6 +22,7 @@ printUsage(const char *prog)
         "usage: %s [--seed N] [--threads N] [--checkpoint PATH]\n"
         "       [--checkpoint-every H] [--resume PATH]\n"
         "       [--no-lazy-drift] [--lines N] [--sweeps N]\n"
+        "       [--telemetry PATH]\n"
         "  --seed N              base RNG seed (default per harness)\n"
         "  --threads N           worker threads; results are\n"
         "                        bit-identical at any thread count\n"
@@ -38,7 +39,9 @@ printUsage(const char *prog)
         "                        (requires --checkpoint)\n"
         "  --resume PATH         restore state from a snapshot, then\n"
         "                        continue; the result is bit-identical\n"
-        "                        to an uninterrupted run\n",
+        "                        to an uninterrupted run\n"
+        "  --telemetry PATH      append RAS controller samples to a\n"
+        "                        JSONL file (RAS-aware harnesses only)\n",
         prog);
     std::exit(0);
 }
@@ -168,6 +171,12 @@ parseCliOptions(int argc, char **argv, std::uint64_t defaultSeed,
             opts.resumePath = value;
             if (opts.resumePath.empty())
                 fatal("--resume: empty path");
+            i += consumed;
+        } else if (matchFlag("--telemetry", argc, argv, i, &value,
+                             &consumed)) {
+            opts.telemetryPath = value;
+            if (opts.telemetryPath.empty())
+                fatal("--telemetry: empty path");
             i += consumed;
         } else if (std::strcmp(argv[i], "--no-lazy-drift") == 0) {
             opts.noLazyDrift = true;

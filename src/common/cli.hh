@@ -58,6 +58,13 @@ struct CliOptions
     std::string resumePath;
 
     /**
+     * Telemetry JSONL file the RAS-aware harnesses append controller
+     * samples to; empty = no telemetry log. Harnesses without a RAS
+     * control plane reject the flag.
+     */
+    std::string telemetryPath;
+
+    /**
      * Disable the cell backend's lazy-drift fast path and force the
      * exact per-cell sensing path everywhere. Results are
      * bit-identical either way; the flag exists for perf comparison

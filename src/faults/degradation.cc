@@ -14,6 +14,8 @@ degradationStageName(DegradationStage stage)
         return "retry";
       case DegradationStage::EcpRepair:
         return "ecp_repair";
+      case DegradationStage::PprRemap:
+        return "ppr_remap";
       case DegradationStage::Retire:
         return "retire";
       case DegradationStage::SlcFallback:

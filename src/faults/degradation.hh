@@ -10,14 +10,19 @@
  *                 recovers the codeword (drift re-read).
  *   2. EcpRepair — rewrite the line so write-verify re-learns its
  *                 stuck bits and repoints spare ECP entries at them.
- *   3. Retire   — remap the line to a fresh spare from a finite
+ *   3. PprRemap — post-package repair: a line that keeps defeating
+ *                 ECP (chronically erroring, per the UE-history
+ *                 tracker) is permanently remapped to a dedicated
+ *                 spare row, EDAC mem-repair style. One-shot per
+ *                 address, bounded by the provisioned spare rows.
+ *   4. Retire   — remap the line to a fresh spare from a finite
  *                 provisioned pool (HARP-style retirement of
  *                 UE-prone locations).
- *   4. SlcFallback — demote the line to SLC (1 bit/cell, extreme
+ *   5. SlcFallback — demote the line to SLC (1 bit/cell, extreme
  *                 levels only). Drift can no longer cross the wide
  *                 SLC margin, at the price of half the region's
  *                 storage capacity.
- *   5. HostVisible — nothing worked; the UE is surfaced to the host
+ *   6. HostVisible — nothing worked; the UE is surfaced to the host
  *                 (machine-check / page poison territory).
  *
  * Each stage is observable through dedicated ScrubMetrics counters
@@ -37,6 +42,7 @@ enum class DegradationStage : unsigned {
     None,        //!< No UE, or the ladder is disabled.
     Retry,       //!< A widened-margin re-read recovered the data.
     EcpRepair,   //!< Re-learned ECP entries absorbed the stuck bits.
+    PprRemap,    //!< Chronic line remapped to a PPR spare row.
     Retire,      //!< Line remapped to a spare from the pool.
     SlcFallback, //!< Line demoted to drift-immune SLC mode.
     HostVisible, //!< Escalated to the host as a real UE.
@@ -77,6 +83,17 @@ struct DegradationConfig
 
     /** Spare lines provisioned for retirement (0 = no retirement). */
     std::uint64_t spareLines = 0;
+
+    /**
+     * Post-package-repair spare rows (0 = no PPR rung). A line
+     * qualifies once its UE history reaches pprUeThreshold; the
+     * remap is permanent and one-shot per address, so a remapped
+     * line that fails again falls through to retirement.
+     */
+    std::uint64_t pprSpareRows = 0;
+
+    /** UE escalations a line must accumulate to qualify for PPR. */
+    unsigned pprUeThreshold = 2;
 
     /** Demote chronically failing lines to SLC as the last resort. */
     bool slcFallback = false;

@@ -1,0 +1,142 @@
+#include "mem/ppr.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/serialize.hh"
+
+namespace pcmscrub {
+
+PprRemapTable::PprRemapTable(std::uint64_t spare_rows,
+                             unsigned ue_threshold)
+    : capacity_(spare_rows), ueThreshold_(ue_threshold)
+{
+    if (ue_threshold == 0)
+        fatal("PPR UE threshold must be at least 1");
+}
+
+std::uint64_t
+PprRemapTable::remaining() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_ - used_;
+}
+
+bool
+PprRemapTable::exhausted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return used_ >= capacity_;
+}
+
+std::uint64_t
+PprRemapTable::remappedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return used_;
+}
+
+std::uint32_t
+PprRemapTable::noteUncorrectable(LineIndex line)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ++entries_[line].ueCount;
+}
+
+std::uint32_t
+PprRemapTable::ueHistory(LineIndex line) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(line);
+    return it == entries_.end() ? 0 : it->second.ueCount;
+}
+
+bool
+PprRemapTable::qualifies(LineIndex line) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (used_ >= capacity_)
+        return false;
+    const auto it = entries_.find(line);
+    return it != entries_.end() && !it->second.remapped &&
+        it->second.ueCount >= ueThreshold_;
+}
+
+bool
+PprRemapTable::remap(LineIndex line)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (used_ >= capacity_)
+        return false;
+    Entry &entry = entries_[line];
+    if (entry.remapped)
+        return false;
+    entry.remapped = true;
+    ++used_;
+    return true;
+}
+
+bool
+PprRemapTable::isRemapped(LineIndex line) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(line);
+    return it != entries_.end() && it->second.remapped;
+}
+
+void
+PprRemapTable::saveState(SnapshotSink &sink) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sink.u64(capacity_);
+    sink.u32(ueThreshold_);
+    sink.u64(used_);
+    std::vector<LineIndex> lines;
+    lines.reserve(entries_.size());
+    for (const auto &[line, entry] : entries_)
+        lines.push_back(line);
+    std::sort(lines.begin(), lines.end());
+    sink.u64(lines.size());
+    for (const auto line : lines) {
+        const Entry &entry = entries_.at(line);
+        sink.u64(line);
+        sink.u32(entry.ueCount);
+        sink.boolean(entry.remapped);
+    }
+}
+
+void
+PprRemapTable::loadState(SnapshotSource &source)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (source.u64() != capacity_)
+        source.corrupt("PPR capacity does not match the config");
+    if (source.u32() != ueThreshold_)
+        source.corrupt("PPR UE threshold does not match the config");
+    const std::uint64_t used = source.u64();
+    if (used > capacity_)
+        source.corrupt("PPR table uses more rows than its capacity");
+    const std::uint64_t count = source.u64();
+    entries_.clear();
+    std::uint64_t remapped = 0;
+    LineIndex previous = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const LineIndex line = source.u64();
+        if (i > 0 && line <= previous)
+            source.corrupt("PPR entry map is not sorted");
+        previous = line;
+        Entry entry;
+        entry.ueCount = source.u32();
+        entry.remapped = source.boolean();
+        if (entry.ueCount == 0 && !entry.remapped)
+            source.corrupt("empty PPR entry");
+        remapped += entry.remapped ? 1 : 0;
+        entries_[line] = entry;
+    }
+    if (remapped != used)
+        source.corrupt("PPR usage does not sum to its entries");
+    used_ = used;
+}
+
+} // namespace pcmscrub

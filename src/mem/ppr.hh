@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Post-package repair: a bounded table of dedicated spare rows plus
+ * the chronically-erroring-line tracker that decides which addresses
+ * deserve one.
+ *
+ * Modelled after the EDAC mem-repair verb: a PPR operation fuses a
+ * failing row over to a spare permanently, so a remap is one-shot per
+ * address — a remapped line that fails again must fall through to
+ * the next ladder rung (spare-pool retirement). The UE-history
+ * tracker counts full-decode failures per line so only *chronic*
+ * offenders consume the scarce spare rows (HARP-style profiling of
+ * at-risk lines), not lines felled by a one-off transient event.
+ *
+ * Thread-safe like SparePool: the table is shared across shards of
+ * the parallel engine, so every mutation and query is internally
+ * locked. When concurrent shards race for the *last* spare row the
+ * winner depends on scheduling; determinism suites provision enough
+ * rows not to exhaust (or run serially).
+ */
+
+#ifndef PCMSCRUB_MEM_PPR_HH
+#define PCMSCRUB_MEM_PPR_HH
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace pcmscrub {
+
+class SnapshotSink;
+class SnapshotSource;
+
+/**
+ * Bounded spare-row remap table with per-line UE history.
+ */
+class PprRemapTable
+{
+  public:
+    /**
+     * @param spare_rows rows provisioned for repair
+     * @param ue_threshold UE escalations before a line qualifies
+     */
+    explicit PprRemapTable(std::uint64_t spare_rows = 0,
+                           unsigned ue_threshold = 2);
+
+    std::uint64_t capacity() const { return capacity_; }
+    unsigned ueThreshold() const { return ueThreshold_; }
+
+    std::uint64_t remaining() const;
+    bool exhausted() const;
+
+    /** Spare rows consumed so far (== lines remapped). */
+    std::uint64_t remappedCount() const;
+
+    /**
+     * Record one UE escalation on `line` (the chronic tracker).
+     *
+     * @return the line's cumulative UE count including this one
+     */
+    std::uint32_t noteUncorrectable(LineIndex line);
+
+    /** Cumulative UE escalations recorded on a line. */
+    std::uint32_t ueHistory(LineIndex line) const;
+
+    /** Whether a line qualifies for repair right now: chronic
+     *  (history >= threshold), not yet remapped, spares left. */
+    bool qualifies(LineIndex line) const;
+
+    /**
+     * Consume one spare row for `line`. Fails (returns false) when
+     * the table is exhausted or the line is already remapped — PPR
+     * is permanent, there is no second fuse for the same address.
+     */
+    bool remap(LineIndex line);
+
+    /** Whether a line has been remapped to a spare row. */
+    bool isRemapped(LineIndex line) const;
+
+    /**
+     * Serialize capacity, usage, and the per-line history/remap map
+     * (sorted by line index so identical tables always produce
+     * identical bytes).
+     */
+    void saveState(SnapshotSink &sink) const;
+
+    /** Restore state written by saveState(); capacity and threshold
+     *  must match the construction parameters. */
+    void loadState(SnapshotSource &source);
+
+  private:
+    /** Per-line tracker entry. */
+    struct Entry
+    {
+        std::uint32_t ueCount = 0;
+        bool remapped = false;
+    };
+
+    std::uint64_t capacity_;
+    unsigned ueThreshold_;
+    mutable std::mutex mutex_;
+    std::uint64_t used_ = 0;
+    std::unordered_map<LineIndex, Entry> entries_;
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_MEM_PPR_HH

@@ -1,0 +1,110 @@
+#include "mem/region_telemetry.hh"
+
+#include "common/logging.hh"
+#include "common/serialize.hh"
+
+namespace pcmscrub {
+
+RegionTelemetry::RegionTelemetry(std::uint64_t lines,
+                                 std::uint64_t lines_per_region,
+                                 std::size_t shards)
+    : lines_(lines), linesPerRegion_(lines_per_region),
+      regions_(lines_per_region > 0
+                   ? (lines + lines_per_region - 1) / lines_per_region
+                   : 0),
+      shards_(shards)
+{
+    if (lines == 0)
+        fatal("region telemetry needs at least one line");
+    if (lines_per_region == 0)
+        fatal("region telemetry granularity must be at least 1 line");
+    if (shards == 0)
+        fatal("region telemetry needs at least one shard slice");
+    slices_.resize(shards_ * regions_);
+}
+
+void
+RegionTelemetry::onScrubWrite(std::size_t shard, LineIndex line,
+                              std::uint64_t corrected, double energy_pj)
+{
+    RegionCounters &counters = at(shard, regionOf(line));
+    ++counters.scrubWrites;
+    counters.correctedErrors += corrected;
+    counters.energyPj += energy_pj;
+}
+
+void
+RegionTelemetry::onUncorrectable(std::size_t shard, LineIndex line,
+                                 DegradationStage handled_by)
+{
+    RegionCounters &counters = at(shard, regionOf(line));
+    if (handled_by == DegradationStage::HostVisible)
+        ++counters.uncorrectable;
+    else
+        ++counters.ladderEscalations;
+}
+
+void
+RegionTelemetry::onEnergy(std::size_t shard, LineIndex line,
+                          double energy_pj)
+{
+    at(shard, regionOf(line)).energyPj += energy_pj;
+}
+
+RegionCounters
+RegionTelemetry::region(std::uint64_t region) const
+{
+    PCMSCRUB_ASSERT(region < regions_, "region %llu out of range",
+                    static_cast<unsigned long long>(region));
+    RegionCounters merged;
+    for (std::size_t shard = 0; shard < shards_; ++shard)
+        merged.merge(at(shard, region));
+    return merged;
+}
+
+RegionCounters
+RegionTelemetry::totals() const
+{
+    RegionCounters merged;
+    for (std::size_t shard = 0; shard < shards_; ++shard)
+        for (std::uint64_t region = 0; region < regions_; ++region)
+            merged.merge(at(shard, region));
+    return merged;
+}
+
+void
+RegionTelemetry::saveState(SnapshotSink &sink) const
+{
+    sink.u64(lines_);
+    sink.u64(linesPerRegion_);
+    sink.u64(shards_);
+    for (const RegionCounters &counters : slices_) {
+        sink.u64(counters.correctedErrors);
+        sink.u64(counters.uncorrectable);
+        sink.u64(counters.ladderEscalations);
+        sink.u64(counters.scrubWrites);
+        sink.f64(counters.energyPj);
+    }
+}
+
+void
+RegionTelemetry::loadState(SnapshotSource &source)
+{
+    if (source.u64() != lines_)
+        source.corrupt("telemetry line count does not match");
+    if (source.u64() != linesPerRegion_)
+        source.corrupt("telemetry region granularity does not match");
+    if (source.u64() != shards_)
+        source.corrupt("telemetry shard count does not match");
+    for (RegionCounters &counters : slices_) {
+        counters.correctedErrors = source.u64();
+        counters.uncorrectable = source.u64();
+        counters.ladderEscalations = source.u64();
+        counters.scrubWrites = source.u64();
+        counters.energyPj = source.f64();
+        if (!(counters.energyPj >= 0.0))
+            source.corrupt("negative or NaN region energy");
+    }
+}
+
+} // namespace pcmscrub

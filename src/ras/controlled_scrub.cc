@@ -1,0 +1,100 @@
+#include "ras/controlled_scrub.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/serialize.hh"
+
+namespace pcmscrub {
+
+ControlledScrub::ControlledScrub(
+    std::unique_ptr<SweepScrubBase> inner, ScrubBackend &backend,
+    const RasSettings &settings, bool auto_tune,
+    std::string run_label, TelemetryLogger *log)
+    : inner_(std::move(inner)),
+      plane_(backend, *inner_, settings),
+      controller_(settings, backend.lineCount()),
+      autoTune_(auto_tune),
+      runLabel_(std::move(run_label)),
+      log_(log),
+      sampleEvery_(secondsToTicks(settings.sampleEveryS)),
+      nextSample_(secondsToTicks(settings.sampleEveryS))
+{
+    if (sampleEvery_ == 0)
+        fatal("ras: sample_every_s rounds to zero ticks");
+}
+
+std::string
+ControlledScrub::name() const
+{
+    return "ras_" + inner_->name() +
+        (autoTune_ ? "_auto" : "_fixed");
+}
+
+Tick
+ControlledScrub::nextWake() const
+{
+    return std::min(inner_->nextWake(), nextSample_);
+}
+
+void
+ControlledScrub::wake(ScrubBackend &backend, Tick now)
+{
+    if (inner_->nextWake() <= now)
+        inner_->wake(backend, now);
+
+    if (nextSample_ <= now) {
+        lastSample_ = controller_.sample(now, backend.metrics(),
+                                         plane_.scrubIntervalS());
+        if (autoTune_ &&
+            lastSample_.intervalAfterS !=
+                lastSample_.intervalBeforeS) {
+            plane_.setScrubIntervalS(lastSample_.intervalAfterS);
+            // Tightening can reschedule the pending sweep into the
+            // past; run the overdue sweep now so the wrapper never
+            // hands the engine a wake time behind the clock.
+            if (inner_->nextWake() <= now)
+                inner_->wake(backend, now);
+        }
+        if (log_ != nullptr) {
+            log_->append(runLabel_, lastSample_, backend.metrics(),
+                         plane_.settings().sloUePerLineDay);
+        }
+        nextSample_ = now + sampleEvery_;
+    }
+}
+
+void
+ControlledScrub::checkpointSave(SnapshotSink &sink) const
+{
+    inner_->checkpointSave(sink);
+    controller_.saveState(sink);
+    sink.u64(nextSample_);
+    sink.f64(lastSample_.tSeconds);
+    sink.f64(lastSample_.intervalBeforeS);
+    sink.f64(lastSample_.intervalAfterS);
+    sink.f64(lastSample_.ueRate);
+    sink.f64(lastSample_.writeRate);
+    sink.f64(lastSample_.windowDays);
+    sink.u32(static_cast<std::uint32_t>(lastSample_.action));
+}
+
+void
+ControlledScrub::checkpointLoad(SnapshotSource &source)
+{
+    inner_->checkpointLoad(source);
+    controller_.loadState(source);
+    nextSample_ = source.u64();
+    lastSample_.tSeconds = source.f64();
+    lastSample_.intervalBeforeS = source.f64();
+    lastSample_.intervalAfterS = source.f64();
+    lastSample_.ueRate = source.f64();
+    lastSample_.writeRate = source.f64();
+    lastSample_.windowDays = source.f64();
+    const std::uint32_t action = source.u32();
+    if (action > static_cast<std::uint32_t>(ControllerAction::Relax))
+        source.corrupt("controller action out of range");
+    lastSample_.action = static_cast<ControllerAction>(action);
+}
+
+} // namespace pcmscrub

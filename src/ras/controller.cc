@@ -1,0 +1,126 @@
+#include "ras/controller.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/serialize.hh"
+
+namespace pcmscrub {
+
+namespace {
+
+constexpr double kSecondsPerDay = 86400.0;
+
+/** In-SLO samples required before the loop relaxes. */
+constexpr unsigned kRelaxAfterCalmSamples = 2;
+
+} // namespace
+
+ScrubRateController::ScrubRateController(const RasSettings &settings,
+                                         std::uint64_t lines)
+    : settings_(settings), lines_(lines)
+{
+    if (lines_ == 0)
+        fatal("ras: controller needs a non-empty line population");
+    if (!(settings_.stepFactor > 1.0))
+        fatal("ras: step_factor must be > 1");
+}
+
+ControllerSample
+ScrubRateController::sample(Tick now, const ScrubMetrics &metrics,
+                            double current_interval_s)
+{
+    ControllerSample out;
+    out.tSeconds = ticksToSeconds(now);
+    out.intervalBeforeS = current_interval_s;
+    out.intervalAfterS = current_interval_s;
+
+    // Host-visible badness: scrub-surfaced UEs plus the expected
+    // demand-read UEs. Ladder-absorbed events are deliberately not
+    // counted — they are the machinery working, not an SLO breach.
+    const double ueTotal = static_cast<double>(metrics.ueSurfaced) +
+        metrics.demandUncorrectable;
+    const double writeTotal =
+        static_cast<double>(metrics.scrubRewrites);
+
+    if (!primed_) {
+        primed_ = true;
+        lastTick_ = now;
+        lastUe_ = ueTotal;
+        lastWrites_ = writeTotal;
+        return out;
+    }
+
+    if (now <= lastTick_)
+        return out;
+
+    const double windowDays =
+        ticksToSeconds(now - lastTick_) / kSecondsPerDay;
+    const double lineDays = static_cast<double>(lines_) * windowDays;
+    out.windowDays = windowDays;
+    out.ueRate = std::max(0.0, ueTotal - lastUe_) / lineDays;
+    out.writeRate =
+        std::max(0.0, writeTotal - lastWrites_) / lineDays;
+
+    lastTick_ = now;
+    lastUe_ = ueTotal;
+    lastWrites_ = writeTotal;
+
+    const double slo = settings_.sloUePerLineDay;
+    const double high = slo * (1.0 + settings_.hysteresis);
+    const double low = slo * (1.0 - settings_.hysteresis);
+    const bool overBudget = settings_.writeBudgetPerLineDay > 0.0 &&
+        out.writeRate > settings_.writeBudgetPerLineDay;
+
+    if (out.ueRate > high) {
+        // Over SLO: tighten fast, even at the cost of write budget —
+        // uncorrectable exposure dominates any scrub-energy concern.
+        calmSamples_ = 0;
+        out.action = ControllerAction::Tighten;
+        out.intervalAfterS =
+            std::max(settings_.minIntervalS,
+                     current_interval_s / settings_.stepFactor);
+    } else if (out.ueRate < low) {
+        ++calmSamples_;
+        if (calmSamples_ >= kRelaxAfterCalmSamples || overBudget) {
+            calmSamples_ = 0;
+            out.action = ControllerAction::Relax;
+            out.intervalAfterS = std::min(
+                settings_.maxIntervalS,
+                current_interval_s *
+                    std::sqrt(settings_.stepFactor));
+        }
+    } else {
+        // Inside the deadband: hold, and restart the calm streak so
+        // a marginal device does not slowly relax into violation.
+        calmSamples_ = 0;
+    }
+    return out;
+}
+
+void
+ScrubRateController::saveState(SnapshotSink &sink) const
+{
+    sink.u64(lastTick_);
+    sink.boolean(primed_);
+    sink.f64(lastUe_);
+    sink.f64(lastWrites_);
+    sink.u32(calmSamples_);
+}
+
+void
+ScrubRateController::loadState(SnapshotSource &source)
+{
+    lastTick_ = source.u64();
+    primed_ = source.boolean();
+    lastUe_ = source.f64();
+    if (!(lastUe_ >= 0.0))
+        source.corrupt("negative or NaN controller UE baseline");
+    lastWrites_ = source.f64();
+    if (!(lastWrites_ >= 0.0))
+        source.corrupt("negative or NaN controller write baseline");
+    calmSamples_ = source.u32();
+}
+
+} // namespace pcmscrub

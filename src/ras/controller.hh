@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Closed-loop scrub-rate controller.
+ *
+ * Each sample it computes the host-visible UE rate and the scrub
+ * write rate over the window since the previous sample (both per
+ * line-day, so the SLO is fleet-size independent) and steers the
+ * sweep interval:
+ *
+ *  - UE rate above slo * (1 + hysteresis): tighten — divide the
+ *    interval by step_factor (clamped to min_interval_s). Fast,
+ *    because every extra day over SLO is customer-visible.
+ *  - UE rate below slo * (1 - hysteresis) for two consecutive
+ *    samples, or the write budget exceeded: relax — multiply the
+ *    interval by sqrt(step_factor) (clamped to max_interval_s).
+ *    Deliberately slower than tightening, so the loop creeps back
+ *    toward cheap scrubbing instead of oscillating.
+ *  - inside the deadband: hold.
+ *
+ * The controller is pure arithmetic over monotone counters — no RNG,
+ * no wall clock — so a run that checkpoints and resumes mid-flight
+ * reproduces the exact same decision sequence.
+ */
+
+#ifndef PCMSCRUB_RAS_CONTROLLER_HH
+#define PCMSCRUB_RAS_CONTROLLER_HH
+
+#include "common/types.hh"
+#include "scrub/metrics.hh"
+#include "scrub/run_config.hh"
+
+namespace pcmscrub {
+
+class SnapshotSink;
+class SnapshotSource;
+
+/** What the controller decided at one sample. */
+enum class ControllerAction : unsigned
+{
+    Hold,
+    Tighten,
+    Relax,
+};
+
+/** One controller observation + decision (telemetry record). */
+struct ControllerSample
+{
+    double tSeconds = 0.0;        //!< Sample time.
+    double windowDays = 0.0;      //!< Window since previous sample.
+    double ueRate = 0.0;          //!< Host-visible UEs per line-day.
+    double writeRate = 0.0;       //!< Scrub writes per line-day.
+    double intervalBeforeS = 0.0; //!< Interval entering the sample.
+    double intervalAfterS = 0.0;  //!< Interval the controller wants.
+    ControllerAction action = ControllerAction::Hold;
+};
+
+/**
+ * Deterministic feedback loop from ScrubMetrics to a sweep interval.
+ */
+class ScrubRateController
+{
+  public:
+    /**
+     * @param settings validated RAS knobs
+     * @param lines line population (normalises rates per line-day)
+     */
+    ScrubRateController(const RasSettings &settings,
+                        std::uint64_t lines);
+
+    /**
+     * Observe the cumulative metrics at `now` and decide. The first
+     * sample only baselines the counters (action Hold). The caller
+     * applies sample.intervalAfterS (the controller never touches
+     * the policy itself).
+     */
+    ControllerSample sample(Tick now, const ScrubMetrics &metrics,
+                            double current_interval_s);
+
+    /** Consecutive in-SLO samples seen (relax pends at 2). */
+    unsigned calmSamples() const { return calmSamples_; }
+
+    void saveState(SnapshotSink &sink) const;
+    void loadState(SnapshotSource &source);
+
+  private:
+    RasSettings settings_;
+    std::uint64_t lines_;
+
+    // Mutable loop state (serialized) -------------------------------
+    Tick lastTick_ = 0;
+    bool primed_ = false;     //!< First sample taken (baseline set).
+    double lastUe_ = 0.0;     //!< Cumulative UEs at the last sample.
+    double lastWrites_ = 0.0; //!< Cumulative scrub writes, ditto.
+    unsigned calmSamples_ = 0;
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_RAS_CONTROLLER_HH

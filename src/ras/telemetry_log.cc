@@ -1,0 +1,72 @@
+#include "ras/telemetry_log.hh"
+
+#include "common/logging.hh"
+
+namespace pcmscrub {
+
+namespace {
+
+const char *
+actionName(ControllerAction action)
+{
+    switch (action) {
+      case ControllerAction::Hold:
+        return "hold";
+      case ControllerAction::Tighten:
+        return "tighten";
+      case ControllerAction::Relax:
+        return "relax";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+TelemetryLogger::TelemetryLogger(const std::string &path)
+    : path_(path), file_(std::fopen(path.c_str(), "a"))
+{
+    if (file_ == nullptr)
+        fatal("cannot open telemetry log '%s' for append",
+              path.c_str());
+}
+
+TelemetryLogger::~TelemetryLogger()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+void
+TelemetryLogger::append(const std::string &run,
+                        const ControllerSample &sample,
+                        const ScrubMetrics &metrics, double slo)
+{
+    // Labels are harness-chosen identifiers (no quotes/backslashes),
+    // so plain printf emission is valid JSON here.
+    std::fprintf(
+        file_,
+        "{\"run\":\"%s\",\"t_hours\":%.6f,\"interval_s\":%.3f,"
+        "\"action\":\"%s\",\"interval_next_s\":%.3f,"
+        "\"ue_rate_per_line_day\":%.9g,\"slo_ue_per_line_day\":%.9g,"
+        "\"write_rate_per_line_day\":%.9g,"
+        "\"ue_surfaced\":%llu,\"ue_demand\":%.6f,"
+        "\"ue_absorbed\":%llu,\"ppr_remapped\":%llu,"
+        "\"ppr_rows_left\":%llu,\"spares_left\":%llu,"
+        "\"scrub_writes\":%llu,\"corrected\":%llu,"
+        "\"energy_pj\":%.6e}\n",
+        run.c_str(), sample.tSeconds / 3600.0,
+        sample.intervalBeforeS, actionName(sample.action),
+        sample.intervalAfterS, sample.ueRate, slo, sample.writeRate,
+        static_cast<unsigned long long>(metrics.ueSurfaced),
+        metrics.demandUncorrectable,
+        static_cast<unsigned long long>(metrics.ueAbsorbed()),
+        static_cast<unsigned long long>(metrics.uePprRemapped),
+        static_cast<unsigned long long>(metrics.pprSparesRemaining),
+        static_cast<unsigned long long>(metrics.sparesRemaining),
+        static_cast<unsigned long long>(metrics.scrubRewrites),
+        static_cast<unsigned long long>(metrics.correctedErrors),
+        metrics.energy.total());
+    std::fflush(file_);
+}
+
+} // namespace pcmscrub

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Machine-readable telemetry: one JSON object per controller sample,
+ * appended to a JSONL file and flushed per line so a killed run
+ * loses at most the line being written.
+ *
+ * The log is *observability*, not simulation state: it is not part
+ * of any snapshot. A run resumed from a mid-run checkpoint re-emits
+ * the samples between the checkpoint and the kill, so consumers
+ * (tools/telemetry_summary.py) deduplicate on (run, t_hours),
+ * keeping the last occurrence.
+ */
+
+#ifndef PCMSCRUB_RAS_TELEMETRY_LOG_HH
+#define PCMSCRUB_RAS_TELEMETRY_LOG_HH
+
+#include <cstdio>
+#include <string>
+
+#include "ras/controller.hh"
+#include "scrub/metrics.hh"
+
+namespace pcmscrub {
+
+/**
+ * Append-mode JSONL sink for controller samples.
+ */
+class TelemetryLogger
+{
+  public:
+    /** Opens `path` for append; fatal() when it cannot be opened. */
+    explicit TelemetryLogger(const std::string &path);
+    ~TelemetryLogger();
+
+    TelemetryLogger(const TelemetryLogger &) = delete;
+    TelemetryLogger &operator=(const TelemetryLogger &) = delete;
+
+    /**
+     * Emit one sample line.
+     *
+     * @param run label distinguishing runs sharing one file
+     * @param slo the UE-rate SLO in force (repeated per line so the
+     *        file is self-describing)
+     */
+    void append(const std::string &run, const ControllerSample &sample,
+                const ScrubMetrics &metrics, double slo);
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::FILE *file_;
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_RAS_TELEMETRY_LOG_HH

@@ -40,7 +40,11 @@ AnalyticBackend::AnalyticBackend(const AnalyticConfig &config)
       lines_(config.lines),
       spares_(config.degradation.enabled
                   ? config.degradation.spareLines
-                  : 0)
+                  : 0),
+      ppr_(config.degradation.enabled
+               ? config.degradation.pprSpareRows
+               : 0,
+           config.degradation.pprUeThreshold)
 {
     PCMSCRUB_ASSERT(config.lines >= 1, "backend needs lines");
     PCMSCRUB_ASSERT(config.weakCellsTracked < cellsPerLine_,
@@ -67,23 +71,29 @@ AnalyticBackend::AnalyticBackend(const AnalyticConfig &config)
     drift_.prewarm();
     drift_.prewarmBulk(bulkQuantile_);
 
-    // Sample each line's top-k intrinsic drift speeds via uniform
+    weakCells_.resize(config.lines * k);
+    for (std::uint64_t line = 0; line < config.lines; ++line)
+        sampleWeakSpeeds(line);
+}
+
+void
+AnalyticBackend::sampleWeakSpeeds(LineIndex line)
+{
+    // Sample the line's top-k intrinsic drift speeds via uniform
     // order statistics: the j-th largest of n uniforms is the
     // previous one scaled by U^(1/(n-j)).
-    weakCells_.resize(config.lines * k);
-    for (std::uint64_t line = 0; line < config.lines; ++line) {
-        Random &rng = rngFor(line);
-        double topUniform = 1.0;
-        for (unsigned j = 0; j < k; ++j) {
-            const double draw = std::max(rng.uniform(), 1e-12);
-            topUniform *= std::pow(
-                draw, 1.0 / static_cast<double>(cellsPerLine_ - j));
-            WeakCell &cell = weakCells_[line * k + j];
-            cell.speed = static_cast<float>(drift_.speedAtQuantile(
-                std::clamp(topUniform, 1e-12, 1.0 - 1e-15)));
-            cell.level =
-                static_cast<std::uint8_t>(rng.uniformInt(mlcLevels));
-        }
+    const unsigned k = config_.weakCellsTracked;
+    Random &rng = rngFor(line);
+    double topUniform = 1.0;
+    for (unsigned j = 0; j < k; ++j) {
+        const double draw = std::max(rng.uniform(), 1e-12);
+        topUniform *= std::pow(
+            draw, 1.0 / static_cast<double>(cellsPerLine_ - j));
+        WeakCell &cell = weakCells_[line * k + j];
+        cell.speed = static_cast<float>(drift_.speedAtQuantile(
+            std::clamp(topUniform, 1e-12, 1.0 - 1e-15)));
+        cell.level =
+            static_cast<std::uint8_t>(rng.uniformInt(mlcLevels));
     }
 }
 
@@ -95,6 +105,19 @@ AnalyticBackend::setFaultInjector(FaultInjector *injector)
         injector_->shardStreams(plan_.count());
 }
 
+void
+AnalyticBackend::setTelemetry(RegionTelemetry *telemetry)
+{
+    if (telemetry != nullptr) {
+        PCMSCRUB_ASSERT(
+            telemetry->lineCount() == lines_.size(),
+            "telemetry tracks %llu lines but the backend has %llu",
+            static_cast<unsigned long long>(telemetry->lineCount()),
+            static_cast<unsigned long long>(lines_.size()));
+    }
+    telemetry_ = telemetry;
+}
+
 const ScrubMetrics &
 AnalyticBackend::metrics() const
 {
@@ -104,6 +127,7 @@ AnalyticBackend::metrics() const
     // The spare pool is shared across shards; the merged gauge is
     // its live level, not a per-shard sum.
     merged_.sparesRemaining = spares_.remaining();
+    merged_.pprSparesRemaining = ppr_.remaining();
     return merged_;
 }
 
@@ -312,13 +336,17 @@ AnalyticBackend::piggybackReads(LineIndex line, Tick gap_start,
     // The read-path decode saw enough errors: refresh immediately.
     const EnergyModel energy(config_.device);
     ScrubMetrics &metrics = metricsFor(line);
-    metrics.energy.add(
-        EnergyCategory::ArrayWrite,
-        energy.lineWrite(static_cast<std::uint64_t>(
-            std::llround(cellsPerLine_ * avgIterationsPerCell_))));
+    const double writePj = energy.lineWrite(static_cast<std::uint64_t>(
+        std::llround(cellsPerLine_ * avgIterationsPerCell_)));
+    metrics.energy.add(EnergyCategory::ArrayWrite, writePj);
     ++metrics.scrubRewrites;
     ++metrics.piggybackRewrites;
-    metrics.correctedErrors += state.driftErrors + weakErrors(line);
+    const std::uint64_t corrected = state.driftErrors + weakErrors(line);
+    metrics.correctedErrors += corrected;
+    if (telemetry_ != nullptr) {
+        telemetry_->onScrubWrite(plan_.shardOf(line), line, corrected,
+                                 writePj);
+    }
     applyWear(line, state, 1.0);
     resetAfterWrite(line, readTick, /*new_data=*/false);
 }
@@ -401,8 +429,10 @@ AnalyticBackend::chargeArrayRead(LineIndex line, Tick now)
     shard.chargedLine = line;
     shard.chargedTick = now;
     const EnergyModel energy(config_.device);
-    shard.metrics.energy.add(EnergyCategory::ArrayRead,
-                             energy.lineRead(cellsPerLine_));
+    const double pj = energy.lineRead(cellsPerLine_);
+    shard.metrics.energy.add(EnergyCategory::ArrayRead, pj);
+    if (telemetry_ != nullptr)
+        telemetry_->onEnergy(plan_.shardOf(line), line, pj);
 }
 
 Tick
@@ -498,6 +528,10 @@ AnalyticBackend::fullDecode(LineIndex line, Tick now)
         outcome.handledBy = config_.degradation.enabled
             ? escalate(line, now)
             : DegradationStage::HostVisible;
+        if (telemetry_ != nullptr) {
+            telemetry_->onUncorrectable(plan_.shardOf(line), line,
+                                        outcome.handledBy);
+        }
         if (outcome.handledBy == DegradationStage::HostVisible) {
             outcome.uncorrectable = true;
             ++metricsFor(line).scrubUncorrectable;
@@ -528,10 +562,11 @@ AnalyticBackend::escalate(LineIndex line, Tick now)
     // Ladder-internal refresh: a full write that is not a scrub
     // rewrite (the policy never asked for it).
     const auto refresh = [&](bool new_data) {
-        metrics.energy.add(
-            EnergyCategory::ArrayWrite,
-            energy.lineWrite(static_cast<std::uint64_t>(
-                std::llround(cellsPerLine_ * avgIterationsPerCell_))));
+        const double pj = energy.lineWrite(static_cast<std::uint64_t>(
+            std::llround(cellsPerLine_ * avgIterationsPerCell_)));
+        metrics.energy.add(EnergyCategory::ArrayWrite, pj);
+        if (telemetry_ != nullptr)
+            telemetry_->onEnergy(plan_.shardOf(line), line, pj);
         applyWear(line, state, 1.0);
         resetAfterWrite(line, now, new_data);
     };
@@ -570,7 +605,35 @@ AnalyticBackend::escalate(LineIndex line, Tick now)
         }
     }
 
-    // Stage 3: retire the line into the spare-remap pool; the
+    // Stage 3: post-package repair — permanently fuse a chronically
+    // failing address over to a dedicated spare row. The fuse is
+    // one-shot per address and the rows are scarce, so only lines
+    // with a repeat-offender UE history qualify; a line felled by a
+    // one-off event falls through without burning a row.
+    if (deg.pprSpareRows > 0) {
+        ppr_.noteUncorrectable(line);
+        if (ppr_.qualifies(line) && ppr_.remap(line)) {
+            ++metrics.uePprRemapped;
+            warn_once("PPR-remapping line %llu to a spare row "
+                      "(%llu rows left)",
+                      static_cast<unsigned long long>(line),
+                      static_cast<unsigned long long>(ppr_.remaining()));
+            state.stuckCells = 0;
+            state.stuckErrors = 0;
+            state.writes = 0.0;
+            sampleWeakSpeeds(line); // New row, new drift tail.
+            refresh(/*new_data=*/true);
+            return DegradationStage::PprRemap;
+        }
+        if (ppr_.exhausted()) {
+            warn_once("PPR spare rows exhausted after %llu remaps; "
+                      "chronic lines now fall through to retirement",
+                      static_cast<unsigned long long>(
+                          ppr_.remappedCount()));
+        }
+    }
+
+    // Stage 4: retire the line into the spare-remap pool; the
     // address now resolves to fresh spare silicon.
     if (spares_.retire(line)) {
         ++metrics.ueRetired;
@@ -581,6 +644,7 @@ AnalyticBackend::escalate(LineIndex line, Tick now)
         state.stuckCells = 0;
         state.stuckErrors = 0;
         state.writes = 0.0;
+        sampleWeakSpeeds(line); // New row, new drift tail.
         refresh(/*new_data=*/true);
         return DegradationStage::Retire;
     }
@@ -591,7 +655,7 @@ AnalyticBackend::escalate(LineIndex line, Tick now)
                       spares_.retiredCount()));
     }
 
-    // Stage 4: drop the line to SLC — drift-immune, half density.
+    // Stage 5: drop the line to SLC — drift-immune, half density.
     if (deg.slcFallback && !state.slc) {
         state.slc = true;
         ++metrics.ueSlcFallbacks;
@@ -647,14 +711,18 @@ AnalyticBackend::scrubRewrite(LineIndex line, Tick now, bool preventive)
 
     const EnergyModel energy(config_.device);
     ScrubMetrics &metrics = metricsFor(line);
-    metrics.energy.add(
-        EnergyCategory::ArrayWrite,
-        energy.lineWrite(static_cast<std::uint64_t>(
-            std::llround(cellsPerLine_ * avgIterationsPerCell_))));
+    const double writePj = energy.lineWrite(static_cast<std::uint64_t>(
+        std::llround(cellsPerLine_ * avgIterationsPerCell_)));
+    metrics.energy.add(EnergyCategory::ArrayWrite, writePj);
     ++metrics.scrubRewrites;
     if (preventive)
         ++metrics.preventiveRewrites;
-    metrics.correctedErrors += state.driftErrors + weakErrors(line);
+    const std::uint64_t corrected = state.driftErrors + weakErrors(line);
+    metrics.correctedErrors += corrected;
+    if (telemetry_ != nullptr) {
+        telemetry_->onScrubWrite(plan_.shardOf(line), line, corrected,
+                                 writePj);
+    }
 
     applyWear(line, state, 1.0);
     // Scrub rewrites restore the *same* data: stuck cells that
@@ -668,10 +736,11 @@ AnalyticBackend::repairUncorrectable(LineIndex line, Tick now)
     materialize(line, now);
     LineState &state = lines_[line];
     const EnergyModel energy(config_.device);
-    metricsFor(line).energy.add(
-        EnergyCategory::ArrayWrite,
-        energy.lineWrite(static_cast<std::uint64_t>(
-            std::llround(cellsPerLine_ * avgIterationsPerCell_))));
+    const double writePj = energy.lineWrite(static_cast<std::uint64_t>(
+        std::llround(cellsPerLine_ * avgIterationsPerCell_)));
+    metricsFor(line).energy.add(EnergyCategory::ArrayWrite, writePj);
+    if (telemetry_ != nullptr)
+        telemetry_->onEnergy(plan_.shardOf(line), line, writePj);
     applyWear(line, state, 1.0);
     // Recovery remaps conflicting stuck cells to spares and reloads
     // the data, so the line starts clean.
@@ -745,10 +814,15 @@ AnalyticBackend::checkpointSave(SnapshotSink &sink) const
     }
 
     spares_.saveState(sink);
+    ppr_.saveState(sink);
 
     sink.boolean(injector_ != nullptr);
     if (injector_ != nullptr)
         injector_->saveState(sink);
+
+    sink.boolean(telemetry_ != nullptr);
+    if (telemetry_ != nullptr)
+        telemetry_->saveState(sink);
 }
 
 void
@@ -806,6 +880,7 @@ AnalyticBackend::checkpointLoad(SnapshotSource &source)
     }
 
     spares_.loadState(source);
+    ppr_.loadState(source);
 
     const bool hadInjector = source.boolean();
     if (hadInjector != (injector_ != nullptr)) {
@@ -817,6 +892,17 @@ AnalyticBackend::checkpointLoad(SnapshotSource &source)
     }
     if (injector_ != nullptr)
         injector_->loadState(source);
+
+    const bool hadTelemetry = source.boolean();
+    if (hadTelemetry != (telemetry_ != nullptr)) {
+        source.corrupt(hadTelemetry
+                           ? "snapshot has telemetry state but no "
+                             "telemetry sink is attached"
+                           : "a telemetry sink is attached but the "
+                             "snapshot has no telemetry state");
+    }
+    if (telemetry_ != nullptr)
+        telemetry_->loadState(source);
 }
 
 std::uint64_t
@@ -847,6 +933,8 @@ AnalyticBackend::checkpointFingerprint() const
     fp.u64(config_.degradation.ecpRepair ? 1 : 0);
     fp.u64(config_.degradation.spareLines);
     fp.u64(config_.degradation.slcFallback ? 1 : 0);
+    fp.u64(config_.degradation.pprSpareRows);
+    fp.u64(config_.degradation.pprUeThreshold);
     config_.device.addToFingerprint(fp);
     return fp.value();
 }

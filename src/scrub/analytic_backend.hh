@@ -34,6 +34,8 @@
 #include "common/shard.hh"
 #include "ecc/detector.hh"
 #include "mem/metadata.hh"
+#include "mem/ppr.hh"
+#include "mem/region_telemetry.hh"
 #include "pcm/wear.hh"
 #include "scrub/backend.hh"
 #include "scrub/demand_model.hh"
@@ -136,6 +138,9 @@ class AnalyticBackend : public ScrubBackend
     void repairUncorrectable(LineIndex line, Tick now) override;
     void noteVisit(LineIndex line, Tick now) override;
     void setFaultInjector(FaultInjector *injector) override;
+    void setTelemetry(RegionTelemetry *telemetry) override;
+    const SparePool *spares() const override { return &spares_; }
+    PprRemapTable *ppr() override { return &ppr_; }
 
     /**
      * Per-shard metric slices merged in ascending shard order — the
@@ -164,6 +169,9 @@ class AnalyticBackend : public ScrubBackend
 
     /** Retirement spare pool (empty unless the ladder provisions it). */
     const SparePool &sparePool() const { return spares_; }
+
+    /** PPR remap table (empty unless the ladder provisions it). */
+    const PprRemapTable &pprTable() const { return ppr_; }
 
     const AnalyticConfig &config() const { return config_; }
 
@@ -246,6 +254,15 @@ class AnalyticBackend : public ScrubBackend
     void resetAfterWrite(LineIndex line, Tick now, bool new_data);
 
     /**
+     * Draw a fresh top-k intrinsic drift-speed tail for a line.
+     * Called at construction and whenever a repair rung moves the
+     * address onto new physical silicon (PPR remap, spare
+     * retirement): drift speed is a property of the physical row, so
+     * a remap genuinely cures a chronically fast-drifting line.
+     */
+    void sampleWeakSpeeds(LineIndex line);
+
+    /**
      * Injected transient (read-disturb) flips seen by the current
      * (line, tick) visit; 0 without an injector. Sampled once per
      * visit so every gate sees the same flips.
@@ -301,7 +318,9 @@ class AnalyticBackend : public ScrubBackend
     std::vector<ShardState> shards_;
     mutable ScrubMetrics merged_; //!< Rebuilt on each metrics() call.
     SparePool spares_;
-    FaultInjector *injector_ = nullptr; //!< Not owned.
+    PprRemapTable ppr_;
+    FaultInjector *injector_ = nullptr;    //!< Not owned.
+    RegionTelemetry *telemetry_ = nullptr; //!< Not owned.
 };
 
 } // namespace pcmscrub

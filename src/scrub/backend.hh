@@ -29,8 +29,11 @@
 namespace pcmscrub {
 
 class FaultInjector;
+class PprRemapTable;
+class RegionTelemetry;
 class SnapshotSink;
 class SnapshotSource;
+class SparePool;
 
 /** What a full decode revealed. */
 struct FullDecodeOutcome
@@ -144,6 +147,30 @@ class ScrubBackend
     {
         (void)injector;
     }
+
+    /**
+     * Attach a per-region telemetry sink (not owned; nullptr to
+     * detach). The sink's geometry must match the backend's line
+     * count and shard plan; its state rides along in the backend's
+     * checkpoint while attached. Backends without telemetry support
+     * silently ignore it.
+     */
+    virtual void setTelemetry(RegionTelemetry *telemetry)
+    {
+        (void)telemetry;
+    }
+
+    /**
+     * Retirement spare pool, for control-plane introspection;
+     * nullptr when the backend has no degradation ladder.
+     */
+    virtual const SparePool *spares() const { return nullptr; }
+
+    /**
+     * PPR remap table (mutable: the control plane's repair verb
+     * consumes spare rows); nullptr when the backend has none.
+     */
+    virtual PprRemapTable *ppr() { return nullptr; }
 
     virtual const ScrubMetrics &metrics() const = 0;
     virtual ScrubMetrics &metrics() = 0;

@@ -34,7 +34,11 @@ CellBackend::CellBackend(const CellBackendConfig &config)
       wear_(config.device),
       spares_(config.degradation.enabled
                   ? config.degradation.spareLines
-                  : 0)
+                  : 0),
+      ppr_(config.degradation.enabled
+               ? config.degradation.pprSpareRows
+               : 0,
+           config.degradation.pprUeThreshold)
 {
     shards_.resize(plan_.count());
     for (std::size_t shard = 0; shard < plan_.count(); ++shard)
@@ -88,9 +92,10 @@ CellBackend::chargeArrayRead(LineIndex line, Tick now)
     if (shard.chargedLine != line || shard.chargedTick != now) {
         shard.chargedLine = line;
         shard.chargedTick = now;
-        shard.metrics.energy.add(
-            EnergyCategory::ArrayRead,
-            energyModel_.lineRead(cellsPerLine()));
+        const double pj = energyModel_.lineRead(cellsPerLine());
+        shard.metrics.energy.add(EnergyCategory::ArrayRead, pj);
+        if (telemetry_ != nullptr)
+            telemetry_->onEnergy(plan_.shardOf(line), line, pj);
     }
 }
 
@@ -256,9 +261,10 @@ CellBackend::programLine(LineIndex line, const BitVector &word,
     const LineProgramStats stats = physical.writeCodeword(
         word, now, array_.model(), shard.rng);
     if (scrub_energy) {
-        shard.metrics.energy.add(
-            EnergyCategory::ArrayWrite,
-            energyModel_.lineWrite(stats.totalIterations));
+        const double pj = energyModel_.lineWrite(stats.totalIterations);
+        shard.metrics.energy.add(EnergyCategory::ArrayWrite, pj);
+        if (telemetry_ != nullptr)
+            telemetry_->onEnergy(plan_.shardOf(line), line, pj);
     }
     shard.metrics.cellsWornOut += stats.cellsWornOut;
     // Injected wear-correlated hard faults strike at program time,
@@ -382,6 +388,10 @@ CellBackend::fullDecode(LineIndex line, Tick now)
         outcome.handledBy = config_.degradation.enabled
             ? escalate(line, now)
             : DegradationStage::HostVisible;
+        if (telemetry_ != nullptr) {
+            telemetry_->onUncorrectable(plan_.shardOf(line), line,
+                                        outcome.handledBy);
+        }
         if (outcome.handledBy == DegradationStage::HostVisible) {
             outcome.uncorrectable = true;
             ++metrics.scrubUncorrectable;
@@ -446,7 +456,32 @@ CellBackend::escalate(LineIndex line, Tick now)
         }
     }
 
-    // Stage 3: retire the line into the spare-remap pool. Modelled
+    // Stage 3: post-package repair — permanently fuse a chronically
+    // failing address over to a dedicated spare row. The fuse is
+    // one-shot per address and the rows are scarce, so only lines
+    // with a repeat-offender UE history qualify; a line felled by a
+    // one-off event falls through without burning a row.
+    if (deg.pprSpareRows > 0) {
+        ppr_.noteUncorrectable(line);
+        if (ppr_.qualifies(line) && ppr_.remap(line)) {
+            ++metrics.uePprRemapped;
+            warn_once("PPR-remapping line %llu to a spare row "
+                      "(%llu rows left)",
+                      static_cast<unsigned long long>(line),
+                      static_cast<unsigned long long>(ppr_.remaining()));
+            physical.initialize(array_.model(), rngFor(line));
+            programLine(line, physical.intendedWord(), now);
+            return DegradationStage::PprRemap;
+        }
+        if (ppr_.exhausted()) {
+            warn_once("PPR spare rows exhausted after %llu remaps; "
+                      "chronic lines now fall through to retirement",
+                      static_cast<unsigned long long>(
+                          ppr_.remappedCount()));
+        }
+    }
+
+    // Stage 4: retire the line into the spare-remap pool. Modelled
     // as the address now resolving to fresh spare silicon.
     if (spares_.retire(line)) {
         ++metrics.ueRetired;
@@ -465,7 +500,7 @@ CellBackend::escalate(LineIndex line, Tick now)
                       spares_.retiredCount()));
     }
 
-    // Stage 4: drop the line to SLC — extreme levels only, immune to
+    // Stage 5: drop the line to SLC — extreme levels only, immune to
     // drift, at half density.
     if (deg.slcFallback && !physical.slcMode()) {
         physical.setSlcMode(array_.model(), rngFor(line));
@@ -505,7 +540,13 @@ CellBackend::scrubRewrite(LineIndex line, Tick now, bool preventive)
     ++metrics.scrubRewrites;
     if (preventive)
         ++metrics.preventiveRewrites;
-    metrics.correctedErrors += before > after ? before - after : 0;
+    const std::uint64_t corrected = before > after ? before - after : 0;
+    metrics.correctedErrors += corrected;
+    if (telemetry_ != nullptr) {
+        // Write energy already flowed through programLine's hook.
+        telemetry_->onScrubWrite(plan_.shardOf(line), line, corrected,
+                                 0.0);
+    }
 }
 
 void
@@ -549,6 +590,19 @@ CellBackend::setFaultInjector(FaultInjector *injector)
         injector_->shardStreams(plan_.count());
 }
 
+void
+CellBackend::setTelemetry(RegionTelemetry *telemetry)
+{
+    if (telemetry != nullptr) {
+        PCMSCRUB_ASSERT(
+            telemetry->lineCount() == lineCount(),
+            "telemetry tracks %llu lines but the backend has %llu",
+            static_cast<unsigned long long>(telemetry->lineCount()),
+            static_cast<unsigned long long>(lineCount()));
+    }
+    telemetry_ = telemetry;
+}
+
 const ScrubMetrics &
 CellBackend::metrics() const
 {
@@ -556,6 +610,7 @@ CellBackend::metrics() const
     for (const ShardState &shard : shards_)
         merged_.merge(shard.metrics);
     merged_.sparesRemaining = spares_.remaining();
+    merged_.pprSparesRemaining = ppr_.remaining();
     return merged_;
 }
 
@@ -597,10 +652,15 @@ CellBackend::checkpointSave(SnapshotSink &sink) const
     }
 
     spares_.saveState(sink);
+    ppr_.saveState(sink);
 
     sink.boolean(injector_ != nullptr);
     if (injector_ != nullptr)
         injector_->saveState(sink);
+
+    sink.boolean(telemetry_ != nullptr);
+    if (telemetry_ != nullptr)
+        telemetry_->saveState(sink);
 }
 
 void
@@ -629,6 +689,7 @@ CellBackend::checkpointLoad(SnapshotSource &source)
     }
 
     spares_.loadState(source);
+    ppr_.loadState(source);
 
     const bool hadInjector = source.boolean();
     if (hadInjector != (injector_ != nullptr)) {
@@ -640,6 +701,17 @@ CellBackend::checkpointLoad(SnapshotSource &source)
     }
     if (injector_ != nullptr)
         injector_->loadState(source);
+
+    const bool hadTelemetry = source.boolean();
+    if (hadTelemetry != (telemetry_ != nullptr)) {
+        source.corrupt(hadTelemetry
+                           ? "snapshot has telemetry state but no "
+                             "telemetry sink is attached"
+                           : "a telemetry sink is attached but the "
+                             "snapshot has no telemetry state");
+    }
+    if (telemetry_ != nullptr)
+        telemetry_->loadState(source);
 
     // Detector reference words are a pure function of the intended
     // codewords, so recompute rather than trust serialized copies.
@@ -671,6 +743,8 @@ CellBackend::checkpointFingerprint() const
     fp.u64(config_.degradation.ecpRepair ? 1 : 0);
     fp.u64(config_.degradation.spareLines);
     fp.u64(config_.degradation.slcFallback ? 1 : 0);
+    fp.u64(config_.degradation.pprSpareRows);
+    fp.u64(config_.degradation.pprUeThreshold);
     config_.device.addToFingerprint(fp);
     return fp.value();
 }

@@ -20,6 +20,8 @@
 #include "ecc/code.hh"
 #include "ecc/ecp.hh"
 #include "mem/metadata.hh"
+#include "mem/ppr.hh"
+#include "mem/region_telemetry.hh"
 #include "pcm/array.hh"
 #include "pcm/energy.hh"
 #include "pcm/wear.hh"
@@ -104,6 +106,9 @@ class CellBackend : public ScrubBackend
     void repairUncorrectable(LineIndex line, Tick now) override;
     void noteVisit(LineIndex line, Tick now) override;
     void setFaultInjector(FaultInjector *injector) override;
+    void setTelemetry(RegionTelemetry *telemetry) override;
+    const SparePool *spares() const override { return &spares_; }
+    PprRemapTable *ppr() override { return &ppr_; }
 
     /**
      * Per-shard metric slices merged in ascending shard order — the
@@ -152,6 +157,9 @@ class CellBackend : public ScrubBackend
 
     /** Retirement spare pool (empty unless the ladder provisions it). */
     const SparePool &sparePool() const { return spares_; }
+
+    /** PPR remap table (empty unless the ladder provisions it). */
+    const PprRemapTable &pprTable() const { return ppr_; }
 
   private:
     /** Charge the array-read energy once per (line, tick) visit. */
@@ -280,7 +288,9 @@ class CellBackend : public ScrubBackend
     mutable ScrubMetrics merged_; //!< Rebuilt on each metrics() call.
     WearModel wear_;
     SparePool spares_;
-    FaultInjector *injector_ = nullptr; //!< Not owned.
+    PprRemapTable ppr_;
+    FaultInjector *injector_ = nullptr;    //!< Not owned.
+    RegionTelemetry *telemetry_ = nullptr; //!< Not owned.
 
     /**
      * Lazy-drift cache: per-line crossing state plus one calendar

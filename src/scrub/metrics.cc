@@ -27,12 +27,14 @@ ScrubMetrics::merge(const ScrubMetrics &other)
     ueRetries += other.ueRetries;
     ueRetryResolved += other.ueRetryResolved;
     ueEcpRepaired += other.ueEcpRepaired;
+    uePprRemapped += other.uePprRemapped;
     ueRetired += other.ueRetired;
     ueSlcFallbacks += other.ueSlcFallbacks;
     ueSurfaced += other.ueSurfaced;
     // Spares remaining is a level, but shards are independent pools,
     // so the merged level is still the sum.
     sparesRemaining += other.sparesRemaining;
+    pprSparesRemaining += other.pprSparesRemaining;
     capacityLostBits += other.capacityLostBits;
     energy.merge(other.energy);
 }
@@ -58,10 +60,12 @@ ScrubMetrics::saveState(SnapshotSink &sink) const
     sink.u64(ueRetries);
     sink.u64(ueRetryResolved);
     sink.u64(ueEcpRepaired);
+    sink.u64(uePprRemapped);
     sink.u64(ueRetired);
     sink.u64(ueSlcFallbacks);
     sink.u64(ueSurfaced);
     sink.u64(sparesRemaining);
+    sink.u64(pprSparesRemaining);
     sink.u64(capacityLostBits);
     energy.saveState(sink);
 }
@@ -89,10 +93,12 @@ ScrubMetrics::loadState(SnapshotSource &source)
     ueRetries = source.u64();
     ueRetryResolved = source.u64();
     ueEcpRepaired = source.u64();
+    uePprRemapped = source.u64();
     ueRetired = source.u64();
     ueSlcFallbacks = source.u64();
     ueSurfaced = source.u64();
     sparesRemaining = source.u64();
+    pprSparesRemaining = source.u64();
     capacityLostBits = source.u64();
     energy.loadState(source);
 }
@@ -116,10 +122,12 @@ ScrubMetrics::toString() const
         out << " | ladder: retries=" << ueRetries
             << " retry_ok=" << ueRetryResolved
             << " ecp=" << ueEcpRepaired
+            << " ppr=" << uePprRemapped
             << " retired=" << ueRetired
             << " slc=" << ueSlcFallbacks
             << " surfaced=" << ueSurfaced
             << " spares_left=" << sparesRemaining
+            << " ppr_left=" << pprSparesRemaining
             << " cap_lost_bits=" << capacityLostBits;
     }
     return out.str();

@@ -91,6 +91,9 @@ struct ScrubMetrics
     /** Uncorrectable events absorbed by an ECP repair. */
     std::uint64_t ueEcpRepaired = 0;
 
+    /** Uncorrectable events absorbed by a PPR spare-row remap. */
+    std::uint64_t uePprRemapped = 0;
+
     /** Uncorrectable events absorbed by retiring the line. */
     std::uint64_t ueRetired = 0;
 
@@ -105,6 +108,9 @@ struct ScrubMetrics
 
     /** Spare lines still available for retirement. */
     std::uint64_t sparesRemaining = 0;
+
+    /** PPR spare rows still available for remapping. */
+    std::uint64_t pprSparesRemaining = 0;
 
     /**
      * Usable capacity lost to degradation, in bits: retired lines
@@ -128,8 +134,8 @@ struct ScrubMetrics
     /** Uncorrectable events the degradation ladder absorbed. */
     std::uint64_t ueAbsorbed() const
     {
-        return ueRetryResolved + ueEcpRepaired + ueRetired +
-            ueSlcFallbacks;
+        return ueRetryResolved + ueEcpRepaired + uePprRemapped +
+            ueRetired + ueSlcFallbacks;
     }
 
     void merge(const ScrubMetrics &other);

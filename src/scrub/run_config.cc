@@ -123,6 +123,58 @@ applyRunConfig(const ConfigFile &file, AnalyticRunConfig defaults)
     if (out.backend.piggybackRewriteThreshold < 1)
         fatal("config: policy.piggyback_threshold must be at least 1");
 
+    // [ras]
+    out.ras.enabled = file.getBool("ras.enabled", out.ras.enabled);
+    out.ras.minIntervalS = file.getDouble("ras.min_interval_s",
+                                          out.ras.minIntervalS);
+    if (!(out.ras.minIntervalS > 0.0))
+        fatal("config: ras.min_interval_s must be positive");
+    out.ras.maxIntervalS = file.getDouble("ras.max_interval_s",
+                                          out.ras.maxIntervalS);
+    if (!(out.ras.maxIntervalS >= out.ras.minIntervalS))
+        fatal("config: ras.max_interval_s must be >= "
+              "ras.min_interval_s");
+    out.ras.sloUePerLineDay = file.getDouble(
+        "ras.slo_ue_per_line_day", out.ras.sloUePerLineDay);
+    if (!(out.ras.sloUePerLineDay > 0.0))
+        fatal("config: ras.slo_ue_per_line_day must be positive");
+    out.ras.writeBudgetPerLineDay = file.getDouble(
+        "ras.write_budget_per_line_day",
+        out.ras.writeBudgetPerLineDay);
+    if (!(out.ras.writeBudgetPerLineDay >= 0.0))
+        fatal("config: ras.write_budget_per_line_day must be >= 0");
+    out.ras.sampleEveryS = file.getDouble("ras.sample_every_s",
+                                          out.ras.sampleEveryS);
+    if (!(out.ras.sampleEveryS > 0.0))
+        fatal("config: ras.sample_every_s must be positive");
+    out.ras.stepFactor = file.getDouble("ras.step_factor",
+                                        out.ras.stepFactor);
+    if (!(out.ras.stepFactor > 1.0))
+        fatal("config: ras.step_factor must be > 1");
+    out.ras.hysteresis = file.getDouble("ras.hysteresis",
+                                        out.ras.hysteresis);
+    if (!(out.ras.hysteresis >= 0.0 && out.ras.hysteresis < 1.0))
+        fatal("config: ras.hysteresis must be in [0, 1)");
+    out.ras.linesPerRegion = file.getInt("ras.lines_per_region",
+                                         out.ras.linesPerRegion);
+    if (out.ras.linesPerRegion == 0)
+        fatal("config: ras.lines_per_region must be at least 1");
+    out.ras.telemetryPath = file.getString("ras.telemetry_path",
+                                           out.ras.telemetryPath);
+    // PPR keys configure the backend's degradation ladder directly.
+    out.backend.degradation.pprSpareRows = file.getInt(
+        "ras.ppr_spare_rows", out.backend.degradation.pprSpareRows);
+    out.backend.degradation.pprUeThreshold =
+        static_cast<unsigned>(file.getInt(
+            "ras.ppr_ue_threshold",
+            out.backend.degradation.pprUeThreshold));
+    if (out.backend.degradation.pprUeThreshold < 1)
+        fatal("config: ras.ppr_ue_threshold must be at least 1");
+    // Provisioning spare rows is the opt-in: a config that asks for
+    // PPR gets the degradation ladder that drives it.
+    if (out.backend.degradation.pprSpareRows > 0)
+        out.backend.degradation.enabled = true;
+
     return out;
 }
 

@@ -21,11 +21,56 @@ namespace pcmscrub {
 
 class ConfigFile;
 
+/**
+ * RAS control-plane knobs shared by the RAS-aware harnesses.
+ *
+ * Deliberately a plain struct down here in scrub_core: the ras
+ * library consumes it, but config loading must not depend on the
+ * controller implementation.
+ */
+struct RasSettings
+{
+    /** Master switch for the closed-loop scrub-rate controller. */
+    bool enabled = false;
+
+    /** Scrub-interval bounds the control plane enforces, seconds. */
+    double minIntervalS = 60.0;
+    double maxIntervalS = 24.0 * 3600.0;
+
+    /** UE-rate SLO: tolerated uncorrectable events per line-day. */
+    double sloUePerLineDay = 1e-4;
+
+    /**
+     * Scrub-write budget per line-day the controller relaxes toward
+     * when the UE rate is comfortably inside the SLO (0 = no write
+     * pressure, relax on calm alone).
+     */
+    double writeBudgetPerLineDay = 0.0;
+
+    /** Controller sampling cadence in simulated seconds. */
+    double sampleEveryS = 3600.0;
+
+    /** Multiplicative interval step per adjustment; must be > 1. */
+    double stepFactor = 2.0;
+
+    /** Deadband around the SLO as a fraction, in [0, 1). */
+    double hysteresis = 0.25;
+
+    /** Telemetry region granularity in lines. */
+    std::uint64_t linesPerRegion = 1024;
+
+    /** JSONL file controller samples are appended to ("" = off). */
+    std::string telemetryPath;
+};
+
 /** Everything an INI file can configure about an analytic run. */
 struct AnalyticRunConfig
 {
     PolicySpec policy{};
     AnalyticConfig backend{};
+
+    /** RAS control plane (off unless ras.enabled is set). */
+    RasSettings ras{};
 
     /** Simulated horizon in days. */
     double days = 14.0;

@@ -74,22 +74,41 @@ SweepScrubBase::wake(ScrubBackend &backend, Tick now)
         for (LineIndex line = range.begin; line < range.end; ++line)
             scrubCheckLine(backend, line, now, procedure_);
     });
+    lastWake_ = now;
     nextDue_ = now + interval_;
+}
+
+void
+SweepScrubBase::setInterval(Tick interval)
+{
+    if (interval == 0)
+        fatal("scrub interval must be positive");
+    interval_ = interval;
+    nextDue_ = lastWake_ + interval_;
 }
 
 void
 SweepScrubBase::checkpointSave(SnapshotSink &sink) const
 {
-    // interval_ and procedure_ are constructor configuration, covered
-    // by the snapshot fingerprint's policy name; only the schedule
-    // position is state.
+    // procedure_ is constructor configuration, covered by the
+    // snapshot fingerprint's policy name. The interval is state now
+    // that the control plane can retune it at runtime, as is the
+    // schedule position.
+    sink.u64(interval_);
+    sink.u64(lastWake_);
     sink.u64(nextDue_);
 }
 
 void
 SweepScrubBase::checkpointLoad(SnapshotSource &source)
 {
+    interval_ = source.u64();
+    if (interval_ == 0)
+        source.corrupt("zero scrub interval");
+    lastWake_ = source.u64();
     nextDue_ = source.u64();
+    if (nextDue_ < lastWake_)
+        source.corrupt("sweep due before its last wake");
 }
 
 namespace {

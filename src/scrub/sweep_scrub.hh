@@ -94,10 +94,20 @@ class SweepScrubBase : public ScrubPolicy
     Tick interval() const { return interval_; }
     const CheckProcedure &procedure() const { return procedure_; }
 
+    /**
+     * Retune the sweep period at runtime (the RAS control plane's
+     * scrub-rate knob). Takes effect immediately: the next sweep is
+     * rescheduled to `interval` after the most recent wake, so a
+     * tighter interval can pull the pending sweep earlier and a
+     * looser one can push it out. Zero is fatal().
+     */
+    void setInterval(Tick interval);
+
   private:
     Tick interval_;
     CheckProcedure procedure_;
     Tick nextDue_;
+    Tick lastWake_ = 0; //!< Tick of the most recent completed sweep.
 };
 
 /** DRAM-style baseline scrub (decode everything, rewrite any error). */

@@ -45,8 +45,17 @@
 
 namespace pcmscrub {
 
-/** Container format version this build writes and accepts. */
-constexpr std::uint32_t snapshotFormatVersion = 1;
+/**
+ * Container format version this build writes and accepts.
+ *
+ * History:
+ *  - v1: initial container (PR 3).
+ *  - v2: RAS control plane — backends carry a PPR remap table and an
+ *    optional telemetry attachment, sweep policies serialize their
+ *    (now runtime-tunable) interval and last-wake tick. Older
+ *    snapshots are rejected loudly; there is no in-place migration.
+ */
+constexpr std::uint32_t snapshotFormatVersion = 2;
 
 /**
  * Builder for one snapshot container.

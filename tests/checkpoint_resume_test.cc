@@ -36,6 +36,8 @@
 #include "common/serialize.hh"
 #include "common/thread_pool.hh"
 #include "faults/fault_injector.hh"
+#include "mem/ppr.hh"
+#include "ras/controlled_scrub.hh"
 #include "scrub/analytic_backend.hh"
 #include "scrub/cell_backend.hh"
 #include "scrub/factory.hh"
@@ -108,6 +110,8 @@ expectMetricsEqual(const ScrubMetrics &a, const ScrubMetrics &b)
     EXPECT_EQ(a.ueRetries, b.ueRetries);
     EXPECT_EQ(a.ueRetryResolved, b.ueRetryResolved);
     EXPECT_EQ(a.ueEcpRepaired, b.ueEcpRepaired);
+    EXPECT_EQ(a.uePprRemapped, b.uePprRemapped);
+    EXPECT_EQ(a.pprSparesRemaining, b.pprSparesRemaining);
     EXPECT_EQ(a.ueRetired, b.ueRetired);
     EXPECT_EQ(a.ueSlcFallbacks, b.ueSlcFallbacks);
     EXPECT_EQ(a.ueSurfaced, b.ueSurfaced);
@@ -506,6 +510,340 @@ TEST_F(AnalyticResume, KillAndResumeIsBitIdentical)
                                           killAt, totalWakes));
         }
     }
+}
+
+// RAS-managed runs ------------------------------------------------
+
+RasSettings
+rasResumeSettings()
+{
+    RasSettings ras;
+    ras.enabled = true;
+    ras.minIntervalS = 1800.0;
+    ras.maxIntervalS = 6.0 * 3600.0;
+    ras.sloUePerLineDay = 5e-4;
+    ras.sampleEveryS = 6.0 * 3600.0;
+    ras.stepFactor = 2.0;
+    ras.hysteresis = 0.25;
+    ras.linesPerRegion = 64;
+    return ras;
+}
+
+/**
+ * A closed-loop pipeline: auto-tuning ControlledScrub over a strong
+ * sweep on a drift-heavy BCH-4 device with the PPR rung and spare
+ * pool provisioned. Kill/resume must carry the controller loop
+ * state, the sample schedule, the PPR/spare tables, and the region
+ * telemetry counters — any drift there changes later controller
+ * decisions and shows up as a metrics mismatch.
+ */
+struct RasSim
+{
+    explicit RasSim(std::uint64_t seed)
+    {
+        config.lines = 512;
+        config.scheme = EccScheme::bch(4);
+        config.demand.writesPerLinePerSecond = 0.0;
+        config.demand.readsPerLinePerSecond = 1e-4;
+        config.seed = seed;
+        config.degradation.enabled = true;
+        config.degradation.maxRetries = 0;
+        config.degradation.ecpRepair = false;
+        // Provision row/spare budgets the run cannot exhaust: which
+        // line wins the *last* row of a contended pool is scheduling-
+        // dependent (see PprRemapTable), and this test asserts
+        // bit-identity across thread counts. Exhaustion fall-through
+        // is covered serially in ppr_ladder_test.
+        config.degradation.pprSpareRows = 512;
+        config.degradation.pprUeThreshold = 1;
+        config.degradation.spareLines = 512;
+        device = std::make_unique<AnalyticBackend>(config);
+        policy = std::make_unique<ControlledScrub>(
+            std::make_unique<StrongEccScrub>(secondsToTicks(3600.0)),
+            *device, rasResumeSettings(), /*auto_tune=*/true,
+            "resume");
+    }
+
+    std::uint64_t run(Tick horizon, std::uint64_t wakes,
+                      std::uint64_t stopAfterWakes)
+    {
+        while (true) {
+            const Tick at = policy->nextWake();
+            if (at > horizon)
+                break;
+            policy->wake(*device, at);
+            lastWakeTick = at;
+            if (++wakes == stopAfterWakes)
+                return wakes;
+        }
+        return wakes;
+    }
+
+    AnalyticConfig config;
+    std::unique_ptr<AnalyticBackend> device;
+    std::unique_ptr<ControlledScrub> policy;
+    Tick lastWakeTick = 0;
+};
+
+struct RasOutcome
+{
+    ScrubMetrics metrics;
+    double intervalS = 0.0;
+    unsigned calmSamples = 0;
+    std::uint64_t pprRemapped = 0;
+    std::vector<bool> remapped;
+    std::vector<RegionCounters> regions;
+};
+
+RasOutcome
+captureRas(const RasSim &sim)
+{
+    RasOutcome out;
+    out.metrics = sim.device->metrics();
+    out.intervalS = sim.policy->controlPlane().scrubIntervalS();
+    out.calmSamples = sim.policy->controller().calmSamples();
+    out.pprRemapped = sim.device->pprTable().remappedCount();
+    for (LineIndex line = 0; line < sim.device->lineCount(); ++line)
+        out.remapped.push_back(
+            sim.device->pprTable().isRemapped(line));
+    const RegionTelemetry &telemetry =
+        sim.policy->controlPlane().telemetry();
+    for (std::uint64_t r = 0; r < telemetry.regionCount(); ++r)
+        out.regions.push_back(telemetry.region(r));
+    return out;
+}
+
+void
+expectRasOutcomeEqual(const RasOutcome &a, const RasOutcome &b)
+{
+    expectMetricsEqual(a.metrics, b.metrics);
+    EXPECT_EQ(a.intervalS, b.intervalS);
+    EXPECT_EQ(a.calmSamples, b.calmSamples);
+    EXPECT_EQ(a.pprRemapped, b.pprRemapped);
+    EXPECT_EQ(a.remapped, b.remapped);
+    ASSERT_EQ(a.regions.size(), b.regions.size());
+    for (std::size_t r = 0; r < a.regions.size(); ++r) {
+        EXPECT_EQ(a.regions[r].correctedErrors,
+                  b.regions[r].correctedErrors) << "region " << r;
+        EXPECT_EQ(a.regions[r].uncorrectable,
+                  b.regions[r].uncorrectable) << "region " << r;
+        EXPECT_EQ(a.regions[r].ladderEscalations,
+                  b.regions[r].ladderEscalations) << "region " << r;
+        EXPECT_EQ(a.regions[r].scrubWrites,
+                  b.regions[r].scrubWrites) << "region " << r;
+        EXPECT_EQ(a.regions[r].energyPj, b.regions[r].energyPj)
+            << "region " << r;
+    }
+}
+
+RasOutcome
+resumedRas(std::uint64_t seed, unsigned threadsBefore,
+           unsigned threadsAfter, Tick horizon, std::uint64_t killAt,
+           std::uint64_t expectedWakes)
+{
+    const std::string path = tempPath("ras_resume.snap");
+
+    ThreadPool::global().resize(threadsBefore);
+    {
+        RasSim sim(seed);
+        const std::uint64_t wakes = sim.run(horizon, 0, killAt);
+        EXPECT_EQ(wakes, killAt);
+        writeCheckpoint(path, *sim.device, *sim.policy,
+                        CheckpointMeta{0, sim.lastWakeTick, wakes,
+                                       sim.policy->name()});
+    }
+
+    ThreadPool::global().resize(threadsAfter);
+    RasSim sim(seed);
+    const SnapshotReader reader = SnapshotReader::fromFile(path);
+    const CheckpointMeta meta =
+        readCheckpoint(reader, *sim.device, *sim.policy);
+    EXPECT_EQ(meta.wakes, killAt);
+    EXPECT_EQ(meta.policyName, sim.policy->name());
+
+    const std::uint64_t wakes = sim.run(horizon, meta.wakes, kNoStop);
+    EXPECT_EQ(wakes, expectedWakes);
+    std::remove(path.c_str());
+    return captureRas(sim);
+}
+
+class RasResume : public ResumeTest {};
+
+TEST_F(RasResume, ControlledKillAndResumeIsBitIdentical)
+{
+    const Tick horizon = 10 * kDay;
+    ThreadPool::global().resize(1);
+    RasSim straightSim(23);
+    const std::uint64_t totalWakes =
+        straightSim.run(horizon, 0, kNoStop);
+    ASSERT_GE(totalWakes, 2u);
+    const RasOutcome straight = captureRas(straightSim);
+
+    // The scenario must actually exercise what it claims to protect:
+    // the controller moved the interval and the PPR rung fired.
+    EXPECT_NE(straight.intervalS, 3600.0);
+    EXPECT_GT(straight.pprRemapped, 0u);
+    // ... without ever contending for the last row/spare, which is
+    // the one scheduling-dependent allocation (see PprRemapTable).
+    EXPECT_GT(straight.metrics.pprSparesRemaining, 0u);
+    EXPECT_GT(straight.metrics.sparesRemaining, 0u);
+
+    const std::uint64_t killAt = killPoint(23, totalWakes);
+    for (const unsigned threads : {1u, 4u}) {
+        SCOPED_TRACE("threads " + std::to_string(threads) +
+                     ", killed at wake " + std::to_string(killAt) +
+                     "/" + std::to_string(totalWakes));
+        expectRasOutcomeEqual(
+            straight, resumedRas(23, threads, threads, horizon,
+                                 killAt, totalWakes));
+    }
+
+    // Thread count changing across the kill must be invisible too.
+    expectRasOutcomeEqual(straight,
+                          resumedRas(23, 1, 4, horizon, killAt,
+                                     totalWakes));
+}
+
+/** Cell-accurate variant: stuck-cell wear drives the PPR rung. */
+struct RasCellSim
+{
+    explicit RasCellSim(std::uint64_t seed)
+    {
+        config.lines = 96;
+        config.scheme = EccScheme::bch(4);
+        config.ecpEntries = 0;
+        config.seed = seed;
+        config.degradation.enabled = true;
+        config.degradation.maxRetries = 0;
+        // PPR remap is one-shot per address, so one row per line
+        // caps demand at capacity and no line can lose a scheduling
+        // race for the last row. Retirement can repeat per address
+        // (~450 over this horizon), so the spare pool gets a >2x
+        // margin instead (same rationale as RasSim above).
+        config.degradation.pprSpareRows = 96;
+        config.degradation.pprUeThreshold = 1;
+        config.degradation.spareLines = 1024;
+        device = std::make_unique<CellBackend>(config);
+
+        FaultCampaignConfig campaign;
+        campaign.stuckPerWrite = 1.0;
+        campaign.seed = seed * 13 + 1;
+        injector = std::make_unique<FaultInjector>(campaign);
+        device->setFaultInjector(injector.get());
+
+        policy = std::make_unique<ControlledScrub>(
+            std::make_unique<StrongEccScrub>(secondsToTicks(3600.0)),
+            *device, rasResumeSettings(), /*auto_tune=*/true,
+            "cell_resume");
+    }
+
+    std::uint64_t run(Tick horizon, std::uint64_t wakes,
+                      std::uint64_t stopAfterWakes)
+    {
+        while (true) {
+            const Tick at = policy->nextWake();
+            if (at > horizon)
+                break;
+            policy->wake(*device, at);
+            lastWakeTick = at;
+            if (++wakes == stopAfterWakes)
+                return wakes;
+        }
+        return wakes;
+    }
+
+    CellBackendConfig config;
+    std::unique_ptr<CellBackend> device;
+    std::unique_ptr<FaultInjector> injector;
+    std::unique_ptr<ControlledScrub> policy;
+    Tick lastWakeTick = 0;
+};
+
+TEST_F(RasResume, CellControlledKillAndResumeIsBitIdentical)
+{
+    const Tick horizon = 4 * kDay;
+    ThreadPool::global().resize(1);
+    RasCellSim straightSim(29);
+    const std::uint64_t totalWakes =
+        straightSim.run(horizon, 0, kNoStop);
+    ASSERT_GE(totalWakes, 2u);
+    const ScrubMetrics straight = straightSim.device->metrics();
+    const double straightInterval =
+        straightSim.policy->controlPlane().scrubIntervalS();
+    EXPECT_GT(straight.uePprRemapped, 0u);
+    // Retirement is not one-shot (a retired line can fail and retire
+    // again), so the pool must out-provision total demand — the last
+    // contended spare is the one scheduling-dependent allocation.
+    EXPECT_GT(straight.sparesRemaining, 0u);
+
+    const std::uint64_t killAt = killPoint(29, totalWakes);
+    for (const unsigned threads : {1u, 4u}) {
+        SCOPED_TRACE("threads " + std::to_string(threads));
+        const std::string path = tempPath("ras_cell_resume.snap");
+        ThreadPool::global().resize(threads);
+        {
+            RasCellSim sim(29);
+            const std::uint64_t wakes = sim.run(horizon, 0, killAt);
+            EXPECT_EQ(wakes, killAt);
+            writeCheckpoint(path, *sim.device, *sim.policy,
+                            CheckpointMeta{0, sim.lastWakeTick,
+                                           wakes,
+                                           sim.policy->name()});
+        }
+        RasCellSim sim(29);
+        const SnapshotReader reader = SnapshotReader::fromFile(path);
+        const CheckpointMeta meta =
+            readCheckpoint(reader, *sim.device, *sim.policy);
+        const std::uint64_t wakes =
+            sim.run(horizon, meta.wakes, kNoStop);
+        EXPECT_EQ(wakes, totalWakes);
+        expectMetricsEqual(straight, sim.device->metrics());
+        EXPECT_EQ(straightInterval,
+                  sim.policy->controlPlane().scrubIntervalS());
+        std::remove(path.c_str());
+    }
+}
+
+TEST_F(RasResume, TelemetryAttachMismatchIsRejected)
+{
+    // The backend section records whether telemetry counters were
+    // attached; restoring into a mismatched topology must be refused
+    // as corrupt state, not silently dropped or misparsed.
+    AnalyticConfig config;
+    config.lines = 64;
+    config.scheme = EccScheme::bch(4);
+    config.seed = 3;
+
+    SnapshotSink withTelemetry;
+    {
+        AnalyticBackend backend(config);
+        StrongEccScrub policy(secondsToTicks(3600.0));
+        RasControlPlane plane(backend, policy, rasResumeSettings());
+        backend.checkpointSave(withTelemetry);
+    }
+    {
+        AnalyticBackend bare(config);
+        SnapshotSource source(withTelemetry.bytes().data(),
+                              withTelemetry.bytes().size(),
+                              "mismatch");
+        EXPECT_EXIT(bare.checkpointLoad(source),
+                    ::testing::ExitedWithCode(1),
+                    "no telemetry sink is attached");
+    }
+
+    SnapshotSink bareSink;
+    {
+        AnalyticBackend bare(config);
+        bare.checkpointSave(bareSink);
+    }
+    AnalyticBackend backend(config);
+    StrongEccScrub policy(secondsToTicks(3600.0));
+    RasControlPlane plane(backend, policy, rasResumeSettings());
+    SnapshotSource source(bareSink.bytes().data(),
+                          bareSink.bytes().size(), "mismatch");
+    EXPECT_EXIT(backend.checkpointLoad(source),
+                ::testing::ExitedWithCode(1),
+                "snapshot has no telemetry state");
 }
 
 // CheckpointRuntime end to end ------------------------------------

@@ -230,6 +230,16 @@ TEST(CliDeathTest, EmptyPathsRejected)
                 ::testing::ExitedWithCode(1), "empty path");
     EXPECT_EXIT(parse({"--resume", ""}),
                 ::testing::ExitedWithCode(1), "empty path");
+    EXPECT_EXIT(parse({"--telemetry", ""}),
+                ::testing::ExitedWithCode(1), "empty path");
+}
+
+TEST(CliTest, ParsesTelemetryPath)
+{
+    EXPECT_EQ(parse({}).telemetryPath, "");
+    const CliOptions opts =
+        parse({"--telemetry", "/tmp/run.jsonl"});
+    EXPECT_EQ(opts.telemetryPath, "/tmp/run.jsonl");
 }
 
 TEST(CliDeathTest, UnknownFlagRejected)

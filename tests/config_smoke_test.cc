@@ -109,6 +109,45 @@ TEST(ConfigSmokeDeathTest, UnknownEnumNamesAreFatal)
                 ::testing::ExitedWithCode(1), "workload");
 }
 
+TEST(ConfigSmokeDeathTest, RasValuesAreValidated)
+{
+    EXPECT_EXIT((void)applyText("[ras]\nmin_interval_s = 0\n"),
+                ::testing::ExitedWithCode(1), "min_interval_s");
+    EXPECT_EXIT((void)applyText("[ras]\nmin_interval_s = 3600\n"
+                                "max_interval_s = 60\n"),
+                ::testing::ExitedWithCode(1),
+                "max_interval_s must be >= ras.min_interval_s");
+    EXPECT_EXIT((void)applyText("[ras]\nslo_ue_per_line_day = 0\n"),
+                ::testing::ExitedWithCode(1), "slo_ue_per_line_day");
+    EXPECT_EXIT(
+        (void)applyText("[ras]\nwrite_budget_per_line_day = -1\n"),
+        ::testing::ExitedWithCode(1), "write_budget_per_line_day");
+    EXPECT_EXIT((void)applyText("[ras]\nsample_every_s = 0\n"),
+                ::testing::ExitedWithCode(1), "sample_every_s");
+    EXPECT_EXIT((void)applyText("[ras]\nstep_factor = 1\n"),
+                ::testing::ExitedWithCode(1), "step_factor");
+    EXPECT_EXIT((void)applyText("[ras]\nhysteresis = 1\n"),
+                ::testing::ExitedWithCode(1), "hysteresis");
+    EXPECT_EXIT((void)applyText("[ras]\nlines_per_region = 0\n"),
+                ::testing::ExitedWithCode(1), "lines_per_region");
+    EXPECT_EXIT((void)applyText("[ras]\nppr_ue_threshold = 0\n"),
+                ::testing::ExitedWithCode(1), "ppr_ue_threshold");
+}
+
+TEST(ConfigSmokeTest, PprSpareRowsEnableTheLadder)
+{
+    // Provisioning spare rows is the opt-in for the whole
+    // degradation ladder — a config asking for PPR must not
+    // silently no-op because degradation was left at its default.
+    const AnalyticRunConfig run =
+        applyText("[ras]\nppr_spare_rows = 8\n");
+    EXPECT_TRUE(run.backend.degradation.enabled);
+    EXPECT_EQ(run.backend.degradation.pprSpareRows, 8u);
+
+    const AnalyticRunConfig plain = applyText("[run]\nlines = 64\n");
+    EXPECT_FALSE(plain.backend.degradation.enabled);
+}
+
 TEST(ConfigSmokeDeathTest, NonNumericValuesAreFatal)
 {
     EXPECT_EXIT((void)applyText("[run]\nlines = many\n"),

@@ -2,7 +2,8 @@
  * @file
  * Golden-checkpoint regression tests: the cell backend's checkpoint
  * byte stream after a fixed degradation-heavy campaign is compared
- * against a fixture captured before the SoA cell-storage refactor.
+ * against a fixture captured when the v2 container (RAS control
+ * plane: PPR remap table + runtime-tunable sweep interval) landed.
  * This proves the refactor (and any later storage change) is
  * byte-compatible — same snapshot layout, same RNG draw order, same
  * floating-point results — not merely "passes its own round-trip".
@@ -11,7 +12,7 @@
  *
  *   PCMSCRUB_REGEN_GOLDEN=1 ./golden_checkpoint_test
  *
- * which rewrites tests/data/golden_checkpoint_v1.bin in the source
+ * which rewrites tests/data/golden_checkpoint_v2.bin in the source
  * tree; commit the new fixture together with the format change.
  */
 
@@ -34,7 +35,7 @@ namespace pcmscrub {
 namespace {
 
 const char *const kFixturePath =
-    PCMSCRUB_GOLDEN_DIR "/golden_checkpoint_v1.bin";
+    PCMSCRUB_GOLDEN_DIR "/golden_checkpoint_v2.bin";
 
 /**
  * The fixture campaign: every serialized feature is exercised —
@@ -54,6 +55,10 @@ fixtureConfig()
     config.degradation.maxRetries = 2;
     config.degradation.spareLines = 2;
     config.degradation.slcFallback = true;
+    // PPR sits between ECP re-learn and retirement; a low threshold
+    // makes the fixture campaign actually consume a spare row.
+    config.degradation.pprSpareRows = 2;
+    config.degradation.pprUeThreshold = 1;
     return config;
 }
 

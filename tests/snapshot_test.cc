@@ -277,11 +277,15 @@ TEST(CheckpointDeathTest, VersionMismatchDies)
     writeSampleCheckpoint(path);
     std::vector<std::uint8_t> bytes = readAll(path);
     ASSERT_GT(bytes.size(), 12u);
-    bytes[8] = 2; // Format version field, little-endian low byte.
+    // Patch the container back to the pre-RAS v1 format: old
+    // snapshots predate the PPR/telemetry/interval state and must be
+    // rejected loudly, naming both versions, not half-parsed.
+    bytes[8] = 1; // Format version field, little-endian low byte.
     writeAll(path, bytes);
     EXPECT_EXIT((void)restoreSampleCheckpoint(path),
                 ::testing::ExitedWithCode(1),
-                "unsupported format version");
+                "unsupported format version 1 \\(this build reads "
+                "version 2\\)");
     std::remove(path.c_str());
 }
 

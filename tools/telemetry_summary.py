@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Summarise RAS telemetry JSONL emitted by the scrub controller.
+
+Report-only: reads one or more JSONL files (one controller sample per
+line), deduplicates resumed runs on (run, t_hours) keeping the last
+occurrence, and prints a per-run summary of what the controller did
+and whether the run held its UE SLO.
+
+Usage:
+    tools/telemetry_summary.py telemetry.jsonl [more.jsonl ...]
+"""
+
+import json
+import sys
+from collections import OrderedDict
+
+
+def load_samples(paths):
+    """Parse JSONL files into {run: [sample, ...]} in time order.
+
+    A run that crashed and resumed from a checkpoint replays the tail
+    of its samples, so later occurrences of the same (run, t_hours)
+    key replace earlier ones.
+    """
+    by_key = OrderedDict()
+    bad = 0
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    sample = json.loads(line)
+                except json.JSONDecodeError:
+                    bad += 1
+                    continue
+                key = (sample.get("run", "?"), sample.get("t_hours"))
+                by_key[key] = sample
+    runs = OrderedDict()
+    for (run, _), sample in by_key.items():
+        runs.setdefault(run, []).append(sample)
+    for samples in runs.values():
+        samples.sort(key=lambda s: s.get("t_hours", 0.0))
+    return runs, bad
+
+
+def summarise(run, samples):
+    slo = samples[-1].get("slo_ue_per_line_day", 0.0)
+    rates = [s.get("ue_rate_per_line_day", 0.0) for s in samples]
+    actions = {}
+    for s in samples:
+        a = s.get("action", "?")
+        actions[a] = actions.get(a, 0) + 1
+    violations = sum(1 for r in rates if slo > 0.0 and r > slo)
+    final = samples[-1]
+    print(f"run: {run}")
+    print(f"  samples            : {len(samples)} "
+          f"(t = {samples[0].get('t_hours', 0.0):.1f} .. "
+          f"{final.get('t_hours', 0.0):.1f} h)")
+    # interval_s is what the run actually swept at; interval_next_s
+    # is the controller's recommendation (identical when auto-tune is
+    # on, advisory for fixed-interval baseline runs).
+    print(f"  interval           : start {samples[0].get('interval_s', 0.0):.0f} s, "
+          f"final {final.get('interval_s', 0.0):.0f} s "
+          f"(controller wants {final.get('interval_next_s', 0.0):.0f} s)")
+    print(f"  actions            : " +
+          ", ".join(f"{k}={v}" for k, v in sorted(actions.items())))
+    print(f"  ue rate /line/day  : peak {max(rates):.3e}, "
+          f"mean {sum(rates) / len(rates):.3e} (slo {slo:.3e})")
+    print(f"  slo samples over   : {violations}/{len(samples)}")
+    print(f"  repair state       : ppr_remapped={final.get('ppr_remapped', 0)}, "
+          f"ppr_rows_left={final.get('ppr_rows_left', 0)}, "
+          f"spares_left={final.get('spares_left', 0)}")
+    print(f"  cumulative         : scrub_writes={final.get('scrub_writes', 0)}, "
+          f"corrected={final.get('corrected', 0)}, "
+          f"energy_pj={final.get('energy_pj', 0.0):.3e}")
+    return violations
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    runs, bad = load_samples(argv[1:])
+    if not runs:
+        print("no telemetry samples found", file=sys.stderr)
+        return 1
+    total_violations = 0
+    for i, (run, samples) in enumerate(runs.items()):
+        if i:
+            print()
+        total_violations += summarise(run, samples)
+    if bad:
+        print(f"\nwarning: skipped {bad} malformed line(s)",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv))
+    except BrokenPipeError:
+        # Downstream consumer (head, less) closed the pipe early.
+        sys.exit(0)
