@@ -9,6 +9,7 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "common/simd.hh"
 #include "common/thread_pool.hh"
 
 namespace pcmscrub {
@@ -21,7 +22,7 @@ printUsage(const char *prog)
     std::printf(
         "usage: %s [--seed N] [--threads N] [--checkpoint PATH]\n"
         "       [--checkpoint-every H] [--resume PATH]\n"
-        "       [--no-lazy-drift] [--lines N] [--sweeps N]\n"
+        "       [--no-lazy-drift] [--no-simd] [--lines N] [--sweeps N]\n"
         "       [--telemetry PATH]\n"
         "  --seed N              base RNG seed (default per harness)\n"
         "  --threads N           worker threads; results are\n"
@@ -33,6 +34,10 @@ printUsage(const char *prog)
         "  --no-lazy-drift       force the exact per-cell sensing path\n"
         "                        (bit-identical results, slower; for\n"
         "                        perf comparison)\n"
+        "  --no-simd             force the scalar reference kernels\n"
+        "                        instead of the vectorized (AVX2)\n"
+        "                        ones (bit-identical results, slower;\n"
+        "                        the in-tree oracle path)\n"
         "  --checkpoint PATH     write crash-safe snapshots to PATH\n"
         "                        (periodically and on SIGINT/SIGTERM)\n"
         "  --checkpoint-every H  snapshot every H simulated hours\n"
@@ -181,6 +186,9 @@ parseCliOptions(int argc, char **argv, std::uint64_t defaultSeed,
         } else if (std::strcmp(argv[i], "--no-lazy-drift") == 0) {
             opts.noLazyDrift = true;
             ++i;
+        } else if (std::strcmp(argv[i], "--no-simd") == 0) {
+            opts.noSimd = true;
+            ++i;
         } else if (positional != nullptr && !positionalSeen &&
                    argv[i][0] != '-') {
             *positional = argv[i];
@@ -193,6 +201,7 @@ parseCliOptions(int argc, char **argv, std::uint64_t defaultSeed,
     if (opts.checkpointEverySimHours > 0.0 && opts.checkpointPath.empty())
         fatal("--checkpoint-every requires --checkpoint PATH");
     ThreadPool::global().resize(opts.threads);
+    simd::setEnabled(!opts.noSimd);
     return opts;
 }
 

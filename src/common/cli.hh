@@ -72,6 +72,15 @@ struct CliOptions
      */
     bool noLazyDrift = false;
 
+    /**
+     * Disable the vectorized (AVX2) sense/margin and BCH kernels
+     * and force the scalar reference loops everywhere. Results are
+     * bit-identical either way (simd_oracle_test proves it); the
+     * flag exists so any surprising result can be re-run against
+     * the scalar oracle path.
+     */
+    bool noSimd = false;
+
     /** Whether any checkpoint/resume flag was given. */
     bool checkpointingRequested() const
     {

@@ -1,0 +1,28 @@
+#include "common/simd.hh"
+
+namespace pcmscrub {
+namespace simd {
+
+namespace {
+
+// Plain bool, not atomic: the switch is set once during CLI parsing
+// (before the thread pool does any work) or flipped by
+// single-threaded tests.
+bool simdEnabled = true;
+
+} // namespace
+
+bool
+enabled()
+{
+    return simdEnabled;
+}
+
+void
+setEnabled(bool on)
+{
+    simdEnabled = on;
+}
+
+} // namespace simd
+} // namespace pcmscrub

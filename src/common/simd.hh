@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Process-wide SIMD kill switch.
+ *
+ * Every vectorized kernel in the tree (batched sense/margin in
+ * src/pcm, BCH syndrome/Chien in src/ecc) is an exact re-expression
+ * of its scalar reference loop: same floating-point operations in
+ * the same rounding mode (contraction is disabled globally), same
+ * integer/XOR algebra, so vector and scalar results are
+ * bit-identical — simd_oracle_test proves it input-by-input.
+ *
+ * This switch exists for two reasons:
+ *
+ *  - `--no-simd` lets any harness force the scalar oracle path, so a
+ *    surprising result can be re-run with vectorization off and
+ *    compared bit-for-bit.
+ *  - The property tests flip it per-case to compare both paths in
+ *    one process.
+ *
+ * The switch only gates *dispatch*; whether a vector path actually
+ * runs additionally requires the CPU to support the ISA (checked at
+ * runtime inside each vector translation unit).
+ */
+
+#ifndef PCMSCRUB_COMMON_SIMD_HH
+#define PCMSCRUB_COMMON_SIMD_HH
+
+namespace pcmscrub {
+namespace simd {
+
+/** Whether vector kernels may be dispatched (default: yes). */
+bool enabled();
+
+/** Flip the dispatch switch; `false` forces the scalar oracle path. */
+void setEnabled(bool on);
+
+} // namespace simd
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_COMMON_SIMD_HH

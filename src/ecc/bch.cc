@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "common/simd.hh"
+#include "ecc/bch_simd.hh"
 #include "gf/gfpoly.hh"
 #include "gf/minpoly.hh"
 
@@ -252,15 +254,22 @@ BchCode::syndromes(const BitVector &codeword,
 {
     const unsigned terms = 2 * t_;
     syn.assign(terms + 1, 0); // syn[j] = S_j, syn[0] unused.
-    for (std::size_t p = 0; p < synBytes_; ++p) {
-        const std::size_t width = codewordBits_ - p * 8 < 8
-            ? codewordBits_ - p * 8 : 8;
-        const std::uint64_t v = codeword.extract(p * 8, width);
-        if (v == 0)
-            continue;
-        const GfElem *const row = &synTable_[(p * 256 + v) * terms];
-        for (unsigned j = 1; j <= terms; ++j)
-            syn[j] ^= row[j - 1];
+    const bool vectorized = simd::enabled() && bchsimd::available() &&
+        bchsimd::syndromeAccumulate(codeword, synTable_.data(),
+                                    synBytes_, codewordBits_, terms,
+                                    syn.data());
+    if (!vectorized) {
+        for (std::size_t p = 0; p < synBytes_; ++p) {
+            const std::size_t width = codewordBits_ - p * 8 < 8
+                ? codewordBits_ - p * 8 : 8;
+            const std::uint64_t v = codeword.extract(p * 8, width);
+            if (v == 0)
+                continue;
+            const GfElem *const row =
+                &synTable_[(p * 256 + v) * terms];
+            for (unsigned j = 1; j <= terms; ++j)
+                syn[j] ^= row[j - 1];
+        }
     }
     for (unsigned j = 1; j <= terms; ++j) {
         if (syn[j] != 0)
@@ -369,21 +378,30 @@ BchCode::decode(BitVector &codeword) const
              static_cast<std::uint64_t>(termStride[k]) * jStart) %
             order);
     }
-    for (std::uint32_t j = jStart; j < order; ++j) {
-        GfElem value = 0;
-        for (unsigned k = 0; k < terms; ++k) {
-            value ^= field_.alphaPowReduced(termExp[k]);
-            termExp[k] += termStride[k];
-            if (termExp[k] >= order)
-                termExp[k] -= order;
+    if (simd::enabled() && bchsimd::available()) {
+        std::vector<std::uint32_t> rootJs;
+        bchsimd::chienScan(field_.expTableData(), order, termExp,
+                           termStride, terms, jStart,
+                           lfsrLen - errorBits.size(), rootJs);
+        for (const auto j : rootJs)
+            errorBits.push_back(powerToBit(order - j));
+    } else {
+        for (std::uint32_t j = jStart; j < order; ++j) {
+            GfElem value = 0;
+            for (unsigned k = 0; k < terms; ++k) {
+                value ^= field_.alphaPowReduced(termExp[k]);
+                termExp[k] += termStride[k];
+                if (termExp[k] >= order)
+                    termExp[k] -= order;
+            }
+            if (value != 0)
+                continue;
+            errorBits.push_back(powerToBit(order - j));
+            // A degree-lfsrLen locator has no further roots; the
+            // rest of the scan cannot add or remove error bits.
+            if (errorBits.size() == lfsrLen)
+                break;
         }
-        if (value != 0)
-            continue;
-        errorBits.push_back(powerToBit(order - j));
-        // A degree-lfsrLen locator has no further roots; the rest of
-        // the scan cannot add or remove error bits.
-        if (errorBits.size() == lfsrLen)
-            break;
     }
 
     if (errorBits.size() != lfsrLen) {

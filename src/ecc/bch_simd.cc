@@ -1,0 +1,220 @@
+/**
+ * @file
+ * AVX2 BCH hot loops. Everything here is XOR and bounded integer
+ * adds — no floating point — so vector/scalar equality is exact by
+ * construction and the only care needed is ordering: the Chien scan
+ * must report roots in ascending j and stop at the same root the
+ * scalar loop's early exit would, because the caller's corrected-bit
+ * list (and thus the Uncorrectable verdict) depends on it.
+ */
+
+#include "ecc/bch_simd.hh"
+
+#include "common/logging.hh"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace pcmscrub {
+namespace bchsimd {
+
+#if defined(__AVX2__)
+
+namespace {
+
+/**
+ * Row-XOR with NV eight-wide accumulators held in registers for the
+ * whole codeword; the sub-vector tail of each row accumulates into
+ * a small scalar buffer in the same pass.
+ */
+template <unsigned NV>
+void
+accumulateRows(const BitVector &codeword, const GfElem *table,
+               std::size_t syn_bytes, std::size_t codeword_bits,
+               unsigned terms, GfElem *syn)
+{
+    __m256i acc[NV];
+    for (unsigned n = 0; n < NV; ++n)
+        acc[n] = _mm256_setzero_si256();
+    GfElem tailAcc[8] = {};
+    const unsigned tailBase = NV * 8;
+
+    for (std::size_t p = 0; p < syn_bytes; ++p) {
+        const std::size_t width = codeword_bits - p * 8 < 8
+            ? codeword_bits - p * 8 : 8;
+        const std::uint64_t v = codeword.extract(p * 8, width);
+        if (v == 0)
+            continue;
+        const GfElem *const row = &table[(p * 256 + v) * terms];
+        for (unsigned n = 0; n < NV; ++n) {
+            acc[n] = _mm256_xor_si256(
+                acc[n],
+                _mm256_loadu_si256(reinterpret_cast<const __m256i *>(
+                    row + n * 8)));
+        }
+        for (unsigned k = tailBase; k < terms; ++k)
+            tailAcc[k - tailBase] ^= row[k];
+    }
+
+    // syn[0] stays unused; S_j lands at syn[j].
+    for (unsigned n = 0; n < NV; ++n) {
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(syn + 1 + n * 8), acc[n]);
+    }
+    for (unsigned k = tailBase; k < terms; ++k)
+        syn[1 + k] = tailAcc[k - tailBase];
+}
+
+} // namespace
+
+bool
+available()
+{
+    static const bool ok = __builtin_cpu_supports("avx2") != 0;
+    return ok;
+}
+
+bool
+syndromeAccumulate(const BitVector &codeword, const GfElem *table,
+                   std::size_t syn_bytes, std::size_t codeword_bits,
+                   unsigned terms, GfElem *syn)
+{
+    switch (terms / 8) {
+    case 1:
+        accumulateRows<1>(codeword, table, syn_bytes, codeword_bits,
+                          terms, syn);
+        return true;
+    case 2:
+        accumulateRows<2>(codeword, table, syn_bytes, codeword_bits,
+                          terms, syn);
+        return true;
+    case 3:
+        accumulateRows<3>(codeword, table, syn_bytes, codeword_bits,
+                          terms, syn);
+        return true;
+    case 4:
+        accumulateRows<4>(codeword, table, syn_bytes, codeword_bits,
+                          terms, syn);
+        return true;
+    default:
+        // terms < 8 (nothing to vectorize) or t > 16 (past the
+        // register budget): scalar loop.
+        return false;
+    }
+}
+
+void
+chienScan(const GfElem *exp_table, std::uint32_t order,
+          const std::uint32_t *term_exp,
+          const std::uint32_t *term_stride, unsigned terms,
+          std::uint32_t j_start, std::size_t max_roots,
+          std::vector<std::uint32_t> &root_js)
+{
+    // The locator has at most max_roots further roots (its degree
+    // bounds the root count), so nothing below can be missed when
+    // the quota is already met.
+    if (max_roots == 0 || terms == 0)
+        return;
+    PCMSCRUB_ASSERT(terms <= 2 * 64, "locator term count %u", terms);
+
+    // Lane l of E[k] is term k's exponent at j + l, kept reduced
+    // below order so the gather stays inside the exp table.
+    __m256i lanes[2 * 64];
+    __m256i step8[2 * 64];
+    alignas(32) std::uint32_t init[8];
+    for (unsigned k = 0; k < terms; ++k) {
+        for (unsigned l = 0; l < 8; ++l) {
+            init[l] = static_cast<std::uint32_t>(
+                (term_exp[k] +
+                 static_cast<std::uint64_t>(term_stride[k]) * l) %
+                order);
+        }
+        lanes[k] = _mm256_load_si256(
+            reinterpret_cast<const __m256i *>(init));
+        step8[k] = _mm256_set1_epi32(static_cast<int>(
+            static_cast<std::uint64_t>(term_stride[k]) * 8 % order));
+    }
+
+    const __m256i orderV =
+        _mm256_set1_epi32(static_cast<int>(order));
+    const __m256i zero = _mm256_setzero_si256();
+    std::uint32_t j = j_start;
+    for (; j + 8 <= order; j += 8) {
+        __m256i value = zero;
+        for (unsigned k = 0; k < terms; ++k) {
+            __m256i e = lanes[k];
+            value = _mm256_xor_si256(
+                value,
+                _mm256_i32gather_epi32(
+                    reinterpret_cast<const int *>(exp_table), e, 4));
+            // Advance 8 j's: e + step stays below 2 * order, and
+            // min_epu32 against the wrapped difference reduces it —
+            // when e' < order the subtraction underflows to a huge
+            // unsigned value and loses.
+            e = _mm256_add_epi32(e, step8[k]);
+            e = _mm256_min_epu32(e, _mm256_sub_epi32(e, orderV));
+            lanes[k] = e;
+        }
+        unsigned hit = static_cast<unsigned>(_mm256_movemask_ps(
+            _mm256_castsi256_ps(_mm256_cmpeq_epi32(value, zero))));
+        if (hit == 0)
+            continue;
+        for (unsigned l = 0; l < 8; ++l) {
+            if ((hit >> l) & 1u) {
+                root_js.push_back(j + l);
+                if (root_js.size() == max_roots)
+                    return;
+            }
+        }
+    }
+
+    // Sub-vector tail: lane 0 holds each term's exponent at j.
+    std::uint32_t exp[2 * 64];
+    for (unsigned k = 0; k < terms; ++k) {
+        exp[k] = static_cast<std::uint32_t>(_mm_cvtsi128_si32(
+            _mm256_castsi256_si128(lanes[k])));
+    }
+    for (; j < order; ++j) {
+        GfElem value = 0;
+        for (unsigned k = 0; k < terms; ++k) {
+            value ^= exp_table[exp[k]];
+            exp[k] += term_stride[k];
+            if (exp[k] >= order)
+                exp[k] -= order;
+        }
+        if (value != 0)
+            continue;
+        root_js.push_back(j);
+        if (root_js.size() == max_roots)
+            return;
+    }
+}
+
+#else // !defined(__AVX2__)
+
+bool
+available()
+{
+    return false;
+}
+
+bool
+syndromeAccumulate(const BitVector &, const GfElem *, std::size_t,
+                   std::size_t, unsigned, GfElem *)
+{
+    return false;
+}
+
+void
+chienScan(const GfElem *, std::uint32_t, const std::uint32_t *,
+          const std::uint32_t *, unsigned, std::uint32_t, std::size_t,
+          std::vector<std::uint32_t> &)
+{
+    fatal("AVX2 BCH kernels not compiled into this build");
+}
+
+#endif
+
+} // namespace bchsimd
+} // namespace pcmscrub

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Internal interface of the AVX2 BCH hot loops (bch_simd.cc):
+ * syndrome accumulation and the Chien root scan. Not installed API —
+ * only bch.cc dispatches through it, and only when simd::enabled().
+ * Both helpers are pure XOR/integer algebra, so "bit-identical to
+ * the scalar loop" is exact equality by construction; the oracle
+ * test compares the two paths end to end anyway.
+ */
+
+#ifndef PCMSCRUB_ECC_BCH_SIMD_HH
+#define PCMSCRUB_ECC_BCH_SIMD_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.hh"
+#include "gf/gf2m.hh"
+
+namespace pcmscrub {
+namespace bchsimd {
+
+/**
+ * Whether the AVX2 path can run on this build + CPU. Constant after
+ * the first call.
+ */
+bool available();
+
+/**
+ * XOR-accumulate the per-byte syndrome table rows into
+ * syn[1..terms] (syn must hold terms + 1 zeroed entries) — the
+ * vector form of the row loop in BchCode::syndromes(), keeping the
+ * partial syndromes in registers across the whole codeword instead
+ * of round-tripping through memory per byte.
+ *
+ * @return false when the shape is unsupported (terms too small or
+ *         too large for the register budget); the caller runs the
+ *         scalar loop.
+ */
+bool syndromeAccumulate(const BitVector &codeword, const GfElem *table,
+                        std::size_t syn_bytes,
+                        std::size_t codeword_bits, unsigned terms,
+                        GfElem *syn);
+
+/**
+ * Chien scan over j in [j_start, order): appends the roots of the
+ * error locator (as j values, ascending) to root_js, stopping once
+ * max_roots have been found — the vector form of the scan loop in
+ * BchCode::decode(), eight j positions per step. term_exp holds the
+ * per-term exponents already advanced to j_start (the function does
+ * not write them back).
+ */
+void chienScan(const GfElem *exp_table, std::uint32_t order,
+               const std::uint32_t *term_exp,
+               const std::uint32_t *term_stride, unsigned terms,
+               std::uint32_t j_start, std::size_t max_roots,
+               std::vector<std::uint32_t> &root_js);
+
+} // namespace bchsimd
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_ECC_BCH_SIMD_HH

@@ -52,6 +52,13 @@ class GF2m
         return expTable_[power];
     }
 
+    /**
+     * Raw exp table (alpha^i for i in [0, 2*order)) for vectorized
+     * gathers — the SIMD Chien search loads eight alphaPowReduced()
+     * values per instruction straight from this array.
+     */
+    const GfElem *expTableData() const { return expTable_.data(); }
+
     /** Discrete log base alpha; element must be non-zero. */
     std::uint32_t log(GfElem element) const;
 

@@ -14,15 +14,22 @@ CellArray::CellArray(std::size_t num_lines, std::size_t codeword_bits,
       seed_(seed)
 {
     PCMSCRUB_ASSERT(num_lines >= 1, "array needs at least one line");
-    const std::size_t cellsPerLine =
+    CellStorage::Geometry geometry;
+    geometry.lines = num_lines;
+    geometry.cellsPerLine =
         (codeword_bits + bitsPerCell - 1) / bitsPerCell;
-    cellStore_.resize(num_lines * cellsPerLine);
+    geometry.intendedWordsPerLine = (codeword_bits + 63) / 64;
+    // Compact mode: manufacturing state (endurance, drift speed) is
+    // derived on demand from counter-based streams keyed by the
+    // array seed, so construction samples nothing and untouched
+    // lines cost no manufacturing bytes.
+    geometry.auxPlanes = false;
+    geometry.manufSeed = seed;
+    cellStore_.configure(geometry);
+    cellStore_.ensureSpec(config);
     lines_.reserve(num_lines);
-    for (std::size_t i = 0; i < num_lines; ++i) {
-        lines_.emplace_back(codeword_bits, &cellStore_,
-                            i * cellsPerLine);
-        lines_.back().initialize(model_, rng_);
-    }
+    for (std::size_t i = 0; i < num_lines; ++i)
+        lines_.emplace_back(codeword_bits, &cellStore_, i);
 }
 
 LineProgramStats

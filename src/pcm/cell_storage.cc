@@ -1,43 +1,328 @@
 #include "pcm/cell_storage.hh"
 
+#include "common/bitvector.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+
 namespace pcmscrub {
 
+namespace {
+
+/**
+ * Manufacturing stream-id base: far above the per-line stream ranges
+ * the array ((1 << 32) + line) and backend warm-up ((2 << 32) + line)
+ * use, so no (seed, id) pair is ever shared. Each cell gets 256 ids
+ * — one per line generation (PPR re-rolls bump the generation).
+ */
+constexpr std::uint64_t kManufStreamBase = 1ULL << 40;
+
+} // namespace
+
 void
-CellStorage::resize(std::size_t cells)
+CellStorage::configure(const Geometry &geometry)
 {
-    logR0_.resize(cells, 0.0f);
-    nu_.resize(cells, 0.0f);
-    // Matches Cell{}.nuSpeed so a grown plane reads like fresh cells.
-    nuSpeed_.resize(cells, 1.0f);
-    enduranceWrites_.resize(cells, 0.0f);
-    writes_.resize(cells, 0);
-    storedLevel_.resize(cells, 0);
-    stuck_.resize(cells, 0);
-    stuckLevel_.resize(cells, 0);
-    writeTick_.resize(cells, 0);
+    PCMSCRUB_ASSERT(!configured(), "cell storage reconfigured");
+    PCMSCRUB_ASSERT(geometry.lines > 0 && geometry.cellsPerLine > 0,
+                    "empty cell-storage geometry");
+    lines_ = geometry.lines;
+    cellsPerLine_ = geometry.cellsPerLine;
+    grayBytesPerLine_ = (cellsPerLine_ + 3) / 4;
+    intendedWordsPerLine_ = geometry.intendedWordsPerLine;
+    auxPlanes_ = geometry.auxPlanes;
+    manufSeed_ = geometry.manufSeed;
+
+    const std::size_t cells = lines_ * cellsPerLine_;
+    logRq_.resize(cells, QuantSpec::kLogR0Bias);
+    nuIdx_.resize(cells, 0);
+    gray_.resize(lines_ * grayBytesPerLine_, 0);
+    if (auxPlanes_) {
+        // Matches Cell{} defaults so a fresh plane reads like fresh
+        // cells.
+        nuSpeedAux_.resize(cells, 1.0f);
+        enduranceAux_.resize(cells, 0.0f);
+    }
+    intended_.resize(lines_ * intendedWordsPerLine_, 0);
+    uniformTick_.resize(lines_, 0);
+    lineWrites_.resize(lines_, 0);
+    generation_.resize(lines_, 0);
+    overlays_.resize(lines_);
+}
+
+void
+CellStorage::ensureSpec(const DeviceConfig &config)
+{
+    if (!spec_.initialized())
+        spec_.init(config);
+}
+
+void
+CellStorage::copySpecFrom(const CellStorage &other)
+{
+    if (!spec_.initialized() && other.spec_.initialized())
+        spec_ = other.spec_;
 }
 
 std::size_t
 CellStorage::bytes() const
 {
-    const std::size_t cells = size();
-    return cells * (4 * sizeof(float) + sizeof(std::uint32_t) +
-                    3 * sizeof(std::uint8_t) + sizeof(Tick));
+    std::size_t total = logRq_.size() + nuIdx_.size() + gray_.size() +
+        nuSpeedAux_.size() * sizeof(float) +
+        enduranceAux_.size() * sizeof(float) +
+        intended_.size() * sizeof(std::uint64_t) +
+        uniformTick_.size() * sizeof(Tick) +
+        lineWrites_.size() * sizeof(std::uint64_t) +
+        generation_.size() +
+        overlays_.size() * sizeof(overlays_[0]);
+    for (const auto &overlay : overlays_) {
+        if (overlay) {
+            total += sizeof(WriteOverlay) +
+                overlay->writes.size() * sizeof(std::uint32_t) +
+                overlay->ticks.size() * sizeof(Tick);
+        }
+    }
+    return total;
+}
+
+void
+CellStorage::deriveManufacturing(std::size_t i, float &endurance,
+                                 float &nu_speed) const
+{
+    const std::size_t line = i / cellsPerLine_;
+    Random rng = Random::stream(
+        manufSeed_, kManufStreamBase +
+            (static_cast<std::uint64_t>(i) << 8) + generation_[line]);
+    spec_.sampleManufacturing(rng, endurance, nu_speed);
+}
+
+float
+CellStorage::nuSpeedOf(std::size_t i) const
+{
+    if (auxPlanes_)
+        return nuSpeedAux_[i];
+    float endurance, nu_speed;
+    deriveManufacturing(i, endurance, nu_speed);
+    return nu_speed;
+}
+
+void
+CellStorage::setNuSpeed(std::size_t i, float v)
+{
+    // Compact storage derives this field; a store of the derived
+    // value (Cell round trips) is a no-op, anything else unsupported.
+    if (auxPlanes_)
+        nuSpeedAux_[i] = v;
+}
+
+float
+CellStorage::enduranceOf(std::size_t i) const
+{
+    if (auxPlanes_)
+        return enduranceAux_[i];
+    float endurance, nu_speed;
+    deriveManufacturing(i, endurance, nu_speed);
+    return endurance;
+}
+
+void
+CellStorage::setEndurance(std::size_t i, float v)
+{
+    if (auxPlanes_)
+        enduranceAux_[i] = v;
+}
+
+void
+CellStorage::setWrites(std::size_t i, std::uint32_t v)
+{
+    const std::size_t line = i / cellsPerLine_;
+    WriteOverlay *ov = overlays_[line].get();
+    if (ov == nullptr) {
+        if (v == static_cast<std::uint32_t>(lineWrites_[line]))
+            return; // Still uniform.
+        ov = &ensureOverlay(line);
+    }
+    ov->writes[i - line * cellsPerLine_] = v;
+}
+
+void
+CellStorage::setWriteTick(std::size_t i, Tick v)
+{
+    const std::size_t line = i / cellsPerLine_;
+    WriteOverlay *ov = overlays_[line].get();
+    if (ov == nullptr) {
+        if (v == uniformTick_[line])
+            return; // Still uniform.
+        ov = &ensureOverlay(line);
+    }
+    ov->ticks[i - line * cellsPerLine_] = v;
+}
+
+Cell
+CellStorage::loadCell(std::size_t i) const
+{
+    Cell cell = loadPhysics(i);
+    if (auxPlanes_) {
+        cell.nuSpeed = nuSpeedAux_[i];
+        cell.enduranceWrites = enduranceAux_[i];
+    } else {
+        deriveManufacturing(i, cell.enduranceWrites, cell.nuSpeed);
+    }
+    return cell;
+}
+
+Cell
+CellStorage::loadPhysics(std::size_t i) const
+{
+    Cell cell;
+    const unsigned gray = grayAt(i);
+    const std::uint8_t level = static_cast<std::uint8_t>(
+        grayToLevel(static_cast<std::uint8_t>(gray)));
+    cell.storedLevel = level;
+    cell.stuckLevel = level;
+    cell.logR0 = spec_.decodeLogR0(gray, logRq_[i]);
+    cell.stuck = nuIdx_[i] == QuantSpec::kStuckNuIdx;
+    cell.nu = cell.stuck ? 0.0f : spec_.decodeNu(nuIdx_[i]);
+    cell.writes = writesOf(i);
+    cell.writeTick = writeTickOf(i);
+    return cell;
+}
+
+void
+CellStorage::storePhysics(std::size_t i, const Cell &cell)
+{
+    // Gray first: the logR0 code is a delta from the (new) level's
+    // mean.
+    const unsigned gray =
+        levelToGray(cell.stuck ? cell.stuckLevel : cell.storedLevel);
+    setGray(i, gray);
+    logRq_[i] = spec_.encodeLogR0(gray, cell.logR0);
+    nuIdx_[i] = cell.stuck ? QuantSpec::kStuckNuIdx
+                           : spec_.encodeNu(cell.nu);
+    if (auxPlanes_) {
+        nuSpeedAux_[i] = cell.nuSpeed;
+        enduranceAux_[i] = cell.enduranceWrites;
+    }
+}
+
+void
+CellStorage::storeCell(std::size_t i, const Cell &cell)
+{
+    storePhysics(i, cell);
+    setWrites(i, cell.writes);
+    setWriteTick(i, cell.writeTick);
 }
 
 void
 CellStorage::copyCell(const CellStorage &source, std::size_t from,
                       std::size_t to)
 {
-    logR0_[to] = source.logR0_[from];
-    nu_[to] = source.nu_[from];
-    nuSpeed_[to] = source.nuSpeed_[from];
-    enduranceWrites_[to] = source.enduranceWrites_[from];
-    writes_[to] = source.writes_[from];
-    storedLevel_[to] = source.storedLevel_[from];
-    stuck_[to] = source.stuck_[from];
-    stuckLevel_[to] = source.stuckLevel_[from];
-    writeTick_[to] = source.writeTick_[from];
+    setGray(to, source.grayAt(from));
+    logRq_[to] = source.logRq_[from];
+    nuIdx_[to] = source.nuIdx_[from];
+    if (auxPlanes_) {
+        // Materializes derived values when the source is compact.
+        nuSpeedAux_[to] = source.nuSpeedOf(from);
+        enduranceAux_[to] = source.enduranceOf(from);
+    }
+    setWrites(to, source.writesOf(from));
+    setWriteTick(to, source.writeTickOf(from));
+}
+
+void
+CellStorage::reinitializeCompactLine(std::size_t line)
+{
+    PCMSCRUB_ASSERT(!auxPlanes_,
+                    "compact reinitialize on aux storage");
+    ++generation_[line];
+    WriteOverlay &ov = ensureOverlay(line);
+    const std::size_t base = line * cellsPerLine_;
+    for (std::size_t c = 0; c < cellsPerLine_; ++c) {
+        ov.writes[c] = 0;
+        if (nuIdx_[base + c] == QuantSpec::kStuckNuIdx)
+            nuIdx_[base + c] = 0;
+    }
+    normalizeOverlay(line);
+}
+
+WriteOverlay &
+CellStorage::ensureOverlay(std::size_t line)
+{
+    auto &slot = overlays_[line];
+    if (!slot) {
+        slot = std::make_unique<WriteOverlay>();
+        slot->writes.assign(
+            cellsPerLine_,
+            static_cast<std::uint32_t>(lineWrites_[line]));
+        slot->ticks.assign(cellsPerLine_, uniformTick_[line]);
+    }
+    return *slot;
+}
+
+void
+CellStorage::normalizeOverlay(std::size_t line)
+{
+    const WriteOverlay *ov = overlays_[line].get();
+    if (ov == nullptr)
+        return;
+    const std::uint32_t writes =
+        static_cast<std::uint32_t>(lineWrites_[line]);
+    const Tick tick = uniformTick_[line];
+    for (std::size_t c = 0; c < cellsPerLine_; ++c) {
+        if (ov->writes[c] != writes || ov->ticks[c] != tick)
+            return;
+    }
+    overlays_[line].reset();
+}
+
+void
+CellStorage::setIntended(std::size_t line, const BitVector &word)
+{
+    PCMSCRUB_ASSERT(word.words().size() <= intendedWordsPerLine_,
+                    "intended word wider than the line plane");
+    std::uint64_t *dst = intended_.data() +
+        line * intendedWordsPerLine_;
+    std::size_t w = 0;
+    for (; w < word.words().size(); ++w)
+        dst[w] = word.words()[w];
+    for (; w < intendedWordsPerLine_; ++w)
+        dst[w] = 0;
+}
+
+CellConstSpan
+CellStorage::constSpan(std::size_t line, std::size_t count) const
+{
+    PCMSCRUB_ASSERT(count <= cellsPerLine_,
+                    "span wider than the line stride");
+    const std::size_t base = line * cellsPerLine_;
+    const WriteOverlay *ov = overlays_[line].get();
+    return CellConstSpan{
+        logRq_.data() + base,
+        nuIdx_.data() + base,
+        gray_.data() + line * grayBytesPerLine_,
+        &spec_,
+        count,
+        uniformTick_[line],
+        lineWrites_[line],
+        ov != nullptr ? ov->ticks.data() : nullptr,
+        ov != nullptr ? ov->writes.data() : nullptr};
+}
+
+CellSpan
+CellStorage::span(std::size_t line, std::size_t count)
+{
+    PCMSCRUB_ASSERT(count <= cellsPerLine_,
+                    "span wider than the line stride");
+    return CellSpan{this, line, line * cellsPerLine_, count};
+}
+
+bool
+CellStorage::lineHasStuck(std::size_t line, std::size_t count) const
+{
+    const std::uint8_t *nu = nuIdx_.data() + line * cellsPerLine_;
+    for (std::size_t c = 0; c < count; ++c) {
+        if (nu[c] == QuantSpec::kStuckNuIdx)
+            return true;
+    }
+    return false;
 }
 
 } // namespace pcmscrub

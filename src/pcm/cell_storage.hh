@@ -1,18 +1,44 @@
 /**
  * @file
- * Structure-of-arrays cell storage: one contiguous plane per cell
- * field instead of one struct per cell. The batched sense/program
- * kernels stream over the planes they need (a sense touches four of
- * nine fields; AoS drags the full 32-byte struct through the cache
- * for every read), and a 10^5-line array becomes nine allocations
- * instead of 10^5 per-line vectors.
+ * Quantized structure-of-arrays cell storage.
  *
- * Lines view fixed-stride slices of an array-owned CellStorage; the
- * per-cell API survives as CellRef / CellConstRef — bundles of
- * references into the planes that read like the old `Cell &`. The
- * `Cell` value struct stays the unit of the physics (CellModel), of
- * snapshots, and of load/store round trips, so the refactor cannot
- * change a single computed bit.
+ * PR 5 turned cell state into nine contiguous f32/u32/u8/u64 planes
+ * (~31 B per cell); this version puts the planes on a diet. Resident
+ * state per cell is now three bytes-ish:
+ *
+ *   - `logRq`  (u8)  quantized logR0 delta from the level mean
+ *   - `nuIdx`  (u8)  log-scale drift-exponent index; 255 = stuck
+ *   - `gray`   (2b)  packed Gray code of the level the cell sits at
+ *                    (the frozen level once stuck)
+ *
+ * plus per-LINE metadata (intended-codeword words, last write tick,
+ * line write count, manufacturing generation) and two lazily
+ * materialized structures:
+ *
+ *   - manufacturing state (`nuSpeed`, `enduranceWrites`) is derived
+ *     on demand from a counter-based stream keyed by (seed, global
+ *     cell index, line generation) in compact mode, or held in
+ *     explicit f32 aux planes for standalone/annex storage whose
+ *     cells were initialized from a caller RNG;
+ *   - per-cell `writes`/`writeTick` are line-uniform after clean full
+ *     writes (they equal lineWrites/lastWriteTick) and only get a
+ *     per-line overlay (exact u32+u64 per cell) once a differential
+ *     write, a stuck cell, or a direct store makes them diverge. The
+ *     overlay is dropped again when every cell matches the uniform
+ *     values. No overlay => every cell provably equals the uniform
+ *     values, so the compression never changes an observable value.
+ *
+ * The per-cell API survives as CellRef / CellConstRef proxy bundles:
+ * `cell.stuck = 1`, `cell.logR0` reads, and load()/store() of the
+ * Cell value struct all keep working; encode/decode happens inside
+ * the accessors. Quantization DOES change computed bits vs the f32
+ * planes (the determinism contract is re-pinned at this encoding);
+ * what stays exact is that every reader — scalar kernel, SIMD
+ * kernel, per-cell CellModel call — sees the identical decoded float.
+ *
+ * Thread-safety contract: distinct lines may be mutated concurrently
+ * (overlay slots, meta, and plane ranges are per-line); anything
+ * touching one line is single-threaded, as with the old planes.
  */
 
 #ifndef PCMSCRUB_PCM_CELL_STORAGE_HH
@@ -20,215 +46,522 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/types.hh"
 #include "pcm/cell.hh"
+#include "pcm/quant.hh"
 
 namespace pcmscrub {
 
+class BitVector;
+class CellStorage;
+
+/** Per-line exact write bookkeeping, materialized only on skew. */
+struct WriteOverlay
+{
+    std::vector<std::uint32_t> writes;
+    std::vector<Tick> ticks;
+};
+
+// The accessor bodies live below the CellStorage definition (the
+// proxies are declared before the storage is complete).
+#define PCMSCRUB_CELL_FIELD(Storage, Name, Type)                     \
+    struct Name##Proxy                                               \
+    {                                                                \
+        Storage *s;                                                  \
+        std::size_t i;                                               \
+        operator Type() const;                                       \
+        const Name##Proxy &operator=(Type v) const;                  \
+    } Name
+
+#define PCMSCRUB_CELL_FIELD_RO(Storage, Name, Type)                  \
+    struct Name##Proxy                                               \
+    {                                                                \
+        const Storage *s;                                            \
+        std::size_t i;                                               \
+        operator Type() const;                                       \
+    } Name
+
 /**
- * Mutable view of one cell's fields inside a CellStorage. Reference
- * members write straight through to the planes; load()/store()
- * convert to and from the Cell value struct for code (the physics,
- * snapshots) that wants the whole cell at once.
+ * Mutable view of one cell: proxy members encode/decode through the
+ * quantized planes, so existing `cell.field = value` call sites keep
+ * working. load()/store() move whole Cell values, as before.
  */
 struct CellRef
 {
-    float &logR0;
-    float &nu;
-    float &nuSpeed;
-    float &enduranceWrites;
-    std::uint32_t &writes;
-    std::uint8_t &storedLevel;
-    std::uint8_t &stuck; //!< Boolean; one byte per cell in the plane.
-    std::uint8_t &stuckLevel;
-    Tick &writeTick;
-
-    /** Copy the cell out of the planes. */
-    Cell load() const
+    CellRef(CellStorage *storage, std::size_t index)
+        : logR0{storage, index}, nu{storage, index},
+          nuSpeed{storage, index}, enduranceWrites{storage, index},
+          writes{storage, index}, storedLevel{storage, index},
+          stuck{storage, index}, stuckLevel{storage, index},
+          writeTick{storage, index}
     {
-        Cell cell;
-        cell.logR0 = logR0;
-        cell.nu = nu;
-        cell.nuSpeed = nuSpeed;
-        cell.enduranceWrites = enduranceWrites;
-        cell.writes = writes;
-        cell.storedLevel = storedLevel;
-        cell.stuck = stuck != 0;
-        cell.stuckLevel = stuckLevel;
-        cell.writeTick = writeTick;
-        return cell;
     }
 
-    /** Write the cell back into the planes. */
-    void store(const Cell &cell) const
-    {
-        logR0 = cell.logR0;
-        nu = cell.nu;
-        nuSpeed = cell.nuSpeed;
-        enduranceWrites = cell.enduranceWrites;
-        writes = cell.writes;
-        storedLevel = cell.storedLevel;
-        stuck = cell.stuck ? 1 : 0;
-        stuckLevel = cell.stuckLevel;
-        writeTick = cell.writeTick;
-    }
+    PCMSCRUB_CELL_FIELD(CellStorage, logR0, float);
+    PCMSCRUB_CELL_FIELD(CellStorage, nu, float);
+    PCMSCRUB_CELL_FIELD(CellStorage, nuSpeed, float);
+    PCMSCRUB_CELL_FIELD(CellStorage, enduranceWrites, float);
+    PCMSCRUB_CELL_FIELD(CellStorage, writes, std::uint32_t);
+    PCMSCRUB_CELL_FIELD(CellStorage, storedLevel, std::uint8_t);
+    PCMSCRUB_CELL_FIELD(CellStorage, stuck, bool);
+    PCMSCRUB_CELL_FIELD(CellStorage, stuckLevel, std::uint8_t);
+    PCMSCRUB_CELL_FIELD(CellStorage, writeTick, Tick);
+
+    Cell load() const;
+    void store(const Cell &cell) const;
 };
 
 /** Read-only counterpart of CellRef. */
 struct CellConstRef
 {
-    const float &logR0;
-    const float &nu;
-    const float &nuSpeed;
-    const float &enduranceWrites;
-    const std::uint32_t &writes;
-    const std::uint8_t &storedLevel;
-    const std::uint8_t &stuck;
-    const std::uint8_t &stuckLevel;
-    const Tick &writeTick;
-
-    Cell load() const
+    CellConstRef(const CellStorage *storage, std::size_t index)
+        : logR0{storage, index}, nu{storage, index},
+          nuSpeed{storage, index}, enduranceWrites{storage, index},
+          writes{storage, index}, storedLevel{storage, index},
+          stuck{storage, index}, stuckLevel{storage, index},
+          writeTick{storage, index}
     {
-        Cell cell;
-        cell.logR0 = logR0;
-        cell.nu = nu;
-        cell.nuSpeed = nuSpeed;
-        cell.enduranceWrites = enduranceWrites;
-        cell.writes = writes;
-        cell.storedLevel = storedLevel;
-        cell.stuck = stuck != 0;
-        cell.stuckLevel = stuckLevel;
-        cell.writeTick = writeTick;
-        return cell;
+    }
+
+    PCMSCRUB_CELL_FIELD_RO(CellStorage, logR0, float);
+    PCMSCRUB_CELL_FIELD_RO(CellStorage, nu, float);
+    PCMSCRUB_CELL_FIELD_RO(CellStorage, nuSpeed, float);
+    PCMSCRUB_CELL_FIELD_RO(CellStorage, enduranceWrites, float);
+    PCMSCRUB_CELL_FIELD_RO(CellStorage, writes, std::uint32_t);
+    PCMSCRUB_CELL_FIELD_RO(CellStorage, storedLevel, std::uint8_t);
+    PCMSCRUB_CELL_FIELD_RO(CellStorage, stuck, bool);
+    PCMSCRUB_CELL_FIELD_RO(CellStorage, stuckLevel, std::uint8_t);
+    PCMSCRUB_CELL_FIELD_RO(CellStorage, writeTick, Tick);
+
+    Cell load() const;
+};
+
+/**
+ * Read-only plane pointers for one line's cells — what the batched
+ * sense/margin kernels (scalar and SIMD) iterate. Indices are local
+ * to the line; the gray plane is per-line byte aligned so `gray`
+ * always starts the line at bit 0.
+ */
+struct CellConstSpan
+{
+    const std::uint8_t *logRq;
+    const std::uint8_t *nuIdx;
+    const std::uint8_t *gray;
+    const QuantSpec *spec;
+    std::size_t count;
+    Tick uniformTick;
+    std::uint64_t uniformWrites;
+    /** Null when the line has no overlay (uniform write state). */
+    const Tick *ovTicks;
+    const std::uint32_t *ovWrites;
+
+    bool stuck(std::size_t i) const
+    {
+        return nuIdx[i] == QuantSpec::kStuckNuIdx;
+    }
+
+    unsigned grayAt(std::size_t i) const
+    {
+        return (gray[i >> 2] >> ((i & 3u) * 2u)) & 3u;
+    }
+
+    unsigned levelAt(std::size_t i) const
+    {
+        return grayToLevel(static_cast<std::uint8_t>(grayAt(i)));
+    }
+
+    float logR0(std::size_t i) const
+    {
+        return spec->decodeLogR0(grayAt(i),
+                                 logRq[i]);
+    }
+
+    float nu(std::size_t i) const { return spec->decodeNu(nuIdx[i]); }
+
+    Tick writeTick(std::size_t i) const
+    {
+        return ovTicks != nullptr ? ovTicks[i] : uniformTick;
     }
 };
 
 /**
- * Raw plane pointers for a contiguous run of cells — what the
- * batched kernels iterate. Obtained from Line::span(); stays valid
- * until the underlying storage is resized.
+ * Mutable per-line handle for the program kernel: full cell
+ * load/store goes through the storage (overlay- and mode-aware).
  */
 struct CellSpan
 {
-    float *logR0;
-    float *nu;
-    float *nuSpeed;
-    float *enduranceWrites;
-    std::uint32_t *writes;
-    std::uint8_t *storedLevel;
-    std::uint8_t *stuck;
-    std::uint8_t *stuckLevel;
-    Tick *writeTick;
+    CellStorage *storage;
+    std::size_t line;     //!< Line index within the storage.
+    std::size_t baseCell; //!< Global index of the line's cell 0.
     std::size_t count;
 
-    CellRef ref(std::size_t i) const
-    {
-        return CellRef{logR0[i],       nu[i],         nuSpeed[i],
-                       enduranceWrites[i], writes[i], storedLevel[i],
-                       stuck[i],       stuckLevel[i], writeTick[i]};
-    }
-};
-
-/** Read-only counterpart of CellSpan. */
-struct CellConstSpan
-{
-    const float *logR0;
-    const float *nu;
-    const float *nuSpeed;
-    const float *enduranceWrites;
-    const std::uint32_t *writes;
-    const std::uint8_t *storedLevel;
-    const std::uint8_t *stuck;
-    const std::uint8_t *stuckLevel;
-    const Tick *writeTick;
-    std::size_t count;
-
-    CellConstRef ref(std::size_t i) const
-    {
-        return CellConstRef{logR0[i],       nu[i],         nuSpeed[i],
-                            enduranceWrites[i], writes[i], storedLevel[i],
-                            stuck[i],       stuckLevel[i], writeTick[i]};
-    }
+    CellConstSpan view() const;
 };
 
 /**
- * The planes themselves: one vector per cell field, index = cell.
- * Default-constructed fields match the Cell struct's defaults.
+ * The quantized planes plus per-line metadata and overlays.
  */
 class CellStorage
 {
   public:
+    struct Geometry
+    {
+        std::size_t lines = 0;
+        std::size_t cellsPerLine = 0;
+        std::size_t intendedWordsPerLine = 0;
+
+        /**
+         * true: explicit f32 nuSpeed/endurance planes (standalone
+         * lines and SLC annexes, whose manufacturing draws come from
+         * a caller RNG). false: compact mode — manufacturing state is
+         * derived from (manufSeed, cell, generation) streams.
+         */
+        bool auxPlanes = true;
+
+        /** Stream seed for compact-mode manufacturing derivation. */
+        std::uint64_t manufSeed = 0;
+    };
+
     CellStorage() = default;
-    explicit CellStorage(std::size_t cells) { resize(cells); }
 
-    std::size_t size() const { return writeTick_.size(); }
+    void configure(const Geometry &geometry);
+    bool configured() const { return cellsPerLine_ != 0; }
 
-    /** Grow or shrink; new cells get Cell-default field values. */
-    void resize(std::size_t cells);
+    std::size_t lineCount() const { return lines_; }
+    std::size_t cellsPerLine() const { return cellsPerLine_; }
+    std::size_t size() const { return lines_ * cellsPerLine_; }
+    bool auxMode() const { return auxPlanes_; }
 
-    /** Bytes held across all planes (capacity ignored). */
+    /** Set the quantization spec on first model-bearing use. */
+    void ensureSpec(const DeviceConfig &config);
+    void copySpecFrom(const CellStorage &other);
+    bool hasSpec() const { return spec_.initialized(); }
+    const QuantSpec &spec() const { return spec_; }
+
+    /** Bytes held, including meta, overlays, aux, and intended. */
     std::size_t bytes() const;
 
-    /** Copy cell `from` of `source` into cell `to` of this storage. */
+    // ---- per-cell field access (global cell index) ----------------
+
+    float logR0Of(std::size_t i) const
+    {
+        return spec_.decodeLogR0(grayAt(i), logRq_[i]);
+    }
+    void setLogR0(std::size_t i, float v)
+    {
+        logRq_[i] = spec_.encodeLogR0(grayAt(i), v);
+    }
+
+    float nuOf(std::size_t i) const
+    {
+        return nuIdx_[i] == QuantSpec::kStuckNuIdx
+            ? 0.0f
+            : spec_.decodeNu(nuIdx_[i]);
+    }
+    void setNu(std::size_t i, float v)
+    {
+        nuIdx_[i] = spec_.encodeNu(v);
+    }
+
+    float nuSpeedOf(std::size_t i) const;
+    void setNuSpeed(std::size_t i, float v);
+    float enduranceOf(std::size_t i) const;
+    void setEndurance(std::size_t i, float v);
+
+    std::uint32_t writesOf(std::size_t i) const
+    {
+        const std::size_t line = i / cellsPerLine_;
+        const WriteOverlay *ov = overlays_[line].get();
+        return ov != nullptr
+            ? ov->writes[i - line * cellsPerLine_]
+            : static_cast<std::uint32_t>(lineWrites_[line]);
+    }
+    void setWrites(std::size_t i, std::uint32_t v);
+
+    Tick writeTickOf(std::size_t i) const
+    {
+        const std::size_t line = i / cellsPerLine_;
+        const WriteOverlay *ov = overlays_[line].get();
+        return ov != nullptr ? ov->ticks[i - line * cellsPerLine_]
+                             : uniformTick_[line];
+    }
+    void setWriteTick(std::size_t i, Tick v);
+
+    std::uint8_t storedLevelOf(std::size_t i) const
+    {
+        return static_cast<std::uint8_t>(
+            grayToLevel(static_cast<std::uint8_t>(grayAt(i))));
+    }
+    void setStoredLevel(std::size_t i, std::uint8_t level)
+    {
+        setGray(i, levelToGray(level));
+    }
+
+    bool stuckOf(std::size_t i) const
+    {
+        return nuIdx_[i] == QuantSpec::kStuckNuIdx;
+    }
+    void setStuck(std::size_t i, bool stuck)
+    {
+        if (stuck) {
+            nuIdx_[i] = QuantSpec::kStuckNuIdx;
+        } else if (nuIdx_[i] == QuantSpec::kStuckNuIdx) {
+            nuIdx_[i] = 0; // The pre-freeze nu is not retained.
+        }
+    }
+
+    /** Merged with storedLevel: both live in the gray plane. */
+    std::uint8_t stuckLevelOf(std::size_t i) const
+    {
+        return storedLevelOf(i);
+    }
+    void setStuckLevel(std::size_t i, std::uint8_t level)
+    {
+        setGray(i, levelToGray(level));
+    }
+
+    unsigned grayAt(std::size_t i) const
+    {
+        const std::size_t line = i / cellsPerLine_;
+        const std::size_t local = i - line * cellsPerLine_;
+        const std::size_t byte =
+            line * grayBytesPerLine_ + (local >> 2);
+        return (gray_[byte] >> ((local & 3u) * 2u)) & 3u;
+    }
+    void setGray(std::size_t i, unsigned gray)
+    {
+        const std::size_t line = i / cellsPerLine_;
+        const std::size_t local = i - line * cellsPerLine_;
+        const std::size_t byte =
+            line * grayBytesPerLine_ + (local >> 2);
+        const unsigned shift = (local & 3u) * 2u;
+        gray_[byte] = static_cast<std::uint8_t>(
+            (gray_[byte] & ~(3u << shift)) | ((gray & 3u) << shift));
+    }
+
+    std::uint8_t rawLogRq(std::size_t i) const { return logRq_[i]; }
+    void setRawLogRq(std::size_t i, std::uint8_t q) { logRq_[i] = q; }
+    std::uint8_t rawNuIdx(std::size_t i) const { return nuIdx_[i]; }
+    void setRawNuIdx(std::size_t i, std::uint8_t idx)
+    {
+        nuIdx_[i] = idx;
+    }
+
+    /** Full Cell value (derives manufacturing state if compact). */
+    Cell loadCell(std::size_t i) const;
+
+    /**
+     * Cell value without the manufacturing fields (nuSpeed = 1,
+     * enduranceWrites = 0): everything read/cleanUntil/marginFlagged
+     * touch, skipping the derivation cost. Not valid for program().
+     */
+    Cell loadPhysics(std::size_t i) const;
+
+    void storeCell(std::size_t i, const Cell &cell);
+
+    /**
+     * Store only the sensing-relevant fields (gray, logR0, nu, stuck,
+     * aux if present) — the program kernel's fast path, which keeps
+     * writes/writeTick virtual on overlay-free full writes.
+     */
+    void storePhysics(std::size_t i, const Cell &cell);
+
+    CellRef ref(std::size_t i) { return CellRef(this, i); }
+    CellConstRef ref(std::size_t i) const
+    {
+        return CellConstRef(this, i);
+    }
+
+    /** Copy one cell across storages (modes may differ). */
     void copyCell(const CellStorage &source, std::size_t from,
                   std::size_t to);
 
-    CellSpan span(std::size_t base, std::size_t count)
+    // ---- per-line metadata ----------------------------------------
+
+    Tick lineLastWriteTick(std::size_t line) const
     {
-        return CellSpan{logR0_.data() + base,
-                        nu_.data() + base,
-                        nuSpeed_.data() + base,
-                        enduranceWrites_.data() + base,
-                        writes_.data() + base,
-                        storedLevel_.data() + base,
-                        stuck_.data() + base,
-                        stuckLevel_.data() + base,
-                        writeTick_.data() + base,
-                        count};
+        return uniformTick_[line];
+    }
+    std::uint64_t lineWrites(std::size_t line) const
+    {
+        return lineWrites_[line];
+    }
+    void setLineMeta(std::size_t line, Tick last_write,
+                     std::uint64_t writes)
+    {
+        uniformTick_[line] = last_write;
+        lineWrites_[line] = writes;
     }
 
-    CellConstSpan span(std::size_t base, std::size_t count) const
+    /** Record a line-level write: new uniform tick, count + 1. */
+    void bumpLineWrite(std::size_t line, Tick now)
     {
-        return CellConstSpan{logR0_.data() + base,
-                             nu_.data() + base,
-                             nuSpeed_.data() + base,
-                             enduranceWrites_.data() + base,
-                             writes_.data() + base,
-                             storedLevel_.data() + base,
-                             stuck_.data() + base,
-                             stuckLevel_.data() + base,
-                             writeTick_.data() + base,
-                             count};
+        uniformTick_[line] = now;
+        ++lineWrites_[line];
     }
 
-    CellRef ref(std::size_t i)
+    std::uint8_t generation(std::size_t line) const
     {
-        return CellRef{logR0_[i],       nu_[i],         nuSpeed_[i],
-                       enduranceWrites_[i], writes_[i], storedLevel_[i],
-                       stuck_[i],       stuckLevel_[i], writeTick_[i]};
+        return generation_[line];
+    }
+    void setGeneration(std::size_t line, std::uint8_t generation)
+    {
+        generation_[line] = generation;
     }
 
-    CellConstRef ref(std::size_t i) const
+    /**
+     * Compact-mode fresh-silicon re-roll: advance the line's
+     * manufacturing generation (new derived endurance/nuSpeed for
+     * every cell), clear stuck flags, and zero per-cell write counts
+     * (per-cell drift clocks and the line-level counters keep their
+     * values, as the plane-based initialize did).
+     */
+    void reinitializeCompactLine(std::size_t line);
+
+    // ---- overlays -------------------------------------------------
+
+    bool hasOverlay(std::size_t line) const
     {
-        return CellConstRef{logR0_[i],       nu_[i],         nuSpeed_[i],
-                            enduranceWrites_[i], writes_[i],
-                            storedLevel_[i], stuck_[i],      stuckLevel_[i],
-                            writeTick_[i]};
+        return overlays_[line] != nullptr;
     }
+    WriteOverlay *overlay(std::size_t line)
+    {
+        return overlays_[line].get();
+    }
+    const WriteOverlay *overlay(std::size_t line) const
+    {
+        return overlays_[line].get();
+    }
+
+    /** Materialize (from the uniform values) if absent. */
+    WriteOverlay &ensureOverlay(std::size_t line);
+
+    /** Drop the overlay if every cell matches the uniform values. */
+    void normalizeOverlay(std::size_t line);
+
+    /** Drop the overlay unconditionally (snapshot restore only). */
+    void dropOverlay(std::size_t line) { overlays_[line].reset(); }
+
+    // ---- intended codeword ----------------------------------------
+
+    const std::uint64_t *intendedWords(std::size_t line) const
+    {
+        return intended_.data() + line * intendedWordsPerLine_;
+    }
+    void setIntended(std::size_t line, const BitVector &word);
+
+    // ---- spans ----------------------------------------------------
+
+    CellConstSpan constSpan(std::size_t line, std::size_t count) const;
+    CellSpan span(std::size_t line, std::size_t count);
+
+    /** Whether any cell of the line is stuck (nu-sentinel scan). */
+    bool lineHasStuck(std::size_t line, std::size_t count) const;
 
   private:
-    std::vector<float> logR0_;
-    std::vector<float> nu_;
-    std::vector<float> nuSpeed_;
-    std::vector<float> enduranceWrites_;
-    std::vector<std::uint32_t> writes_;
-    std::vector<std::uint8_t> storedLevel_;
-    std::vector<std::uint8_t> stuck_;
-    std::vector<std::uint8_t> stuckLevel_;
-    std::vector<Tick> writeTick_;
+    void deriveManufacturing(std::size_t i, float &endurance,
+                             float &nu_speed) const;
+
+    std::size_t lines_ = 0;
+    std::size_t cellsPerLine_ = 0;
+    std::size_t grayBytesPerLine_ = 0;
+    std::size_t intendedWordsPerLine_ = 0;
+    bool auxPlanes_ = true;
+    std::uint64_t manufSeed_ = 0;
+    QuantSpec spec_;
+
+    std::vector<std::uint8_t> logRq_;
+    std::vector<std::uint8_t> nuIdx_;
+    std::vector<std::uint8_t> gray_;
+    std::vector<float> nuSpeedAux_;
+    std::vector<float> enduranceAux_;
+    std::vector<std::uint64_t> intended_;
+    std::vector<Tick> uniformTick_;
+    std::vector<std::uint64_t> lineWrites_;
+    std::vector<std::uint8_t> generation_;
+    std::vector<std::unique_ptr<WriteOverlay>> overlays_;
 };
+
+#define PCMSCRUB_CELL_FIELD_DEF(Owner, Name, Type, Getter, Setter)   \
+    inline Owner::Name##Proxy::operator Type() const                 \
+    {                                                                \
+        return s->Getter(i);                                         \
+    }                                                                \
+    inline const Owner::Name##Proxy &Owner::Name##Proxy::operator=(  \
+        Type v) const                                                \
+    {                                                                \
+        s->Setter(i, v);                                             \
+        return *this;                                                \
+    }
+
+#define PCMSCRUB_CELL_FIELD_RO_DEF(Owner, Name, Type, Getter)        \
+    inline Owner::Name##Proxy::operator Type() const                 \
+    {                                                                \
+        return s->Getter(i);                                         \
+    }
+
+PCMSCRUB_CELL_FIELD_DEF(CellRef, logR0, float, logR0Of, setLogR0)
+PCMSCRUB_CELL_FIELD_DEF(CellRef, nu, float, nuOf, setNu)
+PCMSCRUB_CELL_FIELD_DEF(CellRef, nuSpeed, float, nuSpeedOf,
+                        setNuSpeed)
+PCMSCRUB_CELL_FIELD_DEF(CellRef, enduranceWrites, float, enduranceOf,
+                        setEndurance)
+PCMSCRUB_CELL_FIELD_DEF(CellRef, writes, std::uint32_t, writesOf,
+                        setWrites)
+PCMSCRUB_CELL_FIELD_DEF(CellRef, storedLevel, std::uint8_t,
+                        storedLevelOf, setStoredLevel)
+PCMSCRUB_CELL_FIELD_DEF(CellRef, stuck, bool, stuckOf, setStuck)
+PCMSCRUB_CELL_FIELD_DEF(CellRef, stuckLevel, std::uint8_t,
+                        stuckLevelOf, setStuckLevel)
+PCMSCRUB_CELL_FIELD_DEF(CellRef, writeTick, Tick, writeTickOf,
+                        setWriteTick)
+
+PCMSCRUB_CELL_FIELD_RO_DEF(CellConstRef, logR0, float, logR0Of)
+PCMSCRUB_CELL_FIELD_RO_DEF(CellConstRef, nu, float, nuOf)
+PCMSCRUB_CELL_FIELD_RO_DEF(CellConstRef, nuSpeed, float, nuSpeedOf)
+PCMSCRUB_CELL_FIELD_RO_DEF(CellConstRef, enduranceWrites, float,
+                           enduranceOf)
+PCMSCRUB_CELL_FIELD_RO_DEF(CellConstRef, writes, std::uint32_t,
+                           writesOf)
+PCMSCRUB_CELL_FIELD_RO_DEF(CellConstRef, storedLevel, std::uint8_t,
+                           storedLevelOf)
+PCMSCRUB_CELL_FIELD_RO_DEF(CellConstRef, stuck, bool, stuckOf)
+PCMSCRUB_CELL_FIELD_RO_DEF(CellConstRef, stuckLevel, std::uint8_t,
+                           stuckLevelOf)
+PCMSCRUB_CELL_FIELD_RO_DEF(CellConstRef, writeTick, Tick, writeTickOf)
+
+#undef PCMSCRUB_CELL_FIELD
+#undef PCMSCRUB_CELL_FIELD_RO
+#undef PCMSCRUB_CELL_FIELD_DEF
+#undef PCMSCRUB_CELL_FIELD_RO_DEF
+
+inline Cell
+CellRef::load() const
+{
+    return logR0.s->loadCell(logR0.i);
+}
+
+inline void
+CellRef::store(const Cell &cell) const
+{
+    logR0.s->storeCell(logR0.i, cell);
+}
+
+inline Cell
+CellConstRef::load() const
+{
+    return logR0.s->loadCell(logR0.i);
+}
+
+inline CellConstSpan
+CellSpan::view() const
+{
+    return static_cast<const CellStorage *>(storage)->constSpan(line,
+                                                                count);
+}
 
 } // namespace pcmscrub
 

@@ -1,70 +1,30 @@
 #include "pcm/kernels.hh"
 
-#include <cmath>
-
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "common/simd.hh"
+#include "pcm/kernels_impl.hh"
+#include "pcm/kernels_simd.hh"
 
 namespace pcmscrub {
 namespace kernels {
 
+using detail::DriftAgeCache;
+using detail::senseLevel;
+
 namespace {
 
 /**
- * Hoisted drift-age term: u = log10(age / t0) for one program tick.
- * Cells written by the same full write share their tick, so the
- * common case evaluates one log10 per line; the cache re-evaluates
- * only when a cell sits on a different clock. The arithmetic is
- * exactly CellModel::senseLogR's, so the cached value is the value
- * the per-cell path would compute.
+ * Whether the vector kernels may handle this span: MLC layout on a
+ * uniform write clock (a materialized overlay means per-cell drift
+ * clocks, which the scalar path resolves cell by cell), at least one
+ * full vector of cells, and vectorization not disabled.
  */
-class DriftAgeCache
+inline bool
+vectorPath(const CellConstSpan &cells, bool slc_mode)
 {
-  public:
-    DriftAgeCache(Tick now, double t0_seconds)
-        : now_(now), t0Seconds_(t0_seconds)
-    {
-    }
-
-    double u(Tick write_tick)
-    {
-        if (!valid_ || write_tick != cachedTick_) {
-            PCMSCRUB_ASSERT(now_ >= write_tick,
-                            "reading before the cell was written");
-            const double age = ticksToSeconds(now_ - write_tick);
-            cachedU_ = age > t0Seconds_
-                ? std::log10(age / t0Seconds_)
-                : 0.0;
-            cachedTick_ = write_tick;
-            valid_ = true;
-        }
-        return cachedU_;
-    }
-
-  private:
-    Tick now_;
-    double t0Seconds_;
-    Tick cachedTick_ = 0;
-    double cachedU_ = 0.0;
-    bool valid_ = false;
-};
-
-/** Sensed level of cell i: CellModel::read() against the planes. */
-inline unsigned
-senseLevel(const CellConstSpan &cells, std::size_t i,
-           const DeviceConfig &config, DriftAgeCache &age,
-           double threshold_shift)
-{
-    if (cells.stuck[i])
-        return cells.stuckLevel[i];
-    const double logR = static_cast<double>(cells.logR0[i]) +
-        static_cast<double>(cells.nu[i]) * age.u(cells.writeTick[i]);
-    unsigned level = 0;
-    for (unsigned l = 0; l + 1 < mlcLevels; ++l) {
-        if (logR > config.readThresholdLogR[l] + threshold_shift)
-            level = l + 1;
-    }
-    return level;
+    return !slc_mode && cells.ovTicks == nullptr && cells.count >= 8 &&
+        simd::enabled() && simdk::available();
 }
 
 } // namespace
@@ -74,6 +34,10 @@ senseCodeword(const CellConstSpan &cells, std::size_t codeword_bits,
               bool slc_mode, const DeviceConfig &config, Tick now,
               double threshold_shift)
 {
+    if (vectorPath(cells, slc_mode)) {
+        return simdk::senseCodewordAvx2(cells, codeword_bits, config,
+                                        now, threshold_shift);
+    }
     BitVector word(codeword_bits);
     DriftAgeCache age(now, config.driftT0Seconds);
     std::uint64_t chunk = 0;
@@ -100,7 +64,11 @@ senseCodeword(const CellConstSpan &cells, std::size_t codeword_bits,
             chunk |= gray << filled;
             filled += bitsPerCell;
             if (filled == 64) {
-                word.deposit(base, 64, chunk);
+                // The flush clamps for odd-width codewords whose
+                // last cell pushes the final chunk past the end.
+                const std::size_t n = codeword_bits - base < 64
+                    ? codeword_bits - base : 64;
+                word.deposit(base, n, chunk);
                 base += 64;
                 chunk = 0;
                 filled = 0;
@@ -118,27 +86,12 @@ unsigned
 marginScanCount(const CellConstSpan &cells, const DeviceConfig &config,
                 Tick now)
 {
+    if (vectorPath(cells, /*slc_mode=*/false))
+        return simdk::marginScanCountAvx2(cells, config, now);
     DriftAgeCache age(now, config.driftT0Seconds);
     unsigned flagged = 0;
-    for (std::size_t i = 0; i < cells.count; ++i) {
-        if (cells.stuck[i])
-            continue;
-        // One sense serves both the level decision and the band
-        // check — CellModel::marginFlagged computes the identical
-        // value twice.
-        const double logR = static_cast<double>(cells.logR0[i]) +
-            static_cast<double>(cells.nu[i]) *
-                age.u(cells.writeTick[i]);
-        unsigned level = 0;
-        for (unsigned l = 0; l + 1 < mlcLevels; ++l) {
-            if (logR > config.readThresholdLogR[l])
-                level = l + 1;
-        }
-        if (!config.hasUpperThreshold(level))
-            continue;
-        flagged += logR > config.readThresholdLogR[level] -
-            config.marginBandLogR;
-    }
+    for (std::size_t i = 0; i < cells.count; ++i)
+        flagged += detail::marginFlagged(cells, i, config, age);
     return flagged;
 }
 
@@ -148,12 +101,21 @@ programCodeword(const CellSpan &cells, const BitVector &codeword,
                 const CellModel &model, Random &rng, bool differential)
 {
     const DeviceConfig &config = model.config();
+    CellStorage &storage = *cells.storage;
     DriftAgeCache age(now, config.driftT0Seconds);
-    const CellConstSpan read_view{
-        cells.logR0,       cells.nu,         cells.nuSpeed,
-        cells.enduranceWrites, cells.writes, cells.storedLevel,
-        cells.stuck,       cells.stuckLevel, cells.writeTick,
-        cells.count};
+
+    // A clean full write leaves every live cell on the line's new
+    // uniform write clock, so per-cell writes/ticks stay virtual.
+    // Anything that lets a cell diverge — skipped cells of a
+    // differential write, a stuck cell's frozen clock, or pre-existing
+    // skew — needs the overlay materialized *before* the loop, so it
+    // captures the current uniform values for untouched cells.
+    WriteOverlay *overlay = nullptr;
+    if (storage.hasOverlay(cells.line) || differential ||
+        storage.lineHasStuck(cells.line, cells.count)) {
+        overlay = &storage.ensureOverlay(cells.line);
+    }
+    const CellConstSpan view = cells.view();
 
     LineProgramStats stats;
     for (std::size_t i = 0; i < cells.count; ++i) {
@@ -169,19 +131,23 @@ programCodeword(const CellSpan &cells, const BitVector &codeword,
                 gray |= 2;
             level = grayToLevel(gray);
         }
-        if (cells.stuck[i]) {
+        if (view.stuck(i)) {
             // Dead cells ignore programming (and the differential
             // read) — CellModel::program draws nothing for them.
             continue;
         }
         if (differential &&
-            senseLevel(read_view, i, config, age, 0.0) == level) {
+            senseLevel(view, i, config, age, 0.0) == level) {
             continue; // Data-comparison write skips matching cells.
         }
-        Cell cell = cells.ref(i).load();
+        Cell cell = storage.loadCell(cells.baseCell + i);
         const ProgramOutcome outcome =
             model.program(cell, level, now, rng);
-        cells.ref(i).store(cell);
+        storage.storePhysics(cells.baseCell + i, cell);
+        if (overlay != nullptr) {
+            overlay->writes[i] = cell.writes;
+            overlay->ticks[i] = cell.writeTick;
+        }
         if (outcome.iterations > 0) {
             ++stats.cellsProgrammed;
             stats.totalIterations += outcome.iterations;

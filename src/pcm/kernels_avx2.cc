@@ -1,0 +1,285 @@
+/**
+ * @file
+ * AVX2 sense and margin kernels: eight cells per step over the
+ * quantized planes.
+ *
+ * Exactness argument, piece by piece (the oracle test checks the
+ * conclusion, this is why it holds):
+ *
+ *  - The float decode is a gather from the very LUTs the scalar
+ *    decode indexes (logR0Lut / nuLut), so the f32 inputs are the
+ *    same bits.
+ *  - cvtps_pd is exact (every f32 is representable as f64), and the
+ *    drift evaluation multiplies then adds as two separately rounded
+ *    f64 operations — the same shape the scalar expression
+ *    `logR0 + nu * u` compiles to, because -ffp-contract=off forbids
+ *    FMA fusion in both paths.
+ *  - Level selection is three ordered > compares; the scalar loop's
+ *    "last threshold crossed wins" collapses to pure mask algebra on
+ *    the three compare masks, with no monotonicity assumption.
+ *  - Stuck cells (nu index 255) bypass the float path entirely: their
+ *    sensed Gray symbol is the stored gray-plane symbol verbatim
+ *    (sense = levelToGray(grayToLevel(g)) = g), so the blend copies
+ *    the packed plane bytes. The nu LUT holds 0.0f at the sentinel,
+ *    keeping the dead lanes' gathers harmless.
+ *
+ * The vector path requires a uniform write clock (no overlay): one
+ * drift age term covers the line. Diverged lines and sub-vector
+ * tails run the shared scalar reference helpers (kernels_impl.hh).
+ */
+
+#include "pcm/kernels_simd.hh"
+
+#include "pcm/cell.hh"
+#include "pcm/kernels_impl.hh"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace pcmscrub {
+namespace kernels {
+namespace simdk {
+
+#if defined(__AVX2__)
+
+namespace {
+
+/**
+ * spread8[m] places bit b of the 8-bit mask m at bit 2b — the
+ * per-cell mask-to-2-bit-symbol expansion used when packing eight
+ * sensed cells into 16 codeword bits.
+ */
+struct SpreadTable
+{
+    std::uint16_t v[256];
+};
+
+constexpr SpreadTable
+makeSpreadTable()
+{
+    SpreadTable t{};
+    for (unsigned m = 0; m < 256; ++m) {
+        std::uint16_t s = 0;
+        for (unsigned b = 0; b < 8; ++b) {
+            if (m & (1u << b))
+                s = static_cast<std::uint16_t>(s | (1u << (2 * b)));
+        }
+        t.v[m] = s;
+    }
+    return t;
+}
+
+constexpr SpreadTable spread8 = makeSpreadTable();
+
+/** Eight cells decoded and drift-evaluated, ready to compare. */
+struct Decoded8
+{
+    __m256d logRLo;       //!< Drifted logR, lanes 0..3.
+    __m256d logRHi;       //!< Drifted logR, lanes 4..7.
+    unsigned stuck;       //!< Bit per lane: nu index == sentinel.
+    std::uint32_t gray16; //!< Packed 2-bit symbols, plane bytes.
+};
+
+/**
+ * Decode cells [i, i+8) from the quantized planes and evaluate
+ * drift at age term u. The caller guarantees i+8 <= count and a
+ * uniform write clock.
+ */
+inline Decoded8
+decode8(const CellConstSpan &cells, std::size_t i, double u)
+{
+    const __m256i logRq = _mm256_cvtepu8_epi32(_mm_loadl_epi64(
+        reinterpret_cast<const __m128i *>(cells.logRq + i)));
+    const __m256i nuIdx = _mm256_cvtepu8_epi32(_mm_loadl_epi64(
+        reinterpret_cast<const __m128i *>(cells.nuIdx + i)));
+
+    // Two packed-gray bytes hold the eight 2-bit symbols.
+    const std::uint32_t gray16 =
+        static_cast<std::uint32_t>(cells.gray[i >> 2]) |
+        (static_cast<std::uint32_t>(cells.gray[(i >> 2) + 1]) << 8);
+    const __m256i grayLanes = _mm256_and_si256(
+        _mm256_srlv_epi32(
+            _mm256_set1_epi32(static_cast<int>(gray16)),
+            _mm256_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14)),
+        _mm256_set1_epi32(3));
+
+    // logR0 decode: LUT row is selected by the stored gray symbol,
+    // column by the quantized byte — identical to decodeLogR0().
+    const __m256i lutIdx =
+        _mm256_or_si256(_mm256_slli_epi32(grayLanes, 8), logRq);
+    const __m256 logR0f =
+        _mm256_i32gather_ps(cells.spec->logR0LutData(), lutIdx, 4);
+    const __m256 nuf =
+        _mm256_i32gather_ps(cells.spec->nuLutData(), nuIdx, 4);
+
+    Decoded8 out;
+    const __m256d uVec = _mm256_set1_pd(u);
+    out.logRLo = _mm256_add_pd(
+        _mm256_cvtps_pd(_mm256_castps256_ps128(logR0f)),
+        _mm256_mul_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(nuf)),
+                      uVec));
+    out.logRHi = _mm256_add_pd(
+        _mm256_cvtps_pd(_mm256_extractf128_ps(logR0f, 1)),
+        _mm256_mul_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(nuf, 1)),
+                      uVec));
+    out.stuck = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(
+            nuIdx, _mm256_set1_epi32(QuantSpec::kStuckNuIdx)))));
+    out.gray16 = gray16;
+    return out;
+}
+
+/** Bit-per-lane mask of logR > thr (strict, ordered). */
+inline unsigned
+greaterMask(const Decoded8 &d, double thr)
+{
+    const __m256d t = _mm256_set1_pd(thr);
+    const unsigned lo = static_cast<unsigned>(_mm256_movemask_pd(
+        _mm256_cmp_pd(d.logRLo, t, _CMP_GT_OQ)));
+    const unsigned hi = static_cast<unsigned>(_mm256_movemask_pd(
+        _mm256_cmp_pd(d.logRHi, t, _CMP_GT_OQ)));
+    return lo | (hi << 4);
+}
+
+} // namespace
+
+bool
+available()
+{
+    static const bool ok = __builtin_cpu_supports("avx2") != 0;
+    return ok;
+}
+
+BitVector
+senseCodewordAvx2(const CellConstSpan &cells,
+                  std::size_t codeword_bits,
+                  const DeviceConfig &config, Tick now,
+                  double threshold_shift)
+{
+    PCMSCRUB_ASSERT(cells.ovTicks == nullptr && cells.spec != nullptr,
+                    "vector sense needs a uniform write clock");
+    detail::DriftAgeCache age(now, config.driftT0Seconds);
+    const double u = age.u(cells.uniformTick);
+    double thresholds[mlcLevels - 1];
+    for (unsigned l = 0; l + 1 < mlcLevels; ++l)
+        thresholds[l] = config.readThresholdLogR[l] + threshold_shift;
+
+    BitVector word(codeword_bits);
+    std::uint64_t chunk = 0;
+    unsigned filled = 0;
+    std::size_t base = 0;
+    std::size_t i = 0;
+    for (; i + 8 <= cells.count; i += 8) {
+        const Decoded8 d = decode8(cells, i, u);
+        unsigned m[mlcLevels - 1];
+        for (unsigned l = 0; l + 1 < mlcLevels; ++l)
+            m[l] = greaterMask(d, thresholds[l]);
+        // Highest threshold crossed wins, exactly like the scalar
+        // loop's last-assignment semantics: level 3 iff m2, level 2
+        // iff m1 & !m2, level 1 iff m0 & !m1 & !m2.
+        const unsigned level2 = m[1] & ~m[2];
+        const unsigned bit0 =
+            (m[0] & ~m[1] & ~m[2]) | level2; // Gray bit 0.
+        const unsigned bit1 = m[1] | m[2];   // Gray bit 1.
+        std::uint32_t group = spread8.v[bit0 & 0xff] |
+            (static_cast<std::uint32_t>(spread8.v[bit1 & 0xff]) << 1);
+        // Stuck lanes read back their frozen plane symbol verbatim.
+        std::uint32_t stuck2 = spread8.v[d.stuck & 0xff];
+        stuck2 |= stuck2 << 1;
+        group = (group & ~stuck2) | (d.gray16 & stuck2);
+
+        chunk |= static_cast<std::uint64_t>(group) << filled;
+        filled += 16;
+        if (filled == 64) {
+            // Clamped flush, matching the scalar loop: an odd-width
+            // codeword's final chunk can overhang the word end.
+            const std::size_t n = codeword_bits - base < 64
+                ? codeword_bits - base : 64;
+            word.deposit(base, n, chunk);
+            base += 64;
+            chunk = 0;
+            filled = 0;
+        }
+    }
+    // Sub-vector tail: the shared scalar reference path.
+    for (; i < cells.count; ++i) {
+        const std::uint64_t gray = levelToGray(detail::senseLevel(
+            cells, i, config, age, threshold_shift));
+        chunk |= gray << filled;
+        filled += bitsPerCell;
+        if (filled == 64) {
+            const std::size_t n = codeword_bits - base < 64
+                ? codeword_bits - base : 64;
+            word.deposit(base, n, chunk);
+            base += 64;
+            chunk = 0;
+            filled = 0;
+        }
+    }
+    if (base < codeword_bits)
+        word.deposit(base, codeword_bits - base, chunk);
+    return word;
+}
+
+unsigned
+marginScanCountAvx2(const CellConstSpan &cells,
+                    const DeviceConfig &config, Tick now)
+{
+    PCMSCRUB_ASSERT(cells.ovTicks == nullptr && cells.spec != nullptr,
+                    "vector margin scan needs a uniform write clock");
+    detail::DriftAgeCache age(now, config.driftT0Seconds);
+    const double u = age.u(cells.uniformTick);
+
+    unsigned flagged = 0;
+    std::size_t i = 0;
+    for (; i + 8 <= cells.count; i += 8) {
+        const Decoded8 d = decode8(cells, i, u);
+        unsigned m[mlcLevels - 1]; //!< Above threshold l.
+        unsigned b[mlcLevels - 1]; //!< Above threshold l - band.
+        for (unsigned l = 0; l + 1 < mlcLevels; ++l) {
+            m[l] = greaterMask(d, config.readThresholdLogR[l]);
+            b[l] = greaterMask(d, config.readThresholdLogR[l] -
+                                      config.marginBandLogR);
+        }
+        // Level l cells inside the band below threshold l, live
+        // cells only; level 3 has no upper threshold, never flags.
+        const unsigned level0 = ~(m[0] | m[1] | m[2]);
+        const unsigned level1 = m[0] & ~m[1] & ~m[2];
+        const unsigned level2 = m[1] & ~m[2];
+        const unsigned f = ((level0 & b[0]) | (level1 & b[1]) |
+                            (level2 & b[2])) &
+            ~d.stuck & 0xffu;
+        flagged += static_cast<unsigned>(__builtin_popcount(f));
+    }
+    for (; i < cells.count; ++i)
+        flagged += detail::marginFlagged(cells, i, config, age);
+    return flagged;
+}
+
+#else // !defined(__AVX2__)
+
+bool
+available()
+{
+    return false;
+}
+
+BitVector
+senseCodewordAvx2(const CellConstSpan &, std::size_t,
+                  const DeviceConfig &, Tick, double)
+{
+    fatal("AVX2 kernels not compiled into this build");
+}
+
+unsigned
+marginScanCountAvx2(const CellConstSpan &, const DeviceConfig &, Tick)
+{
+    fatal("AVX2 kernels not compiled into this build");
+}
+
+#endif
+
+} // namespace simdk
+} // namespace kernels
+} // namespace pcmscrub

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Scalar reference pieces shared by the portable kernels
+ * (kernels.cc) and the AVX2 translation unit (kernels_avx2.cc).
+ *
+ * The vector kernels process eight cells per step but must emit the
+ * very bits the scalar loop would; tails shorter than one vector and
+ * cells on diverged write clocks therefore run through these exact
+ * helpers. Keeping them in one header (instead of duplicating the
+ * arithmetic) is what makes "bit-identical" a structural property
+ * rather than a test-enforced coincidence.
+ */
+
+#ifndef PCMSCRUB_PCM_KERNELS_IMPL_HH
+#define PCMSCRUB_PCM_KERNELS_IMPL_HH
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "pcm/cell_storage.hh"
+#include "pcm/device_config.hh"
+
+namespace pcmscrub {
+namespace kernels {
+namespace detail {
+
+/**
+ * Hoisted drift-age term: u = log10(age / t0) for one program tick.
+ * Cells written by the same full write share their tick, so the
+ * common case evaluates one log10 per line; the cache re-evaluates
+ * only when a cell sits on a different clock. The arithmetic is
+ * exactly CellModel::senseLogR's, so the cached value is the value
+ * the per-cell path would compute.
+ */
+class DriftAgeCache
+{
+  public:
+    DriftAgeCache(Tick now, double t0_seconds)
+        : now_(now), t0Seconds_(t0_seconds)
+    {
+    }
+
+    double u(Tick write_tick)
+    {
+        if (!valid_ || write_tick != cachedTick_) {
+            PCMSCRUB_ASSERT(now_ >= write_tick,
+                            "reading before the cell was written");
+            const double age = ticksToSeconds(now_ - write_tick);
+            cachedU_ = age > t0Seconds_
+                ? std::log10(age / t0Seconds_)
+                : 0.0;
+            cachedTick_ = write_tick;
+            valid_ = true;
+        }
+        return cachedU_;
+    }
+
+  private:
+    Tick now_;
+    double t0Seconds_;
+    Tick cachedTick_ = 0;
+    double cachedU_ = 0.0;
+    bool valid_ = false;
+};
+
+/** Sensed level of cell i: CellModel::read() against the planes. */
+inline unsigned
+senseLevel(const CellConstSpan &cells, std::size_t i,
+           const DeviceConfig &config, DriftAgeCache &age,
+           double threshold_shift)
+{
+    if (cells.stuck(i))
+        return cells.levelAt(i); // The gray plane holds the frozen
+                                 // level.
+    const double logR = static_cast<double>(cells.logR0(i)) +
+        static_cast<double>(cells.nu(i)) * age.u(cells.writeTick(i));
+    unsigned level = 0;
+    for (unsigned l = 0; l + 1 < mlcLevels; ++l) {
+        if (logR > config.readThresholdLogR[l] + threshold_shift)
+            level = l + 1;
+    }
+    return level;
+}
+
+/**
+ * Whether the light margin read would flag cell i — the scalar body
+ * of marginScanCount (batched CellModel::marginFlagged, one sense
+ * serving both the level decision and the band check).
+ */
+inline bool
+marginFlagged(const CellConstSpan &cells, std::size_t i,
+              const DeviceConfig &config, DriftAgeCache &age)
+{
+    if (cells.stuck(i))
+        return false;
+    const double logR = static_cast<double>(cells.logR0(i)) +
+        static_cast<double>(cells.nu(i)) * age.u(cells.writeTick(i));
+    unsigned level = 0;
+    for (unsigned l = 0; l + 1 < mlcLevels; ++l) {
+        if (logR > config.readThresholdLogR[l])
+            level = l + 1;
+    }
+    if (!config.hasUpperThreshold(level))
+        return false;
+    return logR > config.readThresholdLogR[level] -
+        config.marginBandLogR;
+}
+
+} // namespace detail
+} // namespace kernels
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_PCM_KERNELS_IMPL_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Internal interface of the AVX2 sense/margin kernels
+ * (kernels_avx2.cc). Not installed API: only kernels.cc dispatches
+ * through it, and only when simd::enabled() and the shape fits the
+ * vector path (MLC line, uniform write clock). Results are
+ * bit-identical to the scalar loops in kernels.cc —
+ * simd_oracle_test compares the two paths on random planes.
+ */
+
+#ifndef PCMSCRUB_PCM_KERNELS_SIMD_HH
+#define PCMSCRUB_PCM_KERNELS_SIMD_HH
+
+#include <cstddef>
+
+#include "common/bitvector.hh"
+#include "common/types.hh"
+#include "pcm/cell_storage.hh"
+#include "pcm/device_config.hh"
+
+namespace pcmscrub {
+namespace kernels {
+namespace simdk {
+
+/**
+ * Whether the AVX2 path can run on this build + CPU. Constant after
+ * the first call.
+ */
+bool available();
+
+/**
+ * Vector senseCodeword for an MLC line on a uniform write clock
+ * (cells.ovTicks == nullptr). Caller guarantees available(),
+ * !slc_mode, and cells.count >= 8; the sub-vector tail is handled
+ * internally by the shared scalar reference helper.
+ */
+BitVector senseCodewordAvx2(const CellConstSpan &cells,
+                            std::size_t codeword_bits,
+                            const DeviceConfig &config, Tick now,
+                            double threshold_shift);
+
+/** Vector marginScanCount under the same preconditions. */
+unsigned marginScanCountAvx2(const CellConstSpan &cells,
+                             const DeviceConfig &config, Tick now);
+
+} // namespace simdk
+} // namespace kernels
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_PCM_KERNELS_SIMD_HH

@@ -8,33 +8,37 @@
 namespace pcmscrub {
 
 Line::Line(std::size_t codeword_bits)
-    : codewordBits_(codeword_bits),
-      owned_(std::make_unique<CellStorage>(
-          (codeword_bits + bitsPerCell - 1) / bitsPerCell)),
-      intended_(codeword_bits)
+    : codewordBits_(codeword_bits)
 {
     PCMSCRUB_ASSERT(codeword_bits >= bitsPerCell,
                     "line of %zu bits is too small", codeword_bits);
-    storage_ = owned_.get();
-    base_ = 0;
+    owned_ = std::make_unique<CellStorage>();
+    CellStorage::Geometry geometry;
+    geometry.lines = 1;
+    geometry.cellsPerLine = mlcCellCount();
+    geometry.intendedWordsPerLine = intendedWordCount();
+    geometry.auxPlanes = true;
+    owned_->configure(geometry);
+    active_ = owned_.get();
+    activeLine_ = 0;
     count_ = mlcCellCount();
 }
 
 Line::Line(std::size_t codeword_bits, CellStorage *storage,
-           std::size_t base)
+           std::size_t line_index)
     : codewordBits_(codeword_bits),
-      storage_(storage),
-      base_(base),
-      shared_(storage),
-      sharedBase_(base),
-      intended_(codeword_bits)
+      arrayHome_(storage),
+      arrayLine_(line_index),
+      active_(storage),
+      activeLine_(line_index)
 {
     PCMSCRUB_ASSERT(codeword_bits >= bitsPerCell,
                     "line of %zu bits is too small", codeword_bits);
     count_ = mlcCellCount();
-    PCMSCRUB_ASSERT(base + count_ <= storage->size(),
-                    "line slice [%zu, %zu) exceeds the cell storage",
-                    base, base + count_);
+    PCMSCRUB_ASSERT(line_index < storage->lineCount() &&
+                        storage->cellsPerLine() == count_,
+                    "line %zu does not fit the cell storage",
+                    line_index);
 }
 
 void
@@ -45,63 +49,51 @@ Line::boundsCheck(unsigned index) const
 }
 
 void
-Line::activateMlcView()
-{
-    if (shared_ != nullptr) {
-        storage_ = shared_;
-        base_ = sharedBase_;
-    } else {
-        owned_->resize(mlcCellCount());
-        storage_ = owned_.get();
-        base_ = 0;
-    }
-    count_ = mlcCellCount();
-}
-
-void
-Line::activateSlcView()
-{
-    if (shared_ != nullptr && storage_ == shared_) {
-        // Move the line's cells out of the fixed-stride array planes
-        // into a private annex wide enough for one cell per bit.
-        if (!owned_)
-            owned_ = std::make_unique<CellStorage>();
-        owned_->resize(codewordBits_);
-        for (std::size_t i = 0; i < count_; ++i)
-            owned_->copyCell(*storage_, base_ + i, i);
-        storage_ = owned_.get();
-        base_ = 0;
-    } else {
-        owned_->resize(codewordBits_);
-    }
-    count_ = codewordBits_;
-}
-
-void
 Line::initialize(const CellModel &model, Random &rng)
 {
-    for (std::size_t i = 0; i < count_; ++i) {
-        const CellRef ref = storage_->ref(base_ + i);
-        Cell cell = ref.load();
-        model.initialize(cell, rng);
-        ref.store(cell);
+    if (active_->auxMode()) {
+        active_->ensureSpec(model.config());
+        const std::size_t base = baseCell();
+        for (std::size_t i = 0; i < count_; ++i) {
+            Cell cell = active_->loadCell(base + i);
+            model.initialize(cell, rng);
+            active_->storeCell(base + i, cell);
+        }
+    } else {
+        // Compact storage re-rolls the derivation generation instead
+        // of drawing: same distribution, zero resident bytes, and no
+        // per-line pass over the array RNG.
+        active_->reinitializeCompactLine(activeLine_);
     }
 }
 
 unsigned
-Line::targetLevel(const BitVector &codeword, unsigned index) const
+Line::targetLevel(const std::uint64_t *words, unsigned index) const
 {
+    const auto bitAt = [words](std::size_t bit) {
+        return (words[bit >> 6] >> (bit & 63u)) & 1u;
+    };
     if (slcMode_) {
         // One bit per cell, extreme levels only: full RESET for 0,
         // full SET for 1.
-        return codeword.get(index) ? mlcLevels - 1 : 0;
+        return bitAt(index) ? mlcLevels - 1 : 0;
     }
     const std::size_t bit = static_cast<std::size_t>(index) *
         bitsPerCell;
-    std::uint8_t gray = codeword.get(bit) ? 1 : 0;
-    if (bit + 1 < codewordBits_ && codeword.get(bit + 1))
+    std::uint8_t gray = bitAt(bit) ? 1 : 0;
+    if (bit + 1 < codewordBits_ && bitAt(bit + 1))
         gray |= 2;
     return grayToLevel(gray);
+}
+
+BitVector
+Line::intendedWord() const
+{
+    const std::uint64_t *words = active_->intendedWords(activeLine_);
+    return BitVector::fromWords(
+        codewordBits_,
+        std::vector<std::uint64_t>(words,
+                                   words + intendedWordCount()));
 }
 
 LineProgramStats
@@ -112,12 +104,15 @@ Line::writeCodeword(const BitVector &codeword, Tick now,
     PCMSCRUB_ASSERT(codeword.size() == codewordBits_,
                     "codeword of %zu bits on a %zu-bit line",
                     codeword.size(), codewordBits_);
+    active_->ensureSpec(model.config());
     const LineProgramStats stats = kernels::programCodeword(
         span(), codeword, codewordBits_, slcMode_, now, model, rng,
         differential);
-    intended_ = codeword;
-    lastWriteTick_ = now;
-    ++lineWrites_;
+    active_->setIntended(activeLine_, codeword);
+    active_->bumpLineWrite(activeLine_, now);
+    // A clean full write leaves every cell back on the (new) uniform
+    // write clock; fold the overlay away when that happened.
+    active_->normalizeOverlay(activeLine_);
     return stats;
 }
 
@@ -144,20 +139,68 @@ unsigned
 Line::trueBitErrors(Tick now, const CellModel &model) const
 {
     const BitVector read = readCodeword(now, model);
-    return static_cast<unsigned>(read.countDifferences(intended_));
+    return static_cast<unsigned>(
+        read.countDifferences(intendedWord()));
 }
 
 void
 Line::remapStuckToIntended()
 {
+    const std::uint64_t *words = active_->intendedWords(activeLine_);
+    const std::size_t base = baseCell();
     for (unsigned i = 0; i < count_; ++i) {
-        auto cell = storage_->ref(base_ + i);
-        if (!cell.stuck)
+        if (!active_->stuckOf(base + i))
             continue;
-        const unsigned level = targetLevel(intended_, i);
-        cell.stuckLevel = static_cast<std::uint8_t>(level);
-        cell.storedLevel = static_cast<std::uint8_t>(level);
+        active_->setStuckLevel(
+            base + i,
+            static_cast<std::uint8_t>(targetLevel(words, i)));
     }
+}
+
+void
+Line::buildSlcAnnex()
+{
+    auto annex = std::make_unique<CellStorage>();
+    CellStorage::Geometry geometry;
+    geometry.lines = 1;
+    geometry.cellsPerLine = codewordBits_;
+    geometry.intendedWordsPerLine = intendedWordCount();
+    geometry.auxPlanes = true;
+    annex->configure(geometry);
+    annex->copySpecFrom(*active_);
+    annex->setLineMeta(0, active_->lineLastWriteTick(activeLine_),
+                       active_->lineWrites(activeLine_));
+    annex->setIntended(0, intendedWord());
+    const std::size_t base = baseCell();
+    for (std::size_t i = 0; i < count_; ++i)
+        annex->copyCell(*active_, base + i, i);
+    owned_ = std::move(annex);
+    active_ = owned_.get();
+    activeLine_ = 0;
+    count_ = codewordBits_;
+}
+
+void
+Line::restoreMlcView()
+{
+    if (arrayHome_ != nullptr) {
+        owned_.reset();
+        active_ = arrayHome_;
+        activeLine_ = arrayLine_;
+    } else {
+        auto storage = std::make_unique<CellStorage>();
+        CellStorage::Geometry geometry;
+        geometry.lines = 1;
+        geometry.cellsPerLine = mlcCellCount();
+        geometry.intendedWordsPerLine = intendedWordCount();
+        geometry.auxPlanes = true;
+        storage->configure(geometry);
+        storage->copySpecFrom(*active_);
+        owned_ = std::move(storage);
+        active_ = owned_.get();
+        activeLine_ = 0;
+    }
+    count_ = mlcCellCount();
 }
 
 void
@@ -166,15 +209,15 @@ Line::setSlcMode(const CellModel &model, Random &rng)
     if (slcMode_)
         return;
     slcMode_ = true;
+    active_->ensureSpec(model.config());
     // Annex the paired line's cells so every codeword bit gets its
     // own cell; the newcomers are fresh silicon.
     const std::size_t previous = count_;
-    activateSlcView();
+    buildSlcAnnex();
     for (std::size_t i = previous; i < count_; ++i) {
-        const CellRef ref = storage_->ref(base_ + i);
-        Cell cell = ref.load();
+        Cell cell = active_->loadCell(i);
         model.initialize(cell, rng);
-        ref.store(cell);
+        active_->storeCell(i, cell);
     }
 }
 
@@ -184,18 +227,14 @@ Line::stuckCellCount() const
     const CellConstSpan cells = span();
     unsigned stuck = 0;
     for (std::size_t i = 0; i < cells.count; ++i)
-        stuck += cells.stuck[i] != 0;
+        stuck += cells.stuck(i);
     return stuck;
 }
 
 std::size_t
 Line::ownedBytes() const
 {
-    std::size_t bytes =
-        intended_.words().size() * sizeof(std::uint64_t);
-    if (owned_)
-        bytes += owned_->bytes();
-    return bytes;
+    return owned_ ? owned_->bytes() : 0;
 }
 
 void
@@ -203,65 +242,104 @@ Line::saveState(SnapshotSink &sink) const
 {
     sink.boolean(slcMode_);
     sink.u64(count_);
-    for (std::size_t i = 0; i < count_; ++i) {
-        const Cell cell = storage_->ref(base_ + i).load();
-        sink.f32(cell.logR0);
-        sink.f32(cell.nu);
-        sink.f32(cell.nuSpeed);
-        sink.f32(cell.enduranceWrites);
-        sink.u32(cell.writes);
-        sink.u8(cell.storedLevel);
-        sink.boolean(cell.stuck);
-        sink.u8(cell.stuckLevel);
-        sink.u64(cell.writeTick);
+    const std::size_t base = baseCell();
+    for (std::size_t i = 0; i < count_; ++i)
+        sink.u8(active_->rawLogRq(base + i));
+    for (std::size_t i = 0; i < count_; ++i)
+        sink.u8(active_->rawNuIdx(base + i));
+    // Gray codes re-packed four to the byte, independent of the
+    // storage's internal alignment.
+    for (std::size_t i = 0; i < count_; i += 4) {
+        std::uint8_t packed = 0;
+        for (std::size_t j = 0; j < 4 && i + j < count_; ++j) {
+            packed |= static_cast<std::uint8_t>(
+                active_->grayAt(base + i + j) << (j * 2));
+        }
+        sink.u8(packed);
     }
-    sink.bits(intended_);
-    sink.u64(lastWriteTick_);
-    sink.u64(lineWrites_);
+    sink.boolean(active_->auxMode());
+    if (active_->auxMode()) {
+        for (std::size_t i = 0; i < count_; ++i)
+            sink.f32(active_->nuSpeedOf(base + i));
+        for (std::size_t i = 0; i < count_; ++i)
+            sink.f32(active_->enduranceOf(base + i));
+    } else {
+        sink.u8(active_->generation(activeLine_));
+    }
+    const WriteOverlay *overlay = active_->overlay(activeLine_);
+    sink.boolean(overlay != nullptr);
+    if (overlay != nullptr) {
+        for (std::size_t i = 0; i < count_; ++i)
+            sink.u32(overlay->writes[i]);
+        for (std::size_t i = 0; i < count_; ++i)
+            sink.u64(overlay->ticks[i]);
+    }
+    sink.bits(intendedWord());
+    sink.u64(active_->lineLastWriteTick(activeLine_));
+    sink.u64(active_->lineWrites(activeLine_));
 }
 
 void
 Line::loadState(SnapshotSource &source)
 {
-    slcMode_ = source.boolean();
+    const bool slc = source.boolean();
     // SLC fallback annexes a paired line's cells, so the cell count
     // depends on the mode; anything else means the snapshot does not
     // match this geometry.
-    const std::size_t expected = slcMode_
-        ? codewordBits_
-        : mlcCellCount();
+    const std::size_t expected = slc ? codewordBits_ : mlcCellCount();
     const std::uint64_t count = source.u64();
     if (count != expected)
         source.corrupt("line cell count does not match the geometry");
     // Re-point the view for the snapshot's mode (either direction:
     // a fresh MLC line can restore an SLC snapshot and vice versa).
-    if (slcMode_)
-        activateSlcView();
-    else
-        activateMlcView();
-    for (std::size_t i = 0; i < count_; ++i) {
-        Cell cell;
-        cell.logR0 = source.f32();
-        cell.nu = source.f32();
-        cell.nuSpeed = source.f32();
-        cell.enduranceWrites = source.f32();
-        cell.writes = source.u32();
-        cell.storedLevel = source.u8();
-        if (cell.storedLevel >= (1u << bitsPerCell))
-            source.corrupt("cell stored level out of range");
-        cell.stuck = source.boolean();
-        cell.stuckLevel = source.u8();
-        if (cell.stuckLevel >= (1u << bitsPerCell))
-            source.corrupt("cell stuck level out of range");
-        cell.writeTick = source.u64();
-        storage_->ref(base_ + i).store(cell);
+    if (slc && !slcMode_) {
+        slcMode_ = true;
+        buildSlcAnnex();
+    } else if (!slc && slcMode_) {
+        slcMode_ = false;
+        restoreMlcView();
+    }
+    const std::size_t base = baseCell();
+    for (std::size_t i = 0; i < count_; ++i)
+        active_->setRawLogRq(base + i, source.u8());
+    for (std::size_t i = 0; i < count_; ++i)
+        active_->setRawNuIdx(base + i, source.u8());
+    for (std::size_t i = 0; i < count_; i += 4) {
+        const std::uint8_t packed = source.u8();
+        for (std::size_t j = 0; j < 4 && i + j < count_; ++j)
+            active_->setGray(base + i + j, (packed >> (j * 2)) & 3u);
+    }
+    const bool aux = source.boolean();
+    if (aux != active_->auxMode()) {
+        source.corrupt(
+            "line storage mode does not match the geometry");
+    }
+    if (aux) {
+        for (std::size_t i = 0; i < count_; ++i)
+            active_->setNuSpeed(base + i, source.f32());
+        for (std::size_t i = 0; i < count_; ++i)
+            active_->setEndurance(base + i, source.f32());
+    } else {
+        active_->setGeneration(activeLine_, source.u8());
+    }
+    // Overlay presence round-trips verbatim: loading never
+    // normalizes, so save(load(x)) == x byte for byte.
+    if (source.boolean()) {
+        WriteOverlay &overlay = active_->ensureOverlay(activeLine_);
+        for (std::size_t i = 0; i < count_; ++i)
+            overlay.writes[i] = source.u32();
+        for (std::size_t i = 0; i < count_; ++i)
+            overlay.ticks[i] = source.u64();
+    } else {
+        active_->dropOverlay(activeLine_);
     }
     BitVector intended = source.bits();
     if (intended.size() != codewordBits_)
         source.corrupt("intended-codeword width does not match");
-    intended_ = std::move(intended);
-    lastWriteTick_ = source.u64();
-    lineWrites_ = source.u64();
+    active_->setIntended(activeLine_, intended);
+    const Tick lastWrite = source.u64();
+    const std::uint64_t writes = source.u64();
+    active_->setLineMeta(activeLine_, lastWrite, writes);
 }
 
 } // namespace pcmscrub

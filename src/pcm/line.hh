@@ -1,11 +1,12 @@
 /**
  * @file
  * A memory line backed by MLC cells: the unit of scrub, ECC, and
- * rewrite. Holds the intended codeword and line bookkeeping; the
- * cell state itself lives in SoA planes (CellStorage) — array-owned
- * for lines inside a CellArray, line-owned for standalone lines and
- * for the annexed cells of SLC fallback. Per-cell access survives as
- * CellRef views; the hot paths run the batched kernels.
+ * rewrite. The Line itself is a thin handle — all cell state, the
+ * intended codeword, and the write bookkeeping live in a CellStorage
+ * (the array's shared planes for array-backed lines, a line-owned
+ * single-line storage for standalone lines and SLC annexes). Per-cell
+ * access survives as CellRef proxy views; the hot paths run the
+ * batched kernels over plane spans.
  */
 
 #ifndef PCMSCRUB_PCM_LINE_HH
@@ -45,22 +46,28 @@ class Line
   public:
     /**
      * A standalone line storing codeword_bits bits (2 per cell,
-     * padded); owns its cell planes.
+     * padded); owns its cell planes (aux mode: manufacturing state
+     * comes from the caller's RNG, not a derivation stream).
      */
     explicit Line(std::size_t codeword_bits);
 
     /**
-     * An array-backed line viewing `cells` cells at `base` inside an
+     * An array-backed line occupying line `line_index` of an
      * array-owned CellStorage. The storage must outlive the line and
-     * already be sized past base + cell count.
+     * its per-line stride must match this line's MLC cell count.
      */
     Line(std::size_t codeword_bits, CellStorage *storage,
-         std::size_t base);
+         std::size_t line_index);
 
     Line(Line &&) = default;
     Line &operator=(Line &&) = default;
 
-    /** Sample manufacturing state for every cell. */
+    /**
+     * Fresh-silicon manufacturing state for every cell. Aux-mode
+     * storage draws from `rng` (exact f32 planes); compact storage
+     * advances the line's manufacturing generation instead and draws
+     * nothing — the new state is derived on demand.
+     */
     void initialize(const CellModel &model, Random &rng);
 
     std::size_t codewordBits() const { return codewordBits_; }
@@ -105,13 +112,19 @@ class Line
     unsigned stuckCellCount() const;
 
     /** The codeword the controller believes is stored. */
-    const BitVector &intendedWord() const { return intended_; }
+    BitVector intendedWord() const;
 
     /** Tick of the last full write (drift reference for policies). */
-    Tick lastWriteTick() const { return lastWriteTick_; }
+    Tick lastWriteTick() const
+    {
+        return active_->lineLastWriteTick(activeLine_);
+    }
 
     /** Lifetime count of line-level write operations. */
-    std::uint64_t lineWrites() const { return lineWrites_; }
+    std::uint64_t lineWrites() const
+    {
+        return active_->lineWrites(activeLine_);
+    }
 
     /**
      * Direct cell access for tests and fault injection: a bundle of
@@ -121,31 +134,42 @@ class Line
     CellRef cell(unsigned index)
     {
         boundsCheck(index);
-        return storage_->ref(base_ + index);
+        return active_->ref(baseCell() + index);
     }
 
     CellConstRef cell(unsigned index) const
     {
         boundsCheck(index);
-        return static_cast<const CellStorage *>(storage_)
-            ->ref(base_ + index);
+        return static_cast<const CellStorage *>(active_)->ref(
+            baseCell() + index);
     }
 
     /** Copy of one cell's state (for value-based physics queries). */
     Cell cellValue(unsigned index) const { return cell(index).load(); }
 
+    /**
+     * Cell state without the manufacturing fields (see
+     * CellStorage::loadPhysics): enough for read/cleanUntil/
+     * marginFlagged, skipping the compact-mode derivation cost.
+     */
+    Cell cellPhysics(unsigned index) const
+    {
+        boundsCheck(index);
+        return active_->loadPhysics(baseCell() + index);
+    }
+
     /** Plane views over this line's cells (kernel input). */
-    CellSpan span() { return storage_->span(base_, count_); }
+    CellSpan span() { return active_->span(activeLine_, count_); }
     CellConstSpan span() const
     {
-        return static_cast<const CellStorage *>(storage_)
-            ->span(base_, count_);
+        return active_->constSpan(activeLine_, count_);
     }
 
     /** Level cell `index` must hold for the intended codeword. */
     unsigned targetLevelFor(unsigned index) const
     {
-        return targetLevel(intended_, index);
+        return targetLevel(
+            active_->intendedWords(activeLine_), index);
     }
 
     /**
@@ -164,16 +188,17 @@ class Line
      * annexed to keep the codeword width. The line stays SLC for the
      * rest of its life; the caller must rewrite it afterwards.
      *
-     * The annexed cells live in a line-owned plane set (the array's
-     * shared planes have fixed stride); the pre-fallback cell state
-     * is copied over, so serialized bytes are unaffected.
+     * The annexed cells live in a line-owned aux-mode storage (the
+     * array's shared planes have fixed stride); the pre-fallback cell
+     * state is copied over, compact-derived fields materializing as
+     * explicit floats.
      */
     void setSlcMode(const CellModel &model, Random &rng);
 
     /** Whether the line has fallen back to SLC operation. */
     bool slcMode() const { return slcMode_; }
 
-    /** Heap bytes owned by this line (SLC planes, intended word). */
+    /** Heap bytes owned by this line (standalone/SLC storage). */
     std::size_t ownedBytes() const;
 
     /** Serialize every cell plus line-level state. */
@@ -187,8 +212,8 @@ class Line
     void loadState(SnapshotSource &source);
 
   private:
-    /** Target level of cell `index` for a codeword. */
-    unsigned targetLevel(const BitVector &codeword,
+    /** Target level of cell `index` for a codeword's raw words. */
+    unsigned targetLevel(const std::uint64_t *words,
                          unsigned index) const;
 
     /** Cells a line of this width uses in MLC mode. */
@@ -197,36 +222,44 @@ class Line
         return (codewordBits_ + bitsPerCell - 1) / bitsPerCell;
     }
 
+    std::size_t intendedWordCount() const
+    {
+        return (codewordBits_ + 63) / 64;
+    }
+
+    std::size_t baseCell() const
+    {
+        return activeLine_ * active_->cellsPerLine();
+    }
+
     void boundsCheck(unsigned index) const;
 
-    /** Point the view at the MLC-mode cells (shared when backed). */
-    void activateMlcView();
-
     /**
-     * Point the view at line-owned planes sized for SLC operation
-     * (one cell per codeword bit); existing cell state is preserved.
+     * Move the line onto a fresh owned single-line aux storage sized
+     * for SLC (one cell per codeword bit), copying meta, intended
+     * word, and the current cells' state.
      */
-    void activateSlcView();
+    void buildSlcAnnex();
+
+    /** Point the line back at MLC storage (snapshot restores only). */
+    void restoreMlcView();
 
     std::size_t codewordBits_;
 
-    // Active view: the planes the line currently operates on.
-    CellStorage *storage_;
-    std::size_t base_ = 0;
-    std::size_t count_;
+    // Array home position (null arrayHome_ for standalone lines).
+    CellStorage *arrayHome_ = nullptr;
+    std::size_t arrayLine_ = 0;
 
-    // MLC home position inside the array's shared planes (null for
-    // standalone lines, whose home is owned_).
-    CellStorage *shared_ = nullptr;
-    std::size_t sharedBase_ = 0;
-
-    // Line-owned planes: the standalone backing store, or the SLC
+    // Line-owned storage: the standalone backing store, or the SLC
     // annex of an array-backed line.
     std::unique_ptr<CellStorage> owned_;
 
-    BitVector intended_;
-    Tick lastWriteTick_ = 0;
-    std::uint64_t lineWrites_ = 0;
+    // Active storage: where this line's cells, intended word, and
+    // write meta currently live.
+    CellStorage *active_ = nullptr;
+    std::size_t activeLine_ = 0;
+    std::size_t count_ = 0;
+
     bool slcMode_ = false;
 };
 

@@ -1,0 +1,104 @@
+#include "pcm/quant.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "pcm/cell.hh"
+
+namespace pcmscrub {
+
+void
+QuantSpec::init(const DeviceConfig &config)
+{
+    for (unsigned gray = 0; gray < 4; ++gray)
+        meanByGray_[gray] = config.levelMeanLogR[grayToLevel(
+            static_cast<std::uint8_t>(gray))];
+
+    // +/-7 sigma window: beyond-window draws occur with probability
+    // ~2.6e-12 per write — never at simulated scales — and clamp to
+    // the edge. A degenerate sigma still needs a positive step so the
+    // mean itself round-trips exactly through code 128.
+    logR0Step_ = config.sigmaLogR > 0.0
+        ? 14.0 * config.sigmaLogR / 255.0
+        : 1e-6;
+    for (unsigned gray = 0; gray < 4; ++gray) {
+        for (unsigned q = 0; q < 256; ++q) {
+            logR0Lut_[(gray << 8) | q] = static_cast<float>(
+                meanByGray_[gray] +
+                (static_cast<int>(q) - kLogR0Bias) * logR0Step_);
+        }
+    }
+
+    // nu envelope: largest level mean plus 7 sigma of per-write
+    // jitter, scaled by the 7-sigma drift-speed factor.
+    double muMax = 0.0;
+    for (unsigned level = 0; level < mlcLevels; ++level) {
+        muMax = std::max(muMax,
+                         config.driftMu[level] +
+                             7.0 * config.driftSigma(level));
+    }
+    nuMax_ = std::max(1e-6,
+                      muMax * std::exp(7.0 * config.driftSpeedSigmaLn));
+    nuMin_ = nuMax_ / 1600.0;
+    nuLogStep_ = std::log(nuMax_ / nuMin_) / 253.0;
+    invNuLogStep_ = 1.0 / nuLogStep_;
+    nuLut_[0] = 0.0f;
+    for (unsigned idx = 1; idx <= 254; ++idx) {
+        nuLut_[idx] = static_cast<float>(
+            nuMin_ * std::exp((idx - 1) * nuLogStep_));
+    }
+    // The sentinel slot decodes as 0 so sensing a stuck cell's nu by
+    // accident (SIMD lanes load it before masking) stays harmless.
+    nuLut_[kStuckNuIdx] = 0.0f;
+
+    enduranceLogMedian_ =
+        std::log(config.enduranceMedian * config.enduranceScale);
+    enduranceSigmaLn_ = config.enduranceSigmaLn;
+    driftSpeedSigmaLn_ = config.driftSpeedSigmaLn;
+    initialized_ = true;
+}
+
+std::uint8_t
+QuantSpec::encodeLogR0(unsigned gray, float value) const
+{
+    PCMSCRUB_ASSERT(initialized_, "quant spec used before init");
+    const double delta =
+        static_cast<double>(value) - meanByGray_[gray & 3u];
+    const long code =
+        std::lround(delta / logR0Step_) + kLogR0Bias;
+    return static_cast<std::uint8_t>(std::clamp(code, 0L, 255L));
+}
+
+std::uint8_t
+QuantSpec::encodeNu(float value) const
+{
+    PCMSCRUB_ASSERT(initialized_, "quant spec used before init");
+    if (!(value > 0.0f))
+        return 0; // Exact zero (clamped draws land here).
+    const double v = static_cast<double>(value);
+    if (v >= nuMax_)
+        return 254;
+    if (v <= nuMin_)
+        return 1;
+    const long code =
+        std::lround(std::log(v / nuMin_) * invNuLogStep_) + 1;
+    return static_cast<std::uint8_t>(std::clamp(code, 1L, 254L));
+}
+
+void
+QuantSpec::sampleManufacturing(Random &rng, float &endurance_writes,
+                               float &nu_speed) const
+{
+    PCMSCRUB_ASSERT(initialized_, "quant spec used before init");
+    // Keep in exact lockstep with CellModel::initialize: endurance
+    // first, then drift speed, 1.0f shortcut for zero sigma.
+    endurance_writes = static_cast<float>(
+        rng.logNormal(enduranceLogMedian_, enduranceSigmaLn_));
+    nu_speed = driftSpeedSigmaLn_ == 0.0
+        ? 1.0f
+        : static_cast<float>(rng.logNormal(0.0, driftSpeedSigmaLn_));
+}
+
+} // namespace pcmscrub

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Quantized encodings for the per-cell physics planes.
+ *
+ * The storage diet replaces the four f32 physics planes with two u8
+ * planes plus a packed 2-bit level plane; this header documents and
+ * implements the encodings. All decode paths go through small lookup
+ * tables so the scalar and SIMD kernels read the *same* float for the
+ * same code — quantization error is a property of the store, never of
+ * the reader, which is what makes SIMD-vs-scalar bit-identity
+ * provable.
+ *
+ * Encodings (precision contract; see DESIGN.md for the table):
+ *
+ *  - `logR0` (u8): biased delta from the stored level's mean,
+ *    q = round((logR0 - levelMean[level]) / step) + 128 with
+ *    step = 14 * sigmaLogR / 255, i.e. a +/-7 sigma window around the
+ *    programmed mean at ~0.055 sigma resolution. Round-trip error is
+ *    bounded by step/2 (plus one float rounding); draws beyond 7
+ *    sigma (P ~ 2.6e-12 per write) clamp to the window edge.
+ *
+ *  - `nu` (u8): log-scale index. 0 encodes exactly nu = 0 (clamped
+ *    non-positive draws); 255 is the stuck-cell sentinel (a stuck
+ *    cell's nu is never sensed); 1..254 cover
+ *    [nuMax/1600, nuMax] geometrically, so the relative round-trip
+ *    error is bounded by exp(logStep/2) - 1 (~1.5% for the default
+ *    device). nuMax is derived from the device config as the 7-sigma
+ *    envelope of mu-jitter times the 7-sigma drift-speed factor.
+ *    Sub-range values encode as index 1 (absolute error <= nuMin).
+ *
+ *  - `storedLevel`/`stuckLevel`/`stuck` fold into the packed 2-bit
+ *    Gray plane plus the nu sentinel: the plane holds the Gray code
+ *    of the level the cell physically sits at (the stuck level once
+ *    frozen), so sensing needs no separate stuck/level planes. The
+ *    one semantic merge: a stuck cell's storedLevel reads back as its
+ *    stuckLevel (the pre-freeze target is not retained), and its
+ *    logR0 decodes against the frozen level's mean — both values are
+ *    unused by the physics of a stuck cell.
+ *
+ *  - `nuSpeed`/`enduranceWrites` are not stored at all in array
+ *    (compact) storage: they are re-derived on demand from a
+ *    counter-based manufacturing stream keyed by (seed, global cell
+ *    index, line generation), so they are exact f32 values that cost
+ *    zero resident bytes. Standalone/annex storage keeps explicit f32
+ *    planes because its cells draw from a caller-supplied RNG.
+ */
+
+#ifndef PCMSCRUB_PCM_QUANT_HH
+#define PCMSCRUB_PCM_QUANT_HH
+
+#include <cstdint>
+
+#include "pcm/device_config.hh"
+
+namespace pcmscrub {
+
+class Random;
+
+/**
+ * Derived quantization parameters plus decode LUTs for one device
+ * config. Value type; an unconfigured spec asserts on use.
+ */
+class QuantSpec
+{
+  public:
+    /** nu-plane sentinel marking a stuck cell. */
+    static constexpr std::uint8_t kStuckNuIdx = 255;
+
+    /** Bias of the logR0 delta code (code for "exactly the mean"). */
+    static constexpr int kLogR0Bias = 128;
+
+    QuantSpec() = default;
+
+    /** Derive steps, bounds, and LUTs from the device physics. */
+    void init(const DeviceConfig &config);
+
+    bool initialized() const { return initialized_; }
+
+    /** Decoded logR0 of code `q` for a cell at Gray code `gray`. */
+    float decodeLogR0(unsigned gray, std::uint8_t q) const
+    {
+        return logR0Lut_[((gray & 3u) << 8) | q];
+    }
+
+    std::uint8_t encodeLogR0(unsigned gray, float value) const;
+
+    /** Decoded drift exponent; index 0 -> exactly 0. */
+    float decodeNu(std::uint8_t idx) const { return nuLut_[idx]; }
+
+    std::uint8_t encodeNu(float value) const;
+
+    /** Raw LUT bases for the SIMD gather paths. */
+    const float *logR0LutData() const { return logR0Lut_; }
+    const float *nuLutData() const { return nuLut_; }
+
+    /** logR0 quantization step (log10 ohms per code). */
+    double logR0Step() const { return logR0Step_; }
+
+    /** Smallest nonzero representable nu. */
+    double nuMin() const { return nuMin_; }
+
+    /** Largest representable nu. */
+    double nuMax() const { return nuMax_; }
+
+    /** Geometric step of the nu code, ln units. */
+    double nuLogStep() const { return nuLogStep_; }
+
+    /**
+     * Manufacturing draw for compact storage: mirrors
+     * CellModel::initialize's draw order and formulas exactly
+     * (endurance first, then drift speed), so a derived cell is
+     * distributed identically to an initialize()d one.
+     */
+    void sampleManufacturing(Random &rng, float &endurance_writes,
+                             float &nu_speed) const;
+
+  private:
+    double meanByGray_[4] = {};
+    double logR0Step_ = 0.0;
+    double nuMin_ = 0.0;
+    double nuMax_ = 0.0;
+    double nuLogStep_ = 0.0;
+    double invNuLogStep_ = 0.0;
+    double enduranceLogMedian_ = 0.0;
+    double enduranceSigmaLn_ = 0.0;
+    double driftSpeedSigmaLn_ = 0.0;
+    bool initialized_ = false;
+    float logR0Lut_[4 * 256] = {};
+    float nuLut_[256] = {};
+};
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_PCM_QUANT_HH

@@ -144,10 +144,21 @@ CellBackend::computeLazyLine(LineIndex line) const
     const CellModel &model = array_.model();
     const Tick writeTick = physical.lastWriteTick();
     Tick until = kNeverTick;
-    for (unsigned i = 0; i < physical.cellCount(); ++i) {
-        const Cell cell = physical.cellValue(i);
-        if (cell.stuck)
+    const CellConstSpan cells = physical.span();
+    for (unsigned i = 0; i < cells.count; ++i) {
+        if (cells.stuck(i))
             return state;
+        // Physics-only view: read/cleanUntil never touch the
+        // manufacturing fields, so skip the compact-mode derivation
+        // (and the per-cell bounds/overlay lookups of cellValue).
+        Cell cell;
+        const auto level =
+            static_cast<std::uint8_t>(cells.levelAt(i));
+        cell.storedLevel = level;
+        cell.stuckLevel = level;
+        cell.logR0 = cells.logR0(i);
+        cell.nu = cells.nu(i);
+        cell.writeTick = cells.writeTick(i);
         // A cell already off its target at write time (differential
         // writes leave unskipped cells on older drift clocks) would
         // break the monotone-drift argument below; leave such lines

@@ -54,8 +54,14 @@ namespace pcmscrub {
  *    optional telemetry attachment, sweep policies serialize their
  *    (now runtime-tunable) interval and last-wake tick. Older
  *    snapshots are rejected loudly; there is no in-place migration.
+ *  - v3: quantized cell planes — lines serialize the u8/2-bit
+ *    quantized planes plus lazy write overlays instead of nine f32
+ *    fields per cell; compact (array) storage stores a manufacturing
+ *    generation byte per line in place of the derived
+ *    nuSpeed/endurance planes. v2 snapshots hold the old encodings
+ *    and are rejected loudly; there is no in-place migration.
  */
-constexpr std::uint32_t snapshotFormatVersion = 2;
+constexpr std::uint32_t snapshotFormatVersion = 3;
 
 /**
  * Builder for one snapshot container.

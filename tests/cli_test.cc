@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "common/cli.hh"
+#include "common/simd.hh"
 #include "common/thread_pool.hh"
 
 namespace pcmscrub {
@@ -232,6 +233,19 @@ TEST(CliDeathTest, EmptyPathsRejected)
                 ::testing::ExitedWithCode(1), "empty path");
     EXPECT_EXIT(parse({"--telemetry", ""}),
                 ::testing::ExitedWithCode(1), "empty path");
+}
+
+TEST(CliTest, NoSimdFlagDisablesVectorDispatch)
+{
+    // Default: vector kernels stay eligible.
+    EXPECT_FALSE(parse({}).noSimd);
+    EXPECT_TRUE(simd::enabled());
+    const CliOptions opts = parse({"--no-simd"});
+    EXPECT_TRUE(opts.noSimd);
+    // The parser applies the switch globally, forcing every kernel
+    // onto the scalar reference path.
+    EXPECT_FALSE(simd::enabled());
+    simd::setEnabled(true); // Restore for other tests.
 }
 
 TEST(CliTest, ParsesTelemetryPath)

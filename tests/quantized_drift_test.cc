@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Precision contract of the quantized physics planes (quant.hh).
+ *
+ * The storage diet is only admissible because its error is *bounded
+ * and documented*: logR0 round-trips within half a quantization step
+ * (±7σ window at ~0.055σ resolution), nu round-trips within
+ * exp(logStep/2) − 1 relative error on its geometric code, decode is
+ * monotone (so drift ordering survives quantization), the derived
+ * manufacturing stream reproduces CellModel::initialize draw for
+ * draw, and an E10-style drift-crossing headline computed on the
+ * quantized planes lands within a pinned tolerance of the same
+ * experiment on double-precision cells.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/random.hh"
+#include "pcm/cell.hh"
+#include "pcm/cell_storage.hh"
+#include "pcm/device_config.hh"
+#include "pcm/quant.hh"
+
+namespace pcmscrub {
+namespace {
+
+QuantSpec
+makeSpec(const DeviceConfig &config = DeviceConfig())
+{
+    QuantSpec spec;
+    spec.init(config);
+    return spec;
+}
+
+// Round-trip bounds ------------------------------------------------
+
+TEST(QuantizedDrift, LogR0RoundTripWithinHalfStep)
+{
+    const DeviceConfig config;
+    const QuantSpec spec = makeSpec(config);
+    // Documented ULP contract: |decode(encode(x)) - x| <= step/2
+    // plus one f32 rounding of a value of magnitude < 8.
+    const double bound = spec.logR0Step() / 2.0 + 8.0 * 0x1p-24;
+    Random rng(11);
+    for (unsigned gray = 0; gray < 4; ++gray) {
+        const double mean =
+            config.levelMeanLogR[grayToLevel(
+                static_cast<std::uint8_t>(gray))];
+        for (int trial = 0; trial < 4000; ++trial) {
+            // Stay strictly inside the ±7σ window; the edges clamp.
+            const double value =
+                mean + (rng.uniform() * 13.9 - 6.95) * config.sigmaLogR;
+            const float back = spec.decodeLogR0(
+                gray, spec.encodeLogR0(gray,
+                                       static_cast<float>(value)));
+            EXPECT_NEAR(static_cast<double>(back), value, bound)
+                << "gray " << gray << " trial " << trial;
+        }
+        // The programmed mean itself is exact: code 128 decodes to
+        // float(mean).
+        EXPECT_EQ(spec.decodeLogR0(gray, QuantSpec::kLogR0Bias),
+                  static_cast<float>(mean));
+    }
+}
+
+TEST(QuantizedDrift, LogR0ClampsOutsideSevenSigmaWindow)
+{
+    const DeviceConfig config;
+    const QuantSpec spec = makeSpec(config);
+    for (unsigned gray = 0; gray < 4; ++gray) {
+        const double mean =
+            config.levelMeanLogR[grayToLevel(
+                static_cast<std::uint8_t>(gray))];
+        const float high =
+            static_cast<float>(mean + 20.0 * config.sigmaLogR);
+        const float low =
+            static_cast<float>(mean - 20.0 * config.sigmaLogR);
+        EXPECT_EQ(spec.encodeLogR0(gray, high), 255);
+        EXPECT_EQ(spec.encodeLogR0(gray, low), 0);
+        // Clamped codes decode to the window edge, not beyond it.
+        EXPECT_LT(spec.decodeLogR0(gray, 255), high);
+        EXPECT_GT(spec.decodeLogR0(gray, 0), low);
+    }
+}
+
+TEST(QuantizedDrift, NuRoundTripRelativeErrorBounded)
+{
+    const QuantSpec spec = makeSpec();
+    // Geometric code: relative round-trip error is bounded by
+    // exp(logStep/2) - 1 (~1.5% at the default 254-point range),
+    // plus f32 rounding slack.
+    const double relBound =
+        std::exp(spec.nuLogStep() / 2.0) - 1.0 + 1e-6;
+    Random rng(13);
+    for (int trial = 0; trial < 4000; ++trial) {
+        // Log-uniform across the representable range.
+        const double value = spec.nuMin() *
+            std::exp(rng.uniform() *
+                     std::log(spec.nuMax() / spec.nuMin()));
+        const float back =
+            spec.decodeNu(spec.encodeNu(static_cast<float>(value)));
+        EXPECT_NEAR(static_cast<double>(back) / value, 1.0, relBound)
+            << "trial " << trial << " value " << value;
+    }
+}
+
+TEST(QuantizedDrift, NuEdgeCodesAreExact)
+{
+    const QuantSpec spec = makeSpec();
+    // Zero (and any clamped non-positive draw) is exactly zero.
+    EXPECT_EQ(spec.encodeNu(0.0f), 0);
+    EXPECT_EQ(spec.encodeNu(-1.0f), 0);
+    EXPECT_EQ(spec.decodeNu(0), 0.0f);
+    // Sub-range values collapse to the smallest nonzero code; the
+    // absolute error is at most nuMin.
+    const float tiny = static_cast<float>(spec.nuMin() / 10.0);
+    EXPECT_EQ(spec.encodeNu(tiny), 1);
+    EXPECT_NEAR(static_cast<double>(spec.decodeNu(1)), spec.nuMin(),
+                spec.nuMin() * 1e-6);
+    // Beyond-range values clamp to the top code.
+    EXPECT_EQ(spec.encodeNu(static_cast<float>(spec.nuMax() * 4.0)),
+              254);
+    // The stuck sentinel decodes as zero drift so an unmasked SIMD
+    // lane gather stays harmless.
+    EXPECT_EQ(spec.decodeNu(QuantSpec::kStuckNuIdx), 0.0f);
+}
+
+// Monotonicity ------------------------------------------------------
+
+TEST(QuantizedDrift, DecodeIsMonotoneSoDriftOrderingSurvives)
+{
+    const QuantSpec spec = makeSpec();
+    for (unsigned gray = 0; gray < 4; ++gray) {
+        for (unsigned q = 1; q < 256; ++q) {
+            EXPECT_LT(spec.decodeLogR0(
+                          gray, static_cast<std::uint8_t>(q - 1)),
+                      spec.decodeLogR0(
+                          gray, static_cast<std::uint8_t>(q)))
+                << "gray " << gray << " q " << q;
+        }
+    }
+    // nu codes 0..254 ascend (0 < nuMin, then geometric); every code
+    // decodes non-negative, so quantized drift never runs backwards
+    // and the sensed level stays monotone non-decreasing in time.
+    for (unsigned idx = 1; idx <= 254; ++idx) {
+        EXPECT_LT(spec.decodeNu(static_cast<std::uint8_t>(idx - 1)),
+                  spec.decodeNu(static_cast<std::uint8_t>(idx)));
+    }
+    for (unsigned idx = 0; idx < 256; ++idx)
+        EXPECT_GE(spec.decodeNu(static_cast<std::uint8_t>(idx)), 0.0f);
+}
+
+TEST(QuantizedDrift, EncodeIsMonotone)
+{
+    const QuantSpec spec = makeSpec();
+    Random rng(17);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const float a = static_cast<float>(rng.uniform() * 8.0);
+        const float b = static_cast<float>(rng.uniform() * 8.0);
+        const float lo = std::min(a, b);
+        const float hi = std::max(a, b);
+        EXPECT_LE(spec.encodeLogR0(1, lo), spec.encodeLogR0(1, hi));
+        EXPECT_LE(spec.encodeNu(lo * 0.05f), spec.encodeNu(hi * 0.05f));
+    }
+}
+
+// Manufacturing stream ---------------------------------------------
+
+TEST(QuantizedDrift, ManufacturingDrawMatchesCellModelInitialize)
+{
+    const DeviceConfig config;
+    const QuantSpec spec = makeSpec(config);
+    const CellModel model(config);
+    for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+        Random specRng(seed);
+        Random modelRng(seed);
+        float endurance = 0.0f;
+        float nuSpeed = 0.0f;
+        spec.sampleManufacturing(specRng, endurance, nuSpeed);
+        Cell cell;
+        model.initialize(cell, modelRng);
+        // Draw-for-draw lockstep: the compact store's derived values
+        // are the exact floats initialize() would have stored.
+        EXPECT_EQ(endurance, cell.enduranceWrites) << "seed " << seed;
+        EXPECT_EQ(nuSpeed, cell.nuSpeed) << "seed " << seed;
+    }
+}
+
+// E10-style headline ------------------------------------------------
+
+/**
+ * Drift-crossing headline: program a population at one level, let it
+ * drift, count threshold crossings. Computed twice — once on exact
+ * double-precision cell state, once through the quantized planes —
+ * the two rates must agree within a pinned tolerance. This is the
+ * experiment family the paper's E10 figure reports; the tolerance
+ * pins how much headline drift the storage diet is allowed to cause.
+ */
+TEST(QuantizedDrift, HeadlineCrossingRateMatchesDoubleOracle)
+{
+    const DeviceConfig config;
+    const QuantSpec spec = makeSpec(config);
+    constexpr unsigned level = 2;
+    const unsigned gray = levelToGray(level);
+    const double threshold = config.readThresholdLogR[level];
+    constexpr int population = 20000;
+    // Ten simulated days: deep enough into the drift regime that a
+    // visible fraction of the level-2 band has crossed.
+    const double u = std::log10(864000.0 / config.driftT0Seconds);
+
+    Random rng(2024);
+    int exactCrossed = 0;
+    int quantCrossed = 0;
+    for (int i = 0; i < population; ++i) {
+        // The same draw order CellModel::program uses.
+        const float logR0 = static_cast<float>(rng.normal(
+            config.levelMeanLogR[level], config.sigmaLogR));
+        const float nuSpeed = static_cast<float>(
+            rng.logNormal(0.0, config.driftSpeedSigmaLn));
+        const float nu = static_cast<float>(
+            static_cast<double>(nuSpeed) *
+            std::max(0.0, rng.normal(config.driftMu[level],
+                                     config.driftSigma(level))));
+
+        const double exact = static_cast<double>(logR0) +
+            static_cast<double>(nu) * u;
+        exactCrossed += exact > threshold;
+
+        const float qLogR0 =
+            spec.decodeLogR0(gray, spec.encodeLogR0(gray, logR0));
+        const float qNu = spec.decodeNu(spec.encodeNu(nu));
+        const double quant = static_cast<double>(qLogR0) +
+            static_cast<double>(qNu) * u;
+        quantCrossed += quant > threshold;
+    }
+
+    const double exactRate =
+        static_cast<double>(exactCrossed) / population;
+    const double quantRate =
+        static_cast<double>(quantCrossed) / population;
+    // The experiment must be in a meaningful regime, not 0% or 100%.
+    EXPECT_GT(exactRate, 0.01);
+    EXPECT_LT(exactRate, 0.99);
+    // Pinned headline tolerance: quantization may move borderline
+    // cells across the threshold, but the flips are symmetric, so
+    // the rates agree to well under one percentage point.
+    EXPECT_NEAR(quantRate, exactRate, 0.005)
+        << "exact " << exactCrossed << " quantized " << quantCrossed;
+}
+
+/**
+ * The same contract through the storage stack: cells encoded into
+ * the compact planes re-read (decode) within the documented bounds
+ * of what was stored.
+ */
+TEST(QuantizedDrift, StorageRoundTripHonoursBounds)
+{
+    const DeviceConfig config;
+    constexpr std::size_t cells = 64;
+    CellStorage store;
+    CellStorage::Geometry g;
+    g.lines = 1;
+    g.cellsPerLine = cells;
+    g.intendedWordsPerLine = (2 * cells + 63) / 64;
+    g.auxPlanes = false;
+    g.manufSeed = 3;
+    store.configure(g);
+    store.ensureSpec(config);
+    store.setLineMeta(0, secondsToTicks(1.0), 1);
+
+    const CellConstSpan span = store.constSpan(0, cells);
+    const QuantSpec &spec = *span.spec;
+    const double logR0Bound = spec.logR0Step() / 2.0 + 8.0 * 0x1p-24;
+    const double nuRelBound =
+        std::exp(spec.nuLogStep() / 2.0) - 1.0 + 1e-6;
+
+    Random rng(5);
+    for (std::size_t i = 0; i < cells; ++i) {
+        const unsigned level =
+            static_cast<unsigned>(rng.uniformInt(mlcLevels));
+        const float logR0 = static_cast<float>(rng.normal(
+            config.levelMeanLogR[level], config.sigmaLogR));
+        const float nu = static_cast<float>(std::max(
+            0.0, rng.normal(config.driftMu[level],
+                            config.driftSigma(level))));
+        const unsigned gray = levelToGray(level);
+        store.setGray(i, gray);
+        store.setRawLogRq(i, spec.encodeLogR0(gray, logR0));
+        store.setRawNuIdx(i, spec.encodeNu(nu));
+
+        EXPECT_NEAR(static_cast<double>(span.logR0(i)),
+                    static_cast<double>(logR0), logR0Bound);
+        if (nu >= spec.nuMin()) {
+            EXPECT_NEAR(static_cast<double>(span.nu(i)) /
+                            static_cast<double>(nu),
+                        1.0, nuRelBound);
+        } else {
+            EXPECT_LE(static_cast<double>(span.nu(i)),
+                      spec.nuMin() * (1.0 + 1e-6));
+        }
+    }
+}
+
+} // namespace
+} // namespace pcmscrub

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * The SIMD/scalar oracle: every vectorized kernel must produce the
+ * exact bits of its scalar reference loop, for adversarial plane
+ * contents the physics would rarely produce — random quantized
+ * bytes, dense stuck sentinels, odd line widths whose planes start
+ * at unaligned byte offsets, and sub-vector tails. Each case runs
+ * the same computation twice, flipping the simd::setEnabled()
+ * switch, and demands equality. On builds or CPUs without AVX2 both
+ * runs take the scalar path and the suite degenerates to a (still
+ * valid) self-comparison.
+ *
+ * The BCH cases drive full encode → corrupt → decode round trips so
+ * the vector syndrome accumulation and Chien scan are checked
+ * through the public API, including the Uncorrectable verdicts that
+ * depend on the Chien early-exit contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/simd.hh"
+#include "ecc/bch.hh"
+#include "ecc/bch_simd.hh"
+#include "pcm/cell.hh"
+#include "pcm/cell_storage.hh"
+#include "pcm/kernels.hh"
+#include "pcm/kernels_simd.hh"
+
+namespace pcmscrub {
+namespace {
+
+/** Restores the dispatch switch even when an assertion bails out. */
+class SimdSwitch
+{
+  public:
+    ~SimdSwitch() { simd::setEnabled(true); }
+};
+
+/**
+ * Storage with adversarially random plane bytes: quantized values
+ * and Gray symbols drawn uniformly, nu indices hitting the stuck
+ * sentinel at `stuckFraction`. Several lines, so line > 0 exercises
+ * plane base offsets that are not 32-byte (or even 4-byte) aligned
+ * when cellsPerLine is odd.
+ */
+void
+randomizePlanes(CellStorage &store, Random &rng, double stuckFraction)
+{
+    for (std::size_t i = 0; i < store.size(); ++i) {
+        store.setRawLogRq(
+            i, static_cast<std::uint8_t>(rng.uniformInt(256)));
+        store.setGray(i, static_cast<unsigned>(rng.uniformInt(4)));
+        std::uint8_t nuIdx =
+            static_cast<std::uint8_t>(rng.uniformInt(255));
+        if (rng.bernoulli(stuckFraction))
+            nuIdx = QuantSpec::kStuckNuIdx;
+        store.setRawNuIdx(i, nuIdx);
+    }
+    for (std::size_t line = 0; line < store.lineCount(); ++line)
+        store.setLineMeta(line, secondsToTicks(1.0), 1 + line);
+}
+
+/** Cell counts chosen to cover every tail residue and tiny lines. */
+const std::size_t kCellCounts[] = {5, 8, 9, 13, 16, 23, 131, 256, 296};
+
+TEST(SimdOracle, SenseMatchesScalarOnRandomPlanes)
+{
+    SimdSwitch restore;
+    const DeviceConfig config;
+    for (const std::size_t cells : kCellCounts) {
+        for (const double stuckFraction : {0.0, 0.05, 0.5}) {
+            CellStorage store;
+            CellStorage::Geometry g;
+            g.lines = 3;
+            g.cellsPerLine = cells;
+            g.intendedWordsPerLine = (2 * cells + 63) / 64;
+            g.auxPlanes = false;
+            g.manufSeed = 7;
+            store.configure(g);
+            store.ensureSpec(config);
+            Random rng(cells * 977 +
+                       static_cast<std::uint64_t>(stuckFraction * 100));
+            randomizePlanes(store, rng, stuckFraction);
+
+            const std::size_t bits = 2 * cells - 1; // Odd width.
+            for (std::size_t line = 0; line < g.lines; ++line) {
+                const CellConstSpan span = store.constSpan(line, cells);
+                for (const double age : {1.5, 7200.0, 3e6}) {
+                    const Tick now = secondsToTicks(age);
+                    for (const double shift : {0.0, 0.15}) {
+                        SCOPED_TRACE("cells " + std::to_string(cells) +
+                                     " line " + std::to_string(line) +
+                                     " age " + std::to_string(age));
+                        simd::setEnabled(false);
+                        const BitVector scalar = kernels::senseCodeword(
+                            span, bits, false, config, now, shift);
+                        const unsigned scalarMargin =
+                            kernels::marginScanCount(span, config, now);
+                        simd::setEnabled(true);
+                        const BitVector vector = kernels::senseCodeword(
+                            span, bits, false, config, now, shift);
+                        const unsigned vectorMargin =
+                            kernels::marginScanCount(span, config, now);
+                        EXPECT_EQ(scalar.countDifferences(vector), 0u);
+                        EXPECT_EQ(scalarMargin, vectorMargin);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(SimdOracle, SenseAvx2AgreesWithScalarHelperDirectly)
+{
+    if (!kernels::simdk::available())
+        GTEST_SKIP() << "AVX2 unavailable; dispatch test covers this";
+    SimdSwitch restore;
+    const DeviceConfig config;
+    CellStorage store;
+    CellStorage::Geometry g;
+    g.lines = 2;
+    g.cellsPerLine = 296;
+    g.intendedWordsPerLine = 10;
+    g.auxPlanes = false;
+    g.manufSeed = 11;
+    store.configure(g);
+    store.ensureSpec(config);
+    Random rng(42);
+    randomizePlanes(store, rng, 0.1);
+
+    const CellConstSpan span = store.constSpan(1, 296);
+    const Tick now = secondsToTicks(9000.0);
+    simd::setEnabled(false);
+    const BitVector scalar =
+        kernels::senseCodeword(span, 592, false, config, now, 0.0);
+    const unsigned scalarMargin =
+        kernels::marginScanCount(span, config, now);
+    const BitVector vector = kernels::simdk::senseCodewordAvx2(
+        span, 592, config, now, 0.0);
+    EXPECT_EQ(scalar.countDifferences(vector), 0u);
+    EXPECT_EQ(scalarMargin,
+              kernels::simdk::marginScanCountAvx2(span, config, now));
+}
+
+/**
+ * Encode random payloads, inject 0..t+2 random bit errors, and
+ * decode with each path: status, corrected-bit count, and the final
+ * codeword must match bit for bit — including Uncorrectable
+ * verdicts, which exercise the Chien root-count contract.
+ */
+TEST(SimdOracle, BchDecodeMatchesScalarAcrossErrorCounts)
+{
+    SimdSwitch restore;
+    struct Shape
+    {
+        std::size_t dataBits;
+        unsigned t;
+    };
+    // t = 3 keeps terms < 8 (vector syndrome declines, Chien still
+    // vectorizes); t = 8 and 16 hit the 2- and 4-register syndrome
+    // accumulators; 171 bits gives an odd codeword width.
+    const Shape shapes[] = {{64, 4}, {171, 3}, {512, 8}, {512, 16}};
+    for (const Shape &shape : shapes) {
+        const BchCode code(shape.dataBits, shape.t);
+        Random rng(shape.dataBits * 31 + shape.t);
+        for (unsigned errors = 0; errors <= shape.t + 2; ++errors) {
+            for (unsigned trial = 0; trial < 8; ++trial) {
+                BitVector data(shape.dataBits);
+                data.randomize(rng);
+                const BitVector clean = code.encode(data);
+                BitVector corrupted = clean;
+                for (unsigned e = 0; e < errors; ++e)
+                    corrupted.flip(rng.uniformInt(corrupted.size()));
+
+                BitVector scalarWord = corrupted;
+                BitVector vectorWord = corrupted;
+                simd::setEnabled(false);
+                const DecodeResult scalar = code.decode(scalarWord);
+                const bool scalarCheck = code.check(corrupted);
+                simd::setEnabled(true);
+                const DecodeResult vector = code.decode(vectorWord);
+
+                SCOPED_TRACE("t " + std::to_string(shape.t) +
+                             " errors " + std::to_string(errors) +
+                             " trial " + std::to_string(trial));
+                EXPECT_EQ(scalar.status, vector.status);
+                EXPECT_EQ(scalar.correctedBits, vector.correctedBits);
+                EXPECT_EQ(scalarWord.countDifferences(vectorWord), 0u);
+                EXPECT_EQ(scalarCheck, code.check(corrupted));
+            }
+        }
+    }
+}
+
+TEST(SimdOracle, ChienScanHandlesSubVectorTailAndEarlyExit)
+{
+    if (!bchsimd::available())
+        GTEST_SKIP() << "AVX2 unavailable; dispatch test covers this";
+    // A tiny field (m = 4, order 15) forces the vector scan into its
+    // scalar tail after one 8-lane step; random locator terms probe
+    // it against the reference loop.
+    const BchCode code(11, 1); // GF(2^4).
+    Random rng(9);
+    for (unsigned trial = 0; trial < 200; ++trial) {
+        BitVector data(11);
+        data.randomize(rng);
+        BitVector word = code.encode(data);
+        for (unsigned e = 0; e < trial % 4; ++e)
+            word.flip(rng.uniformInt(word.size()));
+        BitVector scalarWord = word;
+        BitVector vectorWord = word;
+        SimdSwitch restore;
+        simd::setEnabled(false);
+        const DecodeResult scalar = code.decode(scalarWord);
+        simd::setEnabled(true);
+        const DecodeResult vector = code.decode(vectorWord);
+        EXPECT_EQ(scalar.status, vector.status);
+        EXPECT_EQ(scalarWord.countDifferences(vectorWord), 0u);
+    }
+}
+
+} // namespace
+} // namespace pcmscrub

@@ -285,7 +285,25 @@ TEST(CheckpointDeathTest, VersionMismatchDies)
     EXPECT_EXIT((void)restoreSampleCheckpoint(path),
                 ::testing::ExitedWithCode(1),
                 "unsupported format version 1 \\(this build reads "
-                "version 2\\)");
+                "version 3\\)");
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointDeathTest, V2SnapshotRejected)
+{
+    const std::string path = tempPath("version2.snap");
+    writeSampleCheckpoint(path);
+    std::vector<std::uint8_t> bytes = readAll(path);
+    ASSERT_GT(bytes.size(), 12u);
+    // v2 snapshots carry the pre-diet f32 cell planes; they must be
+    // rejected up front (clear message naming both versions), never
+    // mis-parsed into the quantized v3 layout.
+    bytes[8] = 2; // Format version field, little-endian low byte.
+    writeAll(path, bytes);
+    EXPECT_EXIT((void)restoreSampleCheckpoint(path),
+                ::testing::ExitedWithCode(1),
+                "unsupported format version 2 \\(this build reads "
+                "version 3\\)");
     std::remove(path.c_str());
 }
 

@@ -2,12 +2,21 @@
 """Diff pcmscrub BENCH_*.json files against checked-in baselines.
 
 Usage:
-    bench_diff.py BASELINE FRESH [BASELINE FRESH ...]
+    bench_diff.py [--guard] BASELINE FRESH [BASELINE FRESH ...]
 
 Prints a GitHub-flavoured markdown table of per-metric deltas for
-each (baseline, fresh) pair. Report-only by design: the exit code is
-always 0 (shared CI runners are too noisy for hard thresholds), the
-table just makes the perf trajectory visible in the job summary.
+each (baseline, fresh) pair.
+
+Default mode is report-only (exit code 0 regardless of deltas):
+shared CI runners are too noisy to gate on *time-domain* metrics, so
+throughput drift is only made visible in the job summary.
+
+--guard additionally enforces the *machine-independent* metrics —
+bytes_per_line and peak_rss_bytes are deterministic functions of the
+storage layout, not of runner load — and exits 1 when either
+regresses by more than GUARD_THRESHOLD_PCT. lines_per_second (and
+every other time-domain metric) stays report-only even under
+--guard.
 
 Understands the three pcmscrub bench JSON shapes:
   - micro_codec:  {"benchmarks": [{"name", "cpu_time_ns", ...}]}
@@ -24,12 +33,25 @@ import sys
 # metric name -> True when larger is better
 HIGHER_IS_BETTER = {
     "lines_per_second": True,
+    "steady_lines_per_second": True,
+    "warmup_lines_per_second": True,
     "decodes_per_second": True,
     "wall_seconds": False,
     "warmup_seconds": False,
     "bytes_per_line": False,
     "peak_rss_bytes": False,
 }
+
+# Metrics --guard enforces: deterministic storage-layout properties,
+# immune to runner noise. The bare metric name is matched, so the
+# per-point "lines=N/bytes_per_line" variants are guarded too.
+GUARDED_METRICS = ("bytes_per_line", "peak_rss_bytes")
+
+# A guarded metric may regress by at most this much before the guard
+# trips. 5% absorbs allocator/alignment jitter in peak RSS while
+# still catching any real layout regression (the smallest plane is
+# ~3% of a line's footprint).
+GUARD_THRESHOLD_PCT = 5.0
 
 
 def flatten(doc):
@@ -52,13 +74,44 @@ def flatten(doc):
     return out
 
 
+def regression_pct(metric, base_value, fresh_value, higher_better):
+    """Signed regression percentage: positive = worse, None = n/a."""
+    if base_value == 0:
+        return None
+    pct = (fresh_value - base_value) / base_value * 100.0
+    return -pct if higher_better else pct
+
+
+def is_guarded(metric):
+    """Whether --guard enforces this (possibly point-prefixed) metric."""
+    return metric.rsplit("/", 1)[-1] in GUARDED_METRICS
+
+
+def guard_violations(baseline, fresh, threshold_pct=GUARD_THRESHOLD_PCT):
+    """Guarded metrics regressing past the threshold.
+
+    Returns [(metric, regression_pct)] for every guarded metric
+    present on both sides whose regression exceeds threshold_pct.
+    Time-domain metrics and one-sided metrics never violate.
+    """
+    violations = []
+    for metric, (base_value, higher_better) in baseline.items():
+        if not is_guarded(metric) or metric not in fresh:
+            continue
+        worse = regression_pct(metric, base_value, fresh[metric][0],
+                               higher_better)
+        if worse is not None and worse > threshold_pct:
+            violations.append((metric, worse))
+    return violations
+
+
 def fmt(value):
     if value >= 1000:
         return "%.0f" % value
     return "%.4g" % value
 
 
-def diff(baseline_path, fresh_path):
+def diff(baseline_path, fresh_path, guard):
     with open(baseline_path) as fh:
         baseline_doc = json.load(fh)
     with open(fresh_path) as fh:
@@ -75,11 +128,13 @@ def diff(baseline_path, fresh_path):
         if metric not in fresh:
             continue
         fresh_value = fresh[metric][0]
-        if base_value == 0:
+        worse = regression_pct(metric, base_value, fresh_value,
+                               higher_better)
+        if worse is None:
             delta = "n/a"
         else:
             pct = (fresh_value - base_value) / base_value * 100.0
-            improved = (pct > 0) == higher_better or pct == 0
+            improved = worse <= 0
             delta = "%+.1f%% %s" % (pct, "✅" if improved else "🔺")
         print("| %s | %s | %s | %s |" %
               (metric, fmt(base_value), fmt(fresh_value), delta))
@@ -88,19 +143,32 @@ def diff(baseline_path, fresh_path):
         print()
         print("_no baseline for: %s_" % ", ".join(sorted(skipped)))
     print()
+    return guard_violations(baseline, fresh) if guard else []
 
 
 def main(argv):
-    if len(argv) < 3 or len(argv) % 2 == 0:
+    guard = False
+    args = argv[1:]
+    if args and args[0] == "--guard":
+        guard = True
+        args = args[1:]
+    if len(args) < 2 or len(args) % 2 != 0:
         print(__doc__, file=sys.stderr)
         return 2
-    for i in range(1, len(argv), 2):
-        if not os.path.exists(argv[i]) or not os.path.exists(argv[i + 1]):
+    violations = []
+    for i in range(0, len(args), 2):
+        if not os.path.exists(args[i]) or not os.path.exists(args[i + 1]):
             print("_skipping %s vs %s (file missing)_" %
-                  (argv[i], argv[i + 1]))
+                  (args[i], args[i + 1]))
             print()
             continue
-        diff(argv[i], argv[i + 1])
+        violations += diff(args[i], args[i + 1], guard)
+    if violations:
+        print("GUARD FAILED: storage-layout metric regression over "
+              "%.1f%%:" % GUARD_THRESHOLD_PCT)
+        for metric, worse in violations:
+            print("  %s regressed by %.1f%%" % (metric, worse))
+        return 1
     return 0
 
 

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_diff.py's guard threshold logic.
+
+Registered in CTest (bench_diff_guard_test) so the perf gate's
+fail/pass behaviour is itself regression-tested: the guard must trip
+on a >5% regression of a storage-layout metric, stay quiet under the
+threshold, ignore time-domain metrics entirely, and never reward a
+regression hidden behind a missing baseline.
+"""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_diff
+
+
+def metrics(**kwargs):
+    """{metric: value} -> bench_diff's flattened shape."""
+    return {
+        name: (value, bench_diff.HIGHER_IS_BETTER.get(
+            name.rsplit("/", 1)[-1], False))
+        for name, value in kwargs.items()
+    }
+
+
+class GuardViolationsTest(unittest.TestCase):
+    def test_trips_on_bytes_per_line_regression_over_threshold(self):
+        baseline = metrics(bytes_per_line=1000.0)
+        fresh = metrics(bytes_per_line=1060.0)  # +6%
+        violations = bench_diff.guard_violations(baseline, fresh)
+        self.assertEqual(len(violations), 1)
+        self.assertEqual(violations[0][0], "bytes_per_line")
+        self.assertAlmostEqual(violations[0][1], 6.0)
+
+    def test_trips_on_peak_rss_regression(self):
+        baseline = metrics(peak_rss_bytes=2.0e9)
+        fresh = metrics(peak_rss_bytes=2.2e9)  # +10%
+        self.assertEqual(
+            [m for m, _ in bench_diff.guard_violations(baseline, fresh)],
+            ["peak_rss_bytes"])
+
+    def test_quiet_under_threshold(self):
+        baseline = metrics(bytes_per_line=1000.0,
+                           peak_rss_bytes=1.0e9)
+        fresh = metrics(bytes_per_line=1040.0,   # +4%
+                        peak_rss_bytes=1.05e9)   # exactly +5%: not over
+        self.assertEqual(bench_diff.guard_violations(baseline, fresh),
+                         [])
+
+    def test_improvement_never_violates(self):
+        baseline = metrics(bytes_per_line=1000.0)
+        fresh = metrics(bytes_per_line=100.0)
+        self.assertEqual(bench_diff.guard_violations(baseline, fresh),
+                         [])
+
+    def test_time_domain_metrics_are_report_only(self):
+        baseline = metrics(lines_per_second=200000.0,
+                           steady_lines_per_second=200000.0,
+                           warmup_seconds=1.0,
+                           wall_seconds=1.0)
+        fresh = metrics(lines_per_second=1000.0,  # catastrophic, but
+                        steady_lines_per_second=1000.0,  # not guarded
+                        warmup_seconds=50.0,
+                        wall_seconds=50.0)
+        self.assertEqual(bench_diff.guard_violations(baseline, fresh),
+                         [])
+
+    def test_point_prefixed_metrics_are_guarded(self):
+        baseline = metrics(**{"lines=262144/bytes_per_line": 835.0})
+        fresh = metrics(**{"lines=262144/bytes_per_line": 900.0})
+        self.assertEqual(
+            [m for m, _ in bench_diff.guard_violations(baseline, fresh)],
+            ["lines=262144/bytes_per_line"])
+
+    def test_one_sided_metrics_are_skipped(self):
+        baseline = metrics(bytes_per_line=1000.0)
+        fresh = metrics(peak_rss_bytes=9.9e9)
+        self.assertEqual(bench_diff.guard_violations(baseline, fresh),
+                         [])
+
+    def test_custom_threshold(self):
+        baseline = metrics(bytes_per_line=1000.0)
+        fresh = metrics(bytes_per_line=1020.0)  # +2%
+        self.assertEqual(
+            bench_diff.guard_violations(baseline, fresh,
+                                        threshold_pct=1.0),
+            [("bytes_per_line", 2.0)])
+
+    def test_zero_baseline_is_not_a_violation(self):
+        baseline = metrics(bytes_per_line=0.0)
+        fresh = metrics(bytes_per_line=5000.0)
+        self.assertEqual(bench_diff.guard_violations(baseline, fresh),
+                         [])
+
+
+class RegressionPctTest(unittest.TestCase):
+    def test_lower_is_better_sign(self):
+        self.assertAlmostEqual(
+            bench_diff.regression_pct("bytes_per_line", 100.0, 110.0,
+                                      False), 10.0)
+
+    def test_higher_is_better_sign(self):
+        self.assertAlmostEqual(
+            bench_diff.regression_pct("lines_per_second", 100.0, 90.0,
+                                      True), 10.0)
+
+    def test_improvement_is_negative(self):
+        self.assertAlmostEqual(
+            bench_diff.regression_pct("bytes_per_line", 100.0, 90.0,
+                                      False), -10.0)
+
+
+if __name__ == "__main__":
+    unittest.main()
