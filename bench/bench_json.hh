@@ -3,62 +3,26 @@
  * Minimal machine-readable result emission for the perf trajectory:
  * benches write flat `BENCH_<name>.json` files (wall time, rates,
  * config fingerprint) that CI uploads as artifacts and humans diff
- * across commits. Deliberately tiny — ordered key/value rendering,
- * no external dependency, no parsing.
+ * across commits. The JSON builders themselves live in
+ * `common/json.hh` (the fleet runner's manifest shares them); this
+ * header re-exports them into the bench namespace and adds the
+ * bench-only peak-RSS probe.
  */
 
 #ifndef PCMSCRUB_BENCH_BENCH_JSON_HH
 #define PCMSCRUB_BENCH_BENCH_JSON_HH
 
 #include <cstdint>
-#include <string>
-#include <utility>
-#include <vector>
+
+#include "common/json.hh"
 
 namespace pcmscrub {
 namespace bench {
 
-/** Escape a string for embedding in a JSON document. */
-std::string jsonEscape(const std::string &text);
-
-/**
- * Ordered JSON object builder. Keys are emitted in insertion order
- * so the files diff cleanly run-to-run.
- */
-class JsonObject
-{
-  public:
-    JsonObject &str(const std::string &key, const std::string &value);
-    JsonObject &u64(const std::string &key, std::uint64_t value);
-    JsonObject &num(const std::string &key, double value);
-    JsonObject &boolean(const std::string &key, bool value);
-
-    /** Embed an already-rendered JSON value (object, array, ...). */
-    JsonObject &raw(const std::string &key, std::string rendered);
-
-    std::string render() const;
-
-  private:
-    std::vector<std::pair<std::string, std::string>> fields_;
-};
-
-/** Ordered JSON array of already-rendered values. */
-class JsonArray
-{
-  public:
-    void pushRaw(std::string rendered);
-    std::string render() const;
-
-  private:
-    std::vector<std::string> items_;
-};
-
-/**
- * Write a rendered JSON document to `path` (plus a trailing
- * newline); fatal() on I/O failure so CI never uploads a truncated
- * artifact silently.
- */
-void writeJsonFile(const std::string &path, const JsonObject &object);
+using pcmscrub::jsonEscape;
+using pcmscrub::JsonArray;
+using pcmscrub::JsonObject;
+using pcmscrub::writeJsonFile;
 
 /**
  * Peak resident set size of this process in bytes (getrusage), so

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Fleet-survival figure: population survival/UE/energy trajectories
+ * of a supervised heterogeneous campaign, plus the resilience cost
+ * of running the same campaign under chaos injection. Writes
+ * machine-readable BENCH_fleet_survival.json (pass a different path
+ * as the positional argument).
+ *
+ *   fig_fleet_survival [out.json] [--seed N] [--threads N]
+ *                      [--devices N] [--lines N] [--chaos]
+ *
+ * Two campaigns run over the identical device population: one clean,
+ * one with deterministic harness-failure injection (--chaos makes
+ * the clean pass chaotic too, for debugging). The figure reports the
+ * chaos pass's recovery accounting and how many surviving devices
+ * stayed bit-identical to the clean pass — the graceful-degradation
+ * contract as a number.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_json.hh"
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "fleet/fleet_runner.hh"
+
+using namespace pcmscrub;
+
+namespace {
+
+FleetConfig
+campaignConfig(const CliOptions &opts, bool chaos)
+{
+    FleetConfig fleet;
+    fleet.settings.devices = opts.devices != 0 ? opts.devices : 12;
+    fleet.settings.curvePoints = 14;
+    fleet.backendKind = FleetBackendKind::Analytic;
+    fleet.base.lines = opts.lines != 0 ? opts.lines : 1024;
+    fleet.base.scheme = EccScheme::bch(4);
+    fleet.base.demand.kind = WorkloadKind::Zipf;
+    fleet.base.demand.writesPerLinePerSecond = 1e-5;
+    fleet.base.demand.readsPerLinePerSecond = 1e-4;
+    fleet.policy.kind = PolicyKind::Basic;
+    fleet.policy.interval = secondsToTicks(1800.0);
+    fleet.faults.stuckPerWrite = 1e-4;
+    fleet.faults.wearCorrelation = 4.0;
+    fleet.faults.disturbFlipsPerRead = 1e-3;
+    fleet.days = 7.0;
+    fleet.fleetSeed = opts.seed;
+    fleet.snapshotDir = "fleet_bench_snapshots";
+    fleet.chaos.enabled = chaos;
+    return fleet;
+}
+
+double
+timedRun(const FleetConfig &config, FleetResult &result)
+{
+    const auto start = std::chrono::steady_clock::now();
+    result = runFleet(config);
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *positional = nullptr;
+    const CliOptions opts = parseCliOptions(argc, argv, 7,
+                                            &positional);
+    const std::string path = positional != nullptr
+                                 ? positional
+                                 : "BENCH_fleet_survival.json";
+
+    FleetResult clean;
+    const double cleanWall =
+        timedRun(campaignConfig(opts, opts.chaos), clean);
+
+    FleetResult chaotic;
+    const double chaosWall =
+        timedRun(campaignConfig(opts, true), chaotic);
+
+    // The graceful-degradation contract, counted: surviving devices
+    // of the chaos pass whose result digest matches the clean pass.
+    std::uint64_t bitIdentical = 0;
+    std::uint64_t survivors = 0;
+    for (std::size_t i = 0; i < chaotic.devices.size(); ++i) {
+        if (!chaotic.devices[i].succeeded())
+            continue;
+        ++survivors;
+        if (clean.devices[i].succeeded() &&
+            clean.devices[i].digest == chaotic.devices[i].digest)
+            ++bitIdentical;
+    }
+
+    Table table("Fleet survival (clean vs chaos campaign)",
+                {"campaign", "wall_s", "completed", "resumed",
+                 "quarantined", "final_survival"});
+    const auto addRow = [&](const char *label,
+                            const FleetResult &result, double wall) {
+        table.row()
+            .cell(label)
+            .cell(wall, 2)
+            .cell(static_cast<double>(result.completed), 0)
+            .cell(static_cast<double>(result.resumed), 0)
+            .cell(static_cast<double>(result.quarantined), 0)
+            .cell(result.curve.empty()
+                      ? 0.0
+                      : result.curve.back().survivalFraction,
+                  3);
+    };
+    addRow("clean", clean, cleanWall);
+    addRow("chaos", chaotic, chaosWall);
+    table.print();
+
+    std::printf("\nchaos recovery: %llu/%llu survivors bit-identical "
+                "to the clean campaign, %llu quarantined of %llu "
+                "planned\n",
+                static_cast<unsigned long long>(bitIdentical),
+                static_cast<unsigned long long>(survivors),
+                static_cast<unsigned long long>(chaotic.quarantined),
+                static_cast<unsigned long long>(
+                    chaotic.plannedQuarantines));
+
+    bench::JsonArray curve;
+    for (const FleetCurvePoint &point : clean.curve) {
+        bench::JsonObject entry;
+        entry.num("days", point.days)
+            .num("survival", point.survivalFraction)
+            .num("mean_uncorrectable", point.meanUncorrectable)
+            .num("mean_energy_pj", point.meanEnergyPj);
+        curve.pushRaw(entry.render());
+    }
+
+    bench::JsonObject json;
+    json.str("name", "fig_fleet_survival")
+        .u64("seed", opts.seed)
+        .u64("threads", opts.threads)
+        .u64("devices", clean.devices.size())
+        .u64("lines", opts.lines != 0 ? opts.lines : 1024)
+        .num("days", 7.0)
+        .num("wall_seconds", cleanWall)
+        .num("wall_seconds_chaos", chaosWall)
+        .u64("clean_completed", clean.completed)
+        .u64("chaos_resumed", chaotic.resumed)
+        .u64("chaos_quarantined", chaotic.quarantined)
+        .u64("chaos_planned_victims", chaotic.plannedVictims)
+        .u64("chaos_survivors_bit_identical", bitIdentical)
+        .boolean("coverage_complete",
+                 clean.coverageComplete() &&
+                     chaotic.coverageComplete())
+        .raw("survival_curve", curve.render())
+        .u64("peak_rss_bytes", bench::peakRssBytes());
+    bench::writeJsonFile(path, json);
+
+    std::printf("-> %s\n", path.c_str());
+    return 0;
+}

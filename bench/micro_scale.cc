@@ -63,17 +63,28 @@ main(int argc, char **argv)
     const Tick horizon = interval * sweeps;
 
     bench::JsonArray pointArray;
+    bench::JsonArray skippedArray;
     for (const std::uint64_t lines : points) {
         if (rssGated && lastBytesPerLine > 0.0 &&
             lastBytesPerLine * static_cast<double>(lines) >
                 rssBudgetBytes) {
+            const double projectedGib =
+                lastBytesPerLine * static_cast<double>(lines) /
+                (1024.0 * 1024.0 * 1024.0);
             std::printf("micro_scale: %8llu lines: skipped "
                         "(projected %.2f GiB exceeds the %.0f GiB "
                         "RSS budget)\n",
                         static_cast<unsigned long long>(lines),
-                        lastBytesPerLine * static_cast<double>(lines) /
-                            (1024.0 * 1024.0 * 1024.0),
+                        projectedGib,
                         rssBudgetBytes / (1024.0 * 1024.0 * 1024.0));
+            // Machine-readable skip record, so bench_diff.py can
+            // tell an RSS-gated point apart from one that is simply
+            // missing from the run.
+            bench::JsonObject skip;
+            skip.u64("lines", lines)
+                .str("reason", "rss_budget")
+                .num("projected_gib", projectedGib);
+            skippedArray.pushRaw(skip.render());
             continue;
         }
         CellBackendConfig config;
@@ -144,7 +155,8 @@ main(int argc, char **argv)
         .str("scheme", "bch-8")
         .boolean("lazy_drift", !opts.noLazyDrift)
         .u64("sweeps_per_point", sweeps)
-        .raw("points", pointArray.render());
+        .raw("points", pointArray.render())
+        .raw("skipped_points", skippedArray.render());
     bench::writeJsonFile(path, json);
 
     std::printf("micro_scale: wrote %s\n", path.c_str());

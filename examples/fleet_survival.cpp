@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Fleet survival: a supervised campaign over N heterogeneous devices.
+ *
+ * Every device is drawn from one seeded manufacturing spread — its
+ * drift speed, endurance median, and fault-mix rates are log-normal
+ * perturbations of the template device — and runs the same scrub
+ * policy over the simulated horizon under full supervision: watchdog
+ * deadline, bounded retry with exponential backoff, quarantine after
+ * consecutive failures, and per-device checkpoint/resume. The
+ * campaign aggregates the population survival/UE/energy curves over
+ * the devices that reported and prints explicit coverage accounting
+ * (completed / resumed / quarantined / skipped always sums to the
+ * device count), then writes the full fleet manifest as JSON.
+ *
+ * --chaos turns on deterministic harness-failure injection: a seeded
+ * fraction of devices get killed at wake boundaries, have their
+ * snapshots corrupted before the resume, fail allocation, or overrun
+ * a forced deadline. The campaign still exits 0 — victims either
+ * recover (resumed, bit-identical to the chaos-free run) or are
+ * quarantined with the reason recorded in the manifest.
+ *
+ *   $ ./fleet_survival [config.ini] [--devices N] [--chaos]
+ *                      [--seed N] [--threads N]
+ *
+ * The optional INI config uses the shared run-config keys plus the
+ * [fleet] section (fleet.devices, fleet.drift_spread,
+ * fleet.endurance_spread, fleet.fault_spread, fleet.retry_max,
+ * fleet.quarantine_after, fleet.backoff_base_ms, fleet.deadline_ms,
+ * fleet.curve_points); see examples/configs/fleet_survival.ini.
+ */
+
+#include <cstdio>
+
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "common/thread_pool.hh"
+#include "fleet/fleet_runner.hh"
+#include "scrub/run_config.hh"
+
+using namespace pcmscrub;
+
+int
+main(int argc, char **argv)
+{
+    const char *configArg = nullptr;
+    const CliOptions opt = parseCliOptions(argc, argv, 7, &configArg);
+
+    // Template device: BCH-4 MLC PCM under Zipf traffic, weak enough
+    // that the slow tail of the manufacturing spread actually loses
+    // lines over the horizon.
+    AnalyticRunConfig run;
+    run.policy.kind = PolicyKind::Basic;
+    run.policy.interval = secondsToTicks(1800.0);
+    run.backend.lines = 2048;
+    run.backend.scheme = EccScheme::bch(4);
+    run.backend.demand.kind = WorkloadKind::Zipf;
+    run.backend.demand.writesPerLinePerSecond = 1e-5;
+    run.backend.demand.readsPerLinePerSecond = 1e-4;
+    run.days = 7.0;
+    if (configArg != nullptr) {
+        run = loadRunConfig(configArg, run);
+        if (run.threads != 0)
+            ThreadPool::global().resize(run.threads);
+    }
+
+    FleetConfig fleet;
+    fleet.settings = run.fleet;
+    if (opt.devices != 0)
+        fleet.settings.devices = opt.devices;
+    fleet.base = run.backend;
+    if (opt.lines != 0)
+        fleet.base.lines = opt.lines;
+    fleet.policy = run.policy;
+    fleet.days = run.days;
+    fleet.fleetSeed = opt.seed;
+    fleet.snapshotDir = "fleet_snapshots";
+    fleet.chaos.enabled = opt.chaos;
+
+    // Baseline fault mix the per-device fault spread scales: light
+    // wear-correlated stuck cells plus read disturb.
+    fleet.faults.stuckPerWrite = 1e-4;
+    fleet.faults.wearCorrelation = 4.0;
+    fleet.faults.disturbFlipsPerRead = 1e-3;
+    fleet.faults.burstProbPerRead = 1e-5;
+
+    std::printf("fleet survival: %llu devices, %s backend, %s policy, "
+                "%.0f days%s\n\n",
+                static_cast<unsigned long long>(
+                    fleet.settings.devices),
+                fleetBackendKindName(fleet.backendKind),
+                policyKindName(fleet.policy.kind), fleet.days,
+                opt.chaos ? ", CHAOS ON" : "");
+
+    const FleetResult result = runFleet(fleet);
+
+    std::printf("coverage: %llu completed, %llu resumed, "
+                "%llu quarantined, %llu skipped (of %llu; %s)\n",
+                static_cast<unsigned long long>(result.completed),
+                static_cast<unsigned long long>(result.resumed),
+                static_cast<unsigned long long>(result.quarantined),
+                static_cast<unsigned long long>(result.skipped),
+                static_cast<unsigned long long>(
+                    result.devices.size()),
+                result.coverageComplete() ? "complete"
+                                          : "INCOMPLETE");
+    if (fleet.chaos.enabled) {
+        std::printf("chaos: %llu planned victims, %llu planned "
+                    "quarantines\n",
+                    static_cast<unsigned long long>(
+                        result.plannedVictims),
+                    static_cast<unsigned long long>(
+                        result.plannedQuarantines));
+        for (std::size_t i = 0; i < result.devices.size(); ++i) {
+            const SupervisedResult &device = result.devices[i];
+            if (device.outcome != DeviceOutcome::Quarantined)
+                continue;
+            std::printf("  device %zu quarantined: %s\n", i,
+                        device.quarantineReason.c_str());
+        }
+    }
+
+    Table curve("Population trajectory (reporting devices)",
+                {"day", "survival", "mean_ue", "mean_energy_pj",
+                 "reporting"});
+    for (const FleetCurvePoint &point : result.curve) {
+        curve.row()
+            .cell(point.days, 2)
+            .cell(point.survivalFraction, 3)
+            .cellSci(point.meanUncorrectable, 2)
+            .cellSci(point.meanEnergyPj, 3)
+            .cell(static_cast<double>(point.devicesReporting), 0);
+    }
+    std::printf("\n");
+    curve.print();
+
+    const char *manifestPath = "fleet_manifest.json";
+    writeFleetManifest(manifestPath, fleet, result);
+    std::printf("\nfleet manifest written to %s\n", manifestPath);
+
+    // Graceful degradation is the contract: harness failures end as
+    // resumes or recorded quarantines, never as a nonzero exit.
+    return 0;
+}

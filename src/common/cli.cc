@@ -23,7 +23,7 @@ printUsage(const char *prog)
         "usage: %s [--seed N] [--threads N] [--checkpoint PATH]\n"
         "       [--checkpoint-every H] [--resume PATH]\n"
         "       [--no-lazy-drift] [--no-simd] [--lines N] [--sweeps N]\n"
-        "       [--telemetry PATH]\n"
+        "       [--telemetry PATH] [--devices N] [--chaos]\n"
         "  --seed N              base RNG seed (default per harness)\n"
         "  --threads N           worker threads; results are\n"
         "                        bit-identical at any thread count\n"
@@ -46,7 +46,14 @@ printUsage(const char *prog)
         "                        continue; the result is bit-identical\n"
         "                        to an uninterrupted run\n"
         "  --telemetry PATH      append RAS controller samples to a\n"
-        "                        JSONL file (RAS-aware harnesses only)\n",
+        "                        JSONL file (RAS-aware harnesses only)\n"
+        "  --devices N           heterogeneous devices in the fleet\n"
+        "                        campaign (fleet harnesses only)\n"
+        "  --chaos               deterministically inject harness\n"
+        "                        failures — task kills, snapshot\n"
+        "                        corruption, allocation failures,\n"
+        "                        deadline overruns — to exercise the\n"
+        "                        supervisor (fleet harnesses only)\n",
         prog);
     std::exit(0);
 }
@@ -183,6 +190,15 @@ parseCliOptions(int argc, char **argv, std::uint64_t defaultSeed,
             if (opts.telemetryPath.empty())
                 fatal("--telemetry: empty path");
             i += consumed;
+        } else if (matchFlag("--devices", argc, argv, i, &value,
+                             &consumed)) {
+            opts.devices = parseUint("--devices", value);
+            if (opts.devices == 0)
+                fatal("--devices must be at least 1");
+            i += consumed;
+        } else if (std::strcmp(argv[i], "--chaos") == 0) {
+            opts.chaos = true;
+            ++i;
         } else if (std::strcmp(argv[i], "--no-lazy-drift") == 0) {
             opts.noLazyDrift = true;
             ++i;

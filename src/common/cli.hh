@@ -65,6 +65,21 @@ struct CliOptions
     std::string telemetryPath;
 
     /**
+     * Fleet-device count override; 0 = keep the harness's default.
+     * Only meaningful to the fleet harnesses; others reject the flag.
+     */
+    std::uint64_t devices = 0;
+
+    /**
+     * Enable deterministic chaos injection in the fleet harnesses:
+     * task kills at wake boundaries, snapshot corruption before
+     * resume, simulated allocation failures, and forced deadline
+     * overruns. Non-victim devices stay bit-identical to a chaos-free
+     * run. Harnesses without a fleet supervisor reject the flag.
+     */
+    bool chaos = false;
+
+    /**
      * Disable the cell backend's lazy-drift fast path and force the
      * exact per-cell sensing path everywhere. Results are
      * bit-identical either way; the flag exists for perf comparison

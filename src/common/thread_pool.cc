@@ -144,6 +144,22 @@ ThreadPool::run(std::size_t tasks,
     taskCount_ = 0;
 }
 
+std::size_t
+ThreadPool::runCancellable(std::size_t tasks,
+                           const std::function<void(std::size_t)> &fn,
+                           const std::atomic<bool> &cancel)
+{
+    std::atomic<std::size_t> skipped{0};
+    run(tasks, [&](std::size_t task) {
+        if (cancel.load(std::memory_order_acquire)) {
+            skipped.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        fn(task);
+    });
+    return skipped.load(std::memory_order_relaxed);
+}
+
 ThreadPool &
 ThreadPool::global()
 {

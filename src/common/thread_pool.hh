@@ -58,6 +58,18 @@ class ThreadPool
     void run(std::size_t tasks, const std::function<void(std::size_t)> &fn);
 
     /**
+     * Like run(), but consults `cancel` before dispatching each task:
+     * once the flag reads true, tasks that have not yet *started* are
+     * skipped (tasks already running are never interrupted — callers
+     * that need mid-task cancellation must poll the flag themselves,
+     * e.g. at wake boundaries). Returns the number of tasks skipped;
+     * 0 means every task ran to completion.
+     */
+    std::size_t runCancellable(std::size_t tasks,
+                               const std::function<void(std::size_t)> &fn,
+                               const std::atomic<bool> &cancel);
+
+    /**
      * The process-wide pool the scrub engine schedules on. Defaults
      * to a single worker (fully serial); the --threads CLI knob of
      * the bench and example harnesses resizes it.

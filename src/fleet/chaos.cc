@@ -1,0 +1,107 @@
+#include "fleet/chaos.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace pcmscrub {
+
+const char *
+chaosKindName(ChaosKind kind)
+{
+    switch (kind) {
+      case ChaosKind::None:
+        return "none";
+      case ChaosKind::KillAtWake:
+        return "kill_at_wake";
+      case ChaosKind::SnapshotCorruption:
+        return "snapshot_corruption";
+      case ChaosKind::AllocFailure:
+        return "alloc_failure";
+      case ChaosKind::DeadlineOverrun:
+        return "deadline_overrun";
+    }
+    return "unknown";
+}
+
+ChaosPlan
+chaosPlanFor(const ChaosConfig &config, std::uint64_t device,
+             std::uint64_t expectedWakes, unsigned quarantineAfter)
+{
+    ChaosPlan plan;
+    if (!config.enabled)
+        return plan;
+    PCMSCRUB_ASSERT(quarantineAfter >= 1,
+                    "quarantine threshold must be at least 1");
+
+    Random rng = Random::stream(config.seed, device);
+    // Fixed draw order regardless of which values end up used, so
+    // the plan of device i never depends on another device's plan.
+    const bool victim = rng.bernoulli(config.victimFraction);
+    const std::uint64_t kindDraw = rng.uniformInt(4);
+    const bool quarantine = rng.bernoulli(config.quarantineFraction);
+    const std::uint64_t wakeDraw =
+        1 + rng.uniformInt(expectedWakes == 0 ? 1 : expectedWakes);
+    const std::uint64_t injuryDraw =
+        quarantineAfter > 1 ? 1 + rng.uniformInt(quarantineAfter - 1)
+                            : 1;
+    const bool truncate = rng.bernoulli(0.5);
+
+    if (!victim)
+        return plan;
+
+    static constexpr ChaosKind kinds[4] = {
+        ChaosKind::KillAtWake,
+        ChaosKind::SnapshotCorruption,
+        ChaosKind::AllocFailure,
+        ChaosKind::DeadlineOverrun,
+    };
+    plan.kind = kinds[kindDraw];
+    plan.injuries = quarantine ? quarantineAfter
+                               : static_cast<unsigned>(injuryDraw);
+    plan.killWake = wakeDraw;
+    plan.truncate = truncate;
+    return plan;
+}
+
+void
+corruptSnapshotFile(const std::string &path, bool truncate)
+{
+    struct stat info{};
+    if (::stat(path.c_str(), &info) != 0 || info.st_size <= 0)
+        return;
+    const off_t size = info.st_size;
+
+    if (truncate) {
+        if (::truncate(path.c_str(), size / 2) != 0) {
+            warn("chaos: truncating %s failed: %s", path.c_str(),
+                 std::strerror(errno));
+        }
+        return;
+    }
+
+    const int fd = ::open(path.c_str(), O_RDWR);
+    if (fd < 0) {
+        warn("chaos: opening %s for corruption failed: %s",
+             path.c_str(), std::strerror(errno));
+        return;
+    }
+    const off_t offset = size / 2;
+    std::uint8_t byte = 0;
+    if (::pread(fd, &byte, 1, offset) == 1) {
+        byte ^= 0xFF;
+        if (::pwrite(fd, &byte, 1, offset) != 1) {
+            warn("chaos: flipping a byte of %s failed: %s",
+                 path.c_str(), std::strerror(errno));
+        }
+    }
+    ::close(fd);
+}
+
+} // namespace pcmscrub

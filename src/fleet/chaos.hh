@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Deterministic harness-level chaos injection for the fleet runner.
+ *
+ * Chaos failures are *harness* faults, not device physics: the
+ * supervised task is killed at a wake boundary, its snapshot is
+ * corrupted before the resume, its allocation fails, or its watchdog
+ * deadline is forced to expire. The plan for each device is derived
+ * from a counter-based RNG stream of (chaos seed, device index), so
+ * the set of victims, the failure kinds, and the number of failing
+ * attempts are identical across thread counts and reruns — the basis
+ * of the resilience tests' "quarantines exactly the intended victims"
+ * assertion.
+ */
+
+#ifndef PCMSCRUB_FLEET_CHAOS_HH
+#define PCMSCRUB_FLEET_CHAOS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace pcmscrub {
+
+/** One injected harness-failure flavour. */
+enum class ChaosKind : unsigned {
+    None = 0,           //!< Device is not a victim.
+    KillAtWake,         //!< Task killed at a wake boundary.
+    SnapshotCorruption, //!< Killed, then snapshot truncated/bit-flipped.
+    AllocFailure,       //!< Simulated allocation failure at task start.
+    DeadlineOverrun,    //!< Watchdog deadline forced to expire.
+};
+
+const char *chaosKindName(ChaosKind kind);
+
+/** Campaign-level chaos knobs. */
+struct ChaosConfig
+{
+    /** Master switch (the --chaos flag). */
+    bool enabled = false;
+
+    /** Seed of the per-device plan streams. */
+    std::uint64_t seed = 0xC4A05;
+
+    /** Fraction of devices selected as victims. */
+    double victimFraction = 0.40;
+
+    /**
+     * Fraction of victims whose injected failures reach the
+     * quarantine threshold (the rest recover via retry + resume).
+     */
+    double quarantineFraction = 0.25;
+};
+
+/** What chaos does to one device. */
+struct ChaosPlan
+{
+    ChaosKind kind = ChaosKind::None;
+
+    /**
+     * Failing attempts to inject: attempts 1..injuries fail, attempt
+     * injuries+1 succeeds. injuries >= the supervisor's quarantine
+     * threshold means the device is an intended quarantine victim.
+     */
+    unsigned injuries = 0;
+
+    /**
+     * Attempt-local wake boundary the kill/overrun lands at. If an
+     * attempt finishes its wake loop before reaching it, the failure
+     * lands at the final boundary instead, so a planned injury never
+     * silently turns into a success.
+     */
+    std::uint64_t killWake = 0;
+
+    /** Corruption flavour: truncate the snapshot vs flip a byte. */
+    bool truncate = false;
+
+    bool isVictim() const { return kind != ChaosKind::None; }
+};
+
+/**
+ * Derive the chaos plan of one device. Pure function of (config,
+ * device, expectedWakes, quarantineAfter); disabled chaos yields a
+ * None plan for every device.
+ */
+ChaosPlan chaosPlanFor(const ChaosConfig &config, std::uint64_t device,
+                       std::uint64_t expectedWakes,
+                       unsigned quarantineAfter);
+
+/**
+ * Corrupt a snapshot file in place: truncate it to half its length,
+ * or XOR one mid-file byte (which lands inside a section payload or
+ * CRC, so the reader's checksum trips). Missing or empty files are
+ * left alone — the chaos is about surviving corruption, not I/O
+ * errors of the injection itself.
+ */
+void corruptSnapshotFile(const std::string &path, bool truncate);
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_FLEET_CHAOS_HH

@@ -1,0 +1,95 @@
+#include "fleet/fleet_config.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace pcmscrub {
+
+const char *
+fleetBackendKindName(FleetBackendKind kind)
+{
+    switch (kind) {
+      case FleetBackendKind::Analytic:
+        return "analytic";
+      case FleetBackendKind::Cell:
+        return "cell";
+    }
+    return "unknown";
+}
+
+DeviceSpec
+sampleDeviceSpec(const FleetConfig &config, std::uint64_t device)
+{
+    const FleetSettings &fleet = config.settings;
+    Random rng = Random::stream(config.fleetSeed, device);
+
+    DeviceSpec spec;
+    spec.index = device;
+    // Fixed draw order: three log-normal manufacturing multipliers,
+    // then the two independent seeds.
+    const double driftScale =
+        fleet.driftSpread > 0.0 ? rng.logNormal(0.0, fleet.driftSpread)
+                                : 1.0;
+    const double enduranceScale =
+        fleet.enduranceSpread > 0.0
+            ? rng.logNormal(0.0, fleet.enduranceSpread)
+            : 1.0;
+    spec.faultScale =
+        fleet.faultSpread > 0.0 ? rng.logNormal(0.0, fleet.faultSpread)
+                                : 1.0;
+    spec.seed = rng.next();
+    const std::uint64_t faultSeed = rng.next();
+
+    spec.driftSpeedSigmaLn =
+        config.base.device.driftSpeedSigmaLn * driftScale;
+    spec.enduranceMedian =
+        config.base.device.enduranceMedian * enduranceScale;
+
+    spec.faults = config.faults;
+    spec.faults.seed = faultSeed;
+    spec.faults.stuckPerWrite *= spec.faultScale;
+    spec.faults.disturbFlipsPerRead *= spec.faultScale;
+    spec.faults.burstProbPerRead = std::min(
+        1.0, spec.faults.burstProbPerRead * spec.faultScale);
+    return spec;
+}
+
+DeviceSim
+buildDeviceSim(const FleetConfig &config, const DeviceSpec &spec)
+{
+    DeviceSim sim;
+    sim.injector = std::make_unique<FaultInjector>(spec.faults);
+
+    if (config.backendKind == FleetBackendKind::Analytic) {
+        AnalyticConfig cfg = config.base;
+        cfg.seed = spec.seed;
+        cfg.device.driftSpeedSigmaLn = spec.driftSpeedSigmaLn;
+        cfg.device.enduranceMedian = spec.enduranceMedian;
+        cfg.device.validate();
+        sim.backend = std::make_unique<AnalyticBackend>(cfg);
+    } else {
+        CellBackendConfig cfg;
+        cfg.lines = config.base.lines;
+        cfg.device = config.base.device;
+        cfg.device.driftSpeedSigmaLn = spec.driftSpeedSigmaLn;
+        cfg.device.enduranceMedian = spec.enduranceMedian;
+        cfg.scheme = config.base.scheme;
+        cfg.detectorKind = config.base.detectorKind;
+        cfg.detectorParity = config.base.detectorParity;
+        cfg.ecpEntries = config.base.ecpEntries;
+        cfg.seed = spec.seed;
+        cfg.degradation = config.base.degradation;
+        cfg.device.validate();
+        sim.backend = std::make_unique<CellBackend>(cfg);
+    }
+
+    // Attach before any checkpoint restore: injector RNG/stat state
+    // rides inside the backend's checkpoint sections.
+    sim.backend->setFaultInjector(sim.injector.get());
+    sim.policy = makePolicy(config.policy, *sim.backend);
+    return sim;
+}
+
+} // namespace pcmscrub

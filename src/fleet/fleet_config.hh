@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Fleet campaign configuration: how N heterogeneous devices are drawn
+ * from one seeded manufacturing spread and built into runnable
+ * simulations.
+ *
+ * Per-device variation is derived from a counter-based RNG stream of
+ * (fleet seed, device index), so device i's physics, fault mix, and
+ * backend seed are identical regardless of thread count, execution
+ * order, or how many other devices exist — the property the fleet
+ * determinism tests lock in.
+ */
+
+#ifndef PCMSCRUB_FLEET_FLEET_CONFIG_HH
+#define PCMSCRUB_FLEET_FLEET_CONFIG_HH
+
+#include <memory>
+#include <string>
+
+#include "faults/fault_injector.hh"
+#include "fleet/chaos.hh"
+#include "scrub/analytic_backend.hh"
+#include "scrub/cell_backend.hh"
+#include "scrub/factory.hh"
+#include "scrub/run_config.hh"
+
+namespace pcmscrub {
+
+/** Which simulation engine each device runs on. */
+enum class FleetBackendKind : unsigned { Analytic, Cell };
+
+const char *fleetBackendKindName(FleetBackendKind kind);
+
+/** Everything a fleet campaign needs. */
+struct FleetConfig
+{
+    /** Population shape and supervision knobs ([fleet] ini section). */
+    FleetSettings settings{};
+
+    /** Engine the devices run on. */
+    FleetBackendKind backendKind = FleetBackendKind::Analytic;
+
+    /**
+     * Template device: per-device specs perturb its physics and
+     * fault rates but share everything else (lines, scheme, policy).
+     */
+    AnalyticConfig base{};
+
+    /** Scrub policy every device runs. */
+    PolicySpec policy{};
+
+    /** Baseline fault mix, scaled per device by the fault spread. */
+    FaultCampaignConfig faults{};
+
+    /** Simulated horizon in days. */
+    double days = 14.0;
+
+    /** Seed of the manufacturing spread and per-device derivations. */
+    std::uint64_t fleetSeed = 1;
+
+    /**
+     * Directory for per-device checkpoint snapshots ("" = no
+     * checkpointing: failed attempts restart from scratch). Created
+     * on demand by the runner.
+     */
+    std::string snapshotDir;
+
+    /** Per-device periodic checkpoint cadence in wakes (0 = off). */
+    std::uint64_t checkpointEveryWakes = 64;
+
+    /** Harness-failure injection (--chaos). */
+    ChaosConfig chaos{};
+};
+
+/** One device drawn from the manufacturing spread. */
+struct DeviceSpec
+{
+    std::uint64_t index = 0;
+
+    /** Backend RNG seed (independent per device). */
+    std::uint64_t seed = 0;
+
+    /** Perturbed physics. */
+    double driftSpeedSigmaLn = 0.25;
+    double enduranceMedian = 1e8;
+
+    /** Fault-mix scale actually applied (for the manifest). */
+    double faultScale = 1.0;
+
+    /** Scaled, per-device-seeded fault campaign. */
+    FaultCampaignConfig faults{};
+};
+
+/**
+ * Draw device `device`'s spec from the campaign's manufacturing
+ * spread. Pure function of (config, device).
+ */
+DeviceSpec sampleDeviceSpec(const FleetConfig &config,
+                            std::uint64_t device);
+
+/** A runnable device simulation (backend + injector + policy). */
+struct DeviceSim
+{
+    std::unique_ptr<ScrubBackend> backend;
+    std::unique_ptr<FaultInjector> injector;
+    std::unique_ptr<ScrubPolicy> policy;
+};
+
+/**
+ * Build the simulation for one device spec. The injector is attached
+ * to the backend before return (and before any checkpoint restore,
+ * since injector state rides inside backend checkpoints).
+ */
+DeviceSim buildDeviceSim(const FleetConfig &config,
+                         const DeviceSpec &spec);
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_FLEET_FLEET_CONFIG_HH

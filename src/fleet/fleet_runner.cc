@@ -1,0 +1,257 @@
+#include "fleet/fleet_runner.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/stat.h>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "snapshot/checkpoint.hh"
+
+namespace pcmscrub {
+
+namespace {
+
+std::string
+devicePath(const std::string &dir, std::uint64_t device)
+{
+    char name[64];
+    std::snprintf(name, sizeof(name), "/device_%llu.snap",
+                  static_cast<unsigned long long>(device));
+    return dir + name;
+}
+
+std::string
+hex64(std::uint64_t value)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+} // namespace
+
+FleetResult
+runFleet(const FleetConfig &config)
+{
+    const FleetSettings &fleet = config.settings;
+    const std::uint64_t devices = fleet.devices;
+    PCMSCRUB_ASSERT(devices >= 1, "fleet needs at least one device");
+
+    if (!config.snapshotDir.empty()) {
+        if (::mkdir(config.snapshotDir.c_str(), 0755) != 0 &&
+            errno != EEXIST) {
+            fatal("fleet: cannot create snapshot directory %s: %s",
+                  config.snapshotDir.c_str(), std::strerror(errno));
+        }
+    }
+
+    FleetResult result;
+    result.horizon = secondsToTicks(config.days * 24.0 * 3600.0);
+    result.specs.resize(devices);
+    result.plans.resize(devices);
+    result.devices.resize(devices);
+
+    // Rough wake count of one device, used only to scatter chaos
+    // kill points across plausible boundaries; correctness does not
+    // depend on it (a late kill lands at the final boundary).
+    const std::uint64_t expectedWakes =
+        std::max<std::uint64_t>(1, result.horizon /
+                                       std::max<Tick>(1,
+                                                      config.policy
+                                                          .interval));
+
+    for (std::uint64_t i = 0; i < devices; ++i) {
+        result.specs[i] = sampleDeviceSpec(config, i);
+        result.plans[i] = chaosPlanFor(config.chaos, i, expectedWakes,
+                                       fleet.quarantineAfter);
+        if (result.plans[i].isVictim()) {
+            ++result.plannedVictims;
+            if (result.plans[i].injuries >= fleet.quarantineAfter)
+                ++result.plannedQuarantines;
+        }
+    }
+
+    std::atomic<bool> cancel{false};
+    ThreadPool::global().runCancellable(
+        devices,
+        [&](std::size_t i) {
+            // SIGINT/SIGTERM (when a harness installed the handlers)
+            // drains gracefully: running devices checkpoint at their
+            // next wake boundary, queued devices are skipped, and
+            // the partial campaign is still fully accounted.
+            if (CheckpointRuntime::signalled())
+                cancel.store(true, std::memory_order_release);
+
+            SupervisorConfig supervision;
+            supervision.device = i;
+            supervision.retryMax = fleet.retryMax;
+            supervision.quarantineAfter = fleet.quarantineAfter;
+            supervision.backoffBaseMs = fleet.backoffBaseMs;
+            supervision.backoffSeed = config.fleetSeed;
+            supervision.deadlineMs = fleet.deadlineMs;
+            if (!config.snapshotDir.empty())
+                supervision.snapshotPath =
+                    devicePath(config.snapshotDir, i);
+            supervision.checkpointEveryWakes =
+                config.checkpointEveryWakes;
+            supervision.horizon = result.horizon;
+            supervision.curvePoints = fleet.curvePoints;
+
+            result.devices[i] = superviseDevice(
+                supervision, result.plans[i],
+                [&config, &result, i] {
+                    return buildDeviceSim(config, result.specs[i]);
+                },
+                &cancel);
+        },
+        cancel);
+
+    // Aggregate in device-index order — the fixed reduction order
+    // that keeps the campaign result bit-identical at any thread
+    // count.
+    for (const SupervisedResult &device : result.devices) {
+        switch (device.outcome) {
+          case DeviceOutcome::Completed:
+            ++result.completed;
+            break;
+          case DeviceOutcome::Resumed:
+            ++result.resumed;
+            break;
+          case DeviceOutcome::Quarantined:
+            ++result.quarantined;
+            break;
+          case DeviceOutcome::Skipped:
+            ++result.skipped;
+            break;
+        }
+    }
+
+    result.curve.resize(fleet.curvePoints);
+    const Tick sampleStep = result.horizon / fleet.curvePoints;
+    for (unsigned k = 0; k < fleet.curvePoints; ++k) {
+        FleetCurvePoint &point = result.curve[k];
+        point.days = ticksToSeconds(
+                         static_cast<Tick>(k + 1) * sampleStep) /
+                     (24.0 * 3600.0);
+        std::uint64_t surviving = 0;
+        for (const SupervisedResult &device : result.devices) {
+            if (!device.succeeded() || k >= device.samples.size())
+                continue;
+            const CurveSample &sample = device.samples[k];
+            ++point.devicesReporting;
+            if (sample.ueSurfaced == 0)
+                ++surviving;
+            point.meanUncorrectable += sample.totalUncorrectable;
+            point.meanEnergyPj += sample.energyPj;
+        }
+        if (point.devicesReporting > 0) {
+            const double n =
+                static_cast<double>(point.devicesReporting);
+            point.survivalFraction =
+                static_cast<double>(surviving) / n;
+            point.meanUncorrectable /= n;
+            point.meanEnergyPj /= n;
+        }
+    }
+
+    return result;
+}
+
+std::string
+fleetManifestJson(const FleetConfig &config, const FleetResult &result)
+{
+    JsonObject manifest;
+    manifest.str("schema", "pcmscrub.fleet_manifest.v1");
+    manifest.str("backend",
+                 fleetBackendKindName(config.backendKind));
+    manifest.str("policy", policyKindName(config.policy.kind));
+    manifest.u64("devices", result.devices.size());
+    manifest.num("days", config.days);
+    manifest.u64("fleet_seed", config.fleetSeed);
+    manifest.boolean("chaos", config.chaos.enabled);
+    manifest.u64("planned_victims", result.plannedVictims);
+    manifest.u64("planned_quarantines", result.plannedQuarantines);
+
+    JsonObject coverage;
+    coverage.u64("completed", result.completed);
+    coverage.u64("resumed", result.resumed);
+    coverage.u64("quarantined", result.quarantined);
+    coverage.u64("skipped", result.skipped);
+    coverage.boolean("complete", result.coverageComplete());
+    manifest.raw("coverage", coverage.render());
+
+    JsonArray records;
+    for (std::size_t i = 0; i < result.devices.size(); ++i) {
+        const SupervisedResult &device = result.devices[i];
+        const DeviceSpec &spec = result.specs[i];
+        const ChaosPlan &plan = result.plans[i];
+        JsonObject record;
+        record.u64("device", i);
+        record.str("outcome", deviceOutcomeName(device.outcome));
+        record.u64("attempts", device.attempts);
+        record.u64("failures", device.failures);
+        record.boolean("resumed_from_snapshot",
+                       device.resumedFromSnapshot);
+        record.boolean("snapshot_fell_back", device.snapshotFellBack);
+        record.str("chaos", chaosKindName(plan.kind));
+        record.num("drift_speed_sigma", spec.driftSpeedSigmaLn);
+        record.num("endurance_median", spec.enduranceMedian);
+        record.num("fault_scale", spec.faultScale);
+        if (!device.quarantineReason.empty())
+            record.str("quarantine_reason", device.quarantineReason);
+        if (!device.failureReasons.empty()) {
+            JsonArray reasons;
+            for (const std::string &reason : device.failureReasons)
+                reasons.pushRaw("\"" + jsonEscape(reason) + "\"");
+            record.raw("failure_reasons", reasons.render());
+        }
+        if (device.succeeded()) {
+            record.u64("wakes", device.wakes);
+            record.u64("ue_surfaced", device.metrics.ueSurfaced);
+            record.num("total_uncorrectable",
+                       device.metrics.totalUncorrectable());
+            record.num("energy_pj", device.metrics.energy.total());
+            record.str("digest", hex64(device.digest));
+        }
+        records.pushRaw(record.render());
+    }
+    manifest.raw("device_records", records.render());
+
+    JsonArray curve;
+    for (const FleetCurvePoint &point : result.curve) {
+        JsonObject entry;
+        entry.num("days", point.days);
+        entry.num("survival", point.survivalFraction);
+        entry.num("mean_uncorrectable", point.meanUncorrectable);
+        entry.num("mean_energy_pj", point.meanEnergyPj);
+        entry.u64("devices_reporting", point.devicesReporting);
+        curve.pushRaw(entry.render());
+    }
+    manifest.raw("survival_curve", curve.render());
+
+    return manifest.render();
+}
+
+void
+writeFleetManifest(const std::string &path, const FleetConfig &config,
+                   const FleetResult &result)
+{
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (file == nullptr)
+        fatal("fleet manifest %s: cannot open for writing",
+              path.c_str());
+    const std::string body = fleetManifestJson(config, result) + "\n";
+    if (std::fwrite(body.data(), 1, body.size(), file) !=
+            body.size() ||
+        std::fclose(file) != 0) {
+        fatal("fleet manifest %s: short write", path.c_str());
+    }
+}
+
+} // namespace pcmscrub

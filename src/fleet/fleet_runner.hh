@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The supervised fleet campaign: N heterogeneous devices dispatched
+ * over the global thread pool, each under the fleet supervisor, with
+ * partial-result aggregation into population survival/UE/energy
+ * curves plus explicit coverage accounting.
+ *
+ * Determinism: device i's simulation is a pure function of (config,
+ * i) — its spec, chaos plan, and backend seeds all come from
+ * counter-based streams — and aggregation walks devices in index
+ * order after the pool drains, so the campaign result is
+ * bit-identical at any thread count, and every non-victim device is
+ * bit-identical between chaos-on and chaos-off runs.
+ */
+
+#ifndef PCMSCRUB_FLEET_FLEET_RUNNER_HH
+#define PCMSCRUB_FLEET_FLEET_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet_config.hh"
+#include "fleet/supervisor.hh"
+
+namespace pcmscrub {
+
+/** One point of the aggregated population trajectory. */
+struct FleetCurvePoint
+{
+    /** Simulated age of the sample, days. */
+    double days = 0.0;
+
+    /** Fraction of reporting devices with zero surfaced UEs. */
+    double survivalFraction = 1.0;
+
+    /** Mean cumulative uncorrectable events per reporting device. */
+    double meanUncorrectable = 0.0;
+
+    /** Mean cumulative scrub energy per reporting device, pJ. */
+    double meanEnergyPj = 0.0;
+
+    /** Devices contributing (completed + resumed). */
+    std::uint64_t devicesReporting = 0;
+};
+
+/** Everything one campaign produced. */
+struct FleetResult
+{
+    /** Per-device records, in device-index order. */
+    std::vector<DeviceSpec> specs;
+    std::vector<ChaosPlan> plans;
+    std::vector<SupervisedResult> devices;
+
+    /** Coverage accounting. */
+    std::uint64_t completed = 0;
+    std::uint64_t resumed = 0;
+    std::uint64_t quarantined = 0;
+    std::uint64_t skipped = 0;
+
+    /** What chaos intended (0 with chaos off). */
+    std::uint64_t plannedVictims = 0;
+    std::uint64_t plannedQuarantines = 0;
+
+    /** Population trajectory over the reporting devices. */
+    std::vector<FleetCurvePoint> curve;
+
+    Tick horizon = 0;
+
+    /** Every device is accounted for in exactly one bucket. */
+    bool coverageComplete() const
+    {
+        return completed + resumed + quarantined + skipped ==
+               devices.size();
+    }
+};
+
+/**
+ * Run the full campaign. Never throws and never aborts on a device
+ * failure: harness faults end as retries, resumes, or quarantines,
+ * all recorded in the result.
+ */
+FleetResult runFleet(const FleetConfig &config);
+
+/** Render the fleet manifest (coverage, per-device records, curves). */
+std::string fleetManifestJson(const FleetConfig &config,
+                              const FleetResult &result);
+
+/** Write the manifest to `path` (fatal() on I/O failure). */
+void writeFleetManifest(const std::string &path,
+                        const FleetConfig &config,
+                        const FleetResult &result);
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_FLEET_FLEET_RUNNER_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Per-device supervision: one device task wrapped in watchdog,
+ * retry/backoff, quarantine, and checkpoint/resume machinery.
+ *
+ * State machine of one device:
+ *
+ *     Running --success--------------------------> Completed/Resumed
+ *        |  failure (kill, corruption, alloc,
+ *        |  deadline — injected or genuine)
+ *        v
+ *     Backoff --retry (exponential + deterministic jitter)--> Running
+ *        |  quarantineAfter consecutive failures,
+ *        |  or the retry budget exhausted
+ *        v
+ *     Quarantined (reason recorded in the fleet manifest)
+ *
+ * Every failure is caught *inside* the task (an exception escaping a
+ * thread-pool task would terminate the process), and every attempt
+ * resumes from the device's newest valid snapshot — falling back to
+ * the rotated previous generation, or to a fresh start, when the
+ * newest is corrupt. Because wake boundaries are the only checkpoint
+ * and cancellation points, a resumed attempt replays bit-identically,
+ * which is why recovered victims end with the same result digest as
+ * a chaos-free run.
+ */
+
+#ifndef PCMSCRUB_FLEET_SUPERVISOR_HH
+#define PCMSCRUB_FLEET_SUPERVISOR_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "fleet/chaos.hh"
+#include "fleet/fleet_config.hh"
+#include "scrub/metrics.hh"
+
+namespace pcmscrub {
+
+/** Terminal state of one supervised device. */
+enum class DeviceOutcome : unsigned {
+    Completed = 0, //!< Finished on the first attempt.
+    Resumed,       //!< Finished after >= 1 failure, via retry/resume.
+    Quarantined,   //!< Gave up; reason recorded.
+    Skipped,       //!< Never ran (campaign cancelled before start).
+};
+
+const char *deviceOutcomeName(DeviceOutcome outcome);
+
+/** One point of a device's survival/UE/energy trajectory. */
+struct CurveSample
+{
+    Tick simTime = 0;
+    std::uint64_t ueSurfaced = 0;
+    double totalUncorrectable = 0.0;
+    double energyPj = 0.0;
+    std::uint64_t scrubRewrites = 0;
+};
+
+/** Supervision knobs for one device task. */
+struct SupervisorConfig
+{
+    std::uint64_t device = 0;
+
+    /** Total attempts allowed (>= 1). */
+    unsigned retryMax = 3;
+
+    /** Consecutive failures that quarantine the device. */
+    unsigned quarantineAfter = 3;
+
+    /** Base of the exponential backoff, milliseconds (0 = none). */
+    double backoffBaseMs = 1.0;
+
+    /** Jitter stream seed (shared across the fleet). */
+    std::uint64_t backoffSeed = 1;
+
+    /** Wall-clock watchdog per attempt, ms (0 = no deadline). */
+    double deadlineMs = 0.0;
+
+    /** Device snapshot path ("" = no checkpoint/resume). */
+    std::string snapshotPath;
+
+    /** Periodic checkpoint cadence in wakes (0 = chaos/exit only). */
+    std::uint64_t checkpointEveryWakes = 0;
+
+    /** Simulated horizon. */
+    Tick horizon = 0;
+
+    /** Samples of the survival/UE/energy trajectory (>= 2). */
+    unsigned curvePoints = 2;
+};
+
+/** Everything the fleet aggregation needs from one device. */
+struct SupervisedResult
+{
+    DeviceOutcome outcome = DeviceOutcome::Skipped;
+
+    unsigned attempts = 0;
+    unsigned failures = 0;
+
+    /** A resume from a device snapshot actually happened. */
+    bool resumedFromSnapshot = false;
+
+    /**
+     * The newest snapshot was unusable and the attempt recovered via
+     * the rotated generation or a fresh restart.
+     */
+    bool snapshotFellBack = false;
+
+    /** Reasons of every failed attempt, in order. */
+    std::vector<std::string> failureReasons;
+
+    /** Set when outcome == Quarantined. */
+    std::string quarantineReason;
+
+    /** Final metrics (valid for Completed/Resumed only). */
+    ScrubMetrics metrics;
+
+    /** Wakes executed (cumulative across resumes). */
+    std::uint64_t wakes = 0;
+
+    /** Device trajectory, curvePoints entries when successful. */
+    std::vector<CurveSample> samples;
+
+    /**
+     * FNV-1a digest over the final metrics and samples: two devices
+     * produced bit-identical results iff their digests match.
+     */
+    std::uint64_t digest = 0;
+
+    bool succeeded() const
+    {
+        return outcome == DeviceOutcome::Completed ||
+               outcome == DeviceOutcome::Resumed;
+    }
+};
+
+/**
+ * Run one device under full supervision. Never throws: every failure
+ * is converted into retry, quarantine, or a skip. `makeSim` is called
+ * once per attempt (a fresh simulation that is then fast-forwarded
+ * from the newest valid snapshot); `cancel` (optional) skips the
+ * device if set before the first attempt starts and stops retries
+ * between attempts.
+ */
+SupervisedResult
+superviseDevice(const SupervisorConfig &config, const ChaosPlan &plan,
+                const std::function<DeviceSim()> &makeSim,
+                const std::atomic<bool> *cancel = nullptr);
+
+} // namespace pcmscrub
+
+#endif // PCMSCRUB_FLEET_SUPERVISOR_HH

@@ -175,6 +175,42 @@ applyRunConfig(const ConfigFile &file, AnalyticRunConfig defaults)
     if (out.backend.degradation.pprSpareRows > 0)
         out.backend.degradation.enabled = true;
 
+    // [fleet]
+    out.fleet.devices = file.getInt("fleet.devices", out.fleet.devices);
+    if (out.fleet.devices == 0)
+        fatal("config: fleet.devices must be at least 1");
+    out.fleet.driftSpread = file.getDouble("fleet.drift_spread",
+                                           out.fleet.driftSpread);
+    out.fleet.enduranceSpread = file.getDouble(
+        "fleet.endurance_spread", out.fleet.enduranceSpread);
+    out.fleet.faultSpread = file.getDouble("fleet.fault_spread",
+                                           out.fleet.faultSpread);
+    if (out.fleet.driftSpread < 0.0 || out.fleet.enduranceSpread < 0.0 ||
+        out.fleet.faultSpread < 0.0)
+        fatal("config: fleet manufacturing spreads must be >= 0");
+    out.fleet.retryMax = static_cast<unsigned>(
+        file.getInt("fleet.retry_max", out.fleet.retryMax));
+    if (out.fleet.retryMax < 1)
+        fatal("config: fleet.retry_max must be at least 1");
+    out.fleet.quarantineAfter = static_cast<unsigned>(file.getInt(
+        "fleet.quarantine_after", out.fleet.quarantineAfter));
+    if (out.fleet.quarantineAfter < 1 ||
+        out.fleet.quarantineAfter > out.fleet.retryMax)
+        fatal("config: fleet.quarantine_after must be in "
+              "[1, fleet.retry_max]");
+    out.fleet.backoffBaseMs = file.getDouble("fleet.backoff_base_ms",
+                                             out.fleet.backoffBaseMs);
+    if (!(out.fleet.backoffBaseMs >= 0.0))
+        fatal("config: fleet.backoff_base_ms must be >= 0");
+    out.fleet.deadlineMs = file.getDouble("fleet.deadline_ms",
+                                          out.fleet.deadlineMs);
+    if (!(out.fleet.deadlineMs >= 0.0))
+        fatal("config: fleet.deadline_ms must be >= 0");
+    out.fleet.curvePoints = static_cast<unsigned>(
+        file.getInt("fleet.curve_points", out.fleet.curvePoints));
+    if (out.fleet.curvePoints < 2)
+        fatal("config: fleet.curve_points must be at least 2");
+
     return out;
 }
 

@@ -63,6 +63,41 @@ struct RasSettings
     std::string telemetryPath;
 };
 
+/**
+ * Fleet-campaign knobs for the supervised heterogeneous-device
+ * harness. Like RasSettings, a plain struct: the fleet library
+ * consumes it, config loading must not depend on the runner.
+ */
+struct FleetSettings
+{
+    /** Devices in the campaign (the --devices flag overrides). */
+    std::uint64_t devices = 16;
+
+    /**
+     * Manufacturing spread: log-normal sigma applied per device to
+     * the drift-speed sigma, the endurance median, and the fault-mix
+     * rates. 0 = an identical fleet.
+     */
+    double driftSpread = 0.15;
+    double enduranceSpread = 0.20;
+    double faultSpread = 0.50;
+
+    /** Attempts per device before the supervisor gives up. */
+    unsigned retryMax = 3;
+
+    /** Consecutive failures that quarantine a device (<= retryMax). */
+    unsigned quarantineAfter = 3;
+
+    /** Base of the exponential retry backoff, milliseconds. */
+    double backoffBaseMs = 1.0;
+
+    /** Wall-clock watchdog deadline per attempt, ms; 0 = no deadline. */
+    double deadlineMs = 0.0;
+
+    /** Sample count of the population survival/UE/energy curves. */
+    unsigned curvePoints = 16;
+};
+
 /** Everything an INI file can configure about an analytic run. */
 struct AnalyticRunConfig
 {
@@ -71,6 +106,9 @@ struct AnalyticRunConfig
 
     /** RAS control plane (off unless ras.enabled is set). */
     RasSettings ras{};
+
+    /** Fleet campaign shape (only the fleet harnesses read it). */
+    FleetSettings fleet{};
 
     /** Simulated horizon in days. */
     double days = 14.0;

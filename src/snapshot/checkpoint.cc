@@ -161,9 +161,19 @@ CheckpointRuntime::configure(const CliOptions &opts, bool supported)
 
     if (!resumePath_.empty()) {
         // Load and validate eagerly: a bad snapshot should stop the
-        // run before hours of simulation, not after.
-        pendingResume_ = std::make_unique<SnapshotReader>(
-            SnapshotReader::fromFile(resumePath_));
+        // run before hours of simulation, not after. A corrupt newest
+        // snapshot falls back to the rotated previous generation
+        // (path + ".1"); only zero valid candidates is fatal.
+        std::string failure;
+        auto reader = openNewestValidSnapshot(resumePath_, nullptr,
+                                              &failure);
+        if (!reader.has_value()) {
+            fatal("--resume %s: no valid checkpoint ordinal found "
+                  "(%s)",
+                  resumePath_.c_str(), failure.c_str());
+        }
+        pendingResume_ =
+            std::make_unique<SnapshotReader>(std::move(*reader));
         std::atexit([] {
             CheckpointRuntime &runtime = CheckpointRuntime::global();
             if (runtime.pendingResume_ != nullptr &&
@@ -216,12 +226,36 @@ CheckpointRuntime::tryRestore(ScrubBackend &backend, ScrubPolicy &policy,
     if (pendingResume_ == nullptr || resumeConsumed_)
         return std::nullopt;
 
-    const CheckpointMeta peek =
-        parseMetaSection(*pendingResume_, nullptr);
+    CheckpointMeta peek = parseMetaSection(*pendingResume_, nullptr);
     if (peek.runOrdinal != runOrdinal) {
         // An earlier run of a multi-run binary: replay it from
         // scratch (deterministic), restore when the ordinal matches.
         return std::nullopt;
+    }
+
+    const std::uint64_t expected = backend.checkpointFingerprint();
+    if (pendingResume_->fingerprint() != expected) {
+        // The newest snapshot was written by a different
+        // configuration — likely a torn or stale rotation state. Try
+        // the previous generation before giving up.
+        std::string failure;
+        auto replacement =
+            openNewestValidSnapshot(resumePath_, &expected, &failure);
+        if (!replacement.has_value()) {
+            fatal("snapshot %s: configuration fingerprint %016llx "
+                  "does not match this run's %016llx and no valid "
+                  "fallback ordinal exists (%s)",
+                  pendingResume_->context().c_str(),
+                  static_cast<unsigned long long>(
+                      pendingResume_->fingerprint()),
+                  static_cast<unsigned long long>(expected),
+                  failure.c_str());
+        }
+        pendingResume_ =
+            std::make_unique<SnapshotReader>(std::move(*replacement));
+        peek = parseMetaSection(*pendingResume_, nullptr);
+        if (peek.runOrdinal != runOrdinal)
+            return std::nullopt;
     }
 
     const CheckpointMeta meta =
@@ -248,6 +282,7 @@ CheckpointRuntime::poll(const ScrubBackend &backend,
             std::exit(0);
         }
         if (!checkpointPath_.empty()) {
+            rotateSnapshot(checkpointPath_);
             writeCheckpoint(checkpointPath_, backend, policy, meta,
                             extraSave_);
             std::fprintf(stderr,
@@ -284,6 +319,9 @@ CheckpointRuntime::poll(const ScrubBackend &backend,
     if (meta.simTime < lastCheckpointTick_ + interval)
         return;
 
+    // Keep the previous good snapshot as `path + ".1"` so a corrupt
+    // or torn newest write still leaves a resumable generation.
+    rotateSnapshot(checkpointPath_);
     writeCheckpoint(checkpointPath_, backend, policy, meta, extraSave_);
     lastCheckpointTick_ = meta.simTime;
 }

@@ -153,24 +153,38 @@ SnapshotReader::SnapshotReader(std::vector<std::uint8_t> bytes,
                                std::string context)
     : bytes_(std::move(bytes)), context_(std::move(context))
 {
+    const std::string error = parse();
+    if (!error.empty())
+        fatal("%s", error.c_str());
+}
+
+std::string
+SnapshotReader::parse()
+{
     std::size_t cursor = 0;
-    const auto die = [this](const char *what) {
-        fatal("snapshot %s: %s", context_.c_str(), what);
+    bool truncated = false;
+    const auto describe = [this](const std::string &what) {
+        return "snapshot " + context_ + ": " + what;
     };
-    const auto need = [&](std::size_t count, const char *what) {
-        if (count > bytes_.size() - cursor)
-            die(what);
+    const auto need = [&](std::size_t count) {
+        if (count > bytes_.size() - cursor) {
+            truncated = true;
+            return false;
+        }
+        return true;
     };
-    const auto readU32 = [&]() {
-        need(4, "truncated (a header field is cut off)");
+    const auto readU32 = [&]() -> std::uint32_t {
+        if (!need(4))
+            return 0;
         std::uint32_t value = 0;
         for (int i = 3; i >= 0; --i)
             value = (value << 8) | bytes_[cursor + i];
         cursor += 4;
         return value;
     };
-    const auto readU64 = [&]() {
-        need(8, "truncated (a header field is cut off)");
+    const auto readU64 = [&]() -> std::uint64_t {
+        if (!need(8))
+            return 0;
         std::uint64_t value = 0;
         for (int i = 7; i >= 0; --i)
             value = (value << 8) | bytes_[cursor + i];
@@ -179,41 +193,45 @@ SnapshotReader::SnapshotReader(std::vector<std::uint8_t> bytes,
     };
 
     if (bytes_.size() < headerSize)
-        die("file is shorter than the container header");
+        return describe("file is shorter than the container header");
 
     for (const char expected : snapshotMagic) {
         if (bytes_[cursor++] != static_cast<std::uint8_t>(expected))
-            die("bad magic (not a pcmscrub snapshot)");
+            return describe("bad magic (not a pcmscrub snapshot)");
     }
 
     const std::uint32_t version = readU32();
     if (version != snapshotFormatVersion) {
-        fatal("snapshot %s: unsupported format version %u (this build "
-              "reads version %u)",
-              context_.c_str(), version, snapshotFormatVersion);
+        return describe("unsupported format version " +
+                        std::to_string(version) + " (this build reads "
+                        "version " +
+                        std::to_string(snapshotFormatVersion) + ")");
     }
 
     const std::uint64_t declared = readU64();
     if (declared != bytes_.size()) {
-        fatal("snapshot %s: declared length %llu does not match the "
-              "actual %zu bytes (truncated or padded file)",
-              context_.c_str(),
-              static_cast<unsigned long long>(declared), bytes_.size());
+        return describe("declared length " + std::to_string(declared) +
+                        " does not match the actual " +
+                        std::to_string(bytes_.size()) +
+                        " bytes (truncated or padded file)");
     }
     if (declared > maxContainerBytes)
-        die("container larger than the 1 GiB limit");
+        return describe("container larger than the 1 GiB limit");
 
     fingerprint_ = readU64();
 
     const std::uint32_t count = readU32();
     if (count == 0 || count > maxSections)
-        die("section count outside 1..64");
+        return describe("section count outside 1..64");
 
     for (std::uint32_t i = 0; i < count; ++i) {
         const std::uint32_t nameLen = readU32();
+        if (truncated)
+            return describe("truncated (a header field is cut off)");
         if (nameLen == 0 || nameLen > maxSectionName)
-            die("section name length outside 1..64");
-        need(nameLen, "truncated (a section name is cut off)");
+            return describe("section name length outside 1..64");
+        if (!need(nameLen))
+            return describe("truncated (a section name is cut off)");
         std::string name(
             reinterpret_cast<const char *>(bytes_.data() + cursor),
             nameLen);
@@ -221,8 +239,10 @@ SnapshotReader::SnapshotReader(std::vector<std::uint8_t> bytes,
 
         const std::uint64_t payloadLen = readU64();
         const std::uint32_t storedCrc = readU32();
+        if (truncated)
+            return describe("truncated (a header field is cut off)");
         if (payloadLen > bytes_.size() - cursor)
-            die("section payload extends past the file end");
+            return describe("section payload extends past the file end");
 
         std::uint32_t crc = crc32(
             reinterpret_cast<const std::uint8_t *>(name.data()),
@@ -230,16 +250,13 @@ SnapshotReader::SnapshotReader(std::vector<std::uint8_t> bytes,
         crc = crc32(bytes_.data() + cursor,
                     static_cast<std::size_t>(payloadLen), crc);
         if (crc != storedCrc) {
-            fatal("snapshot %s: checksum mismatch in section '%s' "
-                  "(corrupted bytes)",
-                  context_.c_str(), name.c_str());
+            return describe("checksum mismatch in section '" + name +
+                            "' (corrupted bytes)");
         }
 
         for (const auto &section : sections_) {
-            if (section.name == name) {
-                fatal("snapshot %s: duplicate section '%s'",
-                      context_.c_str(), name.c_str());
-            }
+            if (section.name == name)
+                return describe("duplicate section '" + name + "'");
         }
         sections_.push_back(Section{std::move(name), cursor,
                                     static_cast<std::size_t>(payloadLen)});
@@ -247,42 +264,83 @@ SnapshotReader::SnapshotReader(std::vector<std::uint8_t> bytes,
     }
 
     if (cursor != bytes_.size())
-        die("trailing bytes after the last section");
+        return describe("trailing bytes after the last section");
+    return std::string();
 }
 
-SnapshotReader
-SnapshotReader::fromFile(const std::string &path)
+namespace {
+
+/** Slurp `path`; false (with diagnostic) instead of fatal() on error. */
+bool
+readSnapshotBytes(const std::string &path,
+                  std::vector<std::uint8_t> &bytes, std::string &error)
 {
     const int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0) {
-        fatal("snapshot %s: cannot open: %s", path.c_str(),
-              std::strerror(errno));
+        error = "snapshot " + path + ": cannot open: " +
+                std::strerror(errno);
+        return false;
     }
 
-    std::vector<std::uint8_t> bytes;
     std::uint8_t buffer[1 << 16];
     for (;;) {
         const ssize_t n = ::read(fd, buffer, sizeof(buffer));
         if (n < 0) {
             if (errno == EINTR)
                 continue;
-            const int error = errno;
+            const int readError = errno;
             ::close(fd);
-            fatal("snapshot %s: read failed: %s", path.c_str(),
-                  std::strerror(error));
+            error = "snapshot " + path + ": read failed: " +
+                    std::strerror(readError);
+            return false;
         }
         if (n == 0)
             break;
         bytes.insert(bytes.end(), buffer, buffer + n);
         if (bytes.size() > maxContainerBytes) {
             ::close(fd);
-            fatal("snapshot %s: file larger than the 1 GiB limit",
-                  path.c_str());
+            error = "snapshot " + path +
+                    ": file larger than the 1 GiB limit";
+            return false;
         }
     }
     ::close(fd);
+    return true;
+}
 
+} // namespace
+
+SnapshotReader
+SnapshotReader::fromFile(const std::string &path)
+{
+    std::vector<std::uint8_t> bytes;
+    std::string error;
+    if (!readSnapshotBytes(path, bytes, error))
+        fatal("%s", error.c_str());
     return SnapshotReader(std::move(bytes), path);
+}
+
+std::optional<SnapshotReader>
+SnapshotReader::tryFromFile(const std::string &path, std::string *error)
+{
+    std::vector<std::uint8_t> bytes;
+    std::string diagnostic;
+    if (!readSnapshotBytes(path, bytes, diagnostic)) {
+        if (error != nullptr)
+            *error = diagnostic;
+        return std::nullopt;
+    }
+
+    SnapshotReader reader;
+    reader.bytes_ = std::move(bytes);
+    reader.context_ = path;
+    diagnostic = reader.parse();
+    if (!diagnostic.empty()) {
+        if (error != nullptr)
+            *error = diagnostic;
+        return std::nullopt;
+    }
+    return reader;
 }
 
 bool
@@ -307,6 +365,54 @@ SnapshotReader::section(const std::string &name) const
     }
     fatal("snapshot %s: required section '%s' is missing",
           context_.c_str(), name.c_str());
+}
+
+void
+rotateSnapshot(const std::string &path)
+{
+    if (::access(path.c_str(), F_OK) != 0)
+        return;
+    const std::string previous = path + ".1";
+    if (std::rename(path.c_str(), previous.c_str()) != 0) {
+        fatal("snapshot %s: rotation to %s failed: %s", path.c_str(),
+              previous.c_str(), std::strerror(errno));
+    }
+    syncDirectoryOf(path);
+}
+
+std::optional<SnapshotReader>
+openNewestValidSnapshot(const std::string &path,
+                        const std::uint64_t *expectedFingerprint,
+                        std::string *failure)
+{
+    const std::string candidates[] = {path, path + ".1"};
+    std::string combined;
+    for (const auto &candidate : candidates) {
+        std::string error;
+        auto reader = SnapshotReader::tryFromFile(candidate, &error);
+        if (reader.has_value() && expectedFingerprint != nullptr &&
+            reader->fingerprint() != *expectedFingerprint) {
+            error = "snapshot " + candidate +
+                    ": fingerprint mismatch (snapshot was written by a "
+                    "different device/run configuration)";
+            reader.reset();
+        }
+        if (reader.has_value()) {
+            // Only warn when we skipped the newer candidate: the
+            // rotation being absent or stale is the normal case.
+            if (&candidate != &candidates[0]) {
+                warn("%s; falling back to rotated snapshot %s",
+                     combined.c_str(), candidate.c_str());
+            }
+            return reader;
+        }
+        if (!combined.empty())
+            combined += "; ";
+        combined += error;
+    }
+    if (failure != nullptr)
+        *failure = combined;
+    return std::nullopt;
 }
 
 } // namespace pcmscrub

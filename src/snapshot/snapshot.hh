@@ -37,6 +37,7 @@
 #define PCMSCRUB_SNAPSHOT_SNAPSHOT_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -118,6 +119,15 @@ class SnapshotReader
     /** Read and parse a snapshot file; missing file is fatal(). */
     static SnapshotReader fromFile(const std::string &path);
 
+    /**
+     * Non-fatal variant of fromFile(): a missing, truncated, or
+     * corrupt file yields std::nullopt with the would-be fatal()
+     * diagnostic in `*error` (if non-null). Recovery paths use this
+     * to probe checkpoint candidates without aborting the process.
+     */
+    static std::optional<SnapshotReader>
+    tryFromFile(const std::string &path, std::string *error = nullptr);
+
     std::uint64_t fingerprint() const { return fingerprint_; }
     const std::string &context() const { return context_; }
 
@@ -138,11 +148,39 @@ class SnapshotReader
         std::size_t size;   //!< Payload size in bytes.
     };
 
+    SnapshotReader() = default;
+
+    /**
+     * Validate bytes_ and index the sections. Returns the full
+     * diagnostic on failure, empty string on success.
+     */
+    std::string parse();
+
     std::vector<std::uint8_t> bytes_;
     std::string context_;
     std::uint64_t fingerprint_ = 0;
     std::vector<Section> sections_;
 };
+
+/**
+ * Rotate `path` to `path + ".1"` (replacing any previous rotation) so
+ * one older snapshot generation survives the next write. A missing
+ * `path` is a no-op; a failing rename is fatal().
+ */
+void rotateSnapshot(const std::string &path);
+
+/**
+ * Open the newest valid snapshot among `path` and its rotation
+ * `path + ".1"`: candidates that fail to parse — or whose fingerprint
+ * differs from `*expectedFingerprint` when that is non-null — are
+ * skipped with a warn(). Returns std::nullopt if no candidate
+ * survives, with the per-candidate diagnostics joined into
+ * `*failure` (if non-null).
+ */
+std::optional<SnapshotReader>
+openNewestValidSnapshot(const std::string &path,
+                        const std::uint64_t *expectedFingerprint,
+                        std::string *failure = nullptr);
 
 } // namespace pcmscrub
 

@@ -64,6 +64,28 @@ TEST(CliTest, DefaultsWhenNoFlags)
     EXPECT_FALSE(opts.checkpointingRequested());
 }
 
+TEST(CliTest, ParsesDevicesAndChaos)
+{
+    const CliOptions defaults = parse({});
+    EXPECT_EQ(defaults.devices, 0u); // 0 = harness default.
+    EXPECT_FALSE(defaults.chaos);
+
+    const CliOptions opts = parse({"--devices", "32", "--chaos"});
+    EXPECT_EQ(opts.devices, 32u);
+    EXPECT_TRUE(opts.chaos);
+    const CliOptions eq = parse({"--devices=8"});
+    EXPECT_EQ(eq.devices, 8u);
+    EXPECT_FALSE(eq.chaos);
+}
+
+TEST(CliDeathTest, DevicesRejectsZeroAndGarbage)
+{
+    EXPECT_EXIT(parse({"--devices", "0"}),
+                ::testing::ExitedWithCode(1), "--devices");
+    EXPECT_EXIT(parse({"--devices", "many"}),
+                ::testing::ExitedWithCode(1), "--devices");
+}
+
 TEST(CliTest, ParsesLinesAndSweeps)
 {
     const CliOptions opts =

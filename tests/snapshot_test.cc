@@ -464,5 +464,156 @@ TEST_F(SnapshotFuzzDeathTest, TrailingGarbageIsRejected)
                 ::testing::ExitedWithCode(1), "snapshot");
 }
 
+// Rotation & newest-valid fallback -------------------------------
+//
+// Every checkpoint write rotates the previous file to `path.1`, so
+// one earlier generation survives a corrupted newest snapshot; the
+// resolver walks newest-to-oldest and skips invalid candidates.
+
+TEST(SnapshotFallbackTest, TryFromFileReportsInsteadOfDying)
+{
+    std::string error;
+    EXPECT_FALSE(SnapshotReader::tryFromFile(
+                     tempPath("nonexistent.snap"), &error)
+                     .has_value());
+    EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+
+    const std::string path = tempPath("tryfrom.snap");
+    writeSampleCheckpoint(path);
+    std::vector<std::uint8_t> bytes = readAll(path);
+    bytes[bytes.size() / 2] ^= 0x40;
+    writeAll(path, bytes);
+    EXPECT_FALSE(
+        SnapshotReader::tryFromFile(path, &error).has_value());
+    EXPECT_FALSE(error.empty());
+
+    writeSampleCheckpoint(path);
+    const auto reader = SnapshotReader::tryFromFile(path, &error);
+    ASSERT_TRUE(reader.has_value()) << error;
+    EXPECT_EQ(reader->context(), path);
+    std::remove(path.c_str());
+}
+
+TEST(SnapshotFallbackTest, RotateKeepsOnePreviousGeneration)
+{
+    const std::string path = tempPath("rotate.snap");
+    std::remove(path.c_str());
+    std::remove((path + ".1").c_str());
+
+    rotateSnapshot(path); // No file yet: must be a quiet no-op.
+    EXPECT_FALSE(fileExists(path + ".1"));
+
+    writeSampleCheckpoint(path, 5);
+    rotateSnapshot(path);
+    EXPECT_FALSE(fileExists(path));
+    EXPECT_TRUE(fileExists(path + ".1"));
+
+    writeSampleCheckpoint(path, 5);
+    const auto newest = openNewestValidSnapshot(path, nullptr);
+    ASSERT_TRUE(newest.has_value());
+    EXPECT_EQ(newest->context(), path);
+    std::remove(path.c_str());
+    std::remove((path + ".1").c_str());
+}
+
+TEST(SnapshotFallbackTest, CorruptNewestFallsBackToRotated)
+{
+    const std::string path = tempPath("fallback.snap");
+    writeSampleCheckpoint(path, 5);
+    rotateSnapshot(path);
+    writeSampleCheckpoint(path, 5);
+
+    // Flip a payload byte in the newest generation: its section CRC
+    // trips, and the resolver must fall back to path.1.
+    std::vector<std::uint8_t> bytes = readAll(path);
+    bytes[bytes.size() / 2] ^= 0x01;
+    writeAll(path, bytes);
+
+    std::string failure;
+    const auto reader =
+        openNewestValidSnapshot(path, nullptr, &failure);
+    ASSERT_TRUE(reader.has_value()) << failure;
+    EXPECT_EQ(reader->context(), path + ".1");
+    std::remove(path.c_str());
+    std::remove((path + ".1").c_str());
+}
+
+TEST(SnapshotFallbackTest, FingerprintMismatchIsSkippedAsInvalid)
+{
+    const std::string path = tempPath("fpmismatch.snap");
+    std::remove((path + ".1").c_str());
+    writeSampleCheckpoint(path, 5);
+
+    AnalyticBackend expected(smallConfig(5));
+    const std::uint64_t good = expected.checkpointFingerprint();
+    const auto match = openNewestValidSnapshot(path, &good);
+    ASSERT_TRUE(match.has_value());
+
+    // A different seed yields a different config fingerprint: the
+    // only candidate no longer counts as valid.
+    AnalyticBackend other(smallConfig(6));
+    std::string failure;
+    const std::uint64_t wrong = other.checkpointFingerprint();
+    EXPECT_FALSE(
+        openNewestValidSnapshot(path, &wrong, &failure).has_value());
+    EXPECT_NE(failure.find("fingerprint"), std::string::npos)
+        << failure;
+    std::remove(path.c_str());
+}
+
+TEST(SnapshotFallbackTest, ResumeWithCorruptNewestUsesRotated)
+{
+    const std::string path = tempPath("resumefallback.snap");
+
+    // Two generations of the same run: a 6 h checkpoint rotated to
+    // path.1, then a corrupted newest.
+    writeSampleCheckpoint(path, 5);
+    rotateSnapshot(path);
+    writeSampleCheckpoint(path, 5);
+    std::vector<std::uint8_t> bytes = readAll(path);
+    bytes[bytes.size() / 2] ^= 0x08;
+    writeAll(path, bytes);
+
+    CheckpointRuntime &runtime = CheckpointRuntime::global();
+    runtime.resetForTest();
+    CliOptions opts;
+    opts.resumePath = path;
+    runtime.configure(opts);
+
+    AnalyticBackend device(smallConfig(5));
+    const auto policy = makePolicy(basicSpec(), device);
+    runtime.beginRun();
+    const auto meta = runtime.tryRestore(device, *policy, 0);
+    ASSERT_TRUE(meta.has_value());
+    EXPECT_EQ(meta->simTime, secondsToTicks(6 * 3600.0));
+    runtime.resetForTest();
+    std::remove(path.c_str());
+    std::remove((path + ".1").c_str());
+}
+
+TEST(CheckpointDeathTest, ResumeWithZeroValidOrdinalsDies)
+{
+    const std::string path = tempPath("novalid.snap");
+
+    // Both generations corrupt: resolution must fail loudly at
+    // configure time, never resume from garbage.
+    writeSampleCheckpoint(path, 5);
+    std::vector<std::uint8_t> bytes = readAll(path);
+    bytes[bytes.size() / 2] ^= 0x10;
+    writeAll(path, bytes);
+    writeAll(path + ".1", bytes);
+
+    EXPECT_EXIT(
+        {
+            CliOptions opts;
+            opts.resumePath = path;
+            CheckpointRuntime::global().configure(opts);
+        },
+        ::testing::ExitedWithCode(1),
+        "no valid checkpoint ordinal found");
+    std::remove(path.c_str());
+    std::remove((path + ".1").c_str());
+}
+
 } // namespace
 } // namespace pcmscrub

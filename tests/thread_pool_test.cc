@@ -145,6 +145,51 @@ TEST(ThreadPool, ParallelWorkersActuallyRunConcurrently)
     EXPECT_TRUE(sawPeer.load());
 }
 
+TEST(ThreadPool, RunCancellableWithoutCancelRunsEverything)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t tasks = 500;
+    std::vector<std::atomic<int>> hits(tasks);
+    std::atomic<bool> cancel{false};
+    const std::size_t skipped = pool.runCancellable(
+        tasks, [&](std::size_t task) { ++hits[task]; }, cancel);
+    EXPECT_EQ(skipped, 0u);
+    for (std::size_t task = 0; task < tasks; ++task)
+        EXPECT_EQ(hits[task].load(), 1) << "task " << task;
+}
+
+TEST(ThreadPool, RunCancellableSkipsTasksAfterCancel)
+{
+    // Serial pool for a deterministic cut: task 10 sets the flag, so
+    // tasks 11+ must be skipped and counted, never run.
+    ThreadPool pool(1);
+    constexpr std::size_t tasks = 64;
+    std::vector<int> hits(tasks, 0);
+    std::atomic<bool> cancel{false};
+    const std::size_t skipped = pool.runCancellable(
+        tasks,
+        [&](std::size_t task) {
+            ++hits[task];
+            if (task == 10)
+                cancel.store(true, std::memory_order_release);
+        },
+        cancel);
+    EXPECT_EQ(skipped, tasks - 11);
+    for (std::size_t task = 0; task < tasks; ++task)
+        EXPECT_EQ(hits[task], task <= 10 ? 1 : 0) << "task " << task;
+}
+
+TEST(ThreadPool, RunCancellablePreCancelledSkipsAll)
+{
+    ThreadPool pool(4);
+    std::atomic<bool> cancel{true};
+    std::atomic<int> ran{0};
+    const std::size_t skipped = pool.runCancellable(
+        100, [&](std::size_t) { ++ran; }, cancel);
+    EXPECT_EQ(skipped, 100u);
+    EXPECT_EQ(ran.load(), 0);
+}
+
 TEST(ThreadPool, GlobalPoolDefaultsToSerial)
 {
     // The process-wide pool starts at one worker; harnesses opt in

@@ -22,8 +22,12 @@ Understands the three pcmscrub bench JSON shapes:
   - micro_codec:  {"benchmarks": [{"name", "cpu_time_ns", ...}]}
   - micro_sweep:  flat scalars (wall_seconds, lines_per_second, ...)
   - micro_scale:  {"points": [{"lines", "lines_per_second", ...}]}
-Metrics present on only one side are skipped (e.g. a CI micro_scale
-run pinned to a single --lines point against a full-sweep baseline).
+Metrics present on only one side are not compared, but the report
+distinguishes *why* a baseline point is absent from the fresh run: a
+point listed in the fresh document's "skipped_points" (micro_scale's
+RSS-budget gate) is reported as deliberately skipped, anything else
+as missing (e.g. a CI run pinned to a single --lines point against a
+full-sweep baseline).
 """
 
 import json
@@ -71,6 +75,22 @@ def flatten(doc):
     for key, better in HIGHER_IS_BETTER.items():
         if key in doc:
             out[key] = (float(doc[key]), better)
+    return out
+
+
+def skipped_prefixes(doc):
+    """Point prefixes the run deliberately skipped (with reasons).
+
+    micro_scale records RSS-gated points under "skipped_points"; the
+    returned {"lines=N/": reason} map lets the diff tell a skipped
+    point apart from a genuinely missing one.
+    """
+    out = {}
+    for skip in doc.get("skipped_points", []):
+        if not isinstance(skip, dict) or "lines" not in skip:
+            continue
+        out["lines=%d/" % int(skip["lines"])] = str(
+            skip.get("reason", "skipped"))
     return out
 
 
@@ -124,8 +144,17 @@ def diff(baseline_path, fresh_path, guard):
     print("|---|---|---|---|")
     baseline = flatten(baseline_doc)
     fresh = flatten(fresh_doc)
+    fresh_skips = skipped_prefixes(fresh_doc)
+    skipped = {}
+    missing = []
     for metric, (base_value, higher_better) in baseline.items():
         if metric not in fresh:
+            prefix = metric.split("/", 1)[0] + "/" if "/" in metric \
+                else None
+            if prefix in fresh_skips:
+                skipped.setdefault(prefix, fresh_skips[prefix])
+            else:
+                missing.append(metric)
             continue
         fresh_value = fresh[metric][0]
         worse = regression_pct(metric, base_value, fresh_value,
@@ -138,10 +167,19 @@ def diff(baseline_path, fresh_path, guard):
             delta = "%+.1f%% %s" % (pct, "✅" if improved else "🔺")
         print("| %s | %s | %s | %s |" %
               (metric, fmt(base_value), fmt(fresh_value), delta))
-    skipped = [m for m in fresh if m not in baseline]
     if skipped:
         print()
-        print("_no baseline for: %s_" % ", ".join(sorted(skipped)))
+        print("_fresh run skipped: %s_" % ", ".join(
+            "%s (%s)" % (prefix.rstrip("/"), reason)
+            for prefix, reason in sorted(skipped.items())))
+    if missing:
+        print()
+        print("_missing from fresh run: %s_" %
+              ", ".join(sorted(missing)))
+    no_baseline = [m for m in fresh if m not in baseline]
+    if no_baseline:
+        print()
+        print("_no baseline for: %s_" % ", ".join(sorted(no_baseline)))
     print()
     return guard_violations(baseline, fresh) if guard else []
 

@@ -96,6 +96,32 @@ class GuardViolationsTest(unittest.TestCase):
                          [])
 
 
+class SkippedPointsTest(unittest.TestCase):
+    def test_skipped_points_parsed_with_reason(self):
+        doc = {"points": [{"lines": 16384, "bytes_per_line": 800.0}],
+               "skipped_points": [{"lines": 4194304,
+                                   "reason": "rss_budget",
+                                   "projected_gib": 5.2}]}
+        self.assertEqual(bench_diff.skipped_prefixes(doc),
+                         {"lines=4194304/": "rss_budget"})
+
+    def test_absent_or_malformed_records_yield_nothing(self):
+        self.assertEqual(bench_diff.skipped_prefixes({}), {})
+        self.assertEqual(
+            bench_diff.skipped_prefixes(
+                {"skipped_points": ["garbage", {"reason": "?"}]}),
+            {})
+
+    def test_skipped_point_never_guard_violates(self):
+        # Baseline has the big point; the fresh run RSS-gated it, so
+        # its metrics are absent from fresh — one-sided metrics are
+        # skipped by the guard, and the skip record explains why.
+        baseline = metrics(**{"lines=4194304/bytes_per_line": 835.0})
+        fresh = metrics(**{"lines=16384/bytes_per_line": 835.0})
+        self.assertEqual(bench_diff.guard_violations(baseline, fresh),
+                         [])
+
+
 class RegressionPctTest(unittest.TestCase):
     def test_lower_is_better_sign(self):
         self.assertAlmostEqual(

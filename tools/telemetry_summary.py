@@ -15,17 +15,30 @@ import sys
 from collections import OrderedDict
 
 
+def numeric(sample, key, default=0.0):
+    """A sample field as float, or `default` when absent/corrupt."""
+    value = sample.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return default
+    return float(value)
+
+
 def load_samples(paths):
     """Parse JSONL files into {run: [sample, ...]} in time order.
 
     A run that crashed and resumed from a checkpoint replays the tail
     of its samples, so later occurrences of the same (run, t_hours)
     key replace earlier ones.
+
+    A telemetry file can end (or even begin) with garbage — a line
+    truncated by a kill, bytes clobbered by a disk fault, or a
+    non-object JSON value. Every such line is skipped and counted,
+    never fatal: the summary of the surviving samples still prints.
     """
     by_key = OrderedDict()
     bad = 0
     for path in paths:
-        with open(path, "r", encoding="utf-8") as fh:
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
             for line in fh:
                 line = line.strip()
                 if not line:
@@ -35,46 +48,51 @@ def load_samples(paths):
                 except json.JSONDecodeError:
                     bad += 1
                     continue
-                key = (sample.get("run", "?"), sample.get("t_hours"))
+                if not isinstance(sample, dict):
+                    # Valid JSON but not a telemetry object.
+                    bad += 1
+                    continue
+                key = (sample.get("run", "?"),
+                       numeric(sample, "t_hours"))
                 by_key[key] = sample
     runs = OrderedDict()
     for (run, _), sample in by_key.items():
-        runs.setdefault(run, []).append(sample)
+        runs.setdefault(str(run), []).append(sample)
     for samples in runs.values():
-        samples.sort(key=lambda s: s.get("t_hours", 0.0))
+        samples.sort(key=lambda s: numeric(s, "t_hours"))
     return runs, bad
 
 
 def summarise(run, samples):
-    slo = samples[-1].get("slo_ue_per_line_day", 0.0)
-    rates = [s.get("ue_rate_per_line_day", 0.0) for s in samples]
+    slo = numeric(samples[-1], "slo_ue_per_line_day")
+    rates = [numeric(s, "ue_rate_per_line_day") for s in samples]
     actions = {}
     for s in samples:
-        a = s.get("action", "?")
+        a = str(s.get("action", "?"))
         actions[a] = actions.get(a, 0) + 1
     violations = sum(1 for r in rates if slo > 0.0 and r > slo)
     final = samples[-1]
     print(f"run: {run}")
     print(f"  samples            : {len(samples)} "
-          f"(t = {samples[0].get('t_hours', 0.0):.1f} .. "
-          f"{final.get('t_hours', 0.0):.1f} h)")
+          f"(t = {numeric(samples[0], 't_hours'):.1f} .. "
+          f"{numeric(final, 't_hours'):.1f} h)")
     # interval_s is what the run actually swept at; interval_next_s
     # is the controller's recommendation (identical when auto-tune is
     # on, advisory for fixed-interval baseline runs).
-    print(f"  interval           : start {samples[0].get('interval_s', 0.0):.0f} s, "
-          f"final {final.get('interval_s', 0.0):.0f} s "
-          f"(controller wants {final.get('interval_next_s', 0.0):.0f} s)")
+    print(f"  interval           : start {numeric(samples[0], 'interval_s'):.0f} s, "
+          f"final {numeric(final, 'interval_s'):.0f} s "
+          f"(controller wants {numeric(final, 'interval_next_s'):.0f} s)")
     print(f"  actions            : " +
           ", ".join(f"{k}={v}" for k, v in sorted(actions.items())))
     print(f"  ue rate /line/day  : peak {max(rates):.3e}, "
           f"mean {sum(rates) / len(rates):.3e} (slo {slo:.3e})")
     print(f"  slo samples over   : {violations}/{len(samples)}")
-    print(f"  repair state       : ppr_remapped={final.get('ppr_remapped', 0)}, "
-          f"ppr_rows_left={final.get('ppr_rows_left', 0)}, "
-          f"spares_left={final.get('spares_left', 0)}")
-    print(f"  cumulative         : scrub_writes={final.get('scrub_writes', 0)}, "
-          f"corrected={final.get('corrected', 0)}, "
-          f"energy_pj={final.get('energy_pj', 0.0):.3e}")
+    print(f"  repair state       : ppr_remapped={numeric(final, 'ppr_remapped'):.0f}, "
+          f"ppr_rows_left={numeric(final, 'ppr_rows_left'):.0f}, "
+          f"spares_left={numeric(final, 'spares_left'):.0f}")
+    print(f"  cumulative         : scrub_writes={numeric(final, 'scrub_writes'):.0f}, "
+          f"corrected={numeric(final, 'corrected'):.0f}, "
+          f"energy_pj={numeric(final, 'energy_pj'):.3e}")
     return violations
 
 
@@ -92,8 +110,9 @@ def main(argv):
             print()
         total_violations += summarise(run, samples)
     if bad:
-        print(f"\nwarning: skipped {bad} malformed line(s)",
-              file=sys.stderr)
+        # Part of the summary proper (stdout), so a harness reading
+        # the report sees how much telemetry was lost to corruption.
+        print(f"\nwarning: skipped {bad} malformed line(s)")
     return 0
 
 

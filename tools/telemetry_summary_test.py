@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Unit tests for telemetry_summary.py's corrupt-input hardening.
+
+Registered in CTest (telemetry_summary_test) so the summariser's
+contract is locked: truncated, binary-garbage, or non-object JSONL
+lines are skipped with a count — never a crash — and the skip count
+is reported in the summary itself.
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import telemetry_summary
+
+
+def sample(run="r0", t=1.0, **extra):
+    record = {
+        "run": run,
+        "t_hours": t,
+        "interval_s": 1800.0,
+        "interval_next_s": 1800.0,
+        "action": "hold",
+        "ue_rate_per_line_day": 1e-5,
+        "slo_ue_per_line_day": 1e-4,
+    }
+    record.update(extra)
+    return record
+
+
+def write_jsonl(lines):
+    fh = tempfile.NamedTemporaryFile(
+        "w", suffix=".jsonl", delete=False, encoding="utf-8")
+    for line in lines:
+        fh.write(line + "\n")
+    fh.close()
+    return fh.name
+
+
+class LoadSamplesTest(unittest.TestCase):
+    def load(self, lines):
+        path = write_jsonl(lines)
+        try:
+            return telemetry_summary.load_samples([path])
+        finally:
+            os.unlink(path)
+
+    def test_clean_file_has_no_skips(self):
+        runs, bad = self.load(
+            [json.dumps(sample(t=t)) for t in (1.0, 2.0)])
+        self.assertEqual(bad, 0)
+        self.assertEqual(len(runs["r0"]), 2)
+
+    def test_truncated_line_is_skipped_and_counted(self):
+        truncated = json.dumps(sample(t=2.0))[:25]
+        runs, bad = self.load(
+            [json.dumps(sample(t=1.0)), truncated])
+        self.assertEqual(bad, 1)
+        self.assertEqual(len(runs["r0"]), 1)
+
+    def test_binary_garbage_is_skipped_not_fatal(self):
+        runs, bad = self.load(
+            ["\x00\xff\x17 not json at all",
+             json.dumps(sample(t=1.0))])
+        self.assertEqual(bad, 1)
+        self.assertEqual(len(runs["r0"]), 1)
+
+    def test_valid_json_non_object_lines_are_skipped(self):
+        runs, bad = self.load(
+            ["[1, 2, 3]", "\"a string\"", "42",
+             json.dumps(sample(t=1.0))])
+        self.assertEqual(bad, 3)
+        self.assertEqual(len(runs["r0"]), 1)
+
+    def test_corrupt_field_types_do_not_crash_sorting(self):
+        runs, bad = self.load(
+            [json.dumps(sample(t=2.0)),
+             json.dumps(sample(t="garbage", interval_s="?"))])
+        self.assertEqual(bad, 0)  # Parseable object: kept, coerced.
+        self.assertEqual(len(runs["r0"]), 2)
+        # The corrupt t_hours coerces to 0.0 and sorts first.
+        self.assertEqual(
+            telemetry_summary.numeric(runs["r0"][0], "t_hours"), 0.0)
+
+    def test_resumed_run_deduplicates_on_time(self):
+        runs, bad = self.load(
+            [json.dumps(sample(t=1.0, action="old")),
+             json.dumps(sample(t=1.0, action="replayed"))])
+        self.assertEqual(bad, 0)
+        self.assertEqual(len(runs["r0"]), 1)
+        self.assertEqual(runs["r0"][0]["action"], "replayed")
+
+
+class MainTest(unittest.TestCase):
+    def run_main(self, lines):
+        path = write_jsonl(lines)
+        out = io.StringIO()
+        try:
+            with redirect_stdout(out):
+                code = telemetry_summary.main(["telemetry_summary",
+                                               path])
+        finally:
+            os.unlink(path)
+        return code, out.getvalue()
+
+    def test_skip_count_reported_in_summary(self):
+        code, out = self.run_main(
+            [json.dumps(sample(t=1.0)), "{\"truncated",
+             "not json either"])
+        self.assertEqual(code, 0)
+        self.assertIn("skipped 2 malformed line(s)", out)
+        self.assertIn("run: r0", out)
+
+    def test_clean_summary_has_no_skip_warning(self):
+        code, out = self.run_main([json.dumps(sample(t=1.0))])
+        self.assertEqual(code, 0)
+        self.assertNotIn("skipped", out)
+
+    def test_all_garbage_reports_no_samples(self):
+        path = write_jsonl(["garbage", "{\"also", "[]"])
+        try:
+            code = telemetry_summary.main(["telemetry_summary", path])
+        finally:
+            os.unlink(path)
+        self.assertEqual(code, 1)
+
+    def test_summarise_survives_corrupt_fields(self):
+        code, out = self.run_main(
+            [json.dumps(sample(t=1.0, energy_pj="bad",
+                               ppr_remapped=None, action=7))])
+        self.assertEqual(code, 0)
+        self.assertIn("run: r0", out)
+
+
+if __name__ == "__main__":
+    unittest.main()
