@@ -1,5 +1,8 @@
 #include "bench_json.hh"
 
+#include <cstdio>
+#include <cstring>
+
 #include <sys/resource.h>
 
 namespace pcmscrub {
@@ -13,6 +16,22 @@ peakRssBytes()
         return 0;
     // Linux reports ru_maxrss in kilobytes.
     return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+std::uint64_t
+availableMemoryBytes()
+{
+    std::FILE *meminfo = std::fopen("/proc/meminfo", "r");
+    if (meminfo == nullptr)
+        return 0;
+    unsigned long long kib = 0;
+    char line[256];
+    while (std::fgets(line, sizeof(line), meminfo) != nullptr) {
+        if (std::sscanf(line, "MemAvailable: %llu kB", &kib) == 1)
+            break;
+    }
+    std::fclose(meminfo);
+    return static_cast<std::uint64_t>(kib) * 1024;
 }
 
 } // namespace bench

@@ -31,6 +31,15 @@ using pcmscrub::writeJsonFile;
  */
 std::uint64_t peakRssBytes();
 
+/**
+ * Memory the kernel estimates is available for new allocations
+ * without swapping (MemAvailable from /proc/meminfo), in bytes; 0
+ * if the platform cannot say. Scale benches size their RSS budgets
+ * from this so big points run where they fit and skip where they
+ * do not.
+ */
+std::uint64_t availableMemoryBytes();
+
 } // namespace bench
 } // namespace pcmscrub
 

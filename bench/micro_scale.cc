@@ -15,11 +15,12 @@
  * --lines pins a single point instead of the default ascending sweep
  * (ascending order keeps each point's peak-RSS reading meaningful:
  * the process high-water mark is always set by the current, largest
- * array); --lines 10000000 is the supported 10^7-line probe when the
- * host has the ~9 GiB it needs. --sweeps sets scrub sweeps per point
- * (default 4). Default-sweep points whose projected footprint would
- * exceed the 4 GiB RSS budget are skipped with a notice — never
- * silently.
+ * array). The default series runs through the 10^7-line point behind
+ * a host-aware RSS projection gate — max(4 GiB, 80% of
+ * /proc/meminfo MemAvailable) — so the big point runs where it fits
+ * and is skipped with a machine-readable notice (never silently)
+ * where it does not. --sweeps sets scrub sweeps per point
+ * (default 4).
  */
 
 #include <chrono>
@@ -44,19 +45,28 @@ main(int argc, char **argv)
     const std::string path =
         positional != nullptr ? positional : "BENCH_micro_scale.json";
 
-    std::vector<std::uint64_t> points = {16384, 65536, 262144,
-                                         1048576, 4194304};
+    std::vector<std::uint64_t> points = {16384,   65536,   262144,
+                                         1048576, 4194304, 10000000};
     // Explicit --lines overrides the sweep and its RSS gate: probing
-    // past the default budget (e.g. the 10^7-line point) is the
-    // caller's deliberate choice.
+    // past the budget is the caller's deliberate choice.
     bool rssGated = true;
     if (opts.lines != 0) {
         points = {opts.lines};
         rssGated = false;
     }
     // Budget for the *projected* next point, estimated from the
-    // previous point's measured bytes/line: stay under 4 GiB peak.
-    constexpr double rssBudgetBytes = 4.0 * 1024.0 * 1024.0 * 1024.0;
+    // previous point's measured bytes/line. Host-aware: 80% of what
+    // the kernel says is available, floored at 4 GiB so the series
+    // is comparable across hosts; the floor alone (the fallback when
+    // /proc/meminfo is unreadable) still admits every point through
+    // 4M lines, while the 10^7-line point (~8 GiB peak) runs exactly
+    // where it fits.
+    constexpr double rssFloorBytes = 4.0 * 1024.0 * 1024.0 * 1024.0;
+    const double hostBudgetBytes = 0.8 *
+        static_cast<double>(bench::availableMemoryBytes());
+    const double rssBudgetBytes = hostBudgetBytes > rssFloorBytes
+        ? hostBudgetBytes
+        : rssFloorBytes;
     double lastBytesPerLine = 0.0;
     const std::uint64_t sweeps = opts.sweeps != 0 ? opts.sweeps : 4;
     const Tick interval = secondsToTicks(300.0);

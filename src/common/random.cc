@@ -6,56 +6,6 @@
 
 namespace pcmscrub {
 
-namespace {
-
-std::uint64_t
-splitmix64(std::uint64_t &state)
-{
-    state += 0x9e3779b97f4a7c15ULL;
-    std::uint64_t z = state;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
-}
-
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
-} // namespace
-
-Random::Random(std::uint64_t seed)
-{
-    std::uint64_t sm = seed;
-    for (auto &word : s_)
-        word = splitmix64(sm);
-}
-
-std::uint64_t
-Random::next()
-{
-    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const std::uint64_t t = s_[1] << 17;
-
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-
-    return result;
-}
-
-double
-Random::uniform()
-{
-    // 53 random mantissa bits -> uniform in [0, 1).
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
 double
 Random::uniform(double lo, double hi)
 {
@@ -108,6 +58,68 @@ double
 Random::normal(double mean, double stddev)
 {
     return mean + stddev * normal();
+}
+
+namespace {
+
+constexpr double kZigR = 3.442619855899;
+constexpr double kZigV = 9.91256303526217e-3;
+
+} // namespace
+
+namespace detail {
+
+const ZigTables &
+zigTables()
+{
+    static const ZigTables tables = [] {
+        ZigTables t;
+        t.x[0] = kZigV / std::exp(-0.5 * kZigR * kZigR);
+        t.x[1] = kZigR;
+        t.x[128] = 0.0;
+        for (int i = 2; i < 128; ++i) {
+            t.x[i] = std::sqrt(-2.0 *
+                std::log(kZigV / t.x[i - 1] +
+                         std::exp(-0.5 * t.x[i - 1] * t.x[i - 1])));
+        }
+        for (int i = 0; i <= 128; ++i)
+            t.f[i] = std::exp(-0.5 * t.x[i] * t.x[i]);
+        for (int i = 0; i < 128; ++i)
+            t.ratio[i] = t.x[i + 1] / t.x[i];
+        return t;
+    }();
+    return tables;
+}
+
+} // namespace detail
+
+double
+Random::normalZigSlow(std::uint64_t bits)
+{
+    const detail::ZigTables &t = detail::zigTables();
+    for (;;) {
+        const unsigned layer = static_cast<unsigned>(bits & 127);
+        const double u = static_cast<double>(bits >> 11) * 0x1.0p-53;
+        const double sign = (bits & 128) ? -1.0 : 1.0;
+        if (u < t.ratio[layer])
+            return sign * u * t.x[layer];
+        if (layer == 0) {
+            // Exact tail beyond R (Marsaglia's method); 1-uniform()
+            // keeps the logs' arguments in (0, 1].
+            double xt, yt;
+            do {
+                xt = -std::log(1.0 - uniform()) / kZigR;
+                yt = -std::log(1.0 - uniform());
+            } while (yt + yt < xt * xt);
+            return sign * (kZigR + xt);
+        }
+        const double x = u * t.x[layer];
+        if (t.f[layer + 1] +
+                uniform() * (t.f[layer] - t.f[layer + 1]) <
+            std::exp(-0.5 * x * x))
+            return sign * x;
+        bits = next();
+    }
 }
 
 double
@@ -198,18 +210,6 @@ Random
 Random::split()
 {
     return Random(next() ^ 0xd1b54a32d192ed03ULL);
-}
-
-Random
-Random::stream(std::uint64_t seed, std::uint64_t streamId)
-{
-    // Mix the stream id through splitmix64 before combining so that
-    // consecutive ids (shard 0, 1, 2, ...) land far apart in seed
-    // space; the Random constructor then expands the combined value
-    // into the full 256-bit xoshiro state.
-    std::uint64_t sm = streamId ^ 0xa0761d6478bd642fULL;
-    const std::uint64_t mixed = splitmix64(sm);
-    return Random(seed ^ mixed);
 }
 
 namespace {

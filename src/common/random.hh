@@ -12,10 +12,48 @@
 #ifndef PCMSCRUB_COMMON_RANDOM_HH
 #define PCMSCRUB_COMMON_RANDOM_HH
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
 namespace pcmscrub {
+
+namespace detail {
+
+/** SplitMix64 step: advances `state` and returns the mixed output. */
+inline std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * 128-layer ziggurat tables for the standard normal (Marsaglia/Tsang
+ * with Doornik's base-strip constants). x[i] are the layer right
+ * edges (x[0] is the widened base strip, x[128] = 0), f[i] =
+ * exp(-x^2/2) at each edge, ratio[i] = x[i+1]/x[i] the
+ * rectangle-accept bound.
+ */
+struct ZigTables
+{
+    double x[129];
+    double f[129];
+    double ratio[128];
+};
+
+/**
+ * The process-wide tables, built once on first use from libm — the
+ * same determinism class as the Box-Muller path, which also leans on
+ * libm's log/sin/cos being stable on a given host. [[gnu::const]]
+ * lets callers hoist the lookup out of per-cell sampling loops.
+ */
+[[gnu::const]] const ZigTables &zigTables();
+
+} // namespace detail
 
 /**
  * Full Random generator state, exposed for checkpointing. The spare
@@ -37,13 +75,35 @@ class Random
 {
   public:
     /** Seed via splitmix64 expansion of one 64-bit value. */
-    explicit Random(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+    explicit Random(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : s_)
+            word = detail::splitmix64(sm);
+    }
 
     /** Next raw 64-bit value. */
-    std::uint64_t next();
+    std::uint64_t next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+
+        return result;
+    }
 
     /** Uniform double in [0, 1). */
-    double uniform();
+    double uniform()
+    {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Uniform double in [lo, hi). */
     double uniform(double lo, double hi);
@@ -56,6 +116,41 @@ class Random
 
     /** Standard normal via Box-Muller with spare caching. */
     double normal();
+
+    /**
+     * Standard normal via a 128-layer ziggurat: no transcendentals
+     * on the ~98% fast path, one raw draw per sample in the common
+     * case, and no spare caching (checkpoint state is untouched).
+     * A distinct sampler rather than a normal() replacement: the two
+     * consume different draw counts, so every call site is pinned to
+     * one or the other forever to keep sequences reproducible. The
+     * manufacturing streams (QuantSpec::sampleManufacturing /
+     * CellModel::initialize) use this one.
+     *
+     * The ~98% rectangle-accept path is inline (one next(), two
+     * table loads, one multiply); rejections fall through to the
+     * out-of-line tail/wedge resolver with an identical draw
+     * sequence.
+     */
+    double normalZig()
+    {
+        // One raw draw carries everything the fast path needs: 53
+        // mantissa bits (11..63), the layer (0..6), the sign (7).
+        const detail::ZigTables &t = detail::zigTables();
+        const std::uint64_t bits = next();
+        const unsigned layer = static_cast<unsigned>(bits & 127);
+        const double u = static_cast<double>(bits >> 11) * 0x1.0p-53;
+        if (u < t.ratio[layer]) [[likely]] {
+            // Branchless sign: bit 7 moved onto the IEEE sign bit.
+            // Exact match for multiplying by ±1 — negation never
+            // rounds — without a 50/50-unpredictable branch.
+            const double mag = u * t.x[layer];
+            return std::bit_cast<double>(
+                std::bit_cast<std::uint64_t>(mag) ^
+                ((bits & 128) << 56));
+        }
+        return normalZigSlow(bits);
+    }
 
     /** Normal with the given mean and standard deviation. */
     double normal(double mean, double stddev);
@@ -89,7 +184,15 @@ class Random
      * streams exist or in what order they are created — the basis of
      * the parallel engine's bit-identical determinism.
      */
-    static Random stream(std::uint64_t seed, std::uint64_t streamId);
+    static Random stream(std::uint64_t seed, std::uint64_t streamId)
+    {
+        // Mix the stream id through splitmix64 before combining so
+        // that consecutive ids (shard 0, 1, 2, ...) land far apart in
+        // seed space; the Random constructor then expands the
+        // combined value into the full 256-bit xoshiro state.
+        std::uint64_t sm = streamId ^ 0xa0761d6478bd642fULL;
+        return Random(seed ^ detail::splitmix64(sm));
+    }
 
     /** Snapshot the full generator state. */
     RandomState state() const
@@ -108,6 +211,18 @@ class Random
     }
 
   private:
+    static std::uint64_t rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    /**
+     * Ziggurat rejection resolver: base-strip tail and wedge accept
+     * for the raw draw that failed the inline rectangle test, looping
+     * on fresh draws until one is accepted.
+     */
+    double normalZigSlow(std::uint64_t bits);
+
     std::uint64_t s_[4];
     double spareNormal_ = 0.0;
     bool hasSpare_ = false;

@@ -17,14 +17,17 @@ CellModel::CellModel(const DeviceConfig &config)
 void
 CellModel::initialize(Cell &cell, Random &rng) const
 {
+    // Ziggurat draws, in exact lockstep with the quantized store's
+    // sampleManufacturing (same expressions, same draw order).
     const double median = config_.enduranceMedian *
         config_.enduranceScale;
-    cell.enduranceWrites = static_cast<float>(
-        rng.logNormal(std::log(median), config_.enduranceSigmaLn));
+    cell.enduranceWrites = static_cast<float>(std::exp(
+        std::log(median) +
+        config_.enduranceSigmaLn * rng.normalZig()));
     cell.nuSpeed = config_.driftSpeedSigmaLn == 0.0
         ? 1.0f
         : static_cast<float>(
-              rng.logNormal(0.0, config_.driftSpeedSigmaLn));
+              std::exp(config_.driftSpeedSigmaLn * rng.normalZig()));
     cell.writes = 0;
     cell.stuck = false;
 }

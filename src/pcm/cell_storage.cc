@@ -6,17 +6,11 @@
 
 namespace pcmscrub {
 
-namespace {
-
-/**
- * Manufacturing stream-id base: far above the per-line stream ranges
- * the array ((1 << 32) + line) and backend warm-up ((2 << 32) + line)
- * use, so no (seed, id) pair is ever shared. Each cell gets 256 ids
- * — one per line generation (PPR re-rolls bump the generation).
- */
-constexpr std::uint64_t kManufStreamBase = 1ULL << 40;
-
-} // namespace
+// CellStorage::kManufStreamBase sits far above the per-line stream
+// ranges the array ((1 << 32) + line) and backend warm-up
+// ((2 << 32) + line) use, so no (seed, id) pair is ever shared. Each
+// cell gets 256 ids — one per line generation (PPR re-rolls bump the
+// generation).
 
 void
 CellStorage::configure(const Geometry &geometry)
@@ -45,7 +39,7 @@ CellStorage::configure(const Geometry &geometry)
     uniformTick_.resize(lines_, 0);
     lineWrites_.resize(lines_, 0);
     generation_.resize(lines_, 0);
-    overlays_.resize(lines_);
+    overlays_.resize(lines_, nullptr);
 }
 
 void
@@ -83,14 +77,18 @@ CellStorage::bytes() const
     return total;
 }
 
+Random
+CellStorage::manufStream(std::size_t i) const
+{
+    return Random::stream(manufSeed_,
+                          manufStreamId(i, i / cellsPerLine_));
+}
+
 void
 CellStorage::deriveManufacturing(std::size_t i, float &endurance,
                                  float &nu_speed) const
 {
-    const std::size_t line = i / cellsPerLine_;
-    Random rng = Random::stream(
-        manufSeed_, kManufStreamBase +
-            (static_cast<std::uint64_t>(i) << 8) + generation_[line]);
+    Random rng = manufStream(i);
     spec_.sampleManufacturing(rng, endurance, nu_speed);
 }
 
@@ -134,7 +132,7 @@ void
 CellStorage::setWrites(std::size_t i, std::uint32_t v)
 {
     const std::size_t line = i / cellsPerLine_;
-    WriteOverlay *ov = overlays_[line].get();
+    WriteOverlay *ov = overlays_[line];
     if (ov == nullptr) {
         if (v == static_cast<std::uint32_t>(lineWrites_[line]))
             return; // Still uniform.
@@ -147,7 +145,7 @@ void
 CellStorage::setWriteTick(std::size_t i, Tick v)
 {
     const std::size_t line = i / cellsPerLine_;
-    WriteOverlay *ov = overlays_[line].get();
+    WriteOverlay *ov = overlays_[line];
     if (ov == nullptr) {
         if (v == uniformTick_[line])
             return; // Still uniform.
@@ -243,12 +241,35 @@ CellStorage::reinitializeCompactLine(std::size_t line)
     normalizeOverlay(line);
 }
 
+WriteOverlay *
+CellStorage::acquireOverlayNode()
+{
+    std::lock_guard<std::mutex> lock(overlayPoolMutex_);
+    if (!overlayFree_.empty()) {
+        WriteOverlay *node = overlayFree_.back();
+        overlayFree_.pop_back();
+        return node;
+    }
+    // std::deque never moves existing elements on emplace_back, so
+    // pointers into the slab stay valid for the storage's lifetime.
+    return &overlaySlab_.emplace_back();
+}
+
+void
+CellStorage::releaseOverlayNode(WriteOverlay *node)
+{
+    // The node keeps its vector capacity: the next line that diverges
+    // reuses the buffers instead of paying two allocations.
+    std::lock_guard<std::mutex> lock(overlayPoolMutex_);
+    overlayFree_.push_back(node);
+}
+
 WriteOverlay &
 CellStorage::ensureOverlay(std::size_t line)
 {
-    auto &slot = overlays_[line];
-    if (!slot) {
-        slot = std::make_unique<WriteOverlay>();
+    WriteOverlay *&slot = overlays_[line];
+    if (slot == nullptr) {
+        slot = acquireOverlayNode();
         slot->writes.assign(
             cellsPerLine_,
             static_cast<std::uint32_t>(lineWrites_[line]));
@@ -260,7 +281,7 @@ CellStorage::ensureOverlay(std::size_t line)
 void
 CellStorage::normalizeOverlay(std::size_t line)
 {
-    const WriteOverlay *ov = overlays_[line].get();
+    const WriteOverlay *ov = overlays_[line];
     if (ov == nullptr)
         return;
     const std::uint32_t writes =
@@ -270,7 +291,17 @@ CellStorage::normalizeOverlay(std::size_t line)
         if (ov->writes[c] != writes || ov->ticks[c] != tick)
             return;
     }
-    overlays_[line].reset();
+    dropOverlay(line);
+}
+
+void
+CellStorage::dropOverlay(std::size_t line)
+{
+    WriteOverlay *&slot = overlays_[line];
+    if (slot == nullptr)
+        return;
+    releaseOverlayNode(slot);
+    slot = nullptr;
 }
 
 void
@@ -293,7 +324,7 @@ CellStorage::constSpan(std::size_t line, std::size_t count) const
     PCMSCRUB_ASSERT(count <= cellsPerLine_,
                     "span wider than the line stride");
     const std::size_t base = line * cellsPerLine_;
-    const WriteOverlay *ov = overlays_[line].get();
+    const WriteOverlay *ov = overlays_[line];
     return CellConstSpan{
         logRq_.data() + base,
         nuIdx_.data() + base,

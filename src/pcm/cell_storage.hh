@@ -46,7 +46,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/types.hh"
@@ -274,7 +276,7 @@ class CellStorage
     std::uint32_t writesOf(std::size_t i) const
     {
         const std::size_t line = i / cellsPerLine_;
-        const WriteOverlay *ov = overlays_[line].get();
+        const WriteOverlay *ov = overlays_[line];
         return ov != nullptr
             ? ov->writes[i - line * cellsPerLine_]
             : static_cast<std::uint32_t>(lineWrites_[line]);
@@ -284,7 +286,7 @@ class CellStorage
     Tick writeTickOf(std::size_t i) const
     {
         const std::size_t line = i / cellsPerLine_;
-        const WriteOverlay *ov = overlays_[line].get();
+        const WriteOverlay *ov = overlays_[line];
         return ov != nullptr ? ov->ticks[i - line * cellsPerLine_]
                              : uniformTick_[line];
     }
@@ -349,6 +351,47 @@ class CellStorage
     {
         nuIdx_[i] = idx;
     }
+
+    // ---- raw plane bases (batched warm-up kernel) -----------------
+    //
+    // One line's slice of each quantized plane, for kernels that
+    // write whole lines of codes at once. Lines are byte-aligned in
+    // the gray plane, so concurrent kernels on distinct lines never
+    // touch the same byte.
+
+    std::uint8_t *rawLogRqData(std::size_t line)
+    {
+        return logRq_.data() + line * cellsPerLine_;
+    }
+    std::uint8_t *rawNuIdxData(std::size_t line)
+    {
+        return nuIdx_.data() + line * cellsPerLine_;
+    }
+    std::uint8_t *grayData(std::size_t line)
+    {
+        return gray_.data() + line * grayBytesPerLine_;
+    }
+
+    /**
+     * Manufacturing stream of cell `i` at its current generation —
+     * the stream deriveManufacturing draws endurance and drift speed
+     * from, exposed so the warm-up kernel can consume the same draws
+     * in the log domain.
+     */
+    Random manufStream(std::size_t i) const;
+
+    /**
+     * Stream-id half of manufStream() with the cell's line supplied
+     * by the caller, hoisting the line division out of per-cell
+     * loops; pair with manufSeed() via Random::stream.
+     */
+    std::uint64_t manufStreamId(std::size_t i, std::size_t line) const
+    {
+        return kManufStreamBase +
+            (static_cast<std::uint64_t>(i) << 8) + generation_[line];
+    }
+
+    std::uint64_t manufSeed() const { return manufSeed_; }
 
     /** Full Cell value (derives manufacturing state if compact). */
     Cell loadCell(std::size_t i) const;
@@ -422,6 +465,17 @@ class CellStorage
     void reinitializeCompactLine(std::size_t line);
 
     // ---- overlays -------------------------------------------------
+    //
+    // Overlay nodes come from a storage-owned slab pool: divergence
+    // churn (materialize on a differential write or stuck cell, drop
+    // again once the line re-uniformizes) recycles nodes — and their
+    // vector capacity — through a free list instead of hitting the
+    // allocator per transition. Slabs live in a deque, so node
+    // addresses are stable for the lifetime of the storage; the free
+    // list is mutex-guarded because concurrently-running shards
+    // materialize overlays on distinct lines but share the pool
+    // (per-line state itself keeps the usual one-thread-per-line
+    // contract).
 
     bool hasOverlay(std::size_t line) const
     {
@@ -429,11 +483,11 @@ class CellStorage
     }
     WriteOverlay *overlay(std::size_t line)
     {
-        return overlays_[line].get();
+        return overlays_[line];
     }
     const WriteOverlay *overlay(std::size_t line) const
     {
-        return overlays_[line].get();
+        return overlays_[line];
     }
 
     /** Materialize (from the uniform values) if absent. */
@@ -443,7 +497,7 @@ class CellStorage
     void normalizeOverlay(std::size_t line);
 
     /** Drop the overlay unconditionally (snapshot restore only). */
-    void dropOverlay(std::size_t line) { overlays_[line].reset(); }
+    void dropOverlay(std::size_t line);
 
     // ---- intended codeword ----------------------------------------
 
@@ -465,6 +519,17 @@ class CellStorage
     void deriveManufacturing(std::size_t i, float &endurance,
                              float &nu_speed) const;
 
+    /** Pool node acquire/release (thread-safe; lifetime rules above). */
+    WriteOverlay *acquireOverlayNode();
+    void releaseOverlayNode(WriteOverlay *node);
+
+    /**
+     * Manufacturing stream-id namespace: cell id in bits 8..47,
+     * generation in bits 0..7, offset past the engine's other stream
+     * ranges (see cell_storage.cc).
+     */
+    static constexpr std::uint64_t kManufStreamBase = 1ULL << 40;
+
     std::size_t lines_ = 0;
     std::size_t cellsPerLine_ = 0;
     std::size_t grayBytesPerLine_ = 0;
@@ -482,7 +547,14 @@ class CellStorage
     std::vector<Tick> uniformTick_;
     std::vector<std::uint64_t> lineWrites_;
     std::vector<std::uint8_t> generation_;
-    std::vector<std::unique_ptr<WriteOverlay>> overlays_;
+
+    /** Per-line overlay slot; null = uniform write state. */
+    std::vector<WriteOverlay *> overlays_;
+
+    /** Slab backing store (stable addresses) and recycled nodes. */
+    std::deque<WriteOverlay> overlaySlab_;
+    std::vector<WriteOverlay *> overlayFree_;
+    std::mutex overlayPoolMutex_;
 };
 
 #define PCMSCRUB_CELL_FIELD_DEF(Owner, Name, Type, Getter, Setter)   \

@@ -1,5 +1,9 @@
 #include "pcm/kernels.hh"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/simd.hh"
@@ -155,6 +159,252 @@ programCodeword(const CellSpan &cells, const BitVector &codeword,
         stats.cellsWornOut += outcome.wornOut;
     }
     return stats;
+}
+
+void
+warmProgramCodeword(const CellSpan &cells, const BitVector &codeword,
+                    std::size_t codeword_bits,
+                    const DeviceConfig &config, Random &rng)
+{
+    CellStorage &storage = *cells.storage;
+    const QuantSpec &spec = storage.spec();
+    PCMSCRUB_ASSERT(cells.baseCell ==
+                        cells.line * storage.cellsPerLine() &&
+                        cells.count == storage.cellsPerLine(),
+                    "warm-up kernel needs the full array-home line");
+    PCMSCRUB_ASSERT(codeword.size() == codeword_bits &&
+                        cells.count ==
+                            (codeword_bits + bitsPerCell - 1) /
+                                bitsPerCell,
+                    "codeword of %zu bits on a %zu-cell line",
+                    codeword_bits, cells.count);
+
+    // Gray plane: cell c's Gray code is codeword bits 2c..2c+1, four
+    // cells to the byte — exactly the plane's own layout, and a
+    // BitVector keeps its tail bits clear, so an odd-width codeword's
+    // last half-cell lands as bit1 = 0 just like targetLevel's guard.
+    // Deposit the codeword bytes wholesale.
+    std::uint8_t *gray = storage.grayData(cells.line);
+    const std::uint64_t *words = codeword.words().data();
+    const std::size_t planeBytes = (cells.count + 3) / 4;
+    for (std::size_t k = 0; k < planeBytes; ++k) {
+        gray[k] = static_cast<std::uint8_t>(
+            words[k >> 3] >> ((k & 7u) * 8u));
+    }
+
+    std::uint8_t *logRq = storage.rawLogRqData(cells.line);
+    std::uint8_t *nuIdx = storage.rawNuIdxData(cells.line);
+
+    const double logRScale = config.sigmaLogR / spec.logR0Step();
+    const double lnNuMin = std::log(spec.nuMin());
+    const double lnNuMax = std::log(spec.nuMax());
+    const double invNuLogStep = spec.invNuLogStep();
+    const double logMedianE = spec.enduranceLogMedian();
+    const double sigmaE = spec.enduranceSigmaLn();
+    const double sigmaS = spec.driftSpeedSigmaLn();
+    const std::uint64_t manufSeed = storage.manufSeed();
+    double driftMu[mlcLevels], driftSig[mlcLevels];
+    for (unsigned l = 0; l < mlcLevels; ++l) {
+        driftMu[l] = config.driftMu[l];
+        driftSig[l] = config.driftSigma(l);
+    }
+    // First-write wear-out screen: the cell freezes iff its derived
+    // endurance float(exp(lnE)) <= 1.0 writes. exp(x) >= 1.28 for
+    // x > 1/4 even after float rounding, so only draws below the
+    // cutoff pay the exact exp-and-compare.
+    constexpr double kWornLnCutoff = 0.25;
+
+    for (std::size_t i = 0; i < cells.count; ++i) {
+        const unsigned g = (gray[i >> 2] >> ((i & 3u) * 2u)) & 3u;
+        const unsigned level = grayToLevel(
+            static_cast<std::uint8_t>(g));
+
+        // Line-stream draws, always both, branch-free: one z-score
+        // for logR0, one for this write's drift exponent.
+        const double z1 = rng.normalZig();
+        const double z2 = rng.normalZig();
+        // logR0 = mean[level] + sigma * z1 and the code is the
+        // step-quantized delta from that same mean (sigma/step
+        // hoisted to one multiply).
+        const long code = std::lround(logRScale * z1) +
+            QuantSpec::kLogR0Bias;
+        logRq[i] = static_cast<std::uint8_t>(
+            std::clamp(code, 0L, 255L));
+
+        // Manufacturing z-scores, consumed draw-for-draw like
+        // sampleManufacturing (endurance first; no drift-speed draw
+        // when its sigma is zero).
+        Random manuf = Random::stream(
+            manufSeed,
+            storage.manufStreamId(cells.baseCell + i, cells.line));
+        const double lnE = logMedianE + sigmaE * manuf.normalZig();
+        const double lnS =
+            sigmaS == 0.0 ? 0.0 : sigmaS * manuf.normalZig();
+
+        if (lnE <= kWornLnCutoff &&
+            1.0 >= static_cast<double>(
+                       static_cast<float>(std::exp(lnE)))) {
+            // Worn out by its very first write: the write succeeded,
+            // the gray plane already holds the target level, and the
+            // cell freezes there.
+            nuIdx[i] = QuantSpec::kStuckNuIdx;
+            continue;
+        }
+
+        // nu = nuSpeed * max(0, mu[level] + sigma(level) * z2),
+        // encoded in the log domain (encodeNu's clamp structure on
+        // ln nu) so no exp is ever needed.
+        const double w = driftMu[level] + driftSig[level] * z2;
+        if (w <= 0.0) {
+            nuIdx[i] = 0;
+            continue;
+        }
+        const double lnV = lnS + std::log(w);
+        if (lnV >= lnNuMax) {
+            nuIdx[i] = 254;
+        } else if (lnV <= lnNuMin) {
+            nuIdx[i] = 1;
+        } else {
+            const long nuCode =
+                std::lround((lnV - lnNuMin) * invNuLogStep) + 1;
+            nuIdx[i] = static_cast<std::uint8_t>(
+                std::clamp(nuCode, 1L, 254L));
+        }
+    }
+}
+
+void
+DriftCrossLut::init(const DeviceConfig &config, const QuantSpec &spec)
+{
+    PCMSCRUB_ASSERT(spec.initialized(),
+                    "band-crossing LUT needs an initialized spec");
+    crossDelta_.assign(4 * 256 * 256, -1.0);
+    verifiedDelta_.assign(4 * 256 * 256, 0);
+    writeGray_.assign(4 * 256, 0);
+    const double t0 = config.driftT0Seconds;
+    for (unsigned g = 0; g < 4; ++g) {
+        for (unsigned q = 0; q < 256; ++q) {
+            const double logR0 =
+                static_cast<double>(spec.decodeLogR0(
+                    g, static_cast<std::uint8_t>(q)));
+            // Write-time sense (age 0): drift contributes nu * 0.0,
+            // which never changes a threshold compare, so the level
+            // is pure in the decoded logR0 — CellModel::read at the
+            // cell's own write tick.
+            unsigned level0 = 0;
+            for (unsigned l = 0; l + 1 < mlcLevels; ++l) {
+                if (logR0 > config.readThresholdLogR[l])
+                    level0 = l + 1;
+            }
+            writeGray_[(g << 8) | q] = static_cast<std::int32_t>(
+                levelToGray(static_cast<std::uint8_t>(level0)));
+            const bool upper = config.hasUpperThreshold(level0);
+            for (unsigned nuIdx = 0; nuIdx < 256; ++nuIdx) {
+                if (nuIdx == QuantSpec::kStuckNuIdx)
+                    continue; // Sentinel entries are never read.
+                const std::size_t k = index(g, q, nuIdx);
+                const double nu = static_cast<double>(
+                    spec.decodeNu(
+                        static_cast<std::uint8_t>(nuIdx)));
+                if (nu < 0.0)
+                    continue; // Reverse drift: claim nothing
+                              // (unreachable: decodes are >= 0).
+                if (!upper || nu == 0.0) {
+                    // Top band or no drift: never crosses, for any
+                    // write tick.
+                    crossDelta_[k] =
+                        std::numeric_limits<double>::infinity();
+                    continue;
+                }
+                const double headroom =
+                    config.readThresholdLogR[level0] - logR0;
+                if (headroom < 0.0)
+                    continue; // Claim nothing (unreachable: read
+                              // chose level0, so logR0 is at or
+                              // under its threshold).
+                const double uCross = headroom / nu;
+                const double ageSeconds =
+                    t0 * std::pow(10.0, uCross);
+                const double deltaTicks = ageSeconds *
+                    static_cast<double>(ticksPerSecond);
+                if (std::isnan(deltaTicks))
+                    continue; // The model's NaN guard.
+                crossDelta_[k] = deltaTicks;
+                if (deltaTicks >= static_cast<double>(kNeverTick))
+                    continue; // Never for every write tick; the
+                              // verified delta stays unused.
+                // The model's conversion slack and monotone
+                // walk-down, at write tick 0: the walk's verifying
+                // reads depend only on the candidate's delta, so
+                // the result shifts exactly with the write tick.
+                Tick delta = static_cast<Tick>(deltaTicks);
+                const Tick slack = 2 + (delta >> 45);
+                delta = delta > slack ? delta - slack : 0;
+                Tick candidate = delta;
+                while (candidate > 0) {
+                    const double age = ticksToSeconds(candidate);
+                    double u = 0.0;
+                    if (age > t0)
+                        u = std::log10(age / t0);
+                    const double logR = logR0 + nu * u;
+                    unsigned level = 0;
+                    for (unsigned l = 0; l + 1 < mlcLevels; ++l) {
+                        if (logR > config.readThresholdLogR[l])
+                            level = l + 1;
+                    }
+                    if (level == level0)
+                        break;
+                    const Tick gap = candidate;
+                    candidate -= gap / 16 + 1;
+                }
+                verifiedDelta_[k] = candidate;
+            }
+        }
+    }
+    initialized_ = true;
+}
+
+LazyLineResult
+computeLazyLine(const CellConstSpan &cells,
+                const std::uint64_t *intended, Tick line_write_tick,
+                const DeviceConfig &config, const DriftCrossLut &lut)
+{
+    PCMSCRUB_ASSERT(lut.initialized(),
+                    "lazy kernel before the LUT is built");
+    // The vector path's 64-bit min runs signed; crossings it keeps
+    // in lanes are bounded by 2^61 + the write tick, so any
+    // realistic tick qualifies.
+    if (vectorPath(cells, /*slc_mode=*/false) &&
+        line_write_tick < (Tick(1) << 61)) {
+        return simdk::computeLazyLineAvx2(cells, intended,
+                                          line_write_tick, config,
+                                          lut);
+    }
+    LazyLineResult out;
+    Tick until = kNeverTick;
+    if (!detail::lazyScanScalar(cells, intended, line_write_tick,
+                                config, lut, 0, until))
+        return out;
+    if (until < line_write_tick)
+        return out;
+    out.eligible = true;
+    out.cleanUntil = until;
+    return out;
+}
+
+void
+computeLazyLines(const CellStorage &storage, std::size_t first_line,
+                 std::size_t line_count, const DeviceConfig &config,
+                 const DriftCrossLut &lut, LazyLineResult *out)
+{
+    const std::size_t cellsPerLine = storage.cellsPerLine();
+    for (std::size_t k = 0; k < line_count; ++k) {
+        const std::size_t line = first_line + k;
+        out[k] = computeLazyLine(
+            storage.constSpan(line, cellsPerLine),
+            storage.intendedWords(line),
+            storage.lineLastWriteTick(line), config, lut);
+    }
 }
 
 } // namespace kernels

@@ -17,6 +17,7 @@
 #include "common/types.hh"
 #include "pcm/cell_storage.hh"
 #include "pcm/device_config.hh"
+#include "pcm/kernels.hh"
 
 namespace pcmscrub {
 namespace kernels {
@@ -42,6 +43,17 @@ BitVector senseCodewordAvx2(const CellConstSpan &cells,
 /** Vector marginScanCount under the same preconditions. */
 unsigned marginScanCountAvx2(const CellConstSpan &cells,
                              const DeviceConfig &config, Tick now);
+
+/**
+ * Vector lazy-drift eligibility (kernels::computeLazyLine) under
+ * the same preconditions, plus line_write_tick < 2^61 so the signed
+ * 64-bit crossing min cannot wrap.
+ */
+LazyLineResult computeLazyLineAvx2(const CellConstSpan &cells,
+                                   const std::uint64_t *intended,
+                                   Tick line_write_tick,
+                                   const DeviceConfig &config,
+                                   const DriftCrossLut &lut);
 
 } // namespace simdk
 } // namespace kernels

@@ -116,6 +116,22 @@ Line::writeCodeword(const BitVector &codeword, Tick now,
     return stats;
 }
 
+void
+Line::warmWriteCodeword(const BitVector &codeword,
+                        const CellModel &model, Random &rng)
+{
+    PCMSCRUB_ASSERT(codeword.size() == codewordBits_,
+                    "codeword of %zu bits on a %zu-bit line",
+                    codeword.size(), codewordBits_);
+    PCMSCRUB_ASSERT(!slcMode_ && active_->lineWrites(activeLine_) == 0,
+                    "warm write on a non-fresh line");
+    active_->ensureSpec(model.config());
+    kernels::warmProgramCodeword(span(), codeword, codewordBits_,
+                                 model.config(), rng);
+    active_->setIntended(activeLine_, codeword);
+    active_->bumpLineWrite(activeLine_, 0);
+}
+
 BitVector
 Line::readCodeword(Tick now, const CellModel &model,
                    double threshold_shift) const

@@ -91,6 +91,17 @@ class Line
                                    bool differential = false);
 
     /**
+     * Construction-time program of this (fresh, MLC, array-backed)
+     * line at tick 0 via kernels::warmProgramCodeword — its own draw
+     * discipline on `rng` (the backend's per-line warm-up stream),
+     * an order of magnitude fewer transcendentals than
+     * writeCodeword, and no per-line stats. Only valid as the very
+     * first write of a line.
+     */
+    void warmWriteCodeword(const BitVector &codeword,
+                           const CellModel &model, Random &rng);
+
+    /**
      * Sense every cell and return the (possibly corrupted) word.
      *
      * @param threshold_shift widened-margin retry sensing; see

@@ -93,12 +93,16 @@ QuantSpec::sampleManufacturing(Random &rng, float &endurance_writes,
 {
     PCMSCRUB_ASSERT(initialized_, "quant spec used before init");
     // Keep in exact lockstep with CellModel::initialize: endurance
-    // first, then drift speed, 1.0f shortcut for zero sigma.
-    endurance_writes = static_cast<float>(
-        rng.logNormal(enduranceLogMedian_, enduranceSigmaLn_));
+    // first, then drift speed, 1.0f shortcut for zero sigma. Both
+    // sides draw from the ziggurat — manufacturing is evaluated per
+    // cell on every compact-mode derive and during array warm-up, so
+    // it is the one normal() consumer hot enough to care.
+    endurance_writes = static_cast<float>(std::exp(
+        enduranceLogMedian_ + enduranceSigmaLn_ * rng.normalZig()));
     nu_speed = driftSpeedSigmaLn_ == 0.0
         ? 1.0f
-        : static_cast<float>(rng.logNormal(0.0, driftSpeedSigmaLn_));
+        : static_cast<float>(
+              std::exp(driftSpeedSigmaLn_ * rng.normalZig()));
 }
 
 } // namespace pcmscrub

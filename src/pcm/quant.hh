@@ -114,6 +114,20 @@ class QuantSpec
     void sampleManufacturing(Random &rng, float &endurance_writes,
                              float &nu_speed) const;
 
+    /**
+     * Log-domain manufacturing parameters, exposed so the batched
+     * warm-up kernel can draw endurance/drift-speed z-scores and stay
+     * in log space (deferring the exp until a cell actually needs the
+     * linear value) while remaining draw-identical to
+     * sampleManufacturing.
+     */
+    double enduranceLogMedian() const { return enduranceLogMedian_; }
+    double enduranceSigmaLn() const { return enduranceSigmaLn_; }
+    double driftSpeedSigmaLn() const { return driftSpeedSigmaLn_; }
+
+    /** Reciprocal of nuLogStep(), the encodeNu scale factor. */
+    double invNuLogStep() const { return invNuLogStep_; }
+
   private:
     double meanByGray_[4] = {};
     double logR0Step_ = 0.0;

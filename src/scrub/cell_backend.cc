@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "common/serialize.hh"
+#include "common/thread_pool.hh"
 #include "ecc/bch.hh"
 #include "ecc/interleaved.hh"
 #include "ecc/secded.hh"
@@ -51,16 +52,28 @@ CellBackend::CellBackend(const CellBackendConfig &config)
                              config.ecpEntries));
     }
 
-    // Warm up: every line holds an encoded random payload.
-    detectWords_.reserve(config.lines);
-    BitVector data(code_->dataBits());
-    for (std::size_t i = 0; i < config.lines; ++i) {
-        data.randomize(array_.rng());
+    // Warm up: every line holds an encoded random payload. Each line
+    // draws its payload and program noise from its own counter-based
+    // stream (ids offset past the array's (1 << 32) + line write
+    // streams), so the result is bit-identical at any thread count,
+    // and the batched warm kernel writes the quantized planes
+    // directly — construction is the 10^7-line benchmark's dominant
+    // cost, so it gets its own draw discipline instead of the generic
+    // program path.
+    detectWords_.resize(config.lines);
+    ThreadPool::global().run(config.lines, [&](std::size_t i) {
+        Random rng = Random::stream(config.seed, (2ULL << 32) + i);
+        BitVector data(code_->dataBits());
+        data.randomize(rng);
         const BitVector word = code_->encode(data);
-        array_.line(i).writeCodeword(word, 0, array_.model(),
-                                     array_.rng());
-        detectWords_.push_back(detector_->compute(word));
-    }
+        array_.line(i).warmWriteCodeword(word, array_.model(), rng);
+        detectWords_[i] = detector_->compute(word);
+    });
+
+    // Eager so the (const) lazy-eligibility path never initializes
+    // shared state under the parallel sweep.
+    if (config.lazyDrift)
+        driftLut_.init(config.device, array_.storage().spec());
 }
 
 std::uint64_t
@@ -141,42 +154,21 @@ CellBackend::computeLazyLine(LineIndex line) const
     const Line &physical = array_.line(line);
     if (physical.slcMode() || ecpUsed(line) > 0)
         return state;
-    const CellModel &model = array_.model();
-    const Tick writeTick = physical.lastWriteTick();
-    Tick until = kNeverTick;
-    const CellConstSpan cells = physical.span();
-    for (unsigned i = 0; i < cells.count; ++i) {
-        if (cells.stuck(i))
-            return state;
-        // Physics-only view: read/cleanUntil never touch the
-        // manufacturing fields, so skip the compact-mode derivation
-        // (and the per-cell bounds/overlay lookups of cellValue).
-        Cell cell;
-        const auto level =
-            static_cast<std::uint8_t>(cells.levelAt(i));
-        cell.storedLevel = level;
-        cell.stuckLevel = level;
-        cell.logR0 = cells.logR0(i);
-        cell.nu = cells.nu(i);
-        cell.writeTick = cells.writeTick(i);
-        // A cell already off its target at write time (differential
-        // writes leave unskipped cells on older drift clocks) would
-        // break the monotone-drift argument below; leave such lines
-        // on the exact path.
-        if (model.read(cell, writeTick) != physical.targetLevelFor(i))
-            return state;
-        const Tick cellClean = model.cleanUntil(cell);
-        if (cellClean < until)
-            until = cellClean;
-    }
-    if (until < writeTick)
+    // The cell scan — no cell stuck, every cell on its intended
+    // symbol at write time, earliest band crossing — is the batched
+    // kernel; a non-SLC line's active planes are the array home
+    // storage, so its intended words sit in the array plane.
+    const kernels::LazyLineResult crossing = kernels::computeLazyLine(
+        physical.span(), array_.storage().intendedWords(line),
+        physical.lastWriteTick(), config_.device, driftLut_);
+    if (!crossing.eligible)
         return state;
     // The gates assume the intended word light-detects and decodes
     // clean; both hold exactly when it is a true codeword.
     if (!code_->check(physical.intendedWord()))
         return state;
     state.eligible = true;
-    state.cleanUntil = until;
+    state.cleanUntil = crossing.cleanUntil;
     return state;
 }
 
@@ -199,9 +191,28 @@ CellBackend::refreshLazyShard(std::size_t shard)
     DriftCalendar &calendar = calendars_[shard];
     calendar.reset(lazyEpoch_);
     const ShardRange range = plan_.range(shard);
+    // One batched pass over the shard's contiguous planes; the
+    // per-line gates (SLC fallback, ECP, ECC check) then veto. An
+    // SLC line's array-home planes are stale, but its result is
+    // discarded, so the wasted scan is harmless and rare.
+    const std::size_t count = range.end - range.begin;
+    std::vector<kernels::LazyLineResult> crossings(count);
+    kernels::computeLazyLines(array_.storage(), range.begin, count,
+                              config_.device, driftLut_,
+                              crossings.data());
     for (LineIndex line = range.begin; line < range.end; ++line) {
-        lazy_[line] = computeLazyLine(line);
-        calendar.add(lazy_[line]);
+        const kernels::LazyLineResult &crossing =
+            crossings[line - range.begin];
+        LazyLineState state;
+        const Line &physical = array_.line(line);
+        if (crossing.eligible && !physical.slcMode() &&
+            ecpUsed(line) == 0 &&
+            code_->check(physical.intendedWord())) {
+            state.eligible = true;
+            state.cleanUntil = crossing.cleanUntil;
+        }
+        lazy_[line] = state;
+        calendar.add(state);
     }
 }
 

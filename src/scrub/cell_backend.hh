@@ -24,6 +24,7 @@
 #include "mem/region_telemetry.hh"
 #include "pcm/array.hh"
 #include "pcm/energy.hh"
+#include "pcm/kernels.hh"
 #include "pcm/wear.hh"
 #include "scrub/backend.hh"
 #include "scrub/drift_calendar.hh"
@@ -301,6 +302,12 @@ class CellBackend : public ScrubBackend
     std::vector<LazyLineState> lazy_;
     std::vector<DriftCalendar> calendars_;
     std::uint64_t lazyEpoch_ = 1;
+
+    /**
+     * Band-crossing tables for the lazy kernel, built once at
+     * construction (pure function of the device config).
+     */
+    kernels::DriftCrossLut driftLut_;
 };
 
 } // namespace pcmscrub

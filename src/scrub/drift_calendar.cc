@@ -8,6 +8,8 @@ void
 DriftCalendar::reset(std::uint64_t epoch)
 {
     counts_.fill(0);
+    occupied_[0] = 0;
+    occupied_[1] = 0;
     ineligible_ = 0;
     epoch_ = epoch;
     invalidateMemo();
@@ -16,36 +18,60 @@ DriftCalendar::reset(std::uint64_t epoch)
 void
 DriftCalendar::add(const LazyLineState &state)
 {
-    if (state.eligible)
-        ++counts_[bucketOf(state.cleanUntil)];
-    else
+    if (state.eligible) {
+        const unsigned b = bucketOf(state.cleanUntil);
+        ++counts_[b];
+        occupied_[b >> 6] |= std::uint64_t{1} << (b & 63u);
+        // Memo stays valid unless the new entry can flip the verdict:
+        // an earlier horizon can only turn "all clean" into "not",
+        // never the reverse.
+        if (memoValid_ && memoAllClean_ &&
+            bucketFloor(b) < memoTick_)
+            invalidateMemo();
+    } else {
         ++ineligible_;
-    invalidateMemo();
+        if (memoValid_ && memoAllClean_)
+            invalidateMemo();
+    }
 }
 
 void
 DriftCalendar::remove(const LazyLineState &state)
 {
     if (state.eligible) {
-        std::uint64_t &count = counts_[bucketOf(state.cleanUntil)];
+        const unsigned b = bucketOf(state.cleanUntil);
+        std::uint64_t &count = counts_[b];
         PCMSCRUB_ASSERT(count > 0, "drift calendar underflow");
-        --count;
+        if (--count == 0)
+            occupied_[b >> 6] &=
+                ~(std::uint64_t{1} << (b & 63u));
+        // Removing an entry can only move the horizon later, so a
+        // cached "all clean" stays true; a cached "not clean" may
+        // have been caused by this very entry.
+        if (memoValid_ && !memoAllClean_)
+            invalidateMemo();
     } else {
         PCMSCRUB_ASSERT(ineligible_ > 0, "drift calendar underflow");
         --ineligible_;
+        if (memoValid_ && !memoAllClean_)
+            invalidateMemo();
     }
-    invalidateMemo();
 }
 
 Tick
 DriftCalendar::horizon() const
 {
     // A bucket's floor lower-bounds every tick it holds, so the first
-    // occupied bucket's floor lower-bounds the true minimum.
-    for (unsigned b = 0; b < counts_.size(); ++b) {
-        if (counts_[b] != 0)
-            return bucketFloor(b);
-    }
+    // occupied bucket's floor lower-bounds the true minimum. The
+    // occupancy bitmask makes the scan two word tests instead of a
+    // 65-entry walk.
+    if (occupied_[0] != 0)
+        return bucketFloor(
+            static_cast<unsigned>(std::countr_zero(occupied_[0])));
+    if (occupied_[1] != 0)
+        return bucketFloor(
+            64u +
+            static_cast<unsigned>(std::countr_zero(occupied_[1])));
     return kNeverTick;
 }
 

@@ -82,6 +82,11 @@ class DriftCalendar
      * Whole-shard shortcut: every line of the shard is provably
      * clean at `now`. Memoized per tick — scrub sweeps visit a whole
      * shard at one tick, so the memo hits on all but the first line.
+     * add()/remove() keep the memo alive whenever the update provably
+     * cannot flip the cached verdict (e.g. a mid-sweep rewrite on a
+     * not-all-clean shard no longer costs a bucket rescan per
+     * subsequent visit), and horizon() itself is O(1) via the
+     * occupancy bitmask, so even a cold memo is cheap.
      */
     bool allCleanAt(Tick now);
 
@@ -89,6 +94,8 @@ class DriftCalendar
     void invalidateMemo() { memoValid_ = false; }
 
     std::array<std::uint64_t, 65> counts_{};
+    /** Bit b set iff counts_[b] != 0 (bucket 64 in the second word). */
+    std::uint64_t occupied_[2] = {0, 0};
     std::uint64_t ineligible_ = 0;
     std::uint64_t epoch_ = 0;
 

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the drift calendar: bucket arithmetic, the O(1)
+ * occupancy-bitmask horizon, ineligible accounting, and the
+ * allCleanAt memo surviving updates that cannot change its verdict.
+ * The memo behaviour matters for sweep cost — a mid-sweep rewrite on
+ * a not-all-clean shard must not force a recomputation on every
+ * later visit at the same tick — so the tests pin the exact
+ * invalidation contract, not just eventual correctness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scrub/drift_calendar.hh"
+
+namespace pcmscrub {
+namespace {
+
+LazyLineState
+eligibleAt(Tick tick)
+{
+    LazyLineState state;
+    state.eligible = true;
+    state.cleanUntil = tick;
+    return state;
+}
+
+LazyLineState
+ineligible()
+{
+    LazyLineState state;
+    state.eligible = false;
+    return state;
+}
+
+TEST(DriftCalendar, BucketArithmetic)
+{
+    EXPECT_EQ(DriftCalendar::bucketOf(0), 0u);
+    EXPECT_EQ(DriftCalendar::bucketOf(1), 1u);
+    EXPECT_EQ(DriftCalendar::bucketOf(2), 2u);
+    EXPECT_EQ(DriftCalendar::bucketOf(3), 2u);
+    EXPECT_EQ(DriftCalendar::bucketOf(kNeverTick), 64u);
+    EXPECT_EQ(DriftCalendar::bucketFloor(0), 0u);
+    EXPECT_EQ(DriftCalendar::bucketFloor(1), 1u);
+    EXPECT_EQ(DriftCalendar::bucketFloor(2), 2u);
+    EXPECT_EQ(DriftCalendar::bucketFloor(64),
+              Tick{1} << 63);
+    // Every tick lands in a bucket whose floor lower-bounds it.
+    for (Tick t : {Tick{5}, Tick{1000}, Tick{1} << 40, kNeverTick})
+        EXPECT_LE(DriftCalendar::bucketFloor(DriftCalendar::bucketOf(t)),
+                  t);
+}
+
+TEST(DriftCalendar, HorizonTracksEarliestOccupiedBucket)
+{
+    DriftCalendar cal;
+    cal.reset(1);
+    EXPECT_EQ(cal.horizon(), kNeverTick);
+
+    cal.add(eligibleAt(Tick{1} << 40));
+    EXPECT_EQ(cal.horizon(), Tick{1} << 40);
+
+    cal.add(eligibleAt(Tick{1000}));
+    EXPECT_EQ(cal.horizon(), DriftCalendar::bucketFloor(
+                                 DriftCalendar::bucketOf(1000)));
+
+    // Removing the earlier entry moves the horizon back out.
+    cal.remove(eligibleAt(Tick{1000}));
+    EXPECT_EQ(cal.horizon(), Tick{1} << 40);
+
+    cal.remove(eligibleAt(Tick{1} << 40));
+    EXPECT_EQ(cal.horizon(), kNeverTick);
+
+    // The top bucket (kNever entries) lives in the second mask word.
+    cal.add(eligibleAt(kNeverTick));
+    EXPECT_EQ(cal.horizon(), Tick{1} << 63);
+}
+
+TEST(DriftCalendar, HorizonSurvivesDuplicateTicks)
+{
+    DriftCalendar cal;
+    cal.reset(1);
+    cal.add(eligibleAt(Tick{700}));
+    cal.add(eligibleAt(Tick{700}));
+    cal.remove(eligibleAt(Tick{700}));
+    // One entry remains: the bucket must still read as occupied.
+    EXPECT_EQ(cal.horizon(), DriftCalendar::bucketFloor(
+                                 DriftCalendar::bucketOf(700)));
+    cal.remove(eligibleAt(Tick{700}));
+    EXPECT_EQ(cal.horizon(), kNeverTick);
+}
+
+TEST(DriftCalendar, AllCleanAtVerdicts)
+{
+    DriftCalendar cal;
+    cal.reset(3);
+    EXPECT_TRUE(cal.validFor(3));
+    EXPECT_FALSE(cal.validFor(4));
+
+    // Empty calendar: trivially all clean at any tick.
+    EXPECT_TRUE(cal.allCleanAt(Tick{1} << 50));
+
+    cal.add(eligibleAt(Tick{1} << 20));
+    EXPECT_TRUE(cal.allCleanAt(Tick{1} << 19));
+    EXPECT_FALSE(cal.allCleanAt(Tick{1} << 30));
+
+    // One ineligible line poisons the shortcut at every tick.
+    cal.add(ineligible());
+    EXPECT_EQ(cal.ineligibleLines(), 1u);
+    EXPECT_FALSE(cal.allCleanAt(Tick{1}));
+    cal.remove(ineligible());
+    EXPECT_TRUE(cal.allCleanAt(Tick{1}));
+}
+
+TEST(DriftCalendar, MemoSurvivesVerdictPreservingUpdates)
+{
+    DriftCalendar cal;
+    cal.reset(1);
+    const Tick now = Tick{1} << 20;
+
+    // Not-all-clean verdict cached...
+    cal.add(ineligible());
+    EXPECT_FALSE(cal.allCleanAt(now));
+    // ...then a mid-sweep rewrite adds an eligible entry: the verdict
+    // cannot flip (still ineligible), and the cached answer must stay
+    // correct on the next visit at the same tick.
+    cal.add(eligibleAt(Tick{1} << 40));
+    EXPECT_FALSE(cal.allCleanAt(now));
+
+    // Removing the blocker may flip the verdict: the memo must not
+    // serve the stale negative.
+    cal.remove(ineligible());
+    EXPECT_TRUE(cal.allCleanAt(now));
+
+    // All-clean verdict cached, then a later-horizon entry arrives:
+    // still all clean at `now`.
+    cal.add(eligibleAt(Tick{1} << 50));
+    EXPECT_TRUE(cal.allCleanAt(now));
+
+    // An earlier-horizon entry must invalidate the cached positive.
+    cal.add(eligibleAt(Tick{16}));
+    EXPECT_FALSE(cal.allCleanAt(now));
+
+    // And removing it must restore the positive verdict.
+    cal.remove(eligibleAt(Tick{16}));
+    EXPECT_TRUE(cal.allCleanAt(now));
+}
+
+TEST(DriftCalendar, ResetStampsEpochAndClears)
+{
+    DriftCalendar cal;
+    cal.reset(7);
+    cal.add(eligibleAt(Tick{42}));
+    cal.add(ineligible());
+    cal.reset(8);
+    EXPECT_TRUE(cal.validFor(8));
+    EXPECT_EQ(cal.ineligibleLines(), 0u);
+    EXPECT_EQ(cal.horizon(), kNeverTick);
+    EXPECT_TRUE(cal.allCleanAt(kNeverTick - 1));
+}
+
+} // namespace
+} // namespace pcmscrub

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/serialize.hh"
+#include "common/simd.hh"
 #include "faults/fault_injector.hh"
 #include "scrub/cell_backend.hh"
 #include "scrub/policy.hh"
@@ -185,6 +186,71 @@ TEST(LazyFastPath, CheckpointRestoreInvalidatesCachedCrossings)
     // the policy changes shape, fix the loop rather than weaken the
     // assertion.
     EXPECT_EQ(resumedSink.bytes(), straightSink.bytes());
+}
+
+TEST(LazyFastPath, RestoredStateRebuildsKernelizedCrossingsOnBothPaths)
+{
+    // After checkpointLoad bumps the lazy epoch, the next sweep
+    // rebuilds every crossing through the batched kernel. That
+    // rebuild must be bit-identical whether dispatch lands on the
+    // AVX2 kernel or the scalar oracle loop, and both must match a
+    // straight-through run that never restored at all.
+    CellBackendConfig config;
+    config.lines = 96;
+    config.scheme = EccScheme::bch(4);
+    config.seed = 11;
+    const Tick interval = secondsToTicks(600.0);
+    const Tick half = secondsToTicks(2.0 * 3600.0);
+    const Tick full = secondsToTicks(4.0 * 3600.0);
+
+    CellBackend straight(config);
+    LightDetectScrub straightPolicy(interval);
+    runScrub(straight, straightPolicy, full);
+    SnapshotSink straightSink;
+    straight.checkpointSave(straightSink);
+
+    // Age a backend halfway and capture the snapshot the two
+    // restore runs will share.
+    CellBackend first(config);
+    LightDetectScrub firstPolicy(interval);
+    runScrub(first, firstPolicy, half);
+    SnapshotSink mid;
+    first.checkpointSave(mid);
+
+    const bool simdWasEnabled = simd::enabled();
+    std::vector<std::uint8_t> finals[2];
+    for (const bool useSimd : {true, false}) {
+        simd::setEnabled(useSimd);
+        CellBackend resumed(config);
+        SnapshotSource source(mid.bytes().data(), mid.bytes().size(),
+                              "lazy-fastpath-test");
+        resumed.checkpointLoad(source);
+        // Mirror LightDetectScrub's visit sequence, as above.
+        for (Tick now = half + interval; now <= full;
+             now += interval) {
+            for (LineIndex line = 0; line < resumed.lineCount();
+                 ++line) {
+                resumed.noteVisit(line, now);
+                if (resumed.lightDetectClean(line, now))
+                    continue;
+                const FullDecodeOutcome outcome =
+                    resumed.fullDecode(line, now);
+                if (outcome.uncorrectable)
+                    resumed.repairUncorrectable(line, now);
+                else if (outcome.errors >= 1)
+                    resumed.scrubRewrite(line, now);
+            }
+        }
+        SnapshotSink sink;
+        resumed.checkpointSave(sink);
+        finals[useSimd ? 0 : 1] = sink.takeBytes();
+    }
+    simd::setEnabled(simdWasEnabled);
+
+    EXPECT_EQ(finals[0], finals[1])
+        << "post-restore rebuild diverges between AVX2 and scalar";
+    EXPECT_EQ(finals[0], straightSink.bytes())
+        << "post-restore rebuild diverges from a straight-through run";
 }
 
 } // namespace

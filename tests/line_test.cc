@@ -62,7 +62,11 @@ TEST_F(LineTest, DriftCreatesSingleBitErrorsUnderGrayCoding)
     word.randomize(rng_);
     line.writeCodeword(word, 0, model_, rng_);
 
-    // Force one cell to drift across its threshold.
+    // Freeze every cell's drift, then force exactly one cell across
+    // its threshold — the single-bit expectation must not depend on
+    // whether some naturally fast cell also crosses by `later`.
+    for (unsigned i = 0; i < line.cellCount(); ++i)
+        line.cell(i).nu = 0.0f;
     for (unsigned i = 0; i < line.cellCount(); ++i) {
         if (line.cell(i).storedLevel == 2) {
             line.cell(i).logR0 = 5.4f;

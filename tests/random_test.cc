@@ -91,6 +91,41 @@ TEST(Random, NormalMomentsAndTails)
     EXPECT_NEAR(beyond3 / static_cast<double>(draws), 2.7e-3, 6e-4);
 }
 
+TEST(Random, NormalZigMomentsAndTails)
+{
+    Random rng(5);
+    SummaryStats stats;
+    int beyond3 = 0;
+    int tail = 0;
+    const int draws = 200000;
+    for (int i = 0; i < draws; ++i) {
+        const double x = rng.normalZig();
+        stats.add(x);
+        beyond3 += std::abs(x) > 3.0;
+        // The ziggurat's base strip hands |x| > R to a separate tail
+        // sampler; make sure that region is actually reachable.
+        tail += std::abs(x) > 3.442619855899;
+    }
+    EXPECT_NEAR(stats.mean(), 0.0, 0.01);
+    EXPECT_NEAR(stats.stddev(), 1.0, 0.01);
+    EXPECT_NEAR(beyond3 / static_cast<double>(draws), 2.7e-3, 6e-4);
+    EXPECT_GT(tail, 0);
+}
+
+TEST(Random, NormalZigDeterministicAndSpareFree)
+{
+    Random a(77);
+    Random b(77);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.normalZig(), b.normalZig());
+    // Unlike Box-Muller, the ziggurat caches no spare: state capture
+    // and restore around a draw replays it exactly.
+    const RandomState state = a.state();
+    const double expected = a.normalZig();
+    b.setState(state);
+    EXPECT_EQ(b.normalZig(), expected);
+}
+
 TEST(Random, NormalScalesMeanAndStddev)
 {
     Random rng(9);

@@ -71,6 +71,15 @@ def flatten(doc):
             for key, better in HIGHER_IS_BETTER.items():
                 if key in point:
                     out[prefix + key] = (float(point[key]), better)
+            # Baselines that predate the warm-up/steady throughput
+            # split carry only warmup_seconds; derive the rate so
+            # warm-up regressions are still visible against them.
+            if ("warmup_lines_per_second" not in point
+                    and float(point.get("warmup_seconds", 0)) > 0):
+                out[prefix + "warmup_lines_per_second"] = (
+                    float(point["lines"]) /
+                    float(point["warmup_seconds"]),
+                    HIGHER_IS_BETTER["warmup_lines_per_second"])
         return out
     for key, better in HIGHER_IS_BETTER.items():
         if key in doc:

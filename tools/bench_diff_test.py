@@ -96,6 +96,31 @@ class GuardViolationsTest(unittest.TestCase):
                          [])
 
 
+class FlattenDerivationTest(unittest.TestCase):
+    def test_warmup_rate_derived_for_old_baselines(self):
+        # Baselines that predate the warm-up/steady split carry only
+        # warmup_seconds; flatten() must synthesize the rate so the
+        # warm-up acceptance gate still has something to compare.
+        doc = {"points": [{"lines": 16384, "warmup_seconds": 2.0}]}
+        flat = bench_diff.flatten(doc)
+        self.assertIn("lines=16384/warmup_lines_per_second", flat)
+        value, higher_better = flat["lines=16384/warmup_lines_per_second"]
+        self.assertAlmostEqual(value, 8192.0)
+        self.assertTrue(higher_better)
+
+    def test_recorded_warmup_rate_wins_over_derivation(self):
+        doc = {"points": [{"lines": 16384, "warmup_seconds": 2.0,
+                           "warmup_lines_per_second": 9999.0}]}
+        flat = bench_diff.flatten(doc)
+        self.assertAlmostEqual(
+            flat["lines=16384/warmup_lines_per_second"][0], 9999.0)
+
+    def test_no_derivation_without_warmup_seconds(self):
+        doc = {"points": [{"lines": 16384, "bytes_per_line": 835.0}]}
+        self.assertNotIn("lines=16384/warmup_lines_per_second",
+                         bench_diff.flatten(doc))
+
+
 class SkippedPointsTest(unittest.TestCase):
     def test_skipped_points_parsed_with_reason(self):
         doc = {"points": [{"lines": 16384, "bytes_per_line": 800.0}],
