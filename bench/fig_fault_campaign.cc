@@ -46,7 +46,13 @@ campaignAt(double intensity, std::uint64_t seed)
     return campaign;
 }
 
-ScrubMetrics
+struct CampaignResult
+{
+    ScrubMetrics metrics;
+    FaultInjectorStats faults;
+};
+
+CampaignResult
 runCampaign(double intensity, bool ladder, std::uint64_t seed)
 {
     AnalyticConfig config = standardConfig(EccScheme::secdedX8(),
@@ -67,7 +73,7 @@ runCampaign(double intensity, bool ladder, std::uint64_t seed)
     spec.interval = kHour;
     const auto policy = makePolicy(spec, backend);
     runCheckpointed(backend, *policy, kHorizon);
-    return backend.metrics();
+    return CampaignResult{backend.metrics(), injector.stats()};
 }
 
 } // namespace
@@ -87,11 +93,13 @@ main(int argc, char **argv)
     Table table("UE survival vs. fault intensity",
                 {"intensity", "ladder", "ue_surfaced", "absorbed",
                  "retries", "retry_ok", "ecp_fix", "retired", "slc",
-                 "spares_left", "cap_lost_bits"});
+                 "spares_left", "cap_lost_bits", "stuck_inj",
+                 "inj_dropped"});
     for (const double intensity : intensities) {
         for (const bool ladder : {false, true}) {
-            const ScrubMetrics m =
+            const CampaignResult r =
                 runCampaign(intensity, ladder, opt.seed);
+            const ScrubMetrics &m = r.metrics;
             table.row()
                 .cell(intensity, 1)
                 .cell(ladder ? "on" : "off")
@@ -103,7 +111,9 @@ main(int argc, char **argv)
                 .cell(m.ueRetired)
                 .cell(m.ueSlcFallbacks)
                 .cell(m.sparesRemaining)
-                .cell(m.capacityLostBits);
+                .cell(m.capacityLostBits)
+                .cell(r.faults.stuckCellsInjected)
+                .cell(r.faults.droppedInjections);
         }
     }
     table.print();

@@ -12,6 +12,9 @@
  * --no-lazy-drift forces the exact per-cell path; comparing the two
  * runs' JSON is the speedup measurement (metrics are bit-identical).
  * --lines/--sweeps scale the run (defaults: 4096 lines, 24 sweeps).
+ * Warm-up (construction + initial write) and the steady sweep are
+ * reported separately (warmup_* vs steady_lines_per_second), like
+ * micro_scale.
  */
 
 #include <chrono>
@@ -44,7 +47,16 @@ main(int argc, char **argv)
     config.scheme = EccScheme::bch(8);
     config.seed = opts.seed;
     config.lazyDrift = !opts.noLazyDrift;
+
+    // Warm-up (construction + initial write of every line) and the
+    // steady sweep are timed separately, like micro_scale: the two
+    // phases stress different kernels (program physics vs sense +
+    // decode), so one merged rate would hide a regression in either.
+    const auto buildStart = std::chrono::steady_clock::now();
     CellBackend backend(config);
+    const auto buildStop = std::chrono::steady_clock::now();
+    const double warmup =
+        std::chrono::duration<double>(buildStop - buildStart).count();
 
     const std::uint64_t sweeps = opts.sweeps != 0 ? opts.sweeps : 24;
     const Tick interval = secondsToTicks(300.0);
@@ -58,6 +70,8 @@ main(int argc, char **argv)
         std::chrono::duration<double>(stop - start).count();
 
     const ScrubMetrics &metrics = backend.metrics();
+    const double warmupLinesPerSecond =
+        static_cast<double>(config.lines) / warmup;
     const double linesPerSecond =
         static_cast<double>(metrics.linesChecked) / wall;
     const double decodesPerSecond =
@@ -76,12 +90,15 @@ main(int argc, char **argv)
         .str("scheme", config.scheme.name())
         .boolean("lazy_drift", config.lazyDrift)
         .u64("sweeps", wakes)
+        .num("warmup_seconds", warmup)
+        .num("warmup_lines_per_second", warmupLinesPerSecond)
         .num("wall_seconds", wall)
         .u64("lines_checked", metrics.linesChecked)
         .u64("light_detects", metrics.lightDetects)
         .u64("full_decodes", metrics.fullDecodes)
         .u64("scrub_rewrites", metrics.scrubRewrites)
         .num("lines_per_second", linesPerSecond)
+        .num("steady_lines_per_second", linesPerSecond)
         .num("decodes_per_second", decodesPerSecond)
         .num("bytes_per_line",
              static_cast<double>(backend.arrayView().storageBytes()) /
@@ -90,10 +107,12 @@ main(int argc, char **argv)
         .str("config_fingerprint", fingerprint);
     bench::writeJsonFile(path, json);
 
-    std::printf("micro_sweep: %llu lines x %llu sweeps in %.3f s "
+    std::printf("micro_sweep: %llu lines x %llu sweeps: warmup "
+                "%.3f s (%.0f lines/s), sweep %.3f s "
                 "(%.0f lines/s) -> %s\n",
                 static_cast<unsigned long long>(config.lines),
-                static_cast<unsigned long long>(wakes), wall,
-                linesPerSecond, path.c_str());
+                static_cast<unsigned long long>(wakes), warmup,
+                warmupLinesPerSecond, wall, linesPerSecond,
+                path.c_str());
     return 0;
 }

@@ -41,6 +41,33 @@ BitVector::flip(std::size_t index)
 }
 
 void
+BitVector::flipRange(std::size_t lo, std::size_t n)
+{
+    PCMSCRUB_ASSERT(n >= 1 && n <= 64, "flip width %zu invalid", n);
+    PCMSCRUB_ASSERT(lo + n <= bits_, "flip [%zu,+%zu) out of %zu",
+                    lo, n, bits_);
+    const std::uint64_t mask = n == 64 ? ~0ULL : (1ULL << n) - 1;
+    const std::size_t word = lo / 64;
+    const std::size_t shift = lo % 64;
+    words_[word] ^= mask << shift;
+    if (shift + n > 64)
+        words_[word + 1] ^= mask >> (64 - shift);
+}
+
+void
+BitVector::xorWord(std::size_t word_index, std::uint64_t mask)
+{
+    PCMSCRUB_ASSERT(word_index < words_.size(),
+                    "word index %zu out of range %zu", word_index,
+                    words_.size());
+    const std::size_t tail = bits_ % 64;
+    PCMSCRUB_ASSERT(word_index + 1 < words_.size() || tail == 0 ||
+                        (mask >> tail) == 0,
+                    "xorWord mask sets bits past length %zu", bits_);
+    words_[word_index] ^= mask;
+}
+
+void
 BitVector::clear()
 {
     for (auto &word : words_)
@@ -173,6 +200,19 @@ BitVector::fromWords(std::size_t bits, std::vector<std::uint64_t> words)
     result.words_ = std::move(words);
     result.maskTail();
     return result;
+}
+
+void
+BitVector::assignFromWords(std::size_t bits,
+                           const std::uint64_t *words,
+                           std::size_t count)
+{
+    PCMSCRUB_ASSERT(count == (bits + 63) / 64,
+                    "assignFromWords: %zu words cannot hold %zu bits",
+                    count, bits);
+    bits_ = bits;
+    words_.assign(words, words + count);
+    maskTail();
 }
 
 void

@@ -37,6 +37,21 @@ class BitVector
     void set(std::size_t index, bool value);
     void flip(std::size_t index);
 
+    /**
+     * Flip every bit in [lo, lo+n), n <= 64, as one or two word-level
+     * XORs. Equivalent to n single flip() calls over the run — XOR
+     * deposits commute and cancel exactly like repeated flips — so
+     * burst injection can batch without changing observable state.
+     */
+    void flipRange(std::size_t lo, std::size_t n);
+
+    /**
+     * XOR `mask` into backing word `word_index`. Bits past the vector
+     * length must not be set in the mask; equivalent to flipping each
+     * set bit individually.
+     */
+    void xorWord(std::size_t word_index, std::uint64_t mask);
+
     /** Set every bit to zero without changing the length. */
     void clear();
 
@@ -80,11 +95,27 @@ class BitVector
     const std::vector<std::uint64_t> &words() const { return words_; }
 
     /**
+     * Mutable raw-word pointer for batched in-place kernels (fault
+     * deposits, syndrome accumulation). The caller owns the tail
+     * invariant: bits at positions >= size() must stay zero.
+     */
+    std::uint64_t *wordData() { return words_.data(); }
+
+    /**
      * Reconstruct from raw words (the inverse of words()). The word
      * count must match the bit length; trailing bits are re-masked.
      */
     static BitVector fromWords(std::size_t bits,
                                std::vector<std::uint64_t> words);
+
+    /**
+     * fromWords() into an existing vector: reuses this vector's
+     * backing capacity instead of allocating a fresh one, for hot
+     * paths that re-fill one buffer per visit. Trailing bits are
+     * re-masked.
+     */
+    void assignFromWords(std::size_t bits, const std::uint64_t *words,
+                         std::size_t count);
 
     /** Extract bits [lo, lo+n) as an integer (n <= 64). */
     std::uint64_t extract(std::size_t lo, std::size_t n) const;

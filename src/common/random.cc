@@ -206,6 +206,22 @@ Random::poisson(double lambda)
     return draw < 0.0 ? 0 : static_cast<std::uint64_t>(draw);
 }
 
+std::uint64_t
+Random::poisson(double lambda, double exp_neg_lambda)
+{
+    if (lambda <= 0.0)
+        return 0;
+    if (lambda >= 30.0)
+        return poisson(lambda); // Hint unused on the normal branch.
+    double product = uniform();
+    std::uint64_t k = 0;
+    while (product > exp_neg_lambda) {
+        ++k;
+        product *= uniform();
+    }
+    return k;
+}
+
 Random
 Random::split()
 {

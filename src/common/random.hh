@@ -173,6 +173,16 @@ class Random
     /** Poisson(lambda) sample (inversion for small, PTRS for large). */
     std::uint64_t poisson(double lambda);
 
+    /**
+     * Poisson(lambda) with the inversion limit precomputed by the
+     * caller: `exp_neg_lambda` must equal std::exp(-lambda). Draws
+     * the exact sequence poisson(lambda) draws — the overload only
+     * hoists the per-call exp() out of rate-constant hot loops (the
+     * fault injector samples the same campaign rate per visited
+     * span). Large lambdas (>= 30) ignore the hint and delegate.
+     */
+    std::uint64_t poisson(double lambda, double exp_neg_lambda);
+
     /** Split off an independent child generator (for parallel use). */
     Random split();
 

@@ -6,7 +6,6 @@
 #include "common/logging.hh"
 #include "common/simd.hh"
 #include "ecc/bch_simd.hh"
-#include "gf/gfpoly.hh"
 #include "gf/minpoly.hh"
 
 namespace pcmscrub {
@@ -14,6 +13,12 @@ namespace pcmscrub {
 namespace {
 
 constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+
+/** Syndrome / locator buffer length for the stack decode path. */
+constexpr unsigned kMaxTerms = 2 * BchCode::kMaxT;
+
+/** Discrete-log sentinel for the zero element (which has no log). */
+constexpr std::uint32_t kLogZero = 0xffffffffu;
 
 } // namespace
 
@@ -37,6 +42,8 @@ BchCode::BchCode(std::size_t data_bits, unsigned t, unsigned m)
       generator_(bchGenerator(field_, t))
 {
     PCMSCRUB_ASSERT(t >= 1, "BCH needs t >= 1");
+    PCMSCRUB_ASSERT(t <= kMaxT, "BCH t=%u exceeds the supported "
+                    "ceiling %u", t, kMaxT);
     const int deg = generator_.degree();
     PCMSCRUB_ASSERT(deg > 0, "degenerate generator polynomial");
     parityBits_ = static_cast<unsigned>(deg);
@@ -249,20 +256,21 @@ BchCode::encode(const BitVector &data) const
 }
 
 bool
-BchCode::syndromes(const BitVector &codeword,
-                   std::vector<GfElem> &syn) const
+BchCode::syndromes(const std::uint64_t *words, GfElem *syn) const
 {
     const unsigned terms = 2 * t_;
-    syn.assign(terms + 1, 0); // syn[j] = S_j, syn[0] unused.
+    for (unsigned j = 0; j <= terms; ++j)
+        syn[j] = 0; // syn[j] = S_j, syn[0] unused.
     const bool vectorized = simd::enabled() && bchsimd::available() &&
-        bchsimd::syndromeAccumulate(codeword, synTable_.data(),
+        bchsimd::syndromeAccumulate(words, synTable_.data(),
                                     synBytes_, codewordBits_, terms,
-                                    syn.data());
+                                    syn);
     if (!vectorized) {
         for (std::size_t p = 0; p < synBytes_; ++p) {
             const std::size_t width = codewordBits_ - p * 8 < 8
                 ? codewordBits_ - p * 8 : 8;
-            const std::uint64_t v = codeword.extract(p * 8, width);
+            const std::uint64_t v =
+                bchsimd::extractByte(words, p, width);
             if (v == 0)
                 continue;
             const GfElem *const row =
@@ -285,52 +293,104 @@ BchCode::decode(BitVector &codeword) const
                     "bad codeword length %zu", codeword.size());
     DecodeResult result;
 
-    std::vector<GfElem> syn;
-    if (!syndromes(codeword, syn)) {
+    // Zero-syndrome short-circuit on a stack buffer: a clean line
+    // pays one table-driven syndrome pass and nothing else — no
+    // heap traffic, no locator setup.
+    GfElem syn[kMaxTerms + 1];
+    if (!syndromes(codeword.words().data(), syn)) {
         result.status = DecodeStatus::Clean;
         return result;
     }
     result.usedFullDecode = true;
 
+    const std::uint32_t order = field_.order();
+    const unsigned termCount = 2 * t_;
+
+    // Discrete logs of the syndromes, taken once: every discrepancy
+    // product below is then a single exponent add plus one exp-table
+    // load instead of a log/log/exp round trip through field_.mul.
+    std::uint32_t synLog[kMaxTerms + 1];
+    for (unsigned j = 1; j <= termCount; ++j)
+        synLog[j] = syn[j] != 0 ? field_.log(syn[j]) : kLogZero;
+
     // Berlekamp-Massey: find the minimal LFSR (error locator
-    // polynomial sigma) generating the syndrome sequence.
-    GfPoly sigma = GfPoly::constant(1);
-    GfPoly prev = GfPoly::constant(1);
+    // polynomial sigma) generating the syndrome sequence. Sigma
+    // lives in fixed stack arrays, value and log form side by side
+    // (the invariant: sigmaLog[i] is log(sigma[i]), kLogZero when
+    // sigma[i] is zero); the previous-length polynomial only ever
+    // multiplies, so its log form alone is kept. Degrees stay
+    // <= n + 1 <= 2t by the standard BM invariant, which the update
+    // asserts.
+    GfElem sigma[kMaxTerms + 1] = {};
+    std::uint32_t sigmaLog[kMaxTerms + 1];
+    std::uint32_t prevLog[kMaxTerms + 1];
+    for (unsigned i = 0; i <= kMaxTerms; ++i) {
+        sigmaLog[i] = kLogZero;
+        prevLog[i] = kLogZero;
+    }
+    sigma[0] = 1;
+    sigmaLog[0] = 0;
+    prevLog[0] = 0;
+    unsigned sigmaDeg = 0;
+    unsigned prevDeg = 0;
     unsigned lfsrLen = 0;
     unsigned gap = 1;
-    GfElem prevDiscrepancy = 1;
+    std::uint32_t prevDiscLog = 0; // log of the unit discrepancy.
 
-    for (unsigned n = 0; n < 2 * t_; ++n) {
+    for (unsigned n = 0; n < termCount; ++n) {
         GfElem discrepancy = syn[n + 1];
-        for (unsigned i = 1; i <= lfsrLen; ++i) {
-            if (n + 1 >= i + 1) {
-                discrepancy ^= field_.mul(sigma.coeff(i),
-                                          syn[n + 1 - i]);
-            }
+        const unsigned lim = lfsrLen < n ? lfsrLen : n;
+        for (unsigned i = 1; i <= lim; ++i) {
+            const std::uint32_t sl = sigmaLog[i];
+            const std::uint32_t yl = synLog[n + 1 - i];
+            if (sl != kLogZero && yl != kLogZero)
+                discrepancy ^= field_.alphaPowReduced(sl + yl);
         }
         if (discrepancy == 0) {
             ++gap;
             continue;
         }
-        if (2 * lfsrLen <= n) {
-            const GfPoly old = sigma;
-            const GfElem factor = field_.div(discrepancy,
-                                             prevDiscrepancy);
-            sigma = sigma.add(prev.scale(field_, factor).shift(gap));
-            prev = old;
-            prevDiscrepancy = discrepancy;
+        const std::uint32_t discLog = field_.log(discrepancy);
+        std::uint32_t factorLog = discLog + order - prevDiscLog;
+        if (factorLog >= order)
+            factorLog -= order;
+        const bool lengthen = 2 * lfsrLen <= n;
+        std::uint32_t oldLog[kMaxTerms + 1];
+        const unsigned oldDeg = sigmaDeg;
+        if (lengthen) {
+            for (unsigned i = 0; i <= sigmaDeg; ++i)
+                oldLog[i] = sigmaLog[i];
+        }
+        // sigma += x^gap * factor * prev, log-driven per term.
+        PCMSCRUB_ASSERT(gap + prevDeg <= kMaxTerms,
+                        "BM locator degree %u out of range",
+                        gap + prevDeg);
+        for (unsigned i = 0; i <= prevDeg; ++i) {
+            if (prevLog[i] == kLogZero)
+                continue;
+            const unsigned at = gap + i;
+            sigma[at] ^= field_.alphaPowReduced(factorLog +
+                                                prevLog[i]);
+            sigmaLog[at] = sigma[at] != 0 ? field_.log(sigma[at])
+                                          : kLogZero;
+        }
+        if (gap + prevDeg > sigmaDeg)
+            sigmaDeg = gap + prevDeg;
+        while (sigmaDeg > 0 && sigma[sigmaDeg] == 0)
+            --sigmaDeg;
+        if (lengthen) {
+            for (unsigned i = 0; i <= kMaxTerms; ++i)
+                prevLog[i] = i <= oldDeg ? oldLog[i] : kLogZero;
+            prevDeg = oldDeg;
+            prevDiscLog = discLog;
             lfsrLen = n + 1 - lfsrLen;
             gap = 1;
         } else {
-            const GfElem factor = field_.div(discrepancy,
-                                             prevDiscrepancy);
-            sigma = sigma.add(prev.scale(field_, factor).shift(gap));
             ++gap;
         }
     }
 
-    if (lfsrLen > t_ ||
-        sigma.degree() != static_cast<int>(lfsrLen)) {
+    if (lfsrLen > t_ || sigmaDeg != lfsrLen) {
         result.status = DecodeStatus::Uncorrectable;
         return result;
     }
@@ -347,28 +407,28 @@ BchCode::decode(BitVector &codeword) const
     // Each non-zero sigma coefficient contributes
     // alpha^(log c_i + i*j) to sigma(alpha^j); stepping j advances
     // the exponent by the coefficient's stride i, so the whole scan
-    // is adds and exp-table lookups with no field multiplies.
-    const std::uint32_t order = field_.order();
-    const unsigned deg = static_cast<unsigned>(sigma.degree());
+    // is adds and exp-table lookups with no field multiplies. The
+    // BM pass already maintains the coefficient logs, so setup is a
+    // copy, not a log pass.
     std::uint32_t termExp[2 * 64];
     std::uint32_t termStride[2 * 64];
     unsigned terms = 0;
-    for (unsigned i = 0; i <= deg && terms < 2 * 64; ++i) {
-        const GfElem c = sigma.coeff(i);
-        if (c == 0)
+    for (unsigned i = 0; i <= sigmaDeg && terms < 2 * 64; ++i) {
+        if (sigmaLog[i] == kLogZero)
             continue;
-        termExp[terms] = field_.log(c);
+        termExp[terms] = sigmaLog[i];
         termStride[terms] = i % order;
         ++terms;
     }
 
-    std::vector<std::size_t> errorBits;
+    std::size_t errorBits[BchCode::kMaxT + 1];
+    std::size_t errorCount = 0;
     // j = 0 (error at power 0) first: sigma(1) is the coefficient sum.
     GfElem atOne = 0;
     for (unsigned k = 0; k < terms; ++k)
         atOne ^= field_.alphaPowReduced(termExp[k]);
     if (atOne == 0)
-        errorBits.push_back(powerToBit(0));
+        errorBits[errorCount++] = powerToBit(0);
 
     const std::uint32_t jStart =
         order - static_cast<std::uint32_t>(codewordBits_) + 1;
@@ -382,9 +442,9 @@ BchCode::decode(BitVector &codeword) const
         std::vector<std::uint32_t> rootJs;
         bchsimd::chienScan(field_.expTableData(), order, termExp,
                            termStride, terms, jStart,
-                           lfsrLen - errorBits.size(), rootJs);
+                           lfsrLen - errorCount, rootJs);
         for (const auto j : rootJs)
-            errorBits.push_back(powerToBit(order - j));
+            errorBits[errorCount++] = powerToBit(order - j);
     } else {
         for (std::uint32_t j = jStart; j < order; ++j) {
             GfElem value = 0;
@@ -396,35 +456,59 @@ BchCode::decode(BitVector &codeword) const
             }
             if (value != 0)
                 continue;
-            errorBits.push_back(powerToBit(order - j));
+            errorBits[errorCount++] = powerToBit(order - j);
             // A degree-lfsrLen locator has no further roots; the
             // rest of the scan cannot add or remove error bits.
-            if (errorBits.size() == lfsrLen)
+            if (errorCount == lfsrLen)
                 break;
         }
     }
 
-    if (errorBits.size() != lfsrLen) {
+    if (errorCount != lfsrLen) {
         // Locator does not split over the field inside the codeword
         // region: > t errors.
         result.status = DecodeStatus::Uncorrectable;
         return result;
     }
 
-    for (const auto bit : errorBits)
-        codeword.flip(bit);
+    for (std::size_t e = 0; e < errorCount; ++e)
+        codeword.flip(errorBits[e]);
     result.status = DecodeStatus::Corrected;
-    result.correctedBits = static_cast<unsigned>(errorBits.size());
+    result.correctedBits = static_cast<unsigned>(errorCount);
     return result;
 }
 
 bool
 BchCode::check(const BitVector &codeword) const
 {
-    PCMSCRUB_ASSERT(codeword.size() == codewordBits_,
-                    "bad codeword length %zu", codeword.size());
-    std::vector<GfElem> syn;
-    return !syndromes(codeword, syn);
+    return checkWords(codeword.words().data(), codeword.size());
+}
+
+bool
+BchCode::checkWords(const std::uint64_t *words, std::size_t bits) const
+{
+    PCMSCRUB_ASSERT(bits == codewordBits_,
+                    "bad codeword length %zu", bits);
+    GfElem syn[kMaxTerms + 1];
+    return !syndromes(words, syn);
+}
+
+void
+BchCode::checkSpans(const std::uint64_t *const *spans,
+                    std::size_t count, std::uint8_t *clean) const
+{
+    const std::size_t spanWords = (codewordBits_ + 63) / 64;
+    GfElem syn[kMaxTerms + 1];
+    for (std::size_t i = 0; i < count; ++i) {
+        if (i + 1 < count) {
+            // Pull the next span toward the cache while this one's
+            // table rows accumulate; syndrome passes are short enough
+            // that the miss otherwise lands on the critical path.
+            for (std::size_t w = 0; w < spanWords; w += 8)
+                __builtin_prefetch(spans[i + 1] + w);
+        }
+        clean[i] = syndromes(spans[i], syn) ? 0 : 1;
+    }
 }
 
 } // namespace pcmscrub

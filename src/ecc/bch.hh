@@ -46,16 +46,39 @@ class BchCode : public Code
     DecodeResult decode(BitVector &codeword) const override;
     bool check(const BitVector &codeword) const override;
 
+    /** Zero-copy syndrome pass over raw codeword words. */
+    bool checkWords(const std::uint64_t *words,
+                    std::size_t bits) const override;
+
+    /**
+     * Batched syndrome accumulation: one stack syndrome buffer
+     * reused across the spans, the next span prefetched while the
+     * current one accumulates. This is the sweep-refresh entry — a
+     * lazy-drift rebuild checks every eligible line of a shard in
+     * one call.
+     */
+    void checkSpans(const std::uint64_t *const *spans,
+                    std::size_t count,
+                    std::uint8_t *clean) const override;
+
     /** Field degree in use. */
     unsigned fieldDegree() const { return field_.m(); }
 
     /** The generator polynomial (over GF(2)). */
     const BinPoly &generator() const { return generator_; }
 
+    /** Correction-power ceiling the stack decode buffers assume. */
+    static constexpr unsigned kMaxT = 64;
+
   private:
-    /** 2t partial syndromes S_1..S_2t; true if any is non-zero. */
-    bool syndromes(const BitVector &codeword,
-                   std::vector<GfElem> &syn) const;
+    /**
+     * 2t partial syndromes S_1..S_2t into syn (2t + 1 entries,
+     * zeroed here; syn[0] unused); true if any is non-zero. Works on
+     * the raw backing words so storage planes decode without a
+     * BitVector copy, and fills a caller-provided (stack) buffer so
+     * clean checks never allocate.
+     */
+    bool syndromes(const std::uint64_t *words, GfElem *syn) const;
 
     /** Precompute synTable_ (see member comment). */
     void buildSyndromeTable();

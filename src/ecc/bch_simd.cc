@@ -30,7 +30,7 @@ namespace {
  */
 template <unsigned NV>
 void
-accumulateRows(const BitVector &codeword, const GfElem *table,
+accumulateRows(const std::uint64_t *words, const GfElem *table,
                std::size_t syn_bytes, std::size_t codeword_bits,
                unsigned terms, GfElem *syn)
 {
@@ -43,7 +43,7 @@ accumulateRows(const BitVector &codeword, const GfElem *table,
     for (std::size_t p = 0; p < syn_bytes; ++p) {
         const std::size_t width = codeword_bits - p * 8 < 8
             ? codeword_bits - p * 8 : 8;
-        const std::uint64_t v = codeword.extract(p * 8, width);
+        const std::uint64_t v = extractByte(words, p, width);
         if (v == 0)
             continue;
         const GfElem *const row = &table[(p * 256 + v) * terms];
@@ -76,25 +76,25 @@ available()
 }
 
 bool
-syndromeAccumulate(const BitVector &codeword, const GfElem *table,
+syndromeAccumulate(const std::uint64_t *words, const GfElem *table,
                    std::size_t syn_bytes, std::size_t codeword_bits,
                    unsigned terms, GfElem *syn)
 {
     switch (terms / 8) {
     case 1:
-        accumulateRows<1>(codeword, table, syn_bytes, codeword_bits,
+        accumulateRows<1>(words, table, syn_bytes, codeword_bits,
                           terms, syn);
         return true;
     case 2:
-        accumulateRows<2>(codeword, table, syn_bytes, codeword_bits,
+        accumulateRows<2>(words, table, syn_bytes, codeword_bits,
                           terms, syn);
         return true;
     case 3:
-        accumulateRows<3>(codeword, table, syn_bytes, codeword_bits,
+        accumulateRows<3>(words, table, syn_bytes, codeword_bits,
                           terms, syn);
         return true;
     case 4:
-        accumulateRows<4>(codeword, table, syn_bytes, codeword_bits,
+        accumulateRows<4>(words, table, syn_bytes, codeword_bits,
                           terms, syn);
         return true;
     default:
@@ -200,7 +200,7 @@ available()
 }
 
 bool
-syndromeAccumulate(const BitVector &, const GfElem *, std::size_t,
+syndromeAccumulate(const std::uint64_t *, const GfElem *, std::size_t,
                    std::size_t, unsigned, GfElem *)
 {
     return false;

@@ -15,11 +15,24 @@
 #include <cstdint>
 #include <vector>
 
-#include "common/bitvector.hh"
 #include "gf/gf2m.hh"
 
 namespace pcmscrub {
 namespace bchsimd {
+
+/**
+ * Byte p of a raw little-endian word span, masked to `width` valid
+ * bits (the final byte of a codeword may be partial). Byte loads
+ * never straddle a 64-bit word, so this is one shift and one mask —
+ * the common extraction of the scalar and vector syndrome loops.
+ */
+inline std::uint64_t
+extractByte(const std::uint64_t *words, std::size_t p,
+            std::size_t width)
+{
+    const std::uint64_t byte = words[p >> 3] >> ((p & 7) * 8);
+    return byte & (width >= 8 ? 0xff : (1ULL << width) - 1);
+}
 
 /**
  * Whether the AVX2 path can run on this build + CPU. Constant after
@@ -32,13 +45,15 @@ bool available();
  * syn[1..terms] (syn must hold terms + 1 zeroed entries) — the
  * vector form of the row loop in BchCode::syndromes(), keeping the
  * partial syndromes in registers across the whole codeword instead
- * of round-tripping through memory per byte.
+ * of round-tripping through memory per byte. Operates on the raw
+ * backing words of the codeword, so callers can feed storage planes
+ * without materialising a BitVector.
  *
  * @return false when the shape is unsupported (terms too small or
  *         too large for the register budget); the caller runs the
  *         scalar loop.
  */
-bool syndromeAccumulate(const BitVector &codeword, const GfElem *table,
+bool syndromeAccumulate(const std::uint64_t *words, const GfElem *table,
                         std::size_t syn_bytes,
                         std::size_t codeword_bits, unsigned terms,
                         GfElem *syn);

@@ -1,6 +1,8 @@
 #include "faults/fault_injector.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 
 #include "common/logging.hh"
 #include "common/serialize.hh"
@@ -22,6 +24,8 @@ FaultInjector::FaultInjector(const FaultCampaignConfig &config)
         fatal("fault campaign rates out of range");
     if (config_.burstProbPerRead > 0.0 && config_.burstBits == 0)
         fatal("burst campaign needs burstBits >= 1");
+    if (config_.disturbFlipsPerRead > 0.0)
+        expNegDisturb_ = std::exp(-config_.disturbFlipsPerRead);
     shardStreams(1);
 }
 
@@ -55,6 +59,7 @@ FaultInjector::stats() const
         total.bursts += lane.stats.bursts;
         total.miscorrections += lane.stats.miscorrections;
         total.metadataCorruptions += lane.stats.metadataCorruptions;
+        total.droppedInjections += lane.stats.droppedInjections;
     }
     return total;
 }
@@ -102,8 +107,8 @@ FaultInjector::sampleReadDisturb(std::size_t shard)
     Lane &l = lane(shard);
     unsigned flips = 0;
     if (config_.disturbFlipsPerRead > 0.0) {
-        flips += static_cast<unsigned>(
-            l.rng.poisson(config_.disturbFlipsPerRead));
+        flips += static_cast<unsigned>(l.rng.poisson(
+            config_.disturbFlipsPerRead, expNegDisturb_));
     }
     if (config_.burstProbPerRead > 0.0 &&
         l.rng.bernoulli(config_.burstProbPerRead)) {
@@ -142,28 +147,49 @@ FaultInjector::corruptLastWrite(Tick &tick, Tick now, std::size_t shard)
 void
 FaultInjector::corruptWord(BitVector &word, std::size_t shard)
 {
-    if (word.size() == 0)
+    corruptSpan(word.wordData(), word.size(), shard);
+}
+
+void
+FaultInjector::corruptSpan(std::uint64_t *words, std::size_t bits,
+                           std::size_t shard)
+{
+    if (bits == 0)
         return;
     if (config_.disturbFlipsPerRead <= 0.0 &&
         config_.burstProbPerRead <= 0.0)
         return;
     Lane &l = lane(shard);
     if (config_.disturbFlipsPerRead > 0.0) {
-        const unsigned flips = static_cast<unsigned>(
-            l.rng.poisson(config_.disturbFlipsPerRead));
-        for (unsigned i = 0; i < flips; ++i)
-            word.flip(l.rng.uniformInt(word.size()));
+        // One count draw per span (inversion limit hoisted), then
+        // one position draw per flip, deposited straight into the
+        // backing words. XOR deposits at colliding positions cancel
+        // in pairs, exactly like the repeated flip() calls they
+        // replace.
+        const unsigned flips = static_cast<unsigned>(l.rng.poisson(
+            config_.disturbFlipsPerRead, expNegDisturb_));
+        for (unsigned i = 0; i < flips; ++i) {
+            const std::uint64_t pos = l.rng.uniformInt(bits);
+            words[pos >> 6] ^= 1ULL << (pos & 63);
+        }
         l.stats.transientFlips += flips;
     }
     if (config_.burstProbPerRead > 0.0 &&
         l.rng.bernoulli(config_.burstProbPerRead)) {
         ++l.stats.bursts;
         const unsigned len = std::min<unsigned>(
-            config_.burstBits, static_cast<unsigned>(word.size()));
-        const std::size_t start =
-            l.rng.uniformInt(word.size() - len + 1);
-        for (unsigned i = 0; i < len; ++i)
-            word.flip(start + i);
+            config_.burstBits, static_cast<unsigned>(
+                                   std::min<std::size_t>(bits, 64)));
+        const std::size_t start = l.rng.uniformInt(bits - len + 1);
+        // The adjacent-bit run lands as one mask, split across the
+        // word boundary when the burst straddles one.
+        const std::uint64_t mask =
+            len == 64 ? ~0ULL : (1ULL << len) - 1;
+        const std::size_t word = start >> 6;
+        const std::size_t shift = start & 63;
+        words[word] ^= mask << shift;
+        if (shift + len > 64)
+            words[word + 1] ^= mask >> (64 - shift);
         l.stats.transientFlips += len;
     }
 }
@@ -175,22 +201,33 @@ FaultInjector::freezeCells(Line &line, unsigned count,
     if (count == 0)
         return;
     Lane &l = lane(shard);
+    // Draw victims from the healthy population directly: one scan to
+    // list the live cells, then one uniform draw per injection with
+    // swap-removal. Cost is O(cells + count) at any stuck density;
+    // the rejection loop this replaces needed ~1/(1-density) tries
+    // per pick and gave up (dropping the rest of the injection
+    // budget) after 32 misses.
+    thread_local std::vector<std::uint32_t> healthy;
+    healthy.clear();
+    const unsigned cells = line.cellCount();
+    for (unsigned i = 0; i < cells; ++i) {
+        if (!line.cell(i).stuck)
+            healthy.push_back(i);
+    }
     for (unsigned injected = 0; injected < count; ++injected) {
-        // Pick a healthy victim; give up once the line is (nearly)
-        // all dead rather than spinning.
-        bool found = false;
-        unsigned victim = 0;
-        for (unsigned attempt = 0; attempt < 32; ++attempt) {
-            const unsigned candidate = static_cast<unsigned>(
-                l.rng.uniformInt(line.cellCount()));
-            if (!line.cell(candidate).stuck) {
-                victim = candidate;
-                found = true;
-                break;
-            }
-        }
-        if (!found)
+        if (healthy.empty()) {
+            const std::uint64_t dropped = count - injected;
+            l.stats.droppedInjections += dropped;
+            warn_once("fault campaign: dropping stuck-cell "
+                      "injections on a fully frozen line (%llu this "
+                      "time; see stats().droppedInjections)",
+                      static_cast<unsigned long long>(dropped));
             return;
+        }
+        const std::size_t pick = l.rng.uniformInt(healthy.size());
+        const std::uint32_t victim = healthy[pick];
+        healthy[pick] = healthy.back();
+        healthy.pop_back();
         auto cell = line.cell(victim);
         cell.stuck = 1;
         cell.stuckLevel = static_cast<std::uint8_t>(
@@ -209,6 +246,7 @@ FaultInjector::saveState(SnapshotSink &sink) const
         sink.u64(l.stats.bursts);
         sink.u64(l.stats.miscorrections);
         sink.u64(l.stats.metadataCorruptions);
+        sink.u64(l.stats.droppedInjections);
     }
 }
 
@@ -224,6 +262,7 @@ FaultInjector::loadState(SnapshotSource &source)
         l.stats.bursts = source.u64();
         l.stats.miscorrections = source.u64();
         l.stats.metadataCorruptions = source.u64();
+        l.stats.droppedInjections = source.u64();
     }
 }
 

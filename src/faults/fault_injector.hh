@@ -87,6 +87,14 @@ struct FaultInjectorStats
     std::uint64_t bursts = 0;
     std::uint64_t miscorrections = 0;
     std::uint64_t metadataCorruptions = 0;
+
+    /**
+     * Stuck injections requested by the campaign but not landed
+     * because the target line had no healthy cell left. Ground truth
+     * for saturated-line campaigns: the effective injected density
+     * is stuckCellsInjected net of these.
+     */
+    std::uint64_t droppedInjections = 0;
 };
 
 /**
@@ -157,12 +165,33 @@ class FaultInjector
     /**
      * Apply one sensing pass's transient faults to a read word:
      * independent read-disturb flips plus an adjacent-bit burst.
+     * Wrapper over corruptSpan() on the word's backing storage.
      */
     void corruptWord(BitVector &word, std::size_t shard = 0);
 
     /**
+     * Span-level batch form of corruptWord(): samples the disturb
+     * count once per visited span with the campaign rate's inversion
+     * limit precomputed, then deposits disturb and burst flips as
+     * word-level XOR masks into the raw codeword buffer. Draw-order
+     * identical to the historical per-flip loop — the same poisson /
+     * uniformInt / bernoulli sequence is consumed, only the bit
+     * deposits batch (XOR masks cancel duplicates exactly like
+     * repeated single-bit flips). Bits past `bits` are never touched,
+     * so a BitVector tail invariant survives.
+     */
+    void corruptSpan(std::uint64_t *words, std::size_t bits,
+                     std::size_t shard = 0);
+
+    /**
      * Freeze `count` not-yet-stuck cells of a line at a random
-     * level (stuck-at-SET/RESET hard faults).
+     * level (stuck-at-SET/RESET hard faults). Victims are drawn from
+     * the healthy population directly (one scan, then one draw per
+     * injection with swap-removal), so high stuck densities cost the
+     * same as low ones; historical rejection sampling spun on dense
+     * lines and silently dropped the remainder after 32 misses.
+     * Injections that cannot land because the line has no healthy
+     * cell left are counted in stats().droppedInjections.
      */
     void freezeCells(Line &line, unsigned count, std::size_t shard = 0);
 
@@ -186,6 +215,15 @@ class FaultInjector
     Lane &lane(std::size_t shard);
 
     FaultCampaignConfig config_;
+
+    /**
+     * exp(-disturbFlipsPerRead), computed once at construction and
+     * passed to the cached-limit poisson overload so span sampling
+     * does not pay a transcendental per visited span. Unused (and
+     * ignored by the overload) for rates >= 30.
+     */
+    double expNegDisturb_ = 1.0;
+
     std::vector<Lane> lanes_;
 };
 

@@ -42,11 +42,14 @@ CellModel::program(Cell &cell, unsigned level, Tick now,
         return outcome; // Dead cells ignore programming.
 
     // Iteration count: extreme levels are single-pulse (full SET or
-    // full RESET); intermediate levels need iterative trim.
+    // full RESET); intermediate levels need iterative trim. All
+    // program draws are ziggurat z-scores scaled in place — the same
+    // sampler warm-up and manufacturing use — so the batched rewrite
+    // pipeline's scratch holds plain z-scores too.
     unsigned iterations = 1;
     if (level != 0 && level != mlcLevels - 1) {
-        const double draw = rng.normal(config_.meanIterationsIntermediate,
-                                       config_.sigmaIterations);
+        const double draw = config_.meanIterationsIntermediate +
+            config_.sigmaIterations * rng.normalZig();
         iterations = static_cast<unsigned>(std::clamp(
             std::round(draw), 1.0,
             static_cast<double>(config_.maxProgramIterations)));
@@ -55,13 +58,15 @@ CellModel::program(Cell &cell, unsigned level, Tick now,
 
     cell.storedLevel = static_cast<std::uint8_t>(level);
     cell.logR0 = static_cast<float>(
-        rng.normal(config_.levelMeanLogR[level], config_.sigmaLogR));
+        config_.levelMeanLogR[level] +
+        config_.sigmaLogR * rng.normalZig());
     const double sigmaNu = config_.driftSigma(level);
     // Drift exponents are non-negative physically; clamp the tail.
     // The cell's intrinsic speed factor scales this write's draw.
     cell.nu = static_cast<float>(
         static_cast<double>(cell.nuSpeed) *
-        std::max(0.0, rng.normal(config_.driftMu[level], sigmaNu)));
+        std::max(0.0, config_.driftMu[level] +
+                          sigmaNu * rng.normalZig()));
     cell.writeTick = now;
     ++cell.writes;
 

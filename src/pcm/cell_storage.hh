@@ -371,6 +371,24 @@ class CellStorage
     {
         return gray_.data() + line * grayBytesPerLine_;
     }
+    const std::uint8_t *grayData(std::size_t line) const
+    {
+        return gray_.data() + line * grayBytesPerLine_;
+    }
+
+    /**
+     * Aux-plane slices (auxMode() only): the stored manufacturing
+     * floats of one line, for batched kernels that read them
+     * directly instead of through per-cell accessors.
+     */
+    const float *rawNuSpeedData(std::size_t line) const
+    {
+        return nuSpeedAux_.data() + line * cellsPerLine_;
+    }
+    const float *rawEnduranceData(std::size_t line) const
+    {
+        return enduranceAux_.data() + line * cellsPerLine_;
+    }
 
     /**
      * Manufacturing stream of cell `i` at its current generation —

@@ -31,6 +31,157 @@ vectorPath(const CellConstSpan &cells, bool slc_mode)
         simd::enabled() && simdk::available();
 }
 
+/**
+ * Draw/transform scratch of the two-stage program pipelines.
+ * Thread-local: parallel backends program disjoint lines from
+ * worker threads, each of which keeps its own buffers warm.
+ */
+detail::ProgramScratch &
+programScratch()
+{
+    static thread_local detail::ProgramScratch scratch;
+    return scratch;
+}
+
+/**
+ * Batched rewrite of a full array-home MLC line: stage A decodes
+ * target levels and consumes the line stream in the scalar loop's
+ * exact draw order into scratch, stage B (programTransformAvx2)
+ * turns the draws into plane bytes eight cells at a step. Emits the
+ * bits, stats, and overlay words of the scalar loop exactly; the
+ * caller has already materialized the overlay if the line needs one
+ * and verified the vector gate.
+ */
+LineProgramStats
+programCodewordBatched(const CellSpan &cells, const BitVector &codeword,
+                       Tick now, const CellModel &model, Random &rng,
+                       WriteOverlay *overlay)
+{
+    const DeviceConfig &config = model.config();
+    CellStorage &storage = *cells.storage;
+    const QuantSpec &spec = storage.spec();
+    const std::size_t count = cells.count;
+    detail::ProgramScratch &scr = programScratch();
+    scr.level.resize(count);
+    scr.alive.resize(count);
+    scr.dIter.resize(count);
+    scr.dLogR.resize(count);
+    scr.dNu.resize(count);
+
+    // Stage A: decode target levels (2-bit Gray symbols pack 32 to
+    // the codeword word; the BitVector keeps tail bits clear, so an
+    // odd-width codeword's half-cell lands as bit1 = 0 exactly like
+    // the bit-by-bit guard) and consume the line stream in the
+    // scalar order — per live cell the iteration draw (intermediate
+    // levels only), then logR0, then nu. Stuck cells draw nothing.
+    const std::uint64_t *words = codeword.words().data();
+    const CellConstSpan view = cells.view();
+    bool anyStuck = false;
+    for (std::size_t i = 0; i < count; ++i) {
+        const unsigned g = static_cast<unsigned>(
+            (words[i >> 5] >> ((i & 31u) * 2u)) & 3u);
+        const unsigned level =
+            grayToLevel(static_cast<std::uint8_t>(g));
+        scr.level[i] = static_cast<std::uint8_t>(level);
+        if (view.stuck(i)) {
+            scr.alive[i] = 0;
+            anyStuck = true;
+            continue;
+        }
+        scr.alive[i] = 1;
+        if (level != 0 && level != mlcLevels - 1) {
+            scr.dIter[i] = config.meanIterationsIntermediate +
+                config.sigmaIterations * rng.normalZig();
+        }
+        scr.dLogR[i] = config.levelMeanLogR[level] +
+            config.sigmaLogR * rng.normalZig();
+        scr.dNu[i] = config.driftMu[level] +
+            config.driftSigma(level) * rng.normalZig();
+    }
+
+    // Gray plane: cell c's symbol is codeword bits 2c..2c+1, four
+    // cells to the byte — the plane's own layout — so live symbols
+    // deposit wholesale. Stuck cells keep their frozen symbol (the
+    // scalar path never stores them); bits past the last cell are
+    // clear in the codeword and already clear in the plane (warm-up
+    // deposited the same clear tail), so wholesale stays identical.
+    std::uint8_t *gray = storage.grayData(cells.line);
+    const std::size_t planeBytes = (count + 3) / 4;
+    if (anyStuck) {
+        for (std::size_t k = 0; k < planeBytes; ++k) {
+            const std::size_t base = k * 4;
+            const std::size_t n =
+                count - base < 4 ? count - base : 4;
+            std::uint8_t keep = 0;
+            for (std::size_t c = 0; c < n; ++c) {
+                if (!scr.alive[base + c])
+                    keep |= static_cast<std::uint8_t>(3u << (c * 2));
+            }
+            const std::uint8_t tgt = static_cast<std::uint8_t>(
+                words[k >> 3] >> ((k & 7u) * 8u));
+            gray[k] = static_cast<std::uint8_t>(
+                (gray[k] & keep) | (tgt & ~keep));
+        }
+    } else {
+        for (std::size_t k = 0; k < planeBytes; ++k) {
+            gray[k] = static_cast<std::uint8_t>(
+                words[k >> 3] >> ((k & 7u) * 8u));
+        }
+    }
+
+    // Manufacturing floats: stored planes in aux mode, else the
+    // batched derive (per-cell streams, order-neutral; values are
+    // deriveManufacturing's exactly).
+    const float *nuSpeedF;
+    const float *enduranceF;
+    if (storage.auxMode()) {
+        nuSpeedF = storage.rawNuSpeedData(cells.line);
+        enduranceF = storage.rawEnduranceData(cells.line);
+    } else {
+        scr.nuSpeedF.resize(count);
+        scr.enduranceF.resize(count);
+        simdk::manufDeriveAvx2(
+            storage.manufSeed(),
+            storage.manufStreamId(cells.baseCell, cells.line), count,
+            spec.enduranceLogMedian(), spec.enduranceSigmaLn(),
+            spec.driftSpeedSigmaLn(), scr.enduranceF.data(),
+            scr.nuSpeedF.data());
+        nuSpeedF = scr.nuSpeedF.data();
+        enduranceF = scr.enduranceF.data();
+    }
+
+    detail::ProgramTransformArgs args;
+    args.logRq = storage.rawLogRqData(cells.line);
+    args.nuIdx = storage.rawNuIdxData(cells.line);
+    args.level = scr.level.data();
+    args.alive = scr.alive.data();
+    args.dIter = scr.dIter.data();
+    args.dLogR = scr.dLogR.data();
+    args.dNu = scr.dNu.data();
+    args.nuSpeedF = nuSpeedF;
+    args.enduranceF = enduranceF;
+    args.ovWrites =
+        overlay != nullptr ? overlay->writes.data() : nullptr;
+    args.ovTicks =
+        overlay != nullptr ? overlay->ticks.data() : nullptr;
+    args.count = count;
+    args.now = now;
+    args.uniformWrites =
+        static_cast<std::uint32_t>(storage.lineWrites(cells.line));
+    args.maxIterations =
+        static_cast<double>(config.maxProgramIterations);
+    for (unsigned l = 0; l < mlcLevels; ++l)
+        args.meanLogR[l] = config.levelMeanLogR[l];
+    args.logR0Step = spec.logR0Step();
+    args.nuMin = spec.nuMin();
+    args.nuMax = spec.nuMax();
+    args.invNuLogStep = spec.invNuLogStep();
+
+    LineProgramStats stats;
+    simdk::programTransformAvx2(args, stats);
+    return stats;
+}
+
 } // namespace
 
 BitVector
@@ -118,6 +269,23 @@ programCodeword(const CellSpan &cells, const BitVector &codeword,
     if (storage.hasOverlay(cells.line) || differential ||
         storage.lineHasStuck(cells.line, cells.count)) {
         overlay = &storage.ensureOverlay(cells.line);
+    }
+
+    // Batched pipeline for the common shape: a full array-home MLC
+    // line, no data-comparison reads. Unlike the sense-path gate it
+    // admits overlays (stage B stores per-cell clocks through the
+    // overlay pointers); differential writes stay scalar because
+    // their skip-sense decides per cell whether the stream is drawn
+    // at all.
+    if (!slc_mode && !differential && cells.count >= 8 &&
+        simd::enabled() && simdk::available() &&
+        cells.baseCell == cells.line * storage.cellsPerLine() &&
+        cells.count == storage.cellsPerLine() &&
+        codeword.size() == codeword_bits &&
+        cells.count ==
+            (codeword_bits + bitsPerCell - 1) / bitsPerCell) {
+        return programCodewordBatched(cells, codeword, now, model,
+                                      rng, overlay);
     }
     const CellConstSpan view = cells.view();
 
@@ -208,68 +376,70 @@ warmProgramCodeword(const CellSpan &cells, const BitVector &codeword,
         driftMu[l] = config.driftMu[l];
         driftSig[l] = config.driftSigma(l);
     }
-    // First-write wear-out screen: the cell freezes iff its derived
-    // endurance float(exp(lnE)) <= 1.0 writes. exp(x) >= 1.28 for
-    // x > 1/4 even after float rounding, so only draws below the
-    // cutoff pay the exact exp-and-compare.
-    constexpr double kWornLnCutoff = 0.25;
+    const std::size_t count = cells.count;
+    detail::ProgramScratch &scr = programScratch();
+    scr.z1.resize(count);
+    scr.z2.resize(count);
+    scr.zE.resize(count);
+    if (sigmaS != 0.0)
+        scr.zS.resize(count);
+    double *zS = sigmaS == 0.0 ? nullptr : scr.zS.data();
 
-    for (std::size_t i = 0; i < cells.count; ++i) {
-        const unsigned g = (gray[i >> 2] >> ((i & 3u) * 2u)) & 3u;
-        const unsigned level = grayToLevel(
-            static_cast<std::uint8_t>(g));
+    // Stage A, line stream: always both z-scores per cell — one for
+    // logR0, one for this write's drift exponent — in the scalar
+    // order (z1 then z2, cell by cell).
+    for (std::size_t i = 0; i < count; ++i) {
+        scr.z1[i] = rng.normalZig();
+        scr.z2[i] = rng.normalZig();
+    }
 
-        // Line-stream draws, always both, branch-free: one z-score
-        // for logR0, one for this write's drift exponent.
-        const double z1 = rng.normalZig();
-        const double z2 = rng.normalZig();
-        // logR0 = mean[level] + sigma * z1 and the code is the
-        // step-quantized delta from that same mean (sigma/step
-        // hoisted to one multiply).
-        const long code = std::lround(logRScale * z1) +
-            QuantSpec::kLogR0Bias;
-        logRq[i] = static_cast<std::uint8_t>(
-            std::clamp(code, 0L, 255L));
-
-        // Manufacturing z-scores, consumed draw-for-draw like
-        // sampleManufacturing (endurance first; no drift-speed draw
-        // when its sigma is zero).
-        Random manuf = Random::stream(
-            manufSeed,
-            storage.manufStreamId(cells.baseCell + i, cells.line));
-        const double lnE = logMedianE + sigmaE * manuf.normalZig();
-        const double lnS =
-            sigmaS == 0.0 ? 0.0 : sigmaS * manuf.normalZig();
-
-        if (lnE <= kWornLnCutoff &&
-            1.0 >= static_cast<double>(
-                       static_cast<float>(std::exp(lnE)))) {
-            // Worn out by its very first write: the write succeeded,
-            // the gray plane already holds the target level, and the
-            // cell freezes there.
-            nuIdx[i] = QuantSpec::kStuckNuIdx;
-            continue;
+    // Stage A, manufacturing streams: consumed draw-for-draw like
+    // sampleManufacturing (endurance first; no drift-speed draw when
+    // its sigma is zero). Each cell owns its stream, so batching the
+    // draws is order-neutral.
+    const std::uint64_t sidBase =
+        storage.manufStreamId(cells.baseCell, cells.line);
+    const bool vec =
+        count >= 8 && simd::enabled() && simdk::available();
+    if (vec) {
+        simdk::manufZScoresAvx2(manufSeed, sidBase, count,
+                                scr.zE.data(), zS);
+    } else {
+        std::uint64_t sid = sidBase;
+        for (std::size_t i = 0; i < count; ++i, sid += 256) {
+            Random manuf = Random::stream(manufSeed, sid);
+            scr.zE[i] = manuf.normalZig();
+            if (zS != nullptr)
+                zS[i] = manuf.normalZig();
         }
+    }
 
-        // nu = nuSpeed * max(0, mu[level] + sigma(level) * z2),
-        // encoded in the log domain (encodeNu's clamp structure on
-        // ln nu) so no exp is ever needed.
-        const double w = driftMu[level] + driftSig[level] * z2;
-        if (w <= 0.0) {
-            nuIdx[i] = 0;
-            continue;
-        }
-        const double lnV = lnS + std::log(w);
-        if (lnV >= lnNuMax) {
-            nuIdx[i] = 254;
-        } else if (lnV <= lnNuMin) {
-            nuIdx[i] = 1;
-        } else {
-            const long nuCode =
-                std::lround((lnV - lnNuMin) * invNuLogStep) + 1;
-            nuIdx[i] = static_cast<std::uint8_t>(
-                std::clamp(nuCode, 1L, 254L));
-        }
+    // Stage B: pure transform of the draw buffers into plane bytes.
+    detail::WarmTransformArgs args;
+    args.gray = gray;
+    args.logRq = logRq;
+    args.nuIdx = nuIdx;
+    args.z1 = scr.z1.data();
+    args.z2 = scr.z2.data();
+    args.zE = scr.zE.data();
+    args.zS = zS;
+    args.count = count;
+    args.logRScale = logRScale;
+    args.lnNuMin = lnNuMin;
+    args.lnNuMax = lnNuMax;
+    args.invNuLogStep = invNuLogStep;
+    args.logMedianE = logMedianE;
+    args.sigmaE = sigmaE;
+    args.sigmaS = sigmaS;
+    for (unsigned l = 0; l < mlcLevels; ++l) {
+        args.driftMu[l] = driftMu[l];
+        args.driftSig[l] = driftSig[l];
+    }
+    if (vec) {
+        simdk::warmTransformAvx2(args);
+    } else {
+        for (std::size_t i = 0; i < count; ++i)
+            detail::warmTransformCell(args, i);
     }
 }
 
@@ -405,6 +575,39 @@ computeLazyLines(const CellStorage &storage, std::size_t first_line,
             storage.intendedWords(line),
             storage.lineLastWriteTick(line), config, lut);
     }
+}
+
+LazyLineResult
+computeLazyLineModel(const CellStorage &storage, std::size_t line,
+                     const CellModel &model)
+{
+    LazyLineResult out;
+    const Tick writeTick = storage.lineLastWriteTick(line);
+    const std::uint64_t *words = storage.intendedWords(line);
+    const std::size_t base = line * storage.cellsPerLine();
+    const std::size_t count = storage.cellsPerLine();
+    Tick until = kNeverTick;
+    for (std::size_t i = 0; i < count; ++i) {
+        const Cell cell = storage.loadPhysics(base + i);
+        if (cell.stuck)
+            return out;
+        const std::size_t bit = 2 * i;
+        const unsigned target = grayToLevel(static_cast<std::uint8_t>(
+            (words[bit >> 6] >> (bit & 63u)) & 3u));
+        // Off the intended symbol at the line tick (differential
+        // writes leave unskipped cells on older drift clocks):
+        // leave the line on the exact path.
+        if (model.read(cell, writeTick) != target)
+            return out;
+        const Tick cellClean = model.cleanUntil(cell);
+        if (cellClean < until)
+            until = cellClean;
+    }
+    if (until < writeTick)
+        return out;
+    out.eligible = true;
+    out.cleanUntil = until;
+    return out;
 }
 
 } // namespace kernels

@@ -143,6 +143,17 @@ class DriftCrossLut
 
     bool initialized() const { return initialized_; }
 
+    /**
+     * Heap bytes a built LUT owns — the backend's size gate: a memo
+     * table this large only earns its keep when the array planes it
+     * accelerates are at least as large themselves.
+     */
+    static constexpr std::size_t footprintBytes()
+    {
+        return 4u * 256u * 256u * (sizeof(double) + sizeof(Tick)) +
+            4u * 256u * sizeof(std::int32_t);
+    }
+
     static std::size_t index(unsigned gray, unsigned q,
                              unsigned nu_idx)
     {
@@ -194,6 +205,19 @@ void computeLazyLines(const CellStorage &storage,
                       std::size_t first_line, std::size_t line_count,
                       const DeviceConfig &config,
                       const DriftCrossLut &lut, LazyLineResult *out);
+
+/**
+ * The model-direct form of computeLazyLine: the per-cell
+ * CellModel::read / cleanUntil loop the LUT kernel memoizes,
+ * evaluated straight off the storage planes. Bit-identical to the
+ * LUT path by construction (the LUT performs the identical
+ * expression sequence; simd_oracle_test pins the equality) — it is
+ * the small-array fallback for backends whose size gate skipped the
+ * ~4 MiB DriftCrossLut build.
+ */
+LazyLineResult computeLazyLineModel(const CellStorage &storage,
+                                    std::size_t line,
+                                    const CellModel &model);
 
 } // namespace kernels
 } // namespace pcmscrub

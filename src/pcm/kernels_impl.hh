@@ -14,9 +14,12 @@
 #ifndef PCMSCRUB_PCM_KERNELS_IMPL_HH
 #define PCMSCRUB_PCM_KERNELS_IMPL_HH
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/logging.hh"
+#include "common/random.hh"
 #include "common/types.hh"
 #include "pcm/cell_storage.hh"
 #include "pcm/device_config.hh"
@@ -25,6 +28,220 @@
 namespace pcmscrub {
 namespace kernels {
 namespace detail {
+
+/**
+ * Per-line scratch for the two-stage program pipelines: stage A
+ * fills the draw buffers from the line/manufacturing streams in the
+ * exact scalar draw order, stage B (vector or scalar) transforms
+ * them into plane bytes. Thread-local in kernels.cc, so parallel
+ * shards never share a buffer.
+ */
+struct ProgramScratch
+{
+    std::vector<double> z1, z2;     //!< warm line-stream z-scores
+    std::vector<double> zE, zS;     //!< manufacturing z-scores
+    std::vector<double> dIter, dLogR, dNu; //!< rewrite draw results
+    std::vector<float> nuSpeedF, enduranceF;
+    std::vector<std::uint8_t> level, alive;
+};
+
+/**
+ * First-write wear-out screen bound: the warm cell freezes iff its
+ * derived endurance float(exp(lnE)) <= 1.0 writes. exp(x) >= 1.28
+ * for x > 1/4 even after float rounding, so only draws below the
+ * cutoff pay the exact exp-and-compare.
+ */
+constexpr double kWarmWornLnCutoff = 0.25;
+
+/**
+ * QuantSpec::encodeNu with the spec constants passed by value, so
+ * the vector kernels' scalar peel lanes can re-encode one cell
+ * without the spec object. Expression-identical to the member
+ * function (same compares, same lround of the same double chain).
+ */
+inline std::uint8_t
+encodeNuValue(float value, double nu_min, double nu_max,
+              double inv_nu_log_step)
+{
+    if (!(value > 0.0f))
+        return 0; // Exact zero (clamped draws land here).
+    const double v = static_cast<double>(value);
+    if (v >= nu_max)
+        return 254;
+    if (v <= nu_min)
+        return 1;
+    const long code =
+        std::lround(std::log(v / nu_min) * inv_nu_log_step) + 1;
+    return static_cast<std::uint8_t>(std::clamp(code, 1L, 254L));
+}
+
+/**
+ * Stage-B inputs of the warm-up pipeline: the Gray plane already
+ * holds the target codeword, the z-score buffers hold this line's
+ * draws in scalar order (z1/z2 from the line stream, zE/zS from the
+ * per-cell manufacturing streams; zS is null when the drift-speed
+ * sigma is zero and no draw was taken). The transform writes logRq
+ * and nuIdx only — pure function of the buffers, no RNG.
+ */
+struct WarmTransformArgs
+{
+    const std::uint8_t *gray;
+    std::uint8_t *logRq;
+    std::uint8_t *nuIdx;
+    const double *z1;
+    const double *z2;
+    const double *zE;
+    const double *zS;
+    std::size_t count;
+    double logRScale;
+    double lnNuMin;
+    double lnNuMax;
+    double invNuLogStep;
+    double logMedianE;
+    double sigmaE;
+    double sigmaS;
+    double driftMu[mlcLevels];
+    double driftSig[mlcLevels];
+};
+
+/**
+ * Scalar stage B of warm-up for cell i: exactly the arithmetic of
+ * the original fused loop, reading draws from the scratch buffers.
+ * Serves as the oracle for warmTransformAvx2 and as its peel path
+ * (wear-out screen hits, subnormal drift terms, quantizer ties).
+ */
+inline void
+warmTransformCell(const WarmTransformArgs &a, std::size_t i)
+{
+    const unsigned g = (a.gray[i >> 2] >> ((i & 3u) * 2u)) & 3u;
+    const unsigned level =
+        grayToLevel(static_cast<std::uint8_t>(g));
+
+    // logR0 = mean[level] + sigma * z1 and the code is the
+    // step-quantized delta from that same mean (sigma/step hoisted
+    // to one multiply).
+    const long code = std::lround(a.logRScale * a.z1[i]) +
+        QuantSpec::kLogR0Bias;
+    a.logRq[i] =
+        static_cast<std::uint8_t>(std::clamp(code, 0L, 255L));
+
+    const double lnE = a.logMedianE + a.sigmaE * a.zE[i];
+    if (lnE <= kWarmWornLnCutoff &&
+        1.0 >= static_cast<double>(
+                   static_cast<float>(std::exp(lnE)))) {
+        // Worn out by its very first write: the write succeeded, the
+        // gray plane already holds the target level, and the cell
+        // freezes there.
+        a.nuIdx[i] = QuantSpec::kStuckNuIdx;
+        return;
+    }
+    const double lnS = a.zS == nullptr ? 0.0 : a.sigmaS * a.zS[i];
+
+    // nu = nuSpeed * max(0, mu[level] + sigma(level) * z2), encoded
+    // in the log domain (encodeNu's clamp structure on ln nu) so no
+    // exp is ever needed.
+    const double w = a.driftMu[level] + a.driftSig[level] * a.z2[i];
+    if (w <= 0.0) {
+        a.nuIdx[i] = 0;
+        return;
+    }
+    const double lnV = lnS + std::log(w);
+    if (lnV >= a.lnNuMax) {
+        a.nuIdx[i] = 254;
+    } else if (lnV <= a.lnNuMin) {
+        a.nuIdx[i] = 1;
+    } else {
+        const long nuCode =
+            std::lround((lnV - a.lnNuMin) * a.invNuLogStep) + 1;
+        a.nuIdx[i] = static_cast<std::uint8_t>(
+            std::clamp(nuCode, 1L, 254L));
+    }
+}
+
+/**
+ * Stage-B inputs of the batched rewrite pipeline. Stage A decoded
+ * the target levels, deposited them in the Gray plane (stuck cells'
+ * frozen symbols preserved), and consumed the line stream in scalar
+ * order into dIter/dLogR/dNu (dIter only for intermediate levels —
+ * the scalar path draws it first). nuSpeedF/enduranceF hold each
+ * cell's manufacturing floats (aux planes or derived); ovWrites /
+ * ovTicks point into the materialized overlay, or are null when the
+ * line stays on its uniform clock (then uniformWrites is the shared
+ * pre-write count).
+ */
+struct ProgramTransformArgs
+{
+    std::uint8_t *logRq;
+    std::uint8_t *nuIdx;
+    const std::uint8_t *level;
+    const std::uint8_t *alive;
+    const double *dIter;
+    const double *dLogR;
+    const double *dNu;
+    const float *nuSpeedF;
+    const float *enduranceF;
+    std::uint32_t *ovWrites;
+    Tick *ovTicks;
+    std::size_t count;
+    Tick now;
+    std::uint32_t uniformWrites;
+    double maxIterations;
+    double meanLogR[mlcLevels];
+    double logR0Step;
+    double nuMin;
+    double nuMax;
+    double invNuLogStep;
+};
+
+/**
+ * Scalar stage B of one rewritten cell: CellModel::program's
+ * arithmetic on the pre-drawn values followed by storePhysics'
+ * encodes, fused so the float round-trips happen exactly once each,
+ * in the model's order. meanLogR[level] is the same double
+ * QuantSpec keys by Gray code (meanByGray[gray] is defined as
+ * levelMeanLogR[grayToLevel(gray)]), so the encode delta is
+ * bit-identical to encodeLogR0's. Oracle and tail/peel path of
+ * programTransformAvx2.
+ */
+inline void
+programTransformCell(const ProgramTransformArgs &a, std::size_t i,
+                     LineProgramStats &stats)
+{
+    if (!a.alive[i])
+        return;
+    const unsigned level = a.level[i];
+    unsigned iterations = 1;
+    if (level != 0 && level != mlcLevels - 1) {
+        iterations = static_cast<unsigned>(std::clamp(
+            std::round(a.dIter[i]), 1.0, a.maxIterations));
+    }
+    const float logR0 = static_cast<float>(a.dLogR[i]);
+    const double delta =
+        static_cast<double>(logR0) - a.meanLogR[level];
+    const long code =
+        std::lround(delta / a.logR0Step) + QuantSpec::kLogR0Bias;
+    a.logRq[i] =
+        static_cast<std::uint8_t>(std::clamp(code, 0L, 255L));
+
+    const float nu = static_cast<float>(
+        static_cast<double>(a.nuSpeedF[i]) *
+        std::max(0.0, a.dNu[i]));
+    const std::uint32_t writes =
+        (a.ovWrites != nullptr ? a.ovWrites[i] : a.uniformWrites) +
+        1;
+    const bool worn = static_cast<double>(writes) >=
+        static_cast<double>(a.enduranceF[i]);
+    a.nuIdx[i] = worn
+        ? QuantSpec::kStuckNuIdx
+        : encodeNuValue(nu, a.nuMin, a.nuMax, a.invNuLogStep);
+    if (a.ovWrites != nullptr) {
+        a.ovWrites[i] = writes;
+        a.ovTicks[i] = a.now;
+    }
+    ++stats.cellsProgrammed;
+    stats.totalIterations += iterations;
+    stats.cellsWornOut += worn;
+}
 
 /**
  * Hoisted drift-age term: u = log10(age / t0) for one program tick.

@@ -125,6 +125,13 @@ class Line
     /** The codeword the controller believes is stored. */
     BitVector intendedWord() const;
 
+    /**
+     * intendedWord() into an existing buffer, reusing its backing
+     * capacity — the per-visit form for read paths that would
+     * otherwise allocate a fresh BitVector per clean line.
+     */
+    void copyIntendedWord(BitVector &out) const;
+
     /** Tick of the last full write (drift reference for policies). */
     Tick lastWriteTick() const
     {

@@ -71,8 +71,15 @@ CellBackend::CellBackend(const CellBackendConfig &config)
     });
 
     // Eager so the (const) lazy-eligibility path never initializes
-    // shared state under the parallel sweep.
-    if (config.lazyDrift)
+    // shared state under the parallel sweep — but size-gated: the
+    // ~4 MiB memo table must not dominate a small array's footprint,
+    // so it is only built when the planes it accelerates are at
+    // least as large. Below the gate the lazy path runs the
+    // model-direct scalar scan, which the LUT memoizes exactly, so
+    // results are bit-identical either way.
+    if (config.lazyDrift &&
+        array_.storage().bytes() >=
+            kernels::DriftCrossLut::footprintBytes())
         driftLut_.init(config.device, array_.storage().spec());
 }
 
@@ -129,7 +136,7 @@ CellBackend::readLine(LineIndex line, Tick now)
             // is off whenever read faults are live) and draws no RNG
             // at zero rates, so the buffer bytes and random streams
             // match the exact path exactly.
-            shard.buffered = array_.line(line).intendedWord();
+            array_.line(line).copyIntendedWord(shard.buffered);
         } else {
             shard.buffered = senseRaw(line, now);
             if (injector_ != nullptr)
@@ -157,15 +164,22 @@ CellBackend::computeLazyLine(LineIndex line) const
     // The cell scan — no cell stuck, every cell on its intended
     // symbol at write time, earliest band crossing — is the batched
     // kernel; a non-SLC line's active planes are the array home
-    // storage, so its intended words sit in the array plane.
-    const kernels::LazyLineResult crossing = kernels::computeLazyLine(
-        physical.span(), array_.storage().intendedWords(line),
-        physical.lastWriteTick(), config_.device, driftLut_);
+    // storage, so its intended words sit in the array plane. Small
+    // arrays whose size gate skipped the LUT build take the
+    // model-direct scan instead (bit-identical).
+    const kernels::LazyLineResult crossing = driftLut_.initialized()
+        ? kernels::computeLazyLine(
+              physical.span(), array_.storage().intendedWords(line),
+              physical.lastWriteTick(), config_.device, driftLut_)
+        : kernels::computeLazyLineModel(array_.storage(), line,
+                                        array_.model());
     if (!crossing.eligible)
         return state;
     // The gates assume the intended word light-detects and decodes
-    // clean; both hold exactly when it is a true codeword.
-    if (!code_->check(physical.intendedWord()))
+    // clean; both hold exactly when it is a true codeword. Raw-span
+    // check: the intended words already sit in the array plane.
+    if (!code_->checkWords(array_.storage().intendedWords(line),
+                           code_->codewordBits()))
         return state;
     state.eligible = true;
     state.cleanUntil = crossing.cleanUntil;
@@ -197,19 +211,46 @@ CellBackend::refreshLazyShard(std::size_t shard)
     // discarded, so the wasted scan is harmless and rare.
     const std::size_t count = range.end - range.begin;
     std::vector<kernels::LazyLineResult> crossings(count);
-    kernels::computeLazyLines(array_.storage(), range.begin, count,
-                              config_.device, driftLut_,
-                              crossings.data());
+    if (driftLut_.initialized()) {
+        kernels::computeLazyLines(array_.storage(), range.begin,
+                                  count, config_.device, driftLut_,
+                                  crossings.data());
+    } else {
+        // Size-gated small array: no LUT was built, so scan with
+        // the model directly (bit-identical, and cheap at the line
+        // counts the gate admits).
+        for (std::size_t k = 0; k < count; ++k)
+            crossings[k] = kernels::computeLazyLineModel(
+                array_.storage(), range.begin + k, array_.model());
+    }
+    // The ECC gate runs as one batched syndrome pass over every
+    // candidate that survived the cheap gates: the code's tables
+    // stay hot across the queued spans instead of being re-walked
+    // per line, and no per-line BitVector is materialised.
+    std::vector<LineIndex> queued;
+    std::vector<const std::uint64_t *> spans;
     for (LineIndex line = range.begin; line < range.end; ++line) {
         const kernels::LazyLineResult &crossing =
             crossings[line - range.begin];
+        if (crossing.eligible && !array_.line(line).slcMode() &&
+            ecpUsed(line) == 0) {
+            queued.push_back(line);
+            spans.push_back(array_.storage().intendedWords(line));
+        }
+    }
+    std::vector<std::uint8_t> clean(queued.size());
+    if (!queued.empty())
+        code_->checkSpans(spans.data(), spans.size(), clean.data());
+    std::size_t next = 0;
+    for (LineIndex line = range.begin; line < range.end; ++line) {
         LazyLineState state;
-        const Line &physical = array_.line(line);
-        if (crossing.eligible && !physical.slcMode() &&
-            ecpUsed(line) == 0 &&
-            code_->check(physical.intendedWord())) {
-            state.eligible = true;
-            state.cleanUntil = crossing.cleanUntil;
+        if (next < queued.size() && queued[next] == line) {
+            if (clean[next]) {
+                state.eligible = true;
+                state.cleanUntil =
+                    crossings[line - range.begin].cleanUntil;
+            }
+            ++next;
         }
         lazy_[line] = state;
         calendar.add(state);

@@ -61,8 +61,13 @@ namespace pcmscrub {
  *    generation byte per line in place of the derived
  *    nuSpeed/endurance planes. v2 snapshots hold the old encodings
  *    and are rejected loudly; there is no in-place migration.
+ *  - v4: batched fault lanes — the fault injector serializes a sixth
+ *    per-lane stats counter (droppedInjections, stuck injections
+ *    that found no healthy cell). v3 snapshots hold five counters
+ *    per lane and are rejected loudly; there is no in-place
+ *    migration.
  */
-constexpr std::uint32_t snapshotFormatVersion = 3;
+constexpr std::uint32_t snapshotFormatVersion = 4;
 
 /**
  * Builder for one snapshot container.

@@ -135,6 +135,30 @@ TEST(FaultInjector, FreezeCellsSticksTheRequestedCount)
     EXPECT_LE(line.stuckCellCount(), line.cellCount());
 }
 
+TEST(FaultInjector, FreezeCellsCountsDropsOnSaturatedLine)
+{
+    const DeviceConfig device;
+    const CellModel model(device);
+    Random rng(5);
+    Line line(64); // 32 MLC cells.
+    line.initialize(model, rng);
+
+    FaultCampaignConfig config;
+    config.stuckPerWrite = 1.0;
+    FaultInjector injector(config);
+    // Oversized budget: every cell freezes, the overflow is counted
+    // instead of silently vanishing.
+    injector.freezeCells(line, 1000);
+    EXPECT_EQ(line.stuckCellCount(), line.cellCount());
+    EXPECT_EQ(injector.stats().droppedInjections,
+              1000u - line.cellCount());
+    // A fully frozen line drops the entire budget.
+    injector.freezeCells(line, 7);
+    EXPECT_EQ(line.stuckCellCount(), line.cellCount());
+    EXPECT_EQ(injector.stats().droppedInjections,
+              1007u - line.cellCount());
+}
+
 TEST(FaultInjector, MetadataCorruptionStaysInRange)
 {
     FaultCampaignConfig config;

@@ -12,7 +12,7 @@
  *
  *   PCMSCRUB_REGEN_GOLDEN=1 ./golden_checkpoint_test
  *
- * which rewrites tests/data/golden_checkpoint_v3.bin in the source
+ * which rewrites tests/data/golden_checkpoint_v4.bin in the source
  * tree; commit the new fixture together with the format change.
  */
 
@@ -35,7 +35,7 @@ namespace pcmscrub {
 namespace {
 
 const char *const kFixturePath =
-    PCMSCRUB_GOLDEN_DIR "/golden_checkpoint_v3.bin";
+    PCMSCRUB_GOLDEN_DIR "/golden_checkpoint_v4.bin";
 
 /**
  * The fixture campaign: every serialized feature is exercised —

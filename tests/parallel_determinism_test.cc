@@ -96,6 +96,7 @@ expectInjectorEqual(const FaultInjectorStats &a,
     EXPECT_EQ(a.bursts, b.bursts);
     EXPECT_EQ(a.miscorrections, b.miscorrections);
     EXPECT_EQ(a.metadataCorruptions, b.metadataCorruptions);
+    EXPECT_EQ(a.droppedInjections, b.droppedInjections);
 }
 
 // Cell-accurate backend -------------------------------------------
@@ -138,7 +139,8 @@ expectCellOutcomeEqual(const CellOutcome &a, const CellOutcome &b)
  * bursts, and miscorrections. Everything is derived from `seed`.
  */
 CellOutcome
-runCellPipeline(std::uint64_t seed, unsigned threads)
+runCellPipeline(std::uint64_t seed, unsigned threads,
+                bool heavy_faults = false)
 {
     ThreadPool::global().resize(threads);
 
@@ -153,6 +155,13 @@ runCellPipeline(std::uint64_t seed, unsigned threads)
     // cannot depend on cross-shard arrival order at the last spare.
     config.degradation.spareLines = 64;
     config.degradation.slcFallback = true;
+    if (heavy_faults) {
+        // A saturating campaign retires lines wholesale; keep the
+        // spare pool inexhaustible so the only thing under test is
+        // the batched fault sampling, not the (documented)
+        // arrival-order sensitivity at the last spare.
+        config.degradation.spareLines = 2 * config.lines;
+    }
     CellBackend device(config);
 
     FaultCampaignConfig campaign;
@@ -163,6 +172,17 @@ runCellPipeline(std::uint64_t seed, unsigned threads)
     campaign.miscorrectionProb = 0.01;
     campaign.metadataCorruptionProb = 0.01;
     campaign.seed = seed * 31 + 5;
+    if (heavy_faults) {
+        // Drive the batched deposit paths hard: stuck budgets large
+        // enough to saturate whole lines (exercising the drop
+        // accounting), Poisson disturb rates past the cached-exp
+        // fast path, and bursts wide enough to straddle word
+        // boundaries.
+        campaign.stuckPerWrite = 64.0;
+        campaign.disturbFlipsPerRead = 1.5;
+        campaign.burstProbPerRead = 0.5;
+        campaign.burstBits = 13;
+    }
     FaultInjector injector(campaign);
     device.setFaultInjector(&injector);
 
@@ -223,6 +243,24 @@ TEST_F(ParallelDeterminismCell, BitIdenticalAtAnyThreadCount)
             expectCellOutcomeEqual(serial,
                                    runCellPipeline(seed, threads));
         }
+    }
+}
+
+TEST_F(ParallelDeterminismCell, HeavyFaultBatchingBitIdentical)
+{
+    // The saturating campaign forces every batched fault mechanism
+    // at once — full-line stuck saturation (dropped injections),
+    // multi-flip Poisson disturb, word-straddling bursts — and the
+    // outcome must still not depend on how shards land on threads.
+    const CellOutcome serial =
+        runCellPipeline(13, 1, /*heavy_faults=*/true);
+    // A campaign this hot must actually saturate lines; otherwise the
+    // drop-accounting comparison below is vacuous.
+    EXPECT_GT(serial.faults.droppedInjections, 0u);
+    for (const unsigned threads : {2u, 4u, 8u}) {
+        SCOPED_TRACE("threads " + std::to_string(threads));
+        expectCellOutcomeEqual(
+            serial, runCellPipeline(13, threads, /*heavy_faults=*/true));
     }
 }
 

@@ -25,6 +25,7 @@
 #include "common/simd.hh"
 #include "ecc/bch.hh"
 #include "ecc/bch_simd.hh"
+#include "faults/fault_injector.hh"
 #include "pcm/cell.hh"
 #include "pcm/cell_storage.hh"
 #include "pcm/kernels.hh"
@@ -355,6 +356,185 @@ TEST(SimdOracle, ChienScanHandlesSubVectorTailAndEarlyExit)
         EXPECT_EQ(scalar.status, vector.status);
         EXPECT_EQ(scalarWord.countDifferences(vectorWord), 0u);
     }
+}
+
+/**
+ * Warm-program kernel vs its scalar transform loop: identical plane
+ * bytes and identical draw consumption, for odd codeword widths
+ * (half-cell tails), a device that freezes most cells at
+ * manufacturing (the worn branch), and a zero drift-speed sigma
+ * (the branch that skips the second manufacturing draw).
+ */
+TEST(SimdOracle, WarmProgramMatchesScalarOnAdversarialWidths)
+{
+    SimdSwitch restore;
+    DeviceConfig configs[3];
+    configs[1].enduranceMedian = 1.0; // lnE ~ 0: most cells freeze.
+    configs[1].enduranceSigmaLn = 0.5;
+    configs[2].driftSpeedSigmaLn = 0.0; // No per-cell speed draw.
+    for (unsigned c = 0; c < 3; ++c) {
+        const DeviceConfig &config = configs[c];
+        for (const std::size_t cells : kCellCounts) {
+            const std::size_t bits = 2 * cells - 1; // Odd width.
+            BitVector word(bits);
+            Random data(cells * 5 + c);
+            word.randomize(data);
+            CellStorage stores[2];
+            Random rngs[2] = {Random(cells * 7 + 1),
+                              Random(cells * 7 + 1)};
+            for (int v = 0; v < 2; ++v) {
+                CellStorage::Geometry g;
+                g.lines = 3;
+                g.cellsPerLine = cells;
+                g.intendedWordsPerLine = (bits + 63) / 64;
+                g.auxPlanes = false;
+                g.manufSeed = 13;
+                stores[v].configure(g);
+                stores[v].ensureSpec(config);
+                simd::setEnabled(v == 1);
+                // Line 1: plane bases unaligned when cells is odd.
+                kernels::warmProgramCodeword(stores[v].span(1, cells),
+                                             word, bits, config,
+                                             rngs[v]);
+            }
+            simd::setEnabled(true);
+            SCOPED_TRACE("config " + std::to_string(c) + " cells " +
+                         std::to_string(cells));
+            const CellConstSpan a = stores[0].constSpan(1, cells);
+            const CellConstSpan b = stores[1].constSpan(1, cells);
+            for (std::size_t i = 0; i < cells; ++i) {
+                EXPECT_EQ(a.logRq[i], b.logRq[i]) << "cell " << i;
+                EXPECT_EQ(a.nuIdx[i], b.nuIdx[i]) << "cell " << i;
+                EXPECT_EQ(a.grayAt(i), b.grayAt(i)) << "cell " << i;
+            }
+            // Same number of line-stream draws consumed.
+            EXPECT_EQ(rngs[0].next(), rngs[1].next());
+        }
+    }
+}
+
+/**
+ * Rewrite-program kernel (the batched two-stage pipeline behind
+ * programCodeword) vs the per-cell scalar loop, on adversarial
+ * random planes: stuck densities force the overlay + frozen-symbol
+ * merge path, odd widths leave a half-cell tail, and a
+ * two-writes-to-death endurance config exercises the worn-out
+ * branch of the batched transform.
+ */
+TEST(SimdOracle, RewriteProgramMatchesScalarOnAdversarialPlanes)
+{
+    SimdSwitch restore;
+    DeviceConfig configs[2];
+    configs[1].enduranceMedian = 2.0; // Many cells die this write.
+    configs[1].enduranceSigmaLn = 0.5;
+    for (unsigned c = 0; c < 2; ++c) {
+        const DeviceConfig &config = configs[c];
+        const CellModel model(config);
+        for (const std::size_t cells : kCellCounts) {
+            for (const double stuckFraction : {0.0, 0.3}) {
+                const std::size_t bits = 2 * cells - 1;
+                BitVector word(bits);
+                Random data(cells * 3 + c);
+                word.randomize(data);
+                CellStorage stores[2];
+                LineProgramStats stats[2];
+                Random rngs[2] = {Random(cells * 11 + 2),
+                                  Random(cells * 11 + 2)};
+                for (int v = 0; v < 2; ++v) {
+                    CellStorage::Geometry g;
+                    g.lines = 3;
+                    g.cellsPerLine = cells;
+                    g.intendedWordsPerLine = (bits + 63) / 64;
+                    g.auxPlanes = false;
+                    g.manufSeed = 13;
+                    stores[v].configure(g);
+                    stores[v].ensureSpec(config);
+                    Random planes(cells * 31 +
+                                  static_cast<std::uint64_t>(
+                                      stuckFraction * 1000));
+                    randomizePlanes(stores[v], planes, stuckFraction);
+                    simd::setEnabled(v == 1);
+                    stats[v] = kernels::programCodeword(
+                        stores[v].span(1, cells), word, bits,
+                        /*slc_mode=*/false, secondsToTicks(7200.0),
+                        model, rngs[v], /*differential=*/false);
+                }
+                simd::setEnabled(true);
+                SCOPED_TRACE("config " + std::to_string(c) +
+                             " cells " + std::to_string(cells) +
+                             " stuck " +
+                             std::to_string(stuckFraction));
+                EXPECT_EQ(stats[0].cellsProgrammed,
+                          stats[1].cellsProgrammed);
+                EXPECT_EQ(stats[0].totalIterations,
+                          stats[1].totalIterations);
+                EXPECT_EQ(stats[0].cellsWornOut,
+                          stats[1].cellsWornOut);
+                const CellConstSpan a = stores[0].constSpan(1, cells);
+                const CellConstSpan b = stores[1].constSpan(1, cells);
+                for (std::size_t i = 0; i < cells; ++i) {
+                    EXPECT_EQ(a.logRq[i], b.logRq[i]) << "cell " << i;
+                    EXPECT_EQ(a.nuIdx[i], b.nuIdx[i]) << "cell " << i;
+                    EXPECT_EQ(a.grayAt(i), b.grayAt(i))
+                        << "cell " << i;
+                    EXPECT_EQ(a.writeTick(i), b.writeTick(i))
+                        << "cell " << i;
+                }
+                EXPECT_EQ(rngs[0].next(), rngs[1].next());
+            }
+        }
+    }
+}
+
+/**
+ * Batched fault deposits vs a per-bit reference running the exact
+ * same draw sequence on its own clone of the lane stream: the
+ * word-level XOR masks of corruptSpan (including bursts straddling
+ * 64-bit word boundaries and the cached-exponential Poisson
+ * overload) must corrupt exactly the bits the historical per-flip
+ * loop would have. Widths sit on and around word boundaries.
+ */
+TEST(SimdOracle, BatchedFaultDepositsMatchPerBitReference)
+{
+    FaultCampaignConfig campaign;
+    campaign.disturbFlipsPerRead = 1.7;
+    campaign.burstProbPerRead = 0.6;
+    campaign.burstBits = 13;
+    campaign.seed = 2026;
+    FaultInjector injector(campaign);
+    injector.shardStreams(4);
+    const std::size_t widths[4] = {65, 70, 127, 131};
+    std::uint64_t refFlips = 0;
+    std::uint64_t refBursts = 0;
+    for (std::size_t shard = 0; shard < 4; ++shard) {
+        const std::size_t bits = widths[shard];
+        Random ref = Random::stream(campaign.seed, shard);
+        Random payload(shard * 97 + 1);
+        BitVector word(bits);
+        word.randomize(payload);
+        BitVector mirror = word;
+        for (int iter = 0; iter < 200; ++iter) {
+            injector.corruptWord(word, shard);
+            const std::uint64_t flips =
+                ref.poisson(campaign.disturbFlipsPerRead);
+            for (std::uint64_t f = 0; f < flips; ++f)
+                mirror.flip(ref.uniformInt(mirror.size()));
+            refFlips += flips;
+            if (ref.bernoulli(campaign.burstProbPerRead)) {
+                ++refBursts;
+                const std::size_t len = campaign.burstBits;
+                const std::size_t start =
+                    ref.uniformInt(bits - len + 1);
+                for (std::size_t i = 0; i < len; ++i)
+                    mirror.flip(start + i);
+                refFlips += len;
+            }
+            ASSERT_EQ(word, mirror)
+                << "shard " << shard << " iter " << iter;
+        }
+    }
+    EXPECT_EQ(injector.stats().transientFlips, refFlips);
+    EXPECT_EQ(injector.stats().bursts, refBursts);
 }
 
 } // namespace

@@ -285,7 +285,7 @@ TEST(CheckpointDeathTest, VersionMismatchDies)
     EXPECT_EXIT((void)restoreSampleCheckpoint(path),
                 ::testing::ExitedWithCode(1),
                 "unsupported format version 1 \\(this build reads "
-                "version 3\\)");
+                "version 4\\)");
     std::remove(path.c_str());
 }
 
@@ -303,7 +303,7 @@ TEST(CheckpointDeathTest, V2SnapshotRejected)
     EXPECT_EXIT((void)restoreSampleCheckpoint(path),
                 ::testing::ExitedWithCode(1),
                 "unsupported format version 2 \\(this build reads "
-                "version 3\\)");
+                "version 4\\)");
     std::remove(path.c_str());
 }
 

@@ -84,6 +84,16 @@ def flatten(doc):
     for key, better in HIGHER_IS_BETTER.items():
         if key in doc:
             out[key] = (float(doc[key]), better)
+    # Same pre-split fallback as the per-point shape: a flat
+    # micro_sweep document that carries warmup_seconds but predates
+    # the warmup_lines_per_second field still yields a comparable
+    # warm-up rate.
+    if ("warmup_lines_per_second" not in doc
+            and float(doc.get("warmup_seconds", 0)) > 0
+            and float(doc.get("lines", 0)) > 0):
+        out["warmup_lines_per_second"] = (
+            float(doc["lines"]) / float(doc["warmup_seconds"]),
+            HIGHER_IS_BETTER["warmup_lines_per_second"])
     return out
 
 
